@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks for the substrate kernels behind every
+//! experiment: dense GEMM, sparse SpMM, graph construction, the SMGCN
+//! forward pass, one full forward+backward training step, and metric
+//! computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smgcn_core::batch::make_batch;
+use smgcn_core::prelude::*;
+use smgcn_data::{GeneratorConfig, SyndromeModel};
+use smgcn_graph::{GraphOperators, SynergyThresholds};
+use smgcn_tensor::init::{seeded_rng, xavier_uniform};
+use smgcn_tensor::{CsrMatrix, Tape};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    for &n in &[64usize, 256, 512] {
+        let mut rng = seeded_rng(1);
+        let a = xavier_uniform(n, n, &mut rng);
+        let b = xavier_uniform(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul_transb(c: &mut Criterion) {
+    // The Eq. 13 prediction kernel shape: (batch x d) @ (H x d)^T.
+    let mut rng = seeded_rng(2);
+    let syndrome = xavier_uniform(1024, 256, &mut rng);
+    let herbs = xavier_uniform(753, 256, &mut rng);
+    c.bench_function("prediction_scores_1024x753", |bencher| {
+        bencher.iter(|| std::hint::black_box(syndrome.matmul_transb(&herbs)));
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    // A bipartite-like sparse operator at paper scale.
+    let mut rng = seeded_rng(3);
+    use rand::Rng;
+    let triplets: Vec<(u32, u32, f32)> = (0..40_000)
+        .map(|_| (rng.gen_range(0..360u32), rng.gen_range(0..753u32), 1.0))
+        .collect();
+    let a = CsrMatrix::from_triplets(360, 753, &triplets).row_normalized();
+    let x = xavier_uniform(753, 128, &mut rng);
+    c.bench_function("spmm_360x753_d128", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.spmm(&x)));
+    });
+}
+
+fn prepared_smoke() -> (smgcn_data::Corpus, GraphOperators) {
+    let corpus = SyndromeModel::new(GeneratorConfig::smoke_scale()).generate();
+    let ops = GraphOperators::from_records(
+        corpus.records(),
+        corpus.n_symptoms(),
+        corpus.n_herbs(),
+        SynergyThresholds { x_s: 5, x_h: 30 },
+    );
+    (corpus, ops)
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let corpus = SyndromeModel::new(GeneratorConfig::smoke_scale()).generate();
+    c.bench_function("graph_operators_build_smoke", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(GraphOperators::from_records(
+                corpus.records(),
+                corpus.n_symptoms(),
+                corpus.n_herbs(),
+                SynergyThresholds { x_s: 5, x_h: 30 },
+            ))
+        });
+    });
+}
+
+fn bench_forward(c: &mut Criterion) {
+    let (corpus, ops) = prepared_smoke();
+    let model = Recommender::smgcn(&ops, &smgcn_eval::Scale::Smoke.model_config(), 1);
+    let sets: Vec<&[u32]> =
+        corpus.prescriptions().iter().take(256).map(|p| p.symptoms()).collect();
+    c.bench_function("smgcn_forward_256_sets", |bencher| {
+        bencher.iter(|| std::hint::black_box(model.predict(&sets)));
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (corpus, ops) = prepared_smoke();
+    let model = Recommender::smgcn(&ops, &smgcn_eval::Scale::Smoke.model_config(), 1);
+    let selected: Vec<&smgcn_data::Prescription> =
+        corpus.prescriptions().iter().take(256).collect();
+    let batch = make_batch(&selected, corpus.n_symptoms(), corpus.n_herbs());
+    let weights = std::sync::Arc::new(vec![1.0f32; corpus.n_herbs()]);
+    let target = std::sync::Arc::new(batch.targets.clone());
+    c.bench_function("smgcn_forward_backward_256", |bencher| {
+        bencher.iter(|| {
+            let mut rng = seeded_rng(4);
+            let mut ctx = ForwardCtx::training(0.0, &mut rng);
+            let mut tape = Tape::new(model.store());
+            let scores = model.forward_scores(&mut tape, &batch.set_pool, &mut ctx);
+            let loss = tape.weighted_mse(scores, target.clone(), weights.clone());
+            std::hint::black_box(tape.backward(loss))
+        });
+    });
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = seeded_rng(5);
+    let scores = xavier_uniform(391, 260, &mut rng);
+    let truths: Vec<Vec<u32>> = (0..391).map(|i| vec![i as u32 % 260, (i as u32 + 7) % 260]).collect();
+    c.bench_function("rank_and_metrics_391_test_rx", |bencher| {
+        bencher.iter(|| {
+            let ranked: Vec<Vec<u32>> = (0..scores.rows())
+                .map(|r| top_k_indices(scores.row(r), 20))
+                .collect();
+            let truth_refs: Vec<&[u32]> = truths.iter().map(Vec::as_slice).collect();
+            std::hint::black_box(smgcn_eval::mean_metrics(&ranked, &truth_refs, &[5, 10, 20]))
+        });
+    });
+}
+
+fn bench_corpus_generation(c: &mut Criterion) {
+    c.bench_function("generate_smoke_corpus", |bencher| {
+        bencher.iter(|| {
+            std::hint::black_box(
+                SyndromeModel::new(GeneratorConfig::smoke_scale()).generate(),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_transb,
+    bench_spmm,
+    bench_graph_build,
+    bench_forward,
+    bench_train_step,
+    bench_metrics,
+    bench_corpus_generation
+);
+criterion_main!(benches);

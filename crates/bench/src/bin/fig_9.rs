@@ -1,0 +1,31 @@
+//! Fig. 9 reproduction: SMGCN performance against the message-dropout
+//! ratio, metrics at K = 5.
+
+use smgcn_bench::{banner, CliArgs};
+use smgcn_core::prelude::*;
+use smgcn_eval::*;
+
+fn main() {
+    let args = CliArgs::parse();
+    banner(
+        "Fig. 9 — effect of message dropout on SMGCN",
+        "performance degrades monotonically with dropout; 0 is best (L2 suffices)",
+        &args,
+    );
+    let prepared = prepare(args.scale, args.seed);
+    let base = args.scale.model_config();
+    let mut points = Vec::new();
+    for &dropout in &[0.0f32, 0.1, 0.3, 0.5, 0.8] {
+        let mut model_cfg = base.clone();
+        model_cfg.dropout = dropout;
+        let cfg = args.train_config(ModelKind::Smgcn);
+        let row =
+            run_neural_seeds(ModelKind::Smgcn, &prepared, &model_cfg, &cfg, &args.train_seeds);
+        let m = row.at_k(5).expect("metrics at 5");
+        println!("dropout = {dropout:<4} p@5 = {:.4}", m.precision);
+        points.push((format!("{dropout}"), m));
+    }
+    println!();
+    println!("{}", format_sweep_series("dropout", &points));
+    println!("paper Fig. 9 reference: p@5 ≈ 0.29 at 0, collapsing toward ~0.05 at 0.8");
+}

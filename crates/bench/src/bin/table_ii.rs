@@ -1,0 +1,30 @@
+//! Table II reproduction: statistics of the evaluation data sets
+//! (#prescriptions, #symptoms, #herbs for All / Train / Test).
+
+use smgcn_bench::{banner, CliArgs};
+use smgcn_data::{corpus_stats, SyndromeModel};
+use smgcn_data::{train_test_split_fraction, PAPER_TEST_FRACTION};
+
+fn main() {
+    let args = CliArgs::parse();
+    banner(
+        "Table II — dataset statistics",
+        "All: 26,360 rx / 360 symptoms / 753 herbs; Train 22,917; Test 3,443 (254 symptoms, 558 herbs used)",
+        &args,
+    );
+    let corpus = SyndromeModel::new(args.scale.generator()).generate();
+    let split = train_test_split_fraction(&corpus, PAPER_TEST_FRACTION, args.seed);
+    println!("{:<8} {:>14} {:>10} {:>8}", "dataset", "#prescriptions", "#symptoms", "#herbs");
+    for (name, c) in [("All", &corpus), ("Train", &split.train), ("Test", &split.test)] {
+        let s = corpus_stats(c);
+        println!(
+            "{:<8} {:>14} {:>10} {:>8}",
+            name, s.n_prescriptions, s.n_symptoms_used, s.n_herbs_used
+        );
+    }
+    let s = corpus_stats(&corpus);
+    println!(
+        "\nmean set sizes: {:.2} symptoms / {:.2} herbs per prescription",
+        s.mean_symptoms_per_rx, s.mean_herbs_per_rx
+    );
+}

@@ -1,0 +1,123 @@
+//! GC-MC baseline (Berg et al., *Graph Convolutional Matrix Completion*).
+//!
+//! Per the paper's setup (§V-C): **one** graph-convolution layer on the
+//! symptom–herb interaction graph, hidden dimension equal to the embedding
+//! size, and — unlike Bipar-GCN — weights **shared** across node types.
+//! Messages are summed (mean-normalised here, matching GC-MC's degree
+//! normalisation) then passed through an accumulation nonlinearity and a
+//! dense output layer:
+//!
+//! ```text
+//! h_s = ReLU( mean_{h∈N_s} e_h W_conv ),   u_s = ReLU( h_s W_dense )
+//! ```
+
+use rand::rngs::StdRng;
+use smgcn_graph::GraphOperators;
+use smgcn_tensor::init::xavier_uniform;
+use smgcn_tensor::{ParamId, ParamStore, SharedCsr, Tape, Var};
+
+use crate::embedding::{EmbeddingLayer, ForwardCtx};
+
+/// The GC-MC embedding layer.
+pub struct GcMc {
+    e_s: ParamId,
+    e_h: ParamId,
+    /// Shared convolution weight (`d x d`).
+    w_conv: ParamId,
+    /// Shared dense output weight (`d x d`).
+    w_dense: ParamId,
+    sh_mean: SharedCsr,
+    hs_mean: SharedCsr,
+    dim: usize,
+}
+
+impl GcMc {
+    /// Registers parameters; `dim` is both embedding and hidden size
+    /// (the paper sets hidden = embedding size = 64).
+    pub fn init(
+        store: &mut ParamStore,
+        ops: &GraphOperators,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        Self {
+            e_s: store.add("gcmc.e_s", xavier_uniform(ops.n_symptoms, dim, rng)),
+            e_h: store.add("gcmc.e_h", xavier_uniform(ops.n_herbs, dim, rng)),
+            w_conv: store.add("gcmc.w_conv", xavier_uniform(dim, dim, rng)),
+            w_dense: store.add("gcmc.w_dense", xavier_uniform(dim, dim, rng)),
+            sh_mean: ops.sh_mean.clone(),
+            hs_mean: ops.hs_mean.clone(),
+            dim,
+        }
+    }
+}
+
+impl EmbeddingLayer for GcMc {
+    fn name(&self) -> &'static str {
+        "GC-MC"
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, tape: &mut Tape<'_>, ctx: &mut ForwardCtx<'_>) -> (Var, Var) {
+        let e_s = tape.param(self.e_s);
+        let e_h = tape.param(self.e_h);
+        let w_conv = tape.param(self.w_conv);
+        // Shared-weight messages in both directions.
+        let herb_msgs = tape.matmul(e_h, w_conv);
+        let sym_msgs = tape.matmul(e_s, w_conv);
+        let h_s = tape.spmm(&self.sh_mean, herb_msgs);
+        let h_s = tape.relu(h_s);
+        let h_s = ctx.apply_dropout(tape, h_s);
+        let h_h = tape.spmm(&self.hs_mean, sym_msgs);
+        let h_h = tape.relu(h_h);
+        let h_h = ctx.apply_dropout(tape, h_h);
+        // Dense output layer, also shared.
+        let w_dense = tape.param(self.w_dense);
+        let u_s = tape.matmul(h_s, w_dense);
+        let u_s = tape.relu(u_s);
+        let u_h = tape.matmul(h_h, w_dense);
+        let u_h = tape.relu(u_h);
+        (u_s, u_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::toy_ops;
+    use smgcn_tensor::init::seeded_rng;
+
+    #[test]
+    fn shapes_and_shared_weights() {
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let model = GcMc::init(&mut store, &ops, 8, &mut seeded_rng(1));
+        // e_s, e_h, w_conv, w_dense — exactly 4 parameter tensors.
+        assert_eq!(store.len(), 4);
+        let mut tape = Tape::new(&store);
+        let mut rng = seeded_rng(2);
+        let mut ctx = ForwardCtx::inference(&mut rng);
+        let (s, h) = model.embed(&mut tape, &mut ctx);
+        assert_eq!(tape.value(s).shape(), (ops.n_symptoms, 8));
+        assert_eq!(tape.value(h).shape(), (ops.n_herbs, 8));
+    }
+
+    #[test]
+    fn gradients_flow_everywhere() {
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let model = GcMc::init(&mut store, &ops, 8, &mut seeded_rng(1));
+        let mut tape = Tape::new(&store);
+        let mut rng = seeded_rng(2);
+        let mut ctx = ForwardCtx::training(0.0, &mut rng);
+        let (s, h) = model.embed(&mut tape, &mut ctx);
+        let sg = tape.gather_rows(h, std::sync::Arc::new(vec![0, 1, 2]));
+        let sum = tape.add(s, sg);
+        let loss = tape.sum_squares(sum);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.present_count(), 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! GNN baselines aligned with the paper's protocol (§V-C): each provides an
+//! embedding layer; Table IV attaches the same Syndrome Induction head and
+//! multi-label loss to all of them.
+
+pub mod gcmc;
+pub mod hetegcn;
+pub mod ngcf;
+pub mod pinsage;
+
+pub use gcmc::GcMc;
+pub use hetegcn::HeteGcn;
+pub use ngcf::Ngcf;
+pub use pinsage::PinSage;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use smgcn_graph::{GraphOperators, SynergyThresholds};
+
+    /// A small shared fixture: 3 symptoms, 4 herbs, overlapping records.
+    pub fn toy_ops() -> GraphOperators {
+        let records: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![0, 1], vec![0, 1]),
+            (vec![1, 2], vec![1, 2]),
+            (vec![0, 2], vec![0, 3]),
+            (vec![0, 1], vec![0, 1]),
+        ];
+        GraphOperators::from_records(
+            records.iter().map(|(s, h)| (s.as_slice(), h.as_slice())),
+            3,
+            4,
+            SynergyThresholds { x_s: 0, x_h: 0 },
+        )
+    }
+}

@@ -1,0 +1,140 @@
+//! PinSage baseline (Ying et al., KDD 2018), applied per §V-C to the
+//! symptom–herb interaction graph with **two** convolution layers and
+//! hidden dimension equal to the embedding size.
+//!
+//! Each layer is the GraphSAGE concat aggregator with weights **shared**
+//! between symptom and herb nodes (PinSage is a homogeneous-graph model —
+//! sharing is exactly what Bipar-GCN's type-specific weights improve on):
+//!
+//! ```text
+//! n_v = ReLU( mean_{u∈N(v)} h_u Q )
+//! h_v' = ReLU( (h_v || n_v) W )
+//! ```
+
+use rand::rngs::StdRng;
+use smgcn_graph::GraphOperators;
+use smgcn_tensor::init::xavier_uniform;
+use smgcn_tensor::{ParamId, ParamStore, SharedCsr, Tape, Var};
+
+use crate::embedding::{EmbeddingLayer, ForwardCtx};
+
+struct PinSageLayer {
+    /// Shared neighbor transform `Q` (`d x d`).
+    q: ParamId,
+    /// Shared concat aggregation `W` (`2d x d`).
+    w: ParamId,
+}
+
+/// The PinSage embedding layer.
+pub struct PinSage {
+    e_s: ParamId,
+    e_h: ParamId,
+    layers: Vec<PinSageLayer>,
+    sh_mean: SharedCsr,
+    hs_mean: SharedCsr,
+    dim: usize,
+}
+
+impl PinSage {
+    /// Registers parameters: `depth` convolution layers of width `dim`
+    /// (paper: depth 2, dim 64).
+    pub fn init(
+        store: &mut ParamStore,
+        ops: &GraphOperators,
+        dim: usize,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(depth >= 1, "PinSage needs at least one layer");
+        let e_s = store.add("pinsage.e_s", xavier_uniform(ops.n_symptoms, dim, rng));
+        let e_h = store.add("pinsage.e_h", xavier_uniform(ops.n_herbs, dim, rng));
+        let layers = (0..depth)
+            .map(|k| PinSageLayer {
+                q: store.add(format!("pinsage.q.{k}"), xavier_uniform(dim, dim, rng)),
+                w: store.add(format!("pinsage.w.{k}"), xavier_uniform(2 * dim, dim, rng)),
+            })
+            .collect();
+        Self { e_s, e_h, layers, sh_mean: ops.sh_mean.clone(), hs_mean: ops.hs_mean.clone(), dim }
+    }
+}
+
+impl EmbeddingLayer for PinSage {
+    fn name(&self) -> &'static str {
+        "PinSage"
+    }
+
+    fn output_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, tape: &mut Tape<'_>, ctx: &mut ForwardCtx<'_>) -> (Var, Var) {
+        let mut h_s = tape.param(self.e_s);
+        let mut h_h = tape.param(self.e_h);
+        for layer in &self.layers {
+            let q = tape.param(layer.q);
+            let herb_msgs = tape.matmul(h_h, q);
+            let sym_msgs = tape.matmul(h_s, q);
+            let n_s = tape.spmm(&self.sh_mean, herb_msgs);
+            let n_s = tape.relu(n_s);
+            let n_s = ctx.apply_dropout(tape, n_s);
+            let n_h = tape.spmm(&self.hs_mean, sym_msgs);
+            let n_h = tape.relu(n_h);
+            let n_h = ctx.apply_dropout(tape, n_h);
+            let w = tape.param(layer.w);
+            let cat_s = tape.concat_cols(h_s, n_s);
+            let lin_s = tape.matmul(cat_s, w);
+            h_s = tape.relu(lin_s);
+            let cat_h = tape.concat_cols(h_h, n_h);
+            let lin_h = tape.matmul(cat_h, w);
+            h_h = tape.relu(lin_h);
+        }
+        (h_s, h_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::toy_ops;
+    use smgcn_tensor::init::seeded_rng;
+
+    #[test]
+    fn two_layer_default_shapes() {
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let model = PinSage::init(&mut store, &ops, 8, 2, &mut seeded_rng(1));
+        // e_s + e_h + 2 * (q, w).
+        assert_eq!(store.len(), 6);
+        let mut tape = Tape::new(&store);
+        let mut rng = seeded_rng(2);
+        let mut ctx = ForwardCtx::inference(&mut rng);
+        let (s, h) = model.embed(&mut tape, &mut ctx);
+        assert_eq!(tape.value(s).shape(), (ops.n_symptoms, 8));
+        assert_eq!(tape.value(h).shape(), (ops.n_herbs, 8));
+        assert_eq!(model.output_dim(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_depth_rejected() {
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let _ = PinSage::init(&mut store, &ops, 8, 0, &mut seeded_rng(1));
+    }
+
+    #[test]
+    fn gradients_flow_everywhere() {
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let model = PinSage::init(&mut store, &ops, 8, 2, &mut seeded_rng(1));
+        let mut tape = Tape::new(&store);
+        let mut rng = seeded_rng(3);
+        let mut ctx = ForwardCtx::training(0.0, &mut rng);
+        let (s, h) = model.embed(&mut tape, &mut ctx);
+        let hg = tape.gather_rows(h, std::sync::Arc::new(vec![0, 1, 2]));
+        let sum = tape.add(s, hg);
+        let loss = tape.sum_squares(sum);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.present_count(), store.len());
+    }
+}

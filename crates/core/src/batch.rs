@@ -1,0 +1,177 @@
+//! Mini-batch assembly: set-pooling operators, multi-hot targets, BPR pair
+//! sampling and the shuffled batch iterator.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use smgcn_data::Prescription;
+use smgcn_tensor::{CsrMatrix, Matrix, SharedCsr};
+
+/// One training batch: the symptom-set pooling operator plus targets.
+pub struct Batch {
+    /// `B x S` row-normalised incidence matrix: row `b` averages the fused
+    /// embeddings of prescription `b`'s symptom set (Eq. 12's mean pooling).
+    pub set_pool: SharedCsr,
+    /// `B x H` multi-hot ground-truth herb sets (`hc'` in Eq. 13).
+    pub targets: Matrix,
+    /// The prescriptions behind the batch (for negative sampling).
+    pub herb_sets: Vec<Vec<u32>>,
+}
+
+/// Builds the `B x S` mean-pooling operator for a batch of symptom sets.
+///
+/// # Panics
+/// Panics if a set is empty or references a symptom outside `n_symptoms`.
+pub fn set_pool_matrix(sets: &[&[u32]], n_symptoms: usize) -> CsrMatrix {
+    let mut triplets = Vec::new();
+    for (b, set) in sets.iter().enumerate() {
+        assert!(!set.is_empty(), "set_pool_matrix: empty symptom set at row {b}");
+        let w = 1.0 / set.len() as f32;
+        for &s in *set {
+            assert!(
+                (s as usize) < n_symptoms,
+                "set_pool_matrix: symptom {s} out of range {n_symptoms}"
+            );
+            triplets.push((b as u32, s, w));
+        }
+    }
+    CsrMatrix::from_triplets(sets.len(), n_symptoms, &triplets)
+}
+
+/// Builds the `B x H` multi-hot target matrix.
+pub fn multi_hot_targets(herb_sets: &[&[u32]], n_herbs: usize) -> Matrix {
+    let mut m = Matrix::zeros(herb_sets.len(), n_herbs);
+    for (b, set) in herb_sets.iter().enumerate() {
+        for &h in *set {
+            assert!(
+                (h as usize) < n_herbs,
+                "multi_hot_targets: herb {h} out of range {n_herbs}"
+            );
+            m.set(b, h as usize, 1.0);
+        }
+    }
+    m
+}
+
+/// Assembles a batch from prescriptions.
+pub fn make_batch(prescriptions: &[&Prescription], n_symptoms: usize, n_herbs: usize) -> Batch {
+    let symptom_sets: Vec<&[u32]> = prescriptions.iter().map(|p| p.symptoms()).collect();
+    let herb_sets_slices: Vec<&[u32]> = prescriptions.iter().map(|p| p.herbs()).collect();
+    Batch {
+        set_pool: SharedCsr::new(set_pool_matrix(&symptom_sets, n_symptoms)),
+        targets: multi_hot_targets(&herb_sets_slices, n_herbs),
+        herb_sets: prescriptions.iter().map(|p| p.herbs().to_vec()).collect(),
+    }
+}
+
+/// Samples BPR pairs `(batch_row, positive, negative)`: for every positive
+/// herb of every prescription, `negatives_per_pos` herbs outside the
+/// prescription's herb set, uniformly.
+pub fn sample_bpr_pairs(
+    herb_sets: &[Vec<u32>],
+    n_herbs: usize,
+    negatives_per_pos: usize,
+    rng: &mut StdRng,
+) -> Vec<(u32, u32, u32)> {
+    let mut pairs = Vec::new();
+    for (b, herbs) in herb_sets.iter().enumerate() {
+        debug_assert!(herbs.len() < n_herbs, "herb set covers whole vocabulary");
+        for &pos in herbs {
+            for _ in 0..negatives_per_pos {
+                // Rejection sampling; herb sets are tiny relative to |H|.
+                let neg = loop {
+                    let cand = rng.gen_range(0..n_herbs as u32);
+                    if herbs.binary_search(&cand).is_err() {
+                        break cand;
+                    }
+                };
+                pairs.push((b as u32, pos, neg));
+            }
+        }
+    }
+    pairs
+}
+
+/// Yields shuffled mini-batches of prescription indices for one epoch.
+pub fn epoch_batches(n: usize, batch_size: usize, rng: &mut StdRng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "epoch_batches: batch_size must be positive");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    order.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn set_pool_rows_average() {
+        let sets: Vec<&[u32]> = vec![&[0, 2], &[1]];
+        let m = set_pool_matrix(&sets, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!((m.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((m.get(0, 2) - 0.5).abs() < 1e-6);
+        assert!((m.get(1, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty symptom set")]
+    fn set_pool_rejects_empty() {
+        let sets: Vec<&[u32]> = vec![&[]];
+        let _ = set_pool_matrix(&sets, 3);
+    }
+
+    #[test]
+    fn multi_hot_marks_members() {
+        let sets: Vec<&[u32]> = vec![&[1, 3], &[0]];
+        let m = multi_hot_targets(&sets, 4);
+        assert_eq!(m.row(0), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(m.row(1), &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn batch_assembly() {
+        let p1 = Prescription::new(vec![0, 1], vec![2, 0]);
+        let p2 = Prescription::new(vec![2], vec![1]);
+        let batch = make_batch(&[&p1, &p2], 3, 3);
+        assert_eq!(batch.set_pool.shape(), (2, 3));
+        assert_eq!(batch.targets.shape(), (2, 3));
+        assert_eq!(batch.targets.row(0), &[1.0, 0.0, 1.0]);
+        assert_eq!(batch.herb_sets, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn bpr_pairs_avoid_positives() {
+        let herb_sets = vec![vec![0, 1], vec![2]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = sample_bpr_pairs(&herb_sets, 10, 2, &mut rng);
+        assert_eq!(pairs.len(), (2 + 1) * 2);
+        for &(b, pos, neg) in &pairs {
+            let set = &herb_sets[b as usize];
+            assert!(set.contains(&pos));
+            assert!(!set.contains(&neg), "negative {neg} is a positive of row {b}");
+        }
+    }
+
+    #[test]
+    fn epoch_batches_cover_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches = epoch_batches(10, 4, &mut rng);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn epoch_batches_shuffle_deterministically() {
+        let a = epoch_batches(20, 5, &mut StdRng::seed_from_u64(1));
+        let b = epoch_batches(20, 5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let c = epoch_batches(20, 5, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,174 @@
+//! Synergy Graph Encoding (§IV-B).
+//!
+//! A one-layer GCN with **sum** aggregation over the thresholded synergy
+//! graphs (Eq. 10):
+//!
+//! ```text
+//! r_s = tanh( Σ_{k ∈ N_s^SS} e_k · V_s )
+//! r_h = tanh( Σ_{q ∈ N_h^HH} e_q · V_h )
+//! ```
+//!
+//! The paper chooses the sum (not mean) aggregator deliberately: the
+//! synergy graphs are much sparser than the bipartite graph, and summing
+//! keeps the two fused signals on comparable scales (§IV-B-2). Inputs are
+//! the *initial* embedding tables `e`, shared with Bipar-GCN.
+
+use rand::rngs::StdRng;
+use smgcn_graph::GraphOperators;
+use smgcn_tensor::init::xavier_uniform;
+use smgcn_tensor::{ParamId, ParamStore, SharedCsr, Tape, Var};
+
+/// The SGE component: synergy operators plus `V_s` / `V_h`.
+pub struct SynergyGraphEncoding {
+    /// Initial symptom embeddings (shared with Bipar-GCN).
+    e_s: ParamId,
+    /// Initial herb embeddings (shared with Bipar-GCN).
+    e_h: ParamId,
+    /// `V_s`: `d_0 x d_out`.
+    v_s: ParamId,
+    /// `V_h`: `d_0 x d_out`.
+    v_h: ParamId,
+    ss_sum: SharedCsr,
+    hh_sum: SharedCsr,
+    output_dim: usize,
+}
+
+impl SynergyGraphEncoding {
+    /// Registers `V_s`/`V_h` and captures the synergy operators. The
+    /// embedding tables are shared with the Bipar-GCN component, so their
+    /// ids are taken, not re-created.
+    pub fn init(
+        store: &mut ParamStore,
+        ops: &GraphOperators,
+        e_s: ParamId,
+        e_h: ParamId,
+        embedding_dim: usize,
+        output_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let v_s = store.add("sge.v_s", xavier_uniform(embedding_dim, output_dim, rng));
+        let v_h = store.add("sge.v_h", xavier_uniform(embedding_dim, output_dim, rng));
+        Self {
+            e_s,
+            e_h,
+            v_s,
+            v_h,
+            ss_sum: ops.ss_sum.clone(),
+            hh_sum: ops.hh_sum.clone(),
+            output_dim,
+        }
+    }
+
+    /// Output dimension (matches Bipar-GCN's final layer for Eq. 11 fusion).
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Computes `(r_s, r_h)` per Eq. 10.
+    pub fn encode(&self, tape: &mut Tape<'_>) -> (Var, Var) {
+        let e_s = tape.param(self.e_s);
+        let e_h = tape.param(self.e_h);
+        // Sum aggregation: the raw 0/1 synergy adjacency, no normalisation.
+        let agg_s = tape.spmm(&self.ss_sum, e_s);
+        let v_s = tape.param(self.v_s);
+        let lin_s = tape.matmul(agg_s, v_s);
+        let r_s = tape.tanh(lin_s);
+        let agg_h = tape.spmm(&self.hh_sum, e_h);
+        let v_h = tape.param(self.v_h);
+        let lin_h = tape.matmul(agg_h, v_h);
+        let r_h = tape.tanh(lin_h);
+        (r_s, r_h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smgcn_graph::SynergyThresholds;
+    use smgcn_tensor::init::seeded_rng;
+    use smgcn_tensor::Matrix;
+
+    fn toy_ops() -> GraphOperators {
+        let records: Vec<(Vec<u32>, Vec<u32>)> = vec![
+            (vec![0, 1], vec![0, 1]),
+            (vec![0, 1], vec![0, 1]),
+            (vec![2], vec![2, 3]),
+        ];
+        GraphOperators::from_records(
+            records.iter().map(|(s, h)| (s.as_slice(), h.as_slice())),
+            3,
+            4,
+            SynergyThresholds { x_s: 0, x_h: 0 },
+        )
+    }
+
+    fn build() -> (ParamStore, SynergyGraphEncoding) {
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let mut rng = seeded_rng(1);
+        let e_s = store.add("e_s", xavier_uniform(3, 8, &mut rng));
+        let e_h = store.add("e_h", xavier_uniform(4, 8, &mut rng));
+        let sge = SynergyGraphEncoding::init(&mut store, &ops, e_s, e_h, 8, 16, &mut rng);
+        (store, sge)
+    }
+
+    #[test]
+    fn output_shapes() {
+        let (store, sge) = build();
+        let mut tape = Tape::new(&store);
+        let (r_s, r_h) = sge.encode(&mut tape);
+        assert_eq!(tape.value(r_s).shape(), (3, 16));
+        assert_eq!(tape.value(r_h).shape(), (4, 16));
+        assert_eq!(sge.output_dim(), 16);
+    }
+
+    #[test]
+    fn isolated_nodes_get_zero_encoding() {
+        // Symptom 2 has no SS edges (it never co-occurs with another
+        // symptom): sum aggregation yields a zero row, tanh(0 @ V) = 0.
+        let (store, sge) = build();
+        let mut tape = Tape::new(&store);
+        let (r_s, _) = sge.encode(&mut tape);
+        assert!(tape.value(r_s).row(2).iter().all(|&v| v == 0.0));
+        // Connected symptom 0 is non-zero.
+        assert!(tape.value(r_s).row(0).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gradients_reach_shared_embeddings_and_v() {
+        let (store, sge) = build();
+        let mut tape = Tape::new(&store);
+        let (r_s, r_h) = sge.encode(&mut tape);
+        let gathered = tape.gather_rows(r_h, std::sync::Arc::new(vec![0, 1, 2]));
+        let merged = tape.add(r_s, gathered);
+        let loss = tape.sum_squares(merged);
+        let grads = tape.backward(loss);
+        // e_s, e_h, v_s, v_h all participate... except embeddings of nodes
+        // with no synergy edges still receive zero gradient rows (but the
+        // tensors themselves are present).
+        assert_eq!(grads.present_count(), 4);
+    }
+
+    #[test]
+    fn sum_aggregation_scales_with_degree() {
+        // Duplicate a neighbor edge structure: node with two neighbors gets
+        // the sum, not the mean. Verify by comparing against a manual
+        // computation on a fixed store.
+        let ops = toy_ops();
+        let mut store = ParamStore::new();
+        let e_s = store.add("e_s", Matrix::filled(3, 2, 1.0));
+        let e_h = store.add("e_h", Matrix::filled(4, 2, 1.0));
+        let mut rng = seeded_rng(2);
+        let sge = SynergyGraphEncoding::init(&mut store, &ops, e_s, e_h, 2, 2, &mut rng);
+        // Overwrite V_h with identity to observe raw sums.
+        let v_h_id = store.iter().find(|(_, n, _)| *n == "sge.v_h").unwrap().0;
+        *store.get_mut(v_h_id) = Matrix::identity(2);
+        let mut tape = Tape::new(&store);
+        let (_, r_h) = sge.encode(&mut tape);
+        // Herb 0 and 1 co-occur twice; herbs 2,3 once. With threshold 0 all
+        // pairs are edges. Herb 0 has exactly one HH neighbor (herb 1), so
+        // its pre-activation sum is [1, 1] -> tanh(1).
+        let expect = 1.0f32.tanh();
+        assert!((tape.value(r_h).get(0, 0) - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,206 @@
+//! The model zoo: one constructor per Table IV / Table V row.
+//!
+//! Alignment follows the paper's protocol exactly (§V-E-1): GC-MC, PinSage
+//! and NGCF are "modified by adding the SI part and employing multi-label
+//! loss"; HeteGCN "utilizes multi-label loss but without SI" (it mean-pools
+//! the symptom set); SMGCN and its ablations come from
+//! [`crate::config::ModelConfig`] toggles.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smgcn_graph::GraphOperators;
+use smgcn_tensor::ParamStore;
+
+use crate::baselines::{GcMc, HeteGcn, Ngcf, PinSage};
+use crate::config::ModelConfig;
+use crate::model::Recommender;
+
+/// Every neural model evaluated in the paper's Tables IV and V.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Full SMGCN (Bipar-GCN + SGE + SI).
+    Smgcn,
+    /// Ablation: Bipar-GCN only (mean-pool syndrome induction).
+    BiparGcn,
+    /// Ablation: Bipar-GCN + SGE.
+    BiparGcnSge,
+    /// Ablation: Bipar-GCN + SI.
+    BiparGcnSi,
+    /// GC-MC baseline (+SI, multi-label).
+    GcMc,
+    /// PinSage baseline (+SI, multi-label).
+    PinSage,
+    /// NGCF baseline (+SI, multi-label).
+    Ngcf,
+    /// HeteGCN baseline (multi-label, mean-pool SI).
+    HeteGcn,
+}
+
+impl ModelKind {
+    /// The Table IV comparison set (neural models; HC-KGETM lives in
+    /// `smgcn-topics`).
+    pub fn table_iv() -> [ModelKind; 5] {
+        [Self::GcMc, Self::PinSage, Self::Ngcf, Self::HeteGcn, Self::Smgcn]
+    }
+
+    /// The Table V ablation set.
+    pub fn table_v() -> [ModelKind; 5] {
+        [Self::PinSage, Self::BiparGcn, Self::BiparGcnSge, Self::BiparGcnSi, Self::Smgcn]
+    }
+
+    /// Paper row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Smgcn => "SMGCN",
+            Self::BiparGcn => "Bipar-GCN",
+            Self::BiparGcnSge => "Bipar-GCN w/ SGE",
+            Self::BiparGcnSi => "Bipar-GCN w/ SI",
+            Self::GcMc => "GC-MC",
+            Self::PinSage => "PinSage",
+            Self::Ngcf => "NGCF",
+            Self::HeteGcn => "HeteGCN",
+        }
+    }
+}
+
+/// Builds a ready-to-train recommender of the requested kind.
+///
+/// `base` supplies the dimension scheme: SMGCN variants use it verbatim;
+/// GC-MC/PinSage/NGCF use `base.embedding_dim` as both embedding and hidden
+/// size (§V-D: "the embedding size and the latent dimension are both set to
+/// 64"); HeteGCN uses `base.layer_dims[0]` as its hidden width (paper: 128).
+pub fn build_model(
+    kind: ModelKind,
+    ops: &GraphOperators,
+    base: &ModelConfig,
+    seed: u64,
+) -> Recommender {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match kind {
+        ModelKind::Smgcn => Recommender::smgcn(ops, base, seed),
+        ModelKind::BiparGcn => {
+            let cfg = ModelConfig { use_sge: false, use_si_mlp: false, ..base.clone() };
+            Recommender::smgcn(ops, &cfg, seed)
+        }
+        ModelKind::BiparGcnSge => {
+            let cfg = ModelConfig { use_sge: true, use_si_mlp: false, ..base.clone() };
+            Recommender::smgcn(ops, &cfg, seed)
+        }
+        ModelKind::BiparGcnSi => {
+            let cfg = ModelConfig { use_sge: false, use_si_mlp: true, ..base.clone() };
+            Recommender::smgcn(ops, &cfg, seed)
+        }
+        ModelKind::GcMc => {
+            let mut store = ParamStore::new();
+            let emb = GcMc::init(&mut store, ops, base.embedding_dim, &mut rng);
+            Recommender::assemble(
+                store,
+                Box::new(emb),
+                ops,
+                true,
+                base.dropout,
+                "GC-MC",
+                &mut rng,
+            )
+        }
+        ModelKind::PinSage => {
+            let mut store = ParamStore::new();
+            let emb = PinSage::init(&mut store, ops, base.embedding_dim, 2, &mut rng);
+            Recommender::assemble(
+                store,
+                Box::new(emb),
+                ops,
+                true,
+                base.dropout,
+                "PinSage",
+                &mut rng,
+            )
+        }
+        ModelKind::Ngcf => {
+            let mut store = ParamStore::new();
+            let emb = Ngcf::init(&mut store, ops, base.embedding_dim, 2, &mut rng);
+            Recommender::assemble(
+                store,
+                Box::new(emb),
+                ops,
+                true,
+                base.dropout,
+                "NGCF",
+                &mut rng,
+            )
+        }
+        ModelKind::HeteGcn => {
+            let mut store = ParamStore::new();
+            let hidden = base.layer_dims.first().copied().unwrap_or(128);
+            let emb = HeteGcn::init(&mut store, ops, base.embedding_dim, hidden, &mut rng);
+            // Paper: HeteGCN mean-pools the symptom set (no SI MLP).
+            Recommender::assemble(
+                store,
+                Box::new(emb),
+                ops,
+                false,
+                base.dropout,
+                "HeteGCN",
+                &mut rng,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::test_support::toy_ops;
+
+    fn base() -> ModelConfig {
+        ModelConfig {
+            embedding_dim: 8,
+            layer_dims: vec![8, 12],
+            dropout: 0.0,
+            use_sge: true,
+            use_si_mlp: true,
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_and_predicts() {
+        let ops = toy_ops();
+        for kind in [
+            ModelKind::Smgcn,
+            ModelKind::BiparGcn,
+            ModelKind::BiparGcnSge,
+            ModelKind::BiparGcnSi,
+            ModelKind::GcMc,
+            ModelKind::PinSage,
+            ModelKind::Ngcf,
+            ModelKind::HeteGcn,
+        ] {
+            let model = build_model(kind, &ops, &base(), 5);
+            assert_eq!(model.name(), kind.label(), "{kind:?}");
+            let scores = model.predict(&[&[0, 1]]);
+            assert_eq!(scores.shape(), (1, 4), "{kind:?}");
+            assert!(scores.all_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn table_sets_match_paper_rows() {
+        let labels: Vec<&str> = ModelKind::table_iv().iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["GC-MC", "PinSage", "NGCF", "HeteGCN", "SMGCN"]);
+        let ablation: Vec<&str> = ModelKind::table_v().iter().map(|k| k.label()).collect();
+        assert_eq!(
+            ablation,
+            vec!["PinSage", "Bipar-GCN", "Bipar-GCN w/ SGE", "Bipar-GCN w/ SI", "SMGCN"]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_model() {
+        let ops = toy_ops();
+        let a = build_model(ModelKind::Smgcn, &ops, &base(), 9);
+        let b = build_model(ModelKind::Smgcn, &ops, &base(), 9);
+        let sets: Vec<&[u32]> = vec![&[0, 2]];
+        assert!(a.predict(&sets).approx_eq(&b.predict(&sets), 0.0));
+    }
+}

@@ -1,0 +1,160 @@
+//! A prescription corpus: the named vocabularies plus every prescription.
+
+use serde::{Deserialize, Serialize};
+
+use crate::prescription::Prescription;
+use crate::vocab::Vocabulary;
+
+/// A full corpus: symptom/herb vocabularies and prescriptions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Corpus {
+    symptom_vocab: Vocabulary,
+    herb_vocab: Vocabulary,
+    prescriptions: Vec<Prescription>,
+}
+
+impl Corpus {
+    /// Assembles a corpus.
+    ///
+    /// # Panics
+    /// Panics if any prescription references ids outside the vocabularies.
+    pub fn new(
+        symptom_vocab: Vocabulary,
+        herb_vocab: Vocabulary,
+        prescriptions: Vec<Prescription>,
+    ) -> Self {
+        for (i, p) in prescriptions.iter().enumerate() {
+            if let Some(&s) = p.symptoms().last() {
+                assert!(
+                    (s as usize) < symptom_vocab.len(),
+                    "Corpus: prescription {i} references symptom {s} outside vocabulary of {}",
+                    symptom_vocab.len()
+                );
+            }
+            if let Some(&h) = p.herbs().last() {
+                assert!(
+                    (h as usize) < herb_vocab.len(),
+                    "Corpus: prescription {i} references herb {h} outside vocabulary of {}",
+                    herb_vocab.len()
+                );
+            }
+        }
+        Self { symptom_vocab, herb_vocab, prescriptions }
+    }
+
+    /// Number of prescriptions.
+    pub fn len(&self) -> usize {
+        self.prescriptions.len()
+    }
+
+    /// True when the corpus holds no prescriptions.
+    pub fn is_empty(&self) -> bool {
+        self.prescriptions.is_empty()
+    }
+
+    /// Symptom vocabulary size `|S|`.
+    pub fn n_symptoms(&self) -> usize {
+        self.symptom_vocab.len()
+    }
+
+    /// Herb vocabulary size `|H|`.
+    pub fn n_herbs(&self) -> usize {
+        self.herb_vocab.len()
+    }
+
+    /// The symptom vocabulary.
+    pub fn symptom_vocab(&self) -> &Vocabulary {
+        &self.symptom_vocab
+    }
+
+    /// The herb vocabulary.
+    pub fn herb_vocab(&self) -> &Vocabulary {
+        &self.herb_vocab
+    }
+
+    /// All prescriptions.
+    pub fn prescriptions(&self) -> &[Prescription] {
+        &self.prescriptions
+    }
+
+    /// `(sc, hc)` record views, the shape `smgcn-graph` builders accept.
+    pub fn records(&self) -> impl Iterator<Item = (&[u32], &[u32])> + Clone {
+        self.prescriptions.iter().map(Prescription::as_record)
+    }
+
+    /// Builds a sub-corpus from a subset of prescription indices (shares
+    /// the vocabularies).
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn subset(&self, indices: &[usize]) -> Corpus {
+        let prescriptions = indices.iter().map(|&i| self.prescriptions[i].clone()).collect();
+        Corpus {
+            symptom_vocab: self.symptom_vocab.clone(),
+            herb_vocab: self.herb_vocab.clone(),
+            prescriptions,
+        }
+    }
+
+    /// Renders a prescription with names, for case studies (Fig. 10).
+    pub fn describe(&self, p: &Prescription) -> String {
+        let symptoms: Vec<&str> =
+            p.symptoms().iter().map(|&s| self.symptom_vocab.name(s)).collect();
+        let herbs: Vec<&str> = p.herbs().iter().map(|&h| self.herb_vocab.name(h)).collect();
+        format!("symptoms: {} | herbs: {}", symptoms.join(", "), herbs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::Vocabulary;
+
+    fn small_corpus() -> Corpus {
+        Corpus::new(
+            Vocabulary::from_names(["s0", "s1", "s2"]),
+            Vocabulary::from_names(["h0", "h1"]),
+            vec![
+                Prescription::new(vec![0, 1], vec![0]),
+                Prescription::new(vec![2], vec![0, 1]),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let c = small_corpus();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.n_symptoms(), 3);
+        assert_eq!(c.n_herbs(), 2);
+        let records: Vec<_> = c.records().collect();
+        assert_eq!(records[0].0, &[0, 1]);
+        assert_eq!(records[1].1, &[0, 1]);
+    }
+
+    #[test]
+    fn subset_selects() {
+        let c = small_corpus();
+        let sub = c.subset(&[1]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.prescriptions()[0].symptoms(), &[2]);
+        assert_eq!(sub.n_symptoms(), 3, "vocabulary is shared");
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let c = small_corpus();
+        let d = c.describe(&c.prescriptions()[0]);
+        assert_eq!(d, "symptoms: s0, s1 | herbs: h0");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn rejects_out_of_vocab() {
+        let _ = Corpus::new(
+            Vocabulary::from_names(["s0"]),
+            Vocabulary::from_names(["h0"]),
+            vec![Prescription::new(vec![3], vec![0])],
+        );
+    }
+}

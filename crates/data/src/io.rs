@@ -1,0 +1,223 @@
+//! Plain-text corpus serialisation.
+//!
+//! The format mirrors the paper's Fig. 6 prescription records: one
+//! prescription per line, symptom ids space-separated, a tab, then herb ids
+//! space-separated. Two header lines carry the vocabularies (name per id,
+//! tab-separated) so a file round-trips the whole corpus:
+//!
+//! ```text
+//! #symptoms<TAB>name0<TAB>name1<TAB>...
+//! #herbs<TAB>name0<TAB>name1<TAB>...
+//! 0 4 17<TAB>3 9 12 40
+//! ...
+//! ```
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::corpus::Corpus;
+use crate::prescription::Prescription;
+use crate::vocab::Vocabulary;
+
+/// Errors from corpus IO.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structural problem in the file, with a line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Writes a corpus to a writer in the Fig. 6-style text format.
+pub fn write_corpus(corpus: &Corpus, w: impl Write) -> Result<(), IoError> {
+    let mut w = BufWriter::new(w);
+    write!(w, "#symptoms")?;
+    for (_, name) in corpus.symptom_vocab().iter() {
+        write!(w, "\t{name}")?;
+    }
+    writeln!(w)?;
+    write!(w, "#herbs")?;
+    for (_, name) in corpus.herb_vocab().iter() {
+        write!(w, "\t{name}")?;
+    }
+    writeln!(w)?;
+    for p in corpus.prescriptions() {
+        let symptoms: Vec<String> = p.symptoms().iter().map(u32::to_string).collect();
+        let herbs: Vec<String> = p.herbs().iter().map(u32::to_string).collect();
+        writeln!(w, "{}\t{}", symptoms.join(" "), herbs.join(" "))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a corpus to a file path.
+pub fn save_corpus(corpus: &Corpus, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_corpus(corpus, file)
+}
+
+fn parse_vocab_line(line: &str, tag: &str, line_no: usize) -> Result<Vocabulary, IoError> {
+    let mut parts = line.split('\t');
+    let head = parts.next().unwrap_or_default();
+    if head != tag {
+        return Err(IoError::Parse {
+            line: line_no,
+            message: format!("expected header {tag:?}, found {head:?}"),
+        });
+    }
+    let mut vocab = Vocabulary::new();
+    for name in parts {
+        vocab.add(name);
+    }
+    vocab.rebuild_index();
+    Ok(vocab)
+}
+
+fn parse_id_list(text: &str, line_no: usize) -> Result<Vec<u32>, IoError> {
+    text.split_whitespace()
+        .map(|tok| {
+            tok.parse::<u32>().map_err(|e| IoError::Parse {
+                line: line_no,
+                message: format!("bad id {tok:?}: {e}"),
+            })
+        })
+        .collect()
+}
+
+/// Reads a corpus from a reader.
+pub fn read_corpus(r: impl BufRead) -> Result<Corpus, IoError> {
+    let mut lines = r.lines().enumerate();
+    let (n0, first) = lines
+        .next()
+        .ok_or(IoError::Parse { line: 1, message: "missing symptom header".into() })?;
+    let symptom_vocab = parse_vocab_line(&first?, "#symptoms", n0 + 1)?;
+    let (n1, second) = lines
+        .next()
+        .ok_or(IoError::Parse { line: 2, message: "missing herb header".into() })?;
+    let herb_vocab = parse_vocab_line(&second?, "#herbs", n1 + 1)?;
+
+    let mut prescriptions = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let line_no = i + 1;
+        let (sym_text, herb_text) = line.split_once('\t').ok_or_else(|| IoError::Parse {
+            line: line_no,
+            message: "missing tab between symptom and herb ids".into(),
+        })?;
+        let symptoms = parse_id_list(sym_text, line_no)?;
+        let herbs = parse_id_list(herb_text, line_no)?;
+        if symptoms.is_empty() || herbs.is_empty() {
+            return Err(IoError::Parse {
+                line: line_no,
+                message: "prescription must have both symptoms and herbs".into(),
+            });
+        }
+        for &s in &symptoms {
+            if s as usize >= symptom_vocab.len() {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: format!("symptom id {s} outside vocabulary"),
+                });
+            }
+        }
+        for &h in &herbs {
+            if h as usize >= herb_vocab.len() {
+                return Err(IoError::Parse {
+                    line: line_no,
+                    message: format!("herb id {h} outside vocabulary"),
+                });
+            }
+        }
+        prescriptions.push(Prescription::new(symptoms, herbs));
+    }
+    Ok(Corpus::new(symptom_vocab, herb_vocab, prescriptions))
+}
+
+/// Loads a corpus from a file path.
+pub fn load_corpus(path: impl AsRef<Path>) -> Result<Corpus, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_corpus(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SyndromeModel};
+
+    #[test]
+    fn round_trip_preserves_corpus() {
+        let corpus = SyndromeModel::new(GeneratorConfig::tiny_scale()).generate();
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let loaded = read_corpus(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(loaded.prescriptions(), corpus.prescriptions());
+        assert_eq!(loaded.n_symptoms(), corpus.n_symptoms());
+        assert_eq!(loaded.herb_vocab().name(0), corpus.herb_vocab().name(0));
+        assert_eq!(loaded.symptom_vocab().id(corpus.symptom_vocab().name(3)), Some(3));
+    }
+
+    #[test]
+    fn rejects_missing_tab() {
+        let text = "#symptoms\ta\tb\n#herbs\tx\ty\n0 1 0 1\n";
+        let err = read_corpus(std::io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let text = "#wrong\ta\n#herbs\tx\n";
+        let err = read_corpus(std::io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("expected header"));
+    }
+
+    #[test]
+    fn rejects_out_of_vocab_id() {
+        let text = "#symptoms\ta\n#herbs\tx\n5\t0\n";
+        let err = read_corpus(std::io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("outside vocabulary"));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "#symptoms\ta\tb\n#herbs\tx\ty\n0\t1\n\n1\t0\n";
+        let corpus = read_corpus(std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(corpus.len(), 2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let corpus = SyndromeModel::new(GeneratorConfig::tiny_scale()).generate();
+        let dir = std::env::temp_dir().join("smgcn_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.tsv");
+        save_corpus(&corpus, &path).unwrap();
+        let loaded = load_corpus(&path).unwrap();
+        assert_eq!(loaded.prescriptions(), corpus.prescriptions());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Train/test splitting.
+//!
+//! The paper uses a fixed 22,917 / 3,443 split of the 26,360 prescriptions
+//! (Table II). We reproduce it with a seeded shuffle so the same corpus and
+//! seed always give the same partition.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::corpus::Corpus;
+
+/// A train/test partition of a corpus (vocabularies shared).
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training prescriptions.
+    pub train: Corpus,
+    /// Held-out test prescriptions.
+    pub test: Corpus,
+}
+
+/// Splits off exactly `test_size` prescriptions after a seeded shuffle.
+///
+/// # Panics
+/// Panics if `test_size >= corpus.len()`.
+pub fn train_test_split(corpus: &Corpus, test_size: usize, seed: u64) -> Split {
+    assert!(
+        test_size < corpus.len(),
+        "train_test_split: test size {} must leave at least one training prescription of {}",
+        test_size,
+        corpus.len()
+    );
+    let mut indices: Vec<usize> = (0..corpus.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let (test_idx, train_idx) = indices.split_at(test_size);
+    Split { train: corpus.subset(train_idx), test: corpus.subset(test_idx) }
+}
+
+/// Splits off a fraction (rounded down) as the test set.
+///
+/// # Panics
+/// Panics unless `0 < fraction < 1`.
+pub fn train_test_split_fraction(corpus: &Corpus, fraction: f64, seed: u64) -> Split {
+    assert!(
+        fraction > 0.0 && fraction < 1.0,
+        "train_test_split_fraction: fraction must be in (0, 1), got {fraction}"
+    );
+    let test_size = ((corpus.len() as f64) * fraction) as usize;
+    train_test_split(corpus, test_size.max(1), seed)
+}
+
+/// The paper's test-set proportion: 3,443 of 26,360 prescriptions.
+pub const PAPER_TEST_FRACTION: f64 = 3_443.0 / 26_360.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SyndromeModel};
+
+    fn corpus() -> Corpus {
+        SyndromeModel::new(GeneratorConfig::tiny_scale()).generate()
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let c = corpus();
+        let split = train_test_split(&c, 50, 1);
+        assert_eq!(split.test.len(), 50);
+        assert_eq!(split.train.len(), c.len() - 50);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let c = corpus();
+        let a = train_test_split(&c, 40, 9);
+        let b = train_test_split(&c, 40, 9);
+        assert_eq!(a.test.prescriptions(), b.test.prescriptions());
+        let other = train_test_split(&c, 40, 10);
+        assert_ne!(a.test.prescriptions(), other.test.prescriptions());
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_exhaustive() {
+        let c = corpus();
+        let split = train_test_split(&c, 60, 3);
+        let mut all: Vec<_> = split.train.prescriptions().to_vec();
+        all.extend_from_slice(split.test.prescriptions());
+        let mut original = c.prescriptions().to_vec();
+        all.sort_by(|a, b| (a.symptoms(), a.herbs()).cmp(&(b.symptoms(), b.herbs())));
+        original.sort_by(|a, b| (a.symptoms(), a.herbs()).cmp(&(b.symptoms(), b.herbs())));
+        assert_eq!(all, original);
+    }
+
+    #[test]
+    fn fraction_split_matches_paper_ratio() {
+        let c = corpus();
+        let split = train_test_split_fraction(&c, PAPER_TEST_FRACTION, 7);
+        let frac = split.test.len() as f64 / c.len() as f64;
+        assert!((frac - PAPER_TEST_FRACTION).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must leave at least one")]
+    fn rejects_oversized_test() {
+        let c = corpus();
+        let _ = train_test_split(&c, c.len(), 1);
+    }
+}

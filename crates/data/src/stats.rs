@@ -1,0 +1,144 @@
+//! Corpus statistics: Table II, Fig. 5, and the Eq. 15 loss weights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+
+/// Table II-style corpus statistics.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of prescriptions.
+    pub n_prescriptions: usize,
+    /// Distinct symptoms actually appearing.
+    pub n_symptoms_used: usize,
+    /// Distinct herbs actually appearing.
+    pub n_herbs_used: usize,
+    /// Mean symptom-set size.
+    pub mean_symptoms_per_rx: f64,
+    /// Mean herb-set size.
+    pub mean_herbs_per_rx: f64,
+}
+
+/// Computes Table II-style statistics for a corpus (or a split of one).
+pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
+    let mut seen_s = vec![false; corpus.n_symptoms()];
+    let mut seen_h = vec![false; corpus.n_herbs()];
+    let mut sym_total = 0usize;
+    let mut herb_total = 0usize;
+    for p in corpus.prescriptions() {
+        sym_total += p.symptoms().len();
+        herb_total += p.herbs().len();
+        for &s in p.symptoms() {
+            seen_s[s as usize] = true;
+        }
+        for &h in p.herbs() {
+            seen_h[h as usize] = true;
+        }
+    }
+    let n = corpus.len().max(1) as f64;
+    CorpusStats {
+        n_prescriptions: corpus.len(),
+        n_symptoms_used: seen_s.iter().filter(|&&b| b).count(),
+        n_herbs_used: seen_h.iter().filter(|&&b| b).count(),
+        mean_symptoms_per_rx: sym_total as f64 / n,
+        mean_herbs_per_rx: herb_total as f64 / n,
+    }
+}
+
+/// Per-herb occurrence counts (`freq(i)` in Eq. 15).
+pub fn herb_frequencies(corpus: &Corpus) -> Vec<u32> {
+    let mut freq = vec![0u32; corpus.n_herbs()];
+    for p in corpus.prescriptions() {
+        for &h in p.herbs() {
+            freq[h as usize] += 1;
+        }
+    }
+    freq
+}
+
+/// Per-symptom occurrence counts.
+pub fn symptom_frequencies(corpus: &Corpus) -> Vec<u32> {
+    let mut freq = vec![0u32; corpus.n_symptoms()];
+    for p in corpus.prescriptions() {
+        for &s in p.symptoms() {
+            freq[s as usize] += 1;
+        }
+    }
+    freq
+}
+
+/// `(herb_id, count)` for the `k` most frequent herbs, descending —
+/// the series plotted in Fig. 5.
+pub fn top_herbs(corpus: &Corpus, k: usize) -> Vec<(u32, u32)> {
+    let freq = herb_frequencies(corpus);
+    let mut pairs: Vec<(u32, u32)> =
+        freq.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
+    pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pairs.truncate(k);
+    pairs
+}
+
+/// The Eq. 15 label weights: `w_i = max_k freq(k) / freq(i)`.
+///
+/// Herbs that never occur in the training corpus are given the maximum
+/// weight (they behave like frequency-1 herbs); if the corpus is empty all
+/// weights are 1.
+pub fn herb_loss_weights(frequencies: &[u32]) -> Vec<f32> {
+    let max = frequencies.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return vec![1.0; frequencies.len()];
+    }
+    frequencies.iter().map(|&f| max as f32 / f.max(1) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prescription::Prescription;
+    use crate::vocab::Vocabulary;
+
+    fn corpus() -> Corpus {
+        Corpus::new(
+            Vocabulary::from_names(["s0", "s1", "s2"]),
+            Vocabulary::from_names(["h0", "h1", "h2", "h3"]),
+            vec![
+                Prescription::new(vec![0, 1], vec![0, 1]),
+                Prescription::new(vec![0], vec![0, 2]),
+                Prescription::new(vec![1], vec![0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_match_hand_count() {
+        let s = corpus_stats(&corpus());
+        assert_eq!(s.n_prescriptions, 3);
+        assert_eq!(s.n_symptoms_used, 2); // s2 never appears
+        assert_eq!(s.n_herbs_used, 3); // h3 never appears
+        assert!((s.mean_symptoms_per_rx - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_herbs_per_rx - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_and_top() {
+        let c = corpus();
+        assert_eq!(herb_frequencies(&c), vec![3, 1, 1, 0]);
+        assert_eq!(symptom_frequencies(&c), vec![2, 2, 0]);
+        let top = top_herbs(&c, 2);
+        assert_eq!(top, vec![(0, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn loss_weights_follow_eq_15() {
+        let w = herb_loss_weights(&[3, 1, 1, 0]);
+        assert_eq!(w, vec![1.0, 3.0, 3.0, 3.0]);
+        // More frequent ⇒ lower weight, exactly inverse-proportional.
+        assert!(w[0] < w[1]);
+    }
+
+    #[test]
+    fn loss_weights_degenerate_cases() {
+        assert_eq!(herb_loss_weights(&[]), Vec::<f32>::new());
+        assert_eq!(herb_loss_weights(&[0, 0]), vec![1.0, 1.0]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Vocabularies mapping entity ids to human-readable names.
+//!
+//! The benchmark corpus is synthetic (see `generator`), but the case-study
+//! reproduction (Fig. 10) needs recognisable entities, so the default
+//! vocabularies seed real pinyin TCM names — symptoms like `daohan` (night
+//! sweat) and herbs like `renshen` (ginseng) from the paper's Guipi
+//! Decoction example — before falling back to systematic synthetic names.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A bidirectional id ↔ name mapping.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a name list.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn from_names(names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let mut v = Self::new();
+        for n in names {
+            v.add(n);
+        }
+        v
+    }
+
+    /// Adds a name, returning its id.
+    ///
+    /// # Panics
+    /// Panics if the name already exists.
+    pub fn add(&mut self, name: impl Into<String>) -> u32 {
+        let name = name.into();
+        let id = self.names.len() as u32;
+        let prev = self.index.insert(name.clone(), id);
+        assert!(prev.is_none(), "Vocabulary: duplicate name {name:?}");
+        self.names.push(name);
+        id
+    }
+
+    /// Name for an id.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Id for a name, if present.
+    pub fn id(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+    }
+
+    /// Rebuilds the reverse index (needed after deserialisation, which
+    /// skips the map).
+    pub fn rebuild_index(&mut self) {
+        self.index =
+            self.names.iter().enumerate().map(|(i, n)| (n.clone(), i as u32)).collect();
+    }
+}
+
+/// Common TCM symptom names (pinyin), used to seed readable vocabularies.
+/// Starts with the four symptoms of the paper's Fig. 1 Guipi example.
+pub const SYMPTOM_SEED_NAMES: &[&str] = &[
+    "daohan (night sweat)",
+    "shedan (pale tongue)",
+    "maixiruo (small weak pulse)",
+    "jianwang (amnesia)",
+    "touteng (headache)",
+    "fare (fever)",
+    "wuhan (aversion to cold)",
+    "kesou (cough)",
+    "exin (nausea)",
+    "outu (vomiting)",
+    "fuzhang (abdominal distension)",
+    "xiexie (diarrhea)",
+    "bianmi (constipation)",
+    "xinji (palpitation)",
+    "shimian (insomnia)",
+    "duomeng (dream-disturbed sleep)",
+    "touyun (dizziness)",
+    "erming (tinnitus)",
+    "yaosuan (aching loins)",
+    "xifa (weak knees)",
+    "naluan (restlessness)",
+    "kouke (thirst)",
+    "kougan (dry mouth)",
+    "yanhong (red eyes)",
+    "shetai-huang (yellow coating)",
+    "shetai-bai (white coating)",
+    "maihong (surging pulse)",
+    "maichen (deep pulse)",
+    "maishu (rapid pulse)",
+    "maichi (slow pulse)",
+    "zihan (spontaneous sweating)",
+    "qiduan (shortness of breath)",
+    "fali (fatigue)",
+    "shiyu-busi (poor appetite)",
+    "weihan (stomach cold)",
+    "xiongmen (chest oppression)",
+    "xieteng (hypochondriac pain)",
+    "shoufa-re (feverish palms)",
+    "mianse-cangbai (pale complexion)",
+    "shuizhong (edema)",
+];
+
+/// Common TCM herb names (pinyin), seeded with the Guipi Decoction herbs of
+/// the paper's Fig. 1 and other frequent materia medica.
+pub const HERB_SEED_NAMES: &[&str] = &[
+    "renshen (ginseng)",
+    "longyanrou (longan aril)",
+    "danggui (angelica sinensis)",
+    "fuling (tuckahoe)",
+    "gancao (licorice)",
+    "baizhu (atractylodes)",
+    "huangqi (astragalus)",
+    "chenpi (tangerine peel)",
+    "banxia (pinellia)",
+    "shengjiang (fresh ginger)",
+    "dazao (jujube)",
+    "guizhi (cinnamon twig)",
+    "baishao (white peony)",
+    "chaihu (bupleurum)",
+    "huanglian (coptis)",
+    "huangqin (scutellaria)",
+    "zhizi (gardenia)",
+    "shudihuang (rehmannia)",
+    "shanyao (chinese yam)",
+    "shanzhuyu (cornus)",
+    "mudanpi (moutan bark)",
+    "zexie (alisma)",
+    "chuanxiong (ligusticum)",
+    "honghua (safflower)",
+    "taoren (peach kernel)",
+    "xingren (apricot kernel)",
+    "jiegeng (platycodon)",
+    "zhimu (anemarrhena)",
+    "shigao (gypsum)",
+    "mahuang (ephedra)",
+    "guiban (tortoise shell)",
+    "suanzaoren (sour jujube seed)",
+    "yuanzhi (polygala)",
+    "muxiang (costus)",
+    "sharen (amomum)",
+    "houpo (magnolia bark)",
+    "zhishi (immature bitter orange)",
+    "dahuang (rhubarb)",
+    "mangxiao (mirabilite)",
+    "fuzi (aconite)",
+    "rougui (cinnamon bark)",
+    "ganjiang (dried ginger)",
+    "wuweizi (schisandra)",
+    "maidong (ophiopogon)",
+    "tianma (gastrodia)",
+    "gouteng (uncaria)",
+    "juhua (chrysanthemum)",
+    "jinyinhua (honeysuckle)",
+    "lianqiao (forsythia)",
+    "bohe (mint)",
+    "jingjie (schizonepeta)",
+    "fangfeng (saposhnikovia)",
+    "qianghuo (notopterygium)",
+    "duhuo (angelica pubescens)",
+    "niuxi (achyranthes)",
+    "duzhong (eucommia)",
+    "sangjisheng (taxillus)",
+    "gouqizi (goji berry)",
+    "heshouwu (polygonum)",
+    "ejiao (donkey-hide gelatin)",
+];
+
+/// Builds a vocabulary of `n` entries: seed names first, then systematic
+/// `"{prefix}-{i}"` fillers.
+pub fn seeded_vocabulary(n: usize, seeds: &[&str], prefix: &str) -> Vocabulary {
+    let mut v = Vocabulary::new();
+    for (i, name) in seeds.iter().take(n).enumerate() {
+        debug_assert!(i < n);
+        v.add(*name);
+    }
+    for i in v.len()..n {
+        v.add(format!("{prefix}-{i:03}"));
+    }
+    v
+}
+
+/// Default symptom vocabulary of size `n`.
+pub fn symptom_vocabulary(n: usize) -> Vocabulary {
+    seeded_vocabulary(n, SYMPTOM_SEED_NAMES, "symptom")
+}
+
+/// Default herb vocabulary of size `n`.
+pub fn herb_vocabulary(n: usize) -> Vocabulary {
+    seeded_vocabulary(n, HERB_SEED_NAMES, "herb")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocabulary::new();
+        let a = v.add("renshen");
+        let b = v.add("gancao");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(v.name(1), "gancao");
+        assert_eq!(v.id("renshen"), Some(0));
+        assert_eq!(v.id("missing"), None);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate name")]
+    fn rejects_duplicates() {
+        let mut v = Vocabulary::new();
+        v.add("renshen");
+        v.add("renshen");
+    }
+
+    #[test]
+    fn seeded_vocab_sizes() {
+        let v = symptom_vocabulary(360);
+        assert_eq!(v.len(), 360);
+        assert_eq!(v.name(0), "daohan (night sweat)");
+        assert!(v.name(359).starts_with("symptom-"));
+        // A smaller-than-seed vocabulary truncates the seed list.
+        let small = herb_vocabulary(5);
+        assert_eq!(small.len(), 5);
+        assert_eq!(small.name(0), "renshen (ginseng)");
+    }
+
+    #[test]
+    fn seed_names_are_unique() {
+        let mut all = SYMPTOM_SEED_NAMES.to_vec();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), SYMPTOM_SEED_NAMES.len());
+        let mut herbs = HERB_SEED_NAMES.to_vec();
+        herbs.sort_unstable();
+        herbs.dedup();
+        assert_eq!(herbs.len(), HERB_SEED_NAMES.len());
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut v = Vocabulary::from_names(["a", "b", "c"]);
+        v.index.clear();
+        assert_eq!(v.id("b"), None);
+        v.rebuild_index();
+        assert_eq!(v.id("b"), Some(1));
+    }
+}

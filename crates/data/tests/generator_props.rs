@@ -1,0 +1,93 @@
+//! Property-based tests for the corpus model and generator invariants.
+
+use proptest::prelude::*;
+use smgcn_data::generator::{GeneratorConfig, SyndromeModel};
+use smgcn_data::{corpus_stats, herb_loss_weights, train_test_split, Prescription};
+
+fn small_config() -> impl Strategy<Value = GeneratorConfig> {
+    (20usize..40, 30usize..60, 3usize..8, 100usize..250, 1u64..500).prop_map(
+        |(n_s, n_h, k, n_rx, seed)| GeneratorConfig {
+            n_symptoms: n_s,
+            n_herbs: n_h,
+            n_syndromes: k,
+            n_prescriptions: n_rx,
+            symptoms_per_rx: (2, 4),
+            herbs_per_rx: (3, 6),
+            symptom_support: 8.min(n_s),
+            herb_support: 12.min(n_h),
+            second_syndrome_prob: 0.3,
+            popularity_mix: 0.2,
+            zipf_exponent: 1.0,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_corpus_is_well_formed(cfg in small_config()) {
+        let corpus = SyndromeModel::new(cfg.clone()).generate();
+        prop_assert_eq!(corpus.len(), cfg.n_prescriptions);
+        for p in corpus.prescriptions() {
+            prop_assert!(!p.symptoms().is_empty());
+            prop_assert!(!p.herbs().is_empty());
+            // Sets are sorted + deduplicated.
+            let mut s = p.symptoms().to_vec();
+            s.dedup();
+            prop_assert_eq!(s.as_slice(), p.symptoms());
+            prop_assert!(p.symptoms().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(p.herbs().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn full_vocabulary_coverage(cfg in small_config()) {
+        let corpus = SyndromeModel::new(cfg.clone()).generate();
+        let stats = corpus_stats(&corpus);
+        prop_assert_eq!(stats.n_symptoms_used, cfg.n_symptoms);
+        prop_assert_eq!(stats.n_herbs_used, cfg.n_herbs);
+    }
+
+    #[test]
+    fn split_partitions_exactly(cfg in small_config(), test_size in 1usize..50, seed in 0u64..100) {
+        let corpus = SyndromeModel::new(cfg).generate();
+        let test_size = test_size.min(corpus.len() - 1);
+        let split = train_test_split(&corpus, test_size, seed);
+        prop_assert_eq!(split.test.len(), test_size);
+        prop_assert_eq!(split.train.len() + split.test.len(), corpus.len());
+    }
+
+    #[test]
+    fn loss_weights_inverse_order(freqs in proptest::collection::vec(0u32..500, 2..40)) {
+        let w = herb_loss_weights(&freqs);
+        prop_assert_eq!(w.len(), freqs.len());
+        // More frequent herbs never get a larger weight.
+        for i in 0..freqs.len() {
+            for j in 0..freqs.len() {
+                if freqs[i] >= freqs[j].max(1) {
+                    prop_assert!(w[i] <= w[j] + 1e-6);
+                }
+            }
+        }
+        // Weights are at least 1 (the most frequent herb has weight 1).
+        if freqs.iter().any(|&f| f > 0) {
+            prop_assert!(w.iter().all(|&x| x >= 1.0 - 1e-6));
+        }
+    }
+
+    #[test]
+    fn prescription_canonical_equality(
+        s in proptest::collection::vec(0u32..30, 1..6),
+        h in proptest::collection::vec(0u32..30, 1..6),
+    ) {
+        let a = Prescription::new(s.clone(), h.clone());
+        let mut s2 = s.clone();
+        s2.reverse();
+        let mut h2 = h.clone();
+        h2.reverse();
+        let b = Prescription::new(s2, h2);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,420 @@
+//! The experiment harness: corpus preparation, the unified ranker
+//! interface, and train-and-evaluate plumbing shared by every table/figure
+//! reproduction binary.
+
+use std::time::Instant;
+
+use smgcn_core::prelude::*;
+use smgcn_data::{
+    herb_frequencies, train_test_split_fraction, Corpus, GeneratorConfig, SyndromeModel,
+    PAPER_TEST_FRACTION,
+};
+use smgcn_graph::{BipartiteGraph, CooccurrenceCounts, GraphOperators, SynergyThresholds};
+use smgcn_topics::HcKgetm;
+
+use crate::metrics::{mean_metrics, RankingMetrics, PAPER_KS};
+
+/// The paper truncates ranked lists at 20 (§V-B).
+pub const RANK_TRUNCATION: usize = 20;
+
+/// Anything that can score all herbs for symptom sets.
+pub trait HerbRanker {
+    /// Row label for report tables.
+    fn label(&self) -> String;
+
+    /// For each symptom set, a score per herb (higher = more recommended).
+    fn score_sets(&self, sets: &[&[u32]]) -> Vec<Vec<f32>>;
+}
+
+impl HerbRanker for Recommender {
+    fn label(&self) -> String {
+        self.name().to_string()
+    }
+
+    fn score_sets(&self, sets: &[&[u32]]) -> Vec<Vec<f32>> {
+        // Batch to bound the B x H score matrix size.
+        let mut out = Vec::with_capacity(sets.len());
+        for chunk in sets.chunks(512) {
+            let scores = self.predict(chunk);
+            for r in 0..scores.rows() {
+                out.push(scores.row(r).to_vec());
+            }
+        }
+        out
+    }
+}
+
+impl HerbRanker for HcKgetm {
+    fn label(&self) -> String {
+        "HC-KGETM".to_string()
+    }
+
+    fn score_sets(&self, sets: &[&[u32]]) -> Vec<Vec<f32>> {
+        sets.iter()
+            .map(|set| self.score_set(set).into_iter().map(|v| v as f32).collect())
+            .collect()
+    }
+}
+
+/// Frequency-only baseline: recommends globally popular herbs regardless of
+/// the symptoms. Any model worth reporting must beat it.
+pub struct PopularityRanker {
+    scores: Vec<f32>,
+}
+
+impl PopularityRanker {
+    /// Ranks herbs by training-corpus frequency.
+    pub fn from_corpus(train: &Corpus) -> Self {
+        Self { scores: herb_frequencies(train).into_iter().map(|c| c as f32).collect() }
+    }
+}
+
+impl HerbRanker for PopularityRanker {
+    fn label(&self) -> String {
+        "Popularity".to_string()
+    }
+
+    fn score_sets(&self, sets: &[&[u32]]) -> Vec<Vec<f32>> {
+        sets.iter().map(|_| self.scores.clone()).collect()
+    }
+}
+
+/// Evaluates a ranker on a test corpus: mean P/R/NDCG at each cutoff.
+pub fn evaluate_ranker(
+    ranker: &dyn HerbRanker,
+    test: &Corpus,
+    ks: &[usize],
+) -> Vec<(usize, RankingMetrics)> {
+    assert!(!test.is_empty(), "evaluate_ranker: empty test corpus");
+    let sets: Vec<&[u32]> = test.prescriptions().iter().map(|p| p.symptoms()).collect();
+    let truths: Vec<&[u32]> = test.prescriptions().iter().map(|p| p.herbs()).collect();
+    let scores = ranker.score_sets(&sets);
+    let ranked: Vec<Vec<u32>> =
+        scores.iter().map(|row| top_k_indices(row, RANK_TRUNCATION)).collect();
+    mean_metrics(&ranked, &truths, ks)
+}
+
+/// Experiment scale: `Smoke` finishes in minutes, `Paper` matches Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced corpus (≈3k prescriptions) and dimensions.
+    Smoke,
+    /// Full 26,360-prescription corpus with Table III dimensions.
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale smoke|paper` style arguments.
+    pub fn from_arg(arg: &str) -> Option<Self> {
+        match arg {
+            "smoke" => Some(Self::Smoke),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// The generator configuration for this scale.
+    pub fn generator(self) -> GeneratorConfig {
+        match self {
+            Self::Smoke => GeneratorConfig::smoke_scale(),
+            Self::Paper => GeneratorConfig::paper_scale(),
+        }
+    }
+
+    /// The model configuration for this scale (Table III at paper scale).
+    pub fn model_config(self) -> ModelConfig {
+        match self {
+            Self::Smoke => ModelConfig::smgcn().smoke(),
+            Self::Paper => ModelConfig::smgcn(),
+        }
+    }
+
+    /// The training configuration for this scale.
+    pub fn train_config(self) -> TrainConfig {
+        match self {
+            Self::Smoke => TrainConfig::smoke(),
+            Self::Paper => TrainConfig::smgcn(),
+        }
+    }
+
+    /// Synergy thresholds. At paper scale these are Table III's
+    /// `x_s = 5, x_h = 40`; the smoke corpus is smaller, and its calibrated
+    /// optimum (an interior point of the Fig. 7 sweep, like the paper's) is
+    /// `x_s = 5, x_h = 30`.
+    pub fn thresholds(self) -> SynergyThresholds {
+        match self {
+            Self::Smoke => SynergyThresholds { x_s: 5, x_h: 30 },
+            Self::Paper => SynergyThresholds::default(),
+        }
+    }
+}
+
+/// Per-model training configuration, following the paper's protocol of
+/// grid-searching each model separately (Table III). The learning rates
+/// below are the grid optima *on the synthetic corpus* (the paper's exact
+/// values transfer poorly because the corpus and epoch budget differ; see
+/// EXPERIMENTS.md). λ ratios follow Table III's ordering.
+pub fn train_config_for(kind: ModelKind, scale: Scale) -> TrainConfig {
+    let (epochs, batch) = match scale {
+        Scale::Smoke => (60, 256),
+        Scale::Paper => (30, 1024),
+    };
+    let (lr, l2) = match kind {
+        // GC-MC's two stacked ReLUs without self-connections train slowly;
+        // its grid optimum sits well above the other models'.
+        ModelKind::GcMc => (1.2e-2, 1e-6),
+        ModelKind::PinSage => (3e-3, 1e-4),
+        ModelKind::Ngcf => (3e-3, 1e-5),
+        ModelKind::HeteGcn => (3e-3, 1e-4),
+        // All SMGCN variants share the full model's optimum.
+        _ => (3e-3, 1e-4),
+    };
+    TrainConfig {
+        epochs,
+        batch_size: batch,
+        learning_rate: lr,
+        l2_lambda: l2,
+        loss: LossKind::MultiLabel,
+        bpr_negatives: 1,
+        weighted_labels: true,
+        seed: 42,
+    }
+}
+
+/// Everything an experiment needs: the split corpus, graph operators, and
+/// the raw counts kept around so threshold sweeps (Fig. 7) can re-threshold
+/// without recounting.
+pub struct Prepared {
+    /// Training corpus.
+    pub train: Corpus,
+    /// Held-out test corpus.
+    pub test: Corpus,
+    /// Operators built from the training split at the chosen thresholds.
+    pub ops: GraphOperators,
+    /// Bipartite graph of the training split.
+    pub bipartite: BipartiteGraph,
+    /// Symptom-pair counts of the training split.
+    pub ss_counts: CooccurrenceCounts,
+    /// Herb-pair counts of the training split.
+    pub hh_counts: CooccurrenceCounts,
+}
+
+impl Prepared {
+    /// Rebuilds operators at different synergy thresholds (Fig. 7 sweep).
+    pub fn ops_at(&self, thresholds: SynergyThresholds) -> GraphOperators {
+        GraphOperators::from_parts(&self.bipartite, &self.ss_counts, &self.hh_counts, thresholds)
+    }
+}
+
+/// Generates the corpus, splits it with the paper's ratio, and builds all
+/// graph structure from the *training* split only.
+pub fn prepare(scale: Scale, seed: u64) -> Prepared {
+    prepare_with(scale.generator(), scale.thresholds(), seed)
+}
+
+/// [`prepare`] with explicit generator settings and thresholds.
+pub fn prepare_with(
+    generator: GeneratorConfig,
+    thresholds: SynergyThresholds,
+    seed: u64,
+) -> Prepared {
+    let corpus = SyndromeModel::new(generator).generate();
+    let split = train_test_split_fraction(&corpus, PAPER_TEST_FRACTION, seed);
+    let bipartite = BipartiteGraph::from_records(
+        split.train.records(),
+        corpus.n_symptoms(),
+        corpus.n_herbs(),
+    );
+    let mut ss_counts = CooccurrenceCounts::new(corpus.n_symptoms());
+    let mut hh_counts = CooccurrenceCounts::new(corpus.n_herbs());
+    for (symptoms, herbs) in split.train.records() {
+        ss_counts.add_set(symptoms);
+        hh_counts.add_set(herbs);
+    }
+    let ops = GraphOperators::from_parts(&bipartite, &ss_counts, &hh_counts, thresholds);
+    Prepared { train: split.train, test: split.test, ops, bipartite, ss_counts, hh_counts }
+}
+
+/// One evaluated model: label, metrics at each K, and wall-clock cost.
+#[derive(Clone, Debug)]
+pub struct EvalRow {
+    /// Row label (Table IV naming).
+    pub label: String,
+    /// `(K, metrics)` pairs in ascending K.
+    pub at: Vec<(usize, RankingMetrics)>,
+    /// Training wall-clock seconds.
+    pub train_seconds: f64,
+}
+
+impl EvalRow {
+    /// Metrics at a specific cutoff.
+    pub fn at_k(&self, k: usize) -> Option<RankingMetrics> {
+        self.at.iter().find(|(kk, _)| *kk == k).map(|(_, m)| *m)
+    }
+}
+
+/// Trains a neural model (from the zoo) and evaluates it on the test split.
+pub fn run_neural(
+    kind: ModelKind,
+    prepared: &Prepared,
+    model_cfg: &ModelConfig,
+    train_cfg: &TrainConfig,
+    seed: u64,
+) -> EvalRow {
+    run_neural_with_ops(kind, &prepared.ops, prepared, model_cfg, train_cfg, seed)
+}
+
+/// [`run_neural`] against externally supplied operators (threshold sweeps).
+pub fn run_neural_with_ops(
+    kind: ModelKind,
+    ops: &GraphOperators,
+    prepared: &Prepared,
+    model_cfg: &ModelConfig,
+    train_cfg: &TrainConfig,
+    seed: u64,
+) -> EvalRow {
+    let start = Instant::now();
+    let mut model = build_model(kind, ops, model_cfg, seed);
+    train(&mut model, &prepared.train, train_cfg);
+    let train_seconds = start.elapsed().as_secs_f64();
+    let at = evaluate_ranker(&model, &prepared.test, &PAPER_KS);
+    EvalRow { label: model.name().to_string(), at, train_seconds }
+}
+
+/// Evaluates any ranker without training (already-trained or non-neural).
+pub fn run_ranker(ranker: &dyn HerbRanker, prepared: &Prepared, train_seconds: f64) -> EvalRow {
+    let at = evaluate_ranker(ranker, &prepared.test, &PAPER_KS);
+    EvalRow { label: ranker.label(), at, train_seconds }
+}
+
+/// Averages rows produced by the same model across seeds (metric means,
+/// summed wall-clock). Neural-model margins on the reproduction corpus are
+/// within single-seed noise, so the table binaries report seed averages.
+///
+/// # Panics
+/// Panics on an empty slice or mismatched labels/cutoffs.
+pub fn average_rows(rows: &[EvalRow]) -> EvalRow {
+    assert!(!rows.is_empty(), "average_rows: no rows");
+    let label = rows[0].label.clone();
+    let ks: Vec<usize> = rows[0].at.iter().map(|(k, _)| *k).collect();
+    for r in rows {
+        assert_eq!(r.label, label, "average_rows: mixed labels");
+    }
+    let inv = 1.0 / rows.len() as f64;
+    let at = ks
+        .iter()
+        .map(|&k| {
+            let mut acc = RankingMetrics::default();
+            for r in rows {
+                acc.add_assign(&r.at_k(k).expect("consistent cutoffs"));
+            }
+            (k, acc.scaled(inv))
+        })
+        .collect();
+    EvalRow { label, at, train_seconds: rows.iter().map(|r| r.train_seconds).sum() }
+}
+
+/// Trains and evaluates a neural model once per seed and averages.
+pub fn run_neural_seeds(
+    kind: ModelKind,
+    prepared: &Prepared,
+    model_cfg: &ModelConfig,
+    train_cfg: &TrainConfig,
+    seeds: &[u64],
+) -> EvalRow {
+    let rows: Vec<EvalRow> = seeds
+        .iter()
+        .map(|&s| run_neural(kind, prepared, model_cfg, train_cfg, s))
+        .collect();
+    average_rows(&rows)
+}
+
+/// The seed set used by the smoke-scale table binaries.
+pub const SMOKE_SEEDS: [u64; 3] = [11, 12, 13];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smgcn_data::GeneratorConfig;
+
+    fn tiny_prepared() -> Prepared {
+        prepare_with(
+            GeneratorConfig::tiny_scale(),
+            SynergyThresholds { x_s: 1, x_h: 1 },
+            3,
+        )
+    }
+
+    #[test]
+    fn prepare_splits_and_builds() {
+        let p = tiny_prepared();
+        assert!(p.train.len() > p.test.len());
+        assert_eq!(p.ops.n_symptoms, p.train.n_symptoms());
+        assert!(p.ops.sh_raw.nnz() > 0);
+    }
+
+    #[test]
+    fn ops_at_rethresholds_without_recount() {
+        let p = tiny_prepared();
+        let loose = p.ops_at(SynergyThresholds { x_s: 0, x_h: 0 });
+        let tight = p.ops_at(SynergyThresholds { x_s: 10, x_h: 10 });
+        assert!(loose.hh_sum.forward().nnz() >= tight.hh_sum.forward().nnz());
+    }
+
+    #[test]
+    fn popularity_ranker_beats_nothing_but_scores() {
+        let p = tiny_prepared();
+        let pop = PopularityRanker::from_corpus(&p.train);
+        let rows = evaluate_ranker(&pop, &p.test, &[5]);
+        let m = rows[0].1;
+        // Popular herbs appear in most prescriptions, so precision@5 is
+        // well above zero even without any personalisation.
+        assert!(m.precision > 0.05, "{m:?}");
+        assert!(m.precision <= 1.0);
+    }
+
+    #[test]
+    fn scale_arg_parsing() {
+        assert_eq!(Scale::from_arg("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::from_arg("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::from_arg("huge"), None);
+    }
+
+    #[test]
+    fn eval_row_lookup() {
+        let row = EvalRow {
+            label: "x".into(),
+            at: vec![(5, RankingMetrics { precision: 0.3, recall: 0.2, ndcg: 0.4 })],
+            train_seconds: 1.0,
+        };
+        assert!(row.at_k(5).is_some());
+        assert!(row.at_k(10).is_none());
+    }
+
+    #[test]
+    fn run_neural_smoke_end_to_end() {
+        let p = tiny_prepared();
+        let model_cfg = ModelConfig {
+            embedding_dim: 16,
+            layer_dims: vec![16],
+            dropout: 0.0,
+            use_sge: true,
+            use_si_mlp: true,
+        };
+        let train_cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 128,
+            learning_rate: 3e-3,
+            l2_lambda: 1e-4,
+            loss: LossKind::MultiLabel,
+            bpr_negatives: 1,
+            weighted_labels: true,
+            seed: 4,
+        };
+        let row = run_neural(ModelKind::Smgcn, &p, &model_cfg, &train_cfg, 5);
+        assert_eq!(row.label, "SMGCN");
+        let m5 = row.at_k(5).unwrap();
+        assert!(m5.precision > 0.0, "trained model should hit something: {m5:?}");
+        assert!(row.train_seconds > 0.0);
+    }
+}

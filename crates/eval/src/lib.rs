@@ -1,0 +1,33 @@
+//! # smgcn-eval — metrics, harness and reporting for the reproduction
+//!
+//! - [`metrics`] — Precision@K / Recall@K / NDCG@K exactly as defined in
+//!   §V-B (Eqs. 16–18), truncated at 20;
+//! - [`harness`] — corpus preparation at smoke/paper scale, the unified
+//!   [`harness::HerbRanker`] interface over neural models, HC-KGETM and a
+//!   popularity sanity baseline, and train-and-evaluate helpers;
+//! - [`report`] — paper-style tables (Table IV layout with `%Improv.`
+//!   rows), paper-vs-measured comparisons, sweep series (Figs. 7–9) and the
+//!   Fig. 10 case study rendering.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod metrics;
+pub mod report;
+pub mod significance;
+
+pub use harness::{
+    average_rows, evaluate_ranker, prepare, prepare_with, run_neural, run_neural_seeds,
+    run_neural_with_ops, run_ranker, train_config_for, EvalRow, HerbRanker,
+    PopularityRanker, Prepared, Scale, RANK_TRUNCATION, SMOKE_SEEDS,
+};
+pub use metrics::{
+    mean_metrics, metrics_at_k, ndcg_at_k, precision_at_k, recall_at_k, RankingMetrics,
+    PAPER_KS,
+};
+pub use significance::{paired_bootstrap, per_prescription_precision, BootstrapComparison};
+pub use report::{
+    format_case_study, format_improvement_rows, format_metrics_table,
+    format_paper_comparison, format_sweep_series, shape_violations, PAPER_TABLE_IV,
+    PAPER_TABLE_V,
+};

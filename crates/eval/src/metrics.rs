@@ -1,0 +1,221 @@
+//! Top-K ranking metrics (§V-B, Eqs. 16–18).
+//!
+//! For each test prescription `(sc, hc)` the model ranks all herbs;
+//! `Precision@K`, `Recall@K` and `NDCG@K` compare the top-K against the
+//! ground-truth herb set `hc`, and the reported value is the mean over all
+//! test prescriptions. The paper truncates ranked lists at 20 and reports
+//! K ∈ {5, 10, 20}.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's reporting cutoffs.
+pub const PAPER_KS: [usize; 3] = [5, 10, 20];
+
+/// One model's precision/recall/NDCG at a single cutoff.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankingMetrics {
+    /// `|top-K ∩ hc| / K`.
+    pub precision: f64,
+    /// `|top-K ∩ hc| / |hc|`.
+    pub recall: f64,
+    /// `DCG@K / IDCG@K` with binary gains.
+    pub ndcg: f64,
+}
+
+impl RankingMetrics {
+    /// Element-wise accumulation (for averaging over prescriptions).
+    pub fn add_assign(&mut self, other: &RankingMetrics) {
+        self.precision += other.precision;
+        self.recall += other.recall;
+        self.ndcg += other.ndcg;
+    }
+
+    /// Element-wise division by a count.
+    pub fn scaled(&self, inv: f64) -> RankingMetrics {
+        RankingMetrics {
+            precision: self.precision * inv,
+            recall: self.recall * inv,
+            ndcg: self.ndcg * inv,
+        }
+    }
+}
+
+fn is_hit(truth: &[u32], herb: u32) -> bool {
+    // Ground-truth herb sets are sorted (Prescription canonicalises).
+    truth.binary_search(&herb).is_ok()
+}
+
+/// Precision@K for one ranked list against one ground-truth set.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn precision_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    assert!(k > 0, "precision_at_k: k must be positive");
+    let hits = ranked.iter().take(k).filter(|&&h| is_hit(truth, h)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@K for one ranked list against one ground-truth set.
+pub fn recall_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    assert!(k > 0, "recall_at_k: k must be positive");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|&&h| is_hit(truth, h)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// NDCG@K with binary relevance: `DCG = Σ_{hit at rank i} 1/log2(i+2)`,
+/// ideal DCG places all `min(k, |truth|)` hits first.
+pub fn ndcg_at_k(ranked: &[u32], truth: &[u32], k: usize) -> f64 {
+    assert!(k > 0, "ndcg_at_k: k must be positive");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &h)| is_hit(truth, h))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal_hits = truth.len().min(k);
+    let idcg: f64 = (0..ideal_hits).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
+    if idcg == 0.0 {
+        0.0
+    } else {
+        dcg / idcg
+    }
+}
+
+/// All three metrics at one cutoff.
+pub fn metrics_at_k(ranked: &[u32], truth: &[u32], k: usize) -> RankingMetrics {
+    RankingMetrics {
+        precision: precision_at_k(ranked, truth, k),
+        recall: recall_at_k(ranked, truth, k),
+        ndcg: ndcg_at_k(ranked, truth, k),
+    }
+}
+
+/// Mean metrics over a test set at several cutoffs. `ranked_lists[i]` must
+/// be the descending herb ranking for `truths[i]`.
+///
+/// # Panics
+/// Panics if lengths differ or the test set is empty.
+pub fn mean_metrics(
+    ranked_lists: &[Vec<u32>],
+    truths: &[&[u32]],
+    ks: &[usize],
+) -> Vec<(usize, RankingMetrics)> {
+    assert_eq!(ranked_lists.len(), truths.len(), "mean_metrics: length mismatch");
+    assert!(!ranked_lists.is_empty(), "mean_metrics: empty test set");
+    let inv = 1.0 / ranked_lists.len() as f64;
+    ks.iter()
+        .map(|&k| {
+            let mut acc = RankingMetrics::default();
+            for (ranked, truth) in ranked_lists.iter().zip(truths) {
+                acc.add_assign(&metrics_at_k(ranked, truth, k));
+            }
+            (k, acc.scaled(inv))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let ranked = vec![1, 3, 5];
+        let truth = vec![1, 3, 5];
+        assert_eq!(precision_at_k(&ranked, &truth, 3), 1.0);
+        assert_eq!(recall_at_k(&ranked, &truth, 3), 1.0);
+        assert!((ndcg_at_k(&ranked, &truth, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_ranking_scores_zero() {
+        let ranked = vec![0, 2, 4];
+        let truth = vec![1, 3];
+        assert_eq!(precision_at_k(&ranked, &truth, 3), 0.0);
+        assert_eq!(recall_at_k(&ranked, &truth, 3), 0.0);
+        assert_eq!(ndcg_at_k(&ranked, &truth, 3), 0.0);
+    }
+
+    #[test]
+    fn partial_hits_hand_computed() {
+        // top-4 = [7, 1, 9, 3]; truth = {1, 3, 5}.
+        let ranked = vec![7, 1, 9, 3];
+        let truth = vec![1, 3, 5];
+        assert!((precision_at_k(&ranked, &truth, 4) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, &truth, 4) - 2.0 / 3.0).abs() < 1e-12);
+        // Hits at ranks 1 and 3 (0-based): DCG = 1/log2(3) + 1/log2(5);
+        // IDCG (3 truth, k=4 -> 3 ideal hits) = 1/log2(2)+1/log2(3)+1/log2(4).
+        let dcg = 1.0 / 3f64.log2() + 1.0 / 5f64.log2();
+        let idcg = 1.0 + 1.0 / 3f64.log2() + 0.5;
+        assert!((ndcg_at_k(&ranked, &truth, 4) - dcg / idcg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_position_matters_for_ndcg() {
+        let truth = vec![1];
+        let early = ndcg_at_k(&[1, 0, 2], &truth, 3);
+        let late = ndcg_at_k(&[0, 2, 1], &truth, 3);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12, "hit at rank 0 is ideal");
+    }
+
+    #[test]
+    fn k_larger_than_list_is_safe() {
+        let ranked = vec![1];
+        let truth = vec![1, 2];
+        assert_eq!(precision_at_k(&ranked, &truth, 5), 0.2);
+        assert_eq!(recall_at_k(&ranked, &truth, 5), 0.5);
+    }
+
+    #[test]
+    fn recall_uses_truth_size() {
+        // 10 truth herbs, 5 hit in the top-5: recall = 0.5, precision = 1.0.
+        let truth: Vec<u32> = (0..10).collect();
+        let ranked: Vec<u32> = (0..5).collect();
+        assert_eq!(precision_at_k(&ranked, &truth, 5), 1.0);
+        assert_eq!(recall_at_k(&ranked, &truth, 5), 0.5);
+    }
+
+    #[test]
+    fn mean_metrics_averages() {
+        let ranked = vec![vec![0, 1], vec![2, 3]];
+        let t0: &[u32] = &[0, 1];
+        let t1: &[u32] = &[9];
+        let out = mean_metrics(&ranked, &[t0, t1], &[2]);
+        assert_eq!(out.len(), 1);
+        let m = out[0].1;
+        assert!((m.precision - 0.5).abs() < 1e-12); // (1.0 + 0.0) / 2
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = precision_at_k(&[1], &[1], 0);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        // Property-style check over a few structured cases.
+        for seed in 0..20u32 {
+            let ranked: Vec<u32> = (0..20).map(|i| (i * 7 + seed) % 30).collect();
+            let truth: Vec<u32> = (0..8).map(|i| (i * 3 + seed) % 30).collect();
+            let mut truth = truth;
+            truth.sort_unstable();
+            truth.dedup();
+            for k in [1, 5, 20] {
+                let m = metrics_at_k(&ranked, &truth, k);
+                assert!((0.0..=1.0).contains(&m.precision));
+                assert!((0.0..=1.0).contains(&m.recall));
+                assert!((0.0..=1.0).contains(&m.ndcg));
+            }
+        }
+    }
+}

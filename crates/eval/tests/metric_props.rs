@@ -1,0 +1,80 @@
+//! Property-based tests for the ranking metrics (§V-B).
+
+use proptest::prelude::*;
+use smgcn_eval::{metrics_at_k, ndcg_at_k, precision_at_k, recall_at_k};
+
+/// A ranked list of distinct herb ids and a ground-truth subset of a
+/// shared vocabulary.
+fn ranking_case() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (2usize..60).prop_flat_map(|vocab| {
+        let ranked = Just((0..vocab as u32).collect::<Vec<u32>>()).prop_shuffle();
+        let truth = proptest::collection::btree_set(0..vocab as u32, 1..vocab.min(12))
+            .prop_map(|s| s.into_iter().collect::<Vec<u32>>());
+        (ranked, truth)
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_bounded_in_unit_interval((ranked, truth) in ranking_case(), k in 1usize..25) {
+        let m = metrics_at_k(&ranked, &truth, k);
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.ndcg));
+    }
+
+    #[test]
+    fn recall_monotone_in_k((ranked, truth) in ranking_case()) {
+        let mut prev = 0.0;
+        for k in 1..=ranked.len() {
+            let r = recall_at_k(&ranked, &truth, k);
+            prop_assert!(r + 1e-12 >= prev, "recall must not decrease with k");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn full_list_recall_is_one((ranked, truth) in ranking_case()) {
+        // Ranking the whole vocabulary retrieves every truth herb.
+        let r = recall_at_k(&ranked, &truth, ranked.len());
+        prop_assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_consistency((ranked, truth) in ranking_case(), k in 1usize..25) {
+        // hits = p*k = r*|truth|.
+        let p = precision_at_k(&ranked, &truth, k);
+        let r = recall_at_k(&ranked, &truth, k);
+        let hits_from_p = p * k as f64;
+        let hits_from_r = r * truth.len() as f64;
+        prop_assert!((hits_from_p - hits_from_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_ranking_maximises_ndcg((ranked, truth) in ranking_case(), k in 1usize..25) {
+        // Put all truth herbs first: NDCG must be 1 (when k <= permits) and
+        // always >= the arbitrary ranking's NDCG.
+        let mut ideal: Vec<u32> = truth.clone();
+        ideal.extend(ranked.iter().copied().filter(|h| !truth.contains(h)));
+        let ideal_ndcg = ndcg_at_k(&ideal, &truth, k);
+        let actual = ndcg_at_k(&ranked, &truth, k);
+        prop_assert!(ideal_ndcg + 1e-12 >= actual);
+        prop_assert!((ideal_ndcg - 1.0).abs() < 1e-9, "ideal NDCG is 1, got {ideal_ndcg}");
+    }
+
+    #[test]
+    fn swapping_hit_earlier_never_hurts_ndcg((ranked, truth) in ranking_case(), k in 2usize..20) {
+        // Find a (miss, hit) adjacent pair and swap the hit earlier.
+        let is_hit = |h: &u32| truth.contains(h);
+        let mut improved = ranked.clone();
+        for i in 0..improved.len().saturating_sub(1) {
+            if !is_hit(&improved[i]) && is_hit(&improved[i + 1]) {
+                improved.swap(i, i + 1);
+                break;
+            }
+        }
+        let before = ndcg_at_k(&ranked, &truth, k);
+        let after = ndcg_at_k(&improved, &truth, k);
+        prop_assert!(after + 1e-12 >= before);
+    }
+}

@@ -1,0 +1,26 @@
+//! # smgcn-graph — TCM graph construction for the SMGCN reproduction
+//!
+//! Builds the three graphs the paper's multi-graph embedding layer runs on:
+//!
+//! - [`bipartite`] — the symptom–herb interaction graph `SH` (§IV-A-1);
+//! - [`cooccur`] — thresholded co-occurrence synergy graphs `SS` / `HH`
+//!   (§IV-B-1), with counting split from thresholding for the Fig. 7 sweep;
+//! - [`operators`] — the packaged sparse operators (mean-normalised
+//!   bipartite hops, sum-aggregated synergy hops) that model code consumes;
+//! - [`stats`] — degree/density diagnostics backing the paper's §IV-B-2
+//!   aggregator argument.
+//!
+//! The crate is deliberately corpus-agnostic: builders take
+//! `(&[u32], &[u32])` record views, so it does not depend on `smgcn-data`.
+
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod cooccur;
+pub mod operators;
+pub mod stats;
+
+pub use bipartite::BipartiteGraph;
+pub use cooccur::CooccurrenceCounts;
+pub use operators::{GraphOperators, OperatorDiagnostics, SynergyThresholds};
+pub use stats::{degree_histogram, density, row_degree_stats, DegreeStats};

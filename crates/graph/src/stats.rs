@@ -1,0 +1,112 @@
+//! Degree statistics for graph diagnostics.
+//!
+//! §IV-B-2 of the paper justifies the SGE sum-aggregator with a density
+//! argument: "the averages of node degrees show that the symptom-herb graph
+//! is much denser than the synergy graphs, and the standard deviations
+//! verify that the degree distributions of synergy graphs are smoother".
+//! These helpers compute exactly those quantities so the claim can be
+//! checked on any corpus (see the `graph_density` example).
+
+use smgcn_tensor::CsrMatrix;
+
+/// Summary statistics of a node-degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Mean degree.
+    pub mean: f64,
+    /// Population standard deviation of degrees.
+    pub std: f64,
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Number of zero-degree nodes.
+    pub isolated: usize,
+}
+
+impl DegreeStats {
+    /// Computes statistics from a degree list.
+    pub fn from_degrees(degrees: &[usize]) -> Self {
+        if degrees.is_empty() {
+            return Self { mean: 0.0, std: 0.0, min: 0, max: 0, isolated: 0 };
+        }
+        let n = degrees.len() as f64;
+        let mean = degrees.iter().sum::<usize>() as f64 / n;
+        let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+        Self {
+            mean,
+            std: var.sqrt(),
+            min: degrees.iter().copied().min().unwrap_or(0),
+            max: degrees.iter().copied().max().unwrap_or(0),
+            isolated: degrees.iter().filter(|&&d| d == 0).count(),
+        }
+    }
+}
+
+/// Row-degree statistics of a sparse matrix (out-degrees for directed
+/// graphs; degrees for symmetric ones).
+pub fn row_degree_stats(m: &CsrMatrix) -> DegreeStats {
+    let degrees: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+    DegreeStats::from_degrees(&degrees)
+}
+
+/// Density of a general sparse matrix: `nnz / (rows * cols)`.
+pub fn density(m: &CsrMatrix) -> f64 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 0.0;
+    }
+    m.nnz() as f64 / (m.rows() as f64 * m.cols() as f64)
+}
+
+/// Degree histogram up to `max_degree` (the final bucket absorbs the tail).
+pub fn degree_histogram(m: &CsrMatrix, max_degree: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_degree + 1];
+    for r in 0..m.rows() {
+        let d = m.row_nnz(r).min(max_degree);
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_degrees() {
+        let s = DegreeStats::from_degrees(&[0, 2, 4]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.isolated, 1);
+    }
+
+    #[test]
+    fn empty_degrees() {
+        let s = DegreeStats::from_degrees(&[]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn row_stats_and_density() {
+        let m = CsrMatrix::from_triplets(3, 4, &[(0, 0, 1.0), (0, 1, 1.0), (2, 3, 1.0)]);
+        let s = row_degree_stats(&m);
+        assert!((s.mean - 1.0).abs() < 1e-12);
+        assert_eq!(s.isolated, 1);
+        assert!((density(&m) - 3.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_tail() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            5,
+            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 0, 1.0)],
+        );
+        let h = degree_histogram(&m, 2);
+        // Row degrees: 4, 1, 0 -> buckets [0]=1, [1]=1, [2+]=1.
+        assert_eq!(h, vec![1, 1, 1]);
+    }
+}

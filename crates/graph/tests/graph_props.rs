@@ -1,0 +1,114 @@
+//! Property-based tests for graph construction invariants.
+
+#![allow(clippy::type_complexity)] // proptest strategies return nested tuples
+
+use proptest::prelude::*;
+use smgcn_graph::{BipartiteGraph, CooccurrenceCounts, GraphOperators, SynergyThresholds};
+
+/// Random prescription records over small vocabularies.
+fn records() -> impl Strategy<Value = (Vec<(Vec<u32>, Vec<u32>)>, usize, usize)> {
+    (3usize..12, 3usize..12).prop_flat_map(|(n_s, n_h)| {
+        let record = (
+            proptest::collection::vec(0..n_s as u32, 1..5),
+            proptest::collection::vec(0..n_h as u32, 1..6),
+        );
+        proptest::collection::vec(record, 1..25)
+            .prop_map(move |rs| (rs, n_s, n_h))
+    })
+}
+
+proptest! {
+    #[test]
+    fn bipartite_edges_bounded_by_vocabulary((rs, n_s, n_h) in records()) {
+        let g = BipartiteGraph::from_records(
+            rs.iter().map(|(s, h)| (s.as_slice(), h.as_slice())),
+            n_s,
+            n_h,
+        );
+        prop_assert!(g.edge_count() <= n_s * n_h);
+        // Every degree is bounded by the opposite vocabulary size.
+        for s in 0..n_s {
+            prop_assert!(g.symptom_degree(s) <= n_h);
+        }
+    }
+
+    #[test]
+    fn bipartite_is_order_insensitive((rs, n_s, n_h) in records()) {
+        let forward = BipartiteGraph::from_records(
+            rs.iter().map(|(s, h)| (s.as_slice(), h.as_slice())),
+            n_s,
+            n_h,
+        );
+        let reversed = BipartiteGraph::from_records(
+            rs.iter().rev().map(|(s, h)| (s.as_slice(), h.as_slice())),
+            n_s,
+            n_h,
+        );
+        prop_assert_eq!(forward.sh(), reversed.sh());
+    }
+
+    #[test]
+    fn synergy_graphs_symmetric_and_hollow((rs, n_s, _n_h) in records()) {
+        let mut counts = CooccurrenceCounts::new(n_s);
+        for (s, _) in &rs {
+            counts.add_set(s);
+        }
+        for t in 0..4u32 {
+            let g = counts.synergy_graph(t);
+            prop_assert!(g.is_symmetric());
+            for i in 0..n_s {
+                prop_assert_eq!(g.get(i, i), 0.0, "self loops are never synergy edges");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_are_monotone((rs, n_s, _n_h) in records()) {
+        let mut counts = CooccurrenceCounts::new(n_s);
+        for (s, _) in &rs {
+            counts.add_set(s);
+        }
+        let mut prev = usize::MAX;
+        for t in 0..6u32 {
+            let nnz = counts.synergy_graph(t).nnz();
+            prop_assert!(nnz <= prev, "raising the threshold must not add edges");
+            prev = nnz;
+        }
+    }
+
+    #[test]
+    fn operators_shapes_consistent((rs, n_s, n_h) in records()) {
+        let ops = GraphOperators::from_records(
+            rs.iter().map(|(s, h)| (s.as_slice(), h.as_slice())),
+            n_s,
+            n_h,
+            SynergyThresholds { x_s: 0, x_h: 0 },
+        );
+        prop_assert_eq!(ops.sh_mean.shape(), (n_s, n_h));
+        prop_assert_eq!(ops.hs_mean.shape(), (n_h, n_s));
+        prop_assert_eq!(ops.ss_sum.shape(), (n_s, n_s));
+        prop_assert_eq!(ops.hh_sum.shape(), (n_h, n_h));
+        // Mean operators have row sums of 1 (or 0 for isolated nodes).
+        for r in 0..n_s {
+            let (_, vals) = ops.sh_mean.forward().row(r);
+            let sum: f32 = vals.iter().sum();
+            prop_assert!(vals.is_empty() || (sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn counting_twice_doubles_counts((rs, n_s, _n_h) in records()) {
+        let mut once = CooccurrenceCounts::new(n_s);
+        let mut twice = CooccurrenceCounts::new(n_s);
+        for (s, _) in &rs {
+            once.add_set(s);
+            twice.add_set(s);
+            twice.add_set(s);
+        }
+        for a in 0..n_s as u32 {
+            for b in 0..n_s as u32 {
+                prop_assert_eq!(2 * once.count(a, b), twice.count(a, b));
+            }
+        }
+    }
+}

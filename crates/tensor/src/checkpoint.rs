@@ -1,0 +1,267 @@
+//! Binary checkpointing for [`ParamStore`]s.
+//!
+//! A small self-describing format (magic + version + named tensors,
+//! little-endian `f32`) so trained models survive process restarts:
+//!
+//! ```text
+//! "SMGT" | u32 version | u64 n_params |
+//!   per param: u64 name_len | name bytes | u64 rows | u64 cols | f32*rows*cols
+//! ```
+//!
+//! Loading back into a model requires the architecture to match; mismatched
+//! names or shapes are hard errors, not silent truncation.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::matrix::Matrix;
+use crate::tape::ParamStore;
+
+const MAGIC: &[u8; 4] = b"SMGT";
+const VERSION: u32 = 1;
+
+/// Checkpoint IO errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem in the file or a model mismatch.
+    Format(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<(), CheckpointError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, CheckpointError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Serialises every parameter (names, shapes, values) to a writer.
+pub fn write_store(store: &ParamStore, w: impl Write) -> Result<(), CheckpointError> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_u64(&mut w, store.len() as u64)?;
+    for (_, name, value) in store.iter() {
+        write_u64(&mut w, name.len() as u64)?;
+        w.write_all(name.as_bytes())?;
+        write_u64(&mut w, value.rows() as u64)?;
+        write_u64(&mut w, value.cols() as u64)?;
+        for v in value.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Saves a store to a file path.
+pub fn save_store(store: &ParamStore, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+    write_store(store, std::fs::File::create(path)?)
+}
+
+/// Reads a checkpoint into a fresh [`ParamStore`] (names and values only;
+/// the caller re-associates ids by construction order or name).
+pub fn read_store(r: impl Read) -> Result<ParamStore, CheckpointError> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format(format!("bad magic {magic:?}")));
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..n {
+        let name_len = read_u64(&mut r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(CheckpointError::Format(format!("implausible name length {name_len}")));
+        }
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| CheckpointError::Format(format!("non-utf8 name: {e}")))?;
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        if rows.saturating_mul(cols) > 1 << 30 {
+            return Err(CheckpointError::Format(format!(
+                "implausible tensor shape {rows}x{cols}"
+            )));
+        }
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        store.add(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+/// Loads a store from a file path.
+pub fn load_store(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+    read_store(std::fs::File::open(path)?)
+}
+
+/// Copies values from `loaded` into `target`, matching parameters by name.
+///
+/// Every target parameter must be present in `loaded` with identical shape;
+/// extra tensors in `loaded` are an error too (they indicate an
+/// architecture mismatch).
+pub fn restore_into(
+    target: &mut ParamStore,
+    loaded: &ParamStore,
+) -> Result<(), CheckpointError> {
+    if target.len() != loaded.len() {
+        return Err(CheckpointError::Format(format!(
+            "parameter count mismatch: model has {}, checkpoint has {}",
+            target.len(),
+            loaded.len()
+        )));
+    }
+    let ids: Vec<_> = target.iter().map(|(id, name, value)| {
+        (id, name.to_string(), value.shape())
+    }).collect();
+    for (id, name, shape) in ids {
+        let found = loaded
+            .iter()
+            .find(|(_, n, _)| *n == name)
+            .ok_or_else(|| {
+                CheckpointError::Format(format!("checkpoint missing parameter {name:?}"))
+            })?;
+        if found.2.shape() != shape {
+            return Err(CheckpointError::Format(format!(
+                "shape mismatch for {name:?}: model {shape:?}, checkpoint {:?}",
+                found.2.shape()
+            )));
+        }
+        let value = found.2.clone();
+        *target.get_mut(id) = value;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, xavier_uniform};
+
+    fn sample_store() -> ParamStore {
+        let mut rng = seeded_rng(5);
+        let mut store = ParamStore::new();
+        store.add("layer.w", xavier_uniform(4, 6, &mut rng));
+        store.add("layer.b", Matrix::zeros(1, 6));
+        store.add("emb", xavier_uniform(10, 4, &mut rng));
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for ((_, n1, v1), (_, n2, v2)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(n1, n2);
+            assert!(v1.approx_eq(v2, 0.0));
+        }
+    }
+
+    #[test]
+    fn restore_into_matches_by_name() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(buf.as_slice()).unwrap();
+        // A freshly initialised model with the same architecture.
+        let mut fresh = sample_store();
+        let first_id = fresh.iter().next().unwrap().0;
+        fresh.get_mut(first_id).scale_assign(0.0);
+        restore_into(&mut fresh, &loaded).unwrap();
+        for ((_, _, v1), (_, _, v2)) in fresh.iter().zip(store.iter()) {
+            assert!(v1.approx_eq(v2, 0.0));
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_store(&b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_store(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(buf.as_slice()).unwrap();
+        let mut wrong = ParamStore::new();
+        wrong.add("layer.w", Matrix::zeros(3, 3));
+        wrong.add("layer.b", Matrix::zeros(1, 6));
+        wrong.add("emb", Matrix::zeros(10, 4));
+        let err = restore_into(&mut wrong, &loaded).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_count_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(buf.as_slice()).unwrap();
+        let mut wrong = ParamStore::new();
+        wrong.add("only", Matrix::zeros(1, 1));
+        assert!(restore_into(&mut wrong, &loaded).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let store = sample_store();
+        let dir = std::env::temp_dir().join("smgcn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.smgt");
+        save_store(&store, &path).unwrap();
+        let loaded = load_store(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,139 @@
+//! Finite-difference gradient checking.
+//!
+//! Every autograd op in [`crate::tape`] is validated against central finite
+//! differences in the crate's test suite (see `tests/gradcheck_ops.rs`).
+//! The checker re-evaluates the caller-supplied loss closure with each
+//! parameter entry perturbed by `±eps`, so it is O(#entries × forward cost)
+//! and intended for the small models used in tests only.
+
+use crate::matrix::Matrix;
+use crate::tape::{ParamId, ParamStore};
+
+/// Numeric gradient of `loss` with respect to parameter `id`, by central
+/// differences: `(L(θ+ε) - L(θ-ε)) / 2ε` entry by entry.
+///
+/// `loss` must be a pure function of the store (it is invoked repeatedly).
+pub fn finite_diff_grad(
+    store: &mut ParamStore,
+    id: ParamId,
+    eps: f32,
+    mut loss: impl FnMut(&ParamStore) -> f32,
+) -> Matrix {
+    let (rows, cols) = store.get(id).shape();
+    let mut grad = Matrix::zeros(rows, cols);
+    for i in 0..rows * cols {
+        let original = store.get(id).as_slice()[i];
+        store.get_mut(id).as_mut_slice()[i] = original + eps;
+        let up = loss(store);
+        store.get_mut(id).as_mut_slice()[i] = original - eps;
+        let down = loss(store);
+        store.get_mut(id).as_mut_slice()[i] = original;
+        grad.as_mut_slice()[i] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Outcome of comparing an analytic gradient against a numeric one.
+#[derive(Clone, Copy, Debug)]
+pub struct GradCheckReport {
+    /// Largest absolute entry difference.
+    pub max_abs_err: f32,
+    /// Largest relative difference `|a - n| / max(1, |a|, |n|)`.
+    pub max_rel_err: f32,
+}
+
+impl GradCheckReport {
+    /// True when both error measures are below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_abs_err <= tol || self.max_rel_err <= tol
+    }
+}
+
+/// Compares analytic and numeric gradients entry-wise.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn compare(analytic: &Matrix, numeric: &Matrix) -> GradCheckReport {
+    assert_eq!(analytic.shape(), numeric.shape(), "gradcheck: shape mismatch");
+    let mut max_abs = 0.0f32;
+    let mut max_rel = 0.0f32;
+    for (&a, &n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
+        let abs = (a - n).abs();
+        let rel = abs / a.abs().max(n.abs()).max(1.0);
+        max_abs = max_abs.max(abs);
+        max_rel = max_rel.max(rel);
+    }
+    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    #[test]
+    fn finite_diff_matches_known_quadratic() {
+        // L = Σ θ²  ⇒  ∇ = 2θ.
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 3, vec![1.0, -0.5, 2.0]));
+        let numeric = finite_diff_grad(&mut store, id, 1e-3, |s| s.get(id).sum_squares());
+        let expect = store.get(id).scale(2.0);
+        let report = compare(&expect, &numeric);
+        assert!(report.passes(1e-3), "{report:?}");
+    }
+
+    #[test]
+    fn finite_diff_restores_parameters() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 2, vec![0.25, -0.75]));
+        let before = store.get(id).clone();
+        let _ = finite_diff_grad(&mut store, id, 1e-3, |s| s.get(id).sum());
+        assert!(store.get(id).approx_eq(&before, 0.0));
+    }
+
+    #[test]
+    fn tape_backward_passes_check_on_composite() {
+        // L = sum_squares(tanh(W x + b)) against finite differences.
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![0.3, -0.2, 0.5, 0.1]));
+        let b = store.add("b", Matrix::from_vec(1, 2, vec![0.05, -0.1]));
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.5, -0.5, 0.25, 0.75, -1.0]);
+
+        let run = |s: &ParamStore| -> f32 {
+            let mut tape = Tape::new(s);
+            let vx = tape.input(x.clone());
+            let vw = tape.param(w);
+            let vb = tape.param(b);
+            let lin = tape.matmul(vx, vw);
+            let biased = tape.add_bias(lin, vb);
+            let act = tape.tanh(biased);
+            let loss = tape.sum_squares(act);
+            tape.value(loss).get(0, 0)
+        };
+
+        let mut tape = Tape::new(&store);
+        let vx = tape.input(x.clone());
+        let vw = tape.param(w);
+        let vb = tape.param(b);
+        let lin = tape.matmul(vx, vw);
+        let biased = tape.add_bias(lin, vb);
+        let act = tape.tanh(biased);
+        let loss = tape.sum_squares(act);
+        let grads = tape.backward(loss);
+
+        for id in [w, b] {
+            let numeric = finite_diff_grad(&mut store, id, 1e-3, run);
+            let report = compare(grads.get(id).unwrap(), &numeric);
+            assert!(report.passes(2e-3), "param {}: {report:?}", store.name(id));
+        }
+    }
+
+    #[test]
+    fn report_flags_wrong_gradient() {
+        let analytic = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let numeric = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let report = compare(&analytic, &numeric);
+        assert!(!report.passes(1e-3));
+        assert!((report.max_abs_err - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,74 @@
+//! # smgcn-tensor — neural substrate for the SMGCN reproduction
+//!
+//! The original SMGCN implementation (Jin et al., ICDE 2020) is written in
+//! TensorFlow. No ML framework is available in this offline build, so this
+//! crate provides the complete substrate the paper's models need:
+//!
+//! - [`matrix`] — dense row-major `f32` matrices with the kernels every
+//!   layer is built from (GEMM, transposed GEMM, concat/split, reductions),
+//!   parallelised deterministically over output rows;
+//! - [`sparse`] — CSR adjacency matrices and sparse-dense products for
+//!   graph convolutions and set pooling;
+//! - [`tape`] — define-by-run reverse-mode autograd over a persistent
+//!   [`tape::ParamStore`], with one op per primitive the paper's equations
+//!   use;
+//! - [`optim`] — Adam (the paper's optimizer) and SGD, with the paper's
+//!   `λ‖Θ‖²` regularisation realised as weight decay;
+//! - [`init`] — Xavier initialisation (the paper's initializer) and seeded
+//!   RNG plumbing;
+//! - [`gradcheck`] — finite-difference validation used by the test suite to
+//!   certify every backward formula;
+//! - [`checkpoint`] — binary save/load of trained parameter stores.
+//!
+//! ## Example
+//!
+//! ```
+//! use smgcn_tensor::prelude::*;
+//!
+//! // Fit y = x.W with a two-parameter model.
+//! let mut rng = seeded_rng(42);
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", xavier_uniform(2, 1, &mut rng));
+//! let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+//! let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+//! let mut adam = Adam::new(0.05);
+//! let mut final_loss = f32::INFINITY;
+//! for _ in 0..400 {
+//!     let mut tape = Tape::new(&store);
+//!     let vx = tape.input(x.clone());
+//!     let vw = tape.param(w);
+//!     let pred = tape.matmul(vx, vw);
+//!     let target = tape.input(y.clone());
+//!     let diff = tape.sub(pred, target);
+//!     let loss = tape.sum_squares(diff);
+//!     final_loss = tape.value(loss).get(0, 0);
+//!     let grads = tape.backward(loss);
+//!     adam.step(&mut store, &grads);
+//! }
+//! assert!(final_loss < 1e-2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod gradcheck;
+pub mod init;
+pub mod matrix;
+pub mod optim;
+pub mod par;
+pub mod sparse;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use sparse::{CsrMatrix, SharedCsr};
+pub use tape::{Gradients, ParamId, ParamStore, Tape, Var};
+
+/// Common imports for model code.
+pub mod prelude {
+    pub use crate::gradcheck::{compare, finite_diff_grad};
+    pub use crate::init::{seeded_rng, xavier_normal, xavier_uniform};
+    pub use crate::matrix::Matrix;
+    pub use crate::optim::{Adam, Optimizer, Sgd};
+    pub use crate::sparse::{CsrMatrix, SharedCsr};
+    pub use crate::tape::{Gradients, ParamId, ParamStore, Tape, Var};
+}

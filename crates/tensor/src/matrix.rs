@@ -1,0 +1,580 @@
+//! Dense row-major `f32` matrices and the kernels the autograd layer is built on.
+//!
+//! The matrix type is deliberately minimal: two dimensions, `f32` storage,
+//! row-major layout. Every model in the SMGCN paper (Bipar-GCN, SGE, the
+//! syndrome-induction MLP, all baselines) is expressible with 2-D tensors, so
+//! a full n-d tensor type would only add indexing overhead.
+//!
+//! All binary kernels panic on shape mismatch with a message naming the
+//! offending dimensions; shape errors in a training loop are programmer bugs,
+//! not recoverable conditions.
+
+use crate::par;
+
+/// A dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 64 {
+            writeln!(f)?;
+            for r in 0..self.rows {
+                writeln!(f, "  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix where entry `(r, c)` is `f(r, c)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a square identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// A `1 x values.len()` row vector.
+    pub fn row_vector(values: Vec<f32>) -> Self {
+        let cols = values.len();
+        Self::from_vec(1, cols, values)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair, convenient for assertions.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable slice over row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable slice over row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over row slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    fn assert_same_shape(&self, other: &Matrix, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Element-wise sum, producing a new matrix.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "Matrix::add");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place element-wise accumulation `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "Matrix::add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// In-place scaled accumulation `self += alpha * other`.
+    pub fn add_scaled_assign(&mut self, other: &Matrix, alpha: f32) {
+        self.assert_same_shape(other, "Matrix::add_scaled_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * *b;
+        }
+    }
+
+    /// Element-wise difference, producing a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "Matrix::sub");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.assert_same_shape(other, "Matrix::hadamard");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scalar multiple, producing a new matrix.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * alpha).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Dense matrix product `self @ other`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams over contiguous
+    /// rows of `other`, and parallelises over output-row chunks for larger
+    /// problems (each output row is computed sequentially, so results are
+    /// bit-for-bit deterministic regardless of thread count).
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "Matrix::matmul: inner dimensions differ ({}x{} @ {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
+        let k_dim = self.cols;
+        let lhs = &self.data;
+        let rhs = &other.data;
+        par::for_each_row_chunk(&mut out.data, n, self.rows, |r0, chunk| {
+            for (local_r, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let r = r0 + local_r;
+                let lhs_row = &lhs[r * k_dim..(r + 1) * k_dim];
+                for (k, &a) in lhs_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let rhs_row = &rhs[k * n..(k + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Dense matrix product with a transposed right operand: `self @ other^T`.
+    ///
+    /// This is the hot kernel for the prediction layer
+    /// `g(sc, H) = e_syndrome(sc) . e_H^T` (Eq. 13): both operands are
+    /// traversed row-major, so no explicit transpose is materialised.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "Matrix::matmul_transb: inner dimensions differ ({}x{} @ ({}x{})^T)",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let n = other.rows;
+        let k_dim = self.cols;
+        let lhs = &self.data;
+        let rhs = &other.data;
+        par::for_each_row_chunk(&mut out.data, n, self.rows, |r0, chunk| {
+            for (local_r, out_row) in chunk.chunks_exact_mut(n).enumerate() {
+                let r = r0 + local_r;
+                let lhs_row = &lhs[r * k_dim..(r + 1) * k_dim];
+                for (c, o) in out_row.iter_mut().enumerate() {
+                    let rhs_row = &rhs[c * k_dim..(c + 1) * k_dim];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in lhs_row.iter().zip(rhs_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
+        out
+    }
+
+    /// Concatenates two matrices with equal row counts along the column axis.
+    ///
+    /// # Panics
+    /// Panics if row counts differ.
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "Matrix::concat_cols: row counts differ ({} vs {})",
+            self.rows, other.rows
+        );
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix { rows: self.rows, cols, data }
+    }
+
+    /// Splits the matrix into two column blocks `[.., left_cols]` and the rest.
+    ///
+    /// # Panics
+    /// Panics if `left_cols > self.cols`.
+    pub fn split_cols(&self, left_cols: usize) -> (Matrix, Matrix) {
+        assert!(
+            left_cols <= self.cols,
+            "Matrix::split_cols: split {} exceeds cols {}",
+            left_cols,
+            self.cols
+        );
+        let right_cols = self.cols - left_cols;
+        let mut left = Matrix::zeros(self.rows, left_cols);
+        let mut right = Matrix::zeros(self.rows, right_cols);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            left.row_mut(r).copy_from_slice(&row[..left_cols]);
+            right.row_mut(r).copy_from_slice(&row[left_cols..]);
+        }
+        (left, right)
+    }
+
+    /// Gathers rows by index into a new matrix (embedding lookup).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (o, &idx) in indices.iter().enumerate() {
+            let idx = idx as usize;
+            assert!(
+                idx < self.rows,
+                "Matrix::gather_rows: index {idx} out of bounds for {} rows",
+                self.rows
+            );
+            out.row_mut(o).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Column sums as a `1 x cols` row vector.
+    pub fn col_sums(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of squared entries (`||A||_F^2`).
+    pub fn sum_squares(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.sum_squares().sqrt()
+    }
+
+    /// Maximum absolute entry difference against `other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        self.assert_same_shape(other, "Matrix::max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    /// True when every entry differs from `other` by at most `tol`.
+    pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
+        self.shape() == other.shape() && self.max_abs_diff(other) <= tol
+    }
+
+    /// True when every entry is finite (no NaN / infinity).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn zeros_and_filled_have_expected_entries() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Matrix::filled(3, 2, 1.5);
+        assert!(f.as_slice().iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn from_fn_indexes_row_major() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(0, 2), 2.0);
+        assert_eq!(a.get(1, 1), 11.0);
+        assert_eq!(a.row(1), &[10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert!(a.matmul(&i).approx_eq(&a, 0.0));
+        assert!(i.matmul(&a).approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let direct = a.matmul_transb(&b);
+        let via_t = a.matmul(&b.transpose());
+        assert!(direct.approx_eq(&via_t, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_dim_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn add_sub_scale_hadamard() {
+        let a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn add_scaled_assign_accumulates() {
+        let mut a = m(1, 2, &[1.0, 1.0]);
+        let b = m(1, 2, &[2.0, 4.0]);
+        a.add_scaled_assign(&b, 0.5);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_and_split_round_trip() {
+        let a = m(2, 2, &[1.0, 2.0, 5.0, 6.0]);
+        let b = m(2, 3, &[3.0, 4.0, 0.0, 7.0, 8.0, 9.0]);
+        let cat = a.concat_cols(&b);
+        assert_eq!(cat.shape(), (2, 5));
+        assert_eq!(cat.row(0), &[1.0, 2.0, 3.0, 4.0, 0.0]);
+        let (l, r) = cat.split_cols(2);
+        assert!(l.approx_eq(&a, 0.0));
+        assert!(r.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn gather_rows_selects_and_repeats() {
+        let a = m(3, 2, &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[20.0, 21.0]);
+        assert_eq!(g.row(1), &[0.0, 1.0]);
+        assert_eq!(g.row(2), &[20.0, 21.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_rows_rejects_oob() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a.gather_rows(&[5]);
+    }
+
+    #[test]
+    fn col_sums_and_reductions() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.col_sums().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum(), 21.0);
+        assert_eq!(a.sum_squares(), 91.0);
+        assert!((a.frobenius_norm() - 91.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_matmul_parallel_matches_small_path() {
+        // Exercises the chunked parallel path against a sequential reference.
+        let a = Matrix::from_fn(257, 31, |r, c| ((r * 7 + c * 3) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(31, 65, |r, c| ((r * 5 + c) % 11) as f32 - 5.0);
+        let fast = a.matmul(&b);
+        let mut slow = Matrix::zeros(257, 65);
+        for r in 0..257 {
+            for k in 0..31 {
+                for c in 0..65 {
+                    let v = slow.get(r, c) + a.get(r, k) * b.get(k, c);
+                    slow.set(r, c, v);
+                }
+            }
+        }
+        assert!(fast.approx_eq(&slow, 1e-4));
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut a = Matrix::zeros(1, 2);
+        assert!(a.all_finite());
+        a.set(0, 1, f32::NAN);
+        assert!(!a.all_finite());
+    }
+}

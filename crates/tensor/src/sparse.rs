@@ -1,0 +1,371 @@
+//! Compressed-sparse-row matrices for graph adjacency structure.
+//!
+//! Every graph in the paper — the symptom–herb bipartite graph `SH`, the
+//! synergy graphs `SS`/`HH`, and the per-batch symptom-set pooling matrix —
+//! is a sparse 0/1 (or row-normalised) matrix that stays *fixed* during
+//! training. The autograd layer therefore treats CSR matrices as constants
+//! and only differentiates through the dense operand of [`CsrMatrix::spmm`].
+
+use crate::matrix::Matrix;
+use crate::par;
+
+/// A sparse matrix in compressed-sparse-row format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `indptr[r]..indptr[r+1]` bounds row `r`'s entries; length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column index per stored entry, sorted within each row.
+    indices: Vec<u32>,
+    /// Stored value per entry.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order; duplicates are summed. Entries that
+    /// sum to exactly zero are still stored (callers filter beforehand when
+    /// they care).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "CsrMatrix::from_triplets: entry ({r}, {c}) out of bounds for {rows}x{cols}"
+            );
+        }
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values = Vec::with_capacity(sorted.len());
+        indptr.push(0);
+        let mut current_row = 0usize;
+        for &(r, c, v) in &sorted {
+            let r = r as usize;
+            while current_row < r {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (indices.last(), values.last_mut()) {
+                if indptr.len() - 1 == r && last_c == c && indptr[r] < indices.len() {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while current_row < rows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+        debug_assert_eq!(indptr.len(), rows + 1);
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Sparse identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored entries of row `r` as parallel `(column, value)` slices.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of stored entries in row `r` (the node degree for 0/1 graphs).
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Iterates over all stored `(row, col, value)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// Value at `(r, c)`, zero when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns the transpose in CSR form.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut next = counts;
+        for (r, c, v) in self.iter() {
+            let slot = next[c as usize];
+            indices[slot] = r;
+            values[slot] = v;
+            next[c as usize] += 1;
+        }
+        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Scales each row by `1 / row_sum` (rows with zero sum are left as-is),
+    /// producing the mean-aggregation operator `1/|N(v)| * A` used by
+    /// Bipar-GCN message merging (Eqs. 2, 3, 7, 9).
+    pub fn row_normalized(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let lo = out.indptr[r];
+            let hi = out.indptr[r + 1];
+            let sum: f32 = out.values[lo..hi].iter().sum();
+            if sum != 0.0 {
+                let inv = 1.0 / sum;
+                for v in &mut out.values[lo..hi] {
+                    *v *= inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse-dense product `self @ dense`.
+    ///
+    /// Parallelised over output-row chunks; each output row accumulates
+    /// sequentially, so results are deterministic.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != dense.rows`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "CsrMatrix::spmm: inner dimensions differ ({}x{} @ {}x{})",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let n = dense.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        let dense_data = dense.as_slice();
+        par::for_each_row_chunk(out.as_mut_slice(), n, self.rows, |r0, chunk| {
+            for (local_r, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+                let r = r0 + local_r;
+                let (cols, vals) = self.row(r);
+                for (&c, &a) in cols.iter().zip(vals) {
+                    let dense_row = &dense_data[c as usize * n..(c as usize + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(dense_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Densifies into a [`Matrix`] (test and debugging helper).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out.set(r as usize, c as usize, out.get(r as usize, c as usize) + v);
+        }
+        out
+    }
+
+    /// True if the matrix equals its transpose (synergy graphs must be).
+    pub fn is_symmetric(&self) -> bool {
+        self.rows == self.cols && *self == self.transpose()
+    }
+}
+
+/// A sparse operator paired with its precomputed transpose, shared by
+/// forward and backward passes of [`spmm`](CsrMatrix::spmm) in the autograd
+/// tape. Graphs are fixed across training, so the transpose is built once.
+#[derive(Clone, Debug)]
+pub struct SharedCsr {
+    forward: std::sync::Arc<CsrMatrix>,
+    backward: std::sync::Arc<CsrMatrix>,
+}
+
+impl SharedCsr {
+    /// Wraps a CSR matrix, precomputing its transpose.
+    pub fn new(m: CsrMatrix) -> Self {
+        let backward = m.transpose();
+        Self { forward: std::sync::Arc::new(m), backward: std::sync::Arc::new(backward) }
+    }
+
+    /// The forward operator `A`.
+    pub fn forward(&self) -> &CsrMatrix {
+        &self.forward
+    }
+
+    /// The backward operator `A^T`.
+    pub fn backward(&self) -> &CsrMatrix {
+        &self.backward
+    }
+
+    /// Shape of the forward operator.
+    pub fn shape(&self) -> (usize, usize) {
+        self.forward.shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn from_triplets_orders_and_indexes() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn from_triplets_sums_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (0, 1, 2.5), (1, 0, 1.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_rejects_oob() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn unsorted_triplets_match_sorted() {
+        let t_sorted = [(0u32, 0u32, 1.0f32), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)];
+        let t_shuffled = [(2u32, 1u32, 4.0f32), (0, 2, 2.0), (2, 0, 3.0), (0, 0, 1.0)];
+        assert_eq!(
+            CsrMatrix::from_triplets(3, 3, &t_sorted),
+            CsrMatrix::from_triplets(3, 3, &t_shuffled)
+        );
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_dense_product() {
+        let s = sample();
+        let d = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5 - 2.0);
+        let sparse_result = s.spmm(&d);
+        let dense_result = s.to_dense().matmul(&d);
+        assert!(sparse_result.approx_eq(&dense_result, 1e-6));
+    }
+
+    #[test]
+    fn spmm_on_empty_rows_yields_zeros() {
+        let s = CsrMatrix::zeros(2, 3);
+        let d = Matrix::filled(3, 2, 1.0);
+        let out = s.spmm(&d);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let m = sample().row_normalized();
+        assert!((m.get(0, 0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((m.get(0, 2) - 2.0 / 3.0).abs() < 1e-6);
+        // Empty row untouched.
+        assert_eq!(m.row_nnz(1), 0);
+        assert!((m.get(2, 0) + m.get(2, 1) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let i = CsrMatrix::identity(3);
+        let d = Matrix::from_fn(3, 3, |r, c| (r + c) as f32);
+        assert!(i.spmm(&d).approx_eq(&d, 0.0));
+        assert!(i.is_symmetric());
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        assert!(sym.is_symmetric());
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        assert!(!asym.is_symmetric());
+    }
+
+    #[test]
+    fn shared_csr_pairs_transpose() {
+        let s = SharedCsr::new(sample());
+        assert_eq!(s.backward().shape(), (3, 3));
+        assert_eq!(s.forward().get(2, 0), s.backward().get(0, 2));
+    }
+}

@@ -1,0 +1,899 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! Training in this reproduction is define-by-run, like the TensorFlow 2 /
+//! PyTorch style the original SMGCN implementation used: each optimisation
+//! step builds a fresh [`Tape`] over the persistent [`ParamStore`], runs the
+//! forward computation while recording one [`Op`] node per primitive, and
+//! then [`Tape::backward`] walks the nodes in reverse, accumulating matrix
+//! gradients per parameter into a [`Gradients`] map.
+//!
+//! The op set is exactly what the paper's equations require:
+//!
+//! - Eq. 1/7/9 message construction: [`Tape::matmul`] + [`Tape::spmm`]
+//!   (mean-merge as a row-normalised sparse operator) + [`Tape::tanh`];
+//! - Eq. 4–6/8 GraphSAGE aggregation: [`Tape::concat_cols`] + `matmul` +
+//!   `tanh`;
+//! - Eq. 10 synergy encoding: `spmm` (sum aggregator) + `matmul` + `tanh`;
+//! - Eq. 11 fusion: [`Tape::add`];
+//! - Eq. 12 syndrome induction: `spmm` (set-mean pooling) + `matmul` +
+//!   [`Tape::add_bias`] + [`Tape::relu`];
+//! - Eq. 13–15 prediction & loss: [`Tape::matmul_transb`] +
+//!   [`Tape::weighted_mse`] (and [`Tape::bpr_loss`] for the Table VIII
+//!   ablation);
+//! - the HeteGCN baseline's type attention: [`Tape::sub`],
+//!   [`Tape::sigmoid`], [`Tape::affine`], [`Tape::scale_rows`];
+//! - NGCF propagation: [`Tape::hadamard`] + [`Tape::leaky_relu`];
+//! - regularisation / robustness: [`Tape::sum_squares`], [`Tape::dropout`].
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+use crate::sparse::SharedCsr;
+
+/// Handle to a trainable parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+impl ParamId {
+    /// Raw index (stable for the lifetime of the store).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Persistent storage for model parameters, living across training steps.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a named parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable parameter value (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Parameter name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Iterates over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Sum of squared entries over all parameters (`||Θ||₂²` in Eq. 13).
+    pub fn l2_squared(&self) -> f32 {
+        self.values.iter().map(Matrix::sum_squares).sum()
+    }
+
+    /// True when every parameter entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(Matrix::all_finite)
+    }
+}
+
+/// Per-parameter gradients produced by [`Tape::backward`].
+#[derive(Clone, Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    fn new(n_params: usize) -> Self {
+        Self { grads: (0..n_params).map(|_| None).collect() }
+    }
+
+    /// Gradient for `id`, if the parameter participated in the loss.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Iterates over `(id, grad)` for parameters that received gradients.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|m| (ParamId(i), m)))
+    }
+
+    /// Number of parameters that received a gradient.
+    pub fn present_count(&self) -> usize {
+        self.grads.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Global gradient L2 norm (diagnostics / clipping).
+    pub fn l2_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(Matrix::sum_squares)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients in place (used for gradient clipping).
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_assign(alpha);
+        }
+    }
+
+    fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
+        match &mut self.grads[id.0] {
+            Some(g) => g.add_assign(delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+}
+
+/// A node handle on the tape. `Copy`, cheap, only valid for its own tape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+enum Op {
+    Param(ParamId),
+    Input,
+    MatMul(Var, Var),
+    MatMulTransB(Var, Var),
+    Add(Var, Var),
+    Sub(Var, Var),
+    AddBias(Var, Var),
+    Scale(Var, f32),
+    // The additive constant is applied when the forward value is computed;
+    // backward only needs the multiplier.
+    Affine(Var, f32),
+    Hadamard(Var, Var),
+    ScaleRows(Var, Var),
+    Tanh(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    ConcatCols(Var, Var),
+    SpMM(SharedCsr, Var),
+    GatherRows(Var, Arc<Vec<u32>>),
+    Dropout(Var, Arc<Matrix>),
+    WeightedMse { pred: Var, target: Arc<Matrix>, weights: Arc<Vec<f32>> },
+    Bpr { pred: Var, pairs: Arc<Vec<(u32, u32, u32)>> },
+    SumSquares(Var),
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// A single forward computation recorded for reverse-mode differentiation.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'s> Tape<'s> {
+    /// Starts an empty tape over a parameter store.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self { store, nodes: Vec::with_capacity(64) }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        debug_assert!(value.all_finite(), "tape op produced non-finite values");
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Brings a parameter onto the tape as a leaf.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.store.get(id).clone();
+        self.push(Op::Param(id), value)
+    }
+
+    /// Brings a constant matrix onto the tape (no gradient flows into it).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(Op::Input, value)
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    /// `a @ b^T` — the prediction layer kernel of Eq. 13.
+    pub fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_transb(self.value(b));
+        self.push(Op::MatMulTransB(a, b), value)
+    }
+
+    /// Element-wise `a + b` (the fusion step of Eq. 11).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), value)
+    }
+
+    /// Element-wise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a, b), value)
+    }
+
+    /// Broadcasts a `1 x d` bias row over every row of `x` (Eq. 12's `b_mlp`).
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let (xm, bm) = (self.value(x), self.value(bias));
+        assert_eq!(bm.rows(), 1, "add_bias: bias must be a 1-row matrix");
+        assert_eq!(
+            xm.cols(),
+            bm.cols(),
+            "add_bias: width mismatch ({} vs {})",
+            xm.cols(),
+            bm.cols()
+        );
+        let mut value = xm.clone();
+        for r in 0..value.rows() {
+            for (v, &b) in value.row_mut(r).iter_mut().zip(bm.row(0)) {
+                *v += b;
+            }
+        }
+        self.push(Op::AddBias(x, bias), value)
+    }
+
+    /// `alpha * x`.
+    pub fn scale(&mut self, x: Var, alpha: f32) -> Var {
+        let value = self.value(x).scale(alpha);
+        self.push(Op::Scale(x, alpha), value)
+    }
+
+    /// Element-wise affine map `mul * x + add` (e.g. `1 - x` for attention
+    /// complements).
+    pub fn affine(&mut self, x: Var, mul: f32, add: f32) -> Var {
+        let value = self.value(x).map(|v| mul * v + add);
+        self.push(Op::Affine(x, mul), value)
+    }
+
+    /// Element-wise product (NGCF's affinity term).
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(Op::Hadamard(a, b), value)
+    }
+
+    /// Scales row `i` of `x` by the scalar `s[i, 0]` (HeteGCN type attention).
+    ///
+    /// # Panics
+    /// Panics unless `s` is a column vector with one row per row of `x`.
+    pub fn scale_rows(&mut self, x: Var, s: Var) -> Var {
+        let (xm, sm) = (self.value(x), self.value(s));
+        assert_eq!(sm.cols(), 1, "scale_rows: scale must be a column vector");
+        assert_eq!(
+            xm.rows(),
+            sm.rows(),
+            "scale_rows: row mismatch ({} vs {})",
+            xm.rows(),
+            sm.rows()
+        );
+        let mut value = xm.clone();
+        for r in 0..value.rows() {
+            let alpha = sm.get(r, 0);
+            for v in value.row_mut(r) {
+                *v *= alpha;
+            }
+        }
+        self.push(Op::ScaleRows(x, s), value)
+    }
+
+    /// Element-wise `tanh` — the paper's activation throughout Bipar-GCN/SGE.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(f32::tanh);
+        self.push(Op::Tanh(x), value)
+    }
+
+    /// Element-wise ReLU (Eq. 12's syndrome-induction MLP).
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        self.push(Op::Relu(x), value)
+    }
+
+    /// Element-wise LeakyReLU (NGCF's activation).
+    pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
+        let value = self.value(x).map(|v| if v > 0.0 { v } else { slope * v });
+        self.push(Op::LeakyRelu(x, slope), value)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(Op::Sigmoid(x), value)
+    }
+
+    /// `[a || b]` column concatenation — the GraphSAGE aggregator input.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(Op::ConcatCols(a, b), value)
+    }
+
+    /// Sparse-dense product `A @ x` with a fixed sparse operator.
+    ///
+    /// With a row-normalised adjacency this is the paper's *mean* neighbor
+    /// merge (Eqs. 2/3/7/9); with a raw 0/1 adjacency it is the *sum*
+    /// aggregation used on the synergy graphs (Eq. 10); with a
+    /// row-normalised symptom-set incidence matrix it is the average pooling
+    /// of Eq. 12.
+    pub fn spmm(&mut self, a: &SharedCsr, x: Var) -> Var {
+        let value = a.forward().spmm(self.value(x));
+        self.push(Op::SpMM(a.clone(), x), value)
+    }
+
+    /// Gathers rows of `x` by index (embedding lookup).
+    pub fn gather_rows(&mut self, x: Var, indices: Arc<Vec<u32>>) -> Var {
+        let value = self.value(x).gather_rows(&indices);
+        self.push(Op::GatherRows(x, indices), value)
+    }
+
+    /// Inverted-dropout with rate `p`: keeps entries with probability
+    /// `1 - p`, scaling survivors by `1 / (1 - p)`.
+    ///
+    /// The paper applies *message dropout* on aggregated neighborhood
+    /// embeddings (§V-E-3, Fig. 9); the model code calls this on `b_N` nodes.
+    pub fn dropout(&mut self, x: Var, rate: f32, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&rate), "dropout: rate must be in [0, 1), got {rate}");
+        if rate == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - rate;
+        let scale = 1.0 / keep;
+        let (rows, cols) = self.value(x).shape();
+        let mask = Matrix::from_fn(rows, cols, |_, _| {
+            if rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        self.dropout_with_mask(x, Arc::new(mask))
+    }
+
+    /// Dropout with an explicit mask (deterministic testing hook).
+    pub fn dropout_with_mask(&mut self, x: Var, mask: Arc<Matrix>) -> Var {
+        let value = self.value(x).hadamard(&mask);
+        self.push(Op::Dropout(x, mask), value)
+    }
+
+    /// The paper's multi-label objective (Eqs. 13–15): mean over batch rows
+    /// of `Σ_i w_i (target_i - pred_i)²`, as a `1x1` scalar node.
+    ///
+    /// `weights[i]` is the per-herb imbalance weight
+    /// `max_k freq(k) / freq(i)`.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree or `weights.len() != pred.cols()`.
+    pub fn weighted_mse(&mut self, pred: Var, target: Arc<Matrix>, weights: Arc<Vec<f32>>) -> Var {
+        let p = self.value(pred);
+        assert_eq!(p.shape(), target.shape(), "weighted_mse: pred/target shape mismatch");
+        assert_eq!(
+            weights.len(),
+            p.cols(),
+            "weighted_mse: weights length {} != label count {}",
+            weights.len(),
+            p.cols()
+        );
+        let batch = p.rows().max(1) as f32;
+        let mut acc = 0.0f64;
+        for r in 0..p.rows() {
+            for ((&pv, &tv), &w) in p.row(r).iter().zip(target.row(r)).zip(weights.iter()) {
+                let d = (tv - pv) as f64;
+                acc += w as f64 * d * d;
+            }
+        }
+        let value = Matrix::from_vec(1, 1, vec![(acc / batch as f64) as f32]);
+        self.push(Op::WeightedMse { pred, target, weights }, value)
+    }
+
+    /// Pair-wise BPR loss (Table VIII ablation):
+    /// `-(1/|pairs|) Σ ln σ(pred[b, pos] - pred[b, neg])`.
+    ///
+    /// Each pair is `(batch_row, positive_herb, negative_herb)`.
+    pub fn bpr_loss(&mut self, pred: Var, pairs: Arc<Vec<(u32, u32, u32)>>) -> Var {
+        let p = self.value(pred);
+        assert!(!pairs.is_empty(), "bpr_loss: empty pair set");
+        let mut acc = 0.0f64;
+        for &(b, pos, neg) in pairs.iter() {
+            let x = p.get(b as usize, pos as usize) - p.get(b as usize, neg as usize);
+            // ln σ(x) = -softplus(-x), computed stably.
+            let softplus = if -x > 30.0 { -x } else { (1.0 + (-x).exp()).ln() };
+            acc += softplus as f64;
+        }
+        let value = Matrix::from_vec(1, 1, vec![(acc / pairs.len() as f64) as f32]);
+        self.push(Op::Bpr { pred, pairs }, value)
+    }
+
+    /// `Σ x²` as a scalar node (explicit L2 terms).
+    pub fn sum_squares(&mut self, x: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum_squares()]);
+        self.push(Op::SumSquares(x), value)
+    }
+
+    /// Runs reverse-mode differentiation from a scalar loss node.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1x1`.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be a 1x1 scalar node"
+        );
+        let mut node_grads: Vec<Option<Matrix>> = (0..=loss.0).map(|_| None).collect();
+        node_grads[loss.0] = Some(Matrix::filled(1, 1, 1.0));
+        let mut out = Gradients::new(self.store.len());
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = node_grads[idx].take() else { continue };
+            match &self.nodes[idx].op {
+                Op::Param(id) => out.accumulate(*id, &g),
+                Op::Input => {}
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_transb(self.value(*b));
+                    let gb = self.value(*a).transpose().matmul(&g);
+                    acc(&mut node_grads, *a, ga);
+                    acc(&mut node_grads, *b, gb);
+                }
+                Op::MatMulTransB(a, b) => {
+                    let ga = g.matmul(self.value(*b));
+                    let gb = g.transpose().matmul(self.value(*a));
+                    acc(&mut node_grads, *a, ga);
+                    acc(&mut node_grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    acc(&mut node_grads, *a, g.clone());
+                    acc(&mut node_grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    acc(&mut node_grads, *a, g.clone());
+                    acc(&mut node_grads, *b, g.scale(-1.0));
+                }
+                Op::AddBias(x, bias) => {
+                    acc(&mut node_grads, *bias, g.col_sums());
+                    acc(&mut node_grads, *x, g);
+                }
+                Op::Scale(x, alpha) => acc(&mut node_grads, *x, g.scale(*alpha)),
+                Op::Affine(x, mul) => acc(&mut node_grads, *x, g.scale(*mul)),
+                Op::Hadamard(a, b) => {
+                    let ga = g.hadamard(self.value(*b));
+                    let gb = g.hadamard(self.value(*a));
+                    acc(&mut node_grads, *a, ga);
+                    acc(&mut node_grads, *b, gb);
+                }
+                Op::ScaleRows(x, s) => {
+                    let xm = self.value(*x);
+                    let sm = self.value(*s);
+                    let mut gx = g.clone();
+                    for r in 0..gx.rows() {
+                        let alpha = sm.get(r, 0);
+                        for v in gx.row_mut(r) {
+                            *v *= alpha;
+                        }
+                    }
+                    let mut gs = Matrix::zeros(sm.rows(), 1);
+                    for r in 0..g.rows() {
+                        let dot: f32 =
+                            g.row(r).iter().zip(xm.row(r)).map(|(&gv, &xv)| gv * xv).sum();
+                        gs.set(r, 0, dot);
+                    }
+                    acc(&mut node_grads, *x, gx);
+                    acc(&mut node_grads, *s, gs);
+                }
+                Op::Tanh(x) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        let yv = y.get(r, c);
+                        g.get(r, c) * (1.0 - yv * yv)
+                    });
+                    acc(&mut node_grads, *x, gx);
+                }
+                Op::Relu(x) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        if y.get(r, c) > 0.0 {
+                            g.get(r, c)
+                        } else {
+                            0.0
+                        }
+                    });
+                    acc(&mut node_grads, *x, gx);
+                }
+                Op::LeakyRelu(x, slope) => {
+                    let xin = self.value(*x);
+                    let gx = Matrix::from_fn(xin.rows(), xin.cols(), |r, c| {
+                        if xin.get(r, c) > 0.0 {
+                            g.get(r, c)
+                        } else {
+                            slope * g.get(r, c)
+                        }
+                    });
+                    acc(&mut node_grads, *x, gx);
+                }
+                Op::Sigmoid(x) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
+                        let yv = y.get(r, c);
+                        g.get(r, c) * yv * (1.0 - yv)
+                    });
+                    acc(&mut node_grads, *x, gx);
+                }
+                Op::ConcatCols(a, b) => {
+                    let left_cols = self.value(*a).cols();
+                    let (ga, gb) = g.split_cols(left_cols);
+                    acc(&mut node_grads, *a, ga);
+                    acc(&mut node_grads, *b, gb);
+                }
+                Op::SpMM(shared, x) => {
+                    let gx = shared.backward().spmm(&g);
+                    acc(&mut node_grads, *x, gx);
+                }
+                Op::GatherRows(x, indices) => {
+                    let xm = self.value(*x);
+                    let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                    for (o, &src) in indices.iter().enumerate() {
+                        let src = src as usize;
+                        let grow = g.row(o).to_vec();
+                        for (v, gv) in gx.row_mut(src).iter_mut().zip(grow) {
+                            *v += gv;
+                        }
+                    }
+                    acc(&mut node_grads, *x, gx);
+                }
+                Op::Dropout(x, mask) => {
+                    acc(&mut node_grads, *x, g.hadamard(mask));
+                }
+                Op::WeightedMse { pred, target, weights } => {
+                    let p = self.value(*pred);
+                    let gscalar = g.get(0, 0);
+                    let batch = p.rows().max(1) as f32;
+                    let gp = Matrix::from_fn(p.rows(), p.cols(), |r, c| {
+                        gscalar * 2.0 * weights[c] * (p.get(r, c) - target.get(r, c)) / batch
+                    });
+                    acc(&mut node_grads, *pred, gp);
+                }
+                Op::Bpr { pred, pairs } => {
+                    let p = self.value(*pred);
+                    let gscalar = g.get(0, 0);
+                    let inv = gscalar / pairs.len() as f32;
+                    let mut gp = Matrix::zeros(p.rows(), p.cols());
+                    for &(b, pos, neg) in pairs.iter() {
+                        let (b, pos, neg) = (b as usize, pos as usize, neg as usize);
+                        let x = p.get(b, pos) - p.get(b, neg);
+                        let sig = 1.0 / (1.0 + (-x).exp());
+                        let d = -(1.0 - sig) * inv;
+                        gp.set(b, pos, gp.get(b, pos) + d);
+                        gp.set(b, neg, gp.get(b, neg) - d);
+                    }
+                    acc(&mut node_grads, *pred, gp);
+                }
+                Op::SumSquares(x) => {
+                    let gscalar = g.get(0, 0);
+                    let gx = self.value(*x).scale(2.0 * gscalar);
+                    acc(&mut node_grads, *x, gx);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn acc(node_grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+    match &mut node_grads[var.0] {
+        Some(g) => g.add_assign(&delta),
+        slot @ None => *slot = Some(delta),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    fn store_with(values: &[(&str, Matrix)]) -> (ParamStore, Vec<ParamId>) {
+        let mut store = ParamStore::new();
+        let ids = values.iter().map(|(n, m)| store.add(*n, m.clone())).collect();
+        (store, ids)
+    }
+
+    #[test]
+    fn param_store_bookkeeping() {
+        let (store, ids) = store_with(&[
+            ("a", Matrix::filled(2, 2, 1.0)),
+            ("b", Matrix::filled(1, 3, 2.0)),
+        ]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 7);
+        assert_eq!(store.name(ids[0]), "a");
+        assert_eq!(store.l2_squared(), 4.0 + 12.0);
+        assert!(store.all_finite());
+    }
+
+    #[test]
+    fn matmul_backward_matches_closed_form() {
+        // loss = sum_squares(A @ B); dL/dA = 2 (A B) B^T, dL/dB = 2 A^T (A B).
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, -1.0, 0.5]);
+        let b = Matrix::from_vec(2, 2, vec![0.5, -1.0, 2.0, 1.0]);
+        let (store, ids) = store_with(&[("a", a.clone()), ("b", b.clone())]);
+        let mut tape = Tape::new(&store);
+        let va = tape.param(ids[0]);
+        let vb = tape.param(ids[1]);
+        let prod = tape.matmul(va, vb);
+        let loss = tape.sum_squares(prod);
+        let grads = tape.backward(loss);
+
+        let ab = a.matmul(&b);
+        let expect_ga = ab.scale(2.0).matmul_transb(&b);
+        let expect_gb = a.transpose().matmul(&ab.scale(2.0));
+        assert!(grads.get(ids[0]).unwrap().approx_eq(&expect_ga, 1e-5));
+        assert!(grads.get(ids[1]).unwrap().approx_eq(&expect_gb, 1e-5));
+    }
+
+    #[test]
+    fn add_and_sub_route_gradients() {
+        let (store, ids) = store_with(&[
+            ("a", Matrix::filled(1, 2, 3.0)),
+            ("b", Matrix::filled(1, 2, 1.0)),
+        ]);
+        let mut tape = Tape::new(&store);
+        let a = tape.param(ids[0]);
+        let b = tape.param(ids[1]);
+        let d = tape.sub(a, b);
+        let loss = tape.sum_squares(d); // (a-b)^2 summed; d/da = 2(a-b)=4, d/db = -4
+        let grads = tape.backward(loss);
+        assert!(grads.get(ids[0]).unwrap().approx_eq(&Matrix::filled(1, 2, 4.0), 1e-6));
+        assert!(grads.get(ids[1]).unwrap().approx_eq(&Matrix::filled(1, 2, -4.0), 1e-6));
+    }
+
+    #[test]
+    fn reused_param_accumulates_gradient() {
+        // loss = sum_squares(a + a) = 4 * sum a^2; grad = 8a.
+        let (store, ids) = store_with(&[("a", Matrix::filled(1, 2, 1.5))]);
+        let mut tape = Tape::new(&store);
+        let a = tape.param(ids[0]);
+        let s = tape.add(a, a);
+        let loss = tape.sum_squares(s);
+        let grads = tape.backward(loss);
+        assert!(grads.get(ids[0]).unwrap().approx_eq(&Matrix::filled(1, 2, 12.0), 1e-5));
+    }
+
+    #[test]
+    fn spmm_backward_uses_transpose() {
+        // loss = sum(A x ⊙ A x); grad_x = 2 A^T (A x).
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)]);
+        let shared = SharedCsr::new(a.clone());
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.5, -1.0, 2.0, 1.0]);
+        let (store, ids) = store_with(&[("x", x.clone())]);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(ids[0]);
+        let ax = tape.spmm(&shared, vx);
+        let loss = tape.sum_squares(ax);
+        let grads = tape.backward(loss);
+        let expect = a.transpose().spmm(&a.spmm(&x).scale(2.0));
+        assert!(grads.get(ids[0]).unwrap().approx_eq(&expect, 1e-5));
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds() {
+        let x = Matrix::from_vec(3, 1, vec![1.0, 2.0, 3.0]);
+        let (store, ids) = store_with(&[("x", x)]);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(ids[0]);
+        // Gather row 1 twice; loss = sum_squares -> each gathered copy
+        // contributes 2*x[1] = 4, scattered back twice => 8.
+        let g = tape.gather_rows(vx, Arc::new(vec![1, 1]));
+        let loss = tape.sum_squares(g);
+        let grads = tape.backward(loss);
+        let gx = grads.get(ids[0]).unwrap();
+        assert_eq!(gx.get(0, 0), 0.0);
+        assert!((gx.get(1, 0) - 8.0).abs() < 1e-6);
+        assert_eq!(gx.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn concat_splits_gradient() {
+        let (store, ids) = store_with(&[
+            ("a", Matrix::filled(2, 1, 2.0)),
+            ("b", Matrix::filled(2, 2, -1.0)),
+        ]);
+        let mut tape = Tape::new(&store);
+        let a = tape.param(ids[0]);
+        let b = tape.param(ids[1]);
+        let cat = tape.concat_cols(a, b);
+        let loss = tape.sum_squares(cat);
+        let grads = tape.backward(loss);
+        assert!(grads.get(ids[0]).unwrap().approx_eq(&Matrix::filled(2, 1, 4.0), 1e-6));
+        assert!(grads.get(ids[1]).unwrap().approx_eq(&Matrix::filled(2, 2, -2.0), 1e-6));
+    }
+
+    #[test]
+    fn weighted_mse_value_and_gradient() {
+        let pred = Matrix::from_vec(2, 2, vec![0.5, 0.0, 1.0, 1.0]);
+        let target = Arc::new(Matrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]));
+        let weights = Arc::new(vec![2.0f32, 1.0]);
+        let (store, ids) = store_with(&[("p", pred)]);
+        let mut tape = Tape::new(&store);
+        let vp = tape.param(ids[0]);
+        let loss = tape.weighted_mse(vp, target, weights);
+        // row0: 2*(1-0.5)^2 + 1*0 = 0.5 ; row1: 0 + 1*(0-1)^2 = 1.0; mean = 0.75
+        assert!((tape.value(loss).get(0, 0) - 0.75).abs() < 1e-6);
+        let grads = tape.backward(loss);
+        let gp = grads.get(ids[0]).unwrap();
+        // d/dp[0,0] = 2*w0*(p-t)/B = 2*2*(-0.5)/2 = -1
+        assert!((gp.get(0, 0) + 1.0).abs() < 1e-6);
+        // d/dp[1,1] = 2*1*(1-0)/2 = 1
+        assert!((gp.get(1, 1) - 1.0).abs() < 1e-6);
+        assert_eq!(gp.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn bpr_loss_prefers_positive() {
+        let pred = Matrix::from_vec(1, 3, vec![1.0, 0.0, -1.0]);
+        let (store, ids) = store_with(&[("p", pred)]);
+        let mut tape = Tape::new(&store);
+        let vp = tape.param(ids[0]);
+        let loss = tape.bpr_loss(vp, Arc::new(vec![(0, 0, 2)]));
+        // x = 2.0; loss = ln(1 + e^-2)
+        let expect = (1.0f32 + (-2.0f32).exp()).ln();
+        assert!((tape.value(loss).get(0, 0) - expect).abs() < 1e-5);
+        let grads = tape.backward(loss);
+        let gp = grads.get(ids[0]).unwrap();
+        assert!(gp.get(0, 0) < 0.0, "positive item gradient must push score up");
+        assert!(gp.get(0, 2) > 0.0, "negative item gradient must push score down");
+        assert_eq!(gp.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn dropout_mask_scales_forward_and_backward() {
+        let x = Matrix::filled(1, 4, 1.0);
+        let (store, ids) = store_with(&[("x", x)]);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(ids[0]);
+        let mask = Arc::new(Matrix::from_vec(1, 4, vec![2.0, 0.0, 2.0, 0.0]));
+        let d = tape.dropout_with_mask(vx, mask);
+        assert_eq!(tape.value(d).as_slice(), &[2.0, 0.0, 2.0, 0.0]);
+        let loss = tape.sum_squares(d);
+        let grads = tape.backward(loss);
+        // d loss/dx = 2 * (x*m) * m = 2*2*2 = 8 where kept, 0 where dropped.
+        assert_eq!(grads.get(ids[0]).unwrap().as_slice(), &[8.0, 0.0, 8.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_zero_rate_is_identity() {
+        let (store, ids) = store_with(&[("x", Matrix::filled(2, 2, 3.0))]);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(ids[0]);
+        let mut rng = crate::init::seeded_rng(7);
+        let d = tape.dropout(vx, 0.0, &mut rng);
+        assert_eq!(d, vx, "rate 0 must not add a node");
+    }
+
+    #[test]
+    fn dropout_keeps_expected_fraction() {
+        let (store, ids) = store_with(&[("x", Matrix::filled(100, 100, 1.0))]);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(ids[0]);
+        let mut rng = crate::init::seeded_rng(42);
+        let d = tape.dropout(vx, 0.3, &mut rng);
+        let kept = tape.value(d).as_slice().iter().filter(|&&v| v != 0.0).count();
+        let frac = kept as f32 / 10_000.0;
+        assert!((frac - 0.7).abs() < 0.03, "kept fraction {frac} too far from 0.7");
+        // Inverted dropout keeps the expectation: mean ≈ 1.
+        let mean = tape.value(d).sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean} too far from 1.0");
+    }
+
+    #[test]
+    fn scale_rows_backward() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = Matrix::from_vec(2, 1, vec![2.0, -1.0]);
+        let (store, ids) = store_with(&[("x", x), ("s", s)]);
+        let mut tape = Tape::new(&store);
+        let vx = tape.param(ids[0]);
+        let vs = tape.param(ids[1]);
+        let y = tape.scale_rows(vx, vs);
+        assert_eq!(tape.value(y).as_slice(), &[2.0, 4.0, -3.0, -4.0]);
+        let loss = tape.sum_squares(y);
+        let grads = tape.backward(loss);
+        // dL/dx = 2*y*s per row; dL/ds_r = Σ_c 2*y[r,c]*x[r,c]
+        let gx = grads.get(ids[0]).unwrap();
+        assert_eq!(gx.as_slice(), &[8.0, 16.0, 6.0, 8.0]);
+        let gs = grads.get(ids[1]).unwrap();
+        // row0: 2*y[0,c]*x[0,c] summed = 2*(2*1 + 4*2) = 20
+        // row1: 2*(-3*3 + -4*4) = -50
+        assert_eq!(gs.as_slice(), &[20.0, -50.0]);
+    }
+
+    #[test]
+    fn affine_and_activations_forward() {
+        let (store, ids) = store_with(&[("x", Matrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]))]);
+        let mut tape = Tape::new(&store);
+        let x = tape.param(ids[0]);
+        let a = tape.affine(x, -1.0, 1.0);
+        assert_eq!(tape.value(a).as_slice(), &[2.0, 1.0, -1.0]);
+        let r = tape.relu(x);
+        assert_eq!(tape.value(r).as_slice(), &[0.0, 0.0, 2.0]);
+        let l = tape.leaky_relu(x, 0.1);
+        assert_eq!(tape.value(l).as_slice(), &[-0.1, 0.0, 2.0]);
+        let t = tape.tanh(x);
+        assert!((tape.value(t).get(0, 2) - 2.0f32.tanh()).abs() < 1e-6);
+        let s = tape.sigmoid(x);
+        assert!((tape.value(s).get(0, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_norm_and_scale() {
+        let (store, ids) = store_with(&[("a", Matrix::filled(1, 1, 3.0))]);
+        let mut tape = Tape::new(&store);
+        let a = tape.param(ids[0]);
+        let loss = tape.sum_squares(a);
+        let mut grads = tape.backward(loss);
+        assert!((grads.l2_norm() - 6.0).abs() < 1e-6);
+        grads.scale_assign(0.5);
+        assert!((grads.get(ids[0]).unwrap().get(0, 0) - 3.0).abs() < 1e-6);
+        assert_eq!(grads.present_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be a 1x1")]
+    fn backward_rejects_non_scalar() {
+        let (store, ids) = store_with(&[("a", Matrix::filled(2, 2, 1.0))]);
+        let mut tape = Tape::new(&store);
+        let a = tape.param(ids[0]);
+        let _ = tape.backward(a);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use smgcn_tensor::{CsrMatrix, Matrix};
+
+/// Strategy: a dense matrix with bounded shape and entries.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a pair (dense, conformable dense) for products.
+fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |d| Matrix::from_vec(m, k, d));
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |d| Matrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+/// Strategy: sparse triplets within a shape.
+fn csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
+    (2..=max_dim, 2..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            (0..r as u32, 0..c as u32, -4.0f32..4.0),
+            0..(r * c).min(24),
+        )
+        .prop_map(move |t| CsrMatrix::from_triplets(r, c, &t))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(a in matrix(8)) {
+        prop_assert!(a.transpose().transpose().approx_eq(&a, 0.0));
+    }
+
+    #[test]
+    fn transpose_swaps_entries(a in matrix(8)) {
+        let t = a.transpose();
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                prop_assert_eq!(a.get(r, c), t.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn add_commutes(a in matrix(8), seed in 0u64..1000) {
+        // Build b with the same shape as a.
+        let mut rng = smgcn_tensor::init::seeded_rng(seed);
+        use rand::Rng;
+        let b = Matrix::from_fn(a.rows(), a.cols(), |_, _| rng.gen_range(-10.0..10.0));
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-5));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add((a, b) in matmul_pair(6), seed in 0u64..1000) {
+        let mut rng = smgcn_tensor::init::seeded_rng(seed);
+        use rand::Rng;
+        let c = Matrix::from_fn(b.rows(), b.cols(), |_, _| rng.gen_range(-5.0..5.0));
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2), "max diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn matmul_transpose_identity((a, b) in matmul_pair(6)) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_transb_consistent((a, b) in matmul_pair(6)) {
+        // a @ b == a @ (b^T)^T via the transb kernel.
+        let bt = b.transpose();
+        prop_assert!(a.matmul_transb(&bt).approx_eq(&a.matmul(&b), 1e-3));
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(8), alpha in -4.0f32..4.0, beta in -4.0f32..4.0) {
+        let lhs = a.scale(alpha + beta);
+        let rhs = a.scale(alpha).add(&a.scale(beta));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn concat_split_roundtrip(a in matrix(6), seed in 0u64..1000) {
+        let mut rng = smgcn_tensor::init::seeded_rng(seed);
+        use rand::Rng;
+        let b = Matrix::from_fn(a.rows(), 1 + (seed as usize % 5), |_, _| rng.gen_range(-1.0..1.0));
+        let cat = a.concat_cols(&b);
+        let (l, r) = cat.split_cols(a.cols());
+        prop_assert!(l.approx_eq(&a, 0.0));
+        prop_assert!(r.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn spmm_matches_dense(s in csr(8), seed in 0u64..1000) {
+        let mut rng = smgcn_tensor::init::seeded_rng(seed);
+        use rand::Rng;
+        let d = Matrix::from_fn(s.cols(), 3, |_, _| rng.gen_range(-2.0..2.0));
+        let sparse = s.spmm(&d);
+        let dense = s.to_dense().matmul(&d);
+        prop_assert!(sparse.approx_eq(&dense, 1e-3));
+    }
+
+    #[test]
+    fn csr_transpose_involution(s in csr(8)) {
+        prop_assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn csr_transpose_preserves_nnz(s in csr(8)) {
+        prop_assert_eq!(s.transpose().nnz(), s.nnz());
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(s in csr(8)) {
+        // Only meaningful when values are nonnegative (adjacency-like).
+        let abs = CsrMatrix::from_triplets(
+            s.rows(),
+            s.cols(),
+            &s.iter().map(|(r, c, v)| (r, c, v.abs())).collect::<Vec<_>>(),
+        );
+        let n = abs.row_normalized();
+        for r in 0..n.rows() {
+            let (_, vals) = n.row(r);
+            let sum: f32 = vals.iter().sum();
+            let orig_sum: f32 = abs.row(r).1.iter().sum();
+            if orig_sum > 1e-6 {
+                prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", r, sum);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rows_matches_manual(a in matrix(8), seed in 0u64..1000) {
+        let mut rng = smgcn_tensor::init::seeded_rng(seed);
+        use rand::Rng;
+        let indices: Vec<u32> =
+            (0..5).map(|_| rng.gen_range(0..a.rows() as u32)).collect();
+        let g = a.gather_rows(&indices);
+        for (i, &idx) in indices.iter().enumerate() {
+            prop_assert_eq!(g.row(i), a.row(idx as usize));
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_scales(a in matrix(8), alpha in -3.0f32..3.0) {
+        let lhs = a.scale(alpha).frobenius_norm();
+        let rhs = alpha.abs() * a.frobenius_norm();
+        prop_assert!((lhs - rhs).abs() <= 1e-2 * rhs.max(1.0));
+    }
+}

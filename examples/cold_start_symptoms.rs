@@ -1,0 +1,68 @@
+//! Data-sparsity study: how recommendation quality degrades for
+//! prescriptions built from *rare* symptoms, and how much the synergy
+//! graphs help there.
+//!
+//! §IV-B of the paper argues that SGE's extra relations "help relieve the
+//! data sparsity problem of TCM prescriptions". This example quantifies
+//! that: the test split is bucketed by the rarity of each prescription's
+//! symptoms in the training corpus, and SMGCN (with SGE) is compared to the
+//! Bipar-GCN ablation (without it) per bucket.
+//!
+//! ```sh
+//! cargo run --release --example cold_start_symptoms
+//! ```
+
+use smgcn_repro::prelude::*;
+
+fn main() {
+    let prepared = prepare(Scale::Smoke, 2020);
+    let model_cfg = Scale::Smoke.model_config();
+    let train_cfg = smgcn_eval::train_config_for(ModelKind::Smgcn, Scale::Smoke);
+
+    println!("training SMGCN and the no-SGE ablation ({} epochs each)...", train_cfg.epochs);
+    let mut with_sge = build_model(ModelKind::Smgcn, &prepared.ops, &model_cfg, 42);
+    train(&mut with_sge, &prepared.train, &train_cfg);
+    let mut without_sge = build_model(ModelKind::BiparGcnSi, &prepared.ops, &model_cfg, 42);
+    train(&mut without_sge, &prepared.train, &train_cfg);
+
+    // Bucket test prescriptions by the training frequency of their rarest
+    // symptom.
+    let freq = smgcn_data::stats::symptom_frequencies(&prepared.train);
+    let rarity = |p: &Prescription| -> u32 {
+        p.symptoms().iter().map(|&s| freq[s as usize]).min().unwrap_or(0)
+    };
+    let mut indexed: Vec<(usize, u32)> = prepared
+        .test
+        .prescriptions()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, rarity(p)))
+        .collect();
+    indexed.sort_by_key(|&(_, r)| r);
+    let terciles: Vec<Vec<usize>> = indexed
+        .chunks(indexed.len().div_ceil(3))
+        .map(|c| c.iter().map(|&(i, _)| i).collect())
+        .collect();
+
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>12} {:>8}",
+        "bucket", "#test rx", "SMGCN p@5", "no-SGE p@5", "Δ"
+    );
+    for (name, bucket) in ["rare symptoms", "medium", "common symptoms"].iter().zip(&terciles) {
+        let sub = prepared.test.subset(bucket);
+        let with_m = evaluate_ranker(&with_sge, &sub, &[5])[0].1;
+        let without_m = evaluate_ranker(&without_sge, &sub, &[5])[0].1;
+        println!(
+            "{:<28} {:>10} {:>12.4} {:>12.4} {:>+8.4}",
+            name,
+            sub.len(),
+            with_m.precision,
+            without_m.precision,
+            with_m.precision - without_m.precision
+        );
+    }
+    println!(
+        "\nthe synergy graphs matter most where bipartite evidence is thin — \
+         the paper's data-sparsity argument (§IV-B-2)."
+    );
+}

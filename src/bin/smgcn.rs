@@ -1,0 +1,219 @@
+//! `smgcn` — command-line interface to the herb recommender.
+//!
+//! ```text
+//! smgcn generate  --out corpus.tsv [--scale smoke|paper] [--seed N]
+//! smgcn train     --corpus corpus.tsv --out model.smgt [--model smgcn|...]
+//!                 [--epochs N] [--lr F] [--l2 F] [--seed N]
+//! smgcn eval      --corpus corpus.tsv --model-file model.smgt [--model ...]
+//! smgcn recommend --corpus corpus.tsv --model-file model.smgt
+//!                 --symptoms "name1,name2,..." [--k N]
+//! ```
+//!
+//! The checkpoint carries parameters only; `train`, `eval` and `recommend`
+//! must agree on `--model` and `--scale` so the rebuilt architecture
+//! matches (mismatches are rejected by name/shape checks, never silently).
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use smgcn_repro::prelude::*;
+use smgcn_repro::data::io as corpus_io;
+use smgcn_repro::data::train_test_split_fraction;
+use smgcn_repro::eval::train_config_for;
+use smgcn_repro::graph::GraphOperators;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  smgcn generate  --out FILE [--scale smoke|paper] [--seed N]\n  \
+         smgcn train     --corpus FILE --out FILE [--model NAME] [--epochs N] [--lr F] [--l2 F] [--seed N]\n  \
+         smgcn eval      --corpus FILE --model-file FILE [--model NAME]\n  \
+         smgcn recommend --corpus FILE --model-file FILE --symptoms \"a,b,c\" [--k N]\n\
+         models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("error: expected a --flag, found {:?}", args[i]);
+            usage();
+        };
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("error: flag --{key} needs a value");
+            usage();
+        };
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    flags
+}
+
+fn model_kind(name: &str) -> ModelKind {
+    match name {
+        "smgcn" => ModelKind::Smgcn,
+        "bipar-gcn" => ModelKind::BiparGcn,
+        "gcmc" => ModelKind::GcMc,
+        "pinsage" => ModelKind::PinSage,
+        "ngcf" => ModelKind::Ngcf,
+        "hetegcn" => ModelKind::HeteGcn,
+        other => {
+            eprintln!("error: unknown model {other:?}");
+            usage();
+        }
+    }
+}
+
+fn scale(flags: &HashMap<String, String>) -> Scale {
+    flags
+        .get("scale")
+        .map(|s| Scale::from_arg(s).unwrap_or_else(|| usage()))
+        .unwrap_or(Scale::Smoke)
+}
+
+fn seed(flags: &HashMap<String, String>) -> u64 {
+    flags.get("seed").map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(2020)
+}
+
+fn load_corpus_and_ops(
+    flags: &HashMap<String, String>,
+) -> (smgcn_repro::data::Corpus, smgcn_repro::data::Corpus, GraphOperators) {
+    let path = flags.get("corpus").unwrap_or_else(|| usage());
+    let corpus = corpus_io::load_corpus(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read corpus {path:?}: {e}");
+        exit(1);
+    });
+    let split = train_test_split_fraction(&corpus, PAPER_TEST_FRACTION, seed(flags));
+    let ops = GraphOperators::from_records(
+        split.train.records(),
+        corpus.n_symptoms(),
+        corpus.n_herbs(),
+        scale(flags).thresholds(),
+    );
+    (split.train, split.test, ops)
+}
+
+fn cmd_generate(flags: HashMap<String, String>) {
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let corpus = SyndromeModel::new(scale(&flags).generator().with_seed(seed(&flags))).generate();
+    corpus_io::save_corpus(&corpus, out).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {out:?}: {e}");
+        exit(1);
+    });
+    let stats = corpus_stats(&corpus);
+    println!(
+        "wrote {out}: {} prescriptions, {} symptoms, {} herbs",
+        stats.n_prescriptions, stats.n_symptoms_used, stats.n_herbs_used
+    );
+}
+
+fn cmd_train(flags: HashMap<String, String>) {
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let kind = model_kind(flags.get("model").map_or("smgcn", String::as_str));
+    let (train_corpus, test_corpus, ops) = load_corpus_and_ops(&flags);
+    let sc = scale(&flags);
+    let mut cfg = train_config_for(kind, sc);
+    if let Some(e) = flags.get("epochs") {
+        cfg.epochs = e.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(lr) = flags.get("lr") {
+        cfg.learning_rate = lr.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(l2) = flags.get("l2") {
+        cfg.l2_lambda = l2.parse().unwrap_or_else(|_| usage());
+    }
+    let mut model = build_model(kind, &ops, &sc.model_config(), seed(&flags));
+    println!(
+        "training {} on {} prescriptions ({} epochs, lr {:.0e}, λ {:.0e})...",
+        model.name(),
+        train_corpus.len(),
+        cfg.epochs,
+        cfg.learning_rate,
+        cfg.l2_lambda
+    );
+    train_with_callback(&mut model, &train_corpus, &cfg, |stats, _| {
+        if stats.epoch % 10 == 0 || stats.epoch + 1 == cfg.epochs {
+            println!("  epoch {:>3}: loss {:.3}", stats.epoch, stats.mean_loss);
+        }
+    });
+    let metrics = evaluate_ranker(&model, &test_corpus, &PAPER_KS);
+    for (k, m) in &metrics {
+        println!("test p@{k} = {:.4}  r@{k} = {:.4}  ndcg@{k} = {:.4}", m.precision, m.recall, m.ndcg);
+    }
+    model.save(out).unwrap_or_else(|e| {
+        eprintln!("error: cannot save checkpoint: {e}");
+        exit(1);
+    });
+    println!("saved checkpoint to {out}");
+}
+
+fn rebuild_and_load(
+    flags: &HashMap<String, String>,
+    ops: &GraphOperators,
+) -> smgcn_repro::core::Recommender {
+    let kind = model_kind(flags.get("model").map_or("smgcn", String::as_str));
+    let model_file = flags.get("model-file").unwrap_or_else(|| usage());
+    let mut model = build_model(kind, ops, &scale(flags).model_config(), seed(flags));
+    model.load(model_file).unwrap_or_else(|e| {
+        eprintln!(
+            "error: cannot restore {model_file:?} into a fresh {} (wrong --model/--scale?): {e}",
+            model.name()
+        );
+        exit(1);
+    });
+    model
+}
+
+fn cmd_eval(flags: HashMap<String, String>) {
+    let (_, test_corpus, ops) = load_corpus_and_ops(&flags);
+    let model = rebuild_and_load(&flags, &ops);
+    println!("{} on {} held-out prescriptions:", model.name(), test_corpus.len());
+    for (k, m) in evaluate_ranker(&model, &test_corpus, &PAPER_KS) {
+        println!("  p@{k} = {:.4}  r@{k} = {:.4}  ndcg@{k} = {:.4}", m.precision, m.recall, m.ndcg);
+    }
+}
+
+fn cmd_recommend(flags: HashMap<String, String>) {
+    let (train_corpus, _, ops) = load_corpus_and_ops(&flags);
+    let model = rebuild_and_load(&flags, &ops);
+    let k: usize = flags.get("k").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(10);
+    let spec = flags.get("symptoms").unwrap_or_else(|| usage());
+    let vocab = train_corpus.symptom_vocab();
+    let mut ids = Vec::new();
+    for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match vocab.id(name) {
+            Some(id) => ids.push(id),
+            None => {
+                eprintln!("error: unknown symptom {name:?} (names are vocabulary entries)");
+                exit(1);
+            }
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("error: --symptoms produced an empty set");
+        exit(1);
+    }
+    println!("symptom set:");
+    for &s in &ids {
+        println!("  - {}", vocab.name(s));
+    }
+    println!("top-{k} herbs ({}):", model.name());
+    for (rank, h) in model.recommend(&ids, k).into_iter().enumerate() {
+        println!("  {:>2}. {}", rank + 1, train_corpus.herb_vocab().name(h));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else { usage() };
+    let flags = parse_flags(rest);
+    match command.as_str() {
+        "generate" => cmd_generate(flags),
+        "train" => cmd_train(flags),
+        "eval" => cmd_eval(flags),
+        "recommend" => cmd_recommend(flags),
+        _ => usage(),
+    }
+}

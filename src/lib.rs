@@ -1,0 +1,38 @@
+//! # smgcn-repro — facade over the SMGCN reproduction workspace
+//!
+//! Reproduction of *Syndrome-aware Herb Recommendation with Multi-Graph
+//! Convolution Network* (Jin et al., ICDE 2020). This crate re-exports the
+//! workspace's public API so examples and downstream users need a single
+//! dependency:
+//!
+//! - [`tensor`] — dense/sparse linear algebra + reverse-mode autograd;
+//! - [`graph`] — symptom–herb bipartite and synergy graph construction;
+//! - [`data`] — prescription corpus model and latent-syndrome generator;
+//! - [`core`] — SMGCN, its ablations, and the aligned GNN baselines;
+//! - [`topics`] — the HC-KGETM topic-model baseline;
+//! - [`eval`] — ranking metrics, experiment harness and reports.
+//!
+//! See README.md for a tour and DESIGN.md for the experiment index.
+
+pub use smgcn_core as core;
+pub use smgcn_data as data;
+pub use smgcn_eval as eval;
+pub use smgcn_graph as graph;
+pub use smgcn_tensor as tensor;
+pub use smgcn_topics as topics;
+
+/// Convenience prelude pulling in the most common types across crates.
+pub mod prelude {
+    pub use smgcn_core::prelude::*;
+    pub use smgcn_data::{
+        corpus_stats, herb_frequencies, train_test_split_fraction, Corpus, GeneratorConfig,
+        Prescription, SyndromeModel, PAPER_TEST_FRACTION,
+    };
+    pub use smgcn_eval::{
+        evaluate_ranker, prepare, prepare_with, run_neural, run_ranker, EvalRow, HerbRanker,
+        PopularityRanker, Scale, PAPER_KS,
+    };
+    pub use smgcn_graph::{GraphOperators, SynergyThresholds};
+    pub use smgcn_tensor::prelude::*;
+    pub use smgcn_topics::{HcKgetm, KgetmConfig};
+}
