@@ -76,8 +76,12 @@ fn bench_graph_build(c: &mut Criterion) {
 fn bench_forward(c: &mut Criterion) {
     let (corpus, ops) = prepared_smoke();
     let model = Recommender::smgcn(&ops, &smgcn_eval::Scale::Smoke.model_config(), 1);
-    let sets: Vec<&[u32]> =
-        corpus.prescriptions().iter().take(256).map(|p| p.symptoms()).collect();
+    let sets: Vec<&[u32]> = corpus
+        .prescriptions()
+        .iter()
+        .take(256)
+        .map(|p| p.symptoms())
+        .collect();
     c.bench_function("smgcn_forward_256_sets", |bencher| {
         bencher.iter(|| std::hint::black_box(model.predict(&sets)));
     });
@@ -106,7 +110,9 @@ fn bench_train_step(c: &mut Criterion) {
 fn bench_metrics(c: &mut Criterion) {
     let mut rng = seeded_rng(5);
     let scores = xavier_uniform(391, 260, &mut rng);
-    let truths: Vec<Vec<u32>> = (0..391).map(|i| vec![i as u32 % 260, (i as u32 + 7) % 260]).collect();
+    let truths: Vec<Vec<u32>> = (0..391)
+        .map(|i| vec![i as u32 % 260, (i as u32 + 7) % 260])
+        .collect();
     c.bench_function("rank_and_metrics_391_test_rx", |bencher| {
         bencher.iter(|| {
             let ranked: Vec<Vec<u32>> = (0..scores.rows())
@@ -121,9 +127,7 @@ fn bench_metrics(c: &mut Criterion) {
 fn bench_corpus_generation(c: &mut Criterion) {
     c.bench_function("generate_smoke_corpus", |bencher| {
         bencher.iter(|| {
-            std::hint::black_box(
-                SyndromeModel::new(GeneratorConfig::smoke_scale()).generate(),
-            )
+            std::hint::black_box(SyndromeModel::new(GeneratorConfig::smoke_scale()).generate())
         });
     });
 }

@@ -19,10 +19,18 @@ fn main() {
     for (weighted, tag) in [(true, "weighted (Eq. 15)"), (false, "uniform weights")] {
         let mut cfg = args.train_config(ModelKind::Smgcn);
         cfg.weighted_labels = weighted;
-        let mut row =
-            run_neural_seeds(ModelKind::Smgcn, &prepared, &model_cfg, &cfg, &args.train_seeds);
+        let mut row = run_neural_seeds(
+            ModelKind::Smgcn,
+            &prepared,
+            &model_cfg,
+            &cfg,
+            &args.train_seeds,
+        );
         row.label = tag.to_string();
-        println!("trained {:<18} ({:.1}s total)", row.label, row.train_seconds);
+        println!(
+            "trained {:<18} ({:.1}s total)",
+            row.label, row.train_seconds
+        );
         rows.push(row);
     }
     println!();

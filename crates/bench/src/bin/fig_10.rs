@@ -16,16 +16,20 @@ fn main() {
     let prepared = prepare(args.scale, args.seed);
     let model_cfg = args.scale.model_config();
     let cfg = args.train_config(ModelKind::Smgcn);
-    let mut model = build_model(ModelKind::Smgcn, &prepared.ops, &model_cfg, args.train_seeds[0]);
+    let mut model = build_model(
+        ModelKind::Smgcn,
+        &prepared.ops,
+        &model_cfg,
+        args.train_seeds[0],
+    );
     println!("training SMGCN ({} epochs)...", cfg.epochs);
     train(&mut model, &prepared.train, &cfg);
 
     // Pick the two test prescriptions with the richest symptom sets so the
     // case study shows real set-level induction.
     let mut candidates: Vec<usize> = (0..prepared.test.len()).collect();
-    candidates.sort_by_key(|&i| {
-        std::cmp::Reverse(prepared.test.prescriptions()[i].symptoms().len())
-    });
+    candidates
+        .sort_by_key(|&i| std::cmp::Reverse(prepared.test.prescriptions()[i].symptoms().len()));
     let cases: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = candidates
         .into_iter()
         .take(2)

@@ -26,5 +26,8 @@ fn main() {
     }
     let head = top.first().map(|&(_, c)| c).unwrap_or(0) as f64;
     let tail = top.last().map(|&(_, c)| c).unwrap_or(1).max(1) as f64;
-    println!("\nhead/rank-40 frequency ratio: {:.1}x (paper shows ~10x over the top 40)", head / tail);
+    println!(
+        "\nhead/rank-40 frequency ratio: {:.1}x (paper shows ~10x over the top 40)",
+        head / tail
+    );
 }

@@ -33,7 +33,10 @@ fn main() {
             .collect();
         let row = average_rows(&rows);
         let m = row.at_k(5).expect("metrics at 5");
-        println!("x_h = {x_h:<3} ({hh_edges} HH edges): p@5 = {:.4}", m.precision);
+        println!(
+            "x_h = {x_h:<3} ({hh_edges} HH edges): p@5 = {:.4}",
+            m.precision
+        );
         points.push((format!("{x_h}"), m));
     }
     println!();

@@ -23,8 +23,13 @@ fn main() {
     let mut points = Vec::new();
     for &l2 in &sweep {
         let cfg = args.train_config(ModelKind::Smgcn).with_l2(l2);
-        let row =
-            run_neural_seeds(ModelKind::Smgcn, &prepared, &model_cfg, &cfg, &args.train_seeds);
+        let row = run_neural_seeds(
+            ModelKind::Smgcn,
+            &prepared,
+            &model_cfg,
+            &cfg,
+            &args.train_seeds,
+        );
         let m = row.at_k(5).expect("metrics at 5");
         println!("λ = {l2:<8.0e} p@5 = {:.4}", m.precision);
         points.push((format!("{l2:.0e}"), m));

@@ -19,8 +19,13 @@ fn main() {
         let mut model_cfg = base.clone();
         model_cfg.dropout = dropout;
         let cfg = args.train_config(ModelKind::Smgcn);
-        let row =
-            run_neural_seeds(ModelKind::Smgcn, &prepared, &model_cfg, &cfg, &args.train_seeds);
+        let row = run_neural_seeds(
+            ModelKind::Smgcn,
+            &prepared,
+            &model_cfg,
+            &cfg,
+            &args.train_seeds,
+        );
         let m = row.at_k(5).expect("metrics at 5");
         println!("dropout = {dropout:<4} p@5 = {:.4}", m.precision);
         points.push((format!("{dropout}"), m));

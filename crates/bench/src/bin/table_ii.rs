@@ -14,8 +14,15 @@ fn main() {
     );
     let corpus = SyndromeModel::new(args.scale.generator()).generate();
     let split = train_test_split_fraction(&corpus, PAPER_TEST_FRACTION, args.seed);
-    println!("{:<8} {:>14} {:>10} {:>8}", "dataset", "#prescriptions", "#symptoms", "#herbs");
-    for (name, c) in [("All", &corpus), ("Train", &split.train), ("Test", &split.test)] {
+    println!(
+        "{:<8} {:>14} {:>10} {:>8}",
+        "dataset", "#prescriptions", "#symptoms", "#herbs"
+    );
+    for (name, c) in [
+        ("All", &corpus),
+        ("Train", &split.train),
+        ("Test", &split.test),
+    ] {
         let s = corpus_stats(c);
         println!(
             "{:<8} {:>14} {:>10} {:>8}",

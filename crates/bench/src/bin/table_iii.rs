@@ -20,7 +20,10 @@ fn main() {
     println!("  HeteGCN   lr = 3e-3, dropout = 0.0, λ = 1e-3, x_s = 5, x_h = 40");
     println!("  SMGCN     lr = 2e-4, dropout = 0.0, λ = 7e-3, x_s = 5, x_h = 40");
     println!();
-    println!("this reproduction's calibrated optima ({:?} scale, synthetic corpus):", args.scale);
+    println!(
+        "this reproduction's calibrated optima ({:?} scale, synthetic corpus):",
+        args.scale
+    );
     for kind in ModelKind::table_iv() {
         let cfg = args.train_config(kind);
         println!(

@@ -36,16 +36,27 @@ fn main() {
     for kind in ModelKind::table_iv() {
         let cfg = args.train_config(kind);
         let row = run_neural_seeds(kind, &prepared, &model_cfg, &cfg, &args.train_seeds);
-        println!("trained {:<10} ({:.1}s total)", row.label, row.train_seconds);
+        println!(
+            "trained {:<10} ({:.1}s total)",
+            row.label, row.train_seconds
+        );
         rows.push(row);
     }
     println!();
     println!("{}", format_metrics_table(&rows, &PAPER_KS));
     println!(
         "{}",
-        format_improvement_rows(&rows, "SMGCN", &["HC-KGETM", "PinSage", "HeteGCN"], &PAPER_KS)
+        format_improvement_rows(
+            &rows,
+            "SMGCN",
+            &["HC-KGETM", "PinSage", "HeteGCN"],
+            &PAPER_KS
+        )
     );
-    println!("{}", format_paper_comparison(&rows, PAPER_TABLE_IV, &PAPER_KS));
+    println!(
+        "{}",
+        format_paper_comparison(&rows, PAPER_TABLE_IV, &PAPER_KS)
+    );
 
     let violations = shape_violations(&rows, "SMGCN", 5, |m| m.precision);
     if violations.is_empty() {
@@ -58,12 +69,20 @@ fn main() {
         // Quantify: paired bootstrap of SMGCN vs the strongest contender.
         let contender = violations
             .iter()
-            .filter_map(|label| ModelKind::table_iv().into_iter().find(|k| k.label() == label))
+            .filter_map(|label| {
+                ModelKind::table_iv()
+                    .into_iter()
+                    .find(|k| k.label() == label)
+            })
             .next();
         if let Some(kind) = contender {
             let seed = args.train_seeds[0];
             let mut smgcn = build_model(ModelKind::Smgcn, &prepared.ops, &model_cfg, seed);
-            train(&mut smgcn, &prepared.train, &args.train_config(ModelKind::Smgcn));
+            train(
+                &mut smgcn,
+                &prepared.train,
+                &args.train_config(ModelKind::Smgcn),
+            );
             let mut other = build_model(kind, &prepared.ops, &model_cfg, seed);
             train(&mut other, &prepared.train, &args.train_config(kind));
             let a = per_prescription_precision(&smgcn, &prepared.test, 5);
@@ -76,7 +95,11 @@ fn main() {
                 cmp.mean_a - cmp.mean_b,
                 cmp.diff_ci.0,
                 cmp.diff_ci.1,
-                if cmp.significant() { "significant" } else { "NOT significant (statistical tie)" }
+                if cmp.significant() {
+                    "significant"
+                } else {
+                    "NOT significant (statistical tie)"
+                }
             );
         }
     }

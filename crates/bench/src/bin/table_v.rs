@@ -18,7 +18,10 @@ fn main() {
     for kind in ModelKind::table_v() {
         let cfg = args.train_config(kind);
         let row = run_neural_seeds(kind, &prepared, &model_cfg, &cfg, &args.train_seeds);
-        println!("trained {:<18} ({:.1}s total)", row.label, row.train_seconds);
+        println!(
+            "trained {:<18} ({:.1}s total)",
+            row.label, row.train_seconds
+        );
         rows.push(row);
     }
     println!();

@@ -24,13 +24,24 @@ fn main() {
         cfg.layer_dims = ModelConfig::layer_dims_for(depth, last_dim)
             .into_iter()
             .enumerate()
-            .map(|(i, d)| if i + 1 < depth { middle.min(d) } else { last_dim })
+            .map(|(i, d)| {
+                if i + 1 < depth {
+                    middle.min(d)
+                } else {
+                    last_dim
+                }
+            })
             .collect();
         cfg.use_sge = false;
         cfg.use_si_mlp = true;
         let train_cfg = args.train_config(ModelKind::BiparGcnSi);
-        let mut row =
-            run_neural_seeds(ModelKind::BiparGcnSi, &prepared, &cfg, &train_cfg, &args.train_seeds);
+        let mut row = run_neural_seeds(
+            ModelKind::BiparGcnSi,
+            &prepared,
+            &cfg,
+            &train_cfg,
+            &args.train_seeds,
+        );
         row.label = format!("depth {depth} (dims {:?})", cfg.layer_dims);
         println!("trained {}", row.label);
         rows.push(row);

@@ -23,15 +23,18 @@ fn main() {
         let mut cfg = base.clone();
         *cfg.layer_dims.last_mut().expect("non-empty dims") = last;
         let train_cfg = args.train_config(ModelKind::Smgcn);
-        let mut row =
-            run_neural_seeds(ModelKind::Smgcn, &prepared, &cfg, &train_cfg, &args.train_seeds);
+        let mut row = run_neural_seeds(
+            ModelKind::Smgcn,
+            &prepared,
+            &cfg,
+            &train_cfg,
+            &args.train_seeds,
+        );
         row.label = format!("dim {last}");
         println!("trained {} ({:.1}s total)", row.label, row.train_seconds);
         rows.push(row);
     }
     println!();
     println!("{}", format_metrics_table(&rows, &[5, 20]));
-    println!(
-        "paper Table VII reference (p@5): 64: 0.2857, 128: 0.2882, 256: 0.2928, 512: 0.2922"
-    );
+    println!("paper Table VII reference (p@5): 64: 0.2857, 128: 0.2882, 256: 0.2928, 512: 0.2922");
 }

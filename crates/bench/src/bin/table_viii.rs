@@ -17,14 +17,29 @@ fn main() {
     let mut rows = Vec::new();
     for (kind, loss, tag) in [
         (ModelKind::Ngcf, LossKind::Bpr, "NGCF w/ SI + BPR"),
-        (ModelKind::BiparGcnSi, LossKind::Bpr, "Bipar-GCN w/ SI + BPR"),
-        (ModelKind::Ngcf, LossKind::MultiLabel, "NGCF w/ SI + multi-label"),
-        (ModelKind::BiparGcnSi, LossKind::MultiLabel, "Bipar-GCN w/ SI + multi-label"),
+        (
+            ModelKind::BiparGcnSi,
+            LossKind::Bpr,
+            "Bipar-GCN w/ SI + BPR",
+        ),
+        (
+            ModelKind::Ngcf,
+            LossKind::MultiLabel,
+            "NGCF w/ SI + multi-label",
+        ),
+        (
+            ModelKind::BiparGcnSi,
+            LossKind::MultiLabel,
+            "Bipar-GCN w/ SI + multi-label",
+        ),
     ] {
         let cfg = args.train_config(kind).with_loss(loss);
         let mut row = run_neural_seeds(kind, &prepared, &model_cfg, &cfg, &args.train_seeds);
         row.label = tag.to_string();
-        println!("trained {:<32} ({:.1}s total)", row.label, row.train_seconds);
+        println!(
+            "trained {:<32} ({:.1}s total)",
+            row.label, row.train_seconds
+        );
         rows.push(row);
     }
     println!();

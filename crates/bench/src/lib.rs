@@ -55,17 +55,23 @@ impl CliArgs {
                 }
                 "--seed" => {
                     let v = it.next().unwrap_or_default();
-                    seed = v.parse().unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
+                    seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage(&format!("bad seed {v:?}")));
                 }
                 "--epochs" => {
                     let v = it.next().unwrap_or_default();
-                    epochs =
-                        Some(v.parse().unwrap_or_else(|_| usage(&format!("bad epochs {v:?}"))));
+                    epochs = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage(&format!("bad epochs {v:?}"))),
+                    );
                 }
                 "--seeds" => {
                     let v = it.next().unwrap_or_default();
-                    n_seeds =
-                        Some(v.parse().unwrap_or_else(|_| usage(&format!("bad seeds {v:?}"))));
+                    n_seeds = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| usage(&format!("bad seeds {v:?}"))),
+                    );
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
@@ -79,7 +85,12 @@ impl CliArgs {
             Some(n) => (0..n as u64).map(|i| SMOKE_SEEDS[0] + i).collect(),
             None => default_seeds,
         };
-        Self { scale, seed, epochs, train_seeds }
+        Self {
+            scale,
+            seed,
+            epochs,
+            train_seeds,
+        }
     }
 
     /// The per-model training config at this scale, with the epoch override
@@ -134,7 +145,9 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let a = parse(&["--scale", "paper", "--seed", "7", "--epochs", "5", "--seeds", "2"]);
+        let a = parse(&[
+            "--scale", "paper", "--seed", "7", "--epochs", "5", "--seeds", "2",
+        ]);
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.seed, 7);
         assert_eq!(a.epochs, Some(5));

@@ -126,10 +126,8 @@ impl EmbeddingLayer for HeteGcn {
         let t = tape.param(self.t);
         let msg_s = tape.matmul(e_s, t);
         let msg_h = tape.matmul(e_h, t);
-        let out_s =
-            self.propagate(tape, ctx, e_s, msg_s, msg_h, &self.ss_mean, &self.sh_mean);
-        let out_h =
-            self.propagate(tape, ctx, e_h, msg_h, msg_s, &self.hh_mean, &self.hs_mean);
+        let out_s = self.propagate(tape, ctx, e_s, msg_s, msg_h, &self.ss_mean, &self.sh_mean);
+        let out_h = self.propagate(tape, ctx, e_h, msg_h, msg_s, &self.hh_mean, &self.hs_mean);
         (out_s, out_h)
     }
 }
@@ -173,7 +171,11 @@ mod tests {
         let mut store = ParamStore::new();
         let model = HeteGcn::init(&mut store, &ops, 4, 4, &mut seeded_rng(3));
         // Zero W_att makes both logits 0 ⇒ α_same = σ(0) = 0.5.
-        let w_att = store.iter().find(|(_, n, _)| *n == "hetegcn.w_att").unwrap().0;
+        let w_att = store
+            .iter()
+            .find(|(_, n, _)| *n == "hetegcn.w_att")
+            .unwrap()
+            .0;
         *store.get_mut(w_att) = smgcn_tensor::Matrix::zeros(8, 4);
         let mut tape = Tape::new(&store);
         let mut rng = seeded_rng(4);

@@ -33,8 +33,10 @@ pub fn joint_normalized_adjacency(ops: &GraphOperators) -> CsrMatrix {
         degree[r as usize] += 1.0;
         degree[s + c as usize] += 1.0;
     }
-    let inv_sqrt: Vec<f64> =
-        degree.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let inv_sqrt: Vec<f64> = degree
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
     let mut triplets = Vec::with_capacity(2 * ops.sh_raw.nnz());
     for (r, c, _) in ops.sh_raw.iter() {
         let (i, j) = (r as usize, s + c as usize);
@@ -150,7 +152,10 @@ mod tests {
         let ops = toy_ops();
         let lap = joint_normalized_adjacency(&ops);
         assert!(lap.is_symmetric());
-        assert_eq!(lap.shape(), (ops.n_symptoms + ops.n_herbs, ops.n_symptoms + ops.n_herbs));
+        assert_eq!(
+            lap.shape(),
+            (ops.n_symptoms + ops.n_herbs, ops.n_symptoms + ops.n_herbs)
+        );
         // Entries are 1/sqrt(d_i d_j) <= 1.
         for (_, _, v) in lap.iter() {
             assert!(v > 0.0 && v <= 1.0);

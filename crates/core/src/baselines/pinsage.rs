@@ -54,7 +54,14 @@ impl PinSage {
                 w: store.add(format!("pinsage.w.{k}"), xavier_uniform(2 * dim, dim, rng)),
             })
             .collect();
-        Self { e_s, e_h, layers, sh_mean: ops.sh_mean.clone(), hs_mean: ops.hs_mean.clone(), dim }
+        Self {
+            e_s,
+            e_h,
+            layers,
+            sh_mean: ops.sh_mean.clone(),
+            hs_mean: ops.hs_mean.clone(),
+            dim,
+        }
     }
 }
 

@@ -25,7 +25,10 @@ pub struct Batch {
 pub fn set_pool_matrix(sets: &[&[u32]], n_symptoms: usize) -> CsrMatrix {
     let mut triplets = Vec::new();
     for (b, set) in sets.iter().enumerate() {
-        assert!(!set.is_empty(), "set_pool_matrix: empty symptom set at row {b}");
+        assert!(
+            !set.is_empty(),
+            "set_pool_matrix: empty symptom set at row {b}"
+        );
         let w = 1.0 / set.len() as f32;
         for &s in *set {
             assert!(
@@ -150,7 +153,10 @@ mod tests {
         for &(b, pos, neg) in &pairs {
             let set = &herb_sets[b as usize];
             assert!(set.contains(&pos));
-            assert!(!set.contains(&neg), "negative {neg} is a positive of row {b}");
+            assert!(
+                !set.contains(&neg),
+                "negative {neg} is a positive of row {b}"
+            );
         }
     }
 

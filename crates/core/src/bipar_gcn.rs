@@ -64,10 +64,22 @@ impl BiparGcn {
         let mut in_dim = d0;
         for (k, &out_dim) in config.layer_dims.iter().enumerate() {
             layers.push(BiparLayer {
-                t_s: store.add(format!("bipar.t_s.{k}"), xavier_uniform(in_dim, in_dim, rng)),
-                t_h: store.add(format!("bipar.t_h.{k}"), xavier_uniform(in_dim, in_dim, rng)),
-                w_s: store.add(format!("bipar.w_s.{k}"), xavier_uniform(2 * in_dim, out_dim, rng)),
-                w_h: store.add(format!("bipar.w_h.{k}"), xavier_uniform(2 * in_dim, out_dim, rng)),
+                t_s: store.add(
+                    format!("bipar.t_s.{k}"),
+                    xavier_uniform(in_dim, in_dim, rng),
+                ),
+                t_h: store.add(
+                    format!("bipar.t_h.{k}"),
+                    xavier_uniform(in_dim, in_dim, rng),
+                ),
+                w_s: store.add(
+                    format!("bipar.w_s.{k}"),
+                    xavier_uniform(2 * in_dim, out_dim, rng),
+                ),
+                w_h: store.add(
+                    format!("bipar.w_h.{k}"),
+                    xavier_uniform(2 * in_dim, out_dim, rng),
+                ),
             });
             in_dim = out_dim;
         }
@@ -246,7 +258,11 @@ mod tests {
         let cat = tape.concat_cols(s, h3);
         let loss = tape.sum_squares(cat);
         let grads = tape.backward(loss);
-        assert_eq!(grads.present_count(), store.len(), "every parameter must receive gradient");
+        assert_eq!(
+            grads.present_count(),
+            store.len(),
+            "every parameter must receive gradient"
+        );
     }
 
     /// Helper: makes herb embeddings row-compatible with symptom embeddings

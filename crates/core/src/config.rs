@@ -47,17 +47,29 @@ impl ModelConfig {
 
     /// The "Bipar-GCN" ablation (no SGE, mean-only syndrome induction).
     pub fn bipar_gcn() -> Self {
-        Self { use_sge: false, use_si_mlp: false, ..Self::smgcn() }
+        Self {
+            use_sge: false,
+            use_si_mlp: false,
+            ..Self::smgcn()
+        }
     }
 
     /// The "Bipar-GCN w/ SGE" ablation.
     pub fn bipar_gcn_with_sge() -> Self {
-        Self { use_sge: true, use_si_mlp: false, ..Self::smgcn() }
+        Self {
+            use_sge: true,
+            use_si_mlp: false,
+            ..Self::smgcn()
+        }
     }
 
     /// The "Bipar-GCN w/ SI" ablation.
     pub fn bipar_gcn_with_si() -> Self {
-        Self { use_sge: false, use_si_mlp: true, ..Self::smgcn() }
+        Self {
+            use_sge: false,
+            use_si_mlp: true,
+            ..Self::smgcn()
+        }
     }
 
     /// Layer dimensions for a given depth and final dimension, following
@@ -96,7 +108,10 @@ impl ModelConfig {
     fn validate(&self) {
         assert!(self.embedding_dim > 0, "embedding_dim must be positive");
         assert!(!self.layer_dims.is_empty(), "need at least one GCN layer");
-        assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&self.dropout),
+            "dropout must be in [0, 1)"
+        );
     }
 
     /// Panics if the configuration is inconsistent.
@@ -145,7 +160,12 @@ impl TrainConfig {
 
     /// A fast configuration for tests and smoke runs.
     pub fn smoke() -> Self {
-        Self { epochs: 8, batch_size: 256, learning_rate: 1e-3, ..Self::smgcn() }
+        Self {
+            epochs: 8,
+            batch_size: 256,
+            learning_rate: 1e-3,
+            ..Self::smgcn()
+        }
     }
 
     /// Override the learning rate.

@@ -24,12 +24,20 @@ pub struct ForwardCtx<'r> {
 impl<'r> ForwardCtx<'r> {
     /// An inference context (no dropout regardless of rate).
     pub fn inference(rng: &'r mut StdRng) -> Self {
-        Self { training: false, dropout: 0.0, rng }
+        Self {
+            training: false,
+            dropout: 0.0,
+            rng,
+        }
     }
 
     /// A training context with the given message-dropout rate.
     pub fn training(dropout: f32, rng: &'r mut StdRng) -> Self {
-        Self { training: true, dropout, rng }
+        Self {
+            training: true,
+            dropout,
+            rng,
+        }
     }
 
     /// Applies message dropout to a node if in training mode.
@@ -81,7 +89,12 @@ mod tests {
         let mut ctx = ForwardCtx::training(0.5, &mut rng);
         let y = ctx.apply_dropout(&mut tape, x);
         assert_ne!(y, x);
-        let zeros = tape.value(y).as_slice().iter().filter(|&&v| v == 0.0).count();
+        let zeros = tape
+            .value(y)
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 0.0)
+            .count();
         assert!(zeros > 0, "dropout should zero some entries");
     }
 

@@ -92,8 +92,7 @@ mod tests {
             let id = store.add("p", pred);
             let mut tape = Tape::new(&store);
             let v = tape.param(id);
-            let loss =
-                attach_loss(&mut tape, v, &b, LossKind::Bpr, &weights, 4, 2, rng);
+            let loss = attach_loss(&mut tape, v, &b, LossKind::Bpr, &weights, 4, 2, rng);
             tape.value(loss).get(0, 0)
         };
         // Positives scored high ⇒ small loss; inverted ⇒ large loss.

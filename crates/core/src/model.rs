@@ -202,6 +202,25 @@ impl Recommender {
         top_k_indices(scores.row(0), k)
     }
 
+    /// Materializes the final (post-convolution) embedding matrices:
+    /// `(symptoms [S x d], herbs [H x d])`. The embedding layer only
+    /// depends on the static graphs, never on a query, so these are
+    /// query-independent and can be computed once after training — the
+    /// basis of the `smgcn-serve` frozen inference path.
+    pub fn final_embeddings(&self) -> (Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = ForwardCtx::inference(&mut rng);
+        let mut tape = Tape::new(&self.store);
+        let (e_s, e_h) = self.embedding.embed(&mut tape, &mut ctx);
+        (tape.value(e_s).clone(), tape.value(e_h).clone())
+    }
+
+    /// Clones the syndrome-induction MLP weights `(W_mlp, b_mlp)`, or
+    /// `None` when the head is plain average pooling.
+    pub fn syndrome_head(&self) -> Option<(Matrix, Matrix)> {
+        self.si.export_weights(&self.store)
+    }
+
     /// Saves the trained parameters to a checkpoint file.
     pub fn save(
         &self,
@@ -303,8 +322,16 @@ mod tests {
     #[test]
     fn top_k_indices_orders_desc() {
         assert_eq!(top_k_indices(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
-        assert_eq!(top_k_indices(&[1.0, 1.0], 2), vec![0, 1], "ties break by index");
-        assert_eq!(top_k_indices(&[0.3], 5), vec![0], "k beyond length truncates");
+        assert_eq!(
+            top_k_indices(&[1.0, 1.0], 2),
+            vec![0, 1],
+            "ties break by index"
+        );
+        assert_eq!(
+            top_k_indices(&[0.3], 5),
+            vec![0],
+            "k beyond length truncates"
+        );
     }
 
     #[test]

@@ -44,15 +44,17 @@ impl SyndromeInduction {
         self.mlp.is_some()
     }
 
+    /// Clones the MLP weights `(W_mlp [d x d], b_mlp [1 x d])` out of
+    /// `store`, for freezing the head into a serving-side model.
+    pub fn export_weights(&self, store: &ParamStore) -> Option<(Matrix, Matrix)> {
+        self.mlp
+            .map(|(w, b)| (store.get(w).clone(), store.get(b).clone()))
+    }
+
     /// Induces the batch's syndrome representations: `set_pool` is the
     /// `B x S` row-normalised incidence operator (mean pooling), and
     /// `fused_symptoms` the `S x d` fused embedding matrix `e*_s`.
-    pub fn induce(
-        &self,
-        tape: &mut Tape<'_>,
-        fused_symptoms: Var,
-        set_pool: &SharedCsr,
-    ) -> Var {
+    pub fn induce(&self, tape: &mut Tape<'_>, fused_symptoms: Var, set_pool: &SharedCsr) -> Var {
         let pooled = tape.spmm(set_pool, fused_symptoms);
         match self.mlp {
             Some((w, b)) => {
@@ -87,7 +89,10 @@ mod tests {
         let mut store = ParamStore::new();
         let si = SyndromeInduction::init(&mut store, 2, false, &mut seeded_rng(1));
         assert!(!si.has_mlp());
-        let e = store.add("e", Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let e = store.add(
+            "e",
+            Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+        );
         let mut tape = Tape::new(&store);
         let ev = tape.param(e);
         let syndrome = si.induce(&mut tape, ev, &pool());
@@ -121,7 +126,10 @@ mod tests {
         let syndrome = si.induce(&mut tape, ev, &pool());
         let loss = tape.sum_squares(syndrome);
         let grads = tape.backward(loss);
-        assert!(grads.get(e).is_some(), "pooled embeddings must receive gradient");
+        assert!(
+            grads.get(e).is_some(),
+            "pooled embeddings must receive gradient"
+        );
         assert_eq!(grads.present_count(), 3, "W_mlp, b_mlp and e all train");
     }
 

@@ -162,7 +162,11 @@ mod tests {
         };
         let history = train(&mut model, &corpus, &cfg);
         assert_eq!(history.epochs.len(), 5);
-        assert!(history.improved(), "loss must decrease: {:?}", history.epochs);
+        assert!(
+            history.improved(),
+            "loss must decrease: {:?}",
+            history.epochs
+        );
         assert!(model.store().all_finite(), "parameters must stay finite");
     }
 

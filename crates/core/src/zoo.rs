@@ -41,12 +41,24 @@ impl ModelKind {
     /// The Table IV comparison set (neural models; HC-KGETM lives in
     /// `smgcn-topics`).
     pub fn table_iv() -> [ModelKind; 5] {
-        [Self::GcMc, Self::PinSage, Self::Ngcf, Self::HeteGcn, Self::Smgcn]
+        [
+            Self::GcMc,
+            Self::PinSage,
+            Self::Ngcf,
+            Self::HeteGcn,
+            Self::Smgcn,
+        ]
     }
 
     /// The Table V ablation set.
     pub fn table_v() -> [ModelKind; 5] {
-        [Self::PinSage, Self::BiparGcn, Self::BiparGcnSge, Self::BiparGcnSi, Self::Smgcn]
+        [
+            Self::PinSage,
+            Self::BiparGcn,
+            Self::BiparGcnSge,
+            Self::BiparGcnSi,
+            Self::Smgcn,
+        ]
     }
 
     /// Paper row label.
@@ -80,15 +92,27 @@ pub fn build_model(
     match kind {
         ModelKind::Smgcn => Recommender::smgcn(ops, base, seed),
         ModelKind::BiparGcn => {
-            let cfg = ModelConfig { use_sge: false, use_si_mlp: false, ..base.clone() };
+            let cfg = ModelConfig {
+                use_sge: false,
+                use_si_mlp: false,
+                ..base.clone()
+            };
             Recommender::smgcn(ops, &cfg, seed)
         }
         ModelKind::BiparGcnSge => {
-            let cfg = ModelConfig { use_sge: true, use_si_mlp: false, ..base.clone() };
+            let cfg = ModelConfig {
+                use_sge: true,
+                use_si_mlp: false,
+                ..base.clone()
+            };
             Recommender::smgcn(ops, &cfg, seed)
         }
         ModelKind::BiparGcnSi => {
-            let cfg = ModelConfig { use_sge: false, use_si_mlp: true, ..base.clone() };
+            let cfg = ModelConfig {
+                use_sge: false,
+                use_si_mlp: true,
+                ..base.clone()
+            };
             Recommender::smgcn(ops, &cfg, seed)
         }
         ModelKind::GcMc => {
@@ -191,7 +215,13 @@ mod tests {
         let ablation: Vec<&str> = ModelKind::table_v().iter().map(|k| k.label()).collect();
         assert_eq!(
             ablation,
-            vec!["PinSage", "Bipar-GCN", "Bipar-GCN w/ SGE", "Bipar-GCN w/ SI", "SMGCN"]
+            vec![
+                "PinSage",
+                "Bipar-GCN",
+                "Bipar-GCN w/ SGE",
+                "Bipar-GCN w/ SI",
+                "SMGCN"
+            ]
         );
     }
 

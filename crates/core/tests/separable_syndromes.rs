@@ -81,7 +81,10 @@ fn block_b_symptoms_surface_block_b_herbs() {
     let (_, model) = trained_model();
     let top = model.recommend(&[4, 5, 6], 5);
     for h in &top {
-        assert!(*h >= 5, "block-B query must only surface herbs 5-9, got {top:?}");
+        assert!(
+            *h >= 5,
+            "block-B query must only surface herbs 5-9, got {top:?}"
+        );
     }
 }
 
@@ -92,7 +95,10 @@ fn unseen_set_composition_generalises() {
     let (_, model) = trained_model();
     let top = model.recommend(&[0, 3], 3);
     for h in &top {
-        assert!(*h < 5, "unseen block-A composition must stay in block A, got {top:?}");
+        assert!(
+            *h < 5,
+            "unseen block-A composition must stay in block A, got {top:?}"
+        );
     }
 }
 

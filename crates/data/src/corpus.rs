@@ -39,7 +39,11 @@ impl Corpus {
                 );
             }
         }
-        Self { symptom_vocab, herb_vocab, prescriptions }
+        Self {
+            symptom_vocab,
+            herb_vocab,
+            prescriptions,
+        }
     }
 
     /// Number of prescriptions.
@@ -88,7 +92,10 @@ impl Corpus {
     /// # Panics
     /// Panics on out-of-range indices.
     pub fn subset(&self, indices: &[usize]) -> Corpus {
-        let prescriptions = indices.iter().map(|&i| self.prescriptions[i].clone()).collect();
+        let prescriptions = indices
+            .iter()
+            .map(|&i| self.prescriptions[i].clone())
+            .collect();
         Corpus {
             symptom_vocab: self.symptom_vocab.clone(),
             herb_vocab: self.herb_vocab.clone(),
@@ -98,10 +105,17 @@ impl Corpus {
 
     /// Renders a prescription with names, for case studies (Fig. 10).
     pub fn describe(&self, p: &Prescription) -> String {
-        let symptoms: Vec<&str> =
-            p.symptoms().iter().map(|&s| self.symptom_vocab.name(s)).collect();
+        let symptoms: Vec<&str> = p
+            .symptoms()
+            .iter()
+            .map(|&s| self.symptom_vocab.name(s))
+            .collect();
         let herbs: Vec<&str> = p.herbs().iter().map(|&h| self.herb_vocab.name(h)).collect();
-        format!("symptoms: {} | herbs: {}", symptoms.join(", "), herbs.join(", "))
+        format!(
+            "symptoms: {} | herbs: {}",
+            symptoms.join(", "),
+            herbs.join(", ")
+        )
     }
 }
 

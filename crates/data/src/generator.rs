@@ -130,7 +130,10 @@ impl GeneratorConfig {
     }
 
     fn validate(&self) {
-        assert!(self.n_symptoms > 0 && self.n_herbs > 0, "vocabulary sizes must be positive");
+        assert!(
+            self.n_symptoms > 0 && self.n_herbs > 0,
+            "vocabulary sizes must be positive"
+        );
         assert!(self.n_syndromes > 0, "need at least one syndrome");
         assert!(
             self.symptom_support <= self.n_symptoms && self.herb_support <= self.n_herbs,
@@ -201,8 +204,11 @@ impl SyndromeModel {
             let rot_s = ((k * config.n_symptoms) / config.n_syndromes)
                 .min(all_symptoms.len().saturating_sub(1));
             all_symptoms.rotate_left(rot_s);
-            let mut symptoms: Vec<u32> =
-                all_symptoms.iter().copied().take(config.symptom_support).collect();
+            let mut symptoms: Vec<u32> = all_symptoms
+                .iter()
+                .copied()
+                .take(config.symptom_support)
+                .collect();
             symptoms.extend(
                 all_symptoms[config.symptom_support..]
                     .choose_multiple(&mut rng, config.symptom_support / 4)
@@ -211,11 +217,14 @@ impl SyndromeModel {
             symptoms.truncate(config.symptom_support);
             symptoms.shuffle(&mut rng);
 
-            let rot_h = ((k * config.n_herbs) / config.n_syndromes)
-                .min(all_herbs.len().saturating_sub(1));
+            let rot_h =
+                ((k * config.n_herbs) / config.n_syndromes).min(all_herbs.len().saturating_sub(1));
             all_herbs.rotate_left(rot_h);
-            let mut herbs: Vec<u32> =
-                all_herbs.iter().copied().take(config.herb_support).collect();
+            let mut herbs: Vec<u32> = all_herbs
+                .iter()
+                .copied()
+                .take(config.herb_support)
+                .collect();
             herbs.extend(
                 all_herbs[config.herb_support..]
                     .choose_multiple(&mut rng, config.herb_support / 4)
@@ -234,8 +243,9 @@ impl SyndromeModel {
 
         // Syndrome prevalence: mildly skewed so common conditions dominate
         // like in a real clinic corpus.
-        let prevalence: Vec<f64> =
-            (0..config.n_syndromes).map(|k| 1.0 / (1.0 + k as f64).sqrt()).collect();
+        let prevalence: Vec<f64> = (0..config.n_syndromes)
+            .map(|k| 1.0 / (1.0 + k as f64).sqrt())
+            .collect();
         // Global herb popularity: Zipf over a seed-shuffled herb order.
         let mut order: Vec<u32> = (0..config.n_herbs as u32).collect();
         order.shuffle(&mut rng);
@@ -244,7 +254,12 @@ impl SyndromeModel {
             herb_popularity[h as usize] = 1.0 / ((rank + 1) as f64).powf(config.zipf_exponent);
         }
 
-        Self { config, syndromes, prevalence, herb_popularity }
+        Self {
+            config,
+            syndromes,
+            prevalence,
+            herb_popularity,
+        }
     }
 
     /// The generator configuration.
@@ -349,10 +364,12 @@ impl SyndromeModel {
                 seen_h[h as usize] = true;
             }
         }
-        let missing_s: Vec<u32> =
-            (0..self.config.n_symptoms as u32).filter(|&s| !seen_s[s as usize]).collect();
-        let missing_h: Vec<u32> =
-            (0..self.config.n_herbs as u32).filter(|&h| !seen_h[h as usize]).collect();
+        let missing_s: Vec<u32> = (0..self.config.n_symptoms as u32)
+            .filter(|&s| !seen_s[s as usize])
+            .collect();
+        let missing_h: Vec<u32> = (0..self.config.n_herbs as u32)
+            .filter(|&h| !seen_h[h as usize])
+            .collect();
         for s in missing_s {
             let idx = rng.gen_range(0..prescriptions.len());
             let p = &prescriptions[idx];

@@ -109,13 +109,15 @@ fn parse_id_list(text: &str, line_no: usize) -> Result<Vec<u32>, IoError> {
 /// Reads a corpus from a reader.
 pub fn read_corpus(r: impl BufRead) -> Result<Corpus, IoError> {
     let mut lines = r.lines().enumerate();
-    let (n0, first) = lines
-        .next()
-        .ok_or(IoError::Parse { line: 1, message: "missing symptom header".into() })?;
+    let (n0, first) = lines.next().ok_or(IoError::Parse {
+        line: 1,
+        message: "missing symptom header".into(),
+    })?;
     let symptom_vocab = parse_vocab_line(&first?, "#symptoms", n0 + 1)?;
-    let (n1, second) = lines
-        .next()
-        .ok_or(IoError::Parse { line: 2, message: "missing herb header".into() })?;
+    let (n1, second) = lines.next().ok_or(IoError::Parse {
+        line: 2,
+        message: "missing herb header".into(),
+    })?;
     let herb_vocab = parse_vocab_line(&second?, "#herbs", n1 + 1)?;
 
     let mut prescriptions = Vec::new();
@@ -178,7 +180,10 @@ mod tests {
         assert_eq!(loaded.prescriptions(), corpus.prescriptions());
         assert_eq!(loaded.n_symptoms(), corpus.n_symptoms());
         assert_eq!(loaded.herb_vocab().name(0), corpus.herb_vocab().name(0));
-        assert_eq!(loaded.symptom_vocab().id(corpus.symptom_vocab().name(3)), Some(3));
+        assert_eq!(
+            loaded.symptom_vocab().id(corpus.symptom_vocab().name(3)),
+            Some(3)
+        );
     }
 
     #[test]

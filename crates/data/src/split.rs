@@ -33,7 +33,10 @@ pub fn train_test_split(corpus: &Corpus, test_size: usize, seed: u64) -> Split {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
     let (test_idx, train_idx) = indices.split_at(test_size);
-    Split { train: corpus.subset(train_idx), test: corpus.subset(test_idx) }
+    Split {
+        train: corpus.subset(train_idx),
+        test: corpus.subset(test_idx),
+    }
 }
 
 /// Splits off a fraction (rounded down) as the test set.

@@ -71,8 +71,11 @@ pub fn symptom_frequencies(corpus: &Corpus) -> Vec<u32> {
 /// the series plotted in Fig. 5.
 pub fn top_herbs(corpus: &Corpus, k: usize) -> Vec<(u32, u32)> {
     let freq = herb_frequencies(corpus);
-    let mut pairs: Vec<(u32, u32)> =
-        freq.iter().enumerate().map(|(i, &c)| (i as u32, c)).collect();
+    let mut pairs: Vec<(u32, u32)> = freq
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as u32, c))
+        .collect();
     pairs.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     pairs.truncate(k);
     pairs
@@ -88,7 +91,10 @@ pub fn herb_loss_weights(frequencies: &[u32]) -> Vec<f32> {
     if max == 0 {
         return vec![1.0; frequencies.len()];
     }
-    frequencies.iter().map(|&f| max as f32 / f.max(1) as f32).collect()
+    frequencies
+        .iter()
+        .map(|&f| max as f32 / f.max(1) as f32)
+        .collect()
 }
 
 #[cfg(test)]

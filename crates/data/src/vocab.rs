@@ -74,14 +74,21 @@ impl Vocabulary {
 
     /// Iterates `(id, name)`.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as u32, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
     }
 
     /// Rebuilds the reverse index (needed after deserialisation, which
     /// skips the map).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.names.iter().enumerate().map(|(i, n)| (n.clone(), i as u32)).collect();
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
     }
 }
 

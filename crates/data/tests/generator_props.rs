@@ -5,8 +5,14 @@ use smgcn_data::generator::{GeneratorConfig, SyndromeModel};
 use smgcn_data::{corpus_stats, herb_loss_weights, train_test_split, Prescription};
 
 fn small_config() -> impl Strategy<Value = GeneratorConfig> {
-    (20usize..40, 30usize..60, 3usize..8, 100usize..250, 1u64..500).prop_map(
-        |(n_s, n_h, k, n_rx, seed)| GeneratorConfig {
+    (
+        20usize..40,
+        30usize..60,
+        3usize..8,
+        100usize..250,
+        1u64..500,
+    )
+        .prop_map(|(n_s, n_h, k, n_rx, seed)| GeneratorConfig {
             n_symptoms: n_s,
             n_herbs: n_h,
             n_syndromes: k,
@@ -19,8 +25,7 @@ fn small_config() -> impl Strategy<Value = GeneratorConfig> {
             popularity_mix: 0.2,
             zipf_exponent: 1.0,
             seed,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -65,7 +65,12 @@ pub struct PopularityRanker {
 impl PopularityRanker {
     /// Ranks herbs by training-corpus frequency.
     pub fn from_corpus(train: &Corpus) -> Self {
-        Self { scores: herb_frequencies(train).into_iter().map(|c| c as f32).collect() }
+        Self {
+            scores: herb_frequencies(train)
+                .into_iter()
+                .map(|c| c as f32)
+                .collect(),
+        }
     }
 }
 
@@ -89,8 +94,10 @@ pub fn evaluate_ranker(
     let sets: Vec<&[u32]> = test.prescriptions().iter().map(|p| p.symptoms()).collect();
     let truths: Vec<&[u32]> = test.prescriptions().iter().map(|p| p.herbs()).collect();
     let scores = ranker.score_sets(&sets);
-    let ranked: Vec<Vec<u32>> =
-        scores.iter().map(|row| top_k_indices(row, RANK_TRUNCATION)).collect();
+    let ranked: Vec<Vec<u32>> = scores
+        .iter()
+        .map(|row| top_k_indices(row, RANK_TRUNCATION))
+        .collect();
     mean_metrics(&ranked, &truths, ks)
 }
 
@@ -202,7 +209,12 @@ pub struct Prepared {
 impl Prepared {
     /// Rebuilds operators at different synergy thresholds (Fig. 7 sweep).
     pub fn ops_at(&self, thresholds: SynergyThresholds) -> GraphOperators {
-        GraphOperators::from_parts(&self.bipartite, &self.ss_counts, &self.hh_counts, thresholds)
+        GraphOperators::from_parts(
+            &self.bipartite,
+            &self.ss_counts,
+            &self.hh_counts,
+            thresholds,
+        )
     }
 }
 
@@ -220,11 +232,8 @@ pub fn prepare_with(
 ) -> Prepared {
     let corpus = SyndromeModel::new(generator).generate();
     let split = train_test_split_fraction(&corpus, PAPER_TEST_FRACTION, seed);
-    let bipartite = BipartiteGraph::from_records(
-        split.train.records(),
-        corpus.n_symptoms(),
-        corpus.n_herbs(),
-    );
+    let bipartite =
+        BipartiteGraph::from_records(split.train.records(), corpus.n_symptoms(), corpus.n_herbs());
     let mut ss_counts = CooccurrenceCounts::new(corpus.n_symptoms());
     let mut hh_counts = CooccurrenceCounts::new(corpus.n_herbs());
     for (symptoms, herbs) in split.train.records() {
@@ -232,7 +241,14 @@ pub fn prepare_with(
         hh_counts.add_set(herbs);
     }
     let ops = GraphOperators::from_parts(&bipartite, &ss_counts, &hh_counts, thresholds);
-    Prepared { train: split.train, test: split.test, ops, bipartite, ss_counts, hh_counts }
+    Prepared {
+        train: split.train,
+        test: split.test,
+        ops,
+        bipartite,
+        ss_counts,
+        hh_counts,
+    }
 }
 
 /// One evaluated model: label, metrics at each K, and wall-clock cost.
@@ -278,13 +294,21 @@ pub fn run_neural_with_ops(
     train(&mut model, &prepared.train, train_cfg);
     let train_seconds = start.elapsed().as_secs_f64();
     let at = evaluate_ranker(&model, &prepared.test, &PAPER_KS);
-    EvalRow { label: model.name().to_string(), at, train_seconds }
+    EvalRow {
+        label: model.name().to_string(),
+        at,
+        train_seconds,
+    }
 }
 
 /// Evaluates any ranker without training (already-trained or non-neural).
 pub fn run_ranker(ranker: &dyn HerbRanker, prepared: &Prepared, train_seconds: f64) -> EvalRow {
     let at = evaluate_ranker(ranker, &prepared.test, &PAPER_KS);
-    EvalRow { label: ranker.label(), at, train_seconds }
+    EvalRow {
+        label: ranker.label(),
+        at,
+        train_seconds,
+    }
 }
 
 /// Averages rows produced by the same model across seeds (metric means,
@@ -311,7 +335,11 @@ pub fn average_rows(rows: &[EvalRow]) -> EvalRow {
             (k, acc.scaled(inv))
         })
         .collect();
-    EvalRow { label, at, train_seconds: rows.iter().map(|r| r.train_seconds).sum() }
+    EvalRow {
+        label,
+        at,
+        train_seconds: rows.iter().map(|r| r.train_seconds).sum(),
+    }
 }
 
 /// Trains and evaluates a neural model once per seed and averages.
@@ -384,7 +412,14 @@ mod tests {
     fn eval_row_lookup() {
         let row = EvalRow {
             label: "x".into(),
-            at: vec![(5, RankingMetrics { precision: 0.3, recall: 0.2, ndcg: 0.4 })],
+            at: vec![(
+                5,
+                RankingMetrics {
+                    precision: 0.3,
+                    recall: 0.2,
+                    ndcg: 0.4,
+                },
+            )],
             train_seconds: 1.0,
         };
         assert!(row.at_k(5).is_some());
@@ -414,7 +449,10 @@ mod tests {
         let row = run_neural(ModelKind::Smgcn, &p, &model_cfg, &train_cfg, 5);
         assert_eq!(row.label, "SMGCN");
         let m5 = row.at_k(5).unwrap();
-        assert!(m5.precision > 0.0, "trained model should hit something: {m5:?}");
+        assert!(
+            m5.precision > 0.0,
+            "trained model should hit something: {m5:?}"
+        );
         assert!(row.train_seconds > 0.0);
     }
 }

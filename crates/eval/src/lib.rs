@@ -18,16 +18,14 @@ pub mod significance;
 
 pub use harness::{
     average_rows, evaluate_ranker, prepare, prepare_with, run_neural, run_neural_seeds,
-    run_neural_with_ops, run_ranker, train_config_for, EvalRow, HerbRanker,
-    PopularityRanker, Prepared, Scale, RANK_TRUNCATION, SMOKE_SEEDS,
+    run_neural_with_ops, run_ranker, train_config_for, EvalRow, HerbRanker, PopularityRanker,
+    Prepared, Scale, RANK_TRUNCATION, SMOKE_SEEDS,
 };
 pub use metrics::{
-    mean_metrics, metrics_at_k, ndcg_at_k, precision_at_k, recall_at_k, RankingMetrics,
-    PAPER_KS,
+    mean_metrics, metrics_at_k, ndcg_at_k, precision_at_k, recall_at_k, RankingMetrics, PAPER_KS,
+};
+pub use report::{
+    format_case_study, format_improvement_rows, format_metrics_table, format_paper_comparison,
+    format_sweep_series, shape_violations, PAPER_TABLE_IV, PAPER_TABLE_V,
 };
 pub use significance::{paired_bootstrap, per_prescription_precision, BootstrapComparison};
-pub use report::{
-    format_case_study, format_improvement_rows, format_metrics_table,
-    format_paper_comparison, format_sweep_series, shape_violations, PAPER_TABLE_IV,
-    PAPER_TABLE_V,
-};

@@ -107,7 +107,11 @@ pub fn mean_metrics(
     truths: &[&[u32]],
     ks: &[usize],
 ) -> Vec<(usize, RankingMetrics)> {
-    assert_eq!(ranked_lists.len(), truths.len(), "mean_metrics: length mismatch");
+    assert_eq!(
+        ranked_lists.len(),
+        truths.len(),
+        "mean_metrics: length mismatch"
+    );
     assert!(!ranked_lists.is_empty(), "mean_metrics: empty test set");
     let inv = 1.0 / ranked_lists.len() as f64;
     ks.iter()

@@ -10,12 +10,42 @@ use crate::metrics::RankingMetrics;
 /// The paper's Table IV reference values (full TCM corpus) for
 /// paper-vs-measured reporting. Order: p@5/10/20, r@5/10/20, ndcg@5/10/20.
 pub const PAPER_TABLE_IV: &[(&str, [f64; 9])] = &[
-    ("HC-KGETM", [0.2783, 0.2197, 0.1626, 0.1959, 0.3072, 0.4523, 0.3717, 0.4491, 0.5501]),
-    ("GC-MC", [0.2788, 0.2223, 0.1647, 0.1933, 0.3100, 0.4553, 0.3765, 0.4568, 0.5610]),
-    ("PinSage", [0.2841, 0.2236, 0.1650, 0.1995, 0.3135, 0.4567, 0.3841, 0.4613, 0.5647]),
-    ("NGCF", [0.2787, 0.2219, 0.1634, 0.1933, 0.3085, 0.4505, 0.3790, 0.4571, 0.5599]),
-    ("HeteGCN", [0.2864, 0.2268, 0.1676, 0.2018, 0.3192, 0.4667, 0.3837, 0.4620, 0.5665]),
-    ("SMGCN", [0.2928, 0.2295, 0.1683, 0.2076, 0.3245, 0.4689, 0.3923, 0.4687, 0.5716]),
+    (
+        "HC-KGETM",
+        [
+            0.2783, 0.2197, 0.1626, 0.1959, 0.3072, 0.4523, 0.3717, 0.4491, 0.5501,
+        ],
+    ),
+    (
+        "GC-MC",
+        [
+            0.2788, 0.2223, 0.1647, 0.1933, 0.3100, 0.4553, 0.3765, 0.4568, 0.5610,
+        ],
+    ),
+    (
+        "PinSage",
+        [
+            0.2841, 0.2236, 0.1650, 0.1995, 0.3135, 0.4567, 0.3841, 0.4613, 0.5647,
+        ],
+    ),
+    (
+        "NGCF",
+        [
+            0.2787, 0.2219, 0.1634, 0.1933, 0.3085, 0.4505, 0.3790, 0.4571, 0.5599,
+        ],
+    ),
+    (
+        "HeteGCN",
+        [
+            0.2864, 0.2268, 0.1676, 0.2018, 0.3192, 0.4667, 0.3837, 0.4620, 0.5665,
+        ],
+    ),
+    (
+        "SMGCN",
+        [
+            0.2928, 0.2295, 0.1683, 0.2076, 0.3245, 0.4689, 0.3923, 0.4687, 0.5716,
+        ],
+    ),
 ];
 
 /// The paper's Table V ablation reference values at K = 5
@@ -73,17 +103,26 @@ pub fn format_improvement_rows(
     };
     let mut table: Vec<Vec<String>> = Vec::new();
     for base in baselines {
-        let Some(b) = rows.iter().find(|r| r.label == *base) else { continue };
+        let Some(b) = rows.iter().find(|r| r.label == *base) else {
+            continue;
+        };
         let mut line = vec![format!("%Improv. vs {base}")];
         for metric in 0..3usize {
             for &k in ks {
-                let (s, bv) = (subj.at_k(k).unwrap_or_default(), b.at_k(k).unwrap_or_default());
+                let (s, bv) = (
+                    subj.at_k(k).unwrap_or_default(),
+                    b.at_k(k).unwrap_or_default(),
+                );
                 let (sv, bvv) = match metric {
                     0 => (s.precision, bv.precision),
                     1 => (s.recall, bv.recall),
                     _ => (s.ndcg, bv.ndcg),
                 };
-                let imp = if bvv > 0.0 { (sv - bvv) / bvv * 100.0 } else { f64::NAN };
+                let imp = if bvv > 0.0 {
+                    (sv - bvv) / bvv * 100.0
+                } else {
+                    f64::NAN
+                };
                 line.push(format!("{imp:+.2}%"));
             }
         }
@@ -101,7 +140,9 @@ pub fn format_paper_comparison(
     let mut out = String::new();
     out.push_str("paper reference (left) vs measured (right), per metric@K:\n");
     for (name, vals) in reference {
-        let Some(row) = rows.iter().find(|r| r.label == *name) else { continue };
+        let Some(row) = rows.iter().find(|r| r.label == *name) else {
+            continue;
+        };
         out.push_str(&format!("  {name:<18}"));
         for (i, prefix) in ["p", "r", "ndcg"].iter().enumerate() {
             for (j, &k) in ks.iter().enumerate() {
@@ -143,14 +184,20 @@ pub fn shape_violations(
 
 /// A figure-style series: one metric against a swept parameter
 /// (Figs. 7–9 are all of this shape).
-pub fn format_sweep_series(
-    param_name: &str,
-    points: &[(String, RankingMetrics)],
-) -> String {
-    let mut table: Vec<Vec<String>> =
-        vec![vec![param_name.to_string(), "p@5".into(), "r@5".into(), "ndcg@5".into()]];
+pub fn format_sweep_series(param_name: &str, points: &[(String, RankingMetrics)]) -> String {
+    let mut table: Vec<Vec<String>> = vec![vec![
+        param_name.to_string(),
+        "p@5".into(),
+        "r@5".into(),
+        "ndcg@5".into(),
+    ]];
     for (value, m) in points {
-        table.push(vec![value.clone(), fmt4(m.precision), fmt4(m.recall), fmt4(m.ndcg)]);
+        table.push(vec![
+            value.clone(),
+            fmt4(m.precision),
+            fmt4(m.recall),
+            fmt4(m.ndcg),
+        ]);
     }
     render_aligned(&table)
 }
@@ -164,12 +211,13 @@ pub fn format_case_study(
     let mut out = String::new();
     for (i, (symptoms, truth, recommended)) in cases.iter().enumerate() {
         out.push_str(&format!("case {}:\n  symptoms: ", i + 1));
-        let names: Vec<&str> =
-            symptoms.iter().map(|&s| corpus.symptom_vocab().name(s)).collect();
+        let names: Vec<&str> = symptoms
+            .iter()
+            .map(|&s| corpus.symptom_vocab().name(s))
+            .collect();
         out.push_str(&names.join(", "));
         out.push_str("\n  ground-truth herbs: ");
-        let truth_names: Vec<&str> =
-            truth.iter().map(|&h| corpus.herb_vocab().name(h)).collect();
+        let truth_names: Vec<&str> = truth.iter().map(|&h| corpus.herb_vocab().name(h)).collect();
         out.push_str(&truth_names.join(", "));
         out.push_str("\n  recommended: ");
         let rec: Vec<String> = recommended
@@ -225,8 +273,22 @@ mod tests {
         EvalRow {
             label: label.into(),
             at: vec![
-                (5, RankingMetrics { precision: p5, recall: p5 * 0.7, ndcg: p5 * 1.3 }),
-                (10, RankingMetrics { precision: p5 * 0.8, recall: p5, ndcg: p5 * 1.2 }),
+                (
+                    5,
+                    RankingMetrics {
+                        precision: p5,
+                        recall: p5 * 0.7,
+                        ndcg: p5 * 1.3,
+                    },
+                ),
+                (
+                    10,
+                    RankingMetrics {
+                        precision: p5 * 0.8,
+                        recall: p5,
+                        ndcg: p5 * 1.2,
+                    },
+                ),
             ],
             train_seconds: 1.0,
         }
@@ -262,8 +324,22 @@ mod tests {
     #[test]
     fn sweep_series_lists_points() {
         let pts = vec![
-            ("10".to_string(), RankingMetrics { precision: 0.1, recall: 0.2, ndcg: 0.3 }),
-            ("20".to_string(), RankingMetrics { precision: 0.4, recall: 0.5, ndcg: 0.6 }),
+            (
+                "10".to_string(),
+                RankingMetrics {
+                    precision: 0.1,
+                    recall: 0.2,
+                    ndcg: 0.3,
+                },
+            ),
+            (
+                "20".to_string(),
+                RankingMetrics {
+                    precision: 0.4,
+                    recall: 0.5,
+                    ndcg: 0.6,
+                },
+            ),
         ];
         let s = format_sweep_series("x_h", &pts);
         assert!(s.contains("x_h"));

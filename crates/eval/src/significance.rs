@@ -36,15 +36,13 @@ impl BootstrapComparison {
 ///
 /// # Panics
 /// Panics on empty or mismatched inputs or `resamples == 0`.
-pub fn paired_bootstrap(
-    a: &[f64],
-    b: &[f64],
-    resamples: usize,
-    seed: u64,
-) -> BootstrapComparison {
+pub fn paired_bootstrap(a: &[f64], b: &[f64], resamples: usize, seed: u64) -> BootstrapComparison {
     assert_eq!(a.len(), b.len(), "paired_bootstrap: length mismatch");
     assert!(!a.is_empty(), "paired_bootstrap: empty inputs");
-    assert!(resamples > 0, "paired_bootstrap: need at least one resample");
+    assert!(
+        resamples > 0,
+        "paired_bootstrap: need at least one resample"
+    );
     let n = a.len();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut wins = 0usize;
@@ -119,8 +117,12 @@ mod tests {
     fn noisy_tie_is_not_significant() {
         // Paired values that differ by ±0.01 alternately — the mean
         // difference is ~0.
-        let a: Vec<f64> = (0..200).map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
-        let b: Vec<f64> = (0..200).map(|i| 0.5 + if i % 2 == 0 { -0.01 } else { 0.01 }).collect();
+        let a: Vec<f64> = (0..200)
+            .map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 })
+            .collect();
+        let b: Vec<f64> = (0..200)
+            .map(|i| 0.5 + if i % 2 == 0 { -0.01 } else { 0.01 })
+            .collect();
         let cmp = paired_bootstrap(&a, &b, 500, 3);
         assert!(!cmp.significant(), "{cmp:?}");
     }

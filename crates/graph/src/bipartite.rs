@@ -51,7 +51,11 @@ impl BipartiteGraph {
                 }
             }
         }
-        Self { n_symptoms, n_herbs, sh: CsrMatrix::from_triplets(n_symptoms, n_herbs, &edges) }
+        Self {
+            n_symptoms,
+            n_herbs,
+            sh: CsrMatrix::from_triplets(n_symptoms, n_herbs, &edges),
+        }
     }
 
     /// Number of symptom nodes.
@@ -134,7 +138,11 @@ mod tests {
 
     #[test]
     fn repeated_pairs_stay_binary() {
-        let g = build(&[(vec![0], vec![1]), (vec![0], vec![1]), (vec![0], vec![1])], 2, 2);
+        let g = build(
+            &[(vec![0], vec![1]), (vec![0], vec![1]), (vec![0], vec![1])],
+            2,
+            2,
+        );
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.sh().get(0, 1), 1.0);
     }

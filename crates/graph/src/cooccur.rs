@@ -24,7 +24,10 @@ pub struct CooccurrenceCounts {
 impl CooccurrenceCounts {
     /// Starts an empty counter over a vocabulary of `n_items` ids.
     pub fn new(n_items: usize) -> Self {
-        Self { n_items, counts: HashMap::new() }
+        Self {
+            n_items,
+            counts: HashMap::new(),
+        }
     }
 
     /// Vocabulary size.
@@ -151,7 +154,11 @@ mod tests {
     #[test]
     fn synergy_graph_is_symmetric_and_hollow() {
         let mut cc = CooccurrenceCounts::new(5);
-        cc.add_sets([vec![0u32, 1, 2], vec![0, 1], vec![3, 4], vec![0, 1]].iter().map(Vec::as_slice));
+        cc.add_sets(
+            [vec![0u32, 1, 2], vec![0, 1], vec![3, 4], vec![0, 1]]
+                .iter()
+                .map(Vec::as_slice),
+        );
         let g = cc.synergy_graph(0);
         assert!(g.is_symmetric());
         for i in 0..5 {
@@ -165,9 +172,15 @@ mod tests {
     fn higher_threshold_never_adds_edges() {
         let mut cc = CooccurrenceCounts::new(6);
         cc.add_sets(
-            [vec![0u32, 1, 2, 3], vec![0, 1, 2], vec![0, 1], vec![4, 5], vec![0, 1]]
-                .iter()
-                .map(Vec::as_slice),
+            [
+                vec![0u32, 1, 2, 3],
+                vec![0, 1, 2],
+                vec![0, 1],
+                vec![4, 5],
+                vec![0, 1],
+            ]
+            .iter()
+            .map(Vec::as_slice),
         );
         let mut prev = usize::MAX;
         for t in 0..6 {

@@ -28,11 +28,21 @@ impl DegreeStats {
     /// Computes statistics from a degree list.
     pub fn from_degrees(degrees: &[usize]) -> Self {
         if degrees.is_empty() {
-            return Self { mean: 0.0, std: 0.0, min: 0, max: 0, isolated: 0 };
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+                min: 0,
+                max: 0,
+                isolated: 0,
+            };
         }
         let n = degrees.len() as f64;
         let mean = degrees.iter().sum::<usize>() as f64 / n;
-        let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = degrees
+            .iter()
+            .map(|&d| (d as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         Self {
             mean,
             std: var.sqrt(),
@@ -103,7 +113,13 @@ mod tests {
         let m = CsrMatrix::from_triplets(
             3,
             5,
-            &[(0, 0, 1.0), (0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (1, 0, 1.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 0, 1.0),
+            ],
         );
         let h = degree_histogram(&m, 2);
         // Row degrees: 4, 1, 0 -> buckets [0]=1, [1]=1, [2+]=1.

@@ -12,8 +12,7 @@ fn records() -> impl Strategy<Value = (Vec<(Vec<u32>, Vec<u32>)>, usize, usize)>
             proptest::collection::vec(0..n_s as u32, 1..5),
             proptest::collection::vec(0..n_h as u32, 1..6),
         );
-        proptest::collection::vec(record, 1..25)
-            .prop_map(move |rs| (rs, n_s, n_h))
+        proptest::collection::vec(record, 1..25).prop_map(move |rs| (rs, n_s, n_h))
     })
 }
 

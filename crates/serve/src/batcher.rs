@@ -1,0 +1,259 @@
+//! Micro-batching: pack concurrent queries into one scoring GEMM.
+//!
+//! Per-query frozen inference is already cheap, but under concurrency the
+//! dominant cost is the `1 x d · d x H` scoring product plus per-call
+//! overhead. The GEMM kernels amortize dramatically with batch height, so
+//! the batcher runs a dedicated scoring thread: connection handlers
+//! enqueue `(symptom set, k)` jobs and block on a channel; the scorer
+//! drains whatever has accumulated (up to `max_batch`), optionally
+//! lingering a few hundred microseconds to let stragglers join, scores
+//! the whole batch with [`FrozenModel::score_batch`] and fans the
+//! rankings back out.
+//!
+//! Shutdown is cooperative: dropping the [`Batcher`] wakes the scorer,
+//! which drains remaining jobs and exits.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::frozen::{FrozenError, FrozenModel};
+
+/// Tuning knobs for the batching loop.
+#[derive(Clone, Debug)]
+pub struct BatcherConfig {
+    /// Largest batch packed into one GEMM.
+    pub max_batch: usize,
+    /// How long the scorer waits for stragglers after the first job of a
+    /// batch arrives. Zero disables lingering (drain-what's-there).
+    pub linger: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            linger: Duration::from_micros(200),
+        }
+    }
+}
+
+struct Job {
+    set: Vec<u32>,
+    k: usize,
+    reply: mpsc::Sender<Result<Vec<u32>, FrozenError>>,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    nonempty: Condvar,
+}
+
+struct QueueState {
+    jobs: Vec<Job>,
+    shutdown: bool,
+}
+
+/// Handle for submitting queries to the scoring thread.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the scoring thread over `model`.
+    pub fn start(model: Arc<FrozenModel>, config: BatcherConfig) -> Self {
+        assert!(config.max_batch > 0, "Batcher: max_batch must be positive");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: Vec::new(),
+                shutdown: false,
+            }),
+            nonempty: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("smgcn-batcher".into())
+            .spawn(move || scoring_loop(model, worker_shared, config))
+            .expect("spawn batcher thread");
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Scores one query through the shared batch, blocking until its
+    /// ranking is ready.
+    pub fn recommend(&self, set: &[u32], k: usize) -> Result<Vec<u32>, FrozenError> {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut q = self.shared.queue.lock().expect("batcher lock");
+            if q.shutdown {
+                return Err(FrozenError::Query("batcher is shutting down".into()));
+            }
+            q.jobs.push(Job {
+                set: set.to_vec(),
+                k,
+                reply,
+            });
+        }
+        self.shared.nonempty.notify_one();
+        rx.recv()
+            .unwrap_or_else(|_| Err(FrozenError::Query("scoring thread exited".into())))
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        if let Ok(mut q) = self.shared.queue.lock() {
+            q.shutdown = true;
+        }
+        self.shared.nonempty.notify_all();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn scoring_loop(model: Arc<FrozenModel>, shared: Arc<Shared>, config: BatcherConfig) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().expect("batcher lock");
+            while q.jobs.is_empty() && !q.shutdown {
+                q = shared.nonempty.wait(q).expect("batcher wait");
+            }
+            if q.jobs.is_empty() && q.shutdown {
+                return;
+            }
+            if !config.linger.is_zero() && q.jobs.len() < config.max_batch && !q.shutdown {
+                // Give concurrent callers a moment to pile on. Each job
+                // submission fires a notify, so loop until the full
+                // linger window has elapsed (or the batch fills) rather
+                // than admitting just the first straggler.
+                let deadline = std::time::Instant::now() + config.linger;
+                loop {
+                    let now = std::time::Instant::now();
+                    if now >= deadline || q.jobs.len() >= config.max_batch || q.shutdown {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .nonempty
+                        .wait_timeout(q, deadline - now)
+                        .expect("batcher linger wait");
+                    q = guard;
+                }
+            }
+            let take = q.jobs.len().min(config.max_batch);
+            q.jobs.drain(..take).collect()
+        };
+        score_and_reply(&model, batch);
+    }
+}
+
+fn score_and_reply(model: &FrozenModel, batch: Vec<Job>) {
+    // Invalid sets (empty / out-of-range ids) would poison the whole
+    // GEMM, so answer those individually and batch the rest.
+    let mut valid: Vec<&Job> = Vec::with_capacity(batch.len());
+    for job in &batch {
+        match model.validate_query(&job.set) {
+            Ok(()) => valid.push(job),
+            Err(e) => {
+                let _ = job.reply.send(Err(e));
+            }
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+    let sets: Vec<&[u32]> = valid.iter().map(|j| j.set.as_slice()).collect();
+    match model.score_batch(&sets) {
+        Ok(scores) => {
+            for (row, job) in valid.iter().enumerate() {
+                let ranking = crate::topk::partial_top_k(scores.row(row), job.k);
+                let _ = job.reply.send(Ok(ranking));
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            for job in valid {
+                let _ = job.reply.send(Err(FrozenError::Query(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smgcn_tensor::Matrix;
+
+    fn model() -> Arc<FrozenModel> {
+        let symptoms = Matrix::from_fn(6, 4, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let herbs = Matrix::from_fn(9, 4, |r, c| ((r * 5 + c * 11) % 7) as f32 - 3.0);
+        Arc::new(FrozenModel::from_parts(symptoms, herbs, None).unwrap())
+    }
+
+    #[test]
+    fn single_query_matches_direct_path() {
+        let m = model();
+        let batcher = Batcher::start(Arc::clone(&m), BatcherConfig::default());
+        let got = batcher.recommend(&[0, 3, 5], 4).unwrap();
+        assert_eq!(got, m.recommend(&[0, 3, 5], 4).unwrap());
+    }
+
+    #[test]
+    fn concurrent_queries_all_answered_correctly() {
+        let m = model();
+        let batcher = Arc::new(Batcher::start(Arc::clone(&m), BatcherConfig::default()));
+        let mut handles = Vec::new();
+        for t in 0..16u32 {
+            let batcher = Arc::clone(&batcher);
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u32 {
+                    let set = vec![(t + i) % 6, (t * i + 1) % 6];
+                    let k = 1 + ((t + i) % 5) as usize;
+                    let got = batcher.recommend(&set, k).unwrap();
+                    let want = m.recommend(&set, k).unwrap();
+                    assert_eq!(got, want, "t={t} i={i}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_queries_fail_without_poisoning_batch() {
+        let m = model();
+        let batcher = Arc::new(Batcher::start(
+            Arc::clone(&m),
+            BatcherConfig {
+                max_batch: 8,
+                linger: Duration::from_millis(2),
+            },
+        ));
+        let bad = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.recommend(&[999], 3))
+        };
+        let good = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.recommend(&[1, 2], 3))
+        };
+        assert!(bad.join().unwrap().is_err());
+        assert_eq!(
+            good.join().unwrap().unwrap(),
+            m.recommend(&[1, 2], 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let batcher = Batcher::start(model(), BatcherConfig::default());
+        let _ = batcher.recommend(&[1], 2).unwrap();
+        drop(batcher); // must not hang or panic
+    }
+}

@@ -1,0 +1,297 @@
+//! LRU cache for repeated symptom-set queries.
+//!
+//! Clinic traffic repeats symptom combinations heavily (common conditions
+//! dominate — the corpus generator itself draws syndromes from a skewed
+//! prevalence), so the serving layer memoizes rankings keyed by the
+//! *sorted* symptom-id set plus `k`. Sorting makes the key order-
+//! insensitive: `{cough, fever}` and `{fever, cough}` hit the same entry.
+//!
+//! The implementation is a classic O(1) LRU: a `HashMap` from key to slot
+//! index into a slab of doubly-linked entries, head = most recent. Std
+//! only, no external crates.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache: capacity must be positive");
+        Self {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(hits, misses)` counters since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.slab[i].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry when at capacity. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let old_key = self.slab[lru].key.clone();
+            self.map.remove(&old_key);
+            self.free.push(lru);
+            evicted = Some(old_key);
+        }
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+}
+
+/// Canonical cache key for a symptom-set query: the sorted, deduplicated
+/// symptom ids plus the requested `k`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Sorted, deduplicated symptom ids.
+    pub symptoms: Vec<u32>,
+    /// Requested ranking depth.
+    pub k: usize,
+}
+
+impl QueryKey {
+    /// Builds the canonical key from a raw (possibly unsorted, possibly
+    /// repeating) symptom list.
+    pub fn new(symptoms: &[u32], k: usize) -> Self {
+        let mut s = symptoms.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        Self { symptoms: s, k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value_and_promotes() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one")); // 1 is now MRU
+        assert_eq!(c.insert(3, "three"), Some(2), "2 was LRU");
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+    }
+
+    #[test]
+    fn eviction_bounded_by_capacity() {
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.insert(i, i * 2);
+            assert!(c.len() <= 8, "len {} exceeded capacity", c.len());
+        }
+        // The last 8 keys survive, in order.
+        for i in 992..1000u64 {
+            assert_eq!(c.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(c.get(&0), None);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_evicting() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None, "replacement never evicts");
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn capacity_one_degenerates_gracefully() {
+        let mut c: LruCache<u8, u8> = LruCache::new(1);
+        assert_eq!(c.insert(1, 1), None);
+        assert_eq!(c.insert(2, 2), Some(1));
+        assert_eq!(c.get(&2), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c: LruCache<u8, u8> = LruCache::new(4);
+        c.insert(1, 1);
+        let _ = c.get(&1);
+        let _ = c.get(&9);
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn query_key_is_order_and_duplicate_insensitive() {
+        assert_eq!(
+            QueryKey::new(&[3, 1, 2], 5),
+            QueryKey::new(&[2, 3, 1, 1], 5)
+        );
+        assert_ne!(QueryKey::new(&[1, 2], 5), QueryKey::new(&[1, 2], 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u8, u8>::new(0);
+    }
+
+    /// Randomized property check against a naive reference model.
+    #[test]
+    fn matches_naive_reference_model() {
+        // Tiny deterministic generator; avoids a dev-dependency cycle on
+        // the proptest shim from inside the serve crate.
+        let mut state = 0xdead_beef_cafe_f00du64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        let mut lru: LruCache<u64, u64> = LruCache::new(4);
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // MRU-first
+        for step in 0..5000u64 {
+            let key = next(10);
+            if next(2) == 0 {
+                let val = step;
+                if let Some(pos) = reference.iter().position(|&(k, _)| k == key) {
+                    reference.remove(pos);
+                } else if reference.len() == 4 {
+                    reference.pop();
+                }
+                reference.insert(0, (key, val));
+                lru.insert(key, val);
+            } else {
+                let expect = reference.iter().position(|&(k, _)| k == key).map(|pos| {
+                    let entry = reference.remove(pos);
+                    reference.insert(0, entry);
+                    entry.1
+                });
+                assert_eq!(lru.get(&key).copied(), expect, "step {step} key {key}");
+            }
+            assert_eq!(lru.len(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The frozen model: materialized embeddings + the syndrome-induction head.
+//!
+//! Everything upstream of Eq. 12 in SMGCN — Bipar-GCN message passing and
+//! the synergy-graph encoding — operates on the *static* training graphs,
+//! so the fused node embeddings `e*_s` and `e*_h` are the same for every
+//! query. [`FrozenModel`] runs that expensive forward pass exactly once
+//! (at freeze time) and keeps only what per-request inference needs:
+//!
+//! - the final symptom embedding matrix (`S x d`),
+//! - the final herb embedding matrix (`H x d`),
+//! - the SI-MLP weights (`W_mlp`, `b_mlp`) when the head is nonlinear.
+//!
+//! A request then costs one mean-pool over `|sc|` rows, one `d x d`
+//! multiply (when the MLP is present) and one `d x H` scoring product —
+//! independent of graph size, layer count and corpus size. Batched
+//! scoring packs `B` concurrent queries into a single `B x d` GEMM.
+//!
+//! Persistence reuses the `smgcn-tensor` checkpoint container (magic
+//! `SMGT`), with reserved `frozen.*` tensor names, so the same tooling
+//! reads training checkpoints and frozen models.
+
+use smgcn_core::Recommender;
+use smgcn_tensor::checkpoint::{self, CheckpointError};
+use smgcn_tensor::{Matrix, ParamStore};
+
+use crate::topk::partial_top_k;
+
+/// Checkpoint tensor names used by the frozen format.
+const NAME_SYMPTOMS: &str = "frozen.symptoms";
+const NAME_HERBS: &str = "frozen.herbs";
+const NAME_SI_W: &str = "frozen.si.w_mlp";
+const NAME_SI_B: &str = "frozen.si.b_mlp";
+
+/// Errors from freezing, persistence or querying.
+#[derive(Debug)]
+pub enum FrozenError {
+    /// Underlying checkpoint IO/format failure.
+    Checkpoint(CheckpointError),
+    /// A readable checkpoint that is simply not a frozen model (no
+    /// `frozen.*` tensors) — e.g. a training checkpoint. Callers can
+    /// treat this one as "try the full-model path instead".
+    NotFrozen(String),
+    /// A frozen model whose tensors are damaged or inconsistent
+    /// (missing halves, mismatched shapes).
+    Format(String),
+    /// A query referenced unknown symptom ids or was empty.
+    Query(String),
+}
+
+impl std::fmt::Display for FrozenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrozenError::Checkpoint(e) => write!(f, "frozen model checkpoint error: {e}"),
+            FrozenError::NotFrozen(m) => write!(f, "not a frozen model: {m}"),
+            FrozenError::Format(m) => write!(f, "frozen model format error: {m}"),
+            FrozenError::Query(m) => write!(f, "bad query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrozenError {}
+
+impl From<CheckpointError> for FrozenError {
+    fn from(e: CheckpointError) -> Self {
+        FrozenError::Checkpoint(e)
+    }
+}
+
+/// A trained SMGCN collapsed to its serving-time essentials.
+#[derive(Clone)]
+pub struct FrozenModel {
+    symptoms: Matrix,
+    herbs: Matrix,
+    si_mlp: Option<(Matrix, Matrix)>,
+}
+
+impl std::fmt::Debug for FrozenModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenModel")
+            .field("n_symptoms", &self.n_symptoms())
+            .field("n_herbs", &self.n_herbs())
+            .field("dim", &self.dim())
+            .field("si_mlp", &self.has_si_mlp())
+            .finish()
+    }
+}
+
+impl FrozenModel {
+    /// Builds a frozen model from raw parts.
+    ///
+    /// # Errors
+    /// Rejects dimension mismatches between the matrices.
+    pub fn from_parts(
+        symptoms: Matrix,
+        herbs: Matrix,
+        si_mlp: Option<(Matrix, Matrix)>,
+    ) -> Result<Self, FrozenError> {
+        let d = symptoms.cols();
+        if herbs.cols() != d {
+            return Err(FrozenError::Format(format!(
+                "embedding dim mismatch: symptoms {d}, herbs {}",
+                herbs.cols()
+            )));
+        }
+        if symptoms.rows() == 0 || herbs.rows() == 0 || d == 0 {
+            return Err(FrozenError::Format("empty embedding matrices".into()));
+        }
+        if let Some((w, b)) = &si_mlp {
+            if w.shape() != (d, d) || b.shape() != (1, d) {
+                return Err(FrozenError::Format(format!(
+                    "SI head shapes {:?}/{:?} do not match dim {d}",
+                    w.shape(),
+                    b.shape()
+                )));
+            }
+        }
+        Ok(Self {
+            symptoms,
+            herbs,
+            si_mlp,
+        })
+    }
+
+    /// Freezes a (trained) recommender: runs the graph convolutions once
+    /// and captures the final embeddings plus the SI head.
+    pub fn from_recommender(model: &Recommender) -> Self {
+        let (symptoms, herbs) = model.final_embeddings();
+        Self::from_parts(symptoms, herbs, model.syndrome_head())
+            .expect("recommender produced consistent shapes")
+    }
+
+    /// Symptom vocabulary size.
+    pub fn n_symptoms(&self) -> usize {
+        self.symptoms.rows()
+    }
+
+    /// Herb vocabulary size.
+    pub fn n_herbs(&self) -> usize {
+        self.herbs.rows()
+    }
+
+    /// Final embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.symptoms.cols()
+    }
+
+    /// Whether the nonlinear SI head is present.
+    pub fn has_si_mlp(&self) -> bool {
+        self.si_mlp.is_some()
+    }
+
+    fn to_store(&self) -> ParamStore {
+        let mut store = ParamStore::new();
+        store.add(NAME_SYMPTOMS, self.symptoms.clone());
+        store.add(NAME_HERBS, self.herbs.clone());
+        if let Some((w, b)) = &self.si_mlp {
+            store.add(NAME_SI_W, w.clone());
+            store.add(NAME_SI_B, b.clone());
+        }
+        store
+    }
+
+    fn from_store(store: &ParamStore) -> Result<Self, FrozenError> {
+        let find = |name: &str| {
+            store
+                .iter()
+                .find(|(_, n, _)| *n == name)
+                .map(|(_, _, value)| value.clone())
+        };
+        let symptoms = find(NAME_SYMPTOMS).ok_or_else(|| {
+            FrozenError::NotFrozen(format!(
+                "missing {NAME_SYMPTOMS:?} (is this a training checkpoint?)"
+            ))
+        })?;
+        let herbs = find(NAME_HERBS)
+            .ok_or_else(|| FrozenError::Format(format!("missing {NAME_HERBS:?}")))?;
+        let si_mlp = match (find(NAME_SI_W), find(NAME_SI_B)) {
+            (Some(w), Some(b)) => Some((w, b)),
+            (None, None) => None,
+            _ => {
+                return Err(FrozenError::Format(
+                    "half an SI head: exactly one of w_mlp/b_mlp present".into(),
+                ))
+            }
+        };
+        Self::from_parts(symptoms, herbs, si_mlp)
+    }
+
+    /// Serialises to a writer in the `smgcn-tensor` checkpoint format.
+    pub fn write_to(&self, w: impl std::io::Write) -> Result<(), FrozenError> {
+        checkpoint::write_store(&self.to_store(), w)?;
+        Ok(())
+    }
+
+    /// Reads a frozen model from a reader.
+    pub fn read_from(r: impl std::io::Read) -> Result<Self, FrozenError> {
+        Self::from_store(&checkpoint::read_store(r)?)
+    }
+
+    /// Saves to a file path.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), FrozenError> {
+        checkpoint::save_store(&self.to_store(), path)?;
+        Ok(())
+    }
+
+    /// Loads from a file path.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, FrozenError> {
+        Self::from_store(&checkpoint::load_store(path)?)
+    }
+
+    fn validate(&self, sets: &[&[u32]]) -> Result<(), FrozenError> {
+        if sets.is_empty() {
+            return Err(FrozenError::Query("no symptom sets given".into()));
+        }
+        for (i, set) in sets.iter().enumerate() {
+            if set.is_empty() {
+                return Err(FrozenError::Query(format!("symptom set {i} is empty")));
+            }
+            for &s in *set {
+                if s as usize >= self.n_symptoms() {
+                    return Err(FrozenError::Query(format!(
+                        "symptom id {s} out of range (vocabulary size {})",
+                        self.n_symptoms()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates one query set (non-empty, ids in range) without scoring.
+    pub fn validate_query(&self, set: &[u32]) -> Result<(), FrozenError> {
+        self.validate(&[set])
+    }
+
+    /// Eq. 12 for a batch: mean-pools each set's final symptom embeddings
+    /// into a `B x d` matrix and applies the SI MLP when present.
+    ///
+    /// Mirrors the training-side computation (`set_pool` SpMM followed by
+    /// the MLP on the tape) with plain dense ops; ids are accumulated in
+    /// ascending order to match the CSR traversal bit-for-bit.
+    pub fn induce_batch(&self, sets: &[&[u32]]) -> Result<Matrix, FrozenError> {
+        self.validate(sets)?;
+        let d = self.dim();
+        let mut pooled = Matrix::zeros(sets.len(), d);
+        let mut sorted: Vec<u32> = Vec::new();
+        for (b, set) in sets.iter().enumerate() {
+            sorted.clear();
+            sorted.extend_from_slice(set);
+            sorted.sort_unstable();
+            let w = 1.0 / set.len() as f32;
+            let row = pooled.row_mut(b);
+            for &s in &sorted {
+                let emb = self.symptoms.row(s as usize);
+                for (acc, &v) in row.iter_mut().zip(emb) {
+                    *acc += w * v;
+                }
+            }
+        }
+        Ok(match &self.si_mlp {
+            Some((w, bias)) => {
+                let mut lin = pooled.matmul(w);
+                let b_row = bias.row(0);
+                for r in 0..lin.rows() {
+                    for (v, &bv) in lin.row_mut(r).iter_mut().zip(b_row) {
+                        *v += bv;
+                    }
+                }
+                lin.map(|v| v.max(0.0))
+            }
+            None => pooled,
+        })
+    }
+
+    /// Herb scores for a batch of symptom sets (`B x H`): Eq. 13's
+    /// `g(sc, H) = e_syndrome(sc) · e*_H^T` as one GEMM for the whole
+    /// batch — this is the micro-batching fast path.
+    pub fn score_batch(&self, sets: &[&[u32]]) -> Result<Matrix, FrozenError> {
+        Ok(self.induce_batch(sets)?.matmul_transb(&self.herbs))
+    }
+
+    /// Herb scores for a single symptom set.
+    pub fn score_one(&self, set: &[u32]) -> Result<Vec<f32>, FrozenError> {
+        Ok(self.score_batch(&[set])?.row(0).to_vec())
+    }
+
+    /// Top-`k` herb ids for one symptom set, by descending score (ties to
+    /// the lower id), via heap-based partial selection.
+    pub fn recommend(&self, set: &[u32], k: usize) -> Result<Vec<u32>, FrozenError> {
+        Ok(partial_top_k(&self.score_one(set)?, k))
+    }
+
+    /// Top-`k` rankings for a batch, sharing one scoring GEMM.
+    pub fn recommend_batch(&self, sets: &[&[u32]], k: usize) -> Result<Vec<Vec<u32>>, FrozenError> {
+        let scores = self.score_batch(sets)?;
+        Ok((0..scores.rows())
+            .map(|r| partial_top_k(scores.row(r), k))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_frozen(with_mlp: bool) -> FrozenModel {
+        // 3 symptoms, 4 herbs, d = 2, hand-picked values.
+        let symptoms = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let herbs = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, -1.0, -1.0]);
+        let si = with_mlp.then(|| {
+            (
+                Matrix::identity(2).scale(2.0),
+                Matrix::from_vec(1, 2, vec![0.5, -10.0]),
+            )
+        });
+        FrozenModel::from_parts(symptoms, herbs, si).unwrap()
+    }
+
+    #[test]
+    fn mean_pooling_without_mlp() {
+        let fm = tiny_frozen(false);
+        let pooled = fm.induce_batch(&[&[0, 1], &[2]]).unwrap();
+        assert_eq!(pooled.row(0), &[0.5, 0.5]);
+        assert_eq!(pooled.row(1), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn mlp_applies_affine_and_relu() {
+        let fm = tiny_frozen(true);
+        // Pool of {0,1} = [0.5, 0.5]; W = 2I, b = [0.5, -10] -> [1.5, -9] -> relu.
+        let induced = fm.induce_batch(&[&[0, 1]]).unwrap();
+        assert_eq!(induced.row(0), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn scores_are_dot_products() {
+        let fm = tiny_frozen(false);
+        let scores = fm.score_batch(&[&[2]]).unwrap(); // syndrome [1, 1]
+        assert_eq!(scores.row(0), &[1.0, 1.0, 2.0, -2.0]);
+        assert_eq!(fm.recommend(&[2], 2).unwrap(), vec![2, 0], "ties break low");
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let fm = tiny_frozen(true);
+        let sets: Vec<&[u32]> = vec![&[0], &[0, 1], &[1, 2], &[2]];
+        let batched = fm.score_batch(&sets).unwrap();
+        for (i, set) in sets.iter().enumerate() {
+            assert_eq!(
+                batched.row(i),
+                fm.score_one(set).unwrap().as_slice(),
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooling_is_order_insensitive() {
+        let fm = tiny_frozen(true);
+        let a = fm.score_one(&[0, 1, 2]).unwrap();
+        let b = fm.score_one(&[2, 0, 1]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        for with_mlp in [false, true] {
+            let fm = tiny_frozen(with_mlp);
+            let mut buf = Vec::new();
+            fm.write_to(&mut buf).unwrap();
+            let loaded = FrozenModel::read_from(buf.as_slice()).unwrap();
+            assert_eq!(loaded.has_si_mlp(), with_mlp);
+            assert_eq!(
+                loaded.score_one(&[0, 2]).unwrap(),
+                fm.score_one(&[0, 2]).unwrap(),
+                "with_mlp={with_mlp}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_frozen_checkpoints() {
+        let mut store = ParamStore::new();
+        store.add("si.w_mlp", Matrix::zeros(2, 2));
+        let mut buf = Vec::new();
+        checkpoint::write_store(&store, &mut buf).unwrap();
+        let err = FrozenModel::read_from(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("not a frozen model"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_queries() {
+        let fm = tiny_frozen(false);
+        assert!(matches!(fm.score_batch(&[]), Err(FrozenError::Query(_))));
+        assert!(matches!(fm.score_one(&[]), Err(FrozenError::Query(_))));
+        assert!(matches!(fm.score_one(&[99]), Err(FrozenError::Query(_))));
+    }
+
+    #[test]
+    fn rejects_mismatched_parts() {
+        let s = Matrix::zeros(3, 2);
+        let h = Matrix::zeros(4, 3);
+        assert!(FrozenModel::from_parts(s, h, None).is_err());
+        let s = Matrix::filled(3, 2, 0.1);
+        let h = Matrix::filled(4, 2, 0.1);
+        let bad_si = Some((Matrix::zeros(3, 3), Matrix::zeros(1, 2)));
+        assert!(FrozenModel::from_parts(s, h, bad_si).is_err());
+    }
+}

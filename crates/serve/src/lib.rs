@@ -1,0 +1,35 @@
+//! # smgcn-serve — frozen-model inference engine
+//!
+//! SMGCN's graph convolutions (Bipar-GCN + SGE, Eq. 7–11) run over the
+//! *static* symptom–herb graphs, so the final node embeddings are
+//! query-independent: they can be materialized once after training. Only
+//! the syndrome-induction head (Eq. 12) and the dot-product scorer
+//! (Eq. 13) depend on the incoming symptom set. This crate exploits that
+//! split to serve recommendations without rebuilding the model:
+//!
+//! - [`frozen`] — [`FrozenModel`]: the materialized final embeddings plus
+//!   the SI-MLP weights, with save/load in the `smgcn-tensor` checkpoint
+//!   format and single / batched scoring paths;
+//! - [`topk`] — heap-based partial top-k selection (no full sort);
+//! - [`cache`] — an LRU keyed by the sorted symptom-id set, because
+//!   clinic traffic repeats symptom combinations heavily;
+//! - [`batcher`] — micro-batching: concurrent queries are packed into one
+//!   `B x d` matrix multiply;
+//! - [`json`] — the minimal JSON reader/writer behind the wire protocol;
+//! - [`server`] — a multi-threaded `std::net` TCP loop speaking
+//!   newline-delimited JSON (`smgcn serve`).
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod cache;
+pub mod frozen;
+pub mod json;
+pub mod server;
+pub mod topk;
+
+pub use batcher::{Batcher, BatcherConfig};
+pub use cache::LruCache;
+pub use frozen::{FrozenError, FrozenModel};
+pub use server::{Server, ServerConfig, ServingVocab};
+pub use topk::partial_top_k;

@@ -1,0 +1,529 @@
+//! Multi-threaded TCP serving loop (`smgcn serve`).
+//!
+//! Std-only: a `TcpListener` accept loop hands connections to a
+//! fixed-size thread pool. The wire protocol is newline-delimited JSON —
+//! one request object per line, one response object per line:
+//!
+//! ```text
+//! -> {"symptoms": ["s12", "s3"], "k": 10}
+//! -> {"symptom_ids": [12, 3], "k": 5}
+//! <- {"herb_ids":[...], "herbs":[...], "scores":[...], "cached":false, "micros":184}
+//! <- {"error":"unknown symptom \"xyz\""}
+//! ```
+//!
+//! Request flow per line: resolve names → canonical [`QueryKey`] →
+//! LRU lookup → on miss, score through the shared [`Batcher`] (packing
+//! concurrent queries into one GEMM) → insert into the cache. The cache
+//! is keyed by the *sorted* symptom-id set, so permutations of the same
+//! clinic presentation share an entry.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::batcher::{Batcher, BatcherConfig};
+use crate::cache::{LruCache, QueryKey};
+use crate::frozen::FrozenModel;
+use crate::json::{self, Json};
+
+/// Name/id mappings for the serving protocol. Decoupled from
+/// `smgcn-data`'s corpus vocabulary so the serve crate stays free of
+/// training-side dependencies; the CLI builds one from the corpus.
+#[derive(Clone, Debug, Default)]
+pub struct ServingVocab {
+    symptom_names: Vec<String>,
+    herb_names: Vec<String>,
+    symptom_index: HashMap<String, u32>,
+}
+
+impl ServingVocab {
+    /// Builds the vocab from parallel name lists (index = id).
+    pub fn new(symptom_names: Vec<String>, herb_names: Vec<String>) -> Self {
+        let symptom_index = symptom_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        Self {
+            symptom_names,
+            herb_names,
+            symptom_index,
+        }
+    }
+
+    /// Resolves a symptom name to its id.
+    pub fn symptom_id(&self, name: &str) -> Option<u32> {
+        self.symptom_index.get(name).copied()
+    }
+
+    /// The display name of a herb id, or the numeric id when unnamed.
+    pub fn herb_name(&self, id: u32) -> String {
+        self.herb_names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// True when no names were provided (ids-only protocol).
+    pub fn is_empty(&self) -> bool {
+        self.symptom_names.is_empty() && self.herb_names.is_empty()
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Maximum concurrent connections, each served by its own handler
+    /// thread (connections beyond the cap get a one-line JSON error and
+    /// are closed). Micro-batching packs the in-flight requests of all
+    /// open connections, so this also bounds the largest possible batch.
+    pub max_connections: usize,
+    /// Default ranking depth when a request omits `k`.
+    pub default_k: usize,
+    /// Upper bound on requested `k` (guards allocation per request).
+    pub max_k: usize,
+    /// LRU entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Micro-batching configuration.
+    pub batcher: BatcherConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            default_k: 10,
+            max_k: 100,
+            cache_capacity: 4096,
+            batcher: BatcherConfig::default(),
+        }
+    }
+}
+
+struct Engine {
+    model: Arc<FrozenModel>,
+    batcher: Batcher,
+    cache: Option<Mutex<LruCache<QueryKey, Vec<u32>>>>,
+    vocab: ServingVocab,
+    config: ServerConfig,
+}
+
+impl Engine {
+    /// Answers one canonical query, consulting the cache first.
+    /// Returns `(ranking, was_cache_hit)`.
+    fn rank(&self, key: QueryKey) -> Result<(Vec<u32>, bool), String> {
+        let k = key.k;
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.lock().expect("cache lock").get(&key).cloned() {
+                return Ok((hit, true));
+            }
+        }
+        let ranking = self
+            .batcher
+            .recommend(&key.symptoms, k)
+            .map_err(|e| e.to_string())?;
+        if let Some(cache) = &self.cache {
+            cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, ranking.clone());
+        }
+        Ok((ranking, false))
+    }
+
+    fn handle_line(&self, line: &str) -> Json {
+        let started = Instant::now();
+        match self.answer(line) {
+            Ok((ids, scores_requested, cached)) => {
+                let mut fields = vec![
+                    ("herb_ids", json::id_array(&ids)),
+                    ("cached", Json::Bool(cached)),
+                    ("micros", Json::Num(started.elapsed().as_micros() as f64)),
+                ];
+                if !self.vocab.is_empty() {
+                    fields.push((
+                        "herbs",
+                        Json::Arr(
+                            ids.iter()
+                                .map(|&h| Json::Str(self.vocab.herb_name(h)))
+                                .collect(),
+                        ),
+                    ));
+                }
+                if let Some(scores) = scores_requested {
+                    fields.push(("scores", json::score_array(&scores)));
+                }
+                json::obj(fields)
+            }
+            Err(msg) => json::obj([("error", Json::Str(msg))]),
+        }
+    }
+
+    /// Parses and answers; returns `(herb ids, optional scores, cached)`.
+    #[allow(clippy::type_complexity)]
+    fn answer(&self, line: &str) -> Result<(Vec<u32>, Option<Vec<f32>>, bool), String> {
+        let req = json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let k = match req.get("k") {
+            None => self.config.default_k,
+            Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
+            Some(other) => return Err(format!("bad k: {other}")),
+        };
+        if k > self.config.max_k {
+            return Err(format!("k {k} exceeds maximum {}", self.config.max_k));
+        }
+        // Canonicalize once (sorted, deduplicated) so the ranking, the
+        // cache key and the diagnostic scores all describe the same query —
+        // duplicated ids would otherwise skew the mean pooling.
+        let key = QueryKey::new(&self.request_ids(&req)?, k);
+        let want_scores = matches!(req.get("scores"), Some(Json::Bool(true)));
+        let ids = want_scores.then(|| key.symptoms.clone());
+        let (ranking, cached) = self.rank(key)?;
+        let scores = match ids {
+            Some(ids) => {
+                // Score path bypasses the cache: it is diagnostic traffic.
+                let all = self.model.score_one(&ids).map_err(|e| e.to_string())?;
+                Some(ranking.iter().map(|&h| all[h as usize]).collect())
+            }
+            None => None,
+        };
+        Ok((ranking, scores, cached))
+    }
+
+    fn request_ids(&self, req: &Json) -> Result<Vec<u32>, String> {
+        if let Some(raw) = req.get("symptom_ids") {
+            let arr = raw.as_arr().ok_or("symptom_ids must be an array")?;
+            return arr
+                .iter()
+                .map(|v| match v.as_num() {
+                    Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u32),
+                    _ => Err(format!("bad symptom id {v}")),
+                })
+                .collect();
+        }
+        if let Some(raw) = req.get("symptoms") {
+            let arr = raw.as_arr().ok_or("symptoms must be an array of names")?;
+            return arr
+                .iter()
+                .map(|v| {
+                    let name = v.as_str().ok_or_else(|| format!("bad symptom {v}"))?;
+                    self.vocab
+                        .symptom_id(name)
+                        .ok_or_else(|| format!("unknown symptom {name:?}"))
+                })
+                .collect();
+        }
+        Err("request needs \"symptoms\" (names) or \"symptom_ids\"".into())
+    }
+}
+
+/// A running (or ready-to-run) recommendation server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and
+    /// prepares the scoring engine. Call [`Server::run`] to serve.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        model: FrozenModel,
+        vocab: ServingVocab,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let model = Arc::new(model);
+        let engine = Arc::new(Engine {
+            batcher: Batcher::start(Arc::clone(&model), config.batcher.clone()),
+            cache: (config.cache_capacity > 0)
+                .then(|| Mutex::new(LruCache::new(config.cache_capacity))),
+            model,
+            vocab,
+            config,
+        });
+        Ok(Self {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Serves until the stop handle fires. Each connection gets its own
+    /// handler thread, up to `config.max_connections` concurrently; a
+    /// connection over the cap receives a one-line JSON error and is
+    /// closed rather than silently queued (a fixed worker pool would
+    /// starve extra persistent connections and cap micro-batch size at
+    /// the pool width).
+    pub fn run(self) -> std::io::Result<()> {
+        let max_connections = self.engine.config.max_connections.max(1);
+        let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for (conn_id, stream) in self.listener.incoming().enumerate() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("accept error: {e}");
+                    continue;
+                }
+            };
+            handles.retain(|h| !h.is_finished());
+            if active.load(Ordering::SeqCst) >= max_connections {
+                let refusal =
+                    json::obj([("error", Json::Str("server at connection capacity".into()))]);
+                let _ = writeln!(stream, "{refusal}");
+                continue; // stream drops: connection closed
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let active = Arc::clone(&active);
+            let handle = std::thread::Builder::new()
+                .name(format!("smgcn-conn-{conn_id}"))
+                .spawn(move || {
+                    handle_connection(&engine, stream, &stop);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("spawn connection handler");
+            handles.push(handle);
+        }
+        // Handlers notice the stop flag within their read timeout.
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Makes a running server's accept loop exit.
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<std::net::SocketAddr>,
+}
+
+impl StopHandle {
+    /// Signals shutdown and unblocks the accept loop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            // Nudge the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn handle_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
+    let peer = stream.peer_addr().ok();
+    // A finite read timeout lets the worker notice shutdown even while a
+    // client keeps an idle connection open — otherwise a graceful stop
+    // would block on the last chatty client forever. The write timeout
+    // bounds the symmetric hazard: a client that pipelines requests but
+    // never drains responses would otherwise park the handler in flush()
+    // once the send buffer fills, and the shutdown join would hang.
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(2)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("connection clone failed for {peer:?}: {e}");
+            return;
+        }
+    });
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // `read_line` appends, so a timeout mid-line resumes where the
+        // partial read stopped on the next iteration.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return, // peer closed
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return, // peer went away
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = engine.handle_line(line.trim_end());
+        if writeln!(writer, "{response}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smgcn_tensor::Matrix;
+
+    fn test_server() -> (
+        std::net::SocketAddr,
+        StopHandle,
+        std::thread::JoinHandle<()>,
+    ) {
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 2 + c * 5) % 6) as f32 - 2.5);
+        let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let vocab = ServingVocab::new(
+            (0..5).map(|i| format!("s{i}")).collect(),
+            (0..7).map(|i| format!("h{i}")).collect(),
+        );
+        let server = Server::bind(
+            "127.0.0.1:0",
+            model,
+            vocab,
+            ServerConfig {
+                max_connections: 16,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        (addr, stop, handle)
+    }
+
+    fn roundtrip(addr: std::net::SocketAddr, request: &str) -> Json {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        writeln!(writer, "{request}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim()).unwrap()
+    }
+
+    #[test]
+    fn serves_concurrent_clients_with_names_and_ids() {
+        let (addr, stop, handle) = test_server();
+        let mut clients = Vec::new();
+        for t in 0..8 {
+            clients.push(std::thread::spawn(move || {
+                let req = if t % 2 == 0 {
+                    format!(
+                        r#"{{"symptoms": ["s{}", "s{}"], "k": 3}}"#,
+                        t % 5,
+                        (t + 1) % 5
+                    )
+                } else {
+                    format!(r#"{{"symptom_ids": [{}, {}], "k": 3}}"#, t % 5, (t + 1) % 5)
+                };
+                let resp = roundtrip(addr, &req);
+                assert!(resp.get("error").is_none(), "unexpected error: {resp}");
+                assert_eq!(resp.get("herb_ids").unwrap().as_arr().unwrap().len(), 3);
+                assert_eq!(resp.get("herbs").unwrap().as_arr().unwrap().len(), 3);
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn name_and_id_requests_agree_and_cache_hits() {
+        let (addr, stop, handle) = test_server();
+        let by_name = roundtrip(addr, r#"{"symptoms": ["s1", "s2"], "k": 4}"#);
+        let by_ids = roundtrip(addr, r#"{"symptom_ids": [2, 1], "k": 4}"#);
+        assert_eq!(
+            by_name.get("herb_ids").unwrap(),
+            by_ids.get("herb_ids").unwrap(),
+            "same canonical query must rank identically"
+        );
+        assert_eq!(by_name.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(
+            by_ids.get("cached"),
+            Some(&Json::Bool(true)),
+            "permuted ids are the same cache key"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn multiple_requests_per_connection_and_errors() {
+        let (addr, stop, handle) = test_server();
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        for (req, expect_err) in [
+            (r#"{"symptoms": ["s0"]}"#, false),
+            (r#"{"symptoms": ["nope"]}"#, true),
+            (r#"not json"#, true),
+            (r#"{"symptom_ids": [0], "k": 2, "scores": true}"#, false),
+            (r#"{"k": 2}"#, true),
+            (r#"{"symptom_ids": [], "k": 2}"#, true),
+            (r#"{"symptom_ids": [0], "k": 0}"#, true),
+            (r#"{"symptom_ids": [0], "k": 100000}"#, true),
+        ] {
+            writeln!(writer, "{req}").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let resp = json::parse(line.trim()).unwrap();
+            assert_eq!(resp.get("error").is_some(), expect_err, "req {req}: {resp}");
+        }
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn scores_align_with_ranking() {
+        let (addr, stop, handle) = test_server();
+        let resp = roundtrip(addr, r#"{"symptom_ids": [0, 3], "k": 5, "scores": true}"#);
+        let scores: Vec<f64> = resp
+            .get("scores")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap())
+            .collect();
+        assert_eq!(scores.len(), 5);
+        assert!(
+            scores.windows(2).all(|w| w[0] >= w[1]),
+            "scores must be descending: {scores:?}"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! Partial top-k selection.
+//!
+//! The paper's greedy inference (§IV-E) ranks all `H` herbs by score; the
+//! training-side helper `smgcn_core::top_k_indices` does a full
+//! `O(H log H)` sort. On the serving path `k << H`, so this module keeps
+//! a `k`-element min-heap instead: `O(H log k)` with no allocation
+//! proportional to `H`. The ordering contract matches `top_k_indices`
+//! exactly — descending score, ties broken by the lower index — so the
+//! frozen path returns bit-identical rankings.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A candidate herb during selection. The `Ord` implementation is
+/// inverted ("worse is greater") so a max-[`BinaryHeap`] keeps the worst
+/// retained candidate at the top, ready to be displaced.
+#[derive(Clone, Copy, Debug)]
+struct Worst {
+    score: f32,
+    idx: u32,
+}
+
+impl Worst {
+    /// True when `self` ranks strictly ahead of `other` in the final
+    /// ordering (higher score, ties to the lower index).
+    fn beats(&self, other: &Worst) -> bool {
+        match self
+            .score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+        {
+            Ordering::Greater => true,
+            Ordering::Less => false,
+            Ordering::Equal => self.idx < other.idx,
+        }
+    }
+}
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        !self.beats(other) && !other.beats(self)
+    }
+}
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: the heap's maximum is the worst-ranked candidate.
+        if self.beats(other) {
+            Ordering::Less
+        } else if other.beats(self) {
+            Ordering::Greater
+        } else {
+            Ordering::Equal
+        }
+    }
+}
+
+/// Indices of the `k` largest values, descending (ties by lower index),
+/// via heap-based partial selection rather than a full sort.
+///
+/// Returns the same ranking as `smgcn_core::top_k_indices` for every
+/// input, including `k >= len` and NaN scores (NaN compares equal, as in
+/// the full-sort version).
+pub fn partial_top_k(scores: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (i, &score) in scores.iter().enumerate() {
+        let cand = Worst {
+            score,
+            idx: i as u32,
+        };
+        if heap.len() < k {
+            heap.push(cand);
+        } else if cand.beats(heap.peek().expect("heap is non-empty at capacity")) {
+            heap.pop();
+            heap.push(cand);
+        }
+    }
+    let mut kept = heap.into_vec();
+    kept.sort_unstable(); // "less" = better, so ascending = best-first
+    kept.into_iter().map(|c| c.idx).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference ordering (mirror of `smgcn_core::top_k_indices`).
+    fn full_sort_top_k(scores: &[f32], k: usize) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap_or(Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    #[test]
+    fn basic_ordering() {
+        assert_eq!(partial_top_k(&[0.1, 0.9, 0.5], 2), vec![1, 2]);
+        assert_eq!(
+            partial_top_k(&[1.0, 1.0], 2),
+            vec![0, 1],
+            "ties break by index"
+        );
+        assert_eq!(
+            partial_top_k(&[0.3], 5),
+            vec![0],
+            "k beyond length truncates"
+        );
+        assert!(partial_top_k(&[], 3).is_empty());
+        assert!(partial_top_k(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_inputs() {
+        // Deterministic pseudo-random scores without an RNG dependency.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1u64 << 24) as f32
+        };
+        for n in [1usize, 2, 7, 50, 753] {
+            let scores: Vec<f32> = (0..n).map(|_| next() * 10.0 - 5.0).collect();
+            for k in [1usize, 2, 5, 20, n, n + 3] {
+                assert_eq!(
+                    partial_top_k(&scores, k),
+                    full_sort_top_k(&scores, k),
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_sort_with_heavy_ties() {
+        let scores = [1.0f32, 0.5, 1.0, 0.5, 1.0, 0.5, 0.25, 1.0];
+        for k in 1..=scores.len() {
+            assert_eq!(
+                partial_top_k(&scores, k),
+                full_sort_top_k(&scores, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        // NaN breaks the total order, so the exact ranking is unspecified
+        // (as in the full-sort helper) — but selection must stay a
+        // well-formed permutation of the requested size.
+        let scores = [f32::NAN, 1.0, 0.5, f32::NAN];
+        let mut got = partial_top_k(&scores, 4);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

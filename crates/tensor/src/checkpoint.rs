@@ -103,7 +103,9 @@ pub fn read_store(r: impl Read) -> Result<ParamStore, CheckpointError> {
     for _ in 0..n {
         let name_len = read_u64(&mut r)? as usize;
         if name_len > 1 << 20 {
-            return Err(CheckpointError::Format(format!("implausible name length {name_len}")));
+            return Err(CheckpointError::Format(format!(
+                "implausible name length {name_len}"
+            )));
         }
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
@@ -137,10 +139,7 @@ pub fn load_store(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError>
 /// Every target parameter must be present in `loaded` with identical shape;
 /// extra tensors in `loaded` are an error too (they indicate an
 /// architecture mismatch).
-pub fn restore_into(
-    target: &mut ParamStore,
-    loaded: &ParamStore,
-) -> Result<(), CheckpointError> {
+pub fn restore_into(target: &mut ParamStore, loaded: &ParamStore) -> Result<(), CheckpointError> {
     if target.len() != loaded.len() {
         return Err(CheckpointError::Format(format!(
             "parameter count mismatch: model has {}, checkpoint has {}",
@@ -148,16 +147,14 @@ pub fn restore_into(
             loaded.len()
         )));
     }
-    let ids: Vec<_> = target.iter().map(|(id, name, value)| {
-        (id, name.to_string(), value.shape())
-    }).collect();
+    let ids: Vec<_> = target
+        .iter()
+        .map(|(id, name, value)| (id, name.to_string(), value.shape()))
+        .collect();
     for (id, name, shape) in ids {
-        let found = loaded
-            .iter()
-            .find(|(_, n, _)| *n == name)
-            .ok_or_else(|| {
-                CheckpointError::Format(format!("checkpoint missing parameter {name:?}"))
-            })?;
+        let found = loaded.iter().find(|(_, n, _)| *n == name).ok_or_else(|| {
+            CheckpointError::Format(format!("checkpoint missing parameter {name:?}"))
+        })?;
         if found.2.shape() != shape {
             return Err(CheckpointError::Format(format!(
                 "shape mismatch for {name:?}: model {shape:?}, checkpoint {:?}",

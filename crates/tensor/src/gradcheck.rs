@@ -54,7 +54,11 @@ impl GradCheckReport {
 /// # Panics
 /// Panics if shapes differ.
 pub fn compare(analytic: &Matrix, numeric: &Matrix) -> GradCheckReport {
-    assert_eq!(analytic.shape(), numeric.shape(), "gradcheck: shape mismatch");
+    assert_eq!(
+        analytic.shape(),
+        numeric.shape(),
+        "gradcheck: shape mismatch"
+    );
     let mut max_abs = 0.0f32;
     let mut max_rel = 0.0f32;
     for (&a, &n) in analytic.as_slice().iter().zip(numeric.as_slice()) {
@@ -63,7 +67,10 @@ pub fn compare(analytic: &Matrix, numeric: &Matrix) -> GradCheckReport {
         max_abs = max_abs.max(abs);
         max_rel = max_rel.max(rel);
     }
-    GradCheckReport { max_abs_err: max_abs, max_rel_err: max_rel }
+    GradCheckReport {
+        max_abs_err: max_abs,
+        max_rel_err: max_rel,
+    }
 }
 
 #[cfg(test)]

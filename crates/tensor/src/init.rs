@@ -80,7 +80,12 @@ mod tests {
         let m = xavier_normal(rows, cols, &mut seeded_rng(3));
         let n = m.len() as f32;
         let mean = m.sum() / n;
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         let expected_var = 2.0 / (rows + cols) as f32;
         assert!(
             (var - expected_var).abs() < expected_var * 0.2,

@@ -35,12 +35,20 @@ impl std::fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -187,8 +195,17 @@ impl Matrix {
     /// Element-wise sum, producing a new matrix.
     pub fn add(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "Matrix::add");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place element-wise accumulation `self += other`.
@@ -210,21 +227,43 @@ impl Matrix {
     /// Element-wise difference, producing a new matrix.
     pub fn sub(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "Matrix::sub");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "Matrix::hadamard");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple, producing a new matrix.
     pub fn scale(&self, alpha: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * alpha).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place scalar multiplication.
@@ -237,7 +276,11 @@ impl Matrix {
     /// Applies `f` to every entry, producing a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let data = self.data.iter().map(|&a| f(a)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Dense matrix product `self @ other`.
@@ -330,7 +373,11 @@ impl Matrix {
             data.extend_from_slice(self.row(r));
             data.extend_from_slice(other.row(r));
         }
-        Matrix { rows: self.rows, cols, data }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
     }
 
     /// Splits the matrix into two column blocks `[.., left_cols]` and the rest.
@@ -475,7 +522,11 @@ mod tests {
     #[test]
     fn matmul_transb_matches_explicit_transpose() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         let direct = a.matmul_transb(&b);
         let via_t = a.matmul(&b.transpose());
         assert!(direct.approx_eq(&via_t, 1e-6));

@@ -34,7 +34,10 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with learning rate `lr` and no weight decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Sets the weight-decay coefficient `c` in `g += c · θ`.
@@ -223,7 +226,11 @@ mod tests {
         let mut opt = Adam::new(0.1);
         opt.step(&mut store, &grads);
         let w_new = store.get(id);
-        assert!((w_new.get(0, 0) - 0.9).abs() < 1e-4, "got {}", w_new.get(0, 0));
+        assert!(
+            (w_new.get(0, 0) - 0.9).abs() < 1e-4,
+            "got {}",
+            w_new.get(0, 0)
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Deterministic chunked parallelism helpers built on `crossbeam::scope`.
+//! Deterministic chunked parallelism helpers built on `std::thread::scope`.
 //!
 //! The dense and sparse kernels parallelise over *output rows*: each thread
 //! owns a disjoint row range and computes it sequentially, so floating-point
@@ -9,7 +9,7 @@
 use std::sync::OnceLock;
 
 /// Work below this many output elements stays on the calling thread;
-/// the crossbeam scope setup would dominate otherwise.
+/// the thread-scope setup would dominate otherwise.
 const PAR_THRESHOLD: usize = 64 * 1024;
 
 fn thread_count() -> usize {
@@ -20,7 +20,10 @@ fn thread_count() -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(16)
             })
     })
 }
@@ -42,13 +45,12 @@ where
         return;
     }
     let chunk_rows = rows.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, chunk) in data.chunks_mut(chunk_rows * row_len).enumerate() {
             let f = &f;
-            scope.spawn(move |_| f(i * chunk_rows, chunk));
+            scope.spawn(move || f(i * chunk_rows, chunk));
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]
@@ -63,7 +65,10 @@ mod tests {
                 row.fill((r0 + i) as f32);
             }
         });
-        assert_eq!(data, vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]);
+        assert_eq!(
+            data,
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0]
+        );
     }
 
     #[test]

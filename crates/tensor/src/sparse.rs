@@ -66,12 +66,24 @@ impl CsrMatrix {
             current_row += 1;
         }
         debug_assert_eq!(indptr.len(), rows + 1);
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An all-zero sparse matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Sparse identity.
@@ -159,7 +171,13 @@ impl CsrMatrix {
             values[slot] = v;
             next[c as usize] += 1;
         }
-        CsrMatrix { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Scales each row by `1 / row_sum` (rows with zero sum are left as-is),
@@ -244,7 +262,10 @@ impl SharedCsr {
     /// Wraps a CSR matrix, precomputing its transpose.
     pub fn new(m: CsrMatrix) -> Self {
         let backward = m.transpose();
-        Self { forward: std::sync::Arc::new(m), backward: std::sync::Arc::new(backward) }
+        Self {
+            forward: std::sync::Arc::new(m),
+            backward: std::sync::Arc::new(backward),
+        }
     }
 
     /// The forward operator `A`.

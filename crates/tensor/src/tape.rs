@@ -120,7 +120,9 @@ pub struct Gradients {
 
 impl Gradients {
     fn new(n_params: usize) -> Self {
-        Self { grads: (0..n_params).map(|_| None).collect() }
+        Self {
+            grads: (0..n_params).map(|_| None).collect(),
+        }
     }
 
     /// Gradient for `id`, if the parameter participated in the loss.
@@ -192,8 +194,15 @@ enum Op {
     SpMM(SharedCsr, Var),
     GatherRows(Var, Arc<Vec<u32>>),
     Dropout(Var, Arc<Matrix>),
-    WeightedMse { pred: Var, target: Arc<Matrix>, weights: Arc<Vec<f32>> },
-    Bpr { pred: Var, pairs: Arc<Vec<(u32, u32, u32)>> },
+    WeightedMse {
+        pred: Var,
+        target: Arc<Matrix>,
+        weights: Arc<Vec<f32>>,
+    },
+    Bpr {
+        pred: Var,
+        pairs: Arc<Vec<(u32, u32, u32)>>,
+    },
     SumSquares(Var),
 }
 
@@ -211,7 +220,10 @@ pub struct Tape<'s> {
 impl<'s> Tape<'s> {
     /// Starts an empty tape over a parameter store.
     pub fn new(store: &'s ParamStore) -> Self {
-        Self { store, nodes: Vec::with_capacity(64) }
+        Self {
+            store,
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     /// Number of recorded nodes.
@@ -387,7 +399,10 @@ impl<'s> Tape<'s> {
     /// The paper applies *message dropout* on aggregated neighborhood
     /// embeddings (§V-E-3, Fig. 9); the model code calls this on `b_N` nodes.
     pub fn dropout(&mut self, x: Var, rate: f32, rng: &mut impl Rng) -> Var {
-        assert!((0.0..1.0).contains(&rate), "dropout: rate must be in [0, 1), got {rate}");
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout: rate must be in [0, 1), got {rate}"
+        );
         if rate == 0.0 {
             return x;
         }
@@ -420,7 +435,11 @@ impl<'s> Tape<'s> {
     /// Panics if shapes disagree or `weights.len() != pred.cols()`.
     pub fn weighted_mse(&mut self, pred: Var, target: Arc<Matrix>, weights: Arc<Vec<f32>>) -> Var {
         let p = self.value(pred);
-        assert_eq!(p.shape(), target.shape(), "weighted_mse: pred/target shape mismatch");
+        assert_eq!(
+            p.shape(),
+            target.shape(),
+            "weighted_mse: pred/target shape mismatch"
+        );
         assert_eq!(
             weights.len(),
             p.cols(),
@@ -437,7 +456,14 @@ impl<'s> Tape<'s> {
             }
         }
         let value = Matrix::from_vec(1, 1, vec![(acc / batch as f64) as f32]);
-        self.push(Op::WeightedMse { pred, target, weights }, value)
+        self.push(
+            Op::WeightedMse {
+                pred,
+                target,
+                weights,
+            },
+            value,
+        )
     }
 
     /// Pair-wise BPR loss (Table VIII ablation):
@@ -451,7 +477,11 @@ impl<'s> Tape<'s> {
         for &(b, pos, neg) in pairs.iter() {
             let x = p.get(b as usize, pos as usize) - p.get(b as usize, neg as usize);
             // ln σ(x) = -softplus(-x), computed stably.
-            let softplus = if -x > 30.0 { -x } else { (1.0 + (-x).exp()).ln() };
+            let softplus = if -x > 30.0 {
+                -x
+            } else {
+                (1.0 + (-x).exp()).ln()
+            };
             acc += softplus as f64;
         }
         let value = Matrix::from_vec(1, 1, vec![(acc / pairs.len() as f64) as f32]);
@@ -479,7 +509,9 @@ impl<'s> Tape<'s> {
         let mut out = Gradients::new(self.store.len());
 
         for idx in (0..=loss.0).rev() {
-            let Some(g) = node_grads[idx].take() else { continue };
+            let Some(g) = node_grads[idx].take() else {
+                continue;
+            };
             match &self.nodes[idx].op {
                 Op::Param(id) => out.accumulate(*id, &g),
                 Op::Input => {}
@@ -527,8 +559,12 @@ impl<'s> Tape<'s> {
                     }
                     let mut gs = Matrix::zeros(sm.rows(), 1);
                     for r in 0..g.rows() {
-                        let dot: f32 =
-                            g.row(r).iter().zip(xm.row(r)).map(|(&gv, &xv)| gv * xv).sum();
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(xm.row(r))
+                            .map(|(&gv, &xv)| gv * xv)
+                            .sum();
                         gs.set(r, 0, dot);
                     }
                     acc(&mut node_grads, *x, gx);
@@ -597,7 +633,11 @@ impl<'s> Tape<'s> {
                 Op::Dropout(x, mask) => {
                     acc(&mut node_grads, *x, g.hadamard(mask));
                 }
-                Op::WeightedMse { pred, target, weights } => {
+                Op::WeightedMse {
+                    pred,
+                    target,
+                    weights,
+                } => {
                     let p = self.value(*pred);
                     let gscalar = g.get(0, 0);
                     let batch = p.rows().max(1) as f32;
@@ -646,7 +686,10 @@ mod tests {
 
     fn store_with(values: &[(&str, Matrix)]) -> (ParamStore, Vec<ParamId>) {
         let mut store = ParamStore::new();
-        let ids = values.iter().map(|(n, m)| store.add(*n, m.clone())).collect();
+        let ids = values
+            .iter()
+            .map(|(n, m)| store.add(*n, m.clone()))
+            .collect();
         (store, ids)
     }
 
@@ -695,8 +738,14 @@ mod tests {
         let d = tape.sub(a, b);
         let loss = tape.sum_squares(d); // (a-b)^2 summed; d/da = 2(a-b)=4, d/db = -4
         let grads = tape.backward(loss);
-        assert!(grads.get(ids[0]).unwrap().approx_eq(&Matrix::filled(1, 2, 4.0), 1e-6));
-        assert!(grads.get(ids[1]).unwrap().approx_eq(&Matrix::filled(1, 2, -4.0), 1e-6));
+        assert!(grads
+            .get(ids[0])
+            .unwrap()
+            .approx_eq(&Matrix::filled(1, 2, 4.0), 1e-6));
+        assert!(grads
+            .get(ids[1])
+            .unwrap()
+            .approx_eq(&Matrix::filled(1, 2, -4.0), 1e-6));
     }
 
     #[test]
@@ -708,7 +757,10 @@ mod tests {
         let s = tape.add(a, a);
         let loss = tape.sum_squares(s);
         let grads = tape.backward(loss);
-        assert!(grads.get(ids[0]).unwrap().approx_eq(&Matrix::filled(1, 2, 12.0), 1e-5));
+        assert!(grads
+            .get(ids[0])
+            .unwrap()
+            .approx_eq(&Matrix::filled(1, 2, 12.0), 1e-5));
     }
 
     #[test]
@@ -756,8 +808,14 @@ mod tests {
         let cat = tape.concat_cols(a, b);
         let loss = tape.sum_squares(cat);
         let grads = tape.backward(loss);
-        assert!(grads.get(ids[0]).unwrap().approx_eq(&Matrix::filled(2, 1, 4.0), 1e-6));
-        assert!(grads.get(ids[1]).unwrap().approx_eq(&Matrix::filled(2, 2, -2.0), 1e-6));
+        assert!(grads
+            .get(ids[0])
+            .unwrap()
+            .approx_eq(&Matrix::filled(2, 1, 4.0), 1e-6));
+        assert!(grads
+            .get(ids[1])
+            .unwrap()
+            .approx_eq(&Matrix::filled(2, 2, -2.0), 1e-6));
     }
 
     #[test]
@@ -792,8 +850,14 @@ mod tests {
         assert!((tape.value(loss).get(0, 0) - expect).abs() < 1e-5);
         let grads = tape.backward(loss);
         let gp = grads.get(ids[0]).unwrap();
-        assert!(gp.get(0, 0) < 0.0, "positive item gradient must push score up");
-        assert!(gp.get(0, 2) > 0.0, "negative item gradient must push score down");
+        assert!(
+            gp.get(0, 0) < 0.0,
+            "positive item gradient must push score up"
+        );
+        assert!(
+            gp.get(0, 2) > 0.0,
+            "negative item gradient must push score down"
+        );
         assert_eq!(gp.get(0, 1), 0.0);
     }
 
@@ -829,9 +893,17 @@ mod tests {
         let vx = tape.param(ids[0]);
         let mut rng = crate::init::seeded_rng(42);
         let d = tape.dropout(vx, 0.3, &mut rng);
-        let kept = tape.value(d).as_slice().iter().filter(|&&v| v != 0.0).count();
+        let kept = tape
+            .value(d)
+            .as_slice()
+            .iter()
+            .filter(|&&v| v != 0.0)
+            .count();
         let frac = kept as f32 / 10_000.0;
-        assert!((frac - 0.7).abs() < 0.03, "kept fraction {frac} too far from 0.7");
+        assert!(
+            (frac - 0.7).abs() < 0.03,
+            "kept fraction {frac} too far from 0.7"
+        );
         // Inverted dropout keeps the expectation: mean ≈ 1.
         let mean = tape.value(d).sum() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "mean {mean} too far from 1.0");

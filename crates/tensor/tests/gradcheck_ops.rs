@@ -193,7 +193,13 @@ fn gradcheck_spmm() {
     let adj = CsrMatrix::from_triplets(
         4,
         3,
-        &[(0, 0, 1.0), (0, 2, 0.5), (1, 1, 1.0), (2, 0, 2.0), (3, 2, -1.0)],
+        &[
+            (0, 0, 1.0),
+            (0, 2, 0.5),
+            (1, 1, 1.0),
+            (2, 0, 2.0),
+            (3, 2, -1.0),
+        ],
     );
     let shared = SharedCsr::new(adj);
     let mut store = ParamStore::new();
@@ -226,7 +232,13 @@ fn gradcheck_dropout_mask() {
     let mask = {
         let mut rng = seeded_rng(21);
         use rand::Rng;
-        Arc::new(Matrix::from_fn(3, 4, |_, _| if rng.gen::<f32>() < 0.5 { 2.0 } else { 0.0 }))
+        Arc::new(Matrix::from_fn(3, 4, |_, _| {
+            if rng.gen::<f32>() < 0.5 {
+                2.0
+            } else {
+                0.0
+            }
+        }))
     };
     check_all(&mut store, move |s, tape| {
         let x = s.iter().next().unwrap().0;
@@ -270,9 +282,11 @@ fn gradcheck_deep_composite_like_smgcn() {
     let sh_norm = SharedCsr::new(sh.row_normalized());
     let hs_norm = SharedCsr::new(sh.transpose().row_normalized());
     let ss = SharedCsr::new(CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 0, 1.0)]));
-    let pool = SharedCsr::new(
-        CsrMatrix::from_triplets(2, 3, &[(0, 0, 0.5), (0, 1, 0.5), (1, 2, 1.0)]),
-    );
+    let pool = SharedCsr::new(CsrMatrix::from_triplets(
+        2,
+        3,
+        &[(0, 0, 0.5), (0, 1, 0.5), (1, 2, 1.0)],
+    ));
     let target = Arc::new(Matrix::from_fn(2, 4, |r, c| ((r * 2 + c) % 2) as f32));
     let weights = Arc::new(vec![1.0f32, 2.0, 1.0, 0.5]);
 

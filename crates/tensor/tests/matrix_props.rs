@@ -25,11 +25,8 @@ fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
 /// Strategy: sparse triplets within a shape.
 fn csr(max_dim: usize) -> impl Strategy<Value = CsrMatrix> {
     (2..=max_dim, 2..=max_dim).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            (0..r as u32, 0..c as u32, -4.0f32..4.0),
-            0..(r * c).min(24),
-        )
-        .prop_map(move |t| CsrMatrix::from_triplets(r, c, &t))
+        proptest::collection::vec((0..r as u32, 0..c as u32, -4.0f32..4.0), 0..(r * c).min(24))
+            .prop_map(move |t| CsrMatrix::from_triplets(r, c, &t))
     })
 }
 

@@ -37,7 +37,11 @@ pub struct KgetmConfig {
 impl Default for KgetmConfig {
     fn default() -> Self {
         Self {
-            lda: LdaConfig { alpha: 0.05, beta: 0.01, ..LdaConfig::default() },
+            lda: LdaConfig {
+                alpha: 0.05,
+                beta: 0.01,
+                ..LdaConfig::default()
+            },
             transe: TransEConfig::default(),
             gamma: 0.5,
         }
@@ -72,8 +76,7 @@ impl HcKgetm {
     pub fn train(corpus: &Corpus, ops: &GraphOperators, config: &KgetmConfig) -> Self {
         let topics = TopicModel::train(corpus, &config.lda);
         let triples = derive_triples(ops);
-        let transe =
-            TransE::train(&triples, ops.n_symptoms + ops.n_herbs, &config.transe);
+        let transe = TransE::train(&triples, ops.n_symptoms + ops.n_herbs, &config.transe);
         let topic_scores = (0..corpus.n_symptoms() as u32)
             .map(|s| topics.herb_scores_for_symptom(s))
             .collect();
@@ -106,13 +109,10 @@ impl HcKgetm {
             // KG component: standardise the similarity over herbs so the
             // two components are on comparable scales.
             let sims: Vec<f64> = (0..self.n_herbs as u32)
-                .map(|h| {
-                    self.transe.treats_similarity(s, self.n_symptoms as u32 + h) as f64
-                })
+                .map(|h| self.transe.treats_similarity(s, self.n_symptoms as u32 + h) as f64)
                 .collect();
             let mean = sims.iter().sum::<f64>() / sims.len() as f64;
-            let std = (sims.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-                / sims.len() as f64)
+            let std = (sims.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / sims.len() as f64)
                 .sqrt()
                 .max(1e-9);
             let t_mean = topic.iter().sum::<f64>() / topic.len() as f64;
@@ -186,7 +186,11 @@ mod tests {
         let top = model.recommend(&[0, 1], 2);
         let mut sorted = top.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1], "block-0 symptoms must surface block-0 herbs");
+        assert_eq!(
+            sorted,
+            vec![0, 1],
+            "block-0 symptoms must surface block-0 herbs"
+        );
         let top2 = model.recommend(&[2, 3], 2);
         let mut sorted2 = top2.clone();
         sorted2.sort_unstable();

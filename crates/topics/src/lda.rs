@@ -34,7 +34,13 @@ pub struct LdaConfig {
 
 impl Default for LdaConfig {
     fn default() -> Self {
-        Self { n_topics: 20, alpha: 0.05, beta: 0.01, iterations: 100, seed: 13 }
+        Self {
+            n_topics: 20,
+            alpha: 0.05,
+            beta: 0.01,
+            iterations: 100,
+            seed: 13,
+        }
     }
 }
 
@@ -85,8 +91,7 @@ impl TopicModel {
                 tokens.push((d as u32, TokenKind::Herb, h));
             }
         }
-        let mut assignments: Vec<usize> =
-            (0..tokens.len()).map(|_| rng.gen_range(0..k)).collect();
+        let mut assignments: Vec<usize> = (0..tokens.len()).map(|_| rng.gen_range(0..k)).collect();
 
         // Count tables.
         let mut doc_topic = vec![vec![0f64; k]; corpus.len()];
@@ -116,9 +121,7 @@ impl TopicModel {
                 // Remove the token from the counts.
                 doc_topic[d as usize][old] -= 1.0;
                 let (table, totals, vocab) = match kind {
-                    TokenKind::Symptom => {
-                        (&mut topic_symptom, &mut topic_symptom_total, n_s)
-                    }
+                    TokenKind::Symptom => (&mut topic_symptom, &mut topic_symptom_total, n_s),
                     TokenKind::Herb => (&mut topic_herb, &mut topic_herb_total, n_h),
                 };
                 table[old][w as usize] -= 1.0;
@@ -181,7 +184,10 @@ impl TopicModel {
     /// Herb distribution of one topic: `φ_h(z)` with the β prior smoothed in.
     pub fn herbs_given_topic(&self, z: usize) -> Vec<f64> {
         let denom = self.topic_herb_total[z] + self.n_herbs as f64 * self.beta;
-        self.topic_herb[z].iter().map(|&c| (c + self.beta) / denom).collect()
+        self.topic_herb[z]
+            .iter()
+            .map(|&c| (c + self.beta) / denom)
+            .collect()
     }
 
     /// Per-symptom herb evidence `p(h | s) = Σ_z p(z | s) φ_h(z)`, the
@@ -228,7 +234,13 @@ mod tests {
     }
 
     fn config() -> LdaConfig {
-        LdaConfig { n_topics: 2, alpha: 0.1, beta: 0.01, iterations: 60, seed: 5 }
+        LdaConfig {
+            n_topics: 2,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 60,
+            seed: 5,
+        }
     }
 
     #[test]

@@ -69,7 +69,13 @@ pub struct TransEConfig {
 
 impl Default for TransEConfig {
     fn default() -> Self {
-        Self { dim: 64, margin: 1.0, learning_rate: 0.01, epochs: 50, seed: 17 }
+        Self {
+            dim: 64,
+            margin: 1.0,
+            learning_rate: 0.01,
+            epochs: 50,
+            seed: 17,
+        }
     }
 }
 
@@ -102,12 +108,17 @@ impl TransE {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let bound = 6.0 / (config.dim as f32).sqrt();
         let mut entities: Vec<Vec<f32>> = (0..n_entities)
-            .map(|_| (0..config.dim).map(|_| rng.gen_range(-bound..bound)).collect())
+            .map(|_| {
+                (0..config.dim)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect()
+            })
             .collect();
         let mut relations: Vec<Vec<f32>> = (0..3)
             .map(|_| {
-                let mut r: Vec<f32> =
-                    (0..config.dim).map(|_| rng.gen_range(-bound..bound)).collect();
+                let mut r: Vec<f32> = (0..config.dim)
+                    .map(|_| rng.gen_range(-bound..bound))
+                    .collect();
                 normalize(&mut r);
                 r
             })
@@ -119,8 +130,11 @@ impl TransE {
                 // Corrupt head or tail uniformly.
                 let corrupt_head = rng.gen_bool(0.5);
                 let neg_entity = rng.gen_range(0..n_entities as u32);
-                let (nh, nt) =
-                    if corrupt_head { (neg_entity, tail) } else { (head, neg_entity) };
+                let (nh, nt) = if corrupt_head {
+                    (neg_entity, tail)
+                } else {
+                    (head, neg_entity)
+                };
                 let r = rel as usize;
                 let pos = distance_sq(&entities, &relations, head, r, tail, config.dim);
                 let neg = distance_sq(&entities, &relations, nh, r, nt, config.dim);
@@ -134,8 +148,7 @@ impl TransE {
                         * (entities[head as usize][d] + relations[r][d]
                             - entities[tail as usize][d]);
                     let gneg = 2.0
-                        * (entities[nh as usize][d] + relations[r][d]
-                            - entities[nt as usize][d]);
+                        * (entities[nh as usize][d] + relations[r][d] - entities[nt as usize][d]);
                     entities[head as usize][d] -= lr * gpos;
                     entities[tail as usize][d] += lr * gpos;
                     relations[r][d] -= lr * (gpos - gneg);
@@ -147,7 +160,12 @@ impl TransE {
                 }
             }
         }
-        Self { entities, relations, n_entities, dim: config.dim }
+        Self {
+            entities,
+            relations,
+            n_entities,
+            dim: config.dim,
+        }
     }
 
     /// Number of entities.
@@ -163,7 +181,14 @@ impl TransE {
     /// Squared translation distance `‖e_head + r − e_tail‖²` — lower means
     /// the triple is more plausible.
     pub fn score(&self, head: u32, rel: Relation, tail: u32) -> f32 {
-        distance_sq(&self.entities, &self.relations, head, rel as usize, tail, self.dim)
+        distance_sq(
+            &self.entities,
+            &self.relations,
+            head,
+            rel as usize,
+            tail,
+            self.dim,
+        )
     }
 
     /// Plausibility of `(symptom, treats-with, herb)` as a *similarity*
@@ -210,9 +235,18 @@ mod tests {
     #[test]
     fn derive_covers_all_relations() {
         let triples = derive_triples(&toy_ops());
-        let treats = triples.iter().filter(|t| t.1 == Relation::TreatsWith).count();
-        let manifests = triples.iter().filter(|t| t.1 == Relation::CoManifests).count();
-        let compat = triples.iter().filter(|t| t.1 == Relation::CompatibleWith).count();
+        let treats = triples
+            .iter()
+            .filter(|t| t.1 == Relation::TreatsWith)
+            .count();
+        let manifests = triples
+            .iter()
+            .filter(|t| t.1 == Relation::CoManifests)
+            .count();
+        let compat = triples
+            .iter()
+            .filter(|t| t.1 == Relation::CompatibleWith)
+            .count();
         assert_eq!(treats, 8, "4 bipartite edges per block pair");
         assert_eq!(manifests, 2, "(0,1) and (2,3)");
         assert_eq!(compat, 2);
@@ -222,7 +256,11 @@ mod tests {
     fn training_separates_blocks() {
         let ops = toy_ops();
         let triples = derive_triples(&ops);
-        let cfg = TransEConfig { dim: 16, epochs: 200, ..TransEConfig::default() };
+        let cfg = TransEConfig {
+            dim: 16,
+            epochs: 200,
+            ..TransEConfig::default()
+        };
         let model = TransE::train(&triples, 8, &cfg);
         // Observed treat pairs must be more plausible than cross-block ones.
         let h_base = 4u32;
@@ -238,7 +276,15 @@ mod tests {
     fn entity_norms_bounded() {
         let ops = toy_ops();
         let triples = derive_triples(&ops);
-        let model = TransE::train(&triples, 8, &TransEConfig { dim: 8, epochs: 30, ..Default::default() });
+        let model = TransE::train(
+            &triples,
+            8,
+            &TransEConfig {
+                dim: 8,
+                epochs: 30,
+                ..Default::default()
+            },
+        );
         for e in &model.entities {
             let norm = e.iter().map(|x| x * x).sum::<f32>().sqrt();
             assert!(norm <= 1.0 + 1e-4, "norm {norm}");
@@ -249,10 +295,17 @@ mod tests {
     fn deterministic_given_seed() {
         let ops = toy_ops();
         let triples = derive_triples(&ops);
-        let cfg = TransEConfig { dim: 8, epochs: 10, ..Default::default() };
+        let cfg = TransEConfig {
+            dim: 8,
+            epochs: 10,
+            ..Default::default()
+        };
         let a = TransE::train(&triples, 8, &cfg);
         let b = TransE::train(&triples, 8, &cfg);
-        assert_eq!(a.score(0, Relation::TreatsWith, 5), b.score(0, Relation::TreatsWith, 5));
+        assert_eq!(
+            a.score(0, Relation::TreatsWith, 5),
+            b.score(0, Relation::TreatsWith, 5)
+        );
     }
 
     #[test]

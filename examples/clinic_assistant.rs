@@ -58,7 +58,10 @@ fn main() {
     let pop_scores = popularity.score_sets(&sets);
     let pop_top = top_k_indices(&pop_scores[0], 8);
 
-    println!("{:<4} {:<30} {:<30} {:<30}", "rank", "SMGCN", "HC-KGETM", "Popularity");
+    println!(
+        "{:<4} {:<30} {:<30} {:<30}",
+        "rank", "SMGCN", "HC-KGETM", "Popularity"
+    );
     for i in 0..8 {
         println!(
             "{:<4} {:<30} {:<30} {:<30}",
@@ -72,10 +75,15 @@ fn main() {
     // The syndrome-induction argument: a different presentation (an
     // exterior wind-heat picture instead of the deficiency picture above)
     // must induce a different syndrome and therefore different herbs.
-    let wind_heat: Vec<u32> = ["fare (fever)", "kesou (cough)", "touteng (headache)", "kouke (thirst)"]
-        .iter()
-        .map(|name| corpus.symptom_vocab().id(name).expect("seeded symptom"))
-        .collect();
+    let wind_heat: Vec<u32> = [
+        "fare (fever)",
+        "kesou (cough)",
+        "touteng (headache)",
+        "kouke (thirst)",
+    ]
+    .iter()
+    .map(|name| corpus.symptom_vocab().id(name).expect("seeded symptom"))
+    .collect();
     let altered_top = model.recommend(&wind_heat, 8);
     let overlap = smgcn_top.iter().filter(|h| altered_top.contains(h)).count();
     println!(

@@ -19,7 +19,10 @@ fn main() {
     let model_cfg = Scale::Smoke.model_config();
     let train_cfg = smgcn_eval::train_config_for(ModelKind::Smgcn, Scale::Smoke);
 
-    println!("training SMGCN and the no-SGE ablation ({} epochs each)...", train_cfg.epochs);
+    println!(
+        "training SMGCN and the no-SGE ablation ({} epochs each)...",
+        train_cfg.epochs
+    );
     let mut with_sge = build_model(ModelKind::Smgcn, &prepared.ops, &model_cfg, 42);
     train(&mut with_sge, &prepared.train, &train_cfg);
     let mut without_sge = build_model(ModelKind::BiparGcnSi, &prepared.ops, &model_cfg, 42);
@@ -29,7 +32,11 @@ fn main() {
     // symptom.
     let freq = smgcn_data::stats::symptom_frequencies(&prepared.train);
     let rarity = |p: &Prescription| -> u32 {
-        p.symptoms().iter().map(|&s| freq[s as usize]).min().unwrap_or(0)
+        p.symptoms()
+            .iter()
+            .map(|&s| freq[s as usize])
+            .min()
+            .unwrap_or(0)
     };
     let mut indexed: Vec<(usize, u32)> = prepared
         .test
@@ -48,7 +55,10 @@ fn main() {
         "\n{:<28} {:>10} {:>12} {:>12} {:>8}",
         "bucket", "#test rx", "SMGCN p@5", "no-SGE p@5", "Δ"
     );
-    for (name, bucket) in ["rare symptoms", "medium", "common symptoms"].iter().zip(&terciles) {
+    for (name, bucket) in ["rare symptoms", "medium", "common symptoms"]
+        .iter()
+        .zip(&terciles)
+    {
         let sub = prepared.test.subset(bucket);
         let with_m = evaluate_ranker(&with_sge, &sub, &[5])[0].1;
         let without_m = evaluate_ranker(&without_sge, &sub, &[5])[0].1;

@@ -10,8 +10,8 @@
 //! cargo run --release --example graph_density
 //! ```
 
-use smgcn_repro::prelude::*;
 use smgcn_repro::graph::SynergyThresholds;
+use smgcn_repro::prelude::*;
 
 fn main() {
     let corpus = SyndromeModel::new(GeneratorConfig::smoke_scale()).generate();

@@ -57,15 +57,25 @@ fn main() {
     // 4. Recommend for a held-out prescription and compare with the
     //    ground-truth herb set (the paper's greedy top-K inference, §IV-E).
     let case = &split.test.prescriptions()[0];
-    let symptom_names: Vec<&str> =
-        case.symptoms().iter().map(|&s| corpus.symptom_vocab().name(s)).collect();
+    let symptom_names: Vec<&str> = case
+        .symptoms()
+        .iter()
+        .map(|&s| corpus.symptom_vocab().name(s))
+        .collect();
     println!("\npatient symptoms: {}", symptom_names.join(", "));
     let top = model.recommend(case.symptoms(), 10);
     println!("top-10 recommended herbs ([*] = in the ground-truth prescription):");
     for (rank, &h) in top.iter().enumerate() {
         let marker = if case.contains_herb(h) { "[*]" } else { "   " };
-        println!("  {:>2}. {marker} {}", rank + 1, corpus.herb_vocab().name(h));
+        println!(
+            "  {:>2}. {marker} {}",
+            rank + 1,
+            corpus.herb_vocab().name(h)
+        );
     }
     let hits = top.iter().filter(|&&h| case.contains_herb(h)).count();
-    println!("overlap: {hits}/10 (ground-truth set has {} herbs)", case.herbs().len());
+    println!(
+        "overlap: {hits}/10 (ground-truth set has {} herbs)",
+        case.herbs().len()
+    );
 }

@@ -5,30 +5,42 @@
 //! smgcn train     --corpus corpus.tsv --out model.smgt [--model smgcn|...]
 //!                 [--epochs N] [--lr F] [--l2 F] [--seed N]
 //! smgcn eval      --corpus corpus.tsv --model-file model.smgt [--model ...]
-//! smgcn recommend --corpus corpus.tsv --model-file model.smgt
+//! smgcn freeze    --corpus corpus.tsv --model-file model.smgt --out frozen.smgt
+//! smgcn recommend --corpus corpus.tsv --model-file FILE
 //!                 --symptoms "name1,name2,..." [--k N]
+//! smgcn serve     --corpus corpus.tsv --model-file FILE [--addr HOST:PORT]
+//!                 [--connections N] [--cache N] [--batch-max N]
 //! ```
 //!
-//! The checkpoint carries parameters only; `train`, `eval` and `recommend`
-//! must agree on `--model` and `--scale` so the rebuilt architecture
-//! matches (mismatches are rejected by name/shape checks, never silently).
+//! The training checkpoint carries parameters only; `train`, `eval`,
+//! `freeze` and the full-model fallbacks must agree on `--model` and
+//! `--scale` so the rebuilt architecture matches (mismatches are rejected
+//! by name/shape checks, never silently).
+//!
+//! `recommend` and `serve` accept either kind of `--model-file`: a frozen
+//! model (from `smgcn freeze`) is loaded directly — no graph rebuild, no
+//! convolutions — while a training checkpoint is rebuilt and frozen
+//! in-process. Both go through the `smgcn-serve` scorer.
 
 use std::collections::HashMap;
 use std::process::exit;
 
-use smgcn_repro::prelude::*;
 use smgcn_repro::data::io as corpus_io;
 use smgcn_repro::data::train_test_split_fraction;
 use smgcn_repro::eval::train_config_for;
 use smgcn_repro::graph::GraphOperators;
+use smgcn_repro::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  smgcn generate  --out FILE [--scale smoke|paper] [--seed N]\n  \
          smgcn train     --corpus FILE --out FILE [--model NAME] [--epochs N] [--lr F] [--l2 F] [--seed N]\n  \
          smgcn eval      --corpus FILE --model-file FILE [--model NAME]\n  \
-         smgcn recommend --corpus FILE --model-file FILE --symptoms \"a,b,c\" [--k N]\n\
-         models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn"
+         smgcn freeze    --corpus FILE --model-file FILE --out FILE [--model NAME]\n  \
+         smgcn recommend --corpus FILE --model-file FILE --symptoms \"a,b,c\" [--k N]\n  \
+         smgcn serve     --corpus FILE --model-file FILE [--addr HOST:PORT] [--connections N] [--cache N] [--batch-max N]\n\
+         models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
+         --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
     );
     exit(2)
 }
@@ -74,12 +86,19 @@ fn scale(flags: &HashMap<String, String>) -> Scale {
 }
 
 fn seed(flags: &HashMap<String, String>) -> u64 {
-    flags.get("seed").map(|s| s.parse().unwrap_or_else(|_| usage())).unwrap_or(2020)
+    flags
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(2020)
 }
 
 fn load_corpus_and_ops(
     flags: &HashMap<String, String>,
-) -> (smgcn_repro::data::Corpus, smgcn_repro::data::Corpus, GraphOperators) {
+) -> (
+    smgcn_repro::data::Corpus,
+    smgcn_repro::data::Corpus,
+    GraphOperators,
+) {
     let path = flags.get("corpus").unwrap_or_else(|| usage());
     let corpus = corpus_io::load_corpus(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read corpus {path:?}: {e}");
@@ -140,7 +159,10 @@ fn cmd_train(flags: HashMap<String, String>) {
     });
     let metrics = evaluate_ranker(&model, &test_corpus, &PAPER_KS);
     for (k, m) in &metrics {
-        println!("test p@{k} = {:.4}  r@{k} = {:.4}  ndcg@{k} = {:.4}", m.precision, m.recall, m.ndcg);
+        println!(
+            "test p@{k} = {:.4}  r@{k} = {:.4}  ndcg@{k} = {:.4}",
+            m.precision, m.recall, m.ndcg
+        );
     }
     model.save(out).unwrap_or_else(|e| {
         eprintln!("error: cannot save checkpoint: {e}");
@@ -169,18 +191,70 @@ fn rebuild_and_load(
 fn cmd_eval(flags: HashMap<String, String>) {
     let (_, test_corpus, ops) = load_corpus_and_ops(&flags);
     let model = rebuild_and_load(&flags, &ops);
-    println!("{} on {} held-out prescriptions:", model.name(), test_corpus.len());
+    println!(
+        "{} on {} held-out prescriptions:",
+        model.name(),
+        test_corpus.len()
+    );
     for (k, m) in evaluate_ranker(&model, &test_corpus, &PAPER_KS) {
-        println!("  p@{k} = {:.4}  r@{k} = {:.4}  ndcg@{k} = {:.4}", m.precision, m.recall, m.ndcg);
+        println!(
+            "  p@{k} = {:.4}  r@{k} = {:.4}  ndcg@{k} = {:.4}",
+            m.precision, m.recall, m.ndcg
+        );
     }
 }
 
-fn cmd_recommend(flags: HashMap<String, String>) {
-    let (train_corpus, _, ops) = load_corpus_and_ops(&flags);
-    let model = rebuild_and_load(&flags, &ops);
-    let k: usize = flags.get("k").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(10);
-    let spec = flags.get("symptoms").unwrap_or_else(|| usage());
-    let vocab = train_corpus.symptom_vocab();
+/// Loads the corpus alone (no split, no graphs) — all the frozen fast
+/// path needs is the vocabulary.
+fn load_corpus_only(flags: &HashMap<String, String>) -> smgcn_repro::data::Corpus {
+    let path = flags.get("corpus").unwrap_or_else(|| usage());
+    corpus_io::load_corpus(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read corpus {path:?}: {e}");
+        exit(1);
+    })
+}
+
+/// Loads `--model-file` as a [`FrozenModel`]: directly when it already is
+/// one (no split, no graph construction, no convolutions), otherwise by
+/// rebuilding the full training checkpoint — graphs and all — and
+/// freezing it in-process. Either way, scoring goes through the
+/// serve-layer path. `corpus` is the already-loaded corpus, reused by
+/// the fallback so the file is never parsed twice.
+fn load_frozen(flags: &HashMap<String, String>, corpus: &smgcn_repro::data::Corpus) -> FrozenModel {
+    let model_file = flags.get("model-file").unwrap_or_else(|| usage());
+    match FrozenModel::load(model_file) {
+        Ok(frozen) => {
+            eprintln!(
+                "loaded frozen model: {} symptoms x {} herbs, d = {}",
+                frozen.n_symptoms(),
+                frozen.n_herbs(),
+                frozen.dim()
+            );
+            frozen
+        }
+        Err(smgcn_repro::serve::FrozenError::NotFrozen(_)) => {
+            // A training checkpoint: rebuild the architecture (this is the
+            // only path that needs the graphs), restore the parameters,
+            // then run the convolutions once.
+            eprintln!("training checkpoint given; freezing in-process (tip: smgcn freeze)");
+            let split = train_test_split_fraction(corpus, PAPER_TEST_FRACTION, seed(flags));
+            let ops = GraphOperators::from_records(
+                split.train.records(),
+                corpus.n_symptoms(),
+                corpus.n_herbs(),
+                scale(flags).thresholds(),
+            );
+            FrozenModel::from_recommender(&rebuild_and_load(flags, &ops))
+        }
+        Err(e) => {
+            eprintln!("error: cannot load {model_file:?}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse_symptom_ids(spec: &str, corpus: &smgcn_repro::data::Corpus) -> Vec<u32> {
+    let vocab = corpus.symptom_vocab();
     let mut ids = Vec::new();
     for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         match vocab.id(name) {
@@ -195,25 +269,113 @@ fn cmd_recommend(flags: HashMap<String, String>) {
         eprintln!("error: --symptoms produced an empty set");
         exit(1);
     }
+    ids
+}
+
+fn cmd_freeze(flags: HashMap<String, String>) {
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let (_, _, ops) = load_corpus_and_ops(&flags);
+    let model = rebuild_and_load(&flags, &ops);
+    let frozen = FrozenModel::from_recommender(&model);
+    frozen.save(out).unwrap_or_else(|e| {
+        eprintln!("error: cannot save frozen model: {e}");
+        exit(1);
+    });
+    println!(
+        "froze {} into {out}: {} symptoms x {} herbs, d = {}, si_mlp = {}",
+        model.name(),
+        frozen.n_symptoms(),
+        frozen.n_herbs(),
+        frozen.dim(),
+        frozen.has_si_mlp()
+    );
+}
+
+fn cmd_recommend(flags: HashMap<String, String>) {
+    let corpus = load_corpus_only(&flags);
+    let frozen = load_frozen(&flags, &corpus);
+    let k: usize = flags
+        .get("k")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(10);
+    let spec = flags.get("symptoms").unwrap_or_else(|| usage());
+    let ids = parse_symptom_ids(spec, &corpus);
+    let vocab = corpus.symptom_vocab();
     println!("symptom set:");
     for &s in &ids {
         println!("  - {}", vocab.name(s));
     }
-    println!("top-{k} herbs ({}):", model.name());
-    for (rank, h) in model.recommend(&ids, k).into_iter().enumerate() {
-        println!("  {:>2}. {}", rank + 1, train_corpus.herb_vocab().name(h));
+    let ranking = frozen.recommend(&ids, k).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        exit(1);
+    });
+    println!("top-{k} herbs (frozen scorer):");
+    for (rank, h) in ranking.into_iter().enumerate() {
+        println!("  {:>2}. {}", rank + 1, corpus.herb_vocab().name(h));
+    }
+}
+
+fn cmd_serve(flags: HashMap<String, String>) {
+    let corpus = load_corpus_only(&flags);
+    let frozen = load_frozen(&flags, &corpus);
+    let default_addr = "127.0.0.1:7878".to_string();
+    let addr = flags.get("addr").unwrap_or(&default_addr);
+    let mut config = ServerConfig::default();
+    if let Some(t) = flags.get("connections") {
+        config.max_connections = t.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(c) = flags.get("cache") {
+        config.cache_capacity = c.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(b) = flags.get("batch-max") {
+        config.batcher.max_batch = b.parse().unwrap_or_else(|_| usage());
+    }
+    let vocab = ServingVocab::new(
+        corpus
+            .symptom_vocab()
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect(),
+        corpus
+            .herb_vocab()
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect(),
+    );
+    let server = Server::bind(addr, frozen, vocab, config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        exit(1);
+    });
+    println!(
+        "serving on {} (max {} connections, cache {}, max batch {})",
+        server
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone()),
+        config.max_connections,
+        config.cache_capacity,
+        config.batcher.max_batch
+    );
+    println!(r#"protocol: one JSON object per line, e.g. {{"symptoms": ["s1", "s2"], "k": 10}}"#);
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        exit(1);
     }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, rest)) = args.split_first() else { usage() };
+    let Some((command, rest)) = args.split_first() else {
+        usage()
+    };
     let flags = parse_flags(rest);
     match command.as_str() {
         "generate" => cmd_generate(flags),
         "train" => cmd_train(flags),
         "eval" => cmd_eval(flags),
+        "freeze" => cmd_freeze(flags),
         "recommend" => cmd_recommend(flags),
+        "serve" => cmd_serve(flags),
         _ => usage(),
     }
 }

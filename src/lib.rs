@@ -10,7 +10,9 @@
 //! - [`data`] — prescription corpus model and latent-syndrome generator;
 //! - [`core`] — SMGCN, its ablations, and the aligned GNN baselines;
 //! - [`topics`] — the HC-KGETM topic-model baseline;
-//! - [`eval`] — ranking metrics, experiment harness and reports.
+//! - [`eval`] — ranking metrics, experiment harness and reports;
+//! - [`serve`] — frozen-model inference: batched scoring, LRU caching
+//!   and the `smgcn serve` TCP loop.
 //!
 //! See README.md for a tour and DESIGN.md for the experiment index.
 
@@ -18,6 +20,7 @@ pub use smgcn_core as core;
 pub use smgcn_data as data;
 pub use smgcn_eval as eval;
 pub use smgcn_graph as graph;
+pub use smgcn_serve as serve;
 pub use smgcn_tensor as tensor;
 pub use smgcn_topics as topics;
 
@@ -33,6 +36,9 @@ pub mod prelude {
         PopularityRanker, Scale, PAPER_KS,
     };
     pub use smgcn_graph::{GraphOperators, SynergyThresholds};
+    pub use smgcn_serve::{
+        Batcher, BatcherConfig, FrozenModel, LruCache, Server, ServerConfig, ServingVocab,
+    };
     pub use smgcn_tensor::prelude::*;
     pub use smgcn_topics::{HcKgetm, KgetmConfig};
 }

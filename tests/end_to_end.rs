@@ -1,11 +1,15 @@
 //! Cross-crate integration tests: corpus → graphs → training → evaluation
 //! for every model family, exercised through the facade crate only.
 
-use smgcn_repro::prelude::*;
 use smgcn_repro::graph::SynergyThresholds;
+use smgcn_repro::prelude::*;
 
 fn tiny_prepared() -> smgcn_repro::eval::Prepared {
-    prepare_with(GeneratorConfig::tiny_scale(), SynergyThresholds { x_s: 1, x_h: 1 }, 3)
+    prepare_with(
+        GeneratorConfig::tiny_scale(),
+        SynergyThresholds { x_s: 1, x_h: 1 },
+        3,
+    )
 }
 
 fn tiny_model_cfg() -> ModelConfig {
@@ -70,8 +74,20 @@ fn smgcn_beats_popularity_after_training() {
     let prepared = tiny_prepared();
     let pop = PopularityRanker::from_corpus(&prepared.train);
     let pop_p5 = run_ranker(&pop, &prepared, 0.0).at_k(5).unwrap().precision;
-    let smgcn =
-        run_neural(ModelKind::Smgcn, &prepared, &tiny_model_cfg(), &tiny_train_cfg(), 5);
+    // Popularity is a strong baseline on the tiny corpus; give the model
+    // enough budget that the margin is robust to the RNG stream (the
+    // vendored StdRng is xoshiro, not upstream's ChaCha — see vendor/rand).
+    let train_cfg = TrainConfig {
+        epochs: 40,
+        ..tiny_train_cfg()
+    };
+    let smgcn = run_neural(
+        ModelKind::Smgcn,
+        &prepared,
+        &tiny_model_cfg(),
+        &train_cfg,
+        5,
+    );
     let smgcn_p5 = smgcn.at_k(5).unwrap().precision;
     assert!(
         smgcn_p5 > pop_p5,
@@ -112,7 +128,10 @@ fn training_then_predicting_is_reproducible() {
     };
     let a = run();
     let b = run();
-    assert!(a.approx_eq(&b, 0.0), "same seeds must give identical predictions");
+    assert!(
+        a.approx_eq(&b, 0.0),
+        "same seeds must give identical predictions"
+    );
 }
 
 #[test]

@@ -1,0 +1,198 @@
+//! Offline std-only stand-in for `criterion`.
+//!
+//! Implements the handful of entry points the workspace's benches use —
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock loop: a short warm-up, then timed batches until a fixed
+//! measurement budget elapses. Reports mean and best iteration time.
+//! No statistics, plots or CLI; enough to compare kernels locally.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(150);
+const MEASURE: Duration = Duration::from_millis(600);
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one closure repeatedly; handed to benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn run() -> Self {
+        Self {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Runs `f` in a warm-up phase and then a timed phase.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let stop = start + MEASURE;
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if Instant::now() >= stop {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<40} (no iterations recorded)");
+            return;
+        }
+        let mean = self.elapsed / self.iters as u32;
+        println!(
+            "{name:<40} {:>12} / iter over {} iters",
+            format_duration(mean),
+            self.iters
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Identifies one case inside a benchmark group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name plus parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmark cases.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against one `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::run();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id));
+        self
+    }
+
+    /// Ends the group (separator line only in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single named closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher::run();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` invoking each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut b = Bencher::run();
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("gemm", 64).id, "gemm/64");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

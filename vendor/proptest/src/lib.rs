@@ -1,0 +1,321 @@
+//! Offline std-only stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
+//! header), `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! [`strategy::Just`], `prop_map` / `prop_flat_map` / `prop_shuffle`
+//! combinators, and [`collection::vec`] / [`collection::btree_set`].
+//!
+//! Differences from the real crate: cases are drawn from a fixed
+//! per-test seed (derived from the test's module path and name) so runs
+//! are fully deterministic, and failing cases are reported but **not
+//! shrunk** — the failure message includes the case number so the draw
+//! can be replayed under a debugger.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Sized collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use std::collections::BTreeSet;
+
+    /// Bounds for a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            use rand::Rng;
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of `size.draw()` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with a target size range.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` of roughly `size.draw()` distinct elements. If the
+    /// element domain is too small to reach the target, the set saturates
+    /// at whatever was reachable within a bounded number of draws.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let target = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(64) + 64 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Runner configuration, mirroring `proptest::test_runner`.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to draw.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// One-glob import for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[doc(hidden)]
+pub fn __rng_for(test_path: &str) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the fully qualified test name: per-test deterministic.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rand::rngs::StdRng::seed_from_u64(h)
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    $(
+                        let $pat =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )+
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __config.cases, __msg,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body; failure aborts the case
+/// with a message instead of panicking directly (mirrors proptest).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} ({})", stringify!($cond), ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), l, r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left), stringify!($right), l, r, ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3usize..9, b in -2.0f32..2.0) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+        }
+
+        #[test]
+        fn tuple_and_map_compose(v in (1usize..4, 1usize..4).prop_map(|(r, c)| r * c)) {
+            prop_assert!((1..=9).contains(&v));
+        }
+
+        #[test]
+        fn flat_map_uses_inner_value(v in (2usize..5).prop_flat_map(|n| {
+            crate::collection::vec(0u32..n as u32, n)
+        })) {
+            prop_assert!(v.len() >= 2);
+            for x in &v {
+                prop_assert!((*x as usize) < v.len());
+            }
+        }
+
+        #[test]
+        fn shuffle_permutes(v in Just((0u32..20).collect::<Vec<u32>>()).prop_shuffle()) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u32..20).collect::<Vec<u32>>());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_accepted(x in 0u64..10) {
+            prop_assert!(x < 10);
+        }
+
+        #[test]
+        fn btree_set_sizes(s in crate::collection::btree_set(0u32..50, 1..12)) {
+            prop_assert!(!s.is_empty() && s.len() < 12);
+        }
+    }
+
+    #[test]
+    fn rng_for_is_deterministic_per_name() {
+        use rand::RngCore;
+        let a = crate::__rng_for("x::y").next_u64();
+        let b = crate::__rng_for("x::y").next_u64();
+        let c = crate::__rng_for("x::z").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! without network access. No serialisation framework is provided — the
+//! repo's persistence paths (TSV corpus IO, binary checkpoints, NDJSON
+//! serving protocol) are all hand-rolled.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

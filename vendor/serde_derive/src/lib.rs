@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace annotates config/data structs with
+//! `#[derive(Serialize, Deserialize)]` for forward compatibility, but
+//! nothing serialises through serde yet (corpus IO is hand-rolled TSV and
+//! checkpoints are a custom binary format). These derives therefore expand
+//! to nothing, which keeps the annotations compiling without network
+//! access to the real crates.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted wherever `serde::Serialize` is derived.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted wherever `serde::Deserialize` is derived.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
