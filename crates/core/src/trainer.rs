@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use smgcn_data::{herb_frequencies, herb_loss_weights, Corpus};
 use smgcn_tensor::optim::{Adam, Optimizer};
-use smgcn_tensor::Tape;
+use smgcn_tensor::{BufferPool, Tape};
 
 use crate::batch::{epoch_batches, make_batch};
 use crate::config::TrainConfig;
@@ -50,10 +50,44 @@ impl TrainingHistory {
 
 /// Trains `model` on `train` with the paper's optimisation setup, invoking
 /// `on_epoch` after each epoch (for eval hooks / progress reporting).
+///
+/// The hot loop draws every tape and gradient buffer from a step-scoped
+/// [`BufferPool`]: after the first step has populated the pool, steady-
+/// state steps perform no heap allocation for tensor data. Pooling is
+/// bit-for-bit neutral — [`train_unpooled`] runs the identical
+/// computation without the pool and the test suite asserts equal
+/// histories.
 pub fn train_with_callback(
     model: &mut Recommender,
     train: &Corpus,
     cfg: &TrainConfig,
+    on_epoch: impl FnMut(&EpochStats, &Recommender),
+) -> TrainingHistory {
+    train_impl(model, train, cfg, true, on_epoch)
+}
+
+/// Trains without a callback.
+pub fn train(model: &mut Recommender, train: &Corpus, cfg: &TrainConfig) -> TrainingHistory {
+    train_with_callback(model, train, cfg, |_, _| {})
+}
+
+/// Reference training path that allocates fresh buffers for every tape op
+/// (the pre-pooling behavior). Exists for validation — it must produce a
+/// bit-identical [`TrainingHistory`] to [`train`] — and as the baseline
+/// for the `train_throughput` benchmark.
+pub fn train_unpooled(
+    model: &mut Recommender,
+    train: &Corpus,
+    cfg: &TrainConfig,
+) -> TrainingHistory {
+    train_impl(model, train, cfg, false, |_, _| {})
+}
+
+fn train_impl(
+    model: &mut Recommender,
+    train: &Corpus,
+    cfg: &TrainConfig,
+    pooled: bool,
     mut on_epoch: impl FnMut(&EpochStats, &Recommender),
 ) -> TrainingHistory {
     assert!(!train.is_empty(), "train: empty training corpus");
@@ -71,6 +105,7 @@ pub fn train_with_callback(
     let n_symptoms = train.n_symptoms();
     let n_herbs = train.n_herbs();
     let mut history = TrainingHistory::default();
+    let pool = BufferPool::new();
 
     for epoch in 0..cfg.epochs {
         let mut loss_sum = 0.0f64;
@@ -82,7 +117,11 @@ pub fn train_with_callback(
                 indices.iter().map(|&i| &prescriptions[i]).collect();
             let batch = make_batch(&selected, n_symptoms, n_herbs);
             let grads = {
-                let mut tape = Tape::new(model.store());
+                let mut tape = if pooled {
+                    Tape::with_pool(model.store(), &pool)
+                } else {
+                    Tape::new(model.store())
+                };
                 let mut ctx = ForwardCtx::training(model.dropout(), &mut rng);
                 let scores = model.forward_scores(&mut tape, &batch.set_pool, &mut ctx);
                 let loss = attach_loss(
@@ -96,10 +135,17 @@ pub fn train_with_callback(
                     ctx.rng,
                 );
                 loss_sum += tape.value(loss).get(0, 0) as f64;
-                tape.backward(loss)
+                let grads = tape.backward(loss);
+                // Hand the tape's node buffers back to the pool for the
+                // next step.
+                tape.recycle();
+                grads
             };
             grad_sum += grads.l2_norm() as f64;
             opt.step(model.store_mut(), &grads);
+            if pooled {
+                grads.recycle_into(&pool);
+            }
         }
         let stats = EpochStats {
             epoch,
@@ -110,11 +156,6 @@ pub fn train_with_callback(
         on_epoch(&stats, model);
     }
     history
-}
-
-/// Trains without a callback.
-pub fn train(model: &mut Recommender, train: &Corpus, cfg: &TrainConfig) -> TrainingHistory {
-    train_with_callback(model, train, cfg, |_, _| {})
 }
 
 #[cfg(test)]
@@ -206,6 +247,50 @@ mod tests {
             train(&mut model, &corpus, &cfg).final_loss()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pooled_training_is_bit_identical_to_unpooled() {
+        let (corpus, ops) = tiny_setup();
+        // Positive dropout so pooled dropout masks are exercised too.
+        let mut model_cfg = tiny_model_cfg();
+        model_cfg.dropout = 0.3;
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            l2_lambda: 1e-4,
+            loss: LossKind::MultiLabel,
+            bpr_negatives: 1,
+            weighted_labels: true,
+            seed: 9,
+        };
+        let mut pooled = Recommender::smgcn(&ops, &model_cfg, 5);
+        let mut unpooled = Recommender::smgcn(&ops, &model_cfg, 5);
+        let hp = train(&mut pooled, &corpus, &cfg);
+        let hu = train_unpooled(&mut unpooled, &corpus, &cfg);
+        assert_eq!(hp.epochs.len(), hu.epochs.len());
+        for (a, b) in hp.epochs.iter().zip(&hu.epochs) {
+            assert_eq!(
+                a.mean_loss.to_bits(),
+                b.mean_loss.to_bits(),
+                "epoch {} loss diverged: {} vs {}",
+                a.epoch,
+                a.mean_loss,
+                b.mean_loss
+            );
+            assert_eq!(
+                a.mean_grad_norm.to_bits(),
+                b.mean_grad_norm.to_bits(),
+                "epoch {} grad norm diverged",
+                a.epoch
+            );
+        }
+        for ((_, name, pa), (_, _, pb)) in pooled.store().iter().zip(unpooled.store().iter()) {
+            for (i, (x, y)) in pa.as_slice().iter().zip(pb.as_slice()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "param {name} diverged at {i}");
+            }
+        }
     }
 
     #[test]

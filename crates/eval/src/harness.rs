@@ -32,10 +32,12 @@ impl HerbRanker for Recommender {
     }
 
     fn score_sets(&self, sets: &[&[u32]]) -> Vec<Vec<f32>> {
-        // Batch to bound the B x H score matrix size.
+        // Batch to bound the B x H score matrix size; one buffer pool
+        // across chunks so only the first forward pass allocates.
+        let pool = smgcn_tensor::BufferPool::new();
         let mut out = Vec::with_capacity(sets.len());
         for chunk in sets.chunks(512) {
-            let scores = self.predict(chunk);
+            let scores = self.predict_with_pool(chunk, &pool);
             for r in 0..scores.rows() {
                 out.push(scores.row(r).to_vec());
             }

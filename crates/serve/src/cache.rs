@@ -26,7 +26,6 @@ struct Entry<K, V> {
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
     slab: Vec<Entry<K, V>>,
-    free: Vec<usize>,
     head: usize,
     tail: usize,
     capacity: usize,
@@ -44,7 +43,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Self {
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
-            free: Vec::new(),
             head: NIL,
             tail: NIL,
             capacity,
@@ -119,6 +117,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 
     /// Inserts (or replaces) `key`, evicting the least-recently-used
     /// entry when at capacity. Returns the evicted key, if any.
+    ///
+    /// Costs exactly one key clone (the slab and the index map each need
+    /// an owner); the evicted key is *moved* out of its slab slot via
+    /// `mem::replace`, never cloned.
     pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         if let Some(&i) = self.map.get(&key) {
             self.slab[i].value = value;
@@ -128,39 +130,36 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             }
             return None;
         }
-        let mut evicted = None;
         if self.map.len() == self.capacity {
+            // Reuse the LRU slot in place: swap the new entry in, move the
+            // old key out for the map removal and the caller.
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
             self.unlink(lru);
-            let old_key = self.slab[lru].key.clone();
-            self.map.remove(&old_key);
-            self.free.push(lru);
-            evicted = Some(old_key);
+            let old = std::mem::replace(
+                &mut self.slab[lru],
+                Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.push_front(lru);
+            return Some(old.key);
         }
-        let slot = match self.free.pop() {
-            Some(i) => {
-                self.slab[i] = Entry {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                };
-                i
-            }
-            None => {
-                self.slab.push(Entry {
-                    key: key.clone(),
-                    value,
-                    prev: NIL,
-                    next: NIL,
-                });
-                self.slab.len() - 1
-            }
-        };
+        self.slab.push(Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let slot = self.slab.len() - 1;
         self.map.insert(key, slot);
         self.push_front(slot);
-        evicted
+        None
     }
 }
 
@@ -177,10 +176,16 @@ pub struct QueryKey {
 impl QueryKey {
     /// Builds the canonical key from a raw (possibly unsorted, possibly
     /// repeating) symptom list.
+    ///
+    /// Fast path: clinic clients overwhelmingly send already-canonical
+    /// (strictly ascending) symptom lists, which skip the sort + dedup
+    /// entirely — one `windows(2)` scan decides.
     pub fn new(symptoms: &[u32], k: usize) -> Self {
         let mut s = symptoms.to_vec();
-        s.sort_unstable();
-        s.dedup();
+        if !s.windows(2).all(|w| w[0] < w[1]) {
+            s.sort_unstable();
+            s.dedup();
+        }
         Self { symptoms: s, k }
     }
 }

@@ -259,14 +259,16 @@ impl FrozenModel {
         }
         Ok(match &self.si_mlp {
             Some((w, bias)) => {
+                // One tiled GEMM, then bias + ReLU fused in place — no
+                // extra full-matrix allocation per scoring batch.
                 let mut lin = pooled.matmul(w);
                 let b_row = bias.row(0);
                 for r in 0..lin.rows() {
                     for (v, &bv) in lin.row_mut(r).iter_mut().zip(b_row) {
-                        *v += bv;
+                        *v = (*v + bv).max(0.0);
                     }
                 }
-                lin.map(|v| v.max(0.0))
+                lin
             }
             None => pooled,
         })

@@ -7,8 +7,12 @@
 //! - [`matrix`] — dense row-major `f32` matrices with the kernels every
 //!   layer is built from (GEMM, transposed GEMM, concat/split, reductions),
 //!   parallelised deterministically over output rows;
+//! - [`gemm`] — the register-tiled GEMM micro-kernels behind every dense
+//!   product, bit-identical to the naive reference loops they replace;
 //! - [`sparse`] — CSR adjacency matrices and sparse-dense products for
-//!   graph convolutions and set pooling;
+//!   graph convolutions and set pooling, nnz-balanced across threads;
+//! - [`pool`] — a step-scoped buffer recycler so steady-state training
+//!   allocates nothing in the hot loop;
 //! - [`tape`] — define-by-run reverse-mode autograd over a persistent
 //!   [`tape::ParamStore`], with one op per primitive the paper's equations
 //!   use;
@@ -51,15 +55,19 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod matrix;
 pub mod optim;
 pub mod par;
+pub mod pool;
 pub mod sparse;
 pub mod tape;
 
+pub use gemm::{reference_kernels_enabled, set_reference_kernels};
 pub use matrix::Matrix;
+pub use pool::{BufferPool, PoolStats};
 pub use sparse::{CsrMatrix, SharedCsr};
 pub use tape::{Gradients, ParamId, ParamStore, Tape, Var};
 

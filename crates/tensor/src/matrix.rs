@@ -9,7 +9,7 @@
 //! offending dimensions; shape errors in a training loop are programmer bugs,
 //! not recoverable conditions.
 
-use crate::par;
+use crate::gemm;
 
 /// A dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -192,6 +192,15 @@ impl Matrix {
         );
     }
 
+    /// Copies another matrix's contents into this one.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.assert_same_shape(src, "Matrix::copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Element-wise sum, producing a new matrix.
     pub fn add(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "Matrix::add");
@@ -205,6 +214,18 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data,
+        }
+    }
+
+    /// `out = self + other`, fully overwriting `out`.
+    ///
+    /// # Panics
+    /// Panics if any shape differs.
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_same_shape(other, "Matrix::add_into");
+        self.assert_same_shape(out, "Matrix::add_into(out)");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a + b;
         }
     }
 
@@ -240,6 +261,18 @@ impl Matrix {
         }
     }
 
+    /// `out = self - other`, fully overwriting `out`.
+    ///
+    /// # Panics
+    /// Panics if any shape differs.
+    pub fn sub_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_same_shape(other, "Matrix::sub_into");
+        self.assert_same_shape(out, "Matrix::sub_into(out)");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a - b;
+        }
+    }
+
     /// Element-wise (Hadamard) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "Matrix::hadamard");
@@ -256,6 +289,29 @@ impl Matrix {
         }
     }
 
+    /// `out = self ⊙ other`, fully overwriting `out`.
+    ///
+    /// # Panics
+    /// Panics if any shape differs.
+    pub fn hadamard_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.assert_same_shape(other, "Matrix::hadamard_into");
+        self.assert_same_shape(out, "Matrix::hadamard_into(out)");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&other.data) {
+            *o = a * b;
+        }
+    }
+
+    /// In-place element-wise product `self ⊙= other`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "Matrix::hadamard_assign");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
     /// Scalar multiple, producing a new matrix.
     pub fn scale(&self, alpha: f32) -> Matrix {
         let data = self.data.iter().map(|a| a * alpha).collect();
@@ -263,6 +319,17 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data,
+        }
+    }
+
+    /// `out = alpha * self`, fully overwriting `out`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn scale_into(&self, alpha: f32, out: &mut Matrix) {
+        self.assert_same_shape(out, "Matrix::scale_into");
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = a * alpha;
         }
     }
 
@@ -283,77 +350,203 @@ impl Matrix {
         }
     }
 
+    /// `out[i] = f(self[i])` for every entry, fully overwriting `out`.
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        self.assert_same_shape(out, "Matrix::map_into");
+        for (o, &a) in out.data.iter_mut().zip(&self.data) {
+            *o = f(a);
+        }
+    }
+
     /// Dense matrix product `self @ other`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams over contiguous
-    /// rows of `other`, and parallelises over output-row chunks for larger
-    /// problems (each output row is computed sequentially, so results are
-    /// bit-for-bit deterministic regardless of thread count).
+    /// Routes through the register-tiled kernels in [`crate::gemm`]
+    /// (4x8 tiles over a packed RHS panel). Each output element is still
+    /// accumulated in increasing-`k` order by a single accumulator, and
+    /// parallelism is over disjoint output-row chunks, so results are
+    /// bit-for-bit deterministic regardless of thread count — and
+    /// bit-identical to the naive reference kernel.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul`](Self::matmul) into a caller-provided output buffer
+    /// (fully overwritten), for allocation-free hot loops.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "Matrix::matmul: inner dimensions differ ({}x{} @ {}x{})",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        let k_dim = self.cols;
-        let lhs = &self.data;
-        let rhs = &other.data;
-        par::for_each_row_chunk(&mut out.data, n, self.rows, |r0, chunk| {
-            for (local_r, out_row) in chunk.chunks_exact_mut(n).enumerate() {
-                let r = r0 + local_r;
-                let lhs_row = &lhs[r * k_dim..(r + 1) * k_dim];
-                for (k, &a) in lhs_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let rhs_row = &rhs[k * n..(k + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
-        out
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "Matrix::matmul_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.rows,
+            other.cols
+        );
+        gemm::matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
     }
 
     /// Dense matrix product with a transposed right operand: `self @ other^T`.
     ///
     /// This is the hot kernel for the prediction layer
-    /// `g(sc, H) = e_syndrome(sc) . e_H^T` (Eq. 13): both operands are
-    /// traversed row-major, so no explicit transpose is materialised.
+    /// `g(sc, H) = e_syndrome(sc) . e_H^T` (Eq. 13): the RHS rows are
+    /// transpose-packed into column panels, so no full transpose is
+    /// materialised and the inner loop is the same tiled kernel as
+    /// [`matmul`](Self::matmul).
     ///
     /// # Panics
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transb_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_transb`](Self::matmul_transb) into a caller-provided
+    /// output buffer (fully overwritten).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "Matrix::matmul_transb: inner dimensions differ ({}x{} @ ({}x{})^T)",
             self.rows, self.cols, other.rows, other.cols
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "Matrix::matmul_transb_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.rows,
+            other.rows
+        );
+        gemm::matmul_transb_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
+    }
+
+    /// Dense matrix product with a transposed *left* operand:
+    /// `self^T @ other`.
+    ///
+    /// This is the backward-pass kernel: both `d/dB (A @ B)` and
+    /// `d/dB (A @ B^T)` reduce to it. Equivalent to
+    /// `self.transpose().matmul(other)` — bit-for-bit, including the
+    /// accumulation order — without materialising the transpose.
+    ///
+    /// # Panics
+    /// Panics if `self.rows != other.rows`.
+    pub fn matmul_transa(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_transa_into(other, &mut out);
+        out
+    }
+
+    /// [`matmul_transa`](Self::matmul_transa) into a caller-provided
+    /// output buffer (fully overwritten).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_transa_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "Matrix::matmul_transa: inner dimensions differ (({}x{})^T @ {}x{})",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "Matrix::matmul_transa_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.cols,
+            other.cols
+        );
+        gemm::matmul_transa_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+    }
+
+    /// `self @ other` through the naive pre-tiling loops (validation and
+    /// benchmark baseline; results are bit-identical to `matmul`).
+    pub fn matmul_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul_reference: dim mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        gemm::matmul_reference_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self @ other^T` through the naive pre-tiling loops.
+    pub fn matmul_transb_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transb_reference: dim mismatch"
+        );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        let n = other.rows;
-        let k_dim = self.cols;
-        let lhs = &self.data;
-        let rhs = &other.data;
-        par::for_each_row_chunk(&mut out.data, n, self.rows, |r0, chunk| {
-            for (local_r, out_row) in chunk.chunks_exact_mut(n).enumerate() {
-                let r = r0 + local_r;
-                let lhs_row = &lhs[r * k_dim..(r + 1) * k_dim];
-                for (c, o) in out_row.iter_mut().enumerate() {
-                    let rhs_row = &rhs[c * k_dim..(c + 1) * k_dim];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in lhs_row.iter().zip(rhs_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
-        });
+        gemm::matmul_transb_reference_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.rows,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self^T @ other` through the naive loops (equivalent to
+    /// `self.transpose().matmul(other)`).
+    pub fn matmul_transa_reference(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transa_reference: dim mismatch"
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        gemm::matmul_transa_reference_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         out
     }
 
@@ -362,21 +555,34 @@ impl Matrix {
     /// # Panics
     /// Panics if row counts differ.
     pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        self.concat_cols_into(other, &mut out);
+        out
+    }
+
+    /// `out = [self || other]`, fully overwriting `out`.
+    ///
+    /// # Panics
+    /// Panics if row counts or the output shape mismatch.
+    pub fn concat_cols_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "Matrix::concat_cols: row counts differ ({} vs {})",
             self.rows, other.rows
         );
         let cols = self.cols + other.cols;
-        let mut data = Vec::with_capacity(self.rows * cols);
+        assert_eq!(
+            out.shape(),
+            (self.rows, cols),
+            "Matrix::concat_cols_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.rows,
+            cols
+        );
         for r in 0..self.rows {
-            data.extend_from_slice(self.row(r));
-            data.extend_from_slice(other.row(r));
-        }
-        Matrix {
-            rows: self.rows,
-            cols,
-            data,
+            let dst = out.row_mut(r);
+            dst[..self.cols].copy_from_slice(self.row(r));
+            dst[self.cols..].copy_from_slice(other.row(r));
         }
     }
 
@@ -391,15 +597,33 @@ impl Matrix {
             left_cols,
             self.cols
         );
-        let right_cols = self.cols - left_cols;
         let mut left = Matrix::zeros(self.rows, left_cols);
-        let mut right = Matrix::zeros(self.rows, right_cols);
+        let mut right = Matrix::zeros(self.rows, self.cols - left_cols);
+        self.split_cols_into(&mut left, &mut right);
+        (left, right)
+    }
+
+    /// Splits into two column blocks, fully overwriting both outputs; the
+    /// split point is `left.cols()`.
+    ///
+    /// # Panics
+    /// Panics unless `left` and `right` jointly tile this matrix's shape.
+    pub fn split_cols_into(&self, left: &mut Matrix, right: &mut Matrix) {
+        assert!(
+            left.rows == self.rows
+                && right.rows == self.rows
+                && left.cols + right.cols == self.cols,
+            "Matrix::split_cols_into: outputs {:?}/{:?} do not tile {:?}",
+            left.shape(),
+            right.shape(),
+            self.shape()
+        );
+        let lc = left.cols;
         for r in 0..self.rows {
             let row = self.row(r);
-            left.row_mut(r).copy_from_slice(&row[..left_cols]);
-            right.row_mut(r).copy_from_slice(&row[left_cols..]);
+            left.row_mut(r).copy_from_slice(&row[..lc]);
+            right.row_mut(r).copy_from_slice(&row[lc..]);
         }
-        (left, right)
     }
 
     /// Gathers rows by index into a new matrix (embedding lookup).
@@ -408,27 +632,72 @@ impl Matrix {
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&self, indices: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (o, &idx) in indices.iter().enumerate() {
-            let idx = idx as usize;
-            assert!(
-                idx < self.rows,
-                "Matrix::gather_rows: index {idx} out of bounds for {} rows",
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Gathers rows by index, fully overwriting `out`.
+    ///
+    /// Index validation is hoisted out of the copy loop: every index is
+    /// checked once up front, then rows are copied without per-row bounds
+    /// checks. This lookup sits inside every embedding gather, so the
+    /// check must not be paid `indices.len()` times.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds or the output shape mismatches.
+    pub fn gather_rows_into(&self, indices: &[u32], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (indices.len(), self.cols),
+            "Matrix::gather_rows_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            indices.len(),
+            self.cols
+        );
+        if let Some(&bad) = indices.iter().find(|&&i| i as usize >= self.rows) {
+            panic!(
+                "Matrix::gather_rows: index {bad} out of bounds for {} rows",
                 self.rows
             );
-            out.row_mut(o).copy_from_slice(self.row(idx));
         }
-        out
+        let cols = self.cols;
+        if cols == 0 {
+            return;
+        }
+        for (dst, &idx) in out.data.chunks_exact_mut(cols).zip(indices) {
+            let at = idx as usize * cols;
+            // SAFETY: every index was validated above, so
+            // `at + cols <= rows * cols = self.data.len()`.
+            let src = unsafe { self.data.get_unchecked(at..at + cols) };
+            dst.copy_from_slice(src);
+        }
     }
 
     /// Column sums as a `1 x cols` row vector.
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.col_sums_into(&mut out);
+        out
+    }
+
+    /// Column sums into a `1 x cols` output buffer (fully overwritten).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `1 x cols`.
+    pub fn col_sums_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols),
+            "Matrix::col_sums_into: output shape {:?} is not 1x{}",
+            out.shape(),
+            self.cols
+        );
+        out.data.fill(0.0);
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Sum of all entries.

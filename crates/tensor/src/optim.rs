@@ -151,15 +151,23 @@ impl Optimizer for Adam {
             let v = self.v[idx].get_or_insert_with(|| Matrix::zeros(g.rows(), g.cols()));
             let (wd, b1, b2, eps, lr) =
                 (self.weight_decay, self.beta1, self.beta2, self.eps, self.lr);
-            for i in 0..g.len() {
-                let gi = g.as_slice()[i] * clip_scale + wd * theta.as_slice()[i];
-                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * gi;
-                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * gi * gi;
-                m.as_mut_slice()[i] = mi;
-                v.as_mut_slice()[i] = vi;
-                let m_hat = mi / bc1;
-                let v_hat = vi / bc2;
-                theta.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            // Zipped slice walk: same arithmetic in the same order as the
+            // indexed formulation, minus per-element bounds checks — this
+            // loop runs once per scalar parameter per step. Zip would
+            // silently truncate on a length mismatch, so assert it away.
+            debug_assert_eq!(theta.len(), g.len(), "gradient/parameter size mismatch");
+            let iter = theta
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(m.as_mut_slice().iter_mut().zip(v.as_mut_slice()));
+            for ((ti, &gi0), (mi, vi)) in iter {
+                let gi = gi0 * clip_scale + wd * *ti;
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *ti -= lr * m_hat / (v_hat.sqrt() + eps);
             }
         }
     }

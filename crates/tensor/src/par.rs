@@ -28,6 +28,13 @@ fn thread_count() -> usize {
     })
 }
 
+/// Threads worth spawning for `work` output elements: never more than the
+/// configured count, and never so many that a thread owns less than one
+/// [`PAR_THRESHOLD`] of work (the spawn would cost more than it saves).
+fn threads_for(work: usize) -> usize {
+    thread_count().min(work / PAR_THRESHOLD).max(1)
+}
+
 /// Splits `data` (a row-major buffer of `rows` rows of `row_len` values)
 /// into contiguous row chunks and invokes `f(first_row, chunk)` on each,
 /// in parallel when the buffer is large enough.
@@ -39,8 +46,8 @@ where
     F: Fn(usize, &mut [f32]) + Sync,
 {
     debug_assert_eq!(data.len(), row_len * rows);
-    let threads = thread_count();
-    if threads <= 1 || data.len() < PAR_THRESHOLD || rows < 2 {
+    let threads = threads_for(data.len());
+    if threads <= 1 || rows < 2 {
         f(0, data);
         return;
     }
@@ -49,6 +56,68 @@ where
         for (i, chunk) in data.chunks_mut(chunk_rows * row_len).enumerate() {
             let f = &f;
             scope.spawn(move || f(i * chunk_rows, chunk));
+        }
+    });
+}
+
+/// Computes `parts + 1` row boundaries over `rows` rows such that every
+/// span carries roughly the same total cost, where `cum_cost[r]` is the
+/// cost of rows `0..r` (an `indptr`-style prefix sum, length `rows + 1`).
+///
+/// Spans are half-open `bounds[i]..bounds[i + 1]` and may be empty when a
+/// single row dominates; callers skip empty spans.
+fn balanced_bounds(cum_cost: &[usize], parts: usize) -> Vec<usize> {
+    let rows = cum_cost.len() - 1;
+    let total = cum_cost[rows];
+    let mut bounds = Vec::with_capacity(parts + 1);
+    bounds.push(0);
+    for p in 1..parts {
+        let target = total * p / parts;
+        let r = cum_cost
+            .partition_point(|&c| c < target)
+            .clamp(*bounds.last().expect("nonempty"), rows);
+        bounds.push(r);
+    }
+    bounds.push(rows);
+    bounds
+}
+
+/// Like [`for_each_row_chunk`], but splits rows so each chunk carries a
+/// roughly equal share of `cum_cost` (a length `rows + 1` prefix sum of
+/// per-row cost, e.g. a CSR `indptr`) instead of an equal row count.
+///
+/// Sparse operators over skewed graphs (co-occurrence degrees follow a
+/// power law) would otherwise leave most threads idle while one crunches
+/// the hub rows. Chunk boundaries never change per-row results, so output
+/// remains bit-identical to the sequential execution.
+pub fn for_each_row_chunk_balanced<F>(
+    data: &mut [f32],
+    row_len: usize,
+    rows: usize,
+    cum_cost: &[usize],
+    f: F,
+) where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(data.len(), row_len * rows);
+    debug_assert_eq!(cum_cost.len(), rows + 1);
+    let work = cum_cost[rows].saturating_mul(row_len.max(1));
+    let threads = threads_for(work);
+    if threads <= 1 || rows < 2 {
+        f(0, data);
+        return;
+    }
+    let bounds = balanced_bounds(cum_cost, threads);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for span in bounds.windows(2) {
+            let (r0, r1) = (span[0], span[1]);
+            let (chunk, tail) = rest.split_at_mut((r1 - r0) * row_len);
+            rest = tail;
+            if r1 > r0 {
+                let f = &f;
+                scope.spawn(move || f(r0, chunk));
+            }
         }
     });
 }
@@ -77,6 +146,57 @@ mod tests {
         let row_len = 16;
         let mut data = vec![0.0f32; rows * row_len];
         for_each_row_chunk(&mut data, row_len, rows, |r0, chunk| {
+            for (i, row) in chunk.chunks_exact_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (r0 + i) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(data[r * row_len + c], r as f32, "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_bounds_equalise_cost() {
+        // One hub row with 90 of 100 nnz: equal-row splitting would give
+        // one thread 92% of the work; balanced bounds isolate the hub.
+        let per_row = [90usize, 2, 2, 2, 2, 2];
+        let mut cum = vec![0usize];
+        for w in per_row {
+            cum.push(cum.last().unwrap() + w);
+        }
+        let bounds = balanced_bounds(&cum, 2);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&6));
+        // The first span is just the hub row.
+        assert_eq!(bounds[1], 1);
+        // Monotone non-decreasing.
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn balanced_bounds_handle_zero_cost() {
+        let cum = vec![0usize; 5]; // 4 rows, all empty
+        let bounds = balanced_bounds(&cum, 3);
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&4));
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn balanced_chunking_covers_all_rows_exactly_once() {
+        let rows = 4_000;
+        let row_len = 32;
+        // Skewed cost: row r costs r % 17 (some rows free).
+        let mut cum = vec![0usize];
+        for r in 0..rows {
+            cum.push(cum.last().unwrap() + r % 17);
+        }
+        let mut data = vec![0.0f32; rows * row_len];
+        for_each_row_chunk_balanced(&mut data, row_len, rows, &cum, |r0, chunk| {
             for (i, row) in chunk.chunks_exact_mut(row_len).enumerate() {
                 for v in row.iter_mut() {
                     *v += (r0 + i) as f32;

@@ -1,0 +1,171 @@
+//! Step-scoped buffer recycling for the training hot loop.
+//!
+//! Every optimisation step builds a fresh [`crate::Tape`], and every tape
+//! op produces a node-value [`Matrix`]; the backward pass produces one
+//! gradient matrix per node edge. Without recycling that is thousands of
+//! heap allocations per step — all of sizes that repeat *exactly* from
+//! step to step, because the model's shapes are static.
+//!
+//! [`BufferPool`] exploits that: released buffers are binned by element
+//! count and handed back verbatim on the next [`acquire`](BufferPool::acquire)
+//! of the same size. After the first step of training has populated the
+//! bins, steady-state steps perform **zero** buffer allocations (the
+//! [`stats`](BufferPool::stats) miss counter stops moving — asserted by
+//! the trainer's tests).
+//!
+//! The pool uses interior mutability (`RefCell`) so the tape can hold a
+//! shared reference while ops record; it is intentionally `!Sync` — one
+//! pool belongs to one training loop. Worker threads inside kernels never
+//! touch it.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+
+/// Counters describing pool effectiveness; see [`BufferPool::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Acquires served from a recycled buffer.
+    pub hits: u64,
+    /// Acquires that had to allocate fresh.
+    pub misses: u64,
+    /// Buffers currently parked in the pool.
+    pub free_buffers: usize,
+    /// Total `f32` elements currently parked in the pool.
+    pub free_elements: usize,
+}
+
+/// A size-binned recycler for [`Matrix`] backing buffers.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    /// Free buffers keyed by element count; every stored vec has exactly
+    /// `len` elements, so acquire is a plain pop with no resize.
+    bins: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a `rows x cols` matrix out of the pool, or allocates a zeroed
+    /// one on a miss.
+    ///
+    /// **The contents of a recycled buffer are stale** (whatever the
+    /// previous owner left behind); callers must fully overwrite it — the
+    /// `*_into` kernels on [`Matrix`] and [`crate::CsrMatrix`] all do.
+    pub fn acquire(&self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        if len > 0 {
+            if let Some(buf) = self.bins.borrow_mut().get_mut(&len).and_then(Vec::pop) {
+                self.hits.set(self.hits.get() + 1);
+                return Matrix::from_vec(rows, cols, buf);
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        Matrix::zeros(rows, cols)
+    }
+
+    /// Returns a matrix's backing buffer to the pool for reuse.
+    pub fn release(&self, m: Matrix) {
+        let len = m.len();
+        if len == 0 {
+            return;
+        }
+        self.bins
+            .borrow_mut()
+            .entry(len)
+            .or_default()
+            .push(m.into_vec());
+    }
+
+    /// Current hit/miss counters and parked-buffer totals.
+    pub fn stats(&self) -> PoolStats {
+        let bins = self.bins.borrow();
+        PoolStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            free_buffers: bins.values().map(Vec::len).sum(),
+            free_elements: bins
+                .values()
+                .map(|b| b.iter().map(Vec::len).sum::<usize>())
+                .sum(),
+        }
+    }
+
+    /// Drops every parked buffer (counters are kept).
+    pub fn clear(&self) {
+        self.bins.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_miss_then_hit() {
+        let pool = BufferPool::new();
+        let a = pool.acquire(3, 4);
+        assert_eq!(a.shape(), (3, 4));
+        assert!(a.as_slice().iter().all(|&v| v == 0.0), "miss is zeroed");
+        pool.release(a);
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(stats.free_buffers, 1);
+        assert_eq!(stats.free_elements, 12);
+
+        // Same element count, different shape: still a hit (contents stale).
+        let b = pool.acquire(4, 3);
+        assert_eq!(b.shape(), (4, 3));
+        assert_eq!(pool.stats().hits, 1);
+        assert_eq!(pool.stats().free_buffers, 0);
+    }
+
+    #[test]
+    fn different_sizes_use_different_bins() {
+        let pool = BufferPool::new();
+        pool.release(Matrix::zeros(2, 2));
+        let m = pool.acquire(3, 3);
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(pool.stats().misses, 1, "4-element bin cannot serve 9");
+        assert_eq!(pool.stats().free_buffers, 1);
+    }
+
+    #[test]
+    fn empty_matrices_bypass_the_pool() {
+        let pool = BufferPool::new();
+        pool.release(Matrix::zeros(0, 5));
+        assert_eq!(pool.stats().free_buffers, 0);
+        let m = pool.acquire(0, 7);
+        assert_eq!(m.shape(), (0, 7));
+    }
+
+    #[test]
+    fn clear_drops_parked_buffers() {
+        let pool = BufferPool::new();
+        pool.release(Matrix::zeros(2, 2));
+        pool.release(Matrix::zeros(2, 2));
+        assert_eq!(pool.stats().free_buffers, 2);
+        pool.clear();
+        assert_eq!(pool.stats().free_buffers, 0);
+    }
+
+    #[test]
+    fn steady_state_stops_allocating() {
+        let pool = BufferPool::new();
+        for _ in 0..10 {
+            let a = pool.acquire(8, 8);
+            let b = pool.acquire(8, 4);
+            pool.release(a);
+            pool.release(b);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 2, "only the first round allocates");
+        assert_eq!(stats.hits, 18);
+    }
+}

@@ -201,12 +201,27 @@ impl CsrMatrix {
 
     /// Sparse-dense product `self @ dense`.
     ///
-    /// Parallelised over output-row chunks; each output row accumulates
-    /// sequentially, so results are deterministic.
+    /// Parallelised over output-row chunks balanced by *stored-entry
+    /// count*, not row count: the co-occurrence graphs are heavily skewed
+    /// (hub symptoms/herbs own most edges), so equal-row chunks would
+    /// leave most threads idle. Each output row still accumulates
+    /// sequentially, so results are deterministic and independent of the
+    /// thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != dense.rows`.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.spmm_into(dense, &mut out);
+        out
+    }
+
+    /// [`spmm`](Self::spmm) into a caller-provided output buffer (fully
+    /// overwritten), for allocation-free hot loops.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -216,22 +231,35 @@ impl CsrMatrix {
             dense.rows(),
             dense.cols()
         );
+        assert_eq!(
+            out.shape(),
+            (self.rows, dense.cols()),
+            "CsrMatrix::spmm_into: output shape {:?} does not match {}x{}",
+            out.shape(),
+            self.rows,
+            dense.cols()
+        );
         let n = dense.cols();
-        let mut out = Matrix::zeros(self.rows, n);
         let dense_data = dense.as_slice();
-        par::for_each_row_chunk(out.as_mut_slice(), n, self.rows, |r0, chunk| {
-            for (local_r, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
-                let r = r0 + local_r;
-                let (cols, vals) = self.row(r);
-                for (&c, &a) in cols.iter().zip(vals) {
-                    let dense_row = &dense_data[c as usize * n..(c as usize + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(dense_row) {
-                        *o += a * b;
+        par::for_each_row_chunk_balanced(
+            out.as_mut_slice(),
+            n,
+            self.rows,
+            &self.indptr,
+            |r0, chunk| {
+                for (local_r, out_row) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+                    out_row.fill(0.0);
+                    let r = r0 + local_r;
+                    let (cols, vals) = self.row(r);
+                    for (&c, &a) in cols.iter().zip(vals) {
+                        let dense_row = &dense_data[c as usize * n..(c as usize + 1) * n];
+                        for (o, &b) in out_row.iter_mut().zip(dense_row) {
+                            *o += a * b;
+                        }
                     }
                 }
-            }
-        });
-        out
+            },
+        );
     }
 
     /// Densifies into a [`Matrix`] (test and debugging helper).

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use rand::Rng;
 
 use crate::matrix::Matrix;
+use crate::pool::BufferPool;
 use crate::sparse::SharedCsr;
 
 /// Handle to a trainable parameter inside a [`ParamStore`].
@@ -160,10 +161,11 @@ impl Gradients {
         }
     }
 
-    fn accumulate(&mut self, id: ParamId, delta: &Matrix) {
-        match &mut self.grads[id.0] {
-            Some(g) => g.add_assign(delta),
-            slot @ None => *slot = Some(delta.clone()),
+    /// Returns every gradient buffer to `pool` (end-of-step recycling,
+    /// after the optimizer has consumed the gradients).
+    pub fn recycle_into(self, pool: &BufferPool) {
+        for m in self.grads.into_iter().flatten() {
+            pool.release(m);
         }
     }
 }
@@ -212,8 +214,15 @@ struct Node {
 }
 
 /// A single forward computation recorded for reverse-mode differentiation.
+///
+/// A tape built with [`Tape::with_pool`] draws every node-value and
+/// gradient buffer from a [`BufferPool`] and returns them on drop, so a
+/// training loop that keeps one pool across steps reaches a steady state
+/// with zero heap allocation per step. Pooling never changes results:
+/// recycled buffers are fully overwritten by the `*_into` kernels.
 pub struct Tape<'s> {
     store: &'s ParamStore,
+    pool: Option<&'s BufferPool>,
     nodes: Vec<Node>,
 }
 
@@ -222,7 +231,41 @@ impl<'s> Tape<'s> {
     pub fn new(store: &'s ParamStore) -> Self {
         Self {
             store,
+            pool: None,
             nodes: Vec::with_capacity(64),
+        }
+    }
+
+    /// Starts an empty tape whose buffers are drawn from (and returned
+    /// to) `pool`. Results are bit-identical to an unpooled tape.
+    pub fn with_pool(store: &'s ParamStore, pool: &'s BufferPool) -> Self {
+        Self {
+            store,
+            pool: Some(pool),
+            nodes: Vec::with_capacity(64),
+        }
+    }
+
+    /// A `rows x cols` scratch matrix: recycled when pooled (contents
+    /// stale — callers fully overwrite), freshly zeroed otherwise.
+    fn alloc(&self, rows: usize, cols: usize) -> Matrix {
+        match self.pool {
+            Some(pool) => pool.acquire(rows, cols),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// An owned copy of `src` through the pool.
+    fn alloc_copy(&self, src: &Matrix) -> Matrix {
+        let mut m = self.alloc(src.rows(), src.cols());
+        m.copy_from(src);
+        m
+    }
+
+    /// Hands a finished scratch matrix back to the pool (no-op unpooled).
+    fn release(&self, m: Matrix) {
+        if let Some(pool) = self.pool {
+            pool.release(m);
         }
     }
 
@@ -249,7 +292,7 @@ impl<'s> Tape<'s> {
 
     /// Brings a parameter onto the tape as a leaf.
     pub fn param(&mut self, id: ParamId) -> Var {
-        let value = self.store.get(id).clone();
+        let value = self.alloc_copy(self.store.get(id));
         self.push(Op::Param(id), value)
     }
 
@@ -260,25 +303,33 @@ impl<'s> Tape<'s> {
 
     /// `a @ b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let (am, bm) = (self.value(a), self.value(b));
+        let mut value = self.alloc(am.rows(), bm.cols());
+        am.matmul_into(bm, &mut value);
         self.push(Op::MatMul(a, b), value)
     }
 
     /// `a @ b^T` — the prediction layer kernel of Eq. 13.
     pub fn matmul_transb(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul_transb(self.value(b));
+        let (am, bm) = (self.value(a), self.value(b));
+        let mut value = self.alloc(am.rows(), bm.rows());
+        am.matmul_transb_into(bm, &mut value);
         self.push(Op::MatMulTransB(a, b), value)
     }
 
     /// Element-wise `a + b` (the fusion step of Eq. 11).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
+        let (am, bm) = (self.value(a), self.value(b));
+        let mut value = self.alloc(am.rows(), am.cols());
+        am.add_into(bm, &mut value);
         self.push(Op::Add(a, b), value)
     }
 
     /// Element-wise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).sub(self.value(b));
+        let (am, bm) = (self.value(a), self.value(b));
+        let mut value = self.alloc(am.rows(), am.cols());
+        am.sub_into(bm, &mut value);
         self.push(Op::Sub(a, b), value)
     }
 
@@ -293,7 +344,7 @@ impl<'s> Tape<'s> {
             xm.cols(),
             bm.cols()
         );
-        let mut value = xm.clone();
+        let mut value = self.alloc_copy(xm);
         for r in 0..value.rows() {
             for (v, &b) in value.row_mut(r).iter_mut().zip(bm.row(0)) {
                 *v += b;
@@ -304,20 +355,26 @@ impl<'s> Tape<'s> {
 
     /// `alpha * x`.
     pub fn scale(&mut self, x: Var, alpha: f32) -> Var {
-        let value = self.value(x).scale(alpha);
+        let xm = self.value(x);
+        let mut value = self.alloc(xm.rows(), xm.cols());
+        xm.scale_into(alpha, &mut value);
         self.push(Op::Scale(x, alpha), value)
     }
 
     /// Element-wise affine map `mul * x + add` (e.g. `1 - x` for attention
     /// complements).
     pub fn affine(&mut self, x: Var, mul: f32, add: f32) -> Var {
-        let value = self.value(x).map(|v| mul * v + add);
+        let xm = self.value(x);
+        let mut value = self.alloc(xm.rows(), xm.cols());
+        xm.map_into(&mut value, |v| mul * v + add);
         self.push(Op::Affine(x, mul), value)
     }
 
     /// Element-wise product (NGCF's affinity term).
     pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).hadamard(self.value(b));
+        let (am, bm) = (self.value(a), self.value(b));
+        let mut value = self.alloc(am.rows(), am.cols());
+        am.hadamard_into(bm, &mut value);
         self.push(Op::Hadamard(a, b), value)
     }
 
@@ -335,7 +392,7 @@ impl<'s> Tape<'s> {
             xm.rows(),
             sm.rows()
         );
-        let mut value = xm.clone();
+        let mut value = self.alloc_copy(xm);
         for r in 0..value.rows() {
             let alpha = sm.get(r, 0);
             for v in value.row_mut(r) {
@@ -345,33 +402,45 @@ impl<'s> Tape<'s> {
         self.push(Op::ScaleRows(x, s), value)
     }
 
+    /// Records a unary element-wise op whose forward value is `f(x)`.
+    fn unary_map(&mut self, x: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let xm = self.value(x);
+        let mut value = self.alloc(xm.rows(), xm.cols());
+        xm.map_into(&mut value, f);
+        self.push(op, value)
+    }
+
     /// Element-wise `tanh` — the paper's activation throughout Bipar-GCN/SGE.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(f32::tanh);
-        self.push(Op::Tanh(x), value)
+        self.unary_map(x, Op::Tanh(x), f32::tanh)
     }
 
     /// Element-wise ReLU (Eq. 12's syndrome-induction MLP).
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| v.max(0.0));
-        self.push(Op::Relu(x), value)
+        self.unary_map(x, Op::Relu(x), |v| v.max(0.0))
     }
 
     /// Element-wise LeakyReLU (NGCF's activation).
     pub fn leaky_relu(&mut self, x: Var, slope: f32) -> Var {
-        let value = self.value(x).map(|v| if v > 0.0 { v } else { slope * v });
-        self.push(Op::LeakyRelu(x, slope), value)
+        self.unary_map(x, Op::LeakyRelu(x, slope), move |v| {
+            if v > 0.0 {
+                v
+            } else {
+                slope * v
+            }
+        })
     }
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
-        self.push(Op::Sigmoid(x), value)
+        self.unary_map(x, Op::Sigmoid(x), |v| 1.0 / (1.0 + (-v).exp()))
     }
 
     /// `[a || b]` column concatenation — the GraphSAGE aggregator input.
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).concat_cols(self.value(b));
+        let (am, bm) = (self.value(a), self.value(b));
+        let mut value = self.alloc(am.rows(), am.cols() + bm.cols());
+        am.concat_cols_into(bm, &mut value);
         self.push(Op::ConcatCols(a, b), value)
     }
 
@@ -383,13 +452,17 @@ impl<'s> Tape<'s> {
     /// row-normalised symptom-set incidence matrix it is the average pooling
     /// of Eq. 12.
     pub fn spmm(&mut self, a: &SharedCsr, x: Var) -> Var {
-        let value = a.forward().spmm(self.value(x));
+        let xm = self.value(x);
+        let mut value = self.alloc(a.forward().rows(), xm.cols());
+        a.forward().spmm_into(xm, &mut value);
         self.push(Op::SpMM(a.clone(), x), value)
     }
 
     /// Gathers rows of `x` by index (embedding lookup).
     pub fn gather_rows(&mut self, x: Var, indices: Arc<Vec<u32>>) -> Var {
-        let value = self.value(x).gather_rows(&indices);
+        let xm = self.value(x);
+        let mut value = self.alloc(indices.len(), xm.cols());
+        xm.gather_rows_into(&indices, &mut value);
         self.push(Op::GatherRows(x, indices), value)
     }
 
@@ -409,19 +482,20 @@ impl<'s> Tape<'s> {
         let keep = 1.0 - rate;
         let scale = 1.0 / keep;
         let (rows, cols) = self.value(x).shape();
-        let mask = Matrix::from_fn(rows, cols, |_, _| {
-            if rng.gen::<f32>() < keep {
-                scale
-            } else {
-                0.0
-            }
-        });
+        let mut mask = self.alloc(rows, cols);
+        // Row-major fill, same RNG draw order as the previous
+        // `Matrix::from_fn` construction.
+        for v in mask.as_mut_slice() {
+            *v = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+        }
         self.dropout_with_mask(x, Arc::new(mask))
     }
 
     /// Dropout with an explicit mask (deterministic testing hook).
     pub fn dropout_with_mask(&mut self, x: Var, mask: Arc<Matrix>) -> Var {
-        let value = self.value(x).hadamard(&mask);
+        let xm = self.value(x);
+        let mut value = self.alloc(xm.rows(), xm.cols());
+        xm.hadamard_into(&mask, &mut value);
         self.push(Op::Dropout(x, mask), value)
     }
 
@@ -455,7 +529,7 @@ impl<'s> Tape<'s> {
                 acc += w as f64 * d * d;
             }
         }
-        let value = Matrix::from_vec(1, 1, vec![(acc / batch as f64) as f32]);
+        let value = self.scalar((acc / batch as f64) as f32);
         self.push(
             Op::WeightedMse {
                 pred,
@@ -464,6 +538,13 @@ impl<'s> Tape<'s> {
             },
             value,
         )
+    }
+
+    /// A pooled `1 x 1` node value.
+    fn scalar(&self, v: f32) -> Matrix {
+        let mut m = self.alloc(1, 1);
+        m.as_mut_slice()[0] = v;
+        m
     }
 
     /// Pair-wise BPR loss (Table VIII ablation):
@@ -484,17 +565,34 @@ impl<'s> Tape<'s> {
             };
             acc += softplus as f64;
         }
-        let value = Matrix::from_vec(1, 1, vec![(acc / pairs.len() as f64) as f32]);
+        let value = self.scalar((acc / pairs.len() as f64) as f32);
         self.push(Op::Bpr { pred, pairs }, value)
     }
 
     /// `Σ x²` as a scalar node (explicit L2 terms).
     pub fn sum_squares(&mut self, x: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum_squares()]);
+        let value = self.scalar(self.value(x).sum_squares());
         self.push(Op::SumSquares(x), value)
     }
 
+    /// Accumulates `delta` into a node's gradient slot, recycling the
+    /// buffer when the slot was already populated.
+    fn acc(&self, node_grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
+        match &mut node_grads[var.0] {
+            Some(g) => {
+                g.add_assign(&delta);
+                self.release(delta);
+            }
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
     /// Runs reverse-mode differentiation from a scalar loss node.
+    ///
+    /// Every incoming node gradient `g` is *owned* here: each match arm
+    /// either forwards it (possibly modified in place, which preserves the
+    /// exact per-element arithmetic of the out-of-place formulation) or
+    /// releases it back to the pool.
     ///
     /// # Panics
     /// Panics if `loss` is not `1x1`.
@@ -505,59 +603,79 @@ impl<'s> Tape<'s> {
             "backward: loss must be a 1x1 scalar node"
         );
         let mut node_grads: Vec<Option<Matrix>> = (0..=loss.0).map(|_| None).collect();
-        node_grads[loss.0] = Some(Matrix::filled(1, 1, 1.0));
+        node_grads[loss.0] = Some(self.scalar(1.0));
         let mut out = Gradients::new(self.store.len());
 
         for idx in (0..=loss.0).rev() {
-            let Some(g) = node_grads[idx].take() else {
+            let Some(mut g) = node_grads[idx].take() else {
                 continue;
             };
             match &self.nodes[idx].op {
-                Op::Param(id) => out.accumulate(*id, &g),
-                Op::Input => {}
+                Op::Param(id) => match &mut out.grads[id.0] {
+                    Some(total) => {
+                        total.add_assign(&g);
+                        self.release(g);
+                    }
+                    slot @ None => *slot = Some(g),
+                },
+                Op::Input => self.release(g),
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_transb(self.value(*b));
-                    let gb = self.value(*a).transpose().matmul(&g);
-                    acc(&mut node_grads, *a, ga);
-                    acc(&mut node_grads, *b, gb);
+                    let (am, bm) = (self.value(*a), self.value(*b));
+                    let mut ga = self.alloc(g.rows(), bm.rows());
+                    g.matmul_transb_into(bm, &mut ga);
+                    let mut gb = self.alloc(am.cols(), g.cols());
+                    am.matmul_transa_into(&g, &mut gb);
+                    self.acc(&mut node_grads, *a, ga);
+                    self.acc(&mut node_grads, *b, gb);
+                    self.release(g);
                 }
                 Op::MatMulTransB(a, b) => {
-                    let ga = g.matmul(self.value(*b));
-                    let gb = g.transpose().matmul(self.value(*a));
-                    acc(&mut node_grads, *a, ga);
-                    acc(&mut node_grads, *b, gb);
+                    let (am, bm) = (self.value(*a), self.value(*b));
+                    let mut ga = self.alloc(g.rows(), bm.cols());
+                    g.matmul_into(bm, &mut ga);
+                    let mut gb = self.alloc(g.cols(), am.cols());
+                    g.matmul_transa_into(am, &mut gb);
+                    self.acc(&mut node_grads, *a, ga);
+                    self.acc(&mut node_grads, *b, gb);
+                    self.release(g);
                 }
                 Op::Add(a, b) => {
-                    acc(&mut node_grads, *a, g.clone());
-                    acc(&mut node_grads, *b, g);
+                    let ga = self.alloc_copy(&g);
+                    self.acc(&mut node_grads, *a, ga);
+                    self.acc(&mut node_grads, *b, g);
                 }
                 Op::Sub(a, b) => {
-                    acc(&mut node_grads, *a, g.clone());
-                    acc(&mut node_grads, *b, g.scale(-1.0));
+                    let ga = self.alloc_copy(&g);
+                    self.acc(&mut node_grads, *a, ga);
+                    g.scale_assign(-1.0);
+                    self.acc(&mut node_grads, *b, g);
                 }
                 Op::AddBias(x, bias) => {
-                    acc(&mut node_grads, *bias, g.col_sums());
-                    acc(&mut node_grads, *x, g);
+                    let mut gbias = self.alloc(1, g.cols());
+                    g.col_sums_into(&mut gbias);
+                    self.acc(&mut node_grads, *bias, gbias);
+                    self.acc(&mut node_grads, *x, g);
                 }
-                Op::Scale(x, alpha) => acc(&mut node_grads, *x, g.scale(*alpha)),
-                Op::Affine(x, mul) => acc(&mut node_grads, *x, g.scale(*mul)),
+                Op::Scale(x, alpha) => {
+                    g.scale_assign(*alpha);
+                    self.acc(&mut node_grads, *x, g);
+                }
+                Op::Affine(x, mul) => {
+                    g.scale_assign(*mul);
+                    self.acc(&mut node_grads, *x, g);
+                }
                 Op::Hadamard(a, b) => {
-                    let ga = g.hadamard(self.value(*b));
-                    let gb = g.hadamard(self.value(*a));
-                    acc(&mut node_grads, *a, ga);
-                    acc(&mut node_grads, *b, gb);
+                    let (am, bm) = (self.value(*a), self.value(*b));
+                    let mut ga = self.alloc(g.rows(), g.cols());
+                    g.hadamard_into(bm, &mut ga);
+                    g.hadamard_assign(am);
+                    self.acc(&mut node_grads, *a, ga);
+                    self.acc(&mut node_grads, *b, g);
                 }
                 Op::ScaleRows(x, s) => {
                     let xm = self.value(*x);
                     let sm = self.value(*s);
-                    let mut gx = g.clone();
-                    for r in 0..gx.rows() {
-                        let alpha = sm.get(r, 0);
-                        for v in gx.row_mut(r) {
-                            *v *= alpha;
-                        }
-                    }
-                    let mut gs = Matrix::zeros(sm.rows(), 1);
+                    let mut gs = self.alloc(sm.rows(), 1);
                     for r in 0..g.rows() {
                         let dot: f32 = g
                             .row(r)
@@ -567,71 +685,74 @@ impl<'s> Tape<'s> {
                             .sum();
                         gs.set(r, 0, dot);
                     }
-                    acc(&mut node_grads, *x, gx);
-                    acc(&mut node_grads, *s, gs);
+                    for r in 0..g.rows() {
+                        let alpha = sm.get(r, 0);
+                        for v in g.row_mut(r) {
+                            *v *= alpha;
+                        }
+                    }
+                    self.acc(&mut node_grads, *x, g);
+                    self.acc(&mut node_grads, *s, gs);
                 }
                 Op::Tanh(x) => {
                     let y = &self.nodes[idx].value;
-                    let gx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
-                        let yv = y.get(r, c);
-                        g.get(r, c) * (1.0 - yv * yv)
-                    });
-                    acc(&mut node_grads, *x, gx);
+                    for (gv, &yv) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *gv *= 1.0 - yv * yv;
+                    }
+                    self.acc(&mut node_grads, *x, g);
                 }
                 Op::Relu(x) => {
                     let y = &self.nodes[idx].value;
-                    let gx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
-                        if y.get(r, c) > 0.0 {
-                            g.get(r, c)
-                        } else {
-                            0.0
-                        }
-                    });
-                    acc(&mut node_grads, *x, gx);
+                    for (gv, &yv) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *gv = if yv > 0.0 { *gv } else { 0.0 };
+                    }
+                    self.acc(&mut node_grads, *x, g);
                 }
                 Op::LeakyRelu(x, slope) => {
                     let xin = self.value(*x);
-                    let gx = Matrix::from_fn(xin.rows(), xin.cols(), |r, c| {
-                        if xin.get(r, c) > 0.0 {
-                            g.get(r, c)
-                        } else {
-                            slope * g.get(r, c)
-                        }
-                    });
-                    acc(&mut node_grads, *x, gx);
+                    for (gv, &xv) in g.as_mut_slice().iter_mut().zip(xin.as_slice()) {
+                        *gv = if xv > 0.0 { *gv } else { slope * *gv };
+                    }
+                    self.acc(&mut node_grads, *x, g);
                 }
                 Op::Sigmoid(x) => {
                     let y = &self.nodes[idx].value;
-                    let gx = Matrix::from_fn(y.rows(), y.cols(), |r, c| {
-                        let yv = y.get(r, c);
-                        g.get(r, c) * yv * (1.0 - yv)
-                    });
-                    acc(&mut node_grads, *x, gx);
+                    for (gv, &yv) in g.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                        *gv = *gv * yv * (1.0 - yv);
+                    }
+                    self.acc(&mut node_grads, *x, g);
                 }
                 Op::ConcatCols(a, b) => {
                     let left_cols = self.value(*a).cols();
-                    let (ga, gb) = g.split_cols(left_cols);
-                    acc(&mut node_grads, *a, ga);
-                    acc(&mut node_grads, *b, gb);
+                    let mut ga = self.alloc(g.rows(), left_cols);
+                    let mut gb = self.alloc(g.rows(), g.cols() - left_cols);
+                    g.split_cols_into(&mut ga, &mut gb);
+                    self.acc(&mut node_grads, *a, ga);
+                    self.acc(&mut node_grads, *b, gb);
+                    self.release(g);
                 }
                 Op::SpMM(shared, x) => {
-                    let gx = shared.backward().spmm(&g);
-                    acc(&mut node_grads, *x, gx);
+                    let mut gx = self.alloc(shared.backward().rows(), g.cols());
+                    shared.backward().spmm_into(&g, &mut gx);
+                    self.acc(&mut node_grads, *x, gx);
+                    self.release(g);
                 }
                 Op::GatherRows(x, indices) => {
                     let xm = self.value(*x);
-                    let mut gx = Matrix::zeros(xm.rows(), xm.cols());
+                    let mut gx = self.alloc(xm.rows(), xm.cols());
+                    gx.as_mut_slice().fill(0.0);
                     for (o, &src) in indices.iter().enumerate() {
                         let src = src as usize;
-                        let grow = g.row(o).to_vec();
-                        for (v, gv) in gx.row_mut(src).iter_mut().zip(grow) {
+                        for (v, &gv) in gx.row_mut(src).iter_mut().zip(g.row(o)) {
                             *v += gv;
                         }
                     }
-                    acc(&mut node_grads, *x, gx);
+                    self.acc(&mut node_grads, *x, gx);
+                    self.release(g);
                 }
                 Op::Dropout(x, mask) => {
-                    acc(&mut node_grads, *x, g.hadamard(mask));
+                    g.hadamard_assign(mask);
+                    self.acc(&mut node_grads, *x, g);
                 }
                 Op::WeightedMse {
                     pred,
@@ -641,16 +762,22 @@ impl<'s> Tape<'s> {
                     let p = self.value(*pred);
                     let gscalar = g.get(0, 0);
                     let batch = p.rows().max(1) as f32;
-                    let gp = Matrix::from_fn(p.rows(), p.cols(), |r, c| {
-                        gscalar * 2.0 * weights[c] * (p.get(r, c) - target.get(r, c)) / batch
-                    });
-                    acc(&mut node_grads, *pred, gp);
+                    let mut gp = self.alloc(p.rows(), p.cols());
+                    for r in 0..p.rows() {
+                        let (ps, ts) = (p.row(r), target.row(r));
+                        for (c, o) in gp.row_mut(r).iter_mut().enumerate() {
+                            *o = gscalar * 2.0 * weights[c] * (ps[c] - ts[c]) / batch;
+                        }
+                    }
+                    self.acc(&mut node_grads, *pred, gp);
+                    self.release(g);
                 }
                 Op::Bpr { pred, pairs } => {
                     let p = self.value(*pred);
                     let gscalar = g.get(0, 0);
                     let inv = gscalar / pairs.len() as f32;
-                    let mut gp = Matrix::zeros(p.rows(), p.cols());
+                    let mut gp = self.alloc(p.rows(), p.cols());
+                    gp.as_mut_slice().fill(0.0);
                     for &(b, pos, neg) in pairs.iter() {
                         let (b, pos, neg) = (b as usize, pos as usize, neg as usize);
                         let x = p.get(b, pos) - p.get(b, neg);
@@ -659,12 +786,16 @@ impl<'s> Tape<'s> {
                         gp.set(b, pos, gp.get(b, pos) + d);
                         gp.set(b, neg, gp.get(b, neg) - d);
                     }
-                    acc(&mut node_grads, *pred, gp);
+                    self.acc(&mut node_grads, *pred, gp);
+                    self.release(g);
                 }
                 Op::SumSquares(x) => {
                     let gscalar = g.get(0, 0);
-                    let gx = self.value(*x).scale(2.0 * gscalar);
-                    acc(&mut node_grads, *x, gx);
+                    let xm = self.value(*x);
+                    let mut gx = self.alloc(xm.rows(), xm.cols());
+                    xm.scale_into(2.0 * gscalar, &mut gx);
+                    self.acc(&mut node_grads, *x, gx);
+                    self.release(g);
                 }
             }
         }
@@ -672,10 +803,29 @@ impl<'s> Tape<'s> {
     }
 }
 
-fn acc(node_grads: &mut [Option<Matrix>], var: Var, delta: Matrix) {
-    match &mut node_grads[var.0] {
-        Some(g) => g.add_assign(&delta),
-        slot @ None => *slot = Some(delta),
+impl Tape<'_> {
+    /// Consumes the tape and returns every node-value buffer (and any
+    /// dropout-mask buffer) to the pool. No-op for unpooled tapes.
+    ///
+    /// This is deliberately an explicit call rather than a `Drop` impl: a
+    /// `Drop` would extend the tape's borrow of the [`ParamStore`] to the
+    /// end of scope, breaking the ubiquitous
+    /// `let tape = Tape::new(&store); …; opt.step(&mut store, …)` pattern.
+    /// Forgetting to call it only costs pool misses, never correctness.
+    pub fn recycle(mut self) {
+        let Some(pool) = self.pool else {
+            return;
+        };
+        for node in self.nodes.drain(..) {
+            pool.release(node.value);
+            // Dropout masks are Arc-shared with no other owner by the time
+            // the tape dies; reclaim their buffers too.
+            if let Op::Dropout(_, mask) = node.op {
+                if let Ok(m) = Arc::try_unwrap(mask) {
+                    pool.release(m);
+                }
+            }
+        }
     }
 }
 

@@ -1,0 +1,160 @@
+//! Property tests for the training hot path: the tiled GEMM kernels must
+//! match the naive reference kernels **bit for bit** (not approximately —
+//! the per-element accumulation order is part of the contract), and a
+//! buffer-pooled tape must produce bit-identical gradients to an unpooled
+//! one, including when its recycled buffers are full of stale garbage.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use smgcn_tensor::init::seeded_rng;
+use smgcn_tensor::{BufferPool, CsrMatrix, Matrix, ParamStore, SharedCsr, Tape};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::Rng;
+    let mut rng = seeded_rng(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        // Sprinkle exact zeros so the reference kernels' zero-skip path is
+        // exercised too.
+        if rng.gen_range(0.0f32..1.0) < 0.15 {
+            0.0
+        } else {
+            rng.gen_range(-3.0f32..3.0)
+        }
+    })
+}
+
+fn assert_bits_equal(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: bit mismatch at flat index {i}: {x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    /// Tiled `A @ B` == naive `A @ B`, including 1xN / Nx1 / odd shapes.
+    #[test]
+    fn tiled_matmul_is_bit_identical(m in 1usize..34, k in 1usize..34, n in 1usize..34, seed in 0u64..500) {
+        // The drawn triple plus its degenerate variants (1 in each slot)
+        // covers row vectors, column vectors and non-multiple-of-tile dims.
+        for (m, k, n) in [(m, k, n), (1, k, n), (m, 1, n), (m, k, 1)] {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(k, n, seed ^ 0x9e37);
+            assert_bits_equal(
+                &a.matmul(&b),
+                &a.matmul_reference(&b),
+                &format!("matmul {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    /// Tiled `A @ B^T` == naive `A @ B^T`.
+    #[test]
+    fn tiled_transb_is_bit_identical(m in 1usize..34, k in 1usize..34, n in 1usize..34, seed in 0u64..500) {
+        for (m, k, n) in [(m, k, n), (1, k, n), (m, 1, n), (m, k, 1)] {
+            let a = random_matrix(m, k, seed);
+            let b = random_matrix(n, k, seed ^ 0x51f1);
+            assert_bits_equal(
+                &a.matmul_transb(&b),
+                &a.matmul_transb_reference(&b),
+                &format!("transb {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    /// Tiled `A^T @ B` == naive `A^T @ B` == transpose-then-matmul.
+    #[test]
+    fn tiled_transa_is_bit_identical(m in 1usize..34, k in 1usize..34, n in 1usize..34, seed in 0u64..500) {
+        for (m, k, n) in [(m, k, n), (1, k, n), (m, 1, n), (m, k, 1)] {
+            let a = random_matrix(m, k, seed);
+            let g = random_matrix(m, n, seed ^ 0x2bad);
+            let tiled = a.matmul_transa(&g);
+            assert_bits_equal(
+                &tiled,
+                &a.matmul_transa_reference(&g),
+                &format!("transa {m}x{k}x{n}"),
+            );
+            assert_bits_equal(
+                &tiled,
+                &a.transpose().matmul(&g),
+                &format!("transa-vs-transpose {m}x{k}x{n}"),
+            );
+        }
+    }
+
+    /// A pooled tape (including one whose pool is pre-poisoned with stale
+    /// buffers) computes bit-identical forward values and gradients to an
+    /// unpooled tape over a representative op graph.
+    #[test]
+    fn pooled_tape_matches_unpooled_bitwise(rows in 2usize..9, dim in 2usize..9, seed in 0u64..200) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", random_matrix(dim, dim, seed));
+        let e = store.add("e", random_matrix(rows, dim, seed ^ 7));
+        let bias = store.add("b", random_matrix(1, dim, seed ^ 13));
+        let adj = {
+            use rand::Rng;
+            let mut rng = seeded_rng(seed ^ 99);
+            let triplets: Vec<(u32, u32, f32)> = (0..rows * 2)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..rows as u32),
+                        rng.gen_range(0..rows as u32),
+                        1.0,
+                    )
+                })
+                .collect();
+            SharedCsr::new(CsrMatrix::from_triplets(rows, rows, &triplets).row_normalized())
+        };
+        let target = Arc::new(random_matrix(rows, dim, seed ^ 21));
+        let weights = Arc::new(vec![1.5f32; dim]);
+
+        let run = |tape: &mut Tape<'_>| {
+            let ev = tape.param(e);
+            let wv = tape.param(w);
+            let bv = tape.param(bias);
+            let prop = tape.spmm(&adj, ev);
+            let lin = tape.matmul(prop, wv);
+            let lin = tape.add_bias(lin, bv);
+            let act = tape.tanh(lin);
+            let cat = tape.concat_cols(act, ev);
+            let idx = Arc::new((0..rows as u32).rev().collect::<Vec<_>>());
+            let picked = tape.gather_rows(cat, idx);
+            let pick_reg = tape.sum_squares(picked);
+            let pick_reg = tape.scale(pick_reg, 0.001);
+            let scores = tape.matmul_transb(act, ev);
+            let scored = tape.matmul(scores, ev);
+            let fused = tape.add(scored, act);
+            let loss = tape.weighted_mse(fused, target.clone(), weights.clone());
+            let reg = tape.sum_squares(wv);
+            let reg = tape.scale(reg, 0.01);
+            let total = tape.add(loss, reg);
+            let total = tape.add(total, pick_reg);
+            let grads = tape.backward(total);
+            (tape.value(total).clone(), grads)
+        };
+
+        let mut plain_tape = Tape::new(&store);
+        let (loss_plain, grads_plain) = run(&mut plain_tape);
+
+        // Poison the pool with stale buffers of the right sizes, then run
+        // twice so the second run reuses the first run's dirty buffers.
+        let pool = BufferPool::new();
+        pool.release(random_matrix(rows, dim, 1234));
+        pool.release(random_matrix(dim, dim, 4321));
+        for round in 0..2 {
+            let mut pooled_tape = Tape::with_pool(&store, &pool);
+            let (loss_pooled, grads_pooled) = run(&mut pooled_tape);
+            assert_bits_equal(&loss_plain, &loss_pooled, &format!("loss round {round}"));
+            for (id, gp) in grads_plain.iter() {
+                let gq = grads_pooled.get(id).expect("same gradient coverage");
+                assert_bits_equal(gp, gq, &format!("grad {} round {round}", store.name(id)));
+            }
+            pooled_tape.recycle();
+            grads_pooled.recycle_into(&pool);
+        }
+    }
+}
