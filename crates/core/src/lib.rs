@@ -54,7 +54,9 @@ pub mod zoo;
 pub use config::{LossKind, ModelConfig, TrainConfig};
 pub use embedding::{EmbeddingLayer, ForwardCtx};
 pub use model::{top_k_indices, Recommender, SmgcnEmbedding};
-pub use trainer::{train, train_unpooled, train_with_callback, EpochStats, TrainingHistory};
+pub use trainer::{
+    train, train_unpooled, train_until, train_with_callback, EpochStats, TrainingHistory,
+};
 pub use zoo::{build_model, ModelKind};
 
 /// Common imports for experiment code.
@@ -62,6 +64,8 @@ pub mod prelude {
     pub use crate::config::{LossKind, ModelConfig, TrainConfig};
     pub use crate::embedding::{EmbeddingLayer, ForwardCtx};
     pub use crate::model::{top_k_indices, Recommender};
-    pub use crate::trainer::{train, train_unpooled, train_with_callback, TrainingHistory};
+    pub use crate::trainer::{
+        train, train_unpooled, train_until, train_with_callback, TrainingHistory,
+    };
     pub use crate::zoo::{build_model, ModelKind};
 }

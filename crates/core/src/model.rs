@@ -137,6 +137,26 @@ impl Recommender {
         )
     }
 
+    /// Rebuilds the paper's SMGCN over (possibly grown) graph operators
+    /// and warm-starts it from an already-trained parameter store.
+    ///
+    /// The architecture (`config`) must match the one `trained` came from;
+    /// embedding tables may have grown rows (appended symptoms/herbs),
+    /// whose tail keeps the fresh seed-`seed` initialisation while every
+    /// previously-trained row resumes verbatim. This is the online
+    /// refresh path: delta the graphs, warm-start, fine-tune a few epochs
+    /// instead of retraining cold.
+    pub fn warm_start_smgcn(
+        ops: &GraphOperators,
+        config: &ModelConfig,
+        seed: u64,
+        trained: &ParamStore,
+    ) -> Result<Self, smgcn_tensor::checkpoint::CheckpointError> {
+        let mut model = Self::smgcn(ops, config, seed);
+        smgcn_tensor::checkpoint::restore_into_grown(&mut model.store, trained)?;
+        Ok(model)
+    }
+
     /// Model display name (Table IV / V row label).
     pub fn name(&self) -> &str {
         &self.name

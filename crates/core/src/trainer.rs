@@ -61,14 +61,34 @@ pub fn train_with_callback(
     model: &mut Recommender,
     train: &Corpus,
     cfg: &TrainConfig,
-    on_epoch: impl FnMut(&EpochStats, &Recommender),
+    mut on_epoch: impl FnMut(&EpochStats, &Recommender),
 ) -> TrainingHistory {
-    train_impl(model, train, cfg, true, on_epoch)
+    train_impl(model, train, cfg, true, |stats, model| {
+        on_epoch(stats, model);
+        false
+    })
 }
 
 /// Trains without a callback.
 pub fn train(model: &mut Recommender, train: &Corpus, cfg: &TrainConfig) -> TrainingHistory {
     train_with_callback(model, train, cfg, |_, _| {})
+}
+
+/// Trains until `stop` returns `true` (checked after every epoch) or the
+/// `cfg.epochs` budget runs out, whichever comes first.
+///
+/// This is the warm-start fine-tuning entry point: a model resumed from a
+/// checkpoint starts near its plateau, so online refreshes give a small
+/// epoch budget and stop as soon as the loss reaches a target instead of
+/// paying the full cold-training schedule. Optimizer state (Adam moments)
+/// is fresh, exactly as in a cold run — determinism is per-call.
+pub fn train_until(
+    model: &mut Recommender,
+    train: &Corpus,
+    cfg: &TrainConfig,
+    stop: impl FnMut(&EpochStats, &Recommender) -> bool,
+) -> TrainingHistory {
+    train_impl(model, train, cfg, true, stop)
 }
 
 /// Reference training path that allocates fresh buffers for every tape op
@@ -80,7 +100,7 @@ pub fn train_unpooled(
     train: &Corpus,
     cfg: &TrainConfig,
 ) -> TrainingHistory {
-    train_impl(model, train, cfg, false, |_, _| {})
+    train_impl(model, train, cfg, false, |_, _| false)
 }
 
 fn train_impl(
@@ -88,7 +108,7 @@ fn train_impl(
     train: &Corpus,
     cfg: &TrainConfig,
     pooled: bool,
-    mut on_epoch: impl FnMut(&EpochStats, &Recommender),
+    mut on_epoch: impl FnMut(&EpochStats, &Recommender) -> bool,
 ) -> TrainingHistory {
     assert!(!train.is_empty(), "train: empty training corpus");
     // Eq. 15 imbalance weights from *training* herb frequencies (or flat
@@ -153,7 +173,9 @@ fn train_impl(
             mean_grad_norm: (grad_sum / n_batches as f64) as f32,
         };
         history.epochs.push(stats);
-        on_epoch(&stats, model);
+        if on_epoch(&stats, model) {
+            break;
+        }
     }
     history
 }
@@ -291,6 +313,75 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits(), "param {name} diverged at {i}");
             }
         }
+    }
+
+    #[test]
+    fn train_until_stops_early() {
+        let (corpus, ops) = tiny_setup();
+        let mut model = Recommender::smgcn(&ops, &tiny_model_cfg(), 1);
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            l2_lambda: 1e-4,
+            loss: LossKind::MultiLabel,
+            bpr_negatives: 1,
+            weighted_labels: true,
+            seed: 2,
+        };
+        let history = train_until(&mut model, &corpus, &cfg, |stats, _| stats.epoch >= 2);
+        assert_eq!(history.epochs.len(), 3, "stops right after the signal");
+    }
+
+    #[test]
+    fn warm_start_resumes_and_supports_grown_vocab() {
+        let (corpus, ops) = tiny_setup();
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            l2_lambda: 1e-4,
+            loss: LossKind::MultiLabel,
+            bpr_negatives: 1,
+            weighted_labels: true,
+            seed: 2,
+        };
+        let mut base = Recommender::smgcn(&ops, &tiny_model_cfg(), 1);
+        train(&mut base, &corpus, &cfg);
+
+        // Same-shape warm start restores every parameter verbatim.
+        let resumed =
+            Recommender::warm_start_smgcn(&ops, &tiny_model_cfg(), 1, base.store()).unwrap();
+        for ((_, name, a), (_, _, b)) in resumed.store().iter().zip(base.store().iter()) {
+            assert_eq!(a.as_slice(), b.as_slice(), "param {name} must resume");
+        }
+
+        // Grown vocabulary: two extra symptoms, one extra herb.
+        let grown_records: Vec<(Vec<u32>, Vec<u32>)> = corpus
+            .records()
+            .map(|(s, h)| (s.to_vec(), h.to_vec()))
+            .chain(std::iter::once((
+                vec![corpus.n_symptoms() as u32, corpus.n_symptoms() as u32 + 1],
+                vec![corpus.n_herbs() as u32],
+            )))
+            .collect();
+        let grown_ops = smgcn_graph::GraphOperators::from_records(
+            grown_records
+                .iter()
+                .map(|(s, h)| (s.as_slice(), h.as_slice())),
+            corpus.n_symptoms() + 2,
+            corpus.n_herbs() + 1,
+            SynergyThresholds { x_s: 1, x_h: 1 },
+        );
+        let grown =
+            Recommender::warm_start_smgcn(&grown_ops, &tiny_model_cfg(), 1, base.store()).unwrap();
+        assert_eq!(grown.n_symptoms(), corpus.n_symptoms() + 2);
+        assert_eq!(grown.n_herbs(), corpus.n_herbs() + 1);
+        // Scores over the old vocabulary region stay finite and the model
+        // can immediately rank over the grown herb set.
+        let ranking = grown.recommend(&[0, 1], corpus.n_herbs() + 1);
+        assert_eq!(ranking.len(), corpus.n_herbs() + 1);
+        assert!(grown.store().all_finite());
     }
 
     #[test]

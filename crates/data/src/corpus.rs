@@ -86,6 +86,40 @@ impl Corpus {
         self.prescriptions.iter().map(Prescription::as_record)
     }
 
+    /// Mutable symptom vocabulary, for streaming ingestion: appending new
+    /// entries keeps every existing id stable, so prescriptions already in
+    /// the corpus stay valid.
+    pub fn symptom_vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.symptom_vocab
+    }
+
+    /// Mutable herb vocabulary (see [`Corpus::symptom_vocab_mut`]).
+    pub fn herb_vocab_mut(&mut self) -> &mut Vocabulary {
+        &mut self.herb_vocab
+    }
+
+    /// Appends one prescription.
+    ///
+    /// # Panics
+    /// Panics if the prescription references ids outside the vocabularies.
+    pub fn push(&mut self, p: Prescription) {
+        if let Some(&s) = p.symptoms().last() {
+            assert!(
+                (s as usize) < self.symptom_vocab.len(),
+                "Corpus: appended prescription references symptom {s} outside vocabulary of {}",
+                self.symptom_vocab.len()
+            );
+        }
+        if let Some(&h) = p.herbs().last() {
+            assert!(
+                (h as usize) < self.herb_vocab.len(),
+                "Corpus: appended prescription references herb {h} outside vocabulary of {}",
+                self.herb_vocab.len()
+            );
+        }
+        self.prescriptions.push(p);
+    }
+
     /// Builds a sub-corpus from a subset of prescription indices (shares
     /// the vocabularies).
     ///
@@ -160,6 +194,25 @@ mod tests {
         let c = small_corpus();
         let d = c.describe(&c.prescriptions()[0]);
         assert_eq!(d, "symptoms: s0, s1 | herbs: h0");
+    }
+
+    #[test]
+    fn push_appends_and_vocab_growth_keeps_ids() {
+        let mut c = small_corpus();
+        let new_herb = c.herb_vocab_mut().get_or_add("h2");
+        assert_eq!(new_herb, 2);
+        c.push(Prescription::new(vec![0], vec![new_herb]));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.n_herbs(), 3);
+        assert_eq!(c.herb_vocab().id("h0"), Some(0), "old ids untouched");
+        assert_eq!(c.prescriptions()[2].herbs(), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocabulary")]
+    fn push_rejects_out_of_vocab() {
+        let mut c = small_corpus();
+        c.push(Prescription::new(vec![0], vec![9]));
     }
 
     #[test]

@@ -187,6 +187,36 @@ mod tests {
     }
 
     #[test]
+    fn appended_vocab_entries_round_trip_with_stable_ids() {
+        // Grow both vocabularies mid-stream (the ingestion path) and check
+        // the text format preserves the appended entries and their ids.
+        let mut corpus = SyndromeModel::new(GeneratorConfig::tiny_scale()).generate();
+        let s_before = corpus.n_symptoms();
+        let h_before = corpus.n_herbs();
+        let new_s = corpus.symptom_vocab_mut().get_or_add("late-symptom");
+        let new_h = corpus.herb_vocab_mut().get_or_add("late-herb");
+        assert_eq!(new_s as usize, s_before);
+        assert_eq!(new_h as usize, h_before);
+        corpus.push(crate::prescription::Prescription::new(
+            vec![0, new_s],
+            vec![new_h],
+        ));
+        let mut buf = Vec::new();
+        write_corpus(&corpus, &mut buf).unwrap();
+        let loaded = read_corpus(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(loaded.n_symptoms(), s_before + 1);
+        assert_eq!(loaded.n_herbs(), h_before + 1);
+        assert_eq!(loaded.symptom_vocab().id("late-symptom"), Some(new_s));
+        assert_eq!(loaded.herb_vocab().id("late-herb"), Some(new_h));
+        assert_eq!(loaded.prescriptions(), corpus.prescriptions());
+        // Pre-existing ids must not have moved.
+        assert_eq!(
+            loaded.symptom_vocab().name(0),
+            corpus.symptom_vocab().name(0)
+        );
+    }
+
+    #[test]
     fn rejects_missing_tab() {
         let text = "#symptoms\ta\tb\n#herbs\tx\ty\n0 1 0 1\n";
         let err = read_corpus(std::io::BufReader::new(text.as_bytes())).unwrap_err();

@@ -62,6 +62,19 @@ impl Vocabulary {
         self.index.get(name).copied()
     }
 
+    /// Id for a name, appending it when absent. Existing ids are never
+    /// reassigned — a vocabulary only grows, so every id handed out stays
+    /// stable for the lifetime of the corpus (the property streaming
+    /// ingestion depends on: graphs, checkpoints and caches all key on
+    /// these ids).
+    pub fn get_or_add(&mut self, name: impl Into<String>) -> u32 {
+        let name = name.into();
+        match self.index.get(&name) {
+            Some(&id) => id,
+            None => self.add(name),
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.names.len()
@@ -273,6 +286,18 @@ mod tests {
         herbs.sort_unstable();
         herbs.dedup();
         assert_eq!(herbs.len(), HERB_SEED_NAMES.len());
+    }
+
+    #[test]
+    fn get_or_add_keeps_ids_stable() {
+        let mut v = Vocabulary::from_names(["a", "b"]);
+        assert_eq!(v.get_or_add("a"), 0, "existing names keep their id");
+        assert_eq!(v.get_or_add("c"), 2, "new names append at the end");
+        assert_eq!(v.get_or_add("c"), 2, "appended names are stable too");
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.name(2), "c");
+        // Growth never disturbs earlier entries.
+        assert_eq!(v.id("b"), Some(1));
     }
 
     #[test]

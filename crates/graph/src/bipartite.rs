@@ -58,6 +58,40 @@ impl BipartiteGraph {
         }
     }
 
+    /// Builds the graph directly from an edge list of `(symptom, herb)`
+    /// pairs. Duplicate pairs collapse to one binary edge, matching
+    /// [`BipartiteGraph::from_records`]; incremental maintenance keeps the
+    /// pair set itself and rebuilds through this constructor.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn from_edges(
+        edges: impl IntoIterator<Item = (u32, u32)>,
+        n_symptoms: usize,
+        n_herbs: usize,
+    ) -> Self {
+        let mut triplets: Vec<(u32, u32, f32)> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (s, h) in edges {
+            assert!(
+                (s as usize) < n_symptoms,
+                "BipartiteGraph: symptom id {s} out of range {n_symptoms}"
+            );
+            assert!(
+                (h as usize) < n_herbs,
+                "BipartiteGraph: herb id {h} out of range {n_herbs}"
+            );
+            if seen.insert((s, h)) {
+                triplets.push((s, h, 1.0));
+            }
+        }
+        Self {
+            n_symptoms,
+            n_herbs,
+            sh: CsrMatrix::from_triplets(n_symptoms, n_herbs, &triplets),
+        }
+    }
+
     /// Number of symptom nodes.
     pub fn n_symptoms(&self) -> usize {
         self.n_symptoms
@@ -168,6 +202,18 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_ids() {
         let _ = build(&[(vec![5], vec![0])], 2, 2);
+    }
+
+    #[test]
+    fn from_edges_matches_from_records() {
+        let records = [(vec![0u32, 1], vec![0u32, 2]), (vec![1], vec![1, 2])];
+        let by_records = build(&records, 3, 4);
+        let edges = records.iter().flat_map(|(ss, hs)| {
+            ss.iter()
+                .flat_map(move |&s| hs.iter().map(move |&h| (s, h)))
+        });
+        let by_edges = BipartiteGraph::from_edges(edges, 3, 4);
+        assert_eq!(by_edges.sh(), by_records.sh());
     }
 
     #[test]

@@ -35,6 +35,27 @@ impl CooccurrenceCounts {
         self.n_items
     }
 
+    /// Grows the vocabulary to `n_items`. Counting is sparse, so existing
+    /// pair counts are untouched — this only widens the id range future
+    /// [`CooccurrenceCounts::add_set`] calls may use (streaming ingestion
+    /// appends entities with stable ids, never renumbers).
+    ///
+    /// # Panics
+    /// Panics on an attempt to shrink.
+    pub fn grow_to(&mut self, n_items: usize) {
+        assert!(
+            n_items >= self.n_items,
+            "CooccurrenceCounts: cannot shrink from {} to {n_items}",
+            self.n_items
+        );
+        self.n_items = n_items;
+    }
+
+    /// Iterates `((min_id, max_id), count)` over every observed pair.
+    pub fn pairs(&self) -> impl Iterator<Item = ((u32, u32), u32)> + '_ {
+        self.counts.iter().map(|(&p, &c)| (p, c))
+    }
+
     /// Counts all unordered pairs within one set. Duplicate ids inside a set
     /// are ignored (a set, per the paper's prescription model); self-pairs
     /// never count.
@@ -196,5 +217,27 @@ mod tests {
     fn rejects_out_of_range() {
         let mut cc = CooccurrenceCounts::new(2);
         cc.add_set(&[0, 7]);
+    }
+
+    #[test]
+    fn grow_widens_range_and_keeps_counts() {
+        let mut cc = CooccurrenceCounts::new(2);
+        cc.add_set(&[0, 1]);
+        cc.grow_to(4);
+        cc.add_set(&[1, 3]);
+        assert_eq!(cc.n_items(), 4);
+        assert_eq!(cc.count(0, 1), 1);
+        assert_eq!(cc.count(1, 3), 1);
+        assert_eq!(cc.synergy_graph(0).shape(), (4, 4));
+        let mut pairs: Vec<_> = cc.pairs().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![((0, 1), 1), ((1, 3), 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        let mut cc = CooccurrenceCounts::new(5);
+        cc.grow_to(3);
     }
 }

@@ -1,0 +1,458 @@
+//! Append-only prescription ingestion with a write-ahead log.
+//!
+//! The [`Ingestor`] is the front door of the online loop: it owns the
+//! evolving corpus, accepts prescriptions by entity *names* (growing the
+//! vocabularies with stable ids when a record mentions an unseen symptom
+//! or herb) or by raw ids, validates and deduplicates them, and batches
+//! the accepted records for the graph-delta stage.
+//!
+//! Durability uses a WAL in a line format compatible with the corpus
+//! text format plus vocabulary-growth records:
+//!
+//! ```text
+//! +symptom<TAB>name          # appended before any record that needs it
+//! +herb<TAB>name
+//! 0 4 17<TAB>3 9 12          # a prescription, ids as in corpus files
+//! ```
+//!
+//! Every accepted append is written (and flushed) to the WAL *before* it
+//! is acknowledged; reopening an ingestor over the same base corpus and
+//! WAL replays the log, so a crash between refreshes loses nothing. A
+//! successful refresh folds the batch into the model and the caller then
+//! [`Ingestor::truncate_wal`]s it.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use smgcn_data::{Corpus, Prescription};
+
+/// Errors from validation, parsing or WAL IO.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structural problem in a WAL line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A symptom name absent from the vocabulary (and growth disallowed).
+    UnknownSymptom(String),
+    /// A herb name absent from the vocabulary (and growth disallowed).
+    UnknownHerb(String),
+    /// A record with an empty symptom or herb side.
+    EmptySet(&'static str),
+    /// An id outside the current vocabulary.
+    OutOfRange {
+        /// `"symptom"` or `"herb"`.
+        kind: &'static str,
+        /// The offending id.
+        id: u32,
+        /// The vocabulary size it violated.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest io error: {e}"),
+            IngestError::Parse { line, message } => {
+                write!(f, "WAL parse error at line {line}: {message}")
+            }
+            IngestError::UnknownSymptom(n) => write!(f, "unknown symptom {n:?}"),
+            IngestError::UnknownHerb(n) => write!(f, "unknown herb {n:?}"),
+            IngestError::EmptySet(side) => write!(f, "prescription has an empty {side} set"),
+            IngestError::OutOfRange { kind, id, len } => {
+                write!(f, "{kind} id {id} outside vocabulary of {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<std::io::Error> for IngestError {
+    fn from(e: std::io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// What happened to one appended record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Validated, logged and queued for the next refresh.
+    Accepted,
+    /// An identical prescription (set equality) already exists; dropped.
+    Duplicate,
+}
+
+/// Running counters of an [`Ingestor`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records accepted (queued or already refreshed).
+    pub accepted: usize,
+    /// Records dropped as duplicates.
+    pub duplicates: usize,
+    /// Symptoms appended to the vocabulary by ingestion.
+    pub new_symptoms: usize,
+    /// Herbs appended to the vocabulary by ingestion.
+    pub new_herbs: usize,
+}
+
+/// Streaming prescription intake over an evolving corpus.
+pub struct Ingestor {
+    corpus: Corpus,
+    seen: HashSet<Prescription>,
+    pending: Vec<Prescription>,
+    wal: Option<(PathBuf, BufWriter<File>)>,
+    stats: IngestStats,
+}
+
+impl Ingestor {
+    /// An in-memory ingestor (no WAL) over `corpus`.
+    pub fn new(corpus: Corpus) -> Self {
+        let seen = corpus.prescriptions().iter().cloned().collect();
+        Self {
+            corpus,
+            seen,
+            pending: Vec::new(),
+            wal: None,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// An ingestor with a WAL at `path`. An existing log is replayed
+    /// first (its records become the pending batch), then the file is
+    /// opened for appending.
+    pub fn with_wal(corpus: Corpus, path: impl AsRef<Path>) -> Result<Self, IngestError> {
+        let path = path.as_ref().to_path_buf();
+        let mut ingestor = Self::new(corpus);
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            ingestor.replay(reader)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        ingestor.wal = Some((path, BufWriter::new(file)));
+        Ok(ingestor)
+    }
+
+    fn replay(&mut self, reader: impl BufRead) -> Result<(), IngestError> {
+        for (i, line) in reader.lines().enumerate() {
+            let line = line?;
+            let line_no = i + 1;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let parse_err = |message: String| IngestError::Parse {
+                line: line_no,
+                message,
+            };
+            if let Some(rest) = trimmed.strip_prefix("+symptom\t") {
+                self.corpus.symptom_vocab_mut().get_or_add(rest);
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("+herb\t") {
+                self.corpus.herb_vocab_mut().get_or_add(rest);
+                continue;
+            }
+            let (sym_text, herb_text) = trimmed
+                .split_once('\t')
+                .ok_or_else(|| parse_err("missing tab between symptom and herb ids".into()))?;
+            let parse_ids = |text: &str| -> Result<Vec<u32>, IngestError> {
+                text.split_whitespace()
+                    .map(|tok| {
+                        tok.parse::<u32>()
+                            .map_err(|e| parse_err(format!("bad id {tok:?}: {e}")))
+                    })
+                    .collect()
+            };
+            let symptoms = parse_ids(sym_text)?;
+            let herbs = parse_ids(herb_text)?;
+            // Replay bypasses the WAL writer (the records are already
+            // logged) but revalidates and re-deduplicates.
+            self.accept(symptoms, herbs, false)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a prescription by raw ids.
+    pub fn append_ids(
+        &mut self,
+        symptoms: Vec<u32>,
+        herbs: Vec<u32>,
+    ) -> Result<IngestOutcome, IngestError> {
+        self.accept(symptoms, herbs, true)
+    }
+
+    /// Appends a prescription by entity names. With `allow_new`, names
+    /// absent from the vocabularies are appended with fresh stable ids
+    /// (ids never renumber); without it they are errors.
+    pub fn append_named(
+        &mut self,
+        symptoms: &[impl AsRef<str>],
+        herbs: &[impl AsRef<str>],
+        allow_new: bool,
+    ) -> Result<IngestOutcome, IngestError> {
+        // Resolve (and validate) everything before mutating any vocab so
+        // a rejected record leaves no trace.
+        if !allow_new {
+            for s in symptoms {
+                if self.corpus.symptom_vocab().id(s.as_ref()).is_none() {
+                    return Err(IngestError::UnknownSymptom(s.as_ref().to_string()));
+                }
+            }
+            for h in herbs {
+                if self.corpus.herb_vocab().id(h.as_ref()).is_none() {
+                    return Err(IngestError::UnknownHerb(h.as_ref().to_string()));
+                }
+            }
+        }
+        if symptoms.is_empty() {
+            return Err(IngestError::EmptySet("symptom"));
+        }
+        if herbs.is_empty() {
+            return Err(IngestError::EmptySet("herb"));
+        }
+        let mut new_symptoms = Vec::new();
+        let symptom_ids: Vec<u32> = symptoms
+            .iter()
+            .map(|s| {
+                let name = s.as_ref();
+                match self.corpus.symptom_vocab().id(name) {
+                    Some(id) => id,
+                    None => {
+                        let id = self.corpus.symptom_vocab_mut().get_or_add(name);
+                        new_symptoms.push(name.to_string());
+                        id
+                    }
+                }
+            })
+            .collect();
+        let mut new_herbs = Vec::new();
+        let herb_ids: Vec<u32> = herbs
+            .iter()
+            .map(|h| {
+                let name = h.as_ref();
+                match self.corpus.herb_vocab().id(name) {
+                    Some(id) => id,
+                    None => {
+                        let id = self.corpus.herb_vocab_mut().get_or_add(name);
+                        new_herbs.push(name.to_string());
+                        id
+                    }
+                }
+            })
+            .collect();
+        self.stats.new_symptoms += new_symptoms.len();
+        self.stats.new_herbs += new_herbs.len();
+        if let Some((_, w)) = &mut self.wal {
+            for name in &new_symptoms {
+                writeln!(w, "+symptom\t{name}")?;
+            }
+            for name in &new_herbs {
+                writeln!(w, "+herb\t{name}")?;
+            }
+        }
+        self.accept(symptom_ids, herb_ids, true)
+    }
+
+    /// Shared validation + dedup + WAL append + queue.
+    fn accept(
+        &mut self,
+        symptoms: Vec<u32>,
+        herbs: Vec<u32>,
+        log: bool,
+    ) -> Result<IngestOutcome, IngestError> {
+        if symptoms.is_empty() {
+            return Err(IngestError::EmptySet("symptom"));
+        }
+        if herbs.is_empty() {
+            return Err(IngestError::EmptySet("herb"));
+        }
+        let n_s = self.corpus.n_symptoms();
+        if let Some(&bad) = symptoms.iter().find(|&&s| s as usize >= n_s) {
+            return Err(IngestError::OutOfRange {
+                kind: "symptom",
+                id: bad,
+                len: n_s,
+            });
+        }
+        let n_h = self.corpus.n_herbs();
+        if let Some(&bad) = herbs.iter().find(|&&h| h as usize >= n_h) {
+            return Err(IngestError::OutOfRange {
+                kind: "herb",
+                id: bad,
+                len: n_h,
+            });
+        }
+        let p = Prescription::new(symptoms, herbs);
+        if !self.seen.insert(p.clone()) {
+            self.stats.duplicates += 1;
+            return Ok(IngestOutcome::Duplicate);
+        }
+        if log {
+            if let Some((_, w)) = &mut self.wal {
+                let symptoms: Vec<String> = p.symptoms().iter().map(u32::to_string).collect();
+                let herbs: Vec<String> = p.herbs().iter().map(u32::to_string).collect();
+                writeln!(w, "{}\t{}", symptoms.join(" "), herbs.join(" "))?;
+                // Flush before acknowledging: an accepted record must
+                // survive a crash.
+                w.flush()?;
+            }
+        }
+        self.corpus.push(p.clone());
+        self.pending.push(p);
+        self.stats.accepted += 1;
+        Ok(IngestOutcome::Accepted)
+    }
+
+    /// The evolving corpus (base + every accepted record).
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Records accepted since the last [`Ingestor::take_batch`].
+    pub fn pending(&self) -> &[Prescription] {
+        &self.pending
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Drains the pending batch for the graph-delta stage.
+    pub fn take_batch(&mut self) -> Vec<Prescription> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Puts a drained batch back at the head of the queue (refresh error
+    /// recovery — the records stay acknowledged and will ride the next
+    /// refresh). `batch` must be a previous [`Ingestor::take_batch`]
+    /// result so ordering is preserved.
+    pub fn requeue(&mut self, mut batch: Vec<Prescription>) {
+        batch.append(&mut self.pending);
+        self.pending = batch;
+    }
+
+    /// Truncates the WAL after its contents have been folded into a
+    /// persisted corpus + model (post-refresh housekeeping).
+    pub fn truncate_wal(&mut self) -> Result<(), IngestError> {
+        if let Some((path, w)) = &mut self.wal {
+            w.flush()?;
+            let file = OpenOptions::new().write(true).truncate(true).open(&*path)?;
+            *w = BufWriter::new(OpenOptions::new().append(true).open(&*path)?);
+            drop(file);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smgcn_data::Vocabulary;
+
+    fn base_corpus() -> Corpus {
+        Corpus::new(
+            Vocabulary::from_names(["s0", "s1", "s2"]),
+            Vocabulary::from_names(["h0", "h1"]),
+            vec![Prescription::new(vec![0, 1], vec![0])],
+        )
+    }
+
+    #[test]
+    fn accepts_validates_and_dedupes_ids() {
+        let mut ing = Ingestor::new(base_corpus());
+        assert_eq!(
+            ing.append_ids(vec![2], vec![1]).unwrap(),
+            IngestOutcome::Accepted
+        );
+        // Same set in a different order and with repeats: duplicate.
+        assert_eq!(
+            ing.append_ids(vec![2, 2], vec![1]).unwrap(),
+            IngestOutcome::Duplicate
+        );
+        // Already in the *base* corpus: duplicate too.
+        assert_eq!(
+            ing.append_ids(vec![1, 0], vec![0]).unwrap(),
+            IngestOutcome::Duplicate
+        );
+        assert!(matches!(
+            ing.append_ids(vec![9], vec![0]),
+            Err(IngestError::OutOfRange {
+                kind: "symptom",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ing.append_ids(vec![0], vec![]),
+            Err(IngestError::EmptySet("herb"))
+        ));
+        assert_eq!(ing.pending().len(), 1);
+        assert_eq!(ing.corpus().len(), 2);
+        let stats = ing.stats();
+        assert_eq!((stats.accepted, stats.duplicates), (1, 2));
+    }
+
+    #[test]
+    fn named_appends_grow_vocab_with_stable_ids() {
+        let mut ing = Ingestor::new(base_corpus());
+        let out = ing
+            .append_named(&["s1", "s-new"], &["h0", "h-new"], true)
+            .unwrap();
+        assert_eq!(out, IngestOutcome::Accepted);
+        assert_eq!(ing.corpus().symptom_vocab().id("s-new"), Some(3));
+        assert_eq!(ing.corpus().herb_vocab().id("h-new"), Some(2));
+        assert_eq!(ing.corpus().symptom_vocab().id("s0"), Some(0), "stable");
+        assert_eq!(ing.stats().new_symptoms, 1);
+        assert_eq!(ing.stats().new_herbs, 1);
+        // Without growth permission, unknown names are errors.
+        assert!(matches!(
+            ing.append_named(&["never"], &["h0"], false),
+            Err(IngestError::UnknownSymptom(_))
+        ));
+    }
+
+    #[test]
+    fn wal_replays_after_reopen() {
+        let dir = std::env::temp_dir().join("smgcn_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wal_{}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let mut ing = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        ing.append_ids(vec![2], vec![1]).unwrap();
+        ing.append_named(&["s0"], &["h-late"], true).unwrap();
+        drop(ing); // crash before any refresh
+
+        let reopened = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert_eq!(reopened.pending().len(), 2, "log replays into the batch");
+        assert_eq!(reopened.corpus().herb_vocab().id("h-late"), Some(2));
+        assert_eq!(reopened.corpus().len(), 3);
+
+        // After a refresh the WAL is truncated; reopening finds nothing.
+        let mut reopened = reopened;
+        let batch = reopened.take_batch();
+        assert_eq!(batch.len(), 2);
+        reopened.truncate_wal().unwrap();
+        drop(reopened);
+        let clean = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert!(clean.pending().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_lines() {
+        let mut ing = Ingestor::new(base_corpus());
+        let bad = "0 1 no-tab-here\n";
+        let err = ing.replay(BufReader::new(bad.as_bytes())).unwrap_err();
+        assert!(matches!(err, IngestError::Parse { line: 1, .. }), "{err}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests: incremental graph deltas equal a from-scratch rebuild.
+//!
+//! For randomized base corpora, append batches, vocabulary growth and
+//! synergy thresholds, applying the batch to [`IncrementalGraphs`] must
+//! match `GraphOperators::from_records` on the concatenated corpus:
+//!
+//! - pair counts and binary adjacency (`SS`, `HH`, raw `SH`) **exactly**;
+//! - row-normalized adjacency (`sh_mean`, `hs_mean`) entrywise ≤ 1e-6.
+
+#![allow(clippy::type_complexity)] // proptest strategies return nested tuples
+
+use proptest::prelude::*;
+use smgcn_graph::{CooccurrenceCounts, GraphOperators, SynergyThresholds};
+use smgcn_online::IncrementalGraphs;
+use smgcn_tensor::CsrMatrix;
+
+type Records = Vec<(Vec<u32>, Vec<u32>)>;
+
+/// Random records over `n_s x n_h` vocabularies.
+fn records(n_s: usize, n_h: usize, max_len: usize) -> impl Strategy<Value = Records> {
+    let record = (
+        proptest::collection::vec(0..n_s as u32, 1..5),
+        proptest::collection::vec(0..n_h as u32, 1..6),
+    );
+    proptest::collection::vec(record, 1..max_len)
+}
+
+/// A full scenario: base vocab + records, growth, batch over the grown
+/// vocab, thresholds.
+fn scenario() -> impl Strategy<Value = (Records, Records, usize, usize, usize, usize, u32)> {
+    (3usize..10, 3usize..10, 0usize..3, 0usize..3, 0u32..3).prop_flat_map(
+        |(n_s, n_h, grow_s, grow_h, threshold)| {
+            let (gs, gh) = (n_s + grow_s, n_h + grow_h);
+            (records(n_s, n_h, 20), records(gs, gh, 12))
+                .prop_map(move |(base, batch)| (base, batch, n_s, n_h, gs, gh, threshold))
+        },
+    )
+}
+
+fn as_views(records: &Records) -> impl Iterator<Item = (&[u32], &[u32])> + Clone {
+    records.iter().map(|(s, h)| (s.as_slice(), h.as_slice()))
+}
+
+/// Exact structural equality plus entrywise tolerance on values.
+fn assert_csr_close(label: &str, got: &CsrMatrix, want: &CsrMatrix, tol: f32) {
+    assert_eq!(got.shape(), want.shape(), "{label}: shape");
+    assert_eq!(got.nnz(), want.nnz(), "{label}: nnz");
+    for ((r1, c1, v1), (r2, c2, v2)) in got.iter().zip(want.iter()) {
+        assert_eq!((r1, c1), (r2, c2), "{label}: sparsity pattern");
+        assert!(
+            (v1 - v2).abs() <= tol,
+            "{label}: entry ({r1}, {c1}) differs: {v1} vs {v2}"
+        );
+    }
+}
+
+fn sorted_pairs(counts: &CooccurrenceCounts) -> Vec<((u32, u32), u32)> {
+    let mut pairs: Vec<_> = counts.pairs().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #[test]
+    fn delta_equals_rebuild_on_grown_corpus(
+        (base, batch, n_s, n_h, gs, gh, threshold) in scenario()
+    ) {
+        let thresholds = SynergyThresholds { x_s: threshold, x_h: threshold };
+
+        // Incremental: build from the base, then delta the batch in.
+        let mut inc = IncrementalGraphs::from_records(as_views(&base), n_s, n_h, thresholds);
+        inc.grow_to(gs, gh);
+        for (s, h) in &batch {
+            inc.apply_record(s, h);
+        }
+
+        // From scratch on the concatenated corpus.
+        let full: Records = base.iter().chain(batch.iter()).cloned().collect();
+        let fresh = GraphOperators::from_records(as_views(&full), gs, gh, thresholds);
+        let mut fresh_ss = CooccurrenceCounts::new(gs);
+        let mut fresh_hh = CooccurrenceCounts::new(gh);
+        for (s, h) in &full {
+            fresh_ss.add_set(s);
+            fresh_hh.add_set(h);
+        }
+
+        // Pair counts: exact.
+        prop_assert_eq!(sorted_pairs(inc.ss_counts()), sorted_pairs(&fresh_ss));
+        prop_assert_eq!(sorted_pairs(inc.hh_counts()), sorted_pairs(&fresh_hh));
+
+        let ops = inc.operators();
+        // Binary adjacency: exact.
+        prop_assert_eq!(ops.ss_sum.forward(), fresh.ss_sum.forward());
+        prop_assert_eq!(ops.hh_sum.forward(), fresh.hh_sum.forward());
+        prop_assert_eq!(&ops.sh_raw, &fresh.sh_raw);
+        // Normalized adjacency: entrywise within 1e-6.
+        assert_csr_close("sh_mean", ops.sh_mean.forward(), fresh.sh_mean.forward(), 1e-6);
+        assert_csr_close("hs_mean", ops.hs_mean.forward(), fresh.hs_mean.forward(), 1e-6);
+        // And the transposes the backward pass would use.
+        assert_csr_close("sh_mean^T", ops.sh_mean.backward(), fresh.sh_mean.backward(), 1e-6);
+        assert_csr_close("hs_mean^T", ops.hs_mean.backward(), fresh.hs_mean.backward(), 1e-6);
+    }
+
+    #[test]
+    fn repeated_small_deltas_equal_one_rebuild(
+        (base, batch, n_s, n_h, gs, gh, threshold) in scenario()
+    ) {
+        let thresholds = SynergyThresholds { x_s: threshold, x_h: threshold };
+        let mut inc = IncrementalGraphs::from_records(as_views(&base), n_s, n_h, thresholds);
+        inc.grow_to(gs, gh);
+        // Apply one record at a time, renormalizing (wastefully) in
+        // between: laziness must not change the fixed point.
+        for (s, h) in &batch {
+            inc.apply_record(s, h);
+            let _ = inc.operators();
+        }
+        let full: Records = base.iter().chain(batch.iter()).cloned().collect();
+        let fresh = GraphOperators::from_records(as_views(&full), gs, gh, thresholds);
+        prop_assert_eq!(inc.operators().ss_sum.forward(), fresh.ss_sum.forward());
+        prop_assert_eq!(inc.operators().hh_sum.forward(), fresh.hh_sum.forward());
+        assert_csr_close(
+            "sh_mean",
+            inc.operators().sh_mean.forward(),
+            fresh.sh_mean.forward(),
+            1e-6,
+        );
+    }
+}

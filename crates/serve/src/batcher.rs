@@ -10,6 +10,12 @@
 //! the whole batch with [`FrozenModel::score_batch`] and fans the
 //! rankings back out.
 //!
+//! The scorer resolves the model through a [`ModelSlot`] **once per
+//! drained batch**: every job in a batch is scored by the same
+//! generation, and a hot swap takes effect at the next drain — the
+//! batcher naturally "drains between generations", which is what makes
+//! the swap safe under live traffic (no batch ever mixes weights).
+//!
 //! Shutdown is cooperative: dropping the [`Batcher`] wakes the scorer,
 //! which drains remaining jobs and exits.
 
@@ -19,6 +25,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::frozen::{FrozenError, FrozenModel};
+use crate::server::ServingVocab;
+use crate::slot::{Generation, ModelSlot};
 
 /// Tuning knobs for the batching loop.
 #[derive(Clone, Debug)]
@@ -39,10 +47,13 @@ impl Default for BatcherConfig {
     }
 }
 
+/// A ranking plus the generation whose weights produced it.
+type TaggedRanking = (Vec<u32>, Arc<Generation>);
+
 struct Job {
     set: Vec<u32>,
     k: usize,
-    reply: mpsc::Sender<Result<Vec<u32>, FrozenError>>,
+    reply: mpsc::Sender<Result<TaggedRanking, FrozenError>>,
 }
 
 struct Shared {
@@ -62,8 +73,18 @@ pub struct Batcher {
 }
 
 impl Batcher {
-    /// Spawns the scoring thread over `model`.
+    /// Spawns the scoring thread over a fixed `model` (no hot swap: the
+    /// model is wrapped as a slot that never advances past generation 0).
     pub fn start(model: Arc<FrozenModel>, config: BatcherConfig) -> Self {
+        Self::start_slot(
+            Arc::new(ModelSlot::with_arc(model, ServingVocab::default())),
+            config,
+        )
+    }
+
+    /// Spawns the scoring thread over a hot-swappable [`ModelSlot`]. Each
+    /// drained batch is scored by the slot's generation at drain time.
+    pub fn start_slot(slot: Arc<ModelSlot>, config: BatcherConfig) -> Self {
         assert!(config.max_batch > 0, "Batcher: max_batch must be positive");
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
@@ -75,7 +96,7 @@ impl Batcher {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("smgcn-batcher".into())
-            .spawn(move || scoring_loop(model, worker_shared, config))
+            .spawn(move || scoring_loop(slot, worker_shared, config))
             .expect("spawn batcher thread");
         Self {
             shared,
@@ -86,6 +107,13 @@ impl Batcher {
     /// Scores one query through the shared batch, blocking until its
     /// ranking is ready.
     pub fn recommend(&self, set: &[u32], k: usize) -> Result<Vec<u32>, FrozenError> {
+        self.recommend_tagged(set, k).map(|(ranking, _)| ranking)
+    }
+
+    /// Like [`Batcher::recommend`], also returning the generation that
+    /// scored the query — the hot-swap invariant callers rely on is that
+    /// the ranking came from exactly this generation's weights.
+    pub fn recommend_tagged(&self, set: &[u32], k: usize) -> Result<TaggedRanking, FrozenError> {
         let (reply, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("batcher lock");
@@ -116,7 +144,7 @@ impl Drop for Batcher {
     }
 }
 
-fn scoring_loop(model: Arc<FrozenModel>, shared: Arc<Shared>, config: BatcherConfig) {
+fn scoring_loop(slot: Arc<ModelSlot>, shared: Arc<Shared>, config: BatcherConfig) {
     loop {
         let batch: Vec<Job> = {
             let mut q = shared.queue.lock().expect("batcher lock");
@@ -147,11 +175,15 @@ fn scoring_loop(model: Arc<FrozenModel>, shared: Arc<Shared>, config: BatcherCon
             let take = q.jobs.len().min(config.max_batch);
             q.jobs.drain(..take).collect()
         };
-        score_and_reply(&model, batch);
+        // Resolve the generation once per batch: every job drained
+        // together is answered by the same weights, and a publish lands
+        // cleanly between drains.
+        score_and_reply(&slot.load(), batch);
     }
 }
 
-fn score_and_reply(model: &FrozenModel, batch: Vec<Job>) {
+fn score_and_reply(generation: &Arc<Generation>, batch: Vec<Job>) {
+    let model = &*generation.model;
     // Invalid sets (empty / out-of-range ids) would poison the whole
     // GEMM, so answer those individually and batch the rest.
     let mut valid: Vec<&Job> = Vec::with_capacity(batch.len());
@@ -171,7 +203,7 @@ fn score_and_reply(model: &FrozenModel, batch: Vec<Job>) {
         Ok(scores) => {
             for (row, job) in valid.iter().enumerate() {
                 let ranking = crate::topk::partial_top_k(scores.row(row), job.k);
-                let _ = job.reply.send(Ok(ranking));
+                let _ = job.reply.send(Ok((ranking, Arc::clone(generation))));
             }
         }
         Err(e) => {
@@ -248,6 +280,28 @@ mod tests {
             good.join().unwrap().unwrap(),
             m.recommend(&[1, 2], 3).unwrap()
         );
+    }
+
+    #[test]
+    fn slot_swap_takes_effect_at_next_drain() {
+        let old = model();
+        let slot = Arc::new(ModelSlot::with_arc(
+            Arc::clone(&old),
+            ServingVocab::default(),
+        ));
+        let batcher = Batcher::start_slot(Arc::clone(&slot), BatcherConfig::default());
+        let (r0, g0) = batcher.recommend_tagged(&[0, 1], 3).unwrap();
+        assert_eq!(g0.number, 0);
+        assert_eq!(r0, old.recommend(&[0, 1], 3).unwrap());
+        // Publish a model with reversed herb preferences.
+        let symptoms = Matrix::from_fn(6, 4, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let herbs = Matrix::from_fn(9, 4, |r, c| -(((r * 5 + c * 11) % 7) as f32 - 3.0));
+        let new = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let expected_new = new.recommend(&[0, 1], 3).unwrap();
+        slot.publish(new, ServingVocab::default());
+        let (r1, g1) = batcher.recommend_tagged(&[0, 1], 3).unwrap();
+        assert_eq!(g1.number, 1, "post-publish drains use the new generation");
+        assert_eq!(r1, expected_new);
     }
 
     #[test]

@@ -163,6 +163,101 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
+/// Hit/miss/stale counters of a [`GenerationalCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenCacheStats {
+    /// Same-generation hits.
+    pub hits: u64,
+    /// Keys never cached.
+    pub misses: u64,
+    /// Entries found but tagged with an older generation (served as
+    /// misses; the re-insert overwrites them in place).
+    pub stale: u64,
+}
+
+impl GenCacheStats {
+    /// Hit rate in `[0, 1]` (0 when nothing was looked up). Stale lookups
+    /// count as misses — they cost a scoring pass.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU whose entries carry the model generation that produced them.
+///
+/// A hot model swap would otherwise require `clear()` under the write
+/// lock — O(capacity) work at the worst possible moment, right when the
+/// batcher is cutting over. Tagging instead invalidates **lazily**: a
+/// lookup compares the entry's tag against the caller's current
+/// generation and treats older entries as misses; the subsequent insert
+/// overwrites the slot in place, and entries for queries that never recur
+/// age out through normal LRU eviction. Swaps therefore cost O(1) on the
+/// cache no matter its size.
+pub struct GenerationalCache<K, V> {
+    inner: LruCache<K, (u64, V)>,
+    stats: GenCacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V> GenerationalCache<K, V> {
+    /// An empty cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: LruCache::new(capacity),
+            stats: GenCacheStats::default(),
+        }
+    }
+
+    /// Looks up `key`, treating entries tagged with a generation other
+    /// than `generation` as misses.
+    pub fn get(&mut self, key: &K, generation: u64) -> Option<&V> {
+        // One probe: `inner` and `stats` are disjoint fields, so the
+        // counters update while the returned reference is live.
+        match self.inner.get(key) {
+            Some(&(tag, ref value)) if tag == generation => {
+                self.stats.hits += 1;
+                Some(value)
+            }
+            Some(_) => {
+                self.stats.stale += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key` tagged with `generation`, overwriting any entry from
+    /// an older generation in place.
+    pub fn insert(&mut self, key: K, generation: u64, value: V) {
+        self.inner.insert(key, (generation, value));
+    }
+
+    /// Current number of cached entries (any generation).
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> GenCacheStats {
+        self.stats
+    }
+}
+
 /// Canonical cache key for a symptom-set query: the sorted, deduplicated
 /// symptom ids plus the requested `k`.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -246,6 +341,31 @@ mod tests {
         let _ = c.get(&1);
         let _ = c.get(&9);
         assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn generational_cache_invalidates_lazily_on_swap() {
+        let mut c: GenerationalCache<u32, &str> = GenerationalCache::new(4);
+        c.insert(1, 0, "gen0");
+        assert_eq!(c.get(&1, 0), Some(&"gen0"));
+        // Model swap: same key, newer generation — stale, served as miss.
+        assert_eq!(c.get(&1, 1), None);
+        assert_eq!(c.len(), 1, "stale entry lingers until overwritten");
+        c.insert(1, 1, "gen1");
+        assert_eq!(c.get(&1, 1), Some(&"gen1"));
+        assert_eq!(c.len(), 1, "re-insert overwrote in place");
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stale), (2, 0, 1));
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generational_cache_counts_plain_misses() {
+        let mut c: GenerationalCache<u8, u8> = GenerationalCache::new(2);
+        assert_eq!(c.get(&7, 0), None);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        assert!(c.is_empty());
     }
 
     #[test]

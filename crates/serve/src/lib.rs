@@ -12,9 +12,13 @@
 //!   format and single / batched scoring paths;
 //! - [`topk`] — heap-based partial top-k selection (no full sort);
 //! - [`cache`] — an LRU keyed by the sorted symptom-id set, because
-//!   clinic traffic repeats symptom combinations heavily;
+//!   clinic traffic repeats symptom combinations heavily, with
+//!   generation-tagged entries so hot swaps invalidate lazily;
 //! - [`batcher`] — micro-batching: concurrent queries are packed into one
-//!   `B x d` matrix multiply;
+//!   `B x d` matrix multiply, resolved against one model generation per
+//!   drained batch;
+//! - [`slot`] — [`ModelSlot`]: the atomic generation pointer behind
+//!   versioned hot model swaps under live traffic;
 //! - [`json`] — the minimal JSON reader/writer behind the wire protocol;
 //! - [`server`] — a multi-threaded `std::net` TCP loop speaking
 //!   newline-delimited JSON (`smgcn serve`).
@@ -26,10 +30,12 @@ pub mod cache;
 pub mod frozen;
 pub mod json;
 pub mod server;
+pub mod slot;
 pub mod topk;
 
 pub use batcher::{Batcher, BatcherConfig};
-pub use cache::LruCache;
+pub use cache::{GenCacheStats, GenerationalCache, LruCache};
 pub use frozen::{FrozenError, FrozenModel};
 pub use server::{Server, ServerConfig, ServingVocab};
+pub use slot::{Generation, ModelSlot};
 pub use topk::partial_top_k;

@@ -7,27 +7,35 @@
 //! ```text
 //! -> {"symptoms": ["s12", "s3"], "k": 10}
 //! -> {"symptom_ids": [12, 3], "k": 5}
-//! <- {"herb_ids":[...], "herbs":[...], "scores":[...], "cached":false, "micros":184}
-//! <- {"error":"unknown symptom \"xyz\""}
+//! <- {"herb_ids":[...], "herbs":[...], "scores":[...], "cached":false,
+//!     "generation":0, "micros":184}
+//! -> {"op": "stats"}
+//! <- {"generation":2, "uptime_s":12.5, "requests":840, "cache_hits":…}
+//! <- {"error":{"code":"unknown_symptom","message":"unknown symptom \"xyz\""}}
 //! ```
 //!
-//! Request flow per line: resolve names → canonical [`QueryKey`] →
-//! LRU lookup → on miss, score through the shared [`Batcher`] (packing
-//! concurrent queries into one GEMM) → insert into the cache. The cache
-//! is keyed by the *sorted* symptom-id set, so permutations of the same
-//! clinic presentation share an entry.
+//! Request flow per line: pin the current model [`Generation`] → resolve
+//! names against its vocabulary → validate (duplicate / out-of-range ids
+//! are structured errors, they never reach the scorer) → canonical
+//! [`QueryKey`] → generation-tagged LRU lookup → on miss, score through
+//! the shared [`Batcher`] (packing concurrent queries into one GEMM) →
+//! insert into the cache tagged with the generation that scored. The
+//! cache is keyed by the *sorted* symptom-id set, so permutations of the
+//! same clinic presentation share an entry; a hot model swap invalidates
+//! entries lazily through the tag rather than flushing under the lock.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::batcher::{Batcher, BatcherConfig};
-use crate::cache::{LruCache, QueryKey};
+use crate::cache::{GenerationalCache, QueryKey};
 use crate::frozen::FrozenModel;
 use crate::json::{self, Json};
+use crate::slot::{Generation, ModelSlot};
 
 /// Name/id mappings for the serving protocol. Decoupled from
 /// `smgcn-data`'s corpus vocabulary so the serve crate stays free of
@@ -103,120 +111,269 @@ impl Default for ServerConfig {
     }
 }
 
+/// A structured protocol error: a machine-readable code plus a message.
+/// Serialised as `{"error": {"code": …, "message": …}}` so clients can
+/// branch on the code without parsing prose.
+struct ApiError {
+    code: &'static str,
+    message: String,
+}
+
+impl ApiError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        json::obj([(
+            "error",
+            json::obj([
+                ("code", Json::Str(self.code.to_string())),
+                ("message", Json::Str(self.message.clone())),
+            ]),
+        )])
+    }
+}
+
 struct Engine {
-    model: Arc<FrozenModel>,
+    slot: Arc<ModelSlot>,
     batcher: Batcher,
-    cache: Option<Mutex<LruCache<QueryKey, Vec<u32>>>>,
-    vocab: ServingVocab,
+    cache: Option<Mutex<GenerationalCache<QueryKey, Vec<u32>>>>,
     config: ServerConfig,
+    started: Instant,
+    requests: AtomicU64,
 }
 
 impl Engine {
-    /// Answers one canonical query, consulting the cache first.
-    /// Returns `(ranking, was_cache_hit)`.
-    fn rank(&self, key: QueryKey) -> Result<(Vec<u32>, bool), String> {
+    /// Answers one canonical query, consulting the cache first. Returns
+    /// `(ranking, generation that produced it, was_cache_hit)` — the
+    /// single-generation invariant: ranking, reported generation and (in
+    /// the caller) herb names all come from the same [`Generation`].
+    fn rank(
+        &self,
+        pinned: &Arc<Generation>,
+        key: QueryKey,
+    ) -> Result<(Vec<u32>, Arc<Generation>, bool), ApiError> {
         let k = key.k;
         if let Some(cache) = &self.cache {
-            if let Some(hit) = cache.lock().expect("cache lock").get(&key).cloned() {
-                return Ok((hit, true));
+            let hit = cache
+                .lock()
+                .expect("cache lock")
+                .get(&key, pinned.number)
+                .cloned();
+            if let Some(hit) = hit {
+                return Ok((hit, Arc::clone(pinned), true));
             }
         }
-        let ranking = self
+        let (ranking, generation) = self
             .batcher
-            .recommend(&key.symptoms, k)
-            .map_err(|e| e.to_string())?;
+            .recommend_tagged(&key.symptoms, k)
+            .map_err(|e| ApiError::new("scoring_failed", e.to_string()))?;
         if let Some(cache) = &self.cache {
             cache
                 .lock()
                 .expect("cache lock")
-                .insert(key, ranking.clone());
+                .insert(key, generation.number, ranking.clone());
         }
-        Ok((ranking, false))
+        Ok((ranking, generation, false))
     }
 
     fn handle_line(&self, line: &str) -> Json {
         let started = Instant::now();
+        self.requests.fetch_add(1, Ordering::Relaxed);
         match self.answer(line) {
-            Ok((ids, scores_requested, cached)) => {
+            Ok(Answer::Ranking {
+                ids,
+                scores,
+                cached,
+                generation,
+            }) => {
                 let mut fields = vec![
                     ("herb_ids", json::id_array(&ids)),
                     ("cached", Json::Bool(cached)),
+                    ("generation", Json::Num(generation.number as f64)),
                     ("micros", Json::Num(started.elapsed().as_micros() as f64)),
                 ];
-                if !self.vocab.is_empty() {
+                if !generation.vocab.is_empty() {
                     fields.push((
                         "herbs",
                         Json::Arr(
                             ids.iter()
-                                .map(|&h| Json::Str(self.vocab.herb_name(h)))
+                                .map(|&h| Json::Str(generation.vocab.herb_name(h)))
                                 .collect(),
                         ),
                     ));
                 }
-                if let Some(scores) = scores_requested {
+                if let Some(scores) = scores {
                     fields.push(("scores", json::score_array(&scores)));
                 }
                 json::obj(fields)
             }
-            Err(msg) => json::obj([("error", Json::Str(msg))]),
+            Ok(Answer::Stats(stats)) => stats,
+            Err(e) => e.to_json(),
         }
     }
 
-    /// Parses and answers; returns `(herb ids, optional scores, cached)`.
-    #[allow(clippy::type_complexity)]
-    fn answer(&self, line: &str) -> Result<(Vec<u32>, Option<Vec<f32>>, bool), String> {
-        let req = json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    /// The `/stats` operation: model generation, cache counters, uptime.
+    fn stats(&self) -> Json {
+        let generation = self.slot.load();
+        let mut fields = vec![
+            ("generation", Json::Num(generation.number as f64)),
+            (
+                "model",
+                json::obj([
+                    ("symptoms", Json::Num(generation.model.n_symptoms() as f64)),
+                    ("herbs", Json::Num(generation.model.n_herbs() as f64)),
+                    ("dim", Json::Num(generation.model.dim() as f64)),
+                ]),
+            ),
+            ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
+            (
+                "requests",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+        ];
+        if let Some(cache) = &self.cache {
+            let stats = cache.lock().expect("cache lock").stats();
+            fields.push((
+                "cache",
+                json::obj([
+                    ("hits", Json::Num(stats.hits as f64)),
+                    ("misses", Json::Num(stats.misses as f64)),
+                    ("stale", Json::Num(stats.stale as f64)),
+                    ("hit_rate", Json::Num(stats.hit_rate())),
+                ]),
+            ));
+        }
+        json::obj(fields)
+    }
+
+    /// Parses and answers one request line.
+    fn answer(&self, line: &str) -> Result<Answer, ApiError> {
+        let req = json::parse(line)
+            .map_err(|e| ApiError::new("bad_json", format!("bad request JSON: {e}")))?;
+        match req.get("op").and_then(Json::as_str) {
+            None => {}
+            Some("stats") => return Ok(Answer::Stats(self.stats())),
+            Some(other) => {
+                return Err(ApiError::new("unknown_op", format!("unknown op {other:?}")))
+            }
+        }
         let k = match req.get("k") {
             None => self.config.default_k,
             Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
-            Some(other) => return Err(format!("bad k: {other}")),
+            Some(other) => return Err(ApiError::new("bad_k", format!("bad k: {other}"))),
         };
         if k > self.config.max_k {
-            return Err(format!("k {k} exceeds maximum {}", self.config.max_k));
+            return Err(ApiError::new(
+                "bad_k",
+                format!("k {k} exceeds maximum {}", self.config.max_k),
+            ));
         }
-        // Canonicalize once (sorted, deduplicated) so the ranking, the
-        // cache key and the diagnostic scores all describe the same query —
-        // duplicated ids would otherwise skew the mean pooling.
-        let key = QueryKey::new(&self.request_ids(&req)?, k);
+        // Pin one generation for the whole request: name resolution and
+        // validation below, cache lookup and herb naming in the caller.
+        let pinned = self.slot.load();
+        let ids = self.request_ids(&req, &pinned)?;
+        validate_ids(&ids, pinned.model.n_symptoms())?;
+        let key = QueryKey::new(&ids, k);
         let want_scores = matches!(req.get("scores"), Some(Json::Bool(true)));
-        let ids = want_scores.then(|| key.symptoms.clone());
-        let (ranking, cached) = self.rank(key)?;
-        let scores = match ids {
+        let score_ids = want_scores.then(|| key.symptoms.clone());
+        let (ranking, generation, cached) = self.rank(&pinned, key)?;
+        let scores = match score_ids {
             Some(ids) => {
                 // Score path bypasses the cache: it is diagnostic traffic.
-                let all = self.model.score_one(&ids).map_err(|e| e.to_string())?;
+                // Scored by the same generation that produced the ranking.
+                let all = generation
+                    .model
+                    .score_one(&ids)
+                    .map_err(|e| ApiError::new("scoring_failed", e.to_string()))?;
                 Some(ranking.iter().map(|&h| all[h as usize]).collect())
             }
             None => None,
         };
-        Ok((ranking, scores, cached))
+        Ok(Answer::Ranking {
+            ids: ranking,
+            scores,
+            cached,
+            generation,
+        })
     }
 
-    fn request_ids(&self, req: &Json) -> Result<Vec<u32>, String> {
+    fn request_ids(&self, req: &Json, generation: &Generation) -> Result<Vec<u32>, ApiError> {
         if let Some(raw) = req.get("symptom_ids") {
-            let arr = raw.as_arr().ok_or("symptom_ids must be an array")?;
+            let arr = raw
+                .as_arr()
+                .ok_or_else(|| ApiError::new("bad_request", "symptom_ids must be an array"))?;
             return arr
                 .iter()
                 .map(|v| match v.as_num() {
                     Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u32),
-                    _ => Err(format!("bad symptom id {v}")),
+                    _ => Err(ApiError::new("bad_request", format!("bad symptom id {v}"))),
                 })
                 .collect();
         }
         if let Some(raw) = req.get("symptoms") {
-            let arr = raw.as_arr().ok_or("symptoms must be an array of names")?;
+            let arr = raw.as_arr().ok_or_else(|| {
+                ApiError::new("bad_request", "symptoms must be an array of names")
+            })?;
             return arr
                 .iter()
                 .map(|v| {
-                    let name = v.as_str().ok_or_else(|| format!("bad symptom {v}"))?;
-                    self.vocab
-                        .symptom_id(name)
-                        .ok_or_else(|| format!("unknown symptom {name:?}"))
+                    let name = v
+                        .as_str()
+                        .ok_or_else(|| ApiError::new("bad_request", format!("bad symptom {v}")))?;
+                    generation.vocab.symptom_id(name).ok_or_else(|| {
+                        ApiError::new("unknown_symptom", format!("unknown symptom {name:?}"))
+                    })
                 })
                 .collect();
         }
-        Err("request needs \"symptoms\" (names) or \"symptom_ids\"".into())
+        Err(ApiError::new(
+            "bad_request",
+            "request needs \"symptoms\" (names) or \"symptom_ids\"",
+        ))
     }
+}
+
+/// A successful answer: a ranking or a `/stats` report.
+enum Answer {
+    Ranking {
+        ids: Vec<u32>,
+        scores: Option<Vec<f32>>,
+        cached: bool,
+        generation: Arc<Generation>,
+    },
+    Stats(Json),
+}
+
+/// Rejects duplicate and out-of-range symptom ids up front with
+/// structured errors. Historically duplicates were silently deduplicated
+/// and range errors surfaced as opaque scorer failures mid-batch; both
+/// are client bugs worth a precise signal.
+fn validate_ids(ids: &[u32], n_symptoms: usize) -> Result<(), ApiError> {
+    if ids.is_empty() {
+        return Err(ApiError::new("empty_symptoms", "symptom set is empty"));
+    }
+    for &s in ids {
+        if s as usize >= n_symptoms {
+            return Err(ApiError::new(
+                "symptom_out_of_range",
+                format!("symptom id {s} out of range (vocabulary size {n_symptoms})"),
+            ));
+        }
+    }
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
+        return Err(ApiError::new(
+            "duplicate_symptom",
+            format!("symptom id {} appears more than once", w[0]),
+        ));
+    }
+    Ok(())
 }
 
 /// A running (or ready-to-run) recommendation server.
@@ -228,28 +385,46 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and
-    /// prepares the scoring engine. Call [`Server::run`] to serve.
+    /// prepares the scoring engine. Call [`Server::run`] to serve. The
+    /// model becomes generation 0 of an internal [`ModelSlot`]; use
+    /// [`Server::slot`] to hot-swap later.
     pub fn bind(
         addr: impl ToSocketAddrs,
         model: FrozenModel,
         vocab: ServingVocab,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_slot(addr, Arc::new(ModelSlot::new(model, vocab)), config)
+    }
+
+    /// Binds over an externally-owned [`ModelSlot`], the live-refresh
+    /// deployment shape: the online pipeline keeps the slot and publishes
+    /// new generations while the server runs.
+    pub fn bind_slot(
+        addr: impl ToSocketAddrs,
+        slot: Arc<ModelSlot>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
-        let model = Arc::new(model);
         let engine = Arc::new(Engine {
-            batcher: Batcher::start(Arc::clone(&model), config.batcher.clone()),
+            batcher: Batcher::start_slot(Arc::clone(&slot), config.batcher.clone()),
             cache: (config.cache_capacity > 0)
-                .then(|| Mutex::new(LruCache::new(config.cache_capacity))),
-            model,
-            vocab,
+                .then(|| Mutex::new(GenerationalCache::new(config.cache_capacity))),
+            slot,
             config,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
         });
         Ok(Self {
             listener,
             engine,
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// The model slot serving this server (publish to hot-swap).
+    pub fn slot(&self) -> Arc<ModelSlot> {
+        Arc::clone(&self.engine.slot)
     }
 
     /// The bound address (useful with port 0).
@@ -291,8 +466,7 @@ impl Server {
             };
             handles.retain(|h| !h.is_finished());
             if active.load(Ordering::SeqCst) >= max_connections {
-                let refusal =
-                    json::obj([("error", Json::Str("server at connection capacity".into()))]);
+                let refusal = ApiError::new("capacity", "server at connection capacity").to_json();
                 let _ = writeln!(stream, "{refusal}");
                 continue; // stream drops: connection closed
             }
@@ -485,23 +659,60 @@ mod tests {
         let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = BufWriter::new(stream);
-        for (req, expect_err) in [
-            (r#"{"symptoms": ["s0"]}"#, false),
-            (r#"{"symptoms": ["nope"]}"#, true),
-            (r#"not json"#, true),
-            (r#"{"symptom_ids": [0], "k": 2, "scores": true}"#, false),
-            (r#"{"k": 2}"#, true),
-            (r#"{"symptom_ids": [], "k": 2}"#, true),
-            (r#"{"symptom_ids": [0], "k": 0}"#, true),
-            (r#"{"symptom_ids": [0], "k": 100000}"#, true),
+        for (req, expect_code) in [
+            (r#"{"symptoms": ["s0"]}"#, None),
+            (r#"{"symptoms": ["nope"]}"#, Some("unknown_symptom")),
+            (r#"not json"#, Some("bad_json")),
+            (r#"{"symptom_ids": [0], "k": 2, "scores": true}"#, None),
+            (r#"{"k": 2}"#, Some("bad_request")),
+            (r#"{"symptom_ids": [], "k": 2}"#, Some("empty_symptoms")),
+            (r#"{"symptom_ids": [0], "k": 0}"#, Some("bad_k")),
+            (r#"{"symptom_ids": [0], "k": 100000}"#, Some("bad_k")),
+            (
+                r#"{"symptom_ids": [0, 0], "k": 2}"#,
+                Some("duplicate_symptom"),
+            ),
+            (
+                r#"{"symptom_ids": [99], "k": 2}"#,
+                Some("symptom_out_of_range"),
+            ),
+            (r#"{"op": "nope"}"#, Some("unknown_op")),
         ] {
             writeln!(writer, "{req}").unwrap();
             writer.flush().unwrap();
             let mut line = String::new();
             reader.read_line(&mut line).unwrap();
             let resp = json::parse(line.trim()).unwrap();
-            assert_eq!(resp.get("error").is_some(), expect_err, "req {req}: {resp}");
+            let code = resp
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str);
+            assert_eq!(code, expect_code, "req {req}: {resp}");
         }
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_op_reports_generation_cache_and_uptime() {
+        let (addr, stop, handle) = test_server();
+        // Two identical queries: one miss, one hit.
+        let _ = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3}"#);
+        let warm = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3}"#);
+        assert_eq!(warm.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(warm.get("generation").and_then(Json::as_num), Some(0.0));
+        let stats = roundtrip(addr, r#"{"op": "stats"}"#);
+        assert_eq!(stats.get("generation").and_then(Json::as_num), Some(0.0));
+        assert!(stats.get("uptime_s").and_then(Json::as_num).unwrap() >= 0.0);
+        assert!(stats.get("requests").and_then(Json::as_num).unwrap() >= 2.0);
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_num), Some(1.0));
+        assert_eq!(cache.get("misses").and_then(Json::as_num), Some(1.0));
+        assert_eq!(cache.get("stale").and_then(Json::as_num), Some(0.0));
+        assert!((cache.get("hit_rate").and_then(Json::as_num).unwrap() - 0.5).abs() < 1e-12);
+        let model = stats.get("model").unwrap();
+        assert_eq!(model.get("symptoms").and_then(Json::as_num), Some(5.0));
+        assert_eq!(model.get("herbs").and_then(Json::as_num), Some(7.0));
         stop.stop();
         handle.join().unwrap();
     }

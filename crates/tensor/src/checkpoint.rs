@@ -167,6 +167,58 @@ pub fn restore_into(target: &mut ParamStore, loaded: &ParamStore) -> Result<(), 
     Ok(())
 }
 
+/// Copies values from `loaded` into `target` like [`restore_into`], but
+/// tolerates **row growth**: a target parameter may have *more rows* than
+/// its checkpointed counterpart (same column count), in which case the
+/// checkpoint fills the leading rows and the target keeps its fresh
+/// initialisation for the tail.
+///
+/// This is the warm-start path for a grown vocabulary: embedding tables
+/// are `|S| x d` / `|H| x d` and ids are append-only, so a model rebuilt
+/// over the grown corpus resumes every previously-trained row verbatim
+/// while newly-appended entities start from their initialiser. Any other
+/// shape difference (column mismatch, target smaller than checkpoint) is
+/// still a hard error — ids never shrink or renumber.
+pub fn restore_into_grown(
+    target: &mut ParamStore,
+    loaded: &ParamStore,
+) -> Result<(), CheckpointError> {
+    if target.len() != loaded.len() {
+        return Err(CheckpointError::Format(format!(
+            "parameter count mismatch: model has {}, checkpoint has {}",
+            target.len(),
+            loaded.len()
+        )));
+    }
+    let ids: Vec<_> = target
+        .iter()
+        .map(|(id, name, value)| (id, name.to_string(), value.shape()))
+        .collect();
+    for (id, name, (rows, cols)) in ids {
+        let found = loaded.iter().find(|(_, n, _)| *n == name).ok_or_else(|| {
+            CheckpointError::Format(format!("checkpoint missing parameter {name:?}"))
+        })?;
+        let (l_rows, l_cols) = found.2.shape();
+        if l_cols != cols || l_rows > rows {
+            return Err(CheckpointError::Format(format!(
+                "shape mismatch for {name:?}: model ({rows}, {cols}), checkpoint \
+                 ({l_rows}, {l_cols}) — only row growth is warm-startable"
+            )));
+        }
+        if l_rows == rows {
+            let value = found.2.clone();
+            *target.get_mut(id) = value;
+        } else {
+            let source = found.2.clone();
+            let dest = target.get_mut(id);
+            for r in 0..l_rows {
+                dest.row_mut(r).copy_from_slice(source.row(r));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +260,54 @@ mod tests {
         for ((_, _, v1), (_, _, v2)) in fresh.iter().zip(store.iter()) {
             assert!(v1.approx_eq(v2, 0.0));
         }
+    }
+
+    #[test]
+    fn restore_into_grown_prefixes_rows_and_keeps_tail() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(buf.as_slice()).unwrap();
+        // Same architecture but the "emb" table grew 10 -> 13 rows
+        // (vocabulary appended three entities).
+        let mut rng = seeded_rng(99);
+        let mut grown = ParamStore::new();
+        grown.add("layer.w", xavier_uniform(4, 6, &mut rng));
+        grown.add("layer.b", Matrix::filled(1, 6, 0.25));
+        let fresh_emb = xavier_uniform(13, 4, &mut rng);
+        let emb_id = grown.add("emb", fresh_emb.clone());
+        restore_into_grown(&mut grown, &loaded).unwrap();
+        let emb = grown.get(emb_id).clone();
+        let old_emb = store.iter().find(|(_, n, _)| *n == "emb").unwrap().2;
+        for r in 0..10 {
+            assert_eq!(emb.row(r), old_emb.row(r), "trained row {r} must resume");
+        }
+        for r in 10..13 {
+            assert_eq!(emb.row(r), fresh_emb.row(r), "new row {r} keeps its init");
+        }
+        // Exact-shape parameters restore wholesale.
+        let b = grown.iter().find(|(_, n, _)| *n == "layer.b").unwrap().2;
+        assert_eq!(b.get(0, 0), 0.0, "layer.b came from the checkpoint");
+    }
+
+    #[test]
+    fn restore_into_grown_rejects_shrink_and_col_change() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(buf.as_slice()).unwrap();
+        // Fewer rows than the checkpoint: ids never shrink.
+        let mut shrunk = ParamStore::new();
+        shrunk.add("layer.w", Matrix::zeros(4, 6));
+        shrunk.add("layer.b", Matrix::zeros(1, 6));
+        shrunk.add("emb", Matrix::zeros(7, 4));
+        assert!(restore_into_grown(&mut shrunk, &loaded).is_err());
+        // Column growth is an architecture change, not vocabulary growth.
+        let mut widened = ParamStore::new();
+        widened.add("layer.w", Matrix::zeros(4, 6));
+        widened.add("layer.b", Matrix::zeros(1, 6));
+        widened.add("emb", Matrix::zeros(10, 5));
+        assert!(restore_into_grown(&mut widened, &loaded).is_err());
     }
 
     #[test]

@@ -10,7 +10,23 @@
 //!                 --symptoms "name1,name2,..." [--k N]
 //! smgcn serve     --corpus corpus.tsv --model-file FILE [--addr HOST:PORT]
 //!                 [--connections N] [--cache N] [--batch-max N]
+//! smgcn ingest    --corpus corpus.tsv --wal wal.log
+//!                 --add "s1,s2 => h1,h2 ; s3 => h4" [--allow-new true|false]
+//! smgcn refresh   --corpus corpus.tsv --wal wal.log --model-file model.smgt
+//!                 --out model2.smgt [--frozen-out frozen2.smgt]
+//!                 [--corpus-out FILE] [--epochs N] [--scale ...] [--seed N]
 //! ```
+//!
+//! `ingest` validates prescriptions against the corpus vocabularies
+//! (appending unseen names with stable ids unless `--allow-new false`),
+//! deduplicates, and appends them to a write-ahead log — the corpus file
+//! itself is untouched. `refresh` replays that WAL, applies incremental
+//! graph deltas, warm-starts the checkpointed model and fine-tunes it a
+//! few epochs, then writes the updated checkpoint, the re-frozen serving
+//! model and the merged corpus (defaulting over the input corpus), and
+//! truncates the WAL. The online loop treats the whole corpus file as
+//! live production data; held-out evaluation stays an offline concern
+//! (`smgcn eval`).
 //!
 //! The training checkpoint carries parameters only; `train`, `eval`,
 //! `freeze` and the full-model fallbacks must agree on `--model` and
@@ -38,7 +54,9 @@ fn usage() -> ! {
          smgcn eval      --corpus FILE --model-file FILE [--model NAME]\n  \
          smgcn freeze    --corpus FILE --model-file FILE --out FILE [--model NAME]\n  \
          smgcn recommend --corpus FILE --model-file FILE --symptoms \"a,b,c\" [--k N]\n  \
-         smgcn serve     --corpus FILE --model-file FILE [--addr HOST:PORT] [--connections N] [--cache N] [--batch-max N]\n\
+         smgcn serve     --corpus FILE --model-file FILE [--addr HOST:PORT] [--connections N] [--cache N] [--batch-max N]\n  \
+         smgcn ingest    --corpus FILE --wal FILE --add \"s1,s2 => h1,h2 ; ...\" [--allow-new true|false]\n  \
+         smgcn refresh   --corpus FILE --wal FILE --model-file FILE --out FILE [--frozen-out FILE] [--corpus-out FILE] [--epochs N]\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
          --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
     );
@@ -363,6 +381,174 @@ fn cmd_serve(flags: HashMap<String, String>) {
     }
 }
 
+/// Parses an `--add` spec: records separated by `;`, sides by `=>`,
+/// names by `,`.
+fn parse_add_spec(spec: &str) -> Vec<(Vec<String>, Vec<String>)> {
+    let mut records = Vec::new();
+    for chunk in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+        let Some((sym_text, herb_text)) = chunk.split_once("=>") else {
+            eprintln!("error: record {chunk:?} needs \"symptoms => herbs\"");
+            exit(1);
+        };
+        let names = |text: &str| -> Vec<String> {
+            text.split(',')
+                .map(str::trim)
+                .filter(|n| !n.is_empty())
+                .map(str::to_string)
+                .collect()
+        };
+        records.push((names(sym_text), names(herb_text)));
+    }
+    if records.is_empty() {
+        eprintln!("error: --add produced no records");
+        exit(1);
+    }
+    records
+}
+
+fn cmd_ingest(flags: HashMap<String, String>) {
+    use smgcn_repro::online::Ingestor;
+    let corpus = load_corpus_only(&flags);
+    let wal = flags.get("wal").unwrap_or_else(|| usage());
+    let allow_new = match flags.get("allow-new").map(String::as_str) {
+        None | Some("true") => true,
+        Some("false") => false,
+        Some(_) => usage(),
+    };
+    let spec = flags.get("add").unwrap_or_else(|| usage());
+    let mut ingestor = Ingestor::with_wal(corpus, wal).unwrap_or_else(|e| {
+        eprintln!("error: cannot open WAL {wal:?}: {e}");
+        exit(1);
+    });
+    let replayed = ingestor.pending().len();
+    if replayed > 0 {
+        println!("replayed {replayed} pending record(s) from {wal}");
+    }
+    for (symptoms, herbs) in parse_add_spec(spec) {
+        match ingestor.append_named(&symptoms, &herbs, allow_new) {
+            Ok(outcome) => println!(
+                "  {:?} => {:?}: {outcome:?}",
+                symptoms.join(","),
+                herbs.join(",")
+            ),
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        }
+    }
+    let stats = ingestor.stats();
+    println!(
+        "WAL {wal}: {} accepted, {} duplicate(s), {} new symptom(s), {} new herb(s); \
+         {} record(s) pending refresh",
+        stats.accepted,
+        stats.duplicates,
+        stats.new_symptoms,
+        stats.new_herbs,
+        ingestor.pending().len()
+    );
+}
+
+fn cmd_refresh(flags: HashMap<String, String>) {
+    use smgcn_repro::online::{FineTuneConfig, OnlineConfig, OnlinePipeline};
+    let kind = model_kind(flags.get("model").map_or("smgcn", String::as_str));
+    if kind != ModelKind::Smgcn {
+        eprintln!("error: refresh warm-starts the full SMGCN only (--model smgcn)");
+        exit(1);
+    }
+    let corpus_path = flags.get("corpus").unwrap_or_else(|| usage());
+    let wal = flags.get("wal").unwrap_or_else(|| usage());
+    let out = flags.get("out").unwrap_or_else(|| usage());
+    let corpus = load_corpus_only(&flags);
+    let sc = scale(&flags);
+    let model_cfg = sc.model_config();
+    let thresholds = sc.thresholds();
+    // The online loop trains over the whole live corpus; rebuild the
+    // checkpointed parameters on operators over it.
+    let ops = GraphOperators::from_records(
+        corpus.records(),
+        corpus.n_symptoms(),
+        corpus.n_herbs(),
+        thresholds,
+    );
+    let model = rebuild_and_load(&flags, &ops);
+    let mut train_cfg = train_config_for(kind, sc);
+    train_cfg.seed = seed(&flags);
+    let ft_epochs: usize = flags
+        .get("epochs")
+        .map(|e| e.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(5);
+    let mut pipeline = OnlinePipeline::with_wal(
+        corpus,
+        model,
+        OnlineConfig {
+            thresholds,
+            model: model_cfg,
+            train: train_cfg,
+            finetune: FineTuneConfig {
+                max_epochs: ft_epochs,
+                ..FineTuneConfig::default()
+            },
+            seed: seed(&flags),
+        },
+        wal,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot open WAL {wal:?}: {e}");
+        exit(1);
+    });
+    let pending = pipeline.ingestor().pending().len();
+    println!("replayed {pending} pending record(s) from {wal}");
+    let report = pipeline.refresh().unwrap_or_else(|e| {
+        eprintln!("error: refresh failed: {e}");
+        exit(1);
+    });
+    if report.appended == 0 {
+        println!("nothing pending; no new generation published");
+        return;
+    }
+    println!(
+        "refreshed: +{} record(s) -> generation {} ({} fine-tune epoch(s), final loss {:.3})",
+        report.appended, report.generation, report.epochs_run, report.final_loss
+    );
+    println!(
+        "timings: delta {:.1} ms | finetune {:.1} ms | freeze {:.1} ms | publish {:.3} ms | total {:.1} ms",
+        report.delta_ms, report.finetune_ms, report.freeze_ms, report.publish_ms, report.total_ms
+    );
+    pipeline.model().save(out).unwrap_or_else(|e| {
+        eprintln!("error: cannot save checkpoint: {e}");
+        exit(1);
+    });
+    println!("saved refreshed checkpoint to {out}");
+    if let Some(frozen_out) = flags.get("frozen-out") {
+        pipeline
+            .slot()
+            .load()
+            .model
+            .save(frozen_out)
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot save frozen model: {e}");
+                exit(1);
+            });
+        println!("saved frozen model to {frozen_out}");
+    }
+    let corpus_out = flags.get("corpus-out").unwrap_or(corpus_path);
+    corpus_io::save_corpus(pipeline.corpus(), corpus_out).unwrap_or_else(|e| {
+        eprintln!("error: cannot write merged corpus {corpus_out:?}: {e}");
+        exit(1);
+    });
+    // Checkpoint and merged corpus are on disk; only now is it safe to
+    // drop the log (a failure above keeps the WAL covering the records).
+    pipeline.truncate_wal().unwrap_or_else(|e| {
+        eprintln!("error: cannot truncate WAL {wal:?}: {e}");
+        exit(1);
+    });
+    println!(
+        "merged corpus written to {corpus_out} ({} prescriptions); WAL truncated",
+        pipeline.corpus().len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -376,6 +562,8 @@ fn main() {
         "freeze" => cmd_freeze(flags),
         "recommend" => cmd_recommend(flags),
         "serve" => cmd_serve(flags),
+        "ingest" => cmd_ingest(flags),
+        "refresh" => cmd_refresh(flags),
         _ => usage(),
     }
 }

@@ -11,8 +11,10 @@
 //! - [`core`] — SMGCN, its ablations, and the aligned GNN baselines;
 //! - [`topics`] — the HC-KGETM topic-model baseline;
 //! - [`eval`] — ranking metrics, experiment harness and reports;
-//! - [`serve`] — frozen-model inference: batched scoring, LRU caching
-//!   and the `smgcn serve` TCP loop.
+//! - [`serve`] — frozen-model inference: batched scoring, LRU caching,
+//!   hot model swap and the `smgcn serve` TCP loop;
+//! - [`online`] — the live loop: streaming ingestion (WAL), incremental
+//!   graph deltas, warm-start fine-tuning and generation publishing.
 //!
 //! See README.md for a tour and DESIGN.md for the experiment index.
 
@@ -20,6 +22,7 @@ pub use smgcn_core as core;
 pub use smgcn_data as data;
 pub use smgcn_eval as eval;
 pub use smgcn_graph as graph;
+pub use smgcn_online as online;
 pub use smgcn_serve as serve;
 pub use smgcn_tensor as tensor;
 pub use smgcn_topics as topics;
@@ -36,8 +39,12 @@ pub mod prelude {
         PopularityRanker, Scale, PAPER_KS,
     };
     pub use smgcn_graph::{GraphOperators, SynergyThresholds};
+    pub use smgcn_online::{
+        FineTuneConfig, IncrementalGraphs, Ingestor, OnlineConfig, OnlinePipeline,
+    };
     pub use smgcn_serve::{
-        Batcher, BatcherConfig, FrozenModel, LruCache, Server, ServerConfig, ServingVocab,
+        Batcher, BatcherConfig, FrozenModel, LruCache, ModelSlot, Server, ServerConfig,
+        ServingVocab,
     };
     pub use smgcn_tensor::prelude::*;
     pub use smgcn_topics::{HcKgetm, KgetmConfig};
