@@ -1,0 +1,209 @@
+//! Rolling model publishes: ship one generation to the whole fleet
+//! without going dark.
+//!
+//! The single-node story (PR 3) swaps a [`smgcn_serve::ModelSlot`]
+//! in-process; a fleet needs the same upgrade *across machines*. The
+//! coordinator drives the `{"op":"publish"}` admin verb **one replica at
+//! a time**:
+//!
+//! - while replica `i` swaps, replicas `i+1..` keep serving their
+//!   current generation and `0..i` serve the new one — the fleet never
+//!   goes dark, and every individual response still comes from exactly
+//!   one replica pinned to exactly one generation (the no-mixing
+//!   invariant is per-response, and replicas enforce it locally);
+//! - each swap is verified from the replica's acknowledgement before
+//!   the next one starts, so a bad artifact stops after the first
+//!   replica instead of taking out the fleet;
+//! - ejected replicas are skipped and reported: when they come back
+//!   they re-probe as healthy but stale, and the operator (or the next
+//!   publish) catches them up — the outcome list says exactly who needs
+//!   it.
+
+use std::net::SocketAddr;
+
+use smgcn_serve::json::{self, Json};
+
+use crate::pool::{PoolConfig, ReplicaConn, ReplicaPool};
+
+/// What one replica did with the publish.
+#[derive(Clone, Debug)]
+pub struct PublishOutcome {
+    /// The replica's address.
+    pub addr: SocketAddr,
+    /// True when the replica acknowledged the new generation.
+    pub ok: bool,
+    /// The replica's generation after the publish (when acknowledged).
+    pub generation: Option<u64>,
+    /// Failure description (transport error, replica rejection, or
+    /// "skipped: ejected").
+    pub error: Option<String>,
+    /// True when the replica *actively rejected* the artifact (reachable
+    /// and healthy, blob refused) as opposed to a transport failure —
+    /// the rollout stops on a rejection because every other replica
+    /// would refuse the same bytes.
+    pub rejected: bool,
+}
+
+/// A whole fleet's publish result.
+#[derive(Clone, Debug)]
+pub struct PublishReport {
+    /// Per-replica outcomes, in rollout order.
+    pub outcomes: Vec<PublishOutcome>,
+}
+
+impl PublishReport {
+    /// Replicas that acknowledged.
+    pub fn published(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.ok).count()
+    }
+
+    /// True when every replica acknowledged.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.ok)
+    }
+
+    /// The wire-level report behind the router's publish verb.
+    pub fn to_json(&self) -> Json {
+        json::obj([
+            ("published", Json::Num(self.published() as f64)),
+            ("replicas", Json::Num(self.outcomes.len() as f64)),
+            ("all_ok", Json::Bool(self.all_ok())),
+            (
+                "outcomes",
+                Json::Arr(
+                    self.outcomes
+                        .iter()
+                        .map(|o| {
+                            let mut fields = vec![
+                                ("addr", Json::Str(o.addr.to_string())),
+                                ("ok", Json::Bool(o.ok)),
+                            ];
+                            if let Some(g) = o.generation {
+                                fields.push(("generation", Json::Num(g as f64)));
+                            }
+                            if let Some(e) = &o.error {
+                                fields.push(("error", Json::Str(e.clone())));
+                            }
+                            json::obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Publishes `artifact_b64` to one replica over a dedicated connection
+/// (publishes are rare; stealing pooled request connections for a
+/// potentially large admin line would add tail latency to live traffic).
+fn publish_one(addr: SocketAddr, artifact_b64: &str, config: &PoolConfig) -> PublishOutcome {
+    let fail = |error: String| PublishOutcome {
+        addr,
+        ok: false,
+        generation: None,
+        error: Some(error),
+        rejected: false,
+    };
+    let mut conn = match ReplicaConn::connect(addr, config) {
+        Ok(conn) => conn,
+        Err(e) => return fail(format!("connect: {e}")),
+    };
+    let request = json::obj([
+        ("op", Json::Str("publish".into())),
+        ("artifact", Json::Str(artifact_b64.to_string())),
+    ]);
+    let response = match conn.round_trip(&request.to_string()) {
+        Ok(line) => line,
+        Err(e) => return fail(format!("publish round trip: {e}")),
+    };
+    let Ok(ack) = json::parse(&response) else {
+        return fail(format!("unparseable publish ack: {response}"));
+    };
+    if let Some(err) = ack.get("error") {
+        // A retryable error is an overload shed (the accept loop refused
+        // the admin connection) — transient, not a verdict on the
+        // artifact; the rollout continues past this replica. Any other
+        // error is the replica refusing the blob itself, which stops the
+        // rollout: every other replica would refuse the same bytes.
+        if err.get("retryable") == Some(&Json::Bool(true)) {
+            return fail(format!("replica shed the publish: {err}"));
+        }
+        return PublishOutcome {
+            addr,
+            ok: false,
+            generation: None,
+            error: Some(format!("replica rejected publish: {err}")),
+            rejected: true,
+        };
+    }
+    match (
+        ack.get("published"),
+        ack.get("generation").and_then(Json::as_num),
+    ) {
+        (Some(&Json::Bool(true)), Some(generation)) => PublishOutcome {
+            addr,
+            ok: true,
+            generation: Some(generation as u64),
+            error: None,
+            rejected: false,
+        },
+        _ => fail(format!("unexpected publish ack: {ack}")),
+    }
+}
+
+/// Rolls `artifact_b64` across the pool's replicas in id order, skipping
+/// ejected ones (reported as failures so nothing is silently stale) and
+/// stopping at the first rejection — a bad artifact must not take down
+/// generation consistency fleet-wide.
+pub fn rolling_publish(pool: &ReplicaPool, artifact_b64: &str) -> PublishReport {
+    let mut outcomes = Vec::with_capacity(pool.len());
+    for replica in pool.replicas() {
+        if !replica.available() {
+            outcomes.push(PublishOutcome {
+                addr: replica.addr,
+                ok: false,
+                generation: None,
+                error: Some("skipped: ejected".into()),
+                rejected: false,
+            });
+            continue;
+        }
+        let outcome = publish_one(replica.addr, artifact_b64, &pool.config());
+        let rejected = outcome.rejected;
+        if outcome.ok {
+            replica.note_success();
+        } else if !rejected {
+            // Transport-level failure: blame the replica. A *rejection*
+            // blames the artifact — the replica is healthy and still
+            // serving its current generation.
+            replica.note_failure("publish failed");
+        }
+        outcomes.push(outcome);
+        if rejected {
+            // The artifact itself is bad; the remaining replicas keep the
+            // old generation rather than each rejecting it in turn.
+            break;
+        }
+    }
+    PublishReport { outcomes }
+}
+
+/// Rolls an artifact across explicit addresses (the CLI path — no pool,
+/// fresh connection per replica, same one-at-a-time semantics).
+pub fn rolling_publish_addrs(
+    addrs: &[SocketAddr],
+    artifact: &[u8],
+    config: &PoolConfig,
+) -> PublishReport {
+    let artifact_b64 = smgcn_serve::artifact::to_base64(artifact);
+    let mut outcomes = Vec::with_capacity(addrs.len());
+    for &addr in addrs {
+        let outcome = publish_one(addr, &artifact_b64, config);
+        let rejected = outcome.rejected;
+        outcomes.push(outcome);
+        if rejected {
+            break;
+        }
+    }
+    PublishReport { outcomes }
+}

@@ -1,0 +1,595 @@
+//! The cluster front-end: one NDJSON endpoint over N replicas.
+//!
+//! [`Router`] speaks exactly the `smgcn-serve` wire protocol, so clients
+//! cannot tell a router from a single replica — scaling out is a config
+//! change, not a client change. Per request line:
+//!
+//! 1. parse the JSON (malformed lines are answered locally — a replica
+//!    would reject them identically, so no hop is spent);
+//! 2. intercept admin ops: `{"op":"stats"}` answers with *router* stats
+//!    (fleet health, shed/failover counters), `{"op":"publish"}` runs a
+//!    rolling publish across the fleet (see [`crate::publish`]);
+//! 3. hash the canonical symptom-set key onto the consistent-hash ring
+//!    ([`crate::ring`]) — the same presentation always lands on the same
+//!    replica, so replica LRU caches stay hot;
+//! 4. walk the ring's candidate list: lease a connection to the first
+//!    available replica, forward, relay the response. Transport failures
+//!    and retryable overload errors (`overloaded`, `queue_full`) move to
+//!    the next candidate — the request is a pure read, so replays are
+//!    safe. Only when every replica fails does the client see an error.
+//!
+//! When every candidate is at its in-flight cap the handler *waits*
+//! briefly (bounded by `lease_patience`) instead of failing — bursty
+//! saturation smooths out in milliseconds, and the per-replica caps are
+//! what keep one hot key from queueing the world behind a single
+//! backend.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smgcn_serve::json::{self, Json};
+
+use crate::pool::{PoolConfig, ReplicaPool};
+use crate::publish::rolling_publish;
+use crate::ring::{key_of_ids, key_of_names, HashRing};
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Maximum concurrent client connections (extras are shed with a
+    /// structured `overloaded` error, mirroring the replica behaviour).
+    pub max_connections: usize,
+    /// Virtual nodes per replica on the hash ring.
+    pub vnodes: usize,
+    /// Pool and health-probe settings.
+    pub pool: PoolConfig,
+    /// Interval between active health probes (zero disables probing).
+    pub probe_interval: Duration,
+    /// How long a request may wait for an in-flight slot on some replica
+    /// before the router gives up and sheds it.
+    pub lease_patience: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 256,
+            vnodes: 128,
+            pool: PoolConfig::default(),
+            probe_interval: Duration::from_millis(200),
+            lease_patience: Duration::from_secs(2),
+        }
+    }
+}
+
+struct RouterEngine {
+    ring: HashRing,
+    pool: ReplicaPool,
+    config: RouterConfig,
+    started: Instant,
+    requests: AtomicU64,
+    forwarded: AtomicU64,
+    /// Requests that needed at least one failover hop.
+    failovers: AtomicU64,
+    /// Individual forward attempts that failed (transport or retryable).
+    retries: AtomicU64,
+    /// Client connections refused at the accept loop.
+    sheds: AtomicU64,
+    /// Requests that exhausted every replica.
+    exhausted: AtomicU64,
+    /// Serializes fleet-level rolling publishes: two interleaved
+    /// rollouts could leave replicas serving *different* models under
+    /// the same generation number (each replica numbers generations
+    /// locally), permanently breaking ranking/generation consistency
+    /// across failover. One rollout at a time makes the last publish win
+    /// everywhere.
+    publish_lock: std::sync::Mutex<()>,
+}
+
+/// Outcome of one replica attempt in the failover walk.
+enum Attempt {
+    /// The replica answered (success or a non-retryable client error).
+    Served(String),
+    /// The replica answered with a retryable overload shed — it is up
+    /// but saturated; re-forwarding at it amplifies the overload.
+    Shed,
+    /// Transport failed; the replica has been ejected with backoff.
+    TransportFailed,
+    /// All in-flight slots taken — momentarily busy, worth waiting for.
+    AtCapacity,
+    /// Ejected and still backing off; skipped without blame.
+    Ejected,
+}
+
+/// Is this replica response a retryable overload signal (the replica
+/// never scored the request, so replaying it elsewhere is safe)?
+fn is_retryable_error(response: &str) -> bool {
+    // Cheap pre-filter before parsing: overload errors are rare.
+    if !response.contains("\"retryable\"") {
+        return false;
+    }
+    json::parse(response)
+        .ok()
+        .and_then(|r| r.get("error").and_then(|e| e.get("retryable")).cloned())
+        == Some(Json::Bool(true))
+}
+
+impl RouterEngine {
+    /// The affinity key of a request: the canonical (sorted) symptom-id
+    /// set when ids are given, the name set otherwise. Requests without
+    /// either still hash (to a constant) so they take a consistent path.
+    fn route_key(req: &Json) -> u64 {
+        if let Some(ids) = req.get("symptom_ids").and_then(Json::as_arr) {
+            let mut numeric: Vec<u32> = ids
+                .iter()
+                .filter_map(|v| v.as_num().map(|n| n as u32))
+                .collect();
+            numeric.sort_unstable();
+            numeric.dedup();
+            return key_of_ids(&numeric);
+        }
+        if let Some(names) = req.get("symptoms").and_then(Json::as_arr) {
+            let names: Vec<&str> = names.iter().filter_map(Json::as_str).collect();
+            return key_of_names(&names);
+        }
+        key_of_ids(&[])
+    }
+
+    /// One attempt against one replica; see [`Attempt`] for what each
+    /// outcome means to the failover walk.
+    fn attempt(&self, replica: &crate::pool::Replica, line: &str) -> Attempt {
+        if !replica.available() {
+            return Attempt::Ejected;
+        }
+        let Some(mut lease) = replica.try_lease() else {
+            // Available a moment ago but no lease: either its in-flight
+            // cap is filled (still available — worth waiting for) or the
+            // connect inside try_lease just failed and ejected it.
+            return if replica.available() {
+                Attempt::AtCapacity
+            } else {
+                Attempt::TransportFailed
+            };
+        };
+        // A pooled connection may be stale (the peer restarted since it
+        // was parked): its failure earns one retry on a *fresh* socket —
+        // never a second pooled one, which could be just as stale and
+        // would get a healthy restarted replica ejected.
+        let mut fresh_tried = !lease.pooled;
+        loop {
+            match lease.conn.round_trip(line) {
+                Ok(response) => {
+                    replica.release(lease);
+                    if is_retryable_error(&response) {
+                        // Shed without scoring: transport is fine, the
+                        // request is safe to replay on the next candidate.
+                        return Attempt::Shed;
+                    }
+                    return Attempt::Served(response);
+                }
+                Err(_) if !fresh_tried => {
+                    replica.discard_quiet(lease);
+                    fresh_tried = true;
+                    lease = match replica.lease_fresh() {
+                        Some(fresh) => fresh,
+                        None => return Attempt::TransportFailed,
+                    };
+                }
+                Err(_) => {
+                    replica.discard(lease, "forward failed");
+                    return Attempt::TransportFailed;
+                }
+            }
+        }
+    }
+
+    /// Forwards one request line, walking the candidate list with
+    /// failover. Returns the replica's raw response line.
+    fn forward(&self, key: u64, line: &str) -> String {
+        let candidates = self.ring.candidates(key);
+        let deadline = Instant::now() + self.config.lease_patience;
+        let mut hops = 0u64;
+        let mut pause = Duration::from_micros(200);
+        loop {
+            let mut sheds_this_pass = 0usize;
+            let mut at_capacity_this_pass = 0usize;
+            for &id in &candidates {
+                match self.attempt(self.pool.replica(id), line) {
+                    Attempt::Served(response) => {
+                        self.forwarded.fetch_add(1, Ordering::Relaxed);
+                        if hops > 0 {
+                            self.failovers.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return response;
+                    }
+                    Attempt::Shed => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        hops += 1;
+                        sheds_this_pass += 1;
+                    }
+                    Attempt::TransportFailed => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        hops += 1;
+                    }
+                    Attempt::AtCapacity => {
+                        at_capacity_this_pass += 1;
+                    }
+                    Attempt::Ejected => {}
+                }
+            }
+            // Some replica actively shed the request and nobody else is
+            // even momentarily busy (the rest are ejected or failed,
+            // which ejects them): waiting would only re-forward the same
+            // request at the replica whose saturation caused the shed.
+            // Propagate the backpressure to the client instead, with the
+            // same retryable contract the replicas use. When a candidate
+            // is merely at its in-flight cap, waiting *is* productive —
+            // slots free up in about one service time.
+            if sheds_this_pass > 0 && at_capacity_this_pass == 0 {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                return json::obj([(
+                    "error",
+                    json::obj([
+                        ("code", Json::Str("overloaded".into())),
+                        (
+                            "message",
+                            Json::Str("every replica shed the request (fleet saturated)".into()),
+                        ),
+                        ("retryable", Json::Bool(true)),
+                    ]),
+                )])
+                .to_string();
+            }
+            if Instant::now() >= deadline {
+                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                return json::obj([(
+                    "error",
+                    json::obj([
+                        ("code", Json::Str("no_replicas".into())),
+                        (
+                            "message",
+                            Json::Str("no replica available (all ejected or saturated)".into()),
+                        ),
+                        ("retryable", Json::Bool(true)),
+                    ]),
+                )])
+                .to_string();
+            }
+            // Candidates were ejected or at their in-flight caps: wait
+            // for a slot or a backoff expiry, backing the poll off
+            // exponentially so a long outage doesn't spin.
+            std::thread::sleep(pause);
+            pause = (pause * 2).min(Duration::from_millis(10));
+        }
+    }
+
+    /// Router-level `{"op":"stats"}`: fleet health plus routing counters.
+    fn stats(&self) -> Json {
+        let replicas: Vec<Json> = self
+            .pool
+            .replicas()
+            .iter()
+            .map(|r| {
+                let h = r.health();
+                let mut fields = vec![
+                    ("addr", Json::Str(r.addr.to_string())),
+                    ("healthy", Json::Bool(h.healthy)),
+                    ("in_flight", Json::Num(r.in_flight() as f64)),
+                    (
+                        "consecutive_failures",
+                        Json::Num(f64::from(h.consecutive_failures)),
+                    ),
+                ];
+                if let Some(g) = h.generation {
+                    fields.push(("generation", Json::Num(g as f64)));
+                }
+                if let Some(p99) = h.p99_us {
+                    fields.push(("p99_us", Json::Num(p99)));
+                }
+                if let Some(reason) = h.eject_reason {
+                    fields.push(("eject_reason", Json::Str(reason.to_string())));
+                }
+                json::obj(fields)
+            })
+            .collect();
+        json::obj([
+            ("router", Json::Bool(true)),
+            ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
+            (
+                "requests",
+                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "forwarded",
+                Json::Num(self.forwarded.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "retries",
+                Json::Num(self.retries.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "failovers",
+                Json::Num(self.failovers.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "sheds",
+                Json::Num(self.sheds.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "exhausted",
+                Json::Num(self.exhausted.load(Ordering::Relaxed) as f64),
+            ),
+            ("replicas", Json::Arr(replicas)),
+        ])
+    }
+
+    /// One client request line in, one response line out.
+    fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let req = match json::parse(line) {
+            Ok(req) => req,
+            Err(e) => {
+                return json::obj([(
+                    "error",
+                    json::obj([
+                        ("code", Json::Str("bad_json".into())),
+                        ("message", Json::Str(format!("bad request JSON: {e}"))),
+                    ]),
+                )])
+                .to_string()
+            }
+        };
+        match req.get("op").and_then(Json::as_str) {
+            Some("stats") => return self.stats().to_string(),
+            Some("publish") => {
+                let Some(artifact) = req.get("artifact").and_then(Json::as_str) else {
+                    return json::obj([(
+                        "error",
+                        json::obj([
+                            ("code", Json::Str("bad_request".into())),
+                            (
+                                "message",
+                                Json::Str("publish needs \"artifact\" (base64)".into()),
+                            ),
+                        ]),
+                    )])
+                    .to_string();
+                };
+                let _rollout = self.publish_lock.lock().expect("publish lock");
+                return rolling_publish(&self.pool, artifact).to_json().to_string();
+            }
+            _ => {}
+        }
+        // Everything else — rankings and any future replica-side op —
+        // forwards with affinity + failover.
+        self.forward(Self::route_key(&req), line)
+    }
+}
+
+/// A running (or ready-to-run) cluster router.
+pub struct Router {
+    listener: TcpListener,
+    engine: Arc<RouterEngine>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Router {
+    /// Binds `addr` and prepares routing over `replicas` (ring ids are
+    /// the vector indices).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        replicas: Vec<SocketAddr>,
+        config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        assert!(!replicas.is_empty(), "Router: need at least one replica");
+        let listener = TcpListener::bind(addr)?;
+        let engine = Arc::new(RouterEngine {
+            ring: HashRing::with_replicas(replicas.len(), config.vnodes),
+            pool: ReplicaPool::new(replicas, config.pool.clone()),
+            config,
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            publish_lock: std::sync::Mutex::new(()),
+        });
+        Ok(Self {
+            listener,
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Router::run`] return.
+    pub fn stop_handle(&self) -> RouterStopHandle {
+        RouterStopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Serves until the stop handle fires: a health-probe thread plus one
+    /// handler thread per client connection (shedding over the cap, like
+    /// the replica server).
+    pub fn run(self) -> std::io::Result<()> {
+        let prober = {
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let interval = self.engine.config.probe_interval;
+            (!interval.is_zero()).then(|| {
+                std::thread::Builder::new()
+                    .name("smgcn-router-probe".into())
+                    .spawn(move || {
+                        while !stop.load(Ordering::SeqCst) {
+                            engine.pool.probe_all();
+                            std::thread::sleep(interval);
+                        }
+                    })
+                    .expect("spawn probe thread")
+            })
+        };
+        let max_connections = self.engine.config.max_connections.max(1);
+        let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for (conn_id, stream) in self.listener.incoming().enumerate() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    if self.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    eprintln!("router accept error: {e}");
+                    continue;
+                }
+            };
+            handles.retain(|h| !h.is_finished());
+            if active.load(Ordering::SeqCst) >= max_connections {
+                self.engine.sheds.fetch_add(1, Ordering::Relaxed);
+                let refusal = json::obj([(
+                    "error",
+                    json::obj([
+                        ("code", Json::Str("overloaded".into())),
+                        ("message", Json::Str("router at connection capacity".into())),
+                        ("retryable", Json::Bool(true)),
+                    ]),
+                )]);
+                let _ = writeln!(stream, "{refusal}");
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let engine = Arc::clone(&self.engine);
+            let stop = Arc::clone(&self.stop);
+            let active = Arc::clone(&active);
+            let handle = std::thread::Builder::new()
+                .name(format!("smgcn-router-conn-{conn_id}"))
+                .spawn(move || {
+                    handle_client(&engine, stream, &stop);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                })
+                .expect("spawn router connection handler");
+            handles.push(handle);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(p) = prober {
+            let _ = p.join();
+        }
+        Ok(())
+    }
+}
+
+/// Makes a running router's accept loop exit.
+pub struct RouterStopHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl RouterStopHandle {
+    /// Signals shutdown and unblocks the accept loop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn handle_client(engine: &RouterEngine, stream: TcpStream, stop: &AtomicBool) {
+    let peer = stream.peer_addr().ok();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("router connection clone failed for {peer:?}: {e}");
+            return;
+        }
+    });
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return,
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = engine.handle_line(line.trim_end());
+        if writeln!(writer, "{response}")
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+        // Graceful drain, mirroring the replica server: a busy pipelined
+        // client never hits the read timeout, so check after each answer.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_detection_matches_protocol() {
+        assert!(is_retryable_error(
+            r#"{"error":{"code":"queue_full","message":"x","retryable":true}}"#
+        ));
+        assert!(is_retryable_error(
+            r#"{"error":{"code":"overloaded","message":"x","retryable":true}}"#
+        ));
+        assert!(!is_retryable_error(
+            r#"{"error":{"code":"bad_k","message":"x"}}"#
+        ));
+        assert!(!is_retryable_error(r#"{"herb_ids":[1,2],"generation":0}"#));
+        // A ranking mentioning the word in a name must not trip it.
+        assert!(!is_retryable_error(r#"{"herbs":["\"retryable\""]}"#));
+    }
+
+    #[test]
+    fn route_key_is_form_canonical() {
+        let a = json::parse(r#"{"symptom_ids":[3,1,2],"k":5}"#).unwrap();
+        let b = json::parse(r#"{"symptom_ids":[1,2,3],"k":9}"#).unwrap();
+        assert_eq!(
+            RouterEngine::route_key(&a),
+            RouterEngine::route_key(&b),
+            "permutation and k do not change the affinity key"
+        );
+        let c = json::parse(r#"{"symptoms":["fever","cough"]}"#).unwrap();
+        let d = json::parse(r#"{"symptoms":["cough","fever"]}"#).unwrap();
+        assert_eq!(RouterEngine::route_key(&c), RouterEngine::route_key(&d));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the consistent-hash ring: key balance across
+//! replicas and minimal remapping on membership changes.
+//!
+//! These two properties are the whole point of consistent hashing over
+//! `key % n`:
+//!
+//! - **balance** — with enough virtual nodes, every replica owns a
+//!   keyspace share within a constant factor of `1/N`, so no replica's
+//!   cache or CPU is systematically hot;
+//! - **minimal remapping** — removing a replica only moves the keys it
+//!   owned (everyone else's cache affinity survives the failover), and
+//!   adding one only *steals* keys (every moved key moves **to** the
+//!   newcomer, and its share is again ~1/N).
+
+use proptest::prelude::*;
+use smgcn_cluster::ring::{key_of_ids, HashRing};
+
+/// Distinct pseudo-random keys derived from drawn symptom sets.
+fn keys(sets: &[Vec<u32>]) -> Vec<u64> {
+    let mut keys: Vec<u64> = sets
+        .iter()
+        .map(|set| {
+            let mut sorted = set.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            key_of_ids(&sorted)
+        })
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn keys_balance_across_replicas(
+        n_replicas in 2usize..8,
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..500, 1..6), 400..600),
+    ) {
+        let ring = HashRing::with_replicas(n_replicas, 128);
+        let keys = keys(&sets);
+        let mut owned = vec![0usize; n_replicas];
+        for &k in &keys {
+            owned[ring.route(k).unwrap()] += 1;
+        }
+        let mean = keys.len() as f64 / n_replicas as f64;
+        for (id, &n) in owned.iter().enumerate() {
+            // 128 vnodes keep keyspace shares within a factor ~2 of
+            // uniform; with sampling noise on a few hundred keys, a
+            // factor-3 band is a safe but still meaningful bound (it
+            // rules out the degenerate hash that maps everything to one
+            // replica, and the off-by-one that starves one).
+            prop_assert!(
+                (n as f64) < 3.0 * mean && (n as f64) > mean / 3.0,
+                "replica {id} owns {n} of {} keys (mean {mean:.1}): {owned:?}",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_replica_only_moves_its_own_keys(
+        n_replicas in 3usize..8,
+        victim_seed in 0usize..64,
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..500, 1..6), 200..400),
+    ) {
+        let ring = HashRing::with_replicas(n_replicas, 64);
+        let victim = victim_seed % n_replicas;
+        let mut shrunk = ring.clone();
+        shrunk.remove(victim);
+        let keys = keys(&sets);
+        let mut moved = 0usize;
+        for &k in &keys {
+            let before = ring.route(k).unwrap();
+            let after = shrunk.route(k).unwrap();
+            prop_assert!(after != victim, "key routed to a removed replica");
+            if before != victim {
+                prop_assert_eq!(
+                    before, after,
+                    "key {} moved although its owner survived", k
+                );
+            } else {
+                moved += 1;
+                // The orphaned key lands exactly on the old ring's first
+                // failover candidate — the router's walk and the
+                // post-removal ring agree on where traffic goes.
+                let fallback = ring.candidates(k)[1];
+                prop_assert_eq!(after, fallback);
+            }
+        }
+        // Orphans are ~1/N of the keyspace, never the majority.
+        prop_assert!(
+            moved * 2 < keys.len() + n_replicas,
+            "removal moved {moved} of {} keys", keys.len()
+        );
+    }
+
+    #[test]
+    fn adding_a_replica_only_steals_keys(
+        n_replicas in 2usize..7,
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..500, 1..6), 200..400),
+    ) {
+        let ring = HashRing::with_replicas(n_replicas, 64);
+        let mut grown = ring.clone();
+        grown.add(n_replicas);
+        let keys = keys(&sets);
+        let mut stolen = 0usize;
+        for &k in &keys {
+            let before = ring.route(k).unwrap();
+            let after = grown.route(k).unwrap();
+            if before != after {
+                prop_assert_eq!(
+                    after, n_replicas,
+                    "key {} moved between pre-existing replicas", k
+                );
+                stolen += 1;
+            }
+        }
+        // The newcomer takes ~1/(N+1): strictly between zero-ish and
+        // half the keyspace for the sizes drawn here.
+        prop_assert!(
+            stolen * 2 < keys.len(),
+            "join stole {stolen} of {} keys", keys.len()
+        );
+    }
+
+    #[test]
+    fn join_then_leave_is_identity(
+        n_replicas in 2usize..7,
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..500, 1..6), 50..150),
+    ) {
+        let ring = HashRing::with_replicas(n_replicas, 64);
+        let mut churned = ring.clone();
+        churned.add(n_replicas);
+        churned.remove(n_replicas);
+        for &k in &keys(&sets) {
+            prop_assert_eq!(ring.route(k), churned.route(k));
+        }
+    }
+}

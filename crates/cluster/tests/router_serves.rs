@@ -1,0 +1,263 @@
+//! In-process cluster tests: 3 replica servers behind a [`Router`].
+//!
+//! The multi-process kill-and-publish drill lives at the workspace root
+//! (`tests/cluster_failover.rs`); these tests pin the router's protocol
+//! behaviour where it is cheap to do so — affinity (repeat queries hit
+//! the same replica's cache), replica-loss failover, router stats and a
+//! rolling publish driven through the router's admin verb.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use smgcn_cluster::{PoolConfig, Router, RouterConfig};
+use smgcn_serve::json::{self, Json};
+use smgcn_serve::{FrozenModel, Server, ServerConfig, ServingVocab};
+use smgcn_tensor::Matrix;
+
+const N_SYMPTOMS: usize = 6;
+
+fn model_for(generation: u64) -> FrozenModel {
+    let g = generation as usize + 1;
+    let symptoms = Matrix::from_fn(N_SYMPTOMS, 4, |r, c| ((r * 5 + c * g + g) % 7) as f32 - 2.9);
+    let herbs = Matrix::from_fn(9, 4, |r, c| ((r * (3 + g) + c * 11) % 8) as f32 - 3.4);
+    FrozenModel::from_parts(symptoms, herbs, None).unwrap()
+}
+
+fn vocab_for(generation: u64) -> ServingVocab {
+    ServingVocab::new(
+        (0..N_SYMPTOMS).map(|i| format!("s{i}")).collect(),
+        (0..9).map(|i| format!("g{generation}-h{i}")).collect(),
+    )
+}
+
+struct Replica {
+    addr: SocketAddr,
+    stop: smgcn_serve::server::StopHandle,
+    handle: std::thread::JoinHandle<()>,
+}
+
+fn start_replica() -> Replica {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        model_for(0),
+        vocab_for(0),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    Replica { addr, stop, handle }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        json::parse(response.trim()).unwrap()
+    }
+}
+
+fn fast_router() -> RouterConfig {
+    RouterConfig {
+        pool: PoolConfig {
+            eject_base: Duration::from_millis(50),
+            eject_max: Duration::from_millis(500),
+            replica_timeout: Duration::from_secs(2),
+            ..PoolConfig::default()
+        },
+        probe_interval: Duration::from_millis(50),
+        lease_patience: Duration::from_secs(2),
+        ..RouterConfig::default()
+    }
+}
+
+#[test]
+fn routes_with_cache_affinity_and_answers_like_a_replica() {
+    let replicas: Vec<Replica> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let router = Router::bind("127.0.0.1:0", addrs.clone(), fast_router()).unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let stop = router.stop_handle();
+    let handle = std::thread::spawn(move || router.run().unwrap());
+
+    let reference = model_for(0);
+    let mut client = Client::connect(router_addr);
+    // Every 2-element set: the ranking through the router equals the
+    // frozen model directly, and a repeat of the same canonical set is a
+    // replica cache hit (affinity: both forms land on the same replica).
+    for a in 0..N_SYMPTOMS as u32 {
+        for b in (a + 1)..N_SYMPTOMS as u32 {
+            let cold = client.request(&format!(r#"{{"symptom_ids":[{a},{b}],"k":4}}"#));
+            assert!(cold.get("error").is_none(), "{cold}");
+            let ids: Vec<u32> = cold
+                .get("herb_ids")
+                .and_then(Json::as_arr)
+                .unwrap()
+                .iter()
+                .map(|v| v.as_num().unwrap() as u32)
+                .collect();
+            assert_eq!(ids, reference.recommend(&[a, b], 4).unwrap());
+            // Permuted ids: same canonical key -> same replica -> hit.
+            let warm = client.request(&format!(r#"{{"symptom_ids":[{b},{a}],"k":4}}"#));
+            assert_eq!(
+                warm.get("cached"),
+                Some(&Json::Bool(true)),
+                "affinity must make the permuted repeat a cache hit: {warm}"
+            );
+        }
+    }
+
+    // Router stats see the whole fleet as healthy.
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("router"), Some(&Json::Bool(true)));
+    let fleet = stats.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(fleet.len(), 3);
+    assert!(fleet
+        .iter()
+        .all(|r| r.get("healthy") == Some(&Json::Bool(true))));
+    assert!(stats.get("forwarded").and_then(Json::as_num).unwrap() >= 30.0);
+
+    stop.stop();
+    handle.join().unwrap();
+    for r in replicas {
+        r.stop.stop();
+        r.handle.join().unwrap();
+    }
+}
+
+#[test]
+fn failover_hides_a_dead_replica_and_probe_ejects_it() {
+    let replicas: Vec<Replica> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let router = Router::bind("127.0.0.1:0", addrs.clone(), fast_router()).unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let stop = router.stop_handle();
+    let handle = std::thread::spawn(move || router.run().unwrap());
+
+    let mut client = Client::connect(router_addr);
+    let space: Vec<Vec<u32>> = (0..N_SYMPTOMS as u32)
+        .flat_map(|a| ((a + 1)..N_SYMPTOMS as u32).map(move |b| vec![a, b]))
+        .collect();
+    for set in &space {
+        let resp = client.request(&format!(
+            r#"{{"symptom_ids":[{},{}],"k":3}}"#,
+            set[0], set[1]
+        ));
+        assert!(resp.get("error").is_none(), "{resp}");
+    }
+
+    // Kill one replica; every set must still answer without error.
+    let mut replicas = replicas;
+    let victim = replicas.remove(0);
+    victim.stop.stop();
+    victim.handle.join().unwrap();
+    for _round in 0..3 {
+        for set in &space {
+            let resp = client.request(&format!(
+                r#"{{"symptom_ids":[{},{}],"k":3}}"#,
+                set[0], set[1]
+            ));
+            assert!(
+                resp.get("error").is_none(),
+                "request failed after replica death: {resp}"
+            );
+        }
+    }
+
+    // The probe thread marks the victim unhealthy shortly after.
+    let unhealthy = (0..100).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        let stats = client.request(r#"{"op":"stats"}"#);
+        let fleet = stats
+            .get("replicas")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .to_vec();
+        fleet
+            .iter()
+            .any(|r| r.get("healthy") == Some(&Json::Bool(false)))
+    });
+    assert!(unhealthy, "probe never ejected the dead replica");
+
+    stop.stop();
+    handle.join().unwrap();
+    for r in replicas {
+        r.stop.stop();
+        r.handle.join().unwrap();
+    }
+}
+
+#[test]
+fn rolling_publish_through_the_router_upgrades_the_fleet() {
+    let replicas: Vec<Replica> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let router = Router::bind("127.0.0.1:0", addrs.clone(), fast_router()).unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let stop = router.stop_handle();
+    let handle = std::thread::spawn(move || router.run().unwrap());
+
+    let mut client = Client::connect(router_addr);
+    let before = client.request(r#"{"symptom_ids":[0,1],"k":3}"#);
+    assert_eq!(before.get("generation").and_then(Json::as_num), Some(0.0));
+
+    let new_model = model_for(1);
+    let expected = new_model.recommend(&[0, 1], 3).unwrap();
+    let artifact =
+        smgcn_serve::artifact::to_base64(&smgcn_serve::artifact::encode(&new_model, &vocab_for(1)));
+    let ack = client.request(&format!(r#"{{"op":"publish","artifact":"{artifact}"}}"#));
+    assert_eq!(ack.get("all_ok"), Some(&Json::Bool(true)), "{ack}");
+    assert_eq!(ack.get("published").and_then(Json::as_num), Some(3.0));
+
+    // Every replica now serves generation 1 (check each directly).
+    for addr in addrs {
+        let mut direct = Client::connect(addr);
+        let resp = direct.request(r#"{"symptom_ids":[0,1],"k":3}"#);
+        assert_eq!(resp.get("generation").and_then(Json::as_num), Some(1.0));
+        let ids: Vec<u32> = resp
+            .get("herb_ids")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap() as u32)
+            .collect();
+        assert_eq!(ids, expected);
+        let names: Vec<&str> = resp
+            .get("herbs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert!(names.iter().all(|n| n.starts_with("g1-")), "{names:?}");
+    }
+
+    // A garbage artifact is rejected and generations are untouched.
+    let bad = client.request(r#"{"op":"publish","artifact":"AAAA"}"#);
+    assert_eq!(bad.get("all_ok"), Some(&Json::Bool(false)));
+    let check = client.request(r#"{"symptom_ids":[0,1],"k":3}"#);
+    assert_eq!(check.get("generation").and_then(Json::as_num), Some(1.0));
+
+    stop.stop();
+    handle.join().unwrap();
+    for r in replicas {
+        r.stop.stop();
+        r.handle.join().unwrap();
+    }
+}

@@ -292,7 +292,7 @@ impl Ingestor {
             });
         }
         let p = Prescription::new(symptoms, herbs);
-        if !self.seen.insert(p.clone()) {
+        if self.seen.contains(&p) {
             self.stats.duplicates += 1;
             return Ok(IngestOutcome::Duplicate);
         }
@@ -306,6 +306,12 @@ impl Ingestor {
                 w.flush()?;
             }
         }
+        // The dedup set admits the record only after the WAL write
+        // succeeded: inserted earlier, a transient WAL failure (disk
+        // full) would leave the record in `seen` but nowhere durable, and
+        // the client's retry would be swallowed as Duplicate — silently
+        // losing the prescription.
+        self.seen.insert(p.clone());
         self.corpus.push(p.clone());
         self.pending.push(p);
         self.stats.accepted += 1;

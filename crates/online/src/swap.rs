@@ -169,6 +169,15 @@ impl OnlinePipeline {
         Arc::clone(&self.slot)
     }
 
+    /// Serialises the current generation (model + vocabulary) as a
+    /// publish artifact — the blob a cluster coordinator rolls across
+    /// remote replicas via `{"op":"publish"}` after a local refresh, so
+    /// the fleet converges on exactly what this pipeline is serving.
+    pub fn publish_artifact(&self) -> Vec<u8> {
+        let generation = self.slot.load();
+        smgcn_serve::artifact::encode(&generation.model, &generation.vocab)
+    }
+
     /// The evolving corpus.
     pub fn corpus(&self) -> &Corpus {
         self.ingestor.corpus()
@@ -470,5 +479,36 @@ mod tests {
         let second = p.refresh().unwrap();
         assert_eq!(second.generation, 2);
         assert_eq!(slot.generation(), 2);
+    }
+
+    #[test]
+    fn publish_artifact_round_trips_the_live_generation() {
+        let mut p = pipeline();
+        p.ingest_named(&["daohan (night sweat)"], &["artifact-herb"], true)
+            .unwrap();
+        p.refresh().unwrap();
+        let generation = p.slot().load();
+        let artifact = p.publish_artifact();
+        // Publishing the artifact into a fresh slot reproduces the live
+        // generation exactly: scores and names both survive the round
+        // trip (this is what a remote replica receives).
+        let receiver = smgcn_serve::ModelSlot::new(
+            smgcn_serve::FrozenModel::from_parts(
+                smgcn_tensor::Matrix::filled(1, 1, 1.0),
+                smgcn_tensor::Matrix::filled(1, 1, 1.0),
+                None,
+            )
+            .unwrap(),
+            smgcn_serve::ServingVocab::default(),
+        );
+        receiver.publish_bytes(&artifact).unwrap();
+        let received = receiver.load();
+        assert_eq!(
+            received.model.score_one(&[0, 1]).unwrap(),
+            generation.model.score_one(&[0, 1]).unwrap()
+        );
+        let last_herb = (received.model.n_herbs() - 1) as u32;
+        assert_eq!(received.vocab.herb_name(last_herb), "artifact-herb");
+        assert_eq!(received.vocab.herb_names(), generation.vocab.herb_names());
     }
 }

@@ -1,0 +1,278 @@
+//! The publish artifact: one frozen model + its serving vocabulary as a
+//! single byte blob.
+//!
+//! A rolling cluster publish ships a new model generation to every
+//! replica over the NDJSON admin protocol. The unit being shipped must
+//! carry the *pair* the hot-swap invariant is built on — embeddings and
+//! the names they were frozen with — because streaming ingestion grows
+//! vocabularies, and a replica that swapped weights without names would
+//! describe generation `g` rankings with generation `g-1` labels.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "SMGA"                magic
+//! u32 n_symptoms        symptom name count
+//! u32 n_herbs           herb name count
+//! n_symptoms x (u32 len, utf-8 bytes)
+//! n_herbs    x (u32 len, utf-8 bytes)
+//! <frozen model>        the SMGT checkpoint, FrozenModel::write_to
+//! ```
+//!
+//! For transport inside a JSON line the blob is base64-encoded
+//! ([`to_base64`] / [`from_base64`]); the codec lives here because the
+//! workspace is std-only.
+
+use crate::frozen::{FrozenError, FrozenModel};
+use crate::server::ServingVocab;
+
+const MAGIC: &[u8; 4] = b"SMGA";
+
+/// Serialises a model + vocabulary into one publishable blob.
+pub fn encode(model: &FrozenModel, vocab: &ServingVocab) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let names = |out: &mut Vec<u8>, list: &[String]| {
+        for name in list {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+    };
+    out.extend_from_slice(&(vocab.symptom_names().len() as u32).to_le_bytes());
+    out.extend_from_slice(&(vocab.herb_names().len() as u32).to_le_bytes());
+    names(&mut out, vocab.symptom_names());
+    names(&mut out, vocab.herb_names());
+    model
+        .write_to(&mut out)
+        .expect("writing a frozen model to memory cannot fail");
+    out
+}
+
+/// Byte cursor over an artifact; every read is bounds-checked so a
+/// truncated blob fails cleanly instead of panicking.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrozenError> {
+        if self.rest.len() < n {
+            return Err(FrozenError::Format("truncated publish artifact".into()));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<usize, FrozenError> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize)
+    }
+
+    fn names(&mut self, n: usize) -> Result<Vec<String>, FrozenError> {
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = self.u32()?;
+            let raw = self.take(len)?;
+            names.push(
+                std::str::from_utf8(raw)
+                    .map_err(|e| FrozenError::Format(format!("bad name encoding: {e}")))?
+                    .to_string(),
+            );
+        }
+        Ok(names)
+    }
+}
+
+/// Parses a blob produced by [`encode`].
+///
+/// # Errors
+/// [`FrozenError::Format`] on a damaged or truncated artifact, plus any
+/// checkpoint error from the embedded frozen model.
+pub fn decode(bytes: &[u8]) -> Result<(FrozenModel, ServingVocab), FrozenError> {
+    let mut cur = Cursor { rest: bytes };
+    if cur.take(4)? != MAGIC {
+        return Err(FrozenError::Format(
+            "not a publish artifact (bad magic)".into(),
+        ));
+    }
+    let n_symptoms = cur.u32()?;
+    let n_herbs = cur.u32()?;
+    // Name counts that cannot fit in the remaining bytes (each name
+    // costs at least its 4-byte length prefix) are corruption, not a
+    // huge vocabulary — fail before `Vec::with_capacity` turns a crafted
+    // count into a multi-gigabyte allocation.
+    if n_symptoms.saturating_add(n_herbs).saturating_mul(4) > bytes.len() {
+        return Err(FrozenError::Format(
+            "publish artifact name counts exceed payload".into(),
+        ));
+    }
+    let symptoms = cur.names(n_symptoms)?;
+    let herbs = cur.names(n_herbs)?;
+    let model = FrozenModel::read_from(cur.rest)?;
+    if !symptoms.is_empty() && symptoms.len() != model.n_symptoms() {
+        return Err(FrozenError::Format(format!(
+            "artifact vocab has {} symptom names but the model has {}",
+            symptoms.len(),
+            model.n_symptoms()
+        )));
+    }
+    if !herbs.is_empty() && herbs.len() != model.n_herbs() {
+        return Err(FrozenError::Format(format!(
+            "artifact vocab has {} herb names but the model has {}",
+            herbs.len(),
+            model.n_herbs()
+        )));
+    }
+    Ok((model, ServingVocab::new(symptoms, herbs)))
+}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 (with padding) over arbitrary bytes.
+pub fn to_base64(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        let sextet = |shift: u32| B64[((n >> shift) & 0x3f) as usize] as char;
+        out.push(sextet(18));
+        out.push(sextet(12));
+        out.push(if chunk.len() > 1 { sextet(6) } else { '=' });
+        out.push(if chunk.len() > 2 { sextet(0) } else { '=' });
+    }
+    out
+}
+
+/// Decodes standard base64 (padding required, whitespace rejected).
+///
+/// # Errors
+/// Returns a description of the first malformed character or length.
+pub fn from_base64(text: &str) -> Result<Vec<u8>, String> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(format!(
+            "base64 length {} is not a multiple of 4",
+            bytes.len()
+        ));
+    }
+    let value = |c: u8| -> Result<u32, String> {
+        match c {
+            b'A'..=b'Z' => Ok((c - b'A') as u32),
+            b'a'..=b'z' => Ok((c - b'a') as u32 + 26),
+            b'0'..=b'9' => Ok((c - b'0') as u32 + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            other => Err(format!("bad base64 character {:?}", other as char)),
+        }
+    };
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, quad) in bytes.chunks(4).enumerate() {
+        let pad = quad.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && i + 1 != bytes.len() / 4) {
+            return Err("misplaced base64 padding".into());
+        }
+        let mut n = 0u32;
+        for &c in &quad[..4 - pad] {
+            n = (n << 6) | value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        let b = n.to_be_bytes();
+        out.extend_from_slice(&b[1..4 - pad]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smgcn_tensor::Matrix;
+
+    fn sample() -> (FrozenModel, ServingVocab) {
+        let symptoms = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 - 1.5);
+        let herbs = Matrix::from_fn(4, 2, |r, c| (r * 3 + c * 5) as f32 * 0.25 - 2.0);
+        let si = Some((Matrix::identity(2).scale(1.5), Matrix::filled(1, 2, 0.1)));
+        let model = FrozenModel::from_parts(symptoms, herbs, si).unwrap();
+        let vocab = ServingVocab::new(
+            vec!["fever".into(), "咳嗽".into(), "night sweat".into()],
+            (0..4).map(|i| format!("herb-{i}")).collect(),
+        );
+        (model, vocab)
+    }
+
+    #[test]
+    fn artifact_round_trips_model_and_vocab() {
+        let (model, vocab) = sample();
+        let blob = encode(&model, &vocab);
+        let (m2, v2) = decode(&blob).unwrap();
+        assert_eq!(
+            m2.score_one(&[0, 2]).unwrap(),
+            model.score_one(&[0, 2]).unwrap()
+        );
+        assert_eq!(v2.symptom_names(), vocab.symptom_names());
+        assert_eq!(v2.herb_names(), vocab.herb_names());
+        assert_eq!(v2.symptom_id("咳嗽"), Some(1));
+    }
+
+    #[test]
+    fn nameless_vocab_round_trips() {
+        let (model, _) = sample();
+        let blob = encode(&model, &ServingVocab::default());
+        let (_, v2) = decode(&blob).unwrap();
+        assert!(v2.is_empty());
+    }
+
+    #[test]
+    fn rejects_damaged_artifacts() {
+        let (model, vocab) = sample();
+        let blob = encode(&model, &vocab);
+        assert!(decode(&blob[..3]).is_err(), "truncated magic");
+        assert!(decode(&blob[..10]).is_err(), "truncated header");
+        let mut wrong = blob.clone();
+        wrong[0] = b'X';
+        assert!(decode(&wrong).is_err(), "bad magic");
+        let mut huge = blob;
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&huge).is_err(), "absurd name count");
+    }
+
+    #[test]
+    fn vocab_model_size_mismatch_rejected() {
+        let (model, _) = sample();
+        let vocab = ServingVocab::new(vec!["only-one".into()], Vec::new());
+        assert!(decode(&encode(&model, &vocab)).is_err());
+    }
+
+    #[test]
+    fn base64_round_trips_all_tail_lengths() {
+        for len in 0..10usize {
+            let bytes: Vec<u8> = (0..len as u8)
+                .map(|b| b.wrapping_mul(37).wrapping_add(200))
+                .collect();
+            let text = to_base64(&bytes);
+            assert_eq!(from_base64(&text).unwrap(), bytes, "len {len}");
+        }
+        assert_eq!(
+            to_base64(b"any carnal pleasure."),
+            "YW55IGNhcm5hbCBwbGVhc3VyZS4="
+        );
+    }
+
+    #[test]
+    fn base64_rejects_malformed_text() {
+        for bad in ["abc", "a=bc", "====", "ab!c", "=abc"] {
+            assert!(from_base64(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn base64_survives_artifact_sized_blobs() {
+        let (model, vocab) = sample();
+        let blob = encode(&model, &vocab);
+        assert_eq!(from_base64(&to_base64(&blob)).unwrap(), blob);
+    }
+}

@@ -10,11 +10,13 @@
 //! the whole batch with [`FrozenModel::score_batch`] and fans the
 //! rankings back out.
 //!
-//! The scorer resolves the model through a [`ModelSlot`] **once per
-//! drained batch**: every job in a batch is scored by the same
-//! generation, and a hot swap takes effect at the next drain — the
-//! batcher naturally "drains between generations", which is what makes
-//! the swap safe under live traffic (no batch ever mixes weights).
+//! Each job pins a model [`Generation`] **at submission** (the server
+//! passes the generation it already pinned for the whole request); the
+//! scorer groups a drained batch by generation and runs one GEMM per
+//! group. In steady state that is exactly one GEMM per drain; across a
+//! hot swap the straddling drain splits in two — either way no GEMM
+//! ever mixes weights, and no job is scored by weights it did not pin
+//! (its validation, cache tag and herb names all agree with its score).
 //!
 //! Shutdown is cooperative: dropping the [`Batcher`] wakes the scorer,
 //! which drains remaining jobs and exits.
@@ -36,6 +38,12 @@ pub struct BatcherConfig {
     /// How long the scorer waits for stragglers after the first job of a
     /// batch arrives. Zero disables lingering (drain-what's-there).
     pub linger: Duration,
+    /// Most jobs allowed to wait for the scorer at once. A submission
+    /// that would exceed the bound is rejected immediately with a
+    /// retryable [`FrozenError::Overloaded`] instead of growing the
+    /// queue (and every waiter's latency) without limit — under overload
+    /// a fast structured "try another replica" beats a slow success.
+    pub max_queue: usize,
 }
 
 impl Default for BatcherConfig {
@@ -43,6 +51,7 @@ impl Default for BatcherConfig {
         Self {
             max_batch: 64,
             linger: Duration::from_micros(200),
+            max_queue: 4096,
         }
     }
 }
@@ -53,12 +62,18 @@ type TaggedRanking = (Vec<u32>, Arc<Generation>);
 struct Job {
     set: Vec<u32>,
     k: usize,
+    /// The generation pinned when the job was submitted; the scorer uses
+    /// exactly these weights, so a request's validation, scoring, cache
+    /// tag and rendered names all come from one generation even when a
+    /// publish lands while the job is queued.
+    generation: Arc<Generation>,
     reply: mpsc::Sender<Result<TaggedRanking, FrozenError>>,
 }
 
 struct Shared {
     queue: Mutex<QueueState>,
     nonempty: Condvar,
+    max_queue: usize,
 }
 
 struct QueueState {
@@ -69,6 +84,7 @@ struct QueueState {
 /// Handle for submitting queries to the scoring thread.
 pub struct Batcher {
     shared: Arc<Shared>,
+    slot: Arc<ModelSlot>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -83,23 +99,28 @@ impl Batcher {
     }
 
     /// Spawns the scoring thread over a hot-swappable [`ModelSlot`]. Each
-    /// drained batch is scored by the slot's generation at drain time.
+    /// job is scored by the generation pinned at submission; a drained
+    /// batch that straddles a publish is split into per-generation
+    /// sub-batches so no GEMM ever mixes weights.
     pub fn start_slot(slot: Arc<ModelSlot>, config: BatcherConfig) -> Self {
         assert!(config.max_batch > 0, "Batcher: max_batch must be positive");
+        assert!(config.max_queue > 0, "Batcher: max_queue must be positive");
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState {
                 jobs: Vec::new(),
                 shutdown: false,
             }),
             nonempty: Condvar::new(),
+            max_queue: config.max_queue,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("smgcn-batcher".into())
-            .spawn(move || scoring_loop(slot, worker_shared, config))
+            .spawn(move || scoring_loop(worker_shared, config))
             .expect("spawn batcher thread");
         Self {
             shared,
+            slot,
             worker: Some(worker),
         }
     }
@@ -112,17 +133,39 @@ impl Batcher {
 
     /// Like [`Batcher::recommend`], also returning the generation that
     /// scored the query — the hot-swap invariant callers rely on is that
-    /// the ranking came from exactly this generation's weights.
+    /// the ranking came from exactly this generation's weights. The
+    /// generation is pinned here, at submission.
     pub fn recommend_tagged(&self, set: &[u32], k: usize) -> Result<TaggedRanking, FrozenError> {
+        self.recommend_pinned(set, k, self.slot.load())
+    }
+
+    /// Scores one query against an explicitly pinned generation — the
+    /// server pins once per request (name resolution, validation, cache
+    /// tag) and passes that pin here, so a publish landing mid-request
+    /// can never re-resolve the query's ids against a different
+    /// vocabulary than the one they were validated under.
+    pub fn recommend_pinned(
+        &self,
+        set: &[u32],
+        k: usize,
+        generation: Arc<Generation>,
+    ) -> Result<TaggedRanking, FrozenError> {
         let (reply, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("batcher lock");
             if q.shutdown {
                 return Err(FrozenError::Query("batcher is shutting down".into()));
             }
+            if q.jobs.len() >= self.shared.max_queue {
+                return Err(FrozenError::Overloaded(format!(
+                    "scoring queue full ({} jobs waiting)",
+                    q.jobs.len()
+                )));
+            }
             q.jobs.push(Job {
                 set: set.to_vec(),
                 k,
+                generation,
                 reply,
             });
         }
@@ -144,7 +187,7 @@ impl Drop for Batcher {
     }
 }
 
-fn scoring_loop(slot: Arc<ModelSlot>, shared: Arc<Shared>, config: BatcherConfig) {
+fn scoring_loop(shared: Arc<Shared>, config: BatcherConfig) {
     loop {
         let batch: Vec<Job> = {
             let mut q = shared.queue.lock().expect("batcher lock");
@@ -175,10 +218,23 @@ fn scoring_loop(slot: Arc<ModelSlot>, shared: Arc<Shared>, config: BatcherConfig
             let take = q.jobs.len().min(config.max_batch);
             q.jobs.drain(..take).collect()
         };
-        // Resolve the generation once per batch: every job drained
-        // together is answered by the same weights, and a publish lands
-        // cleanly between drains.
-        score_and_reply(&slot.load(), batch);
+        // Score per pinned generation: in steady state every drained job
+        // shares the current one (a single GEMM); a drain straddling a
+        // publish splits into one sub-batch per generation, so no GEMM
+        // mixes weights and no job is scored by weights it didn't pin.
+        let mut groups: Vec<(Arc<Generation>, Vec<Job>)> = Vec::new();
+        for job in batch {
+            match groups
+                .iter_mut()
+                .find(|(g, _)| g.number == job.generation.number)
+            {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((Arc::clone(&job.generation), vec![job])),
+            }
+        }
+        for (generation, group) in groups {
+            score_and_reply(&generation, group);
+        }
     }
 }
 
@@ -265,6 +321,7 @@ mod tests {
             BatcherConfig {
                 max_batch: 8,
                 linger: Duration::from_millis(2),
+                ..BatcherConfig::default()
             },
         ));
         let bad = {
@@ -302,6 +359,39 @@ mod tests {
         let (r1, g1) = batcher.recommend_tagged(&[0, 1], 3).unwrap();
         assert_eq!(g1.number, 1, "post-publish drains use the new generation");
         assert_eq!(r1, expected_new);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retryable_error() {
+        let m = model();
+        // One-slot queue with a long linger: the first job sits in the
+        // queue for the whole linger window, so a second submission in
+        // that window must be shed, not parked.
+        let batcher = Arc::new(Batcher::start(
+            Arc::clone(&m),
+            BatcherConfig {
+                max_batch: 8,
+                linger: Duration::from_millis(400),
+                max_queue: 1,
+            },
+        ));
+        let queued = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.recommend(&[0, 1], 3))
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        let shed = batcher.recommend(&[2, 3], 3);
+        assert!(
+            matches!(shed, Err(FrozenError::Overloaded(_))),
+            "second job must be shed while the first lingers: {shed:?}"
+        );
+        // The queued job still completes correctly after the linger.
+        assert_eq!(
+            queued.join().unwrap().unwrap(),
+            m.recommend(&[0, 1], 3).unwrap()
+        );
+        // And once the queue drains, submissions are accepted again.
+        assert!(batcher.recommend(&[2, 3], 3).is_ok());
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub enum FrozenError {
     Format(String),
     /// A query referenced unknown symptom ids or was empty.
     Query(String),
+    /// The serving layer is saturated (scoring queue full); the request
+    /// was shed without being scored and is safe to retry elsewhere.
+    Overloaded(String),
 }
 
 impl std::fmt::Display for FrozenError {
@@ -54,6 +57,7 @@ impl std::fmt::Display for FrozenError {
             FrozenError::NotFrozen(m) => write!(f, "not a frozen model: {m}"),
             FrozenError::Format(m) => write!(f, "frozen model format error: {m}"),
             FrozenError::Query(m) => write!(f, "bad query: {m}"),
+            FrozenError::Overloaded(m) => write!(f, "overloaded: {m}"),
         }
     }
 }

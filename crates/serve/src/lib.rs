@@ -19,15 +19,22 @@
 //!   drained batch;
 //! - [`slot`] — [`ModelSlot`]: the atomic generation pointer behind
 //!   versioned hot model swaps under live traffic;
+//! - [`artifact`] — the publish artifact (model + vocabulary in one
+//!   blob, base64 codec) shipped by cluster rolling publishes and
+//!   accepted by the `{"op":"publish"}` admin verb;
+//! - [`histogram`] — lock-free per-request latency percentiles for
+//!   `{"op":"stats"}` (what lets a router eject *slow* replicas);
 //! - [`json`] — the minimal JSON reader/writer behind the wire protocol;
 //! - [`server`] — a multi-threaded `std::net` TCP loop speaking
 //!   newline-delimited JSON (`smgcn serve`).
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod batcher;
 pub mod cache;
 pub mod frozen;
+pub mod histogram;
 pub mod json;
 pub mod server;
 pub mod slot;
@@ -36,6 +43,7 @@ pub mod topk;
 pub use batcher::{Batcher, BatcherConfig};
 pub use cache::{GenCacheStats, GenerationalCache, LruCache};
 pub use frozen::{FrozenError, FrozenModel};
+pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{Server, ServerConfig, ServingVocab};
 pub use slot::{Generation, ModelSlot};
 pub use topk::partial_top_k;

@@ -33,7 +33,8 @@ use std::time::Instant;
 
 use crate::batcher::{Batcher, BatcherConfig};
 use crate::cache::{GenerationalCache, QueryKey};
-use crate::frozen::FrozenModel;
+use crate::frozen::{FrozenError, FrozenModel};
+use crate::histogram::LatencyHistogram;
 use crate::json::{self, Json};
 use crate::slot::{Generation, ModelSlot};
 
@@ -79,6 +80,16 @@ impl ServingVocab {
     pub fn is_empty(&self) -> bool {
         self.symptom_names.is_empty() && self.herb_names.is_empty()
     }
+
+    /// All symptom names, index = id (used by the publish artifact).
+    pub fn symptom_names(&self) -> &[String] {
+        &self.symptom_names
+    }
+
+    /// All herb names, index = id (used by the publish artifact).
+    pub fn herb_names(&self) -> &[String] {
+        &self.herb_names
+    }
 }
 
 /// Server tuning knobs.
@@ -117,6 +128,10 @@ impl Default for ServerConfig {
 struct ApiError {
     code: &'static str,
     message: String,
+    /// Overload sheds (`overloaded`, `queue_full`) are transient and the
+    /// request was never scored — a router may safely replay it on
+    /// another replica. Client bugs (bad ids, bad JSON) are not.
+    retryable: bool,
 }
 
 impl ApiError {
@@ -124,17 +139,27 @@ impl ApiError {
         Self {
             code,
             message: message.into(),
+            retryable: false,
+        }
+    }
+
+    fn retryable(code: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            retryable: true,
         }
     }
 
     fn to_json(&self) -> Json {
-        json::obj([(
-            "error",
-            json::obj([
-                ("code", Json::Str(self.code.to_string())),
-                ("message", Json::Str(self.message.clone())),
-            ]),
-        )])
+        let mut fields = vec![
+            ("code", Json::Str(self.code.to_string())),
+            ("message", Json::Str(self.message.clone())),
+        ];
+        if self.retryable {
+            fields.push(("retryable", Json::Bool(true)));
+        }
+        json::obj([("error", json::obj(fields))])
     }
 }
 
@@ -145,6 +170,12 @@ struct Engine {
     config: ServerConfig,
     started: Instant,
     requests: AtomicU64,
+    /// Connections refused at the accept loop (`overloaded`).
+    sheds: AtomicU64,
+    /// Requests shed by the bounded scoring queue (`queue_full`).
+    queue_rejections: AtomicU64,
+    /// Per-request wall time, request line in to response object out.
+    latency: LatencyHistogram,
 }
 
 impl Engine {
@@ -168,10 +199,20 @@ impl Engine {
                 return Ok((hit, Arc::clone(pinned), true));
             }
         }
+        // Scoring keeps the request's pin: the batcher scores with
+        // exactly this generation's weights (grouping per generation at
+        // drain), so ids resolved/validated above can never be scored
+        // against a different vocabulary published mid-request.
         let (ranking, generation) = self
             .batcher
-            .recommend_tagged(&key.symptoms, k)
-            .map_err(|e| ApiError::new("scoring_failed", e.to_string()))?;
+            .recommend_pinned(&key.symptoms, k, Arc::clone(pinned))
+            .map_err(|e| match e {
+                FrozenError::Overloaded(m) => {
+                    self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                    ApiError::retryable("queue_full", m)
+                }
+                other => ApiError::new("scoring_failed", other.to_string()),
+            })?;
         if let Some(cache) = &self.cache {
             cache
                 .lock()
@@ -184,6 +225,21 @@ impl Engine {
     fn handle_line(&self, line: &str) -> Json {
         let started = Instant::now();
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let (response, record) = self.answer_timed(line, started);
+        // Admin publishes (base64 decode + full model deserialize) are
+        // orders of magnitude above any serving op; recording them would
+        // spike the p99 the router's slow-replica ejection reads,
+        // getting a replica ejected for the crime of taking a rollout.
+        if record {
+            self.latency
+                .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        response
+    }
+
+    /// Answers one line; the flag is false for operations whose wall
+    /// time must not enter the serving-latency histogram.
+    fn answer_timed(&self, line: &str, started: Instant) -> (Json, bool) {
         match self.answer(line) {
             Ok(Answer::Ranking {
                 ids,
@@ -210,10 +266,11 @@ impl Engine {
                 if let Some(scores) = scores {
                     fields.push(("scores", json::score_array(&scores)));
                 }
-                json::obj(fields)
+                (json::obj(fields), true)
             }
-            Ok(Answer::Stats(stats)) => stats,
-            Err(e) => e.to_json(),
+            Ok(Answer::Stats(stats)) => (stats, true),
+            Ok(Answer::Publish(ack)) => (ack, false),
+            Err(e) => (e.to_json(), true),
         }
     }
 
@@ -235,7 +292,25 @@ impl Engine {
                 "requests",
                 Json::Num(self.requests.load(Ordering::Relaxed) as f64),
             ),
+            (
+                "sheds",
+                Json::Num(self.sheds.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "queue_rejections",
+                Json::Num(self.queue_rejections.load(Ordering::Relaxed) as f64),
+            ),
         ];
+        let latency = self.latency.snapshot();
+        fields.push((
+            "latency",
+            json::obj([
+                ("count", Json::Num(latency.count as f64)),
+                ("p50_us", Json::Num(latency.quantile_us(0.50))),
+                ("p99_us", Json::Num(latency.quantile_us(0.99))),
+                ("mean_us", Json::Num(latency.mean_us())),
+            ]),
+        ));
         if let Some(cache) = &self.cache {
             let stats = cache.lock().expect("cache lock").stats();
             fields.push((
@@ -251,6 +326,31 @@ impl Engine {
         json::obj(fields)
     }
 
+    /// The `{"op":"publish","artifact":"<base64>"}` admin verb: swaps in
+    /// a new model generation shipped over the wire as a
+    /// [`crate::artifact`] blob. A malformed artifact is rejected without
+    /// touching the live generation; success reports the generation that
+    /// is now serving so a rolling coordinator can verify the cutover.
+    fn publish(&self, req: &Json) -> Result<Json, ApiError> {
+        let text = req
+            .get("artifact")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ApiError::new("bad_request", "publish needs \"artifact\" (base64)"))?;
+        let bytes = crate::artifact::from_base64(text)
+            .map_err(|e| ApiError::new("bad_artifact", format!("artifact is not base64: {e}")))?;
+        let generation = self
+            .slot
+            .publish_bytes(&bytes)
+            .map_err(|e| ApiError::new("bad_artifact", e.to_string()))?;
+        let now = self.slot.load();
+        Ok(json::obj([
+            ("published", Json::Bool(true)),
+            ("generation", Json::Num(generation as f64)),
+            ("symptoms", Json::Num(now.model.n_symptoms() as f64)),
+            ("herbs", Json::Num(now.model.n_herbs() as f64)),
+        ]))
+    }
+
     /// Parses and answers one request line.
     fn answer(&self, line: &str) -> Result<Answer, ApiError> {
         let req = json::parse(line)
@@ -258,6 +358,16 @@ impl Engine {
         match req.get("op").and_then(Json::as_str) {
             None => {}
             Some("stats") => return Ok(Answer::Stats(self.stats())),
+            // Both publish outcomes route through Answer::Publish: a
+            // *failed* publish can still pay base64 decode + model
+            // deserialize before rejecting, and that wall time must stay
+            // out of the serving-latency histogram just like a success.
+            Some("publish") => {
+                return Ok(Answer::Publish(match self.publish(&req) {
+                    Ok(ack) => ack,
+                    Err(e) => e.to_json(),
+                }))
+            }
             Some(other) => {
                 return Err(ApiError::new("unknown_op", format!("unknown op {other:?}")))
             }
@@ -338,7 +448,9 @@ impl Engine {
     }
 }
 
-/// A successful answer: a ranking or a `/stats` report.
+/// A successful answer: a ranking, a `/stats` report, or a publish
+/// acknowledgement (kept distinct so its wall time — dominated by model
+/// deserialization — stays out of the serving-latency histogram).
 enum Answer {
     Ranking {
         ids: Vec<u32>,
@@ -347,6 +459,7 @@ enum Answer {
         generation: Arc<Generation>,
     },
     Stats(Json),
+    Publish(Json),
 }
 
 /// Rejects duplicate and out-of-range symptom ids up front with
@@ -414,6 +527,9 @@ impl Server {
             config,
             started: Instant::now(),
             requests: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            queue_rejections: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
         });
         Ok(Self {
             listener,
@@ -466,7 +582,13 @@ impl Server {
             };
             handles.retain(|h| !h.is_finished());
             if active.load(Ordering::SeqCst) >= max_connections {
-                let refusal = ApiError::new("capacity", "server at connection capacity").to_json();
+                // Shed instead of queueing: the client gets a structured,
+                // retryable refusal in one write and the accept loop moves
+                // straight on to the next connection — saturation never
+                // stalls accepts (or the cluster router's health probes).
+                self.engine.sheds.fetch_add(1, Ordering::Relaxed);
+                let refusal =
+                    ApiError::retryable("overloaded", "server at connection capacity").to_json();
                 let _ = writeln!(stream, "{refusal}");
                 continue; // stream drops: connection closed
             }
@@ -556,6 +678,13 @@ fn handle_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
             .and_then(|_| writer.flush())
             .is_err()
         {
+            return;
+        }
+        // Graceful drain: answer the in-flight request, then close. A
+        // busy persistent connection never hits the read timeout, so
+        // without this check a stopping server would keep serving
+        // pipelined clients indefinitely.
+        if stop.load(Ordering::SeqCst) {
             return;
         }
     }
@@ -713,6 +842,128 @@ mod tests {
         let model = stats.get("model").unwrap();
         assert_eq!(model.get("symptoms").and_then(Json::as_num), Some(5.0));
         assert_eq!(model.get("herbs").and_then(Json::as_num), Some(7.0));
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn publish_op_swaps_generation_over_the_wire() {
+        let (addr, stop, handle) = test_server();
+        let before = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3}"#);
+        assert_eq!(before.get("generation").and_then(Json::as_num), Some(0.0));
+
+        // Ship a distinguishable model (8 herbs, generation-tagged names).
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r + 2 * c) % 3) as f32 - 1.0);
+        let herbs = Matrix::from_fn(8, 3, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+        let new_model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let new_vocab = ServingVocab::new(
+            (0..5).map(|i| format!("s{i}")).collect(),
+            (0..8).map(|i| format!("g1-h{i}")).collect(),
+        );
+        let expected = new_model.recommend(&[0, 1], 3).unwrap();
+        let artifact = crate::artifact::to_base64(&crate::artifact::encode(&new_model, &new_vocab));
+
+        let ack = roundtrip(
+            addr,
+            &format!(r#"{{"op":"publish","artifact":"{artifact}"}}"#),
+        );
+        assert_eq!(ack.get("published"), Some(&Json::Bool(true)), "{ack}");
+        assert_eq!(ack.get("generation").and_then(Json::as_num), Some(1.0));
+        assert_eq!(ack.get("herbs").and_then(Json::as_num), Some(8.0));
+
+        let after = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3}"#);
+        assert_eq!(after.get("generation").and_then(Json::as_num), Some(1.0));
+        let ids: Vec<u32> = after
+            .get("herb_ids")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap() as u32)
+            .collect();
+        assert_eq!(
+            ids, expected,
+            "post-publish rankings come from the new model"
+        );
+        let names: Vec<&str> = after
+            .get("herbs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert!(names.iter().all(|n| n.starts_with("g1-")), "{names:?}");
+
+        // A corrupt artifact is rejected and the generation stays put.
+        let bad = roundtrip(addr, r#"{"op":"publish","artifact":"not base64!"}"#);
+        assert_eq!(
+            bad.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad_artifact")
+        );
+        let stats = roundtrip(addr, r#"{"op": "stats"}"#);
+        assert_eq!(stats.get("generation").and_then(Json::as_num), Some(1.0));
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn connection_overload_sheds_with_structured_error() {
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 2 + c * 5) % 6) as f32 - 2.5);
+        let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            model,
+            ServingVocab::default(),
+            ServerConfig {
+                max_connections: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+
+        // Occupy the only slot (a roundtrip proves the handler is live).
+        let held = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(held.try_clone().unwrap());
+        let mut writer = BufWriter::new(held);
+        writeln!(writer, r#"{{"symptom_ids": [0], "k": 2}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(json::parse(line.trim()).unwrap().get("error").is_none());
+
+        // The next connection is shed with a retryable structured error.
+        let extra = TcpStream::connect(addr).unwrap();
+        let mut extra_reader = BufReader::new(extra);
+        let mut refusal = String::new();
+        extra_reader.read_line(&mut refusal).unwrap();
+        let refusal = json::parse(refusal.trim()).unwrap();
+        let err = refusal.get("error").expect("shed response is an error");
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(err.get("retryable"), Some(&Json::Bool(true)));
+
+        // The shed is counted and latency percentiles are reported.
+        writeln!(writer, r#"{{"op": "stats"}}"#).unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let stats = json::parse(line.trim()).unwrap();
+        assert_eq!(stats.get("sheds").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            stats.get("queue_rejections").and_then(Json::as_num),
+            Some(0.0)
+        );
+        let latency = stats.get("latency").expect("latency histogram in stats");
+        assert!(latency.get("count").and_then(Json::as_num).unwrap() >= 1.0);
+        assert!(latency.get("p99_us").and_then(Json::as_num).unwrap() > 0.0);
+        assert!(
+            latency.get("p99_us").and_then(Json::as_num).unwrap()
+                >= latency.get("p50_us").and_then(Json::as_num).unwrap()
+        );
         stop.stop();
         handle.join().unwrap();
     }

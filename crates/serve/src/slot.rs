@@ -81,14 +81,35 @@ impl ModelSlot {
     /// generation finish on it; the old model is dropped when its last
     /// holder releases it.
     pub fn publish(&self, model: FrozenModel, vocab: ServingVocab) -> u64 {
+        let model = Arc::new(model);
+        let vocab = Arc::new(vocab);
+        // Number assignment happens *inside* the write critical section:
+        // taken outside, two concurrent publishes (e.g. an admin
+        // `{"op":"publish"}` racing a local refresh) could install their
+        // generations in the opposite order of their numbers, leaving the
+        // slot serving the older model while readers watch the generation
+        // counter go backwards.
+        let mut current = self.current.write().expect("model slot lock");
         let number = self.next_number.fetch_add(1, Ordering::SeqCst);
-        let generation = Arc::new(Generation {
+        *current = Arc::new(Generation {
             number,
-            model: Arc::new(model),
-            vocab: Arc::new(vocab),
+            model,
+            vocab,
         });
-        *self.current.write().expect("model slot lock") = generation;
         number
+    }
+
+    /// Publishes a serialized [`crate::artifact`] blob (model + vocab) as
+    /// the next generation — the wire-level entry point behind the
+    /// `{"op":"publish"}` admin verb, so a cluster coordinator can push a
+    /// generation into a remote replica without touching its filesystem.
+    ///
+    /// # Errors
+    /// Rejects damaged artifacts without touching the live generation:
+    /// a failed publish leaves the replica serving exactly what it was.
+    pub fn publish_bytes(&self, bytes: &[u8]) -> Result<u64, crate::frozen::FrozenError> {
+        let (model, vocab) = crate::artifact::decode(bytes)?;
+        Ok(self.publish(model, vocab))
     }
 }
 

@@ -15,6 +15,12 @@
 //! smgcn refresh   --corpus corpus.tsv --wal wal.log --model-file model.smgt
 //!                 --out model2.smgt [--frozen-out frozen2.smgt]
 //!                 [--corpus-out FILE] [--epochs N] [--scale ...] [--seed N]
+//!                 [--replicas HOST:PORT,...]
+//! smgcn route     --replicas HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
+//!                 [--connections N] [--replica-conns N] [--probe-ms N]
+//!                 [--slow-p99-ms F]
+//! smgcn cluster-refresh --replicas HOST:PORT,... --model-file frozen.smgt
+//!                 --corpus corpus.tsv
 //! ```
 //!
 //! `ingest` validates prescriptions against the corpus vocabularies
@@ -37,6 +43,14 @@
 //! model (from `smgcn freeze`) is loaded directly — no graph rebuild, no
 //! convolutions — while a training checkpoint is rebuilt and frozen
 //! in-process. Both go through the `smgcn-serve` scorer.
+//!
+//! `route` fronts N running `smgcn serve` replicas with one endpoint:
+//! consistent-hash routing by symptom-set key (replica caches stay hot),
+//! health probes with backoff ejection, and retry-on-next-replica
+//! failover. `cluster-refresh` rolls a frozen model across the fleet one
+//! replica at a time via the `{"op":"publish"}` admin verb; `refresh
+//! --replicas` does the same with the generation a WAL refresh just
+//! produced, closing the data→model→fleet loop from one command.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -56,7 +70,9 @@ fn usage() -> ! {
          smgcn recommend --corpus FILE --model-file FILE --symptoms \"a,b,c\" [--k N]\n  \
          smgcn serve     --corpus FILE --model-file FILE [--addr HOST:PORT] [--connections N] [--cache N] [--batch-max N]\n  \
          smgcn ingest    --corpus FILE --wal FILE --add \"s1,s2 => h1,h2 ; ...\" [--allow-new true|false]\n  \
-         smgcn refresh   --corpus FILE --wal FILE --model-file FILE --out FILE [--frozen-out FILE] [--corpus-out FILE] [--epochs N]\n\
+         smgcn refresh   --corpus FILE --wal FILE --model-file FILE --out FILE [--frozen-out FILE] [--corpus-out FILE] [--epochs N] [--replicas LIST]\n  \
+         smgcn route     --replicas HOST:PORT,... [--addr HOST:PORT] [--connections N] [--replica-conns N] [--probe-ms N] [--slow-p99-ms F]\n  \
+         smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
          --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
     );
@@ -547,6 +563,150 @@ fn cmd_refresh(flags: HashMap<String, String>) {
         "merged corpus written to {corpus_out} ({} prescriptions); WAL truncated",
         pipeline.corpus().len()
     );
+    if let Some(spec) = flags.get("replicas") {
+        // Roll the just-published generation across the serving fleet,
+        // one replica at a time (outputs are already durable above, so a
+        // partial rollout is recoverable by re-running cluster-refresh).
+        let replicas = parse_replicas(spec);
+        let artifact = pipeline.publish_artifact();
+        println!(
+            "rolling generation {} across {} replica(s):",
+            report.generation,
+            replicas.len()
+        );
+        report_publish(&smgcn_repro::cluster::rolling_publish_addrs(
+            &replicas,
+            &artifact,
+            &smgcn_repro::cluster::PoolConfig::default(),
+        ));
+    }
+}
+
+/// Parses `--replicas HOST:PORT,HOST:PORT,...` into socket addresses.
+fn parse_replicas(spec: &str) -> Vec<std::net::SocketAddr> {
+    use std::net::ToSocketAddrs;
+    let mut addrs = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.to_socket_addrs().ok().and_then(|mut it| it.next()) {
+            Some(addr) => addrs.push(addr),
+            None => {
+                eprintln!("error: cannot resolve replica address {part:?}");
+                exit(1);
+            }
+        }
+    }
+    if addrs.is_empty() {
+        eprintln!("error: --replicas produced no addresses");
+        exit(1);
+    }
+    addrs
+}
+
+fn cmd_route(flags: HashMap<String, String>) {
+    use smgcn_repro::cluster::{Router, RouterConfig};
+    let replicas = parse_replicas(flags.get("replicas").unwrap_or_else(|| usage()));
+    let default_addr = "127.0.0.1:7979".to_string();
+    let addr = flags.get("addr").unwrap_or(&default_addr);
+    let mut config = RouterConfig::default();
+    if let Some(n) = flags.get("connections") {
+        config.max_connections = n.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(n) = flags.get("replica-conns") {
+        config.pool.max_conns_per_replica = n.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(ms) = flags.get("probe-ms") {
+        let ms: u64 = ms.parse().unwrap_or_else(|_| usage());
+        config.probe_interval = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = flags.get("slow-p99-ms") {
+        let ms: f64 = ms.parse().unwrap_or_else(|_| usage());
+        config.pool.slow_p99_us = Some(ms * 1e3);
+    }
+    let n_replicas = replicas.len();
+    let router = Router::bind(addr, replicas, config.clone()).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        exit(1);
+    });
+    println!(
+        "routing on {} over {} replica(s) (max {} client connections, {} conns/replica, probe every {:?})",
+        router
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone()),
+        n_replicas,
+        config.max_connections,
+        config.pool.max_conns_per_replica,
+        config.probe_interval
+    );
+    println!("protocol: identical to smgcn serve; admin: {{\"op\":\"stats\"}}, {{\"op\":\"publish\",...}}");
+    if let Err(e) = router.run() {
+        eprintln!("router error: {e}");
+        exit(1);
+    }
+}
+
+/// Reports a rolling-publish outcome list, exiting nonzero unless every
+/// replica acknowledged.
+fn report_publish(report: &smgcn_repro::cluster::PublishReport) {
+    for outcome in &report.outcomes {
+        match (&outcome.error, outcome.generation) {
+            (None, Some(generation)) => {
+                println!("  {} -> generation {generation}", outcome.addr);
+            }
+            (error, _) => {
+                println!(
+                    "  {} FAILED: {}",
+                    outcome.addr,
+                    error.as_deref().unwrap_or("unknown error")
+                );
+            }
+        }
+    }
+    if !report.all_ok() {
+        eprintln!(
+            "error: rolling publish incomplete ({} of {} replicas updated)",
+            report.published(),
+            report.outcomes.len()
+        );
+        exit(1);
+    }
+    println!(
+        "rolling publish complete: {} replica(s) updated, fleet never dark",
+        report.published()
+    );
+}
+
+fn cmd_cluster_refresh(flags: HashMap<String, String>) {
+    use smgcn_repro::cluster::{rolling_publish_addrs, PoolConfig};
+    let replicas = parse_replicas(flags.get("replicas").unwrap_or_else(|| usage()));
+    let corpus = load_corpus_only(&flags);
+    let frozen = load_frozen(&flags, &corpus);
+    let vocab = ServingVocab::new(
+        corpus
+            .symptom_vocab()
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect(),
+        corpus
+            .herb_vocab()
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect(),
+    );
+    let artifact = smgcn_repro::serve::artifact::encode(&frozen, &vocab);
+    println!(
+        "rolling {} symptoms x {} herbs (d = {}, artifact {} KiB) across {} replica(s):",
+        frozen.n_symptoms(),
+        frozen.n_herbs(),
+        frozen.dim(),
+        artifact.len() / 1024,
+        replicas.len()
+    );
+    report_publish(&rolling_publish_addrs(
+        &replicas,
+        &artifact,
+        &PoolConfig::default(),
+    ));
 }
 
 fn main() {
@@ -564,6 +724,8 @@ fn main() {
         "serve" => cmd_serve(flags),
         "ingest" => cmd_ingest(flags),
         "refresh" => cmd_refresh(flags),
+        "route" => cmd_route(flags),
+        "cluster-refresh" => cmd_cluster_refresh(flags),
         _ => usage(),
     }
 }

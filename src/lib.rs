@@ -14,10 +14,14 @@
 //! - [`serve`] — frozen-model inference: batched scoring, LRU caching,
 //!   hot model swap and the `smgcn serve` TCP loop;
 //! - [`online`] — the live loop: streaming ingestion (WAL), incremental
-//!   graph deltas, warm-start fine-tuning and generation publishing.
+//!   graph deltas, warm-start fine-tuning and generation publishing;
+//! - [`cluster`] — replicated serving: consistent-hash routing over N
+//!   replicas, health probes with backoff ejection, failover and rolling
+//!   model publishes (`smgcn route` / `smgcn cluster-refresh`).
 //!
 //! See README.md for a tour and DESIGN.md for the experiment index.
 
+pub use smgcn_cluster as cluster;
 pub use smgcn_core as core;
 pub use smgcn_data as data;
 pub use smgcn_eval as eval;
@@ -29,6 +33,7 @@ pub use smgcn_topics as topics;
 
 /// Convenience prelude pulling in the most common types across crates.
 pub mod prelude {
+    pub use smgcn_cluster::{HashRing, PoolConfig, ReplicaPool, Router, RouterConfig};
     pub use smgcn_core::prelude::*;
     pub use smgcn_data::{
         corpus_stats, herb_frequencies, train_test_split_fraction, Corpus, GeneratorConfig,

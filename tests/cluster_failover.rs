@@ -1,0 +1,359 @@
+//! Multi-process cluster drill: 3 real `smgcn serve` replicas behind the
+//! router, one killed and one generation rolling-published **mid-load**.
+//!
+//! This is the acceptance test for `smgcn-cluster`: each replica is a
+//! separate OS process started through the actual CLI (`smgcn serve` on
+//! a frozen model), the router runs in-process, and concurrent clients
+//! hammer it while
+//!
+//! 1. replica 0 is SIGKILLed — the router must hide it (zero failed
+//!    client requests, retry-on-next-replica), and
+//! 2. a new generation is rolling-published through the router's
+//!    `{"op":"publish"}` verb — surviving replicas cut over one at a
+//!    time, the fleet never goes dark, and **no response mixes
+//!    generations**: every ranking and every herb name must match
+//!    exactly the generation the response claims.
+//!
+//! Ground truth comes from the same frozen models held in memory: the
+//! checkpoint round trip is bit-exact, so a response either matches its
+//! claimed generation's model verbatim or the invariant is broken.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use smgcn_repro::cluster::{PoolConfig, Router, RouterConfig};
+use smgcn_repro::core::Recommender;
+use smgcn_repro::data::io as corpus_io;
+use smgcn_repro::graph::GraphOperators;
+use smgcn_repro::prelude::*;
+use smgcn_repro::serve::json::{self, Json};
+use smgcn_repro::serve::{artifact, FrozenModel};
+
+const K: usize = 5;
+/// Query space: all 2-element sets over the first QUERY_SYMPTOMS ids.
+const QUERY_SYMPTOMS: u32 = 8;
+
+/// Kills the child process on drop so a panicking test never leaks
+/// replica processes.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Spawns `smgcn serve` on an ephemeral port and parses the bound
+/// address from its startup banner.
+fn spawn_replica(
+    corpus_path: &std::path::Path,
+    frozen_path: &std::path::Path,
+) -> (ChildGuard, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_smgcn"))
+        .arg("serve")
+        .arg("--corpus")
+        .arg(corpus_path)
+        .arg("--model-file")
+        .arg(frozen_path)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn smgcn serve");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut reader = BufReader::new(stdout);
+    let addr = loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read child banner");
+        assert!(n > 0, "replica exited before announcing its address");
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            let addr_text = rest.split_whitespace().next().expect("address token");
+            break addr_text
+                .parse::<SocketAddr>()
+                .expect("parse bound address");
+        }
+    };
+    // Drain the rest of the banner in the background so the child can
+    // never block on a full stdout pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+            sink.clear();
+        }
+    });
+    (ChildGuard(child), addr)
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).ok();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: BufWriter::new(stream),
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut response = String::new();
+        self.reader.read_line(&mut response).unwrap();
+        json::parse(response.trim()).unwrap()
+    }
+
+    fn recommend(&mut self, set: &[u32]) -> Json {
+        let ids: Vec<String> = set.iter().map(u32::to_string).collect();
+        self.request(&format!(r#"{{"symptom_ids":[{}],"k":{K}}}"#, ids.join(",")))
+    }
+}
+
+fn query_space() -> Vec<Vec<u32>> {
+    let mut sets = Vec::new();
+    for a in 0..QUERY_SYMPTOMS {
+        for b in (a + 1)..QUERY_SYMPTOMS {
+            sets.push(vec![a, b]);
+        }
+    }
+    sets
+}
+
+/// Expected rankings and herb names per (generation, set).
+struct Expected {
+    rankings: HashMap<(u64, Vec<u32>), Vec<u32>>,
+    herb_names: [Vec<String>; 2],
+}
+
+impl Expected {
+    /// Asserts one response is internally consistent with exactly one
+    /// generation; returns that generation.
+    fn check(&self, resp: &Json, set: &[u32]) -> u64 {
+        assert!(
+            resp.get("error").is_none(),
+            "request {set:?} failed: {resp}"
+        );
+        let generation = resp.get("generation").and_then(Json::as_num).unwrap() as u64;
+        assert!(generation <= 1, "unexpected generation {generation}");
+        let ids: Vec<u32> = resp
+            .get("herb_ids")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_num().unwrap() as u32)
+            .collect();
+        let want = &self.rankings[&(generation, set.to_vec())];
+        assert_eq!(
+            &ids, want,
+            "set {set:?}: ranking does not match claimed generation {generation}"
+        );
+        let names: Vec<&str> = resp
+            .get("herbs")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap())
+            .collect();
+        for (name, &id) in names.iter().zip(&ids) {
+            assert_eq!(
+                *name,
+                self.herb_names[generation as usize][id as usize].as_str(),
+                "set {set:?}: herb name from a different generation than claimed {generation}"
+            );
+        }
+        generation
+    }
+}
+
+#[test]
+fn three_process_replicas_survive_kill_and_rolling_publish_mid_load() {
+    // --- stage 0: corpus + two frozen generations on disk --------------
+    let dir = std::env::temp_dir().join(format!("smgcn-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus_path = dir.join("corpus.tsv");
+    let frozen_path = dir.join("frozen0.smgt");
+
+    let corpus = SyndromeModel::new(GeneratorConfig::tiny_scale()).generate();
+    assert!(corpus.n_symptoms() as u32 >= QUERY_SYMPTOMS);
+    corpus_io::save_corpus(&corpus, &corpus_path).unwrap();
+    let ops = GraphOperators::from_records(
+        corpus.records(),
+        corpus.n_symptoms(),
+        corpus.n_herbs(),
+        SynergyThresholds { x_s: 1, x_h: 1 },
+    );
+    let model_cfg = ModelConfig {
+        embedding_dim: 16,
+        layer_dims: vec![16],
+        ..ModelConfig::smgcn()
+    };
+    // Untrained models: identical serving cost, deterministic content.
+    let frozen0 = FrozenModel::from_recommender(&Recommender::smgcn(&ops, &model_cfg, 7));
+    frozen0.save(&frozen_path).unwrap();
+    let frozen1 = FrozenModel::from_recommender(&Recommender::smgcn(&ops, &model_cfg, 999));
+    let gen1_vocab = ServingVocab::new(
+        corpus
+            .symptom_vocab()
+            .iter()
+            .map(|(_, n)| n.to_string())
+            .collect(),
+        (0..corpus.n_herbs()).map(|i| format!("g1-h{i}")).collect(),
+    );
+    let artifact_b64 = artifact::to_base64(&artifact::encode(&frozen1, &gen1_vocab));
+
+    let space = query_space();
+    let mut rankings = HashMap::new();
+    for set in &space {
+        rankings.insert((0u64, set.clone()), frozen0.recommend(set, K).unwrap());
+        rankings.insert((1u64, set.clone()), frozen1.recommend(set, K).unwrap());
+    }
+    let expected = Arc::new(Expected {
+        rankings,
+        herb_names: [
+            corpus
+                .herb_vocab()
+                .iter()
+                .map(|(_, n)| n.to_string())
+                .collect(),
+            (0..corpus.n_herbs()).map(|i| format!("g1-h{i}")).collect(),
+        ],
+    });
+
+    // --- stage 1: three replica processes + the router -----------------
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for _ in 0..3 {
+        let (child, addr) = spawn_replica(&corpus_path, &frozen_path);
+        children.push(child);
+        addrs.push(addr);
+    }
+    let router = Router::bind(
+        "127.0.0.1:0",
+        addrs.clone(),
+        RouterConfig {
+            pool: PoolConfig {
+                eject_base: Duration::from_millis(50),
+                eject_max: Duration::from_millis(500),
+                connect_timeout: Duration::from_millis(300),
+                replica_timeout: Duration::from_secs(2),
+                ..PoolConfig::default()
+            },
+            probe_interval: Duration::from_millis(100),
+            lease_patience: Duration::from_secs(5),
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let router_stop = router.stop_handle();
+    let router_handle = std::thread::spawn(move || router.run().unwrap());
+
+    // --- stage 2: hammer while killing and publishing -------------------
+    let total = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for t in 0..4u64 {
+        let expected = Arc::clone(&expected);
+        let total = Arc::clone(&total);
+        let space = space.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(router_addr);
+            let mut seen = [0u64; 2];
+            for i in 0..250u64 {
+                let set = &space[((t * 131 + i * 7) % space.len() as u64) as usize];
+                let resp = client.recommend(set);
+                let generation = expected.check(&resp, set);
+                seen[generation as usize] += 1;
+                total.fetch_add(1, Ordering::Relaxed);
+            }
+            seen
+        }));
+    }
+    let wait_for = |n: u64| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while total.load(Ordering::Relaxed) < n {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stalled waiting for {n} completed requests (got {})",
+                total.load(Ordering::Relaxed)
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    };
+
+    // Kill replica 0 (SIGKILL — a crash, not a graceful stop) mid-load.
+    wait_for(150);
+    children[0].0.kill().unwrap();
+    children[0].0.wait().unwrap();
+
+    // Rolling-publish generation 1 through the router mid-load.
+    wait_for(400);
+    let mut admin = Client::connect(router_addr);
+    let ack = admin.request(&format!(
+        r#"{{"op":"publish","artifact":"{artifact_b64}"}}"#
+    ));
+    assert_eq!(
+        ack.get("published").and_then(Json::as_num),
+        Some(2.0),
+        "both surviving replicas must take the publish: {ack}"
+    );
+    assert_eq!(
+        ack.get("all_ok"),
+        Some(&Json::Bool(false)),
+        "the killed replica must be reported, not silently skipped: {ack}"
+    );
+
+    let mut seen = [0u64; 2];
+    for c in clients {
+        let s = c.join().unwrap();
+        for (acc, v) in seen.iter_mut().zip(s) {
+            *acc += v;
+        }
+    }
+    assert_eq!(
+        seen.iter().sum::<u64>(),
+        4 * 250,
+        "zero failed client requests across kill + rolling publish"
+    );
+    assert!(seen[0] > 0, "generation 0 must have served before the swap");
+
+    // --- stage 3: post-publish, the fleet serves only generation 1 ------
+    let mut sweep = Client::connect(router_addr);
+    for set in &space {
+        let resp = sweep.recommend(set);
+        assert_eq!(
+            expected.check(&resp, set),
+            1,
+            "set {set:?}: fleet must have fully cut over to generation 1"
+        );
+    }
+
+    // Router stats: the kill was observed, traffic was rerouted.
+    let stats = sweep.request(r#"{"op":"stats"}"#);
+    let fleet = stats.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(fleet.len(), 3);
+    let healthy = fleet
+        .iter()
+        .filter(|r| r.get("healthy") == Some(&Json::Bool(true)))
+        .count();
+    assert_eq!(healthy, 2, "exactly the two survivors are healthy: {stats}");
+    assert!(
+        stats.get("retries").and_then(Json::as_num).unwrap() >= 1.0,
+        "the kill must have forced at least one failover retry: {stats}"
+    );
+
+    router_stop.stop();
+    router_handle.join().unwrap();
+    drop(children);
+    let _ = std::fs::remove_dir_all(&dir);
+}
