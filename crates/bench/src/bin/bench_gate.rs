@@ -1,0 +1,301 @@
+//! `bench-gate` — the benchmark regression gate.
+//!
+//! Discovers every checked-in `BENCH_*.json` baseline (unified schema,
+//! see `smgcn_bench::report`), reproduces each one by running its
+//! recorded replay recipe at the same scale and seed, and compares the
+//! fresh metrics against the baseline's gated metrics. Any gated metric
+//! moving more than `--tolerance` (default 25%) in its bad direction
+//! fails the gate: nonzero exit, regressed metric named in the message.
+//!
+//! ```text
+//! bench-gate [--dir PATH]          # baselines to check (default ".")
+//!            [--fresh-dir PATH]    # compare pre-computed fresh reports
+//!                                  # instead of re-running (CI mode)
+//!            [--only BENCH_x.json] # restrict to one baseline
+//!            [--tolerance F]       # default 0.25
+//! ```
+//!
+//! Without `--fresh-dir` the gate re-runs each baseline's bench binary:
+//! first the sibling executable next to `bench-gate` itself
+//! (`target/release/<bin>`), falling back to `cargo run --release -p
+//! smgcn-bench --bin <bin>` when the sibling has not been built. With
+//! `--fresh-dir` (what CI's `bench-smoke` job uses, having just produced
+//! fresh reports) no benches are re-run.
+//!
+//! A failing comparison is retried once against a fresh replay run
+//! before it counts — a shared runner's throttling window depresses one
+//! run; a real regression depresses them all.
+//!
+//! Improvements never fail; to tighten the contract after a perf win —
+//! or to adopt a new reference machine, since absolute throughput
+//! baselines are contracts *for the hardware that produced them* —
+//! re-run the bench and check in the new `BENCH_*.json` (see README
+//! "Benchmarks & CI" for the re-baselining procedure).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use smgcn_bench::gate::{compare, GateResult};
+use smgcn_bench::report::BenchReport;
+
+struct Args {
+    dir: PathBuf,
+    fresh_dir: Option<PathBuf>,
+    only: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        dir: PathBuf::from("."),
+        fresh_dir: None,
+        only: None,
+        tolerance: 0.25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--dir" => args.dir = PathBuf::from(value("--dir")),
+            "--fresh-dir" => args.fresh_dir = Some(PathBuf::from(value("--fresh-dir"))),
+            "--only" => args.only = Some(value("--only")),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance").parse().expect("numeric tolerance")
+            }
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}\n\
+                     usage: bench-gate [--dir PATH] [--fresh-dir PATH] [--only FILE] [--tolerance F]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The checked-in baselines: `BENCH_*.json` directly under `dir`.
+fn discover_baselines(dir: &Path, only: Option<&str>) -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot list {}: {e}", dir.display());
+            std::process::exit(2);
+        })
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .filter(|p| only.is_none_or(|want| p.file_name().and_then(|n| n.to_str()) == Some(want)))
+        .collect();
+    found.sort();
+    found
+}
+
+fn load_report(path: &Path) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    BenchReport::parse(&text).unwrap_or_else(|e| {
+        eprintln!(
+            "error: {} is not a unified bench report: {e}",
+            path.display()
+        );
+        std::process::exit(2);
+    })
+}
+
+/// Reproduces `baseline` by running its replay recipe, writing the fresh
+/// report to `out`. Prefers the sibling executable (same target dir as
+/// bench-gate itself); falls back to `cargo run`.
+fn run_replay(baseline: &BenchReport, out: &Path) {
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|exe| exe.parent().map(|d| d.join(&baseline.replay_bin)))
+        .filter(|p| p.is_file());
+    let out_str = out.to_string_lossy().to_string();
+    let mut cmd = match sibling {
+        Some(bin) => {
+            let mut c = Command::new(bin);
+            c.args(&baseline.replay_args).args(["--out", &out_str]);
+            c
+        }
+        None => {
+            let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+            let mut c = Command::new(cargo);
+            c.args(["run", "--release", "-q", "-p", "smgcn-bench", "--bin"])
+                .arg(&baseline.replay_bin)
+                .arg("--")
+                .args(&baseline.replay_args)
+                .args(["--out", &out_str]);
+            c
+        }
+    };
+    println!(
+        "  re-running: {} {}",
+        baseline.replay_bin,
+        baseline.replay_args.join(" ")
+    );
+    let status = cmd
+        .stdout(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot launch {}: {e}", baseline.replay_bin);
+            std::process::exit(2);
+        });
+    if !status.success() {
+        eprintln!(
+            "error: fresh run of {} failed with {status} (its internal assertions gate too)",
+            baseline.replay_bin
+        );
+        std::process::exit(1);
+    }
+}
+
+fn print_result(result: &GateResult, tolerance: f64) -> bool {
+    if result.passed() {
+        println!(
+            "  PASS: {} gated metric(s) within {:.0}% of baseline",
+            result.checked,
+            tolerance * 100.0
+        );
+        return true;
+    }
+    for failure in &result.failures {
+        println!("  FAIL: {failure}");
+    }
+    for name in &result.missing {
+        println!("  FAIL: gated metric {name:?} missing from the fresh report");
+    }
+    false
+}
+
+fn main() {
+    let args = parse_args();
+    let baselines = discover_baselines(&args.dir, args.only.as_deref());
+    if baselines.is_empty() {
+        eprintln!(
+            "error: no BENCH_*.json baselines under {} — nothing to gate",
+            args.dir.display()
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "=== bench-gate: {} baseline(s), tolerance {:.0}% ===",
+        baselines.len(),
+        args.tolerance * 100.0
+    );
+
+    let scratch = std::env::temp_dir().join(format!("bench-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    let mut regressed = Vec::new();
+    for path in &baselines {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let baseline = load_report(path);
+        println!("\n{name} ({})", baseline.bench);
+        let fresh_path = match &args.fresh_dir {
+            Some(dir) => {
+                let p = dir.join(name);
+                if !p.is_file() {
+                    eprintln!("error: fresh report {} missing", p.display());
+                    std::process::exit(2);
+                }
+                p
+            }
+            None => {
+                let p = scratch.join(name);
+                run_replay(&baseline, &p);
+                p
+            }
+        };
+        let fresh = load_report(&fresh_path);
+        if fresh.bench != baseline.bench {
+            eprintln!(
+                "error: fresh report is for {:?}, baseline for {:?}",
+                fresh.bench, baseline.bench
+            );
+            std::process::exit(2);
+        }
+        // Like-for-like guard: a fresh run at a different scale, seed or
+        // replay configuration measures a different workload — comparing
+        // it against the baseline would manufacture regressions (or hide
+        // them). This is what keeps --fresh-dir mode honest when the CI
+        // step's args drift from the baseline's recipe.
+        if fresh.scale != baseline.scale
+            || fresh.seed != baseline.seed
+            || fresh.replay_args != baseline.replay_args
+        {
+            eprintln!(
+                "error: fresh run configuration differs from the baseline's\n  \
+                 baseline: scale {:?}, seed {}, args {:?}\n  \
+                 fresh   : scale {:?}, seed {}, args {:?}\n\
+                 (align the fresh run's arguments with the baseline's replay recipe, \
+                 or re-baseline)",
+                baseline.scale,
+                baseline.seed,
+                baseline.replay_args,
+                fresh.scale,
+                fresh.seed,
+                fresh.replay_args
+            );
+            std::process::exit(2);
+        }
+        let mut result = compare(&baseline, &fresh, args.tolerance);
+        if !result.passed() {
+            // One replay retry before declaring a regression: a shared
+            // runner's throttling window depresses a single run, while a
+            // real code regression depresses every run. The retry always
+            // re-measures (even in --fresh-dir mode) so a flaky first
+            // sample cannot fail the gate on its own.
+            for failure in &result.failures {
+                println!("  first run: {failure}");
+            }
+            println!("  retrying once to rule out a throttled window...");
+            let retry_path = scratch.join(format!("retry-{name}"));
+            run_replay(&baseline, &retry_path);
+            result = compare(&baseline, &load_report(&retry_path), args.tolerance);
+        }
+        if !print_result(&result, args.tolerance) {
+            regressed.push((name.to_string(), result));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!();
+    if regressed.is_empty() {
+        println!(
+            "bench-gate: all {} baseline(s) held within {:.0}%",
+            baselines.len(),
+            args.tolerance * 100.0
+        );
+        return;
+    }
+    let metrics: Vec<String> = regressed
+        .iter()
+        .flat_map(|(file, r)| {
+            r.failures
+                .iter()
+                .map(move |f| format!("{file}:{}", f.metric))
+                .chain(
+                    r.missing
+                        .iter()
+                        .map(move |m| format!("{file}:{m} (missing)")),
+                )
+        })
+        .collect();
+    eprintln!(
+        "bench-gate: REGRESSION in {} baseline(s) — {}",
+        regressed.len(),
+        metrics.join(", ")
+    );
+    std::process::exit(1);
+}

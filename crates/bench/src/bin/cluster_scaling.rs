@@ -34,11 +34,11 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use smgcn_bench::harness::{percentiles_us, spawn_server, synthetic_frozen, SpawnedServer};
+use smgcn_bench::report::{BenchReport, GateDirection};
 use smgcn_cluster::{PoolConfig, Router, RouterConfig};
 use smgcn_serve::json::{self, Json};
-use smgcn_serve::server::StopHandle;
-use smgcn_serve::{BatcherConfig, FrozenModel, Server, ServerConfig, ServingVocab};
-use smgcn_tensor::Matrix;
+use smgcn_serve::{BatcherConfig, ServerConfig, ServingVocab};
 
 const N_SYMPTOMS: usize = 64;
 const N_HERBS: usize = 256;
@@ -91,29 +91,12 @@ fn parse_args() -> Args {
     args
 }
 
-fn frozen_model() -> FrozenModel {
-    let symptoms = Matrix::from_fn(N_SYMPTOMS, DIM, |r, c| {
-        ((r * 31 + c * 17) % 23) as f32 * 0.1 - 1.1
-    });
-    let herbs = Matrix::from_fn(N_HERBS, DIM, |r, c| {
-        ((r * 13 + c * 29) % 19) as f32 * 0.1 - 0.9
-    });
-    FrozenModel::from_parts(symptoms, herbs, None).unwrap()
-}
-
-struct ReplicaProc {
-    addr: SocketAddr,
-    stop: StopHandle,
-    handle: std::thread::JoinHandle<()>,
-}
-
 /// A replica tuned for the bench: no result cache (keep the scoring path
 /// real) and a visible linger so each replica's service capacity is its
 /// batching cycle — the per-machine bound fan-out multiplies.
-fn start_replica() -> ReplicaProc {
-    let server = Server::bind(
-        "127.0.0.1:0",
-        frozen_model(),
+fn start_replica() -> SpawnedServer {
+    spawn_server(
+        synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
         ServingVocab::default(),
         ServerConfig {
             cache_capacity: 0,
@@ -126,11 +109,6 @@ fn start_replica() -> ReplicaProc {
             ..ServerConfig::default()
         },
     )
-    .unwrap();
-    let addr = server.local_addr().unwrap();
-    let stop = server.stop_handle();
-    let handle = std::thread::spawn(move || server.run().unwrap());
-    ReplicaProc { addr, stop, handle }
 }
 
 fn router_over(addrs: Vec<SocketAddr>) -> (Router, SocketAddr) {
@@ -205,16 +183,6 @@ fn client_loop(addr: SocketAddr, seed: u64, stop: Arc<AtomicBool>) -> Vec<Sample
     samples
 }
 
-fn percentiles(latencies: &mut [f64]) -> (f64, f64) {
-    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
-    if latencies.is_empty() {
-        return (0.0, 0.0);
-    }
-    let pick =
-        |q: f64| latencies[((latencies.len() as f64 * q) as usize).min(latencies.len() - 1)] * 1e6;
-    (pick(0.50), pick(0.99))
-}
-
 struct ScalePoint {
     replicas: usize,
     qps: f64,
@@ -225,7 +193,7 @@ struct ScalePoint {
 
 /// Measures steady-state qps through the router at `n_replicas`.
 fn measure_scale(n_replicas: usize, args: &Args) -> ScalePoint {
-    let replicas: Vec<ReplicaProc> = (0..n_replicas).map(|_| start_replica()).collect();
+    let replicas: Vec<SpawnedServer> = (0..n_replicas).map(|_| start_replica()).collect();
     let (router, router_addr) = router_over(replicas.iter().map(|r| r.addr).collect());
     let router_stop = router.stop_handle();
     let router_handle = std::thread::spawn(move || router.run().unwrap());
@@ -252,8 +220,7 @@ fn measure_scale(n_replicas: usize, args: &Args) -> ScalePoint {
     router_stop.stop();
     router_handle.join().unwrap();
     for r in replicas {
-        r.stop.stop();
-        r.handle.join().unwrap();
+        r.shutdown();
     }
 
     let windowed: Vec<&Sample> = samples
@@ -262,7 +229,7 @@ fn measure_scale(n_replicas: usize, args: &Args) -> ScalePoint {
         .collect();
     let failed = windowed.iter().filter(|(_, _, ok)| !ok).count();
     let mut latencies: Vec<f64> = windowed.iter().map(|(_, l, _)| *l).collect();
-    let (p50_us, p99_us) = percentiles(&mut latencies);
+    let (p50_us, p99_us) = percentiles_us(&mut latencies);
     ScalePoint {
         replicas: n_replicas,
         qps: windowed.len() as f64 / (t1 - t0).as_secs_f64(),
@@ -283,7 +250,7 @@ struct FailoverResult {
 /// Kills one of three replicas mid-load; measures client-visible impact
 /// and the router's time-to-eject.
 fn measure_failover(args: &Args) -> FailoverResult {
-    let replicas: Vec<ReplicaProc> = (0..3).map(|_| start_replica()).collect();
+    let replicas: Vec<SpawnedServer> = (0..3).map(|_| start_replica()).collect();
     let (router, router_addr) = router_over(replicas.iter().map(|r| r.addr).collect());
     let router_stop = router.stop_handle();
     let router_handle = std::thread::spawn(move || router.run().unwrap());
@@ -301,8 +268,7 @@ fn measure_failover(args: &Args) -> FailoverResult {
     let mut replicas = replicas;
     let victim = replicas.remove(0);
     let kill_at = Instant::now();
-    victim.stop.stop();
-    victim.handle.join().unwrap();
+    victim.shutdown();
 
     // Poll router stats until the victim is marked unhealthy.
     let detect_ms = {
@@ -345,8 +311,7 @@ fn measure_failover(args: &Args) -> FailoverResult {
     router_stop.stop();
     router_handle.join().unwrap();
     for r in replicas {
-        r.stop.stop();
-        r.handle.join().unwrap();
+        r.shutdown();
     }
 
     let failed = samples.iter().filter(|(_, _, ok)| !ok).count();
@@ -355,7 +320,7 @@ fn measure_failover(args: &Args) -> FailoverResult {
         .filter(|(done, _, _)| *done < kill_at)
         .map(|(_, l, _)| *l)
         .collect();
-    let (_, baseline_p99_us) = percentiles(&mut pre);
+    let (_, baseline_p99_us) = percentiles_us(&mut pre);
     let worst_post_kill = samples
         .iter()
         .filter(|(done, _, _)| *done >= kill_at)
@@ -425,32 +390,58 @@ fn main() {
     );
     println!("OK: zero failed requests across the kill");
 
-    let scaling_json: Vec<String> = points
-        .iter()
-        .map(|p| {
-            format!(
-                "{{\"replicas\": {}, \"qps\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
-                p.replicas, p.qps, p.p50_us, p.p99_us
-            )
-        })
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"cluster_scaling\",\n  \"seed\": {},\n  \"clients\": {},\n  \
-         \"measure_ms\": {},\n  \"model\": {{\"symptoms\": {N_SYMPTOMS}, \"herbs\": {N_HERBS}, \"dim\": {DIM}}},\n  \
-         \"scaling\": [{}],\n  \"speedup_vs_single\": {:.3},\n  \
-         \"failover\": {{\"requests\": {}, \"failed\": {}, \"detect_ms\": {:.2}, \
-         \"worst_post_kill_ms\": {:.2}, \"baseline_p99_ms\": {:.3}}}\n}}\n",
+    let replicas_arg = args.replicas_max.to_string();
+    let clients_arg = args.clients.to_string();
+    let measure_arg = args.measure_ms.to_string();
+    let seed_arg = args.seed.to_string();
+    let mut report = BenchReport::new(
+        "cluster_scaling",
+        "synthetic",
         args.seed,
-        args.clients,
-        args.measure_ms,
-        scaling_json.join(", "),
-        speedup,
-        failover.total,
-        failover.failed,
-        failover.detect_ms,
-        failover.worst_post_kill_ms,
-        failover.baseline_p99_ms,
+        "cluster_scaling",
+        &[
+            "--replicas-max",
+            &replicas_arg,
+            "--clients",
+            &clients_arg,
+            "--measure-ms",
+            &measure_arg,
+            "--seed",
+            &seed_arg,
+        ],
     );
-    std::fs::write(&args.out, &json).expect("write BENCH_cluster.json");
+    report
+        .gated("speedup_vs_single", speedup, GateDirection::Higher)
+        .gated(
+            "scaling_failed",
+            points.iter().map(|p| p.failed).sum::<usize>() as f64,
+            GateDirection::Exact,
+        )
+        .gated(
+            "failover_failed",
+            failover.failed as f64,
+            GateDirection::Exact,
+        )
+        .metric("clients", args.clients as f64)
+        .metric("measure_ms", args.measure_ms as f64)
+        .metric("failover_requests", failover.total as f64)
+        .metric("detect_ms", failover.detect_ms)
+        .metric("worst_post_kill_ms", failover.worst_post_kill_ms)
+        .metric("baseline_p99_ms", failover.baseline_p99_ms)
+        .context(
+            "model",
+            json::obj([
+                ("symptoms", Json::Num(N_SYMPTOMS as f64)),
+                ("herbs", Json::Num(N_HERBS as f64)),
+                ("dim", Json::Num(DIM as f64)),
+            ]),
+        );
+    for p in &points {
+        report
+            .metric(&format!("qps_{}", p.replicas), p.qps)
+            .metric(&format!("p50_us_{}", p.replicas), p.p50_us)
+            .metric(&format!("p99_us_{}", p.replicas), p.p99_us);
+    }
+    report.write(&args.out).expect("write BENCH_cluster.json");
     println!("\nwrote {}", args.out);
 }

@@ -19,75 +19,17 @@
 //! train_throughput [--scale small|mid] [--epochs N] [--seed N] [--out PATH]
 //! ```
 //!
-//! Writes `BENCH_train.json` (epochs/sec, mean step latency, speedup) so
-//! CI can archive the trajectory per PR.
+//! Writes `BENCH_train.json` in the unified schema (see
+//! `smgcn_bench::report`); `bench-gate` gates `optimized_epochs_per_sec`,
+//! `speedup` and the bit-identical-history invariant.
 
 use std::time::Instant;
 
+use smgcn_bench::harness::{corpus_setup, BenchScale};
+use smgcn_bench::report::{BenchReport, GateDirection};
 use smgcn_core::prelude::*;
-use smgcn_data::{GeneratorConfig, SyndromeModel};
-use smgcn_graph::{GraphOperators, SynergyThresholds};
+use smgcn_serve::json::{self, Json};
 use smgcn_tensor::set_reference_kernels;
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum BenchScale {
-    /// Tiny corpus — seconds-fast sanity scale (CI smoke).
-    Small,
-    /// The smoke corpus with paper-shaped smoke dimensions — the scale the
-    /// acceptance criterion (>= 3x epochs/sec) is measured at.
-    Mid,
-}
-
-impl BenchScale {
-    fn name(self) -> &'static str {
-        match self {
-            Self::Small => "small",
-            Self::Mid => "mid",
-        }
-    }
-
-    fn generator(self) -> GeneratorConfig {
-        match self {
-            Self::Small => GeneratorConfig::tiny_scale(),
-            Self::Mid => GeneratorConfig::smoke_scale(),
-        }
-    }
-
-    fn thresholds(self) -> SynergyThresholds {
-        match self {
-            Self::Small => SynergyThresholds { x_s: 1, x_h: 1 },
-            Self::Mid => SynergyThresholds { x_s: 5, x_h: 30 },
-        }
-    }
-
-    fn model_config(self) -> ModelConfig {
-        match self {
-            Self::Small => ModelConfig {
-                embedding_dim: 16,
-                layer_dims: vec![16, 24],
-                ..ModelConfig::smgcn()
-            },
-            // Table III's real model dimensions (d0 = 64, layers 128/256)
-            // on the smoke corpus: the GEMM-bound shape every full-scale
-            // experiment pays for.
-            Self::Mid => ModelConfig::smgcn(),
-        }
-    }
-
-    fn default_epochs(self) -> usize {
-        match self {
-            Self::Small => 6,
-            Self::Mid => 3,
-        }
-    }
-
-    fn batch_size(self) -> usize {
-        match self {
-            Self::Small => 64,
-            Self::Mid => 256,
-        }
-    }
-}
 
 struct Args {
     scale: BenchScale,
@@ -113,14 +55,10 @@ fn parse_args() -> Args {
         };
         match arg.as_str() {
             "--scale" => {
-                args.scale = match value("--scale").as_str() {
-                    "small" => BenchScale::Small,
-                    "mid" => BenchScale::Mid,
-                    other => {
-                        eprintln!("error: unknown scale {other:?} (use small|mid)");
-                        std::process::exit(2);
-                    }
-                }
+                args.scale = BenchScale::from_arg(&value("--scale")).unwrap_or_else(|| {
+                    eprintln!("error: unknown scale (use small|mid)");
+                    std::process::exit(2);
+                })
             }
             "--epochs" => args.epochs = Some(value("--epochs").parse().expect("numeric epochs")),
             "--seed" => args.seed = value("--seed").parse().expect("numeric seed"),
@@ -137,6 +75,13 @@ fn parse_args() -> Args {
     args
 }
 
+fn default_epochs(scale: BenchScale) -> usize {
+    match scale {
+        BenchScale::Small => 6,
+        BenchScale::Mid => 3,
+    }
+}
+
 struct PathResult {
     name: &'static str,
     wall_s: f64,
@@ -150,8 +95,7 @@ struct PathResult {
 /// Everything both benchmark paths share: the prepared corpus, graph
 /// operators and configurations.
 struct BenchSetup {
-    ops: GraphOperators,
-    corpus: smgcn_data::Corpus,
+    setup: smgcn_bench::harness::CorpusSetup,
     model_cfg: ModelConfig,
     train_cfg: TrainConfig,
     steps_per_epoch: usize,
@@ -161,15 +105,15 @@ fn run_path(
     name: &'static str,
     reference_kernels: bool,
     pooled: bool,
-    setup: &BenchSetup,
+    bench: &BenchSetup,
 ) -> PathResult {
     set_reference_kernels(reference_kernels);
-    let mut model = Recommender::smgcn(&setup.ops, &setup.model_cfg, setup.train_cfg.seed);
+    let mut model = Recommender::smgcn(&bench.setup.ops, &bench.model_cfg, bench.train_cfg.seed);
     let t0 = Instant::now();
     let history = if pooled {
-        train(&mut model, &setup.corpus, &setup.train_cfg)
+        train(&mut model, &bench.setup.corpus, &bench.train_cfg)
     } else {
-        train_unpooled(&mut model, &setup.corpus, &setup.train_cfg)
+        train_unpooled(&mut model, &bench.setup.corpus, &bench.train_cfg)
     };
     let wall_s = t0.elapsed().as_secs_f64();
     set_reference_kernels(false);
@@ -178,7 +122,7 @@ fn run_path(
         name,
         wall_s,
         epochs_per_sec: epochs as f64 / wall_s,
-        mean_step_ms: wall_s * 1e3 / (epochs * setup.steps_per_epoch.max(1)) as f64,
+        mean_step_ms: wall_s * 1e3 / (epochs * bench.steps_per_epoch.max(1)) as f64,
         history_bits: history
             .epochs
             .iter()
@@ -188,23 +132,9 @@ fn run_path(
     }
 }
 
-fn json_path(r: &PathResult) -> String {
-    // f32 Display would print bare `NaN`/`inf` tokens (invalid JSON) for a
-    // diverged run; emit null instead so the artifact always parses.
-    let final_loss = if r.final_loss.is_finite() {
-        r.final_loss.to_string()
-    } else {
-        "null".to_string()
-    };
-    format!(
-        "{{\"wall_s\": {:.4}, \"epochs_per_sec\": {:.4}, \"mean_step_ms\": {:.4}, \"final_loss\": {final_loss}}}",
-        r.wall_s, r.epochs_per_sec, r.mean_step_ms
-    )
-}
-
 fn main() {
     let args = parse_args();
-    let epochs = args.epochs.unwrap_or(args.scale.default_epochs());
+    let epochs = args.epochs.unwrap_or(default_epochs(args.scale));
     println!("=== smgcn train_throughput ===");
     println!(
         "scale: {} | epochs: {} | seed: {} | threads: {}",
@@ -214,37 +144,25 @@ fn main() {
         std::env::var("SMGCN_THREADS").unwrap_or_else(|_| "auto".into())
     );
 
-    let corpus = SyndromeModel::new(args.scale.generator().with_seed(args.seed)).generate();
-    let ops = GraphOperators::from_records(
-        corpus.records(),
-        corpus.n_symptoms(),
-        corpus.n_herbs(),
-        args.scale.thresholds(),
-    );
+    let setup = corpus_setup(args.scale.generator(), args.scale.thresholds(), args.seed);
     let model_cfg = args.scale.model_config();
-    let train_cfg = TrainConfig {
-        epochs,
-        batch_size: args.scale.batch_size(),
-        learning_rate: 1e-3,
-        l2_lambda: 1e-4,
-        loss: LossKind::MultiLabel,
-        bpr_negatives: 1,
-        weighted_labels: true,
-        seed: args.seed,
-    };
-    let steps_per_epoch = corpus.prescriptions().len().div_ceil(train_cfg.batch_size);
+    let train_cfg = args.scale.train_config(epochs, args.seed);
+    let steps_per_epoch = setup
+        .corpus
+        .prescriptions()
+        .len()
+        .div_ceil(train_cfg.batch_size);
     println!(
         "corpus: {} prescriptions, {} symptoms, {} herbs | d0 = {}, layers = {:?} | {} steps/epoch\n",
-        corpus.prescriptions().len(),
-        corpus.n_symptoms(),
-        corpus.n_herbs(),
+        setup.corpus.prescriptions().len(),
+        setup.corpus.n_symptoms(),
+        setup.corpus.n_herbs(),
         model_cfg.embedding_dim,
         model_cfg.layer_dims,
         steps_per_epoch
     );
-    let setup = BenchSetup {
-        ops,
-        corpus,
+    let bench = BenchSetup {
+        setup,
         model_cfg,
         train_cfg,
         steps_per_epoch,
@@ -252,8 +170,8 @@ fn main() {
 
     // Baseline first so its cold-start cost cannot flatter the optimized
     // path; each path trains a freshly-seeded model.
-    let baseline = run_path("baseline (naive GEMM, unpooled tape)", true, false, &setup);
-    let optimized = run_path("optimized (tiled GEMM, pooled tape)", false, true, &setup);
+    let baseline = run_path("baseline (naive GEMM, unpooled tape)", true, false, &bench);
+    let optimized = run_path("optimized (tiled GEMM, pooled tape)", false, true, &bench);
 
     for r in [&baseline, &optimized] {
         println!(
@@ -277,17 +195,62 @@ fn main() {
         optimized.final_loss
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"train_throughput\",\n  \"scale\": \"{}\",\n  \"epochs\": {},\n  \"seed\": {},\n  \"steps_per_epoch\": {},\n  \"baseline\": {},\n  \"optimized\": {},\n  \"speedup\": {:.4},\n  \"history_bit_identical\": {}\n}}\n",
+    let epochs_arg = epochs.to_string();
+    let seed_arg = args.seed.to_string();
+    let mut report = BenchReport::new(
+        "train_throughput",
         args.scale.name(),
-        epochs,
         args.seed,
-        setup.steps_per_epoch,
-        json_path(&baseline),
-        json_path(&optimized),
-        speedup,
-        identical
+        "train_throughput",
+        &[
+            "--scale",
+            args.scale.name(),
+            "--epochs",
+            &epochs_arg,
+            "--seed",
+            &seed_arg,
+        ],
     );
-    std::fs::write(&args.out, &json).expect("write BENCH_train.json");
+    report
+        .gated(
+            "optimized_epochs_per_sec",
+            optimized.epochs_per_sec,
+            GateDirection::Higher,
+        )
+        .gated("speedup", speedup, GateDirection::Higher)
+        .gated(
+            "history_bit_identical",
+            f64::from(u8::from(identical)),
+            GateDirection::Exact,
+        )
+        .metric("baseline_epochs_per_sec", baseline.epochs_per_sec)
+        .metric("baseline_mean_step_ms", baseline.mean_step_ms)
+        .metric("optimized_mean_step_ms", optimized.mean_step_ms)
+        .metric("baseline_wall_s", baseline.wall_s)
+        .metric("optimized_wall_s", optimized.wall_s)
+        .metric("final_loss", f64::from(optimized.final_loss))
+        .metric("epochs", epochs as f64)
+        .metric("steps_per_epoch", bench.steps_per_epoch as f64)
+        .context(
+            "model",
+            json::obj([
+                (
+                    "embedding_dim",
+                    Json::Num(bench.model_cfg.embedding_dim as f64),
+                ),
+                (
+                    "layer_dims",
+                    Json::Arr(
+                        bench
+                            .model_cfg
+                            .layer_dims
+                            .iter()
+                            .map(|&d| Json::Num(d as f64))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        );
+    report.write(&args.out).expect("write BENCH_train.json");
     println!("wrote {}", args.out);
 }

@@ -1,0 +1,182 @@
+//! Regression-gate logic: compare a fresh [`BenchReport`] against a
+//! checked-in baseline and name every gated metric that regressed.
+//!
+//! The rule, per gated metric (gates come from the **baseline** — the
+//! checked-in file is the contract, a fresh run cannot un-gate itself):
+//!
+//! - `higher`: fail when `fresh < baseline * (1 - tolerance)`;
+//! - `lower` : fail when `fresh > baseline * (1 + tolerance)`;
+//! - `exact` : fail on any bitwise difference.
+//!
+//! Improvements never fail the gate — a faster run simply passes; the
+//! operator re-baselines when they want the contract to tighten (see the
+//! README's "Benchmarks & CI" section).
+
+use crate::report::{BenchReport, GateDirection};
+
+/// One regressed metric, with enough context for an actionable message.
+#[derive(Clone, Debug)]
+pub struct GateFailure {
+    /// The metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// The direction the gate allows.
+    pub direction: GateDirection,
+}
+
+impl std::fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let how = match self.direction {
+            GateDirection::Higher => "dropped",
+            GateDirection::Lower => "grew",
+            GateDirection::Exact => "changed",
+        };
+        write!(
+            f,
+            "metric {:?} {how}: baseline {} -> fresh {}",
+            self.metric, self.baseline, self.fresh
+        )
+    }
+}
+
+/// The verdict for one baseline/fresh pair.
+#[derive(Clone, Debug)]
+pub struct GateResult {
+    /// The benchmark name compared.
+    pub bench: String,
+    /// Gated metrics examined.
+    pub checked: usize,
+    /// Metrics that regressed beyond tolerance.
+    pub failures: Vec<GateFailure>,
+    /// Gated metrics missing from the fresh report (always failures).
+    pub missing: Vec<String>,
+}
+
+impl GateResult {
+    /// True when every gated metric held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Compares `fresh` against `baseline` with a relative `tolerance`
+/// (0.25 = a metric may move 25% the wrong way before the gate trips).
+pub fn compare(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> GateResult {
+    let mut failures = Vec::new();
+    let mut missing = Vec::new();
+    for (name, &direction) in &baseline.gates {
+        let Some(&base) = baseline.metrics.get(name) else {
+            // A gate naming a metric the baseline itself lacks is a
+            // malformed baseline; surface it as missing rather than
+            // silently passing.
+            missing.push(name.clone());
+            continue;
+        };
+        let Some(&new) = fresh.metrics.get(name) else {
+            missing.push(name.clone());
+            continue;
+        };
+        let regressed = match direction {
+            GateDirection::Higher => new < base * (1.0 - tolerance),
+            GateDirection::Lower => new > base * (1.0 + tolerance),
+            GateDirection::Exact => new.to_bits() != base.to_bits(),
+        };
+        // NaN comparisons are false, which would wave a diverged fresh
+        // run through a higher/lower gate; treat non-finite fresh values
+        // as regressions outright.
+        if regressed || !new.is_finite() {
+            failures.push(GateFailure {
+                metric: name.clone(),
+                baseline: base,
+                fresh: new,
+                direction,
+            });
+        }
+    }
+    GateResult {
+        bench: baseline.bench.clone(),
+        checked: baseline.gates.len(),
+        failures,
+        missing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::BenchReport;
+
+    fn report(pairs: &[(&str, f64, Option<GateDirection>)]) -> BenchReport {
+        let mut r = BenchReport::new("demo", "small", 1, "demo", &[]);
+        for (name, value, gate) in pairs {
+            match gate {
+                Some(d) => r.gated(name, *value, *d),
+                None => r.metric(name, *value),
+            };
+        }
+        r
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        let base = report(&[("qps", 1000.0, Some(GateDirection::Higher))]);
+        let fresh = report(&[("qps", 800.0, Some(GateDirection::Higher))]);
+        assert!(compare(&base, &fresh, 0.25).passed());
+    }
+
+    #[test]
+    fn fails_beyond_tolerance_and_names_the_metric() {
+        let base = report(&[("qps", 1000.0, Some(GateDirection::Higher))]);
+        let fresh = report(&[("qps", 499.0, None)]);
+        let result = compare(&base, &fresh, 0.25);
+        assert!(!result.passed());
+        assert_eq!(result.failures[0].metric, "qps");
+        assert!(result.failures[0].to_string().contains("qps"));
+    }
+
+    #[test]
+    fn lower_direction_fails_on_growth() {
+        let base = report(&[("p99_us", 100.0, Some(GateDirection::Lower))]);
+        let ok = report(&[("p99_us", 120.0, None)]);
+        let bad = report(&[("p99_us", 130.0, None)]);
+        assert!(compare(&base, &ok, 0.25).passed());
+        assert!(!compare(&base, &bad, 0.25).passed());
+    }
+
+    #[test]
+    fn exact_fails_on_any_change() {
+        let base = report(&[("failed", 0.0, Some(GateDirection::Exact))]);
+        let bad = report(&[("failed", 1.0, None)]);
+        assert!(compare(&base, &base, 0.25).passed());
+        assert!(!compare(&base, &bad, 0.25).passed());
+    }
+
+    #[test]
+    fn improvements_pass() {
+        let base = report(&[
+            ("qps", 1000.0, Some(GateDirection::Higher)),
+            ("p99_us", 100.0, Some(GateDirection::Lower)),
+        ]);
+        let fresh = report(&[("qps", 5000.0, None), ("p99_us", 10.0, None)]);
+        assert!(compare(&base, &fresh, 0.25).passed());
+    }
+
+    #[test]
+    fn missing_gated_metric_fails() {
+        let base = report(&[("qps", 1000.0, Some(GateDirection::Higher))]);
+        let fresh = report(&[("other", 1.0, None)]);
+        let result = compare(&base, &fresh, 0.25);
+        assert!(!result.passed());
+        assert_eq!(result.missing, vec!["qps".to_string()]);
+    }
+
+    #[test]
+    fn non_finite_fresh_fails() {
+        let base = report(&[("qps", 1000.0, Some(GateDirection::Higher))]);
+        let fresh = report(&[("qps", f64::NAN, None)]);
+        assert!(!compare(&base, &fresh, 0.25).passed());
+    }
+}

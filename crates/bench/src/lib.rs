@@ -14,6 +14,23 @@
 //! The `benches/` directory holds Criterion microbenchmarks for the
 //! substrate kernels (GEMM, SpMM, graph construction, full forward +
 //! backward steps).
+//!
+//! Beyond the reproduction bins, this lib is the **shared perf-bench
+//! harness**:
+//!
+//! - [`harness`] — deduplicated corpus/model setup and timing helpers
+//!   for the perf bins (`serve_latency`, `train_throughput`,
+//!   `online_refresh`, `cluster_scaling`) and `smgcn-loadgen`;
+//! - [`report`] — the unified `BENCH_*.json` schema every perf bin
+//!   emits (bench name, seed, scale, hardware note, flat metrics map,
+//!   gate directions, replay recipe);
+//! - [`gate`] — the regression comparison behind the `bench-gate` bin,
+//!   which re-runs each checked-in baseline's replay recipe and exits
+//!   nonzero when any gated metric regresses more than the tolerance.
+
+pub mod gate;
+pub mod harness;
+pub mod report;
 
 use smgcn_core::prelude::*;
 use smgcn_eval::{Scale, SMOKE_SEEDS};

@@ -1,0 +1,593 @@
+//! The execution engine: stands up the planned topology, drives the
+//! schedule through real sockets, fires the chaos plan, and measures.
+//!
+//! The contract with [`crate::scenario`]: everything decided here is
+//! *when* things actually happened, never *what* happens — the what is
+//! the deterministic workload. Workers pace themselves against the
+//! schedule's arrival offsets (open-loop up to per-worker serialization)
+//! and validate every response inline against the scenario's
+//! generation-consistency invariant.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smgcn_bench::harness::{
+    percentiles_us, spawn_server, spawn_server_slot, synthetic_frozen, synthetic_vocab,
+    SpawnedServer,
+};
+use smgcn_cluster::{PoolConfig, Router, RouterConfig, RouterStopHandle};
+use smgcn_online::{FineTuneConfig, OnlineConfig, OnlinePipeline};
+use smgcn_serve::json::{self, Json};
+use smgcn_serve::{BatcherConfig, FrozenModel, ServerConfig, ServingVocab};
+
+use crate::report::{Measured, ScenarioReport, WorkloadSummary};
+use crate::scenario::{ChaosAction, ScenarioKind, Topology, Workload, DIM, N_HERBS, N_SYMPTOMS};
+use crate::slo::{evaluate, GenCheck, SloInputs};
+
+/// Cap on collected violation samples (the verdict only needs a few).
+const MAX_VIOLATIONS: usize = 20;
+
+/// Worker-side read timeout: far above any SLO budget, so a hung stack
+/// surfaces as a failed request instead of a hung run.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn start_replica(model: FrozenModel, vocab: ServingVocab) -> SpawnedServer {
+    spawn_server(
+        model,
+        vocab,
+        ServerConfig {
+            max_connections: 64,
+            batcher: BatcherConfig {
+                max_batch: 64,
+                ..BatcherConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+}
+
+/// The running stack behind one scenario. Owned by [`run`]'s thread:
+/// the online pipeline (not `Send` — it owns the training model) is
+/// only ever touched from the control lane, which runs right here.
+struct Stack {
+    /// Where workers connect (server or router).
+    front: SocketAddr,
+    /// Routed replicas (None once killed by chaos).
+    replicas: Vec<Option<SpawnedServer>>,
+    router: Option<(RouterStopHandle, JoinHandle<()>)>,
+    server: Option<SpawnedServer>,
+    pipeline: Option<OnlinePipeline>,
+}
+
+impl Stack {
+    fn build(workload: &Workload) -> Self {
+        match workload.topology {
+            Topology::SingleServer => {
+                let server = spawn_server(
+                    synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
+                    synthetic_vocab(N_SYMPTOMS, N_HERBS, 0),
+                    ServerConfig::default(),
+                );
+                Self {
+                    front: server.addr,
+                    replicas: Vec::new(),
+                    router: None,
+                    server: Some(server),
+                    pipeline: None,
+                }
+            }
+            Topology::Routed { replicas } => {
+                let procs: Vec<Option<SpawnedServer>> = (0..replicas)
+                    .map(|_| {
+                        Some(start_replica(
+                            synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
+                            synthetic_vocab(N_SYMPTOMS, N_HERBS, 0),
+                        ))
+                    })
+                    .collect();
+                let addrs: Vec<SocketAddr> =
+                    procs.iter().map(|p| p.as_ref().unwrap().addr).collect();
+                let router = Router::bind(
+                    "127.0.0.1:0",
+                    addrs,
+                    RouterConfig {
+                        pool: PoolConfig {
+                            max_conns_per_replica: 8,
+                            eject_base: Duration::from_millis(50),
+                            eject_max: Duration::from_millis(500),
+                            // Tight transport timeouts: a killed replica's
+                            // half-open connections must convert into
+                            // failover, not client-visible stalls.
+                            connect_timeout: Duration::from_millis(200),
+                            replica_timeout: Duration::from_millis(300),
+                            ..PoolConfig::default()
+                        },
+                        probe_interval: Duration::from_millis(100),
+                        lease_patience: Duration::from_secs(5),
+                        ..RouterConfig::default()
+                    },
+                )
+                .expect("bind router");
+                let front = router.local_addr().expect("router addr");
+                let stop = router.stop_handle();
+                let handle = std::thread::spawn(move || router.run().expect("router run"));
+                Self {
+                    front,
+                    replicas: procs,
+                    router: Some((stop, handle)),
+                    server: None,
+                    pipeline: None,
+                }
+            }
+            Topology::OnlinePipeline => {
+                let corpus = crate::scenario::ingest_corpus(workload.config.seed);
+                let thresholds = smgcn_graph::SynergyThresholds { x_s: 1, x_h: 1 };
+                let ops = smgcn_graph::GraphOperators::from_records(
+                    corpus.records(),
+                    corpus.n_symptoms(),
+                    corpus.n_herbs(),
+                    thresholds,
+                );
+                let model_cfg = smgcn_core::prelude::ModelConfig {
+                    embedding_dim: 16,
+                    layer_dims: vec![16, 24],
+                    ..smgcn_core::prelude::ModelConfig::smgcn()
+                };
+                let train_cfg = smgcn_core::prelude::TrainConfig {
+                    epochs: 2,
+                    batch_size: 64,
+                    learning_rate: 1e-3,
+                    l2_lambda: 1e-4,
+                    loss: smgcn_core::prelude::LossKind::MultiLabel,
+                    bpr_negatives: 1,
+                    weighted_labels: true,
+                    seed: workload.config.seed,
+                };
+                let mut model =
+                    smgcn_core::prelude::Recommender::smgcn(&ops, &model_cfg, workload.config.seed);
+                smgcn_core::prelude::train(&mut model, &corpus, &train_cfg);
+                let pipeline = OnlinePipeline::new(
+                    corpus,
+                    model,
+                    OnlineConfig {
+                        thresholds,
+                        model: model_cfg,
+                        train: train_cfg,
+                        finetune: FineTuneConfig {
+                            max_epochs: 1,
+                            target_loss: None,
+                            learning_rate: None,
+                        },
+                        seed: workload.config.seed,
+                    },
+                );
+                let slot = pipeline.slot();
+                let server = spawn_server_slot(slot, ServerConfig::default());
+                Self {
+                    front: server.addr,
+                    replicas: Vec::new(),
+                    router: None,
+                    server: Some(server),
+                    pipeline: Some(pipeline),
+                }
+            }
+        }
+    }
+
+    fn teardown(self) {
+        if let Some((stop, handle)) = self.router {
+            stop.stop();
+            let _ = handle.join();
+        }
+        for proc in self.replicas.into_iter().flatten() {
+            proc.shutdown();
+        }
+        if let Some(server) = self.server {
+            server.shutdown();
+        }
+    }
+}
+
+/// Shared response validation state.
+struct Validation {
+    check: GenCheck,
+    /// `(generation, symptom set) -> expected ranking` for
+    /// [`GenCheck::ExactRankings`].
+    expected: HashMap<(u64, Vec<u32>), Vec<u32>>,
+    /// Generation number -> the artifact tag whose model and vocab it
+    /// serves (herb names embed the tag, not the generation number).
+    tags: HashMap<u64, u64>,
+    violations: Mutex<Vec<String>>,
+}
+
+impl Validation {
+    /// Precomputes expected rankings: generation 0 is the boot model
+    /// (tag 0), and each planned rolling publish maps the next
+    /// generation number to its artifact tag.
+    fn plan(workload: &Workload) -> Self {
+        let mut expected = HashMap::new();
+        let mut tags = HashMap::new();
+        if workload.slo.generation_consistency == GenCheck::ExactRankings {
+            tags.insert(0u64, 0u64);
+            let mut next_gen = 1;
+            for event in &workload.chaos {
+                if let ChaosAction::RollingPublish { tag } = event.action {
+                    tags.insert(next_gen, tag);
+                    next_gen += 1;
+                }
+            }
+            let sets = workload.schedule.distinct_query_sets();
+            for (&generation, &tag) in &tags {
+                let model = synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, tag);
+                for set in &sets {
+                    let ranking = model
+                        .recommend(set, workload.config.k)
+                        .expect("planned sets are valid");
+                    expected.insert((generation, set.clone()), ranking);
+                }
+            }
+        }
+        Self {
+            check: workload.slo.generation_consistency,
+            expected,
+            tags,
+            violations: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn violation(&self, message: String) {
+        let mut v = self.violations.lock().expect("violations lock");
+        if v.len() < MAX_VIOLATIONS {
+            v.push(message);
+        }
+    }
+
+    /// Validates one successful response; `last_gen` carries the
+    /// connection's monotonicity state.
+    fn validate(&self, symptoms: &[u32], resp: &Json, last_gen: &mut u64) {
+        let Some(generation) = resp
+            .get("generation")
+            .and_then(Json::as_num)
+            .map(|g| g as u64)
+        else {
+            self.violation("response missing generation".to_string());
+            return;
+        };
+        match self.check {
+            GenCheck::None => {}
+            GenCheck::Monotone => {
+                if generation < *last_gen {
+                    self.violation(format!(
+                        "generation went backwards on one connection: {} -> {generation}",
+                        *last_gen
+                    ));
+                }
+                *last_gen = generation.max(*last_gen);
+            }
+            GenCheck::ExactRankings => {
+                let Some(ids) = resp.get("herb_ids").and_then(Json::as_arr).map(|arr| {
+                    arr.iter()
+                        .filter_map(|v| v.as_num().map(|n| n as u32))
+                        .collect::<Vec<u32>>()
+                }) else {
+                    self.violation("response missing herb_ids".to_string());
+                    return;
+                };
+                match self.expected.get(&(generation, symptoms.to_vec())) {
+                    None => {
+                        self.violation(format!("response claims unknown generation {generation}"))
+                    }
+                    Some(want) if *want != ids => self.violation(format!(
+                        "ranking does not match generation {generation} for {symptoms:?}: \
+                         got {ids:?}, expected {want:?}"
+                    )),
+                    Some(_) => {}
+                }
+                // Names must carry the claimed generation's artifact tag
+                // too — a mixed response would rank with one model and
+                // name with another. (Tag, not generation number: a
+                // publish plan may ship any tag as any generation.)
+                if let (Some(names), Some(tag)) = (
+                    resp.get("herbs").and_then(Json::as_arr),
+                    self.tags.get(&generation),
+                ) {
+                    let prefix = format!("g{tag}-");
+                    if names
+                        .iter()
+                        .any(|n| n.as_str().is_some_and(|s| !s.starts_with(&prefix)))
+                    {
+                        self.violation(format!(
+                            "herb names do not all carry generation {generation}'s tag g{tag}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct WorkerResult {
+    /// Per-request latency (seconds).
+    latencies: Vec<f64>,
+    executed: usize,
+    failures: usize,
+    generations: BTreeSet<u64>,
+}
+
+fn connect(front: SocketAddr) -> std::io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
+    let stream = TcpStream::connect(front)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    Ok((BufReader::new(stream.try_clone()?), BufWriter::new(stream)))
+}
+
+/// One query lane: executes its schedule slice in arrival order, pacing
+/// against `start`, validating every response.
+#[allow(clippy::needless_pass_by_value)]
+fn query_worker(
+    workload: Arc<Workload>,
+    lane: Vec<usize>,
+    front: SocketAddr,
+    validation: Arc<Validation>,
+    start: Instant,
+) -> WorkerResult {
+    let mut result = WorkerResult {
+        latencies: Vec::with_capacity(lane.len()),
+        executed: 0,
+        failures: 0,
+        generations: BTreeSet::new(),
+    };
+    let mut conn = connect(front).ok();
+    let mut line = String::new();
+    let mut last_gen = 0u64;
+    for idx in lane {
+        let request = &workload.schedule.requests[idx];
+        let crate::schedule::Op::Query { symptoms, k } = &request.op else {
+            continue;
+        };
+        let target = start + Duration::from_micros(request.at_us);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        // One reconnect attempt per request: a dropped connection is a
+        // transport blip, not automatically a failed request.
+        if conn.is_none() {
+            conn = connect(front).ok();
+        }
+        let ids: Vec<String> = symptoms.iter().map(ToString::to_string).collect();
+        let payload = format!("{{\"symptom_ids\":[{}],\"k\":{k}}}", ids.join(","));
+        let t0 = Instant::now();
+        let attempted = conn.is_some();
+        let response = match &mut conn {
+            Some((reader, writer)) => (|| {
+                writeln!(writer, "{payload}").ok()?;
+                writer.flush().ok()?;
+                line.clear();
+                let n = reader.read_line(&mut line).ok()?;
+                (n > 0).then(|| line.trim().to_string())
+            })(),
+            None => None,
+        };
+        result.executed += 1;
+        // A request that never reached the wire (reconnect refused) has
+        // no meaningful latency — recording its ~0 µs would deflate the
+        // percentiles exactly during the chaos windows they exist to
+        // describe. It still counts as executed and failed.
+        if attempted {
+            result.latencies.push(t0.elapsed().as_secs_f64());
+        }
+        match response {
+            None => {
+                result.failures += 1;
+                conn = None; // force reconnect next request
+            }
+            Some(text) => match json::parse(&text) {
+                Ok(resp) if resp.get("error").is_none() => {
+                    if let Some(g) = resp.get("generation").and_then(Json::as_num) {
+                        result.generations.insert(g as u64);
+                    }
+                    validation.validate(symptoms, &resp, &mut last_gen);
+                }
+                _ => result.failures += 1,
+            },
+        }
+    }
+    result
+}
+
+/// One item of the control lane: write-side work (ingests, chaos)
+/// executed serially on [`run`]'s own thread in arrival order. The
+/// online pipeline is single-writer by design, so merging its ingests
+/// with the chaos plan is the production shape — and it keeps the
+/// non-`Send` pipeline off worker threads.
+enum ControlItem {
+    /// Index into the schedule of an ingest op.
+    Ingest(usize),
+    /// A chaos action.
+    Chaos(ChaosAction),
+}
+
+/// Executes the merged ingest + chaos timeline; returns the ingest
+/// counters and each chaos action's measured duration.
+fn control_lane(
+    workload: &Workload,
+    stack: &mut Stack,
+    start: Instant,
+) -> (WorkerResult, Vec<(String, f64)>) {
+    let mut timeline: Vec<(u64, ControlItem)> = workload
+        .schedule
+        .ingest_lane()
+        .into_iter()
+        .map(|idx| {
+            (
+                workload.schedule.requests[idx].at_us,
+                ControlItem::Ingest(idx),
+            )
+        })
+        .chain(
+            workload
+                .chaos
+                .iter()
+                .map(|e| (e.at_us, ControlItem::Chaos(e.action))),
+        )
+        .collect();
+    timeline.sort_by_key(|(at_us, _)| *at_us);
+
+    let mut result = WorkerResult {
+        latencies: Vec::new(),
+        executed: 0,
+        failures: 0,
+        generations: BTreeSet::new(),
+    };
+    let mut timings = Vec::new();
+    for (at_us, item) in timeline {
+        let target = start + Duration::from_micros(at_us);
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        match item {
+            ControlItem::Ingest(idx) => {
+                let crate::schedule::Op::Ingest { symptoms, herbs } =
+                    &workload.schedule.requests[idx].op
+                else {
+                    continue;
+                };
+                result.executed += 1;
+                let pipeline = stack.pipeline.as_mut().expect("online topology");
+                if pipeline
+                    .ingest_ids(symptoms.clone(), herbs.clone())
+                    .is_err()
+                {
+                    result.failures += 1;
+                }
+            }
+            ControlItem::Chaos(action) => {
+                let t0 = Instant::now();
+                match action {
+                    ChaosAction::KillReplica(i) => {
+                        if let Some(victim) = stack.replicas.get_mut(i).and_then(Option::take) {
+                            victim.shutdown();
+                        }
+                    }
+                    ChaosAction::RollingPublish { tag } => {
+                        let model = synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, tag);
+                        let vocab = synthetic_vocab(N_SYMPTOMS, N_HERBS, tag);
+                        let artifact = smgcn_serve::artifact::encode(&model, &vocab);
+                        let b64 = smgcn_serve::artifact::to_base64(&artifact);
+                        // Through the router so the fleet-serializing
+                        // path is the one exercised.
+                        let published = (|| {
+                            let (mut reader, mut writer) = connect(stack.front).ok()?;
+                            writeln!(writer, "{{\"op\":\"publish\",\"artifact\":\"{b64}\"}}")
+                                .ok()?;
+                            writer.flush().ok()?;
+                            let mut line = String::new();
+                            reader.read_line(&mut line).ok()?;
+                            let ack = json::parse(line.trim()).ok()?;
+                            (ack.get("error").is_none()).then_some(())
+                        })();
+                        assert!(
+                            published.is_some(),
+                            "rolling publish through the router failed"
+                        );
+                    }
+                    ChaosAction::Refresh => {
+                        stack
+                            .pipeline
+                            .as_mut()
+                            .expect("online topology")
+                            .refresh()
+                            .expect("refresh succeeds");
+                    }
+                }
+                timings.push((action.describe(), t0.elapsed().as_secs_f64() * 1e3));
+            }
+        }
+    }
+    (result, timings)
+}
+
+/// Runs one planned workload end to end and returns the report.
+pub fn run(workload: &Workload) -> ScenarioReport {
+    let summary = WorkloadSummary::from_workload(workload);
+    let mut stack = Stack::build(workload);
+    let validation = Arc::new(Validation::plan(workload));
+    let workload = Arc::new(workload.clone());
+    let lanes = workload.schedule.query_lanes(workload.config.workers);
+
+    let run_start = Instant::now();
+    let mut handles: Vec<JoinHandle<WorkerResult>> = Vec::new();
+    for lane in lanes.into_iter().filter(|l| !l.is_empty()) {
+        let workload = Arc::clone(&workload);
+        let validation = Arc::clone(&validation);
+        let front = stack.front;
+        handles.push(std::thread::spawn(move || {
+            query_worker(workload, lane, front, validation, run_start)
+        }));
+    }
+
+    let (control_result, chaos_timings) = control_lane(&workload, &mut stack, run_start);
+
+    let mut latencies = Vec::new();
+    let mut executed = control_result.executed;
+    let mut failures = control_result.failures;
+    let mut generations = BTreeSet::new();
+    for handle in handles {
+        let result = handle.join().expect("worker thread");
+        latencies.extend(result.latencies);
+        executed += result.executed;
+        failures += result.failures;
+        generations.extend(result.generations);
+    }
+    let wall_s = run_start.elapsed().as_secs_f64();
+    stack.teardown();
+
+    let (p50_us, p99_us) = percentiles_us(&mut latencies);
+    let max_ms = latencies.iter().copied().fold(0.0f64, f64::max) * 1e3;
+    let violations = validation
+        .violations
+        .lock()
+        .expect("violations lock")
+        .clone();
+    let measured = Measured {
+        executed,
+        failures,
+        wall_ms: wall_s * 1e3,
+        qps: latencies.len() as f64 / wall_s.max(1e-9),
+        p50_ms: p50_us / 1e3,
+        p99_ms: p99_us / 1e3,
+        max_ms,
+        generations_seen: generations.into_iter().collect(),
+        chaos_timings,
+        workers: workload.config.workers,
+    };
+    let verdict = evaluate(
+        &workload.slo,
+        &SloInputs {
+            executed,
+            scheduled: workload.schedule.requests.len(),
+            failures,
+            p99_ms: measured.p99_ms,
+            violations,
+        },
+    );
+    ScenarioReport {
+        workload: summary,
+        measured,
+        verdict,
+    }
+}
+
+/// Builds and runs `kind` under `config` in one call.
+pub fn run_scenario(
+    kind: ScenarioKind,
+    config: &crate::scenario::ScenarioConfig,
+) -> ScenarioReport {
+    run(&crate::scenario::build(kind, config))
+}

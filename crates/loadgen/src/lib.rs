@@ -1,0 +1,42 @@
+//! # smgcn-loadgen — deterministic multi-scenario load & chaos engine
+//!
+//! PRs 1–4 built the serving stack (frozen models, micro-batching, hot
+//! swap, replicated routing); this crate is how we *believe* it. A
+//! scenario is a seeded, fully-deterministic plan — request schedule,
+//! topology, chaos events, SLO contract — executed against the real
+//! stack over real sockets, with every response validated inline:
+//!
+//! - [`scenario`] — the five named scenarios (`steady-zipfian`,
+//!   `flash-crowd`, `ingest-heavy`, `rolling-publish-under-load`,
+//!   `replica-kill`) and their deterministic construction;
+//! - [`schedule`] — the request schedule: generated single-threaded
+//!   from the seed, byte-identical across runs and thread counts,
+//!   fingerprinted (FNV-1a) into every report;
+//! - [`slo`] — per-scenario SLO assertions: p99 latency budget, a
+//!   zero-burn error budget, and the generation-consistency invariant
+//!   (exact precomputed rankings, or per-connection monotonicity under
+//!   live refreshes);
+//! - [`engine`] — stands the topology up in-process (servers, router,
+//!   online pipeline), drives the schedule from paced worker threads,
+//!   fires the chaos plan, measures;
+//! - [`report`] — the machine-readable scenario report, split into a
+//!   deterministic `workload` section (byte-identical per seed) and a
+//!   `measured` section (wall-clock truth, varies run to run).
+//!
+//! Drive it via `smgcn loadgen <scenario>` (see the CLI) or
+//! [`engine::run_scenario`]. CI runs the full suite in smoke mode; the
+//! nightly soak workflow runs it at 2.5x the horizon.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod report;
+pub mod scenario;
+pub mod schedule;
+pub mod slo;
+
+pub use engine::{run, run_scenario};
+pub use report::{Measured, ScenarioReport, WorkloadSummary};
+pub use scenario::{build, ScenarioConfig, ScenarioKind, Topology, Workload};
+pub use schedule::{Op, Request, Schedule};
+pub use slo::{GenCheck, Slo, SloVerdict};

@@ -1,0 +1,483 @@
+//! The named scenarios and their deterministic workload construction.
+//!
+//! Each scenario fixes four things up front, all derived from the seed:
+//! the **topology** (single server, routed replicas, or the online
+//! pipeline), the **request schedule** (arrival offsets + payloads), the
+//! **chaos plan** (which replica dies when, when a publish or refresh
+//! fires), and the **SLOs** the run must satisfy. Execution measures;
+//! it never decides.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smgcn_bench::harness::zipf_index;
+
+use crate::schedule::{Op, Request, Schedule};
+use crate::slo::{GenCheck, Slo};
+
+/// Symptom-vocabulary width of the synthetic serving topologies.
+pub const N_SYMPTOMS: usize = 64;
+/// Herb-vocabulary width of the synthetic serving topologies.
+pub const N_HERBS: usize = 256;
+/// Embedding width of the synthetic serving topologies.
+pub const DIM: usize = 32;
+
+/// The five scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Steady-state load with Zipf-skewed symptom-set popularity against
+    /// one server — the baseline serving regime.
+    SteadyZipfian,
+    /// A burst arrival (flash crowd) against a routed pair of replicas:
+    /// the schedule's middle fifth arrives at 10x the base rate.
+    FlashCrowd,
+    /// Concurrent WAL ingestion + queries against the online pipeline,
+    /// with a refresh (delta → finetune → hot swap) firing mid-run.
+    IngestHeavy,
+    /// A rolling model publish across three routed replicas mid-load;
+    /// every response must match the generation it claims.
+    RollingPublish,
+    /// One of three routed replicas killed mid-load; the router must
+    /// hide the failure from clients entirely.
+    ReplicaKill,
+}
+
+impl ScenarioKind {
+    /// All scenarios, in suite order.
+    pub fn all() -> [Self; 5] {
+        [
+            Self::SteadyZipfian,
+            Self::FlashCrowd,
+            Self::IngestHeavy,
+            Self::RollingPublish,
+            Self::ReplicaKill,
+        ]
+    }
+
+    /// The CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SteadyZipfian => "steady-zipfian",
+            Self::FlashCrowd => "flash-crowd",
+            Self::IngestHeavy => "ingest-heavy",
+            Self::RollingPublish => "rolling-publish-under-load",
+            Self::ReplicaKill => "replica-kill",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_arg(arg: &str) -> Option<Self> {
+        Self::all().into_iter().find(|k| k.name() == arg)
+    }
+
+    /// One-line description for `--help` and the README.
+    pub fn description(self) -> &'static str {
+        match self {
+            Self::SteadyZipfian => "steady Zipf-skewed query load against one server",
+            Self::FlashCrowd => "10x burst arrival mid-window against 2 routed replicas",
+            Self::IngestHeavy => "concurrent WAL ingest + queries, refresh/hot-swap mid-run",
+            Self::RollingPublish => "rolling model publish across 3 replicas under load",
+            Self::ReplicaKill => "kill 1 of 3 replicas under load (router hides it)",
+        }
+    }
+}
+
+/// Scenario knobs. Everything the schedule depends on lives here; the
+/// executor's worker count deliberately does not affect the schedule.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Schedule/corpus seed.
+    pub seed: u64,
+    /// Schedule horizon in milliseconds (CI smoke: 2000; soak: 5000).
+    pub measure_ms: u64,
+    /// Executor worker threads (an execution detail — never changes the
+    /// schedule or the deterministic report).
+    pub workers: usize,
+    /// Ranking depth per query.
+    pub k: usize,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2020,
+            measure_ms: 2000,
+            workers: 8,
+            k: 10,
+        }
+    }
+}
+
+/// What stack the engine stands up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// One `smgcn-serve` server, queried directly.
+    SingleServer,
+    /// N replicas behind an `smgcn-cluster` router.
+    Routed {
+        /// Replica count.
+        replicas: usize,
+    },
+    /// One server over an `OnlinePipeline`'s model slot (tiny real
+    /// corpus + quick-trained model).
+    OnlinePipeline,
+}
+
+impl Topology {
+    /// The report label.
+    pub fn describe(self) -> String {
+        match self {
+            Self::SingleServer => "single-server".to_string(),
+            Self::Routed { replicas } => format!("router+{replicas}-replicas"),
+            Self::OnlinePipeline => "online-pipeline".to_string(),
+        }
+    }
+}
+
+/// A chaos action fired by the engine at a planned offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// SIGKILL-equivalent: stop replica `i`'s accept loop and join it.
+    KillReplica(usize),
+    /// Rolling-publish the synthetic model with this tag across the
+    /// fleet via the router's `{"op":"publish"}` verb.
+    RollingPublish {
+        /// Model tag; becomes the new generation's weights and vocab.
+        tag: u64,
+    },
+    /// Run the online pipeline's refresh (delta → finetune → freeze →
+    /// hot swap).
+    Refresh,
+}
+
+impl ChaosAction {
+    /// The report label.
+    pub fn describe(self) -> String {
+        match self {
+            Self::KillReplica(i) => format!("kill-replica-{i}"),
+            Self::RollingPublish { tag } => format!("rolling-publish-tag-{tag}"),
+            Self::Refresh => "online-refresh".to_string(),
+        }
+    }
+}
+
+/// A chaos action plus its planned arrival offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Offset from scenario start, microseconds.
+    pub at_us: u64,
+    /// What fires.
+    pub action: ChaosAction,
+}
+
+/// A fully-planned scenario run: everything but the measurements.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Which scenario.
+    pub kind: ScenarioKind,
+    /// The knobs it was built with.
+    pub config: ScenarioConfig,
+    /// The stack to stand up.
+    pub topology: Topology,
+    /// The deterministic request schedule.
+    pub schedule: Schedule,
+    /// Planned chaos, sorted by offset.
+    pub chaos: Vec<ChaosEvent>,
+    /// The run's pass/fail contract.
+    pub slo: Slo,
+}
+
+/// Builds the deterministic workload for `kind`. Same `config` in, same
+/// workload out — byte for byte.
+pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
+    let horizon_us = config.measure_ms * 1000;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x10ad_9e4e ^ kind_salt(kind));
+    let pool = query_pool(&mut rng);
+    match kind {
+        ScenarioKind::SteadyZipfian => Workload {
+            kind,
+            config: config.clone(),
+            topology: Topology::SingleServer,
+            schedule: steady_from_pool(&mut rng, &pool, horizon_us, 400, config.k),
+            chaos: Vec::new(),
+            slo: Slo {
+                max_p99_ms: 50.0,
+                max_failures: 0,
+                generation_consistency: GenCheck::ExactRankings,
+            },
+        },
+        ScenarioKind::FlashCrowd => {
+            let mut requests =
+                steady_from_pool(&mut rng, &pool, horizon_us, 150, config.k).requests;
+            // The crowd: the middle fifth of the window arrives at 10x
+            // the base rate, concentrated on the hot sets (a televised
+            // symptom checklist, say).
+            let burst_start = horizon_us * 2 / 5;
+            let burst_len = horizon_us / 5;
+            let n_burst = (1500 * burst_len / 1_000_000) as usize;
+            for _ in 0..n_burst {
+                requests.push(Request {
+                    at_us: burst_start + rng.gen_range(0..burst_len.max(1)),
+                    op: Op::Query {
+                        symptoms: pool[zipf_index(&mut rng, pool.len(), 8, 0.95)].clone(),
+                        k: config.k,
+                    },
+                });
+            }
+            Workload {
+                kind,
+                config: config.clone(),
+                topology: Topology::Routed { replicas: 2 },
+                schedule: Schedule::new(requests),
+                chaos: Vec::new(),
+                slo: Slo {
+                    max_p99_ms: 400.0,
+                    max_failures: 0,
+                    generation_consistency: GenCheck::ExactRankings,
+                },
+            }
+        }
+        ScenarioKind::IngestHeavy => {
+            let corpus = ingest_corpus(config.seed);
+            let corpus_pool: Vec<Vec<u32>> = corpus
+                .prescriptions()
+                .iter()
+                .map(|p| {
+                    let mut s = p.symptoms().to_vec();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            let mut requests =
+                steady_from_pool(&mut rng, &corpus_pool, horizon_us, 300, config.k).requests;
+            // Ingest lane: unseen prescriptions synthesized over the
+            // corpus vocabulary at ~40/s.
+            let n_ingest = (40 * horizon_us / 1_000_000) as usize;
+            let n_symptoms = corpus.n_symptoms() as u32;
+            let n_herbs = corpus.n_herbs() as u32;
+            for _ in 0..n_ingest {
+                let mut symptoms: Vec<u32> = (0..rng.gen_range(2..5usize))
+                    .map(|_| rng.gen_range(0..n_symptoms))
+                    .collect();
+                symptoms.sort_unstable();
+                symptoms.dedup();
+                let mut herbs: Vec<u32> = (0..rng.gen_range(2..6usize))
+                    .map(|_| rng.gen_range(0..n_herbs))
+                    .collect();
+                herbs.sort_unstable();
+                herbs.dedup();
+                requests.push(Request {
+                    at_us: rng.gen_range(0..horizon_us.max(1)),
+                    op: Op::Ingest { symptoms, herbs },
+                });
+            }
+            Workload {
+                kind,
+                config: config.clone(),
+                topology: Topology::OnlinePipeline,
+                schedule: Schedule::new(requests),
+                chaos: vec![ChaosEvent {
+                    at_us: horizon_us / 2,
+                    action: ChaosAction::Refresh,
+                }],
+                slo: Slo {
+                    max_p99_ms: 400.0,
+                    max_failures: 0,
+                    generation_consistency: GenCheck::Monotone,
+                },
+            }
+        }
+        ScenarioKind::RollingPublish => Workload {
+            kind,
+            config: config.clone(),
+            topology: Topology::Routed { replicas: 3 },
+            schedule: steady_from_pool(&mut rng, &pool, horizon_us, 300, config.k),
+            chaos: vec![ChaosEvent {
+                at_us: horizon_us * 2 / 5,
+                action: ChaosAction::RollingPublish { tag: 1 },
+            }],
+            slo: Slo {
+                max_p99_ms: 400.0,
+                max_failures: 0,
+                generation_consistency: GenCheck::ExactRankings,
+            },
+        },
+        ScenarioKind::ReplicaKill => Workload {
+            kind,
+            config: config.clone(),
+            topology: Topology::Routed { replicas: 3 },
+            schedule: steady_from_pool(&mut rng, &pool, horizon_us, 300, config.k),
+            chaos: vec![ChaosEvent {
+                at_us: horizon_us * 2 / 5,
+                action: ChaosAction::KillReplica(0),
+            }],
+            slo: Slo {
+                max_p99_ms: 600.0,
+                max_failures: 0,
+                generation_consistency: GenCheck::ExactRankings,
+            },
+        },
+    }
+}
+
+/// Per-kind RNG salt so scenarios sharing a seed do not share streams.
+fn kind_salt(kind: ScenarioKind) -> u64 {
+    match kind {
+        ScenarioKind::SteadyZipfian => 0x01,
+        ScenarioKind::FlashCrowd => 0x02,
+        ScenarioKind::IngestHeavy => 0x03,
+        ScenarioKind::RollingPublish => 0x04,
+        ScenarioKind::ReplicaKill => 0x05,
+    }
+}
+
+/// A pool of 200 distinct symptom sets (sizes 1–4) over the synthetic
+/// vocabulary; index 0..20 is the "hot" head Zipf draws favour.
+fn query_pool(rng: &mut StdRng) -> Vec<Vec<u32>> {
+    let mut pool: Vec<Vec<u32>> = Vec::new();
+    while pool.len() < 200 {
+        let mut set: Vec<u32> = (0..rng.gen_range(1..5usize))
+            .map(|_| rng.gen_range(0..N_SYMPTOMS as u32))
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        if !pool.contains(&set) {
+            pool.push(set);
+        }
+    }
+    pool
+}
+
+/// Uniform-arrival query schedule at `rate_per_s` over `horizon_us`,
+/// Zipf-picking sets from `pool` (hot head of 20 at 80%).
+fn steady_from_pool(
+    rng: &mut StdRng,
+    pool: &[Vec<u32>],
+    horizon_us: u64,
+    rate_per_s: u64,
+    k: usize,
+) -> Schedule {
+    let n = (rate_per_s * horizon_us / 1_000_000) as usize;
+    let spacing = horizon_us / n.max(1) as u64;
+    let requests = (0..n)
+        .map(|i| Request {
+            // Evenly paced with ±40% jitter: steady, but not lockstep.
+            at_us: i as u64 * spacing + rng.gen_range(0..(spacing * 4 / 5).max(1)),
+            op: Op::Query {
+                symptoms: pool[zipf_index(rng, pool.len(), 20, 0.8)].clone(),
+                k,
+            },
+        })
+        .collect();
+    Schedule::new(requests)
+}
+
+/// The tiny real corpus behind the ingest-heavy scenario (the online
+/// pipeline validates ingested ids against a real vocabulary).
+pub fn ingest_corpus(seed: u64) -> smgcn_data::Corpus {
+    smgcn_data::SyndromeModel::new(smgcn_data::GeneratorConfig::tiny_scale().with_seed(seed))
+        .generate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::from_arg(kind.name()), Some(kind));
+        }
+        assert_eq!(ScenarioKind::from_arg("nope"), None);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = ScenarioConfig {
+            measure_ms: 500,
+            ..ScenarioConfig::default()
+        };
+        for kind in ScenarioKind::all() {
+            let a = build(kind, &config);
+            let b = build(kind, &config);
+            assert_eq!(
+                a.schedule.canonical_string(),
+                b.schedule.canonical_string(),
+                "{} not deterministic",
+                kind.name()
+            );
+            assert_eq!(a.chaos, b.chaos);
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_schedule() {
+        let base = ScenarioConfig {
+            measure_ms: 500,
+            workers: 2,
+            ..ScenarioConfig::default()
+        };
+        let wide = ScenarioConfig {
+            workers: 32,
+            ..base.clone()
+        };
+        for kind in ScenarioKind::all() {
+            assert_eq!(
+                build(kind, &base).schedule.digest(),
+                build(kind, &wide).schedule.digest(),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ScenarioConfig {
+            measure_ms: 500,
+            ..ScenarioConfig::default()
+        };
+        let b = ScenarioConfig {
+            seed: 7,
+            ..a.clone()
+        };
+        assert_ne!(
+            build(ScenarioKind::SteadyZipfian, &a).schedule.digest(),
+            build(ScenarioKind::SteadyZipfian, &b).schedule.digest()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_bursts_mid_window() {
+        let config = ScenarioConfig {
+            measure_ms: 1000,
+            ..ScenarioConfig::default()
+        };
+        let w = build(ScenarioKind::FlashCrowd, &config);
+        let horizon = config.measure_ms * 1000;
+        let in_burst = w
+            .schedule
+            .requests
+            .iter()
+            .filter(|r| r.at_us >= horizon * 2 / 5 && r.at_us < horizon * 3 / 5)
+            .count();
+        // The burst fifth should carry several times the base-rate share.
+        assert!(
+            in_burst as f64 > w.schedule.requests.len() as f64 * 0.5,
+            "burst window holds {in_burst} of {}",
+            w.schedule.requests.len()
+        );
+    }
+
+    #[test]
+    fn ingest_heavy_mixes_ops() {
+        let config = ScenarioConfig {
+            measure_ms: 500,
+            ..ScenarioConfig::default()
+        };
+        let w = build(ScenarioKind::IngestHeavy, &config);
+        assert!(w.schedule.query_count() > 0);
+        assert!(w.schedule.ingest_count() > 0);
+        assert_eq!(w.chaos.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The loadgen determinism contract, property-tested: the same seed
+//! must yield a **byte-identical** request schedule and deterministic
+//! scenario report across runs and across executor thread counts.
+//!
+//! This is what makes scenario reports comparable between CI runs (and
+//! between a laptop and CI): if the workload fingerprints match, any
+//! difference is the stack's behaviour, not the load's.
+
+use proptest::prelude::*;
+use smgcn_loadgen::report::{ScenarioReport, WorkloadSummary};
+use smgcn_loadgen::slo::SloVerdict;
+use smgcn_loadgen::{build, Measured, ScenarioConfig, ScenarioKind};
+
+/// A deterministic report skeleton for a workload (what `--plan` emits:
+/// the workload section only, no execution).
+fn plan_report(kind: ScenarioKind, config: &ScenarioConfig) -> String {
+    ScenarioReport {
+        workload: WorkloadSummary::from_workload(&build(kind, config)),
+        measured: Measured::default(),
+        verdict: SloVerdict {
+            violations: Vec::new(),
+        },
+    }
+    .workload_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn same_seed_byte_identical_schedule_across_runs_and_thread_counts(
+        seed in 0u64..1_000_000,
+        measure_ms in 200u64..1200,
+        workers_a in 1usize..6,
+        workers_b in 6usize..40,
+    ) {
+        for kind in ScenarioKind::all() {
+            let config_a = ScenarioConfig { seed, measure_ms, workers: workers_a, k: 10 };
+            let config_b = ScenarioConfig { workers: workers_b, ..config_a.clone() };
+
+            // Same run config twice: byte-identical canonical schedule.
+            let first = build(kind, &config_a);
+            let second = build(kind, &config_a);
+            prop_assert_eq!(
+                first.schedule.canonical_string(),
+                second.schedule.canonical_string(),
+                "{} schedule not reproducible", kind.name()
+            );
+
+            // Different executor thread count: still byte-identical.
+            let wide = build(kind, &config_b);
+            prop_assert_eq!(
+                first.schedule.canonical_string(),
+                wide.schedule.canonical_string(),
+                "{} schedule depends on worker count", kind.name()
+            );
+            prop_assert_eq!(first.schedule.digest(), wide.schedule.digest());
+
+            // And the deterministic scenario report is byte-identical
+            // across both axes.
+            let report = plan_report(kind, &config_a);
+            prop_assert_eq!(&report, &plan_report(kind, &config_a));
+            prop_assert_eq!(&report, &plan_report(kind, &config_b));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules(
+        seed in 0u64..1_000_000,
+    ) {
+        let a = ScenarioConfig { seed, measure_ms: 300, ..ScenarioConfig::default() };
+        let b = ScenarioConfig { seed: seed ^ 0xdead_beef, ..a.clone() };
+        let kind = ScenarioKind::SteadyZipfian;
+        prop_assert!(
+            build(kind, &a).schedule.digest() != build(kind, &b).schedule.digest(),
+            "distinct seeds produced identical schedules"
+        );
+    }
+}
+
+/// End to end: actually *running* the scenario twice must reproduce the
+/// deterministic report section byte for byte (measurements differ; the
+/// workload section must not).
+#[test]
+fn executed_runs_reproduce_the_deterministic_report() {
+    let config = ScenarioConfig {
+        seed: 77,
+        measure_ms: 300,
+        workers: 4,
+        k: 10,
+    };
+    let first = smgcn_loadgen::run_scenario(ScenarioKind::SteadyZipfian, &config);
+    let wide = smgcn_loadgen::run_scenario(
+        ScenarioKind::SteadyZipfian,
+        &ScenarioConfig {
+            workers: 9,
+            ..config.clone()
+        },
+    );
+    assert_eq!(
+        first.workload_json(),
+        wide.workload_json(),
+        "deterministic report section varied across runs/thread counts"
+    );
+    assert!(
+        first.verdict.passed(),
+        "steady-zipfian smoke violated its SLO: {:?}",
+        first.verdict.violations
+    );
+    assert_eq!(first.measured.failures, 0);
+}

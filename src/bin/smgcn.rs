@@ -21,6 +21,8 @@
 //!                 [--slow-p99-ms F]
 //! smgcn cluster-refresh --replicas HOST:PORT,... --model-file frozen.smgt
 //!                 --corpus corpus.tsv
+//! smgcn loadgen   <scenario|all> [--seed N] [--measure-ms N] [--workers N]
+//!                 [--k N] [--out FILE] [--out-dir DIR] [--plan true]
 //! ```
 //!
 //! `ingest` validates prescriptions against the corpus vocabularies
@@ -51,6 +53,13 @@
 //! replica at a time via the `{"op":"publish"}` admin verb; `refresh
 //! --replicas` does the same with the generation a WAL refresh just
 //! produced, closing the data→model→fleet loop from one command.
+//!
+//! `loadgen` drives the serving stack through a named load/chaos
+//! scenario (or the whole suite with `all`): a seeded deterministic
+//! request schedule against an in-process topology, with per-scenario
+//! SLO assertions (p99 budget, zero error-budget burn, generation
+//! consistency). Exits nonzero on any SLO violation; `--plan true`
+//! prints the byte-reproducible workload plan without running.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -72,8 +81,10 @@ fn usage() -> ! {
          smgcn ingest    --corpus FILE --wal FILE --add \"s1,s2 => h1,h2 ; ...\" [--allow-new true|false]\n  \
          smgcn refresh   --corpus FILE --wal FILE --model-file FILE --out FILE [--frozen-out FILE] [--corpus-out FILE] [--epochs N] [--replicas LIST]\n  \
          smgcn route     --replicas HOST:PORT,... [--addr HOST:PORT] [--connections N] [--replica-conns N] [--probe-ms N] [--slow-p99-ms F]\n  \
-         smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n\
+         smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n  \
+         smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
+         scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill\n\
          --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
     );
     exit(2)
@@ -709,11 +720,113 @@ fn cmd_cluster_refresh(flags: HashMap<String, String>) {
     ));
 }
 
+fn cmd_loadgen(rest: &[String]) {
+    use smgcn_repro::loadgen::{build, run, ScenarioConfig, ScenarioKind};
+    let Some((scenario_arg, rest)) = rest.split_first() else {
+        eprintln!("error: loadgen needs a scenario (or \"all\")");
+        usage();
+    };
+    let flags = parse_flags(rest);
+    let kinds: Vec<ScenarioKind> = if scenario_arg == "all" {
+        ScenarioKind::all().to_vec()
+    } else {
+        match ScenarioKind::from_arg(scenario_arg) {
+            Some(kind) => vec![kind],
+            None => {
+                eprintln!("error: unknown scenario {scenario_arg:?}");
+                usage();
+            }
+        }
+    };
+    let mut config = ScenarioConfig {
+        seed: seed(&flags),
+        ..ScenarioConfig::default()
+    };
+    if let Some(ms) = flags.get("measure-ms") {
+        config.measure_ms = ms.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(w) = flags.get("workers") {
+        config.workers = w.parse().unwrap_or_else(|_| usage());
+    }
+    if let Some(k) = flags.get("k") {
+        config.k = k.parse().unwrap_or_else(|_| usage());
+    }
+    let plan_only = match flags.get("plan").map(String::as_str) {
+        None | Some("false") => false,
+        Some("true") => true,
+        Some(_) => usage(),
+    };
+    let out_dir = flags.get("out-dir").cloned().unwrap_or_else(|| ".".into());
+    let n_kinds = kinds.len();
+    if n_kinds > 1 && flags.contains_key("out") {
+        eprintln!("error: --out names one file; use --out-dir with multiple scenarios");
+        exit(2);
+    }
+    let out_path = |kind: ScenarioKind| -> String {
+        match (n_kinds, flags.get("out")) {
+            (1, Some(path)) => path.clone(),
+            _ => format!("{out_dir}/LOADGEN_{}.json", kind.name().replace('-', "_")),
+        }
+    };
+
+    let mut failed = Vec::new();
+    for kind in kinds {
+        let workload = build(kind, &config);
+        println!(
+            "=== loadgen {} ===\n{} | {} queries + {} ingests over {} ms | topology {} | seed {}",
+            kind.name(),
+            kind.description(),
+            workload.schedule.query_count(),
+            workload.schedule.ingest_count(),
+            config.measure_ms,
+            workload.topology.describe(),
+            config.seed
+        );
+        if plan_only {
+            let report = smgcn_repro::loadgen::ScenarioReport {
+                workload: smgcn_repro::loadgen::WorkloadSummary::from_workload(&workload),
+                measured: smgcn_repro::loadgen::Measured::default(),
+                verdict: smgcn_repro::loadgen::SloVerdict {
+                    violations: Vec::new(),
+                },
+            };
+            print!("{}", report.workload_json());
+            continue;
+        }
+        let report = run(&workload);
+        println!("{}", report.summary_line());
+        for (label, ms) in &report.measured.chaos_timings {
+            println!("  chaos: {label} took {ms:.1} ms");
+        }
+        for violation in &report.verdict.violations {
+            eprintln!("  SLO VIOLATION: {violation}");
+        }
+        let path = out_path(kind);
+        std::fs::write(&path, report.to_json_string()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            exit(1);
+        });
+        println!("  wrote {path}\n");
+        if !report.verdict.passed() {
+            failed.push(kind.name());
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("loadgen: SLO violations in: {}", failed.join(", "));
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         usage()
     };
+    // `loadgen` takes a positional scenario before its flags.
+    if command == "loadgen" {
+        cmd_loadgen(rest);
+        return;
+    }
     let flags = parse_flags(rest);
     match command.as_str() {
         "generate" => cmd_generate(flags),

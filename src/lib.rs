@@ -17,7 +17,9 @@
 //!   graph deltas, warm-start fine-tuning and generation publishing;
 //! - [`cluster`] — replicated serving: consistent-hash routing over N
 //!   replicas, health probes with backoff ejection, failover and rolling
-//!   model publishes (`smgcn route` / `smgcn cluster-refresh`).
+//!   model publishes (`smgcn route` / `smgcn cluster-refresh`);
+//! - [`loadgen`] — deterministic multi-scenario load & chaos engine
+//!   with per-scenario SLO assertions (`smgcn loadgen`).
 //!
 //! See README.md for a tour and DESIGN.md for the experiment index.
 
@@ -26,6 +28,7 @@ pub use smgcn_core as core;
 pub use smgcn_data as data;
 pub use smgcn_eval as eval;
 pub use smgcn_graph as graph;
+pub use smgcn_loadgen as loadgen;
 pub use smgcn_online as online;
 pub use smgcn_serve as serve;
 pub use smgcn_tensor as tensor;
