@@ -1,0 +1,198 @@
+//! Observability-overhead gate: serving qps with request-trace sampling
+//! on vs off.
+//!
+//! The telemetry plane's contract is "free unless asked": counters are
+//! single atomic adds on the hot path, and span timelines are only
+//! assembled for sampled requests. This bench holds the contract to a
+//! number — the same query stream is driven through two in-process
+//! servers, one with `trace_sample_every: 0` (tracing off) and one
+//! sampling 1-in-`--sample-every` requests into the trace journal, and
+//! the sampled configuration must keep at least `1 - --max-regress` of
+//! the untraced throughput.
+//!
+//! ```text
+//! obs_overhead [--queries N] [--conns N] [--trials N]
+//!              [--sample-every N] [--max-regress F] [--out PATH]
+//! ```
+//!
+//! Trials interleave the two configurations (off, sampled, off, …) and
+//! each side keeps its best run, so a shared runner throttling mid-way
+//! depresses both sides instead of reading as tracing overhead.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use smgcn_bench::harness::{spawn_server, synthetic_frozen, synthetic_vocab};
+use smgcn_bench::report::{BenchReport, GateDirection};
+use smgcn_serve::ServerConfig;
+
+const N_SYMPTOMS: usize = 64;
+const N_HERBS: usize = 256;
+const DIM: usize = 32;
+const K: usize = 10;
+
+struct Args {
+    queries: usize,
+    conns: usize,
+    trials: usize,
+    sample_every: u64,
+    max_regress: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        queries: 4000,
+        conns: 4,
+        trials: 3,
+        sample_every: 100,
+        max_regress: 0.05,
+        out: "BENCH_obs.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--queries" => args.queries = value("--queries").parse().expect("numeric queries"),
+            "--conns" => args.conns = value("--conns").parse().expect("numeric conns"),
+            "--trials" => args.trials = value("--trials").parse().expect("numeric trials"),
+            "--sample-every" => {
+                args.sample_every = value("--sample-every").parse().expect("numeric rate");
+            }
+            "--max-regress" => {
+                args.max_regress = value("--max-regress").parse().expect("numeric fraction");
+            }
+            "--out" => args.out = value("--out"),
+            other => {
+                eprintln!(
+                    "error: unknown argument {other:?}\n\
+                     usage: obs_overhead [--queries N] [--conns N] [--trials N] \
+                     [--sample-every N] [--max-regress F] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Drives `queries` requests over `conns` serial client connections
+/// against a fresh server at the given sampling rate; returns qps.
+fn measure(args: &Args, sample_every: u64) -> f64 {
+    let server = spawn_server(
+        synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
+        synthetic_vocab(N_SYMPTOMS, N_HERBS, 0),
+        ServerConfig {
+            trace_sample_every: sample_every,
+            ..ServerConfig::default()
+        },
+    );
+    let per_conn = args.queries / args.conns.max(1);
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..args.conns.max(1))
+        .map(|w| {
+            let addr = server.addr;
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                stream.set_nodelay(true).ok();
+                let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                for i in 0..per_conn {
+                    // A spread of repeating keys: cache hits and misses
+                    // both on the measured path, like real traffic.
+                    let a = (w * 17 + i * 7) % N_SYMPTOMS;
+                    let b = (w * 5 + i * 13 + 1) % N_SYMPTOMS;
+                    writeln!(writer, "{{\"symptom_ids\":[{a},{b}],\"k\":{K}}}").expect("write");
+                    writer.flush().expect("flush");
+                    line.clear();
+                    let n = reader.read_line(&mut line).expect("read");
+                    assert!(n > 0, "server closed mid-stream");
+                    assert!(
+                        !line.contains("\"error\""),
+                        "request failed under bench load: {line}"
+                    );
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    (per_conn * args.conns.max(1)) as f64 / elapsed
+}
+
+fn main() {
+    let args = parse_args();
+    println!("=== smgcn-obs tracing overhead ===");
+    println!(
+        "queries: {} | conns: {} | trials: {} | sampling 1-in-{} | budget {:.0}%",
+        args.queries,
+        args.conns,
+        args.trials,
+        args.sample_every,
+        args.max_regress * 100.0
+    );
+
+    let mut qps_off = 0.0f64;
+    let mut qps_sampled = 0.0f64;
+    for trial in 0..args.trials.max(1) {
+        let off = measure(&args, 0);
+        let sampled = measure(&args, args.sample_every);
+        println!("trial {trial}: off {off:>8.0} qps | sampled {sampled:>8.0} qps");
+        qps_off = qps_off.max(off);
+        qps_sampled = qps_sampled.max(sampled);
+    }
+
+    let ratio = qps_sampled / qps_off;
+    println!("\nbest: off {qps_off:.0} qps | sampled {qps_sampled:.0} qps | ratio {ratio:.3}");
+    assert!(
+        ratio >= 1.0 - args.max_regress,
+        "1-in-{} trace sampling costs {:.1}% qps (budget {:.0}%)",
+        args.sample_every,
+        (1.0 - ratio) * 100.0,
+        args.max_regress * 100.0
+    );
+    println!(
+        "OK: 1-in-{} trace sampling keeps {:.1}% of untraced throughput",
+        args.sample_every,
+        ratio * 100.0
+    );
+
+    let queries_arg = args.queries.to_string();
+    let conns_arg = args.conns.to_string();
+    let trials_arg = args.trials.to_string();
+    let sample_arg = args.sample_every.to_string();
+    let mut out = BenchReport::new(
+        "obs_overhead",
+        "synthetic",
+        0,
+        "obs_overhead",
+        &[
+            "--queries",
+            &queries_arg,
+            "--conns",
+            &conns_arg,
+            "--trials",
+            &trials_arg,
+            "--sample-every",
+            &sample_arg,
+        ],
+    );
+    out.gated("sampled_qps_ratio", ratio, GateDirection::Higher)
+        .metric("qps_off", qps_off)
+        .metric("qps_sampled", qps_sampled)
+        .metric("queries", args.queries as f64)
+        .metric("conns", args.conns as f64)
+        .metric("sample_every", args.sample_every as f64);
+    out.write(&args.out).expect("write BENCH_obs.json");
+    println!("wrote {}", args.out);
+}

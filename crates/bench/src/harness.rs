@@ -16,6 +16,7 @@ use rand::Rng;
 use smgcn_core::prelude::*;
 use smgcn_data::{Corpus, GeneratorConfig, SyndromeModel};
 use smgcn_graph::{GraphOperators, SynergyThresholds};
+use smgcn_obs::{EventJournal, Registry};
 use smgcn_serve::server::StopHandle;
 use smgcn_serve::{FrozenModel, ModelSlot, Server, ServerConfig, ServingVocab};
 use smgcn_tensor::Matrix;
@@ -178,6 +179,12 @@ pub struct SpawnedServer {
     pub stop: StopHandle,
     /// The serving thread.
     pub handle: std::thread::JoinHandle<()>,
+    /// The server's metric registry (shareable: co-located components
+    /// can register their own metrics into the same `{"op":"metrics"}`
+    /// snapshot).
+    pub registry: Arc<Registry>,
+    /// The server's event journal, shareable like `registry`.
+    pub events: Arc<EventJournal>,
 }
 
 impl SpawnedServer {
@@ -206,8 +213,16 @@ pub fn spawn_server_slot(slot: Arc<ModelSlot>, config: ServerConfig) -> SpawnedS
 fn spawn(server: Server) -> SpawnedServer {
     let addr = server.local_addr().expect("server addr");
     let stop = server.stop_handle();
+    let registry = server.registry();
+    let events = server.events();
     let handle = std::thread::spawn(move || server.run().expect("server run"));
-    SpawnedServer { addr, stop, handle }
+    SpawnedServer {
+        addr,
+        stop,
+        handle,
+        registry,
+        events,
+    }
 }
 
 /// Zipf-ish index pick over `len` items: with probability `hot_p` draws

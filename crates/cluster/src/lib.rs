@@ -37,7 +37,7 @@ pub mod publish;
 pub mod ring;
 pub mod router;
 
-pub use pool::{Health, Lease, PoolConfig, Replica, ReplicaConn, ReplicaPool};
+pub use pool::{ClusterObs, Health, Lease, PoolConfig, Replica, ReplicaConn, ReplicaPool};
 pub use publish::{rolling_publish, rolling_publish_addrs, PublishOutcome, PublishReport};
 pub use ring::{key_of_ids, key_of_names, HashRing};
 pub use router::{Router, RouterConfig, RouterStopHandle};

@@ -25,10 +25,24 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use smgcn_obs::{Counter, EventJournal};
 use smgcn_serve::json::{self, Json};
+
+/// Observability hooks shared by every replica in a pool: health
+/// *transitions* (not every repeated failure) land in the fleet event
+/// journal and tick the ejection/recovery counters. Optional — a pool
+/// built without hooks behaves identically.
+pub struct ClusterObs {
+    /// Fleet event journal (`eject` / `recover` entries).
+    pub events: Arc<EventJournal>,
+    /// Healthy-to-ejected transitions.
+    pub ejections: Counter,
+    /// Ejected-to-healthy transitions.
+    pub recoveries: Counter,
+}
 
 /// Pool/health tuning knobs (a subset of the router's config).
 #[derive(Clone, Debug)]
@@ -129,6 +143,7 @@ pub struct Replica {
     leased: AtomicUsize,
     health: Mutex<Health>,
     config: PoolConfig,
+    obs: Option<Arc<ClusterObs>>,
 }
 
 /// A leased connection; return it with [`Replica::release`] on success
@@ -144,7 +159,7 @@ pub struct Lease {
 }
 
 impl Replica {
-    fn new(id: usize, addr: SocketAddr, config: PoolConfig) -> Self {
+    fn new(id: usize, addr: SocketAddr, config: PoolConfig, obs: Option<Arc<ClusterObs>>) -> Self {
         Self {
             id,
             addr,
@@ -160,6 +175,7 @@ impl Replica {
                 eject_reason: None,
             }),
             config,
+            obs,
         }
     }
 
@@ -275,12 +291,22 @@ impl Replica {
 
     /// Records a success: heals the replica and resets the backoff.
     pub fn note_success(&self) {
-        let mut h = self.health.lock().expect("replica health lock");
-        h.healthy = true;
-        h.consecutive_failures = 0;
-        h.retry_at = None;
-        h.backoff = self.config.eject_base;
-        h.eject_reason = None;
+        let was_healthy = {
+            let mut h = self.health.lock().expect("replica health lock");
+            let was = h.healthy;
+            h.healthy = true;
+            h.consecutive_failures = 0;
+            h.retry_at = None;
+            h.backoff = self.config.eject_base;
+            h.eject_reason = None;
+            was
+        };
+        if !was_healthy {
+            if let Some(obs) = &self.obs {
+                obs.recoveries.inc();
+                obs.events.record("recover", self.addr.to_string());
+            }
+        }
     }
 
     /// Records a failure: ejects the replica with exponential backoff.
@@ -288,12 +314,23 @@ impl Replica {
     /// transport's fate.
     pub fn note_failure(&self, reason: &'static str) {
         self.idle.lock().expect("replica pool lock").clear();
-        let mut h = self.health.lock().expect("replica health lock");
-        h.consecutive_failures += 1;
-        h.healthy = false;
-        h.retry_at = Some(Instant::now() + h.backoff);
-        h.backoff = (h.backoff * 2).min(self.config.eject_max);
-        h.eject_reason = Some(reason);
+        let was_healthy = {
+            let mut h = self.health.lock().expect("replica health lock");
+            let was = h.healthy;
+            h.consecutive_failures += 1;
+            h.healthy = false;
+            h.retry_at = Some(Instant::now() + h.backoff);
+            h.backoff = (h.backoff * 2).min(self.config.eject_max);
+            h.eject_reason = Some(reason);
+            was
+        };
+        if was_healthy {
+            if let Some(obs) = &self.obs {
+                obs.ejections.inc();
+                obs.events
+                    .record("eject", format!("{}: {reason}", self.addr));
+            }
+        }
     }
 
     /// One active health probe: `{"op":"stats"}` on a dedicated
@@ -380,11 +417,21 @@ pub struct ReplicaPool {
 impl ReplicaPool {
     /// Builds a pool over `addrs`; replica ids are the vector indices.
     pub fn new(addrs: Vec<SocketAddr>, config: PoolConfig) -> Self {
+        Self::build(addrs, config, None)
+    }
+
+    /// Like [`ReplicaPool::new`], with observability hooks: health
+    /// transitions are journaled and counted fleet-wide.
+    pub fn with_obs(addrs: Vec<SocketAddr>, config: PoolConfig, obs: Arc<ClusterObs>) -> Self {
+        Self::build(addrs, config, Some(obs))
+    }
+
+    fn build(addrs: Vec<SocketAddr>, config: PoolConfig, obs: Option<Arc<ClusterObs>>) -> Self {
         Self {
             replicas: addrs
                 .into_iter()
                 .enumerate()
-                .map(|(id, addr)| Replica::new(id, addr, config.clone()))
+                .map(|(id, addr)| Replica::new(id, addr, config.clone(), obs.clone()))
                 .collect(),
             config,
         }

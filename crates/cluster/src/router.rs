@@ -7,8 +7,11 @@
 //! 1. parse the JSON (malformed lines are answered locally — a replica
 //!    would reject them identically, so no hop is spent);
 //! 2. intercept admin ops: `{"op":"stats"}` answers with *router* stats
-//!    (fleet health, shed/failover counters), `{"op":"publish"}` runs a
-//!    rolling publish across the fleet (see [`crate::publish`]);
+//!    merged with each replica's live report, `{"op":"metrics"}` /
+//!    `{"op":"events"}` aggregate the fleet's telemetry (per-replica
+//!    plus a merged view; unreachable replicas carry a structured
+//!    `{"code":"partial"}` marker), `{"op":"publish"}` runs a rolling
+//!    publish across the fleet (see [`crate::publish`]);
 //! 3. hash the canonical symptom-set key onto the consistent-hash ring
 //!    ([`crate::ring`]) — the same presentation always lands on the same
 //!    replica, so replica LRU caches stay hot;
@@ -26,13 +29,15 @@
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use smgcn_obs::{mint_trace_id, Counter, EventJournal, LatencyHistogram, Registry, TraceBuilder};
 use smgcn_serve::json::{self, Json};
+use smgcn_serve::server::samples_to_json;
 
-use crate::pool::{PoolConfig, ReplicaPool};
+use crate::pool::{ClusterObs, PoolConfig, ReplicaConn, ReplicaPool};
 use crate::publish::rolling_publish;
 use crate::ring::{key_of_ids, key_of_names, HashRing};
 
@@ -70,16 +75,26 @@ struct RouterEngine {
     pool: ReplicaPool,
     config: RouterConfig,
     started: Instant,
-    requests: AtomicU64,
-    forwarded: AtomicU64,
+    /// Router-local metrics (`router_*` plus the pool's `cluster_*`
+    /// ejection/recovery counters), snapshotted by `{"op":"metrics"}`.
+    registry: Arc<Registry>,
+    /// Fleet event journal: ejections/recoveries (via the pool hooks),
+    /// publishes, sheds and exhaustion land here.
+    events: Arc<EventJournal>,
+    requests: Counter,
+    forwarded: Counter,
     /// Requests that needed at least one failover hop.
-    failovers: AtomicU64,
+    failovers: Counter,
     /// Individual forward attempts that failed (transport or retryable).
-    retries: AtomicU64,
+    retries: Counter,
     /// Client connections refused at the accept loop.
-    sheds: AtomicU64,
+    sheds: Counter,
     /// Requests that exhausted every replica.
-    exhausted: AtomicU64,
+    exhausted: Counter,
+    /// Fleet rolling publishes driven through this router.
+    publishes: Counter,
+    /// Wall time of the forward path (route + replica + relay), µs.
+    forward_us: Arc<LatencyHistogram>,
     /// Serializes fleet-level rolling publishes: two interleaved
     /// rollouts could leave replicas serving *different* models under
     /// the same generation number (each replica numbers generations
@@ -199,19 +214,19 @@ impl RouterEngine {
             for &id in &candidates {
                 match self.attempt(self.pool.replica(id), line) {
                     Attempt::Served(response) => {
-                        self.forwarded.fetch_add(1, Ordering::Relaxed);
+                        self.forwarded.inc();
                         if hops > 0 {
-                            self.failovers.fetch_add(1, Ordering::Relaxed);
+                            self.failovers.inc();
                         }
                         return response;
                     }
                     Attempt::Shed => {
-                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        self.retries.inc();
                         hops += 1;
                         sheds_this_pass += 1;
                     }
                     Attempt::TransportFailed => {
-                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        self.retries.inc();
                         hops += 1;
                     }
                     Attempt::AtCapacity => {
@@ -229,7 +244,9 @@ impl RouterEngine {
             // is merely at its in-flight cap, waiting *is* productive —
             // slots free up in about one service time.
             if sheds_this_pass > 0 && at_capacity_this_pass == 0 {
-                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                self.exhausted.inc();
+                self.events
+                    .record("exhausted", "every replica shed the request");
                 return json::obj([(
                     "error",
                     json::obj([
@@ -244,7 +261,11 @@ impl RouterEngine {
                 .to_string();
             }
             if Instant::now() >= deadline {
-                self.exhausted.fetch_add(1, Ordering::Relaxed);
+                self.exhausted.inc();
+                self.events.record(
+                    "exhausted",
+                    "lease patience expired (all ejected or saturated)",
+                );
                 return json::obj([(
                     "error",
                     json::obj([
@@ -266,8 +287,35 @@ impl RouterEngine {
         }
     }
 
-    /// Router-level `{"op":"stats"}`: fleet health plus routing counters.
+    /// One-shot admin fetch against a replica on a dedicated connection.
+    /// Deliberately does *not* touch the replica's health record — an
+    /// admin snapshot must observe the fleet, not steer ejection.
+    fn fetch_direct(&self, addr: SocketAddr, request: &str) -> Result<Json, String> {
+        let mut conn =
+            ReplicaConn::connect(addr, &self.config.pool).map_err(|e| format!("connect: {e}"))?;
+        let raw = conn
+            .round_trip(request)
+            .map_err(|e| format!("round trip: {e}"))?;
+        json::parse(&raw).map_err(|e| format!("parse: {e}"))
+    }
+
+    /// The structured marker for a replica that could not contribute to
+    /// a fleet-wide merge: callers see exactly which replica is missing
+    /// and why, instead of a silently smaller aggregate.
+    fn partial_marker(message: String) -> Json {
+        json::obj([
+            ("code", Json::Str("partial".into())),
+            ("message", Json::Str(message)),
+        ])
+    }
+
+    /// Router-level `{"op":"stats"}`: fleet health plus routing
+    /// counters, merged with each replica's own live stats report. A
+    /// replica that cannot answer keeps its health entry but carries a
+    /// structured `{"code":"partial"}` error, and the top-level
+    /// `partial` flag is set.
     fn stats(&self) -> Json {
+        let mut partial = false;
         let replicas: Vec<Json> = self
             .pool
             .replicas()
@@ -292,43 +340,163 @@ impl RouterEngine {
                 if let Some(reason) = h.eject_reason {
                     fields.push(("eject_reason", Json::Str(reason.to_string())));
                 }
+                match self.fetch_direct(r.addr, r#"{"op":"stats"}"#) {
+                    Ok(stats) if stats.get("error").is_none() => {
+                        fields.push(("stats", stats));
+                    }
+                    Ok(refusal) => {
+                        partial = true;
+                        fields.push((
+                            "error",
+                            Self::partial_marker(format!("replica refused stats: {refusal}")),
+                        ));
+                    }
+                    Err(e) => {
+                        partial = true;
+                        fields.push(("error", Self::partial_marker(e)));
+                    }
+                }
                 json::obj(fields)
             })
             .collect();
         json::obj([
             ("router", Json::Bool(true)),
             ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
-            (
-                "requests",
-                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "forwarded",
-                Json::Num(self.forwarded.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "retries",
-                Json::Num(self.retries.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "failovers",
-                Json::Num(self.failovers.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "sheds",
-                Json::Num(self.sheds.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "exhausted",
-                Json::Num(self.exhausted.load(Ordering::Relaxed) as f64),
-            ),
+            ("requests", Json::Num(self.requests.get() as f64)),
+            ("forwarded", Json::Num(self.forwarded.get() as f64)),
+            ("retries", Json::Num(self.retries.get() as f64)),
+            ("failovers", Json::Num(self.failovers.get() as f64)),
+            ("sheds", Json::Num(self.sheds.get() as f64)),
+            ("exhausted", Json::Num(self.exhausted.get() as f64)),
+            ("partial", Json::Bool(partial)),
             ("replicas", Json::Arr(replicas)),
+        ])
+    }
+
+    /// The `{"op":"metrics"}` admin verb, fleet-wide: the router's own
+    /// registry, every replica's snapshot, and a merged view (counters
+    /// sum; gauges and quantiles take the fleet max; histogram counts
+    /// sum). Unreachable replicas are marked `{"code":"partial"}`.
+    fn metrics(&self) -> Json {
+        let mut partial = false;
+        let mut merged = std::collections::BTreeMap::new();
+        let router_metrics = samples_to_json(&self.registry.samples());
+        merge_metrics(&mut merged, &router_metrics);
+        let replicas: Vec<Json> = self
+            .pool
+            .replicas()
+            .iter()
+            .map(|r| {
+                let addr = ("addr", Json::Str(r.addr.to_string()));
+                match self.fetch_direct(r.addr, r#"{"op":"metrics"}"#) {
+                    Ok(snap) if snap.get("error").is_none() => {
+                        if let Some(metrics) = snap.get("metrics") {
+                            merge_metrics(&mut merged, metrics);
+                        }
+                        let mut fields = vec![addr];
+                        if let Some(g) = snap.get("generation") {
+                            fields.push(("generation", g.clone()));
+                        }
+                        fields.push((
+                            "metrics",
+                            snap.get("metrics").cloned().unwrap_or(Json::Null),
+                        ));
+                        json::obj(fields)
+                    }
+                    Ok(refusal) => {
+                        partial = true;
+                        json::obj([
+                            addr,
+                            (
+                                "error",
+                                Self::partial_marker(format!("replica refused metrics: {refusal}")),
+                            ),
+                        ])
+                    }
+                    Err(e) => {
+                        partial = true;
+                        json::obj([addr, ("error", Self::partial_marker(e))])
+                    }
+                }
+            })
+            .collect();
+        json::obj([
+            ("router", router_metrics),
+            ("replicas", Json::Arr(replicas)),
+            ("merged", Json::Obj(merged)),
+            ("partial", Json::Bool(partial)),
+        ])
+    }
+
+    /// The `{"op":"events"}` admin verb, fleet-wide: the router's own
+    /// journal tail plus each replica's (optional `"limit"`, default 64).
+    fn events_report(&self, req: &Json) -> Json {
+        let limit = match req.get("limit").and_then(Json::as_num) {
+            Some(n) if n >= 1.0 => n as usize,
+            _ => 64,
+        };
+        let own: Vec<Json> = self
+            .events
+            .recent(limit)
+            .iter()
+            .map(|e| {
+                json::obj([
+                    ("seq", Json::Num(e.seq as f64)),
+                    ("unix_ms", Json::Num(e.unix_ms as f64)),
+                    ("kind", Json::Str(e.kind.clone())),
+                    ("detail", Json::Str(e.detail.clone())),
+                ])
+            })
+            .collect();
+        let mut partial = false;
+        let request = json::obj([
+            ("op", Json::Str("events".into())),
+            ("limit", Json::Num(limit as f64)),
+        ])
+        .to_string();
+        let replicas: Vec<Json> = self
+            .pool
+            .replicas()
+            .iter()
+            .map(|r| {
+                let addr = ("addr", Json::Str(r.addr.to_string()));
+                match self.fetch_direct(r.addr, &request) {
+                    Ok(snap) if snap.get("error").is_none() => json::obj([
+                        addr,
+                        ("events", snap.get("events").cloned().unwrap_or(Json::Null)),
+                        (
+                            "events_total",
+                            snap.get("events_total").cloned().unwrap_or(Json::Null),
+                        ),
+                    ]),
+                    Ok(refusal) => {
+                        partial = true;
+                        json::obj([
+                            addr,
+                            (
+                                "error",
+                                Self::partial_marker(format!("replica refused events: {refusal}")),
+                            ),
+                        ])
+                    }
+                    Err(e) => {
+                        partial = true;
+                        json::obj([addr, ("error", Self::partial_marker(e))])
+                    }
+                }
+            })
+            .collect();
+        json::obj([
+            ("router", Json::Arr(own)),
+            ("events_total", Json::Num(self.events.total() as f64)),
+            ("replicas", Json::Arr(replicas)),
+            ("partial", Json::Bool(partial)),
         ])
     }
 
     /// One client request line in, one response line out.
     fn handle_line(&self, line: &str) -> String {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         let req = match json::parse(line) {
             Ok(req) => req,
             Err(e) => {
@@ -344,6 +512,8 @@ impl RouterEngine {
         };
         match req.get("op").and_then(Json::as_str) {
             Some("stats") => return self.stats().to_string(),
+            Some("metrics") => return self.metrics().to_string(),
+            Some("events") => return self.events_report(&req).to_string(),
             Some("publish") => {
                 let Some(artifact) = req.get("artifact").and_then(Json::as_str) else {
                     return json::obj([(
@@ -359,13 +529,152 @@ impl RouterEngine {
                     .to_string();
                 };
                 let _rollout = self.publish_lock.lock().expect("publish lock");
-                return rolling_publish(&self.pool, artifact).to_json().to_string();
+                let report = rolling_publish(&self.pool, artifact);
+                self.publishes.inc();
+                self.events.record(
+                    "publish",
+                    format!(
+                        "rolling publish: {}/{} replicas ok",
+                        report.published(),
+                        self.pool.len()
+                    ),
+                );
+                return report.to_json().to_string();
             }
             _ => {}
         }
         // Everything else — rankings and any future replica-side op —
         // forwards with affinity + failover.
-        self.forward(Self::route_key(&req), line)
+        let key = Self::route_key(&req);
+        if req.get("trace") == Some(&Json::Bool(true)) {
+            return self.forward_traced(key, line, &req);
+        }
+        let t0 = Instant::now();
+        let response = self.forward(key, line);
+        self.forward_us.record(t0.elapsed().as_micros() as u64);
+        response
+    }
+
+    /// Traced forward: the router contributes its own spans around the
+    /// replica's, so the client sees one timeline covering the whole
+    /// hop — `route` (parse + ring walk up to the forward), the
+    /// replica's spans verbatim (rebased onto the router clock), `net`
+    /// (forward wall time the replica did not account for: sockets,
+    /// queueing, failover hops) and `relay` (response rewrite).
+    ///
+    /// The trace id is client-supplied when present, minted here
+    /// otherwise and injected into the forwarded request so the replica
+    /// journals the same id. Only traced requests are re-serialized —
+    /// the untraced path forwards the raw line untouched.
+    fn forward_traced(&self, key: u64, line: &str, req: &Json) -> String {
+        let mut builder = TraceBuilder::new(Instant::now());
+        let supplied = req
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let (trace_id, forward_line) = match supplied {
+            Some(id) => (id, line.to_string()),
+            None => {
+                let id = mint_trace_id();
+                let mut fields = match req {
+                    Json::Obj(map) => map.clone(),
+                    _ => Default::default(),
+                };
+                fields.insert("trace_id".to_string(), Json::Str(id.clone()));
+                (id, Json::Obj(fields).to_string())
+            }
+        };
+        builder.cover_to_now("route");
+        let t0 = Instant::now();
+        let raw = self.forward(key, &forward_line);
+        let wall_us = t0.elapsed().as_micros() as u64;
+        self.forward_us.record(wall_us);
+        let Ok(Json::Obj(mut response)) = json::parse(&raw) else {
+            return raw;
+        };
+        if let Some(replica_trace) = response.remove("trace") {
+            let mut replica_sum = 0u64;
+            if let Some(spans) = replica_trace.get("spans").and_then(Json::as_arr) {
+                for span in spans {
+                    let name = span.get("name").and_then(Json::as_str).unwrap_or("replica");
+                    let us = span.get("us").and_then(Json::as_num).unwrap_or(0.0) as u64;
+                    builder.push(name, us);
+                    replica_sum += us;
+                }
+            }
+            builder.push("net", wall_us.saturating_sub(replica_sum));
+        }
+        builder.cover_to_now("relay");
+        let spans: Vec<Json> = builder
+            .spans()
+            .iter()
+            .map(|s| {
+                json::obj([
+                    ("name", Json::Str(s.name.clone())),
+                    ("start_us", Json::Num(s.start_us as f64)),
+                    ("us", Json::Num(s.dur_us as f64)),
+                ])
+            })
+            .collect();
+        response.insert(
+            "trace".to_string(),
+            json::obj([
+                ("trace_id", Json::Str(trace_id)),
+                ("spans", Json::Arr(spans)),
+            ]),
+        );
+        Json::Obj(response).to_string()
+    }
+}
+
+/// Folds one metrics object into the fleet-wide merge. Counters (keys
+/// ending `_total`) sum across replicas; other scalars (gauges like
+/// `serve_generation`) take the max. Histogram stat objects sum their
+/// `count`/`total_count` fields and take the max elsewhere (quantiles
+/// and means — a fleet p99 is bounded below by its worst replica).
+fn merge_metrics(merged: &mut std::collections::BTreeMap<String, Json>, metrics: &Json) {
+    let Json::Obj(map) = metrics else {
+        return;
+    };
+    for (key, value) in map {
+        match merged.get_mut(key) {
+            None => {
+                merged.insert(key.clone(), value.clone());
+            }
+            Some(acc) => merge_metric_value(acc, value, key),
+        }
+    }
+}
+
+fn merge_metric_value(acc: &mut Json, add: &Json, key: &str) {
+    match (acc, add) {
+        (Json::Num(a), Json::Num(b)) => {
+            if key.ends_with("_total") {
+                *a += *b;
+            } else {
+                *a = a.max(*b);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            for (field, value) in b {
+                match a.get_mut(field) {
+                    None => {
+                        a.insert(field.clone(), value.clone());
+                    }
+                    Some(Json::Num(cur)) => {
+                        if let Json::Num(v) = value {
+                            if field == "count" || field == "total_count" {
+                                *cur += *v;
+                            } else {
+                                *cur = cur.max(*v);
+                            }
+                        }
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        _ => {}
     }
 }
 
@@ -386,17 +695,28 @@ impl Router {
     ) -> std::io::Result<Self> {
         assert!(!replicas.is_empty(), "Router: need at least one replica");
         let listener = TcpListener::bind(addr)?;
+        let registry = Arc::new(Registry::new());
+        let events = Arc::new(EventJournal::new(256));
+        let pool_obs = Arc::new(ClusterObs {
+            events: Arc::clone(&events),
+            ejections: registry.counter("cluster_ejections_total"),
+            recoveries: registry.counter("cluster_recoveries_total"),
+        });
         let engine = Arc::new(RouterEngine {
             ring: HashRing::with_replicas(replicas.len(), config.vnodes),
-            pool: ReplicaPool::new(replicas, config.pool.clone()),
+            pool: ReplicaPool::with_obs(replicas, config.pool.clone(), pool_obs),
             config,
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            forwarded: AtomicU64::new(0),
-            failovers: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            sheds: AtomicU64::new(0),
-            exhausted: AtomicU64::new(0),
+            requests: registry.counter("router_requests_total"),
+            forwarded: registry.counter("router_forwarded_total"),
+            failovers: registry.counter("router_failovers_total"),
+            retries: registry.counter("router_retries_total"),
+            sheds: registry.counter("router_sheds_total"),
+            exhausted: registry.counter("router_exhausted_total"),
+            publishes: registry.counter("router_publishes_total"),
+            forward_us: registry.histogram("router_forward_us"),
+            registry,
+            events,
             publish_lock: std::sync::Mutex::new(()),
         });
         Ok(Self {
@@ -409,6 +729,17 @@ impl Router {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The router's own metric registry (the `router` section of the
+    /// fleet `{"op":"metrics"}` snapshot).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.engine.registry)
+    }
+
+    /// The fleet event journal behind `{"op":"events"}`.
+    pub fn events(&self) -> Arc<EventJournal> {
+        Arc::clone(&self.engine.events)
     }
 
     /// A handle that makes [`Router::run`] return.
@@ -458,7 +789,10 @@ impl Router {
             };
             handles.retain(|h| !h.is_finished());
             if active.load(Ordering::SeqCst) >= max_connections {
-                self.engine.sheds.fetch_add(1, Ordering::Relaxed);
+                self.engine.sheds.inc();
+                self.engine
+                    .events
+                    .record("shed", "client connection refused at capacity");
                 let refusal = json::obj([(
                     "error",
                     json::obj([

@@ -205,6 +205,103 @@ fn failover_hides_a_dead_replica_and_probe_ejects_it() {
 }
 
 #[test]
+fn fleet_metrics_events_and_partial_stats() {
+    let replicas: Vec<Replica> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let router = Router::bind("127.0.0.1:0", addrs.clone(), fast_router()).unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let stop = router.stop_handle();
+    let handle = std::thread::spawn(move || router.run().unwrap());
+
+    let mut client = Client::connect(router_addr);
+    for a in 0..N_SYMPTOMS as u32 {
+        for b in (a + 1)..N_SYMPTOMS as u32 {
+            let resp = client.request(&format!(r#"{{"symptom_ids":[{a},{b}],"k":4}}"#));
+            assert!(resp.get("error").is_none(), "{resp}");
+        }
+    }
+
+    // Fleet metrics: router's own registry, all three replicas, and a
+    // merged view whose request counter sums the fleet.
+    let snap = client.request(r#"{"op":"metrics"}"#);
+    assert_eq!(snap.get("partial"), Some(&Json::Bool(false)), "{snap}");
+    let router_section = snap.get("router").unwrap();
+    assert!(
+        router_section
+            .get("router_forwarded_total")
+            .and_then(Json::as_num)
+            .unwrap()
+            >= 15.0
+    );
+    let fleet = snap.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(fleet.len(), 3);
+    let per_replica_sum: f64 = fleet
+        .iter()
+        .map(|r| {
+            r.get("metrics")
+                .and_then(|m| m.get("serve_requests_total"))
+                .and_then(Json::as_num)
+                .expect("every reachable replica reports serve_requests_total")
+        })
+        .sum();
+    let merged = snap.get("merged").unwrap();
+    assert_eq!(
+        merged
+            .get("serve_requests_total")
+            .and_then(Json::as_num)
+            .unwrap(),
+        per_replica_sum,
+        "merged counters sum across the fleet: {merged}"
+    );
+    // The merge carries both router and replica metric names.
+    assert!(merged.get("router_requests_total").is_some());
+    assert!(merged.get("serve_latency_us").is_some());
+
+    // Fleet events: each replica section answers (possibly empty).
+    let events = client.request(r#"{"op":"events"}"#);
+    assert_eq!(events.get("partial"), Some(&Json::Bool(false)), "{events}");
+    assert_eq!(
+        events.get("replicas").and_then(Json::as_arr).unwrap().len(),
+        3
+    );
+
+    // Kill one replica: stats must keep naming it, with a structured
+    // partial marker instead of a silent hole in the merge.
+    let mut replicas = replicas;
+    let victim = replicas.remove(0);
+    let victim_addr = victim.addr.to_string();
+    victim.stop.stop();
+    victim.handle.join().unwrap();
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("partial"), Some(&Json::Bool(true)), "{stats}");
+    let fleet = stats.get("replicas").and_then(Json::as_arr).unwrap();
+    assert_eq!(fleet.len(), 3, "the dead replica is still named");
+    for entry in fleet {
+        let addr = entry.get("addr").and_then(Json::as_str).unwrap();
+        if addr == victim_addr {
+            assert_eq!(
+                entry.get("error").and_then(|e| e.get("code")),
+                Some(&Json::Str("partial".into())),
+                "dead replica carries the structured marker: {entry}"
+            );
+            assert!(entry.get("stats").is_none());
+        } else {
+            assert!(
+                entry.get("stats").is_some(),
+                "live replica embeds its own stats: {entry}"
+            );
+        }
+    }
+
+    stop.stop();
+    handle.join().unwrap();
+    for r in replicas {
+        r.stop.stop();
+        r.handle.join().unwrap();
+    }
+}
+
+#[test]
 fn rolling_publish_through_the_router_upgrades_the_fleet() {
     let replicas: Vec<Replica> = (0..3).map(|_| start_replica()).collect();
     let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();

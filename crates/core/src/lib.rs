@@ -55,7 +55,8 @@ pub use config::{LossKind, ModelConfig, TrainConfig};
 pub use embedding::{EmbeddingLayer, ForwardCtx};
 pub use model::{top_k_indices, Recommender, SmgcnEmbedding};
 pub use trainer::{
-    train, train_unpooled, train_until, train_with_callback, EpochStats, TrainingHistory,
+    set_epoch_observer, train, train_unpooled, train_until, train_with_callback, EpochObserver,
+    EpochPhases, EpochStats, TrainingHistory,
 };
 pub use zoo::{build_model, ModelKind};
 

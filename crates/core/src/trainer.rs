@@ -1,7 +1,9 @@
 //! The training loop: Adam + weighted multi-label loss over shuffled
 //! mini-batches of prescriptions (§IV-E).
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +16,66 @@ use crate::config::TrainConfig;
 use crate::embedding::ForwardCtx;
 use crate::loss::attach_loss;
 use crate::model::Recommender;
+
+/// Per-epoch phase timings (microseconds, summed over the epoch's
+/// batches), delivered to the observer installed with
+/// [`set_epoch_observer`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochPhases {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Batch selection + dense batch assembly.
+    pub prep_us: u64,
+    /// Forward pass + loss attachment.
+    pub forward_us: u64,
+    /// Backward pass (gradient computation + tape recycling).
+    pub backward_us: u64,
+    /// Optimizer step (+ gradient-buffer recycling).
+    pub step_us: u64,
+}
+
+/// The epoch-phase observer callback type.
+pub type EpochObserver = Arc<dyn Fn(&EpochPhases) + Send + Sync>;
+
+static OBSERVER_ENABLED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<EpochObserver>> = Mutex::new(None);
+
+/// Installs (or with `None` removes) a process-wide observer that
+/// receives per-epoch phase timings from every training run.
+///
+/// Timing is strictly zero-cost when no observer is installed: the hot
+/// loop checks one relaxed atomic per run and takes no `Instant::now`
+/// readings. The timers never touch the RNG or the computation itself,
+/// so observed and unobserved runs stay bit-identical. The hook is
+/// process-global — concurrent observed trainings share it, so install
+/// a callback that tolerates interleaved runs (e.g. histogram records).
+pub fn set_epoch_observer(observer: Option<EpochObserver>) {
+    let mut slot = OBSERVER.lock().expect("epoch observer lock");
+    OBSERVER_ENABLED.store(observer.is_some(), Ordering::SeqCst);
+    *slot = observer;
+}
+
+/// Phase stopwatch: every `lap` adds the time since the previous lap to
+/// an accumulator. Disabled, it never reads the clock.
+struct PhaseTimer {
+    last: Option<Instant>,
+}
+
+impl PhaseTimer {
+    fn start(enabled: bool) -> Self {
+        Self {
+            last: enabled.then(Instant::now),
+        }
+    }
+
+    fn lap(&mut self, acc: &mut u64) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            *acc += now.duration_since(last).as_micros() as u64;
+            self.last = Some(now);
+        }
+    }
+}
 
 /// Per-epoch training diagnostics.
 #[derive(Clone, Copy, Debug)]
@@ -126,16 +188,30 @@ fn train_impl(
     let n_herbs = train.n_herbs();
     let mut history = TrainingHistory::default();
     let pool = BufferPool::new();
+    // Snapshot the observer once per run: the hot loop pays one branch
+    // per phase when observing and nothing (no clock reads) otherwise.
+    let observer = if OBSERVER_ENABLED.load(Ordering::Relaxed) {
+        OBSERVER.lock().expect("epoch observer lock").clone()
+    } else {
+        None
+    };
+    let observing = observer.is_some();
 
     for epoch in 0..cfg.epochs {
         let mut loss_sum = 0.0f64;
         let mut grad_sum = 0.0f64;
+        let mut phases = EpochPhases {
+            epoch,
+            ..EpochPhases::default()
+        };
         let batches = epoch_batches(prescriptions.len(), cfg.batch_size, &mut rng);
         let n_batches = batches.len();
         for indices in batches {
+            let mut timer = PhaseTimer::start(observing);
             let selected: Vec<&smgcn_data::Prescription> =
                 indices.iter().map(|&i| &prescriptions[i]).collect();
             let batch = make_batch(&selected, n_symptoms, n_herbs);
+            timer.lap(&mut phases.prep_us);
             let grads = {
                 let mut tape = if pooled {
                     Tape::with_pool(model.store(), &pool)
@@ -155,10 +231,12 @@ fn train_impl(
                     ctx.rng,
                 );
                 loss_sum += tape.value(loss).get(0, 0) as f64;
+                timer.lap(&mut phases.forward_us);
                 let grads = tape.backward(loss);
                 // Hand the tape's node buffers back to the pool for the
                 // next step.
                 tape.recycle();
+                timer.lap(&mut phases.backward_us);
                 grads
             };
             grad_sum += grads.l2_norm() as f64;
@@ -166,6 +244,10 @@ fn train_impl(
             if pooled {
                 grads.recycle_into(&pool);
             }
+            timer.lap(&mut phases.step_us);
+        }
+        if let Some(observer) = &observer {
+            observer(&phases);
         }
         let stats = EpochStats {
             epoch,
@@ -382,6 +464,48 @@ mod tests {
         let ranking = grown.recommend(&[0, 1], corpus.n_herbs() + 1);
         assert_eq!(ranking.len(), corpus.n_herbs() + 1);
         assert!(grown.store().all_finite());
+    }
+
+    #[test]
+    fn epoch_observer_times_phases_without_perturbing_training() {
+        let (corpus, ops) = tiny_setup();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            l2_lambda: 1e-4,
+            loss: LossKind::MultiLabel,
+            bpr_negatives: 1,
+            weighted_labels: true,
+            seed: 7,
+        };
+        let run = || {
+            let mut model = Recommender::smgcn(&ops, &tiny_model_cfg(), 1);
+            train(&mut model, &corpus, &cfg).final_loss()
+        };
+        let baseline = run();
+        let seen: Arc<Mutex<Vec<EpochPhases>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        set_epoch_observer(Some(Arc::new(move |p: &EpochPhases| {
+            sink.lock().unwrap().push(*p);
+        })));
+        let observed = run();
+        set_epoch_observer(None);
+        assert_eq!(
+            observed.to_bits(),
+            baseline.to_bits(),
+            "observing must not change the computation"
+        );
+        let seen = seen.lock().unwrap();
+        // The hook is process-global, so concurrently-running tests may
+        // contribute entries too; this run's two epochs must be there.
+        for epoch in 0..2 {
+            assert!(
+                seen.iter()
+                    .any(|p| p.epoch == epoch && p.forward_us > 0 && p.backward_us > 0),
+                "epoch {epoch} phases missing or empty: {seen:?}"
+            );
+        }
     }
 
     #[test]

@@ -150,7 +150,7 @@ impl Stack {
                 let mut model =
                     smgcn_core::prelude::Recommender::smgcn(&ops, &model_cfg, workload.config.seed);
                 smgcn_core::prelude::train(&mut model, &corpus, &train_cfg);
-                let pipeline = OnlinePipeline::new(
+                let mut pipeline = OnlinePipeline::new(
                     corpus,
                     model,
                     OnlineConfig {
@@ -167,6 +167,10 @@ impl Stack {
                 );
                 let slot = pipeline.slot();
                 let server = spawn_server_slot(slot, ServerConfig::default());
+                // The pipeline shares the server's registry and journal,
+                // so one `{"op":"metrics"}` snapshot covers both the
+                // serving and the refresh side of the deployment.
+                pipeline.observe(&server.registry, Arc::clone(&server.events));
                 Self {
                     front: server.addr,
                     replicas: Vec::new(),
@@ -316,6 +320,81 @@ struct WorkerResult {
     executed: usize,
     failures: usize,
     generations: BTreeSet<u64>,
+}
+
+/// Fetches the front-end's `{"op":"metrics"}` snapshot: the raw
+/// response line plus its parse. `None` on any transport hiccup — the
+/// run proceeds without counter deltas rather than failing.
+fn fetch_metrics(front: SocketAddr) -> Option<(String, Json)> {
+    let (mut reader, mut writer) = connect(front).ok()?;
+    writeln!(writer, "{{\"op\":\"metrics\"}}").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let raw = line.trim().to_string();
+    let parsed = json::parse(&raw).ok()?;
+    Some((raw, parsed))
+}
+
+/// The flat name -> value metric map inside a snapshot: single servers
+/// report under `"metrics"`, routers under `"merged"` (the fleet-wide
+/// aggregation).
+fn metric_map(snapshot: &Json) -> Option<&std::collections::BTreeMap<String, Json>> {
+    match snapshot.get("merged").or_else(|| snapshot.get("metrics")) {
+        Some(Json::Obj(map)) => Some(map),
+        _ => None,
+    }
+}
+
+/// Nonzero before -> after deltas of every counter (`_total`-suffixed
+/// metric, labeled or plain), sorted by name (the map iterates sorted).
+fn counter_deltas(before: &Json, after: &Json) -> Vec<(String, f64)> {
+    let (Some(before), Some(after)) = (metric_map(before), metric_map(after)) else {
+        return Vec::new();
+    };
+    let mut deltas = Vec::new();
+    for (name, value) in after {
+        if !(name.ends_with("_total") || name.contains("_total{")) {
+            continue;
+        }
+        let Some(after_v) = value.as_num() else {
+            continue;
+        };
+        let before_v = before.get(name).and_then(Json::as_num).unwrap_or(0.0);
+        if after_v != before_v {
+            deltas.push((name.clone(), after_v - before_v));
+        }
+    }
+    deltas
+}
+
+fn delta_of(deltas: &[(String, f64)], name: &str) -> f64 {
+    deltas
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0.0, |(_, d)| *d)
+}
+
+/// The server-side error ledger over the run, from counter deltas:
+/// non-retryable serve error codes (retryable `queue_full`/`overloaded`
+/// blips are the router's problem and don't reach clients), plus —
+/// routed — requests the router exhausted entirely, or — fronted by a
+/// bare server — sheds and queue rejections, which ARE client-visible.
+fn counter_errors(deltas: &[(String, f64)], routed: bool) -> u64 {
+    deltas
+        .iter()
+        .filter(|(name, _)| {
+            if let Some(rest) = name.strip_prefix("serve_errors_total") {
+                return !(rest.contains("queue_full") || rest.contains("overloaded"));
+            }
+            if routed {
+                name == "router_exhausted_total"
+            } else {
+                name == "serve_sheds_total" || name == "serve_queue_rejections_total"
+            }
+        })
+        .map(|(_, delta)| delta.max(0.0) as u64)
+        .sum()
 }
 
 fn connect(front: SocketAddr) -> std::io::Result<(BufReader<TcpStream>, BufWriter<TcpStream>)> {
@@ -517,6 +596,7 @@ fn control_lane(
 pub fn run(workload: &Workload) -> ScenarioReport {
     let summary = WorkloadSummary::from_workload(workload);
     let mut stack = Stack::build(workload);
+    let metrics_before = fetch_metrics(stack.front);
     let validation = Arc::new(Validation::plan(workload));
     let workload = Arc::new(workload.clone());
     let lanes = workload.schedule.query_lanes(workload.config.workers);
@@ -546,7 +626,21 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         generations.extend(result.generations);
     }
     let wall_s = run_start.elapsed().as_secs_f64();
+    let metrics_after = fetch_metrics(stack.front);
     stack.teardown();
+
+    let routed = matches!(workload.topology, Topology::Routed { .. });
+    let (deltas, cache_hit_rate, counter_errs) = match (&metrics_before, &metrics_after) {
+        (Some((_, before)), Some((_, after))) => {
+            let deltas = counter_deltas(before, after);
+            let hits = delta_of(&deltas, "serve_cache_hits_total");
+            let lookups = hits + delta_of(&deltas, "serve_cache_misses_total");
+            let rate = if lookups > 0.0 { hits / lookups } else { 0.0 };
+            let errs = counter_errors(&deltas, routed);
+            (deltas, rate, Some(errs))
+        }
+        _ => (Vec::new(), 0.0, None),
+    };
 
     let (p50_us, p99_us) = percentiles_us(&mut latencies);
     let max_ms = latencies.iter().copied().fold(0.0f64, f64::max) * 1e3;
@@ -566,6 +660,8 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         generations_seen: generations.into_iter().collect(),
         chaos_timings,
         workers: workload.config.workers,
+        counter_deltas: deltas,
+        cache_hit_rate,
     };
     let verdict = evaluate(
         &workload.slo,
@@ -574,6 +670,7 @@ pub fn run(workload: &Workload) -> ScenarioReport {
             scheduled: workload.schedule.requests.len(),
             failures,
             p99_ms: measured.p99_ms,
+            counter_errors: counter_errs,
             violations,
         },
     );
@@ -581,6 +678,7 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         workload: summary,
         measured,
         verdict,
+        metrics_json: metrics_after.map(|(raw, _)| raw),
     }
 }
 

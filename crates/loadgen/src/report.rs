@@ -38,6 +38,13 @@ pub struct Measured {
     pub chaos_timings: Vec<(String, f64)>,
     /// Executor worker threads (an execution detail, hence here).
     pub workers: usize,
+    /// Before/after deltas of the front-end's `_total` metric counters
+    /// over the run (name, delta), nonzero entries only, sorted by name.
+    /// Empty when no metrics snapshot was available.
+    pub counter_deltas: Vec<(String, f64)>,
+    /// Cache hit rate over the run derived from the counter deltas
+    /// (hits / lookups; 0 when the run touched no cache).
+    pub cache_hit_rate: f64,
 }
 
 /// A complete scenario run: the plan and what happened.
@@ -49,6 +56,10 @@ pub struct ScenarioReport {
     pub measured: Measured,
     /// The SLO verdict.
     pub verdict: SloVerdict,
+    /// The front-end's raw `{"op":"metrics"}` response captured at the
+    /// end of the run (before teardown), for artifact upload. Not part
+    /// of the report JSON — tooling writes it alongside.
+    pub metrics_json: Option<String>,
 }
 
 /// The deterministic face of a workload (see module docs).
@@ -163,12 +174,20 @@ impl ScenarioReport {
                 .map(|v| Json::Str(v.clone()))
                 .collect(),
         );
+        let deltas = Json::Obj(
+            m.counter_deltas
+                .iter()
+                .map(|(name, delta)| (name.clone(), Json::Num(*delta)))
+                .collect(),
+        );
         format!(
             "{{\n  \"workload\": {},\n  \"measured\": {{\n    \"executed\": {},\n    \
              \"failures\": {},\n    \"wall_ms\": {:.3},\n    \"qps\": {:.1},\n    \
              \"p50_ms\": {:.3},\n    \"p99_ms\": {:.3},\n    \"max_ms\": {:.3},\n    \
              \"generations_seen\": {generations},\n    \"chaos_timings_ms\": {chaos},\n    \
-             \"workers\": {}\n  }},\n  \"slo_passed\": {},\n  \"violations\": {violations}\n}}\n",
+             \"workers\": {},\n    \"counter_deltas\": {deltas},\n    \
+             \"cache_hit_rate\": {:.4}\n  }},\n  \"slo_passed\": {},\n  \
+             \"violations\": {violations}\n}}\n",
             self.workload.to_json_lines(),
             m.executed,
             m.failures,
@@ -178,6 +197,7 @@ impl ScenarioReport {
             m.p99_ms,
             m.max_ms,
             m.workers,
+            m.cache_hit_rate,
             self.verdict.passed(),
         )
     }
@@ -217,11 +237,14 @@ mod tests {
             measured: Measured {
                 executed: 1,
                 workers: 8,
+                counter_deltas: vec![("serve_requests_total".to_string(), 42.0)],
+                cache_hit_rate: 0.5,
                 ..Measured::default()
             },
             verdict: SloVerdict {
                 violations: Vec::new(),
             },
+            metrics_json: None,
         }
     }
 
@@ -238,15 +261,25 @@ mod tests {
         let r = report();
         let parsed = smgcn_serve::json::parse(r.to_json_string().trim()).expect("valid json");
         assert!(parsed.get("workload").is_some());
-        assert!(parsed.get("measured").is_some());
+        let measured = parsed.get("measured").expect("measured section");
         assert_eq!(parsed.get("slo_passed"), Some(&Json::Bool(true)));
+        let deltas = measured.get("counter_deltas").expect("counter deltas");
+        assert_eq!(
+            deltas.get("serve_requests_total").and_then(Json::as_num),
+            Some(42.0)
+        );
+        assert_eq!(
+            measured.get("cache_hit_rate").and_then(Json::as_num),
+            Some(0.5)
+        );
     }
 
     #[test]
     fn workload_json_excludes_execution_details() {
-        // Worker count is an execution detail; the deterministic section
-        // must not mention it (the determinism guarantee spans thread
-        // counts).
+        // Worker count and metric deltas are execution details; the
+        // deterministic section must not mention them (the determinism
+        // guarantee spans thread counts and wall clocks).
         assert!(!report().workload_json().contains("workers"));
+        assert!(!report().workload_json().contains("counter_deltas"));
     }
 }

@@ -60,6 +60,12 @@ pub struct SloInputs {
     pub failures: usize,
     /// Client-observed p99, milliseconds.
     pub p99_ms: f64,
+    /// Server-side error count derived from the fleet's metric counters
+    /// (non-retryable serve errors plus requests the router exhausted);
+    /// `None` when no metrics snapshot was available. This is the
+    /// server's own ledger — it must agree with the client-side
+    /// `failures` view, so it shares the same budget.
+    pub counter_errors: Option<u64>,
     /// Invariant violations collected by workers (bounded sample).
     pub violations: Vec<String>,
 }
@@ -92,6 +98,15 @@ pub fn evaluate(slo: &Slo, inputs: &SloInputs) -> SloVerdict {
             "error budget burned: {} failed request(s), budget {}",
             inputs.failures, slo.max_failures
         ));
+    }
+    if let Some(errors) = inputs.counter_errors {
+        if errors as usize > slo.max_failures {
+            violations.push(format!(
+                "counter error budget burned: metric counters recorded {errors} \
+                 server-side error(s), budget {}",
+                slo.max_failures
+            ));
+        }
     }
     if inputs.p99_ms > slo.max_p99_ms {
         violations.push(format!(
@@ -126,6 +141,7 @@ mod tests {
             scheduled,
             failures: 0,
             p99_ms: 10.0,
+            counter_errors: Some(0),
             violations: Vec::new(),
         }
     }
@@ -156,6 +172,17 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("incomplete")));
+
+        let mut leaky = clean(100);
+        leaky.counter_errors = Some(2);
+        assert!(evaluate(&slo(), &leaky)
+            .violations
+            .iter()
+            .any(|v| v.contains("counter error budget")));
+        // No snapshot means no counter assertion, not a violation.
+        let mut blind = clean(100);
+        blind.counter_errors = None;
+        assert!(evaluate(&slo(), &blind).passed());
 
         let mut mixed = clean(100);
         mixed.violations.push("gen 1 ranking != expected".into());

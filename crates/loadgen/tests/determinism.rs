@@ -20,6 +20,7 @@ fn plan_report(kind: ScenarioKind, config: &ScenarioConfig) -> String {
         verdict: SloVerdict {
             violations: Vec::new(),
         },
+        metrics_json: None,
     }
     .workload_json()
 }
@@ -108,4 +109,22 @@ fn executed_runs_reproduce_the_deterministic_report() {
         first.verdict.violations
     );
     assert_eq!(first.measured.failures, 0);
+    // The run captured the fleet's counter deltas: every query the
+    // workers sent shows up in the server's own request ledger.
+    let requests = first
+        .measured
+        .counter_deltas
+        .iter()
+        .find(|(name, _)| name == "serve_requests_total")
+        .map(|(_, delta)| *delta)
+        .expect("serve_requests_total delta");
+    assert!(
+        requests >= first.measured.executed as f64,
+        "server counted {requests} requests for {} executed",
+        first.measured.executed
+    );
+    assert!(
+        first.metrics_json.is_some(),
+        "run should capture the final metrics snapshot"
+    );
 }

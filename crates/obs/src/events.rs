@@ -1,0 +1,117 @@
+//! A bounded journal of structured operational events.
+//!
+//! Metrics answer "how much"; the event journal answers "what
+//! happened, when": replica ejections and recoveries, rolling
+//! publishes, hot model swaps, WAL flushes, shed decisions. Each event
+//! carries a monotonic sequence number (so readers can detect gaps
+//! after eviction), a wall-clock timestamp, a `kind` tag and a
+//! free-form detail string. The ring is bounded; under an event storm
+//! the oldest entries fall off but the sequence numbers keep counting.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// One operational event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Monotonic sequence number (1-based; gaps mean eviction).
+    pub seq: u64,
+    /// Unix milliseconds when recorded.
+    pub unix_ms: u64,
+    /// Event class: `eject`, `recover`, `publish`, `swap`,
+    /// `wal_flush`, `shed`, ...
+    pub kind: String,
+    /// Human-readable detail (addresses, generations, reasons).
+    pub detail: String,
+}
+
+/// A bounded, thread-safe ring of recent [`Event`]s.
+#[derive(Debug)]
+pub struct EventJournal {
+    cap: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<Event>>,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+impl EventJournal {
+    /// A journal retaining at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(cap.max(1))),
+        }
+    }
+
+    /// Records one event, evicting the oldest at capacity.
+    pub fn record(&self, kind: &str, detail: impl Into<String>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let event = Event {
+            seq,
+            unix_ms,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(event);
+    }
+
+    /// The most recent `limit` events, oldest first.
+    pub fn recent(&self, limit: usize) -> Vec<Event> {
+        let ring = self.ring.lock().unwrap();
+        ring.iter()
+            .skip(ring.len().saturating_sub(limit))
+            .cloned()
+            .collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_sequence_and_survive_eviction_counting() {
+        let j = EventJournal::new(3);
+        for i in 0..5 {
+            j.record("eject", format!("replica {i}"));
+        }
+        let recent = j.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 3);
+        assert_eq!(recent[2].seq, 5);
+        assert_eq!(recent[2].kind, "eject");
+        assert_eq!(recent[2].detail, "replica 4");
+        assert_eq!(j.total(), 5);
+    }
+
+    #[test]
+    fn recent_limits_from_the_tail() {
+        let j = EventJournal::new(8);
+        j.record("publish", "gen 1");
+        j.record("swap", "gen 2");
+        let tail = j.recent(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].kind, "swap");
+    }
+}

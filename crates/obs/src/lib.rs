@@ -1,0 +1,40 @@
+//! # smgcn-obs — fleet-wide observability primitives
+//!
+//! The serving stack spans ingest→delta→finetune→freeze→publish→route→
+//! serve; when an SLO trips the question is always *where inside that
+//! pipeline* the time or the errors went. This crate is the shared,
+//! std-only telemetry layer every other crate threads through:
+//!
+//! - [`registry`] — a process-component-scoped [`Registry`] of lock-free
+//!   counters, gauges and log-bucketed histograms (optionally labeled),
+//!   snapshotable to structured samples, JSON, and Prometheus text
+//!   exposition;
+//! - [`histogram`] — the decaying latency histogram (migrated from
+//!   `smgcn-serve`), now also exposing *undecayed since-start* totals so
+//!   bench runs can compare percentiles without the decay window
+//!   rewriting history;
+//! - [`trace`] — per-request span records ([`TraceBuilder`]), trace-id
+//!   minting, deterministic [`Sampler`], and a bounded in-memory
+//!   [`TraceJournal`] ring;
+//! - [`events`] — a bounded [`EventJournal`] of structured timestamped
+//!   operational events (ejections, recoveries, publishes, hot swaps,
+//!   WAL flushes, shed decisions).
+//!
+//! Everything here is deliberately dependency-free and sits at the
+//! bottom of the workspace graph: `serve`, `cluster`, `online` and the
+//! CLI all depend on `obs`, never the reverse. The registry holds its
+//! handles behind `Arc`s, so the record path (`Counter::inc`,
+//! `LatencyHistogram::record`) never takes a lock — only snapshotting
+//! walks the registration map.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use events::{Event, EventJournal};
+pub use histogram::{LatencyHistogram, LatencySnapshot, DECAY_INTERVAL};
+pub use registry::{Counter, Gauge, HistogramStats, Registry, Sample, SampleValue};
+pub use trace::{mint_trace_id, Sampler, SpanRecord, TraceBuilder, TraceJournal, TraceRecord};

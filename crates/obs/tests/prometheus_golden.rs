@@ -1,0 +1,87 @@
+//! Golden-file test for the Prometheus text exposition.
+//!
+//! The rendered output must match `tests/golden/metrics.prom` byte for
+//! byte, and every sample line must parse under the exposition-format
+//! grammar (`name[{labels}] value`), so a scraper pointed at the
+//! `{"op":"metrics","format":"prometheus"}` verb gets well-formed text.
+
+use smgcn_obs::Registry;
+
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("serve_requests_total").add(42);
+    r.counter_labeled("serve_errors_total", &[("code", "bad_k")])
+        .add(2);
+    r.counter_labeled("serve_errors_total", &[("code", "queue_full")])
+        .inc();
+    r.gauge("serve_generation").set(7);
+    let h = r.histogram("serve_latency_us");
+    h.record(100);
+    h.record(100);
+    h.record(100);
+    h.record(1000);
+    r
+}
+
+#[test]
+fn prometheus_text_matches_golden_file() {
+    let rendered = golden_registry().to_prometheus();
+    let golden = include_str!("golden/metrics.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from golden file"
+    );
+}
+
+/// Minimal exposition-format check: every non-comment line is
+/// `<name>[{k="v",...}] <float>` with a bare-identifier metric name.
+#[test]
+fn prometheus_text_parses() {
+    let text = golden_registry().to_prometheus();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            let mut parts = line.split_whitespace();
+            assert_eq!(parts.next(), Some("#"));
+            assert_eq!(parts.next(), Some("TYPE"));
+            assert!(parts.next().is_some(), "TYPE line missing name: {line}");
+            assert!(
+                matches!(parts.next(), Some("counter" | "gauge" | "summary")),
+                "unknown TYPE in {line}"
+            );
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line has no value: {line}");
+        });
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad value {value:?} in {line}: {e}"));
+        let name = key.split('{').next().unwrap();
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name {name:?} in {line}"
+        );
+        if let Some(rest) = key.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "bad labels: {line}"
+                );
+                for pair in rest[1..rest.len() - 1].split(',') {
+                    let (k, v) = pair.split_once('=').expect("label without '='");
+                    assert!(!k.is_empty());
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"'),
+                        "unquoted label: {line}"
+                    );
+                }
+            }
+        }
+        samples += 1;
+    }
+    assert!(samples >= 8, "expected at least 8 samples, saw {samples}");
+}

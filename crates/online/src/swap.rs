@@ -27,6 +27,7 @@ use std::time::Instant;
 use smgcn_core::{ModelConfig, Recommender, TrainConfig};
 use smgcn_data::Corpus;
 use smgcn_graph::SynergyThresholds;
+use smgcn_obs::{Counter, EventJournal, Gauge, LatencyHistogram, Registry};
 use smgcn_serve::{FrozenModel, ModelSlot, ServingVocab};
 
 use crate::delta::IncrementalGraphs;
@@ -101,6 +102,24 @@ impl From<IngestError> for RefreshError {
     }
 }
 
+/// Metric/event handles of an observed pipeline (see
+/// [`OnlinePipeline::observe`]).
+struct OnlineObs {
+    events: Arc<EventJournal>,
+    refreshes: Counter,
+    ingested: Counter,
+    wal_truncations: Counter,
+    generation: Gauge,
+    delta_us: Arc<LatencyHistogram>,
+    finetune_us: Arc<LatencyHistogram>,
+    freeze_us: Arc<LatencyHistogram>,
+    publish_us: Arc<LatencyHistogram>,
+    epoch_prep_us: Arc<LatencyHistogram>,
+    epoch_forward_us: Arc<LatencyHistogram>,
+    epoch_backward_us: Arc<LatencyHistogram>,
+    epoch_step_us: Arc<LatencyHistogram>,
+}
+
 /// The closed data→graph→model→serve loop.
 pub struct OnlinePipeline {
     ingestor: Ingestor,
@@ -108,6 +127,7 @@ pub struct OnlinePipeline {
     model: Recommender,
     config: OnlineConfig,
     slot: Arc<ModelSlot>,
+    obs: Option<OnlineObs>,
 }
 
 impl OnlinePipeline {
@@ -159,7 +179,35 @@ impl OnlinePipeline {
             model: trained,
             config,
             slot,
+            obs: None,
         }
+    }
+
+    /// Attaches observability: refresh stage durations, per-epoch
+    /// fine-tune phase timings, ingest/refresh counters and the live
+    /// generation gauge land in `registry` (all under `online_*`), and
+    /// refresh/swap/WAL events in `events`. Share the registry and
+    /// journal with a co-located `Server` (its `registry()`/`events()`
+    /// accessors) and a single `{"op":"metrics"}` snapshot covers both
+    /// serving and the online loop.
+    pub fn observe(&mut self, registry: &Registry, events: Arc<EventJournal>) {
+        let obs = OnlineObs {
+            refreshes: registry.counter("online_refreshes_total"),
+            ingested: registry.counter("online_ingested_total"),
+            wal_truncations: registry.counter("online_wal_truncations_total"),
+            generation: registry.gauge("online_generation"),
+            delta_us: registry.histogram("online_delta_us"),
+            finetune_us: registry.histogram("online_finetune_us"),
+            freeze_us: registry.histogram("online_freeze_us"),
+            publish_us: registry.histogram("online_publish_us"),
+            epoch_prep_us: registry.histogram("online_epoch_prep_us"),
+            epoch_forward_us: registry.histogram("online_epoch_forward_us"),
+            epoch_backward_us: registry.histogram("online_epoch_backward_us"),
+            epoch_step_us: registry.histogram("online_epoch_step_us"),
+            events,
+        };
+        obs.generation.set(self.slot.generation());
+        self.obs = Some(obs);
     }
 
     /// The slot to hand to `Server::bind_slot` — generations published by
@@ -201,7 +249,9 @@ impl OnlinePipeline {
         herbs: &[impl AsRef<str>],
         allow_new: bool,
     ) -> Result<IngestOutcome, IngestError> {
-        self.ingestor.append_named(symptoms, herbs, allow_new)
+        let outcome = self.ingestor.append_named(symptoms, herbs, allow_new);
+        self.note_ingest(&outcome);
+        outcome
     }
 
     /// Appends one prescription by ids.
@@ -210,7 +260,15 @@ impl OnlinePipeline {
         symptoms: Vec<u32>,
         herbs: Vec<u32>,
     ) -> Result<IngestOutcome, IngestError> {
-        self.ingestor.append_ids(symptoms, herbs)
+        let outcome = self.ingestor.append_ids(symptoms, herbs);
+        self.note_ingest(&outcome);
+        outcome
+    }
+
+    fn note_ingest(&self, outcome: &Result<IngestOutcome, IngestError>) {
+        if let (Some(obs), Ok(IngestOutcome::Accepted)) = (&self.obs, outcome) {
+            obs.ingested.inc();
+        }
     }
 
     /// Truncates the ingest WAL. Call **after** the refreshed corpus and
@@ -218,7 +276,13 @@ impl OnlinePipeline {
     /// not truncate: if persisting the outputs fails, the log must still
     /// cover the acknowledged records).
     pub fn truncate_wal(&mut self) -> Result<(), IngestError> {
-        self.ingestor.truncate_wal()
+        self.ingestor.truncate_wal()?;
+        if let Some(obs) = &self.obs {
+            obs.wal_truncations.inc();
+            obs.events
+                .record("wal_truncate", "ingest WAL truncated after durable persist");
+        }
+        Ok(())
     }
 
     /// Folds the pending batch into graphs and model and publishes a new
@@ -256,6 +320,23 @@ impl OnlinePipeline {
         let delta_ms = t_delta.elapsed().as_secs_f64() * 1e3;
 
         let t_ft = Instant::now();
+        // Route per-epoch fine-tune phase timings into the registry for
+        // the duration of this refresh (the trainer hook is zero-cost
+        // when no pipeline is observed).
+        if let Some(obs) = &self.obs {
+            let (prep, fwd, bwd, step) = (
+                Arc::clone(&obs.epoch_prep_us),
+                Arc::clone(&obs.epoch_forward_us),
+                Arc::clone(&obs.epoch_backward_us),
+                Arc::clone(&obs.epoch_step_us),
+            );
+            smgcn_core::set_epoch_observer(Some(Arc::new(move |p: &smgcn_core::EpochPhases| {
+                prep.record(p.prep_us);
+                fwd.record(p.forward_us);
+                bwd.record(p.backward_us);
+                step.record(p.step_us);
+            })));
+        }
         let mut resumed = match Recommender::warm_start_smgcn(
             ops,
             &self.config.model,
@@ -264,6 +345,11 @@ impl OnlinePipeline {
         ) {
             Ok(model) => model,
             Err(e) => {
+                if let Some(obs) = &self.obs {
+                    smgcn_core::set_epoch_observer(None);
+                    obs.events
+                        .record("refresh_failed", format!("warm start: {e}"));
+                }
                 // Roll back so the batch is not stranded: the pending
                 // records go back on the queue and the graph statistics
                 // are rebuilt without them (a retry would otherwise
@@ -290,6 +376,9 @@ impl OnlinePipeline {
             &self.config.train,
             &self.config.finetune,
         );
+        if self.obs.is_some() {
+            smgcn_core::set_epoch_observer(None);
+        }
         let finetune_ms = t_ft.elapsed().as_secs_f64() * 1e3;
 
         let t_freeze = Instant::now();
@@ -304,6 +393,24 @@ impl OnlinePipeline {
         let publish_ms = t_publish.elapsed().as_secs_f64() * 1e3;
 
         self.model = resumed;
+        if let Some(obs) = &self.obs {
+            obs.refreshes.inc();
+            obs.generation.set(generation);
+            obs.delta_us.record((delta_ms * 1e3) as u64);
+            obs.finetune_us.record((finetune_ms * 1e3) as u64);
+            obs.freeze_us.record((freeze_ms * 1e3) as u64);
+            obs.publish_us.record((publish_ms * 1e3) as u64);
+            obs.events.record(
+                "refresh",
+                format!(
+                    "generation {generation}: {} records folded in, {} epochs",
+                    batch.len(),
+                    report.epochs_run
+                ),
+            );
+            obs.events
+                .record("swap", format!("generation {generation} live in slot"));
+        }
         Ok(RefreshReport {
             appended: batch.len(),
             generation,
@@ -479,6 +586,62 @@ mod tests {
         let second = p.refresh().unwrap();
         assert_eq!(second.generation, 2);
         assert_eq!(slot.generation(), 2);
+    }
+
+    #[test]
+    fn observed_refresh_lands_metrics_and_events() {
+        let registry = Registry::new();
+        let events = Arc::new(EventJournal::new(64));
+        let mut p = pipeline();
+        p.observe(&registry, Arc::clone(&events));
+
+        p.ingest_ids(vec![0, 1], vec![0, 1]).unwrap();
+        p.ingest_named(&["daohan (night sweat)"], &["observed-herb"], true)
+            .unwrap();
+        // A duplicate is not "ingested".
+        p.ingest_ids(vec![0, 1], vec![0, 1]).unwrap();
+        p.refresh().unwrap();
+
+        assert_eq!(registry.counter("online_refreshes_total").get(), 1);
+        assert_eq!(registry.counter("online_ingested_total").get(), 2);
+        assert_eq!(registry.gauge("online_generation").get(), 1);
+        for stage in [
+            "online_delta_us",
+            "online_finetune_us",
+            "online_freeze_us",
+            "online_publish_us",
+        ] {
+            assert_eq!(
+                registry.histogram(stage).snapshot().count,
+                1,
+                "{stage} must record once per refresh"
+            );
+        }
+        // The fine-tune ran 2 epochs, each reporting its phase split.
+        assert_eq!(
+            registry
+                .histogram("online_epoch_forward_us")
+                .snapshot()
+                .count,
+            2
+        );
+        let kinds: Vec<String> = events.recent(16).iter().map(|e| e.kind.clone()).collect();
+        assert!(kinds.contains(&"refresh".to_string()), "{kinds:?}");
+        assert!(kinds.contains(&"swap".to_string()), "{kinds:?}");
+
+        // An unobserved pipeline must leave the trainer hook uninstalled
+        // afterwards (zero-cost path for everyone else).
+        let mut quiet = pipeline();
+        quiet.ingest_ids(vec![2, 3], vec![1]).unwrap();
+        quiet.refresh().unwrap();
+        assert_eq!(
+            registry
+                .histogram("online_epoch_forward_us")
+                .snapshot()
+                .count,
+            2,
+            "the observer must not leak into unobserved refreshes"
+        );
     }
 
     #[test]

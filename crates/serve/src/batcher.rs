@@ -24,7 +24,7 @@
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::frozen::{FrozenError, FrozenModel};
 use crate::server::ServingVocab;
@@ -59,6 +59,26 @@ impl Default for BatcherConfig {
 /// A ranking plus the generation whose weights produced it.
 type TaggedRanking = (Vec<u32>, Arc<Generation>);
 
+/// A ranking, its generation, and where the time went.
+type TimedRanking = (Vec<u32>, Arc<Generation>, ScoreTimings);
+
+/// Stage durations of one job's trip through the scoring thread, the
+/// raw material for `queue`/`batch`/`gemm`/`topk` trace spans and the
+/// per-stage serving histograms.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScoreTimings {
+    /// Submission to drain: queue wait including the linger window.
+    pub queue_us: u64,
+    /// Drain to GEMM start: grouping and per-job validation.
+    pub batch_us: u64,
+    /// The batched scoring matrix multiply.
+    pub gemm_us: u64,
+    /// This job's partial top-k selection.
+    pub topk_us: u64,
+    /// Jobs scored in the same GEMM (this job included).
+    pub batch_size: usize,
+}
+
 struct Job {
     set: Vec<u32>,
     k: usize,
@@ -67,7 +87,8 @@ struct Job {
     /// tag and rendered names all come from one generation even when a
     /// publish lands while the job is queued.
     generation: Arc<Generation>,
-    reply: mpsc::Sender<Result<TaggedRanking, FrozenError>>,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<TimedRanking, FrozenError>>,
 }
 
 struct Shared {
@@ -150,6 +171,19 @@ impl Batcher {
         k: usize,
         generation: Arc<Generation>,
     ) -> Result<TaggedRanking, FrozenError> {
+        self.recommend_pinned_timed(set, k, generation)
+            .map(|(ranking, generation, _)| (ranking, generation))
+    }
+
+    /// Like [`Batcher::recommend_pinned`], also returning where the
+    /// job's time went ([`ScoreTimings`]) for trace spans and per-stage
+    /// histograms.
+    pub fn recommend_pinned_timed(
+        &self,
+        set: &[u32],
+        k: usize,
+        generation: Arc<Generation>,
+    ) -> Result<TimedRanking, FrozenError> {
         let (reply, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("batcher lock");
@@ -166,6 +200,7 @@ impl Batcher {
                 set: set.to_vec(),
                 k,
                 generation,
+                submitted: Instant::now(),
                 reply,
             });
         }
@@ -218,6 +253,7 @@ fn scoring_loop(shared: Arc<Shared>, config: BatcherConfig) {
             let take = q.jobs.len().min(config.max_batch);
             q.jobs.drain(..take).collect()
         };
+        let drained_at = Instant::now();
         // Score per pinned generation: in steady state every drained job
         // shares the current one (a single GEMM); a drain straddling a
         // publish splits into one sub-batch per generation, so no GEMM
@@ -233,12 +269,12 @@ fn scoring_loop(shared: Arc<Shared>, config: BatcherConfig) {
             }
         }
         for (generation, group) in groups {
-            score_and_reply(&generation, group);
+            score_and_reply(&generation, group, drained_at);
         }
     }
 }
 
-fn score_and_reply(generation: &Arc<Generation>, batch: Vec<Job>) {
+fn score_and_reply(generation: &Arc<Generation>, batch: Vec<Job>, drained_at: Instant) {
     let model = &*generation.model;
     // Invalid sets (empty / out-of-range ids) would poison the whole
     // GEMM, so answer those individually and batch the rest.
@@ -255,11 +291,25 @@ fn score_and_reply(generation: &Arc<Generation>, batch: Vec<Job>) {
         return;
     }
     let sets: Vec<&[u32]> = valid.iter().map(|j| j.set.as_slice()).collect();
+    let gemm_start = Instant::now();
+    let batch_us = gemm_start.duration_since(drained_at).as_micros() as u64;
     match model.score_batch(&sets) {
         Ok(scores) => {
+            let gemm_us = gemm_start.elapsed().as_micros() as u64;
+            let batch_size = valid.len();
             for (row, job) in valid.iter().enumerate() {
+                let topk_start = Instant::now();
                 let ranking = crate::topk::partial_top_k(scores.row(row), job.k);
-                let _ = job.reply.send(Ok((ranking, Arc::clone(generation))));
+                let timings = ScoreTimings {
+                    queue_us: drained_at.duration_since(job.submitted).as_micros() as u64,
+                    batch_us,
+                    gemm_us,
+                    topk_us: topk_start.elapsed().as_micros() as u64,
+                    batch_size,
+                };
+                let _ = job
+                    .reply
+                    .send(Ok((ranking, Arc::clone(generation), timings)));
             }
         }
         Err(e) => {

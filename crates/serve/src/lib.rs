@@ -23,7 +23,8 @@
 //!   blob, base64 codec) shipped by cluster rolling publishes and
 //!   accepted by the `{"op":"publish"}` admin verb;
 //! - [`histogram`] — lock-free per-request latency percentiles for
-//!   `{"op":"stats"}` (what lets a router eject *slow* replicas);
+//!   `{"op":"stats"}` (what lets a router eject *slow* replicas); the
+//!   type itself now lives in `smgcn-obs` and is re-exported here;
 //! - [`json`] — the minimal JSON reader/writer behind the wire protocol;
 //! - [`server`] — a multi-threaded `std::net` TCP loop speaking
 //!   newline-delimited JSON (`smgcn serve`).
@@ -34,13 +35,18 @@ pub mod artifact;
 pub mod batcher;
 pub mod cache;
 pub mod frozen;
-pub mod histogram;
+/// The decaying latency histogram, migrated to [`smgcn_obs`] so every
+/// layer shares one implementation; re-exported under its historical
+/// path for existing callers.
+pub mod histogram {
+    pub use smgcn_obs::histogram::*;
+}
 pub mod json;
 pub mod server;
 pub mod slot;
 pub mod topk;
 
-pub use batcher::{Batcher, BatcherConfig};
+pub use batcher::{Batcher, BatcherConfig, ScoreTimings};
 pub use cache::{GenCacheStats, GenerationalCache, LruCache};
 pub use frozen::{FrozenError, FrozenModel};
 pub use histogram::{LatencyHistogram, LatencySnapshot};

@@ -27,14 +27,18 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use crate::batcher::{Batcher, BatcherConfig};
+use smgcn_obs::{
+    mint_trace_id, Counter, EventJournal, LatencyHistogram, Registry, Sample, SampleValue, Sampler,
+    SpanRecord, TraceBuilder, TraceJournal, TraceRecord,
+};
+
+use crate::batcher::{Batcher, BatcherConfig, ScoreTimings};
 use crate::cache::{GenerationalCache, QueryKey};
 use crate::frozen::{FrozenError, FrozenModel};
-use crate::histogram::LatencyHistogram;
 use crate::json::{self, Json};
 use crate::slot::{Generation, ModelSlot};
 
@@ -108,6 +112,11 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Micro-batching configuration.
     pub batcher: BatcherConfig,
+    /// Background trace sampling: record a full span trace for one
+    /// request in every `trace_sample_every` into the in-memory trace
+    /// journal even when the client did not send `"trace": true`
+    /// (0 disables sampling; responses are never affected).
+    pub trace_sample_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -118,6 +127,7 @@ impl Default for ServerConfig {
             max_k: 100,
             cache_capacity: 4096,
             batcher: BatcherConfig::default(),
+            trace_sample_every: 0,
         }
     }
 }
@@ -163,32 +173,92 @@ impl ApiError {
     }
 }
 
+/// The serving side of the telemetry plane: the registry plus
+/// pre-registered hot-path handles, the event journal, and the trace
+/// journal with its background sampler.
+struct ServeObs {
+    registry: Arc<Registry>,
+    events: Arc<EventJournal>,
+    traces: Arc<TraceJournal>,
+    sampler: Sampler,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    publishes: Counter,
+    traced: Counter,
+    batch_size: Arc<LatencyHistogram>,
+    queue_wait_us: Arc<LatencyHistogram>,
+    gemm_us: Arc<LatencyHistogram>,
+    topk_us: Arc<LatencyHistogram>,
+}
+
+impl ServeObs {
+    fn new(config: &ServerConfig) -> (Self, Counter, Counter, Counter, Arc<LatencyHistogram>) {
+        let registry = Arc::new(Registry::new());
+        let requests = registry.counter("serve_requests_total");
+        let sheds = registry.counter("serve_sheds_total");
+        let queue_rejections = registry.counter("serve_queue_rejections_total");
+        let latency = registry.histogram("serve_latency_us");
+        // Register the gauges eagerly so fleet snapshots always carry
+        // the full name set, even before the first request.
+        registry.gauge("serve_generation");
+        registry.gauge("serve_cache_stale");
+        let obs = Self {
+            cache_hits: registry.counter("serve_cache_hits_total"),
+            cache_misses: registry.counter("serve_cache_misses_total"),
+            publishes: registry.counter("serve_publishes_total"),
+            traced: registry.counter("serve_traced_total"),
+            batch_size: registry.histogram("serve_batch_size"),
+            queue_wait_us: registry.histogram("serve_batch_queue_wait_us"),
+            gemm_us: registry.histogram("serve_gemm_us"),
+            topk_us: registry.histogram("serve_topk_us"),
+            events: Arc::new(EventJournal::new(256)),
+            traces: Arc::new(TraceJournal::new(256)),
+            sampler: Sampler::new(config.trace_sample_every),
+            registry,
+        };
+        (obs, requests, sheds, queue_rejections, latency)
+    }
+}
+
+/// In-flight trace state for one request: the span builder anchored at
+/// line arrival, whether the client asked for the trace back, and the
+/// client-supplied id (minted later when absent).
+struct TraceWork {
+    builder: TraceBuilder,
+    requested: bool,
+    trace_id: Option<String>,
+}
+
 struct Engine {
     slot: Arc<ModelSlot>,
     batcher: Batcher,
     cache: Option<Mutex<GenerationalCache<QueryKey, Vec<u32>>>>,
     config: ServerConfig,
     started: Instant,
-    requests: AtomicU64,
+    requests: Counter,
     /// Connections refused at the accept loop (`overloaded`).
-    sheds: AtomicU64,
+    sheds: Counter,
     /// Requests shed by the bounded scoring queue (`queue_full`).
-    queue_rejections: AtomicU64,
+    queue_rejections: Counter,
     /// Per-request wall time, request line in to response object out.
-    latency: LatencyHistogram,
+    latency: Arc<LatencyHistogram>,
+    obs: ServeObs,
 }
 
 impl Engine {
     /// Answers one canonical query, consulting the cache first. Returns
-    /// `(ranking, generation that produced it, was_cache_hit)` — the
-    /// single-generation invariant: ranking, reported generation and (in
-    /// the caller) herb names all come from the same [`Generation`].
+    /// `(ranking, generation that produced it, was_cache_hit, timings)`
+    /// — the single-generation invariant: ranking, reported generation
+    /// and (in the caller) herb names all come from the same
+    /// [`Generation`]. Timings carry the cache-lookup duration plus, on
+    /// a miss, the batcher stage breakdown.
     fn rank(
         &self,
         pinned: &Arc<Generation>,
         key: QueryKey,
-    ) -> Result<(Vec<u32>, Arc<Generation>, bool), ApiError> {
+    ) -> Result<(Vec<u32>, Arc<Generation>, bool, RankTiming), ApiError> {
         let k = key.k;
+        let cache_start = Instant::now();
         if let Some(cache) = &self.cache {
             let hit = cache
                 .lock()
@@ -196,36 +266,53 @@ impl Engine {
                 .get(&key, pinned.number)
                 .cloned();
             if let Some(hit) = hit {
-                return Ok((hit, Arc::clone(pinned), true));
+                self.obs.cache_hits.inc();
+                let timing = RankTiming {
+                    cache_us: cache_start.elapsed().as_micros() as u64,
+                    score: None,
+                };
+                return Ok((hit, Arc::clone(pinned), true, timing));
             }
         }
+        self.obs.cache_misses.inc();
+        let cache_us = cache_start.elapsed().as_micros() as u64;
         // Scoring keeps the request's pin: the batcher scores with
         // exactly this generation's weights (grouping per generation at
         // drain), so ids resolved/validated above can never be scored
         // against a different vocabulary published mid-request.
-        let (ranking, generation) = self
+        let (ranking, generation, timings) = self
             .batcher
-            .recommend_pinned(&key.symptoms, k, Arc::clone(pinned))
+            .recommend_pinned_timed(&key.symptoms, k, Arc::clone(pinned))
             .map_err(|e| match e {
                 FrozenError::Overloaded(m) => {
-                    self.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                    self.queue_rejections.inc();
+                    self.obs.events.record("shed", "scoring queue full");
                     ApiError::retryable("queue_full", m)
                 }
                 other => ApiError::new("scoring_failed", other.to_string()),
             })?;
+        self.obs.queue_wait_us.record(timings.queue_us);
+        self.obs.gemm_us.record(timings.gemm_us);
+        self.obs.topk_us.record(timings.topk_us);
+        self.obs.batch_size.record(timings.batch_size as u64);
         if let Some(cache) = &self.cache {
             cache
                 .lock()
                 .expect("cache lock")
                 .insert(key, generation.number, ranking.clone());
         }
-        Ok((ranking, generation, false))
+        let timing = RankTiming {
+            cache_us,
+            score: Some(timings),
+        };
+        Ok((ranking, generation, false, timing))
     }
 
     fn handle_line(&self, line: &str) -> Json {
         let started = Instant::now();
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        let (response, record) = self.answer_timed(line, started);
+        self.requests.inc();
+        let mut trace: Option<TraceWork> = None;
+        let (mut response, record) = self.answer_timed(line, started, &mut trace);
         // Admin publishes (base64 decode + full model deserialize) are
         // orders of magnitude above any serving op; recording them would
         // spike the p99 the router's slow-replica ejection reads,
@@ -234,13 +321,39 @@ impl Engine {
             self.latency
                 .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         }
+        if let Some(work) = trace {
+            let mut builder = work.builder;
+            // Close the partition: the final span runs to right now, so
+            // the span durations sum to the observed wall time.
+            builder.cover_to_now("respond");
+            let trace_id = work.trace_id.unwrap_or_else(mint_trace_id);
+            let spans = builder.into_spans();
+            let wall_us: u64 = spans.iter().map(|s| s.dur_us).sum();
+            self.obs.traced.inc();
+            self.obs.traces.record(TraceRecord {
+                trace_id: trace_id.clone(),
+                unix_ms: unix_ms_now(),
+                wall_us,
+                spans: spans.clone(),
+            });
+            if work.requested {
+                if let Json::Obj(map) = &mut response {
+                    map.insert("trace".to_string(), trace_json(&trace_id, &spans));
+                }
+            }
+        }
         response
     }
 
     /// Answers one line; the flag is false for operations whose wall
     /// time must not enter the serving-latency histogram.
-    fn answer_timed(&self, line: &str, started: Instant) -> (Json, bool) {
-        match self.answer(line) {
+    fn answer_timed(
+        &self,
+        line: &str,
+        started: Instant,
+        trace: &mut Option<TraceWork>,
+    ) -> (Json, bool) {
+        match self.answer(line, started, trace) {
             Ok(Answer::Ranking {
                 ids,
                 scores,
@@ -270,7 +383,13 @@ impl Engine {
             }
             Ok(Answer::Stats(stats)) => (stats, true),
             Ok(Answer::Publish(ack)) => (ack, false),
-            Err(e) => (e.to_json(), true),
+            Err(e) => {
+                self.obs
+                    .registry
+                    .counter_labeled("serve_errors_total", &[("code", e.code)])
+                    .inc();
+                (e.to_json(), true)
+            }
         }
     }
 
@@ -288,17 +407,11 @@ impl Engine {
                 ]),
             ),
             ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
-            (
-                "requests",
-                Json::Num(self.requests.load(Ordering::Relaxed) as f64),
-            ),
-            (
-                "sheds",
-                Json::Num(self.sheds.load(Ordering::Relaxed) as f64),
-            ),
+            ("requests", Json::Num(self.requests.get() as f64)),
+            ("sheds", Json::Num(self.sheds.get() as f64)),
             (
                 "queue_rejections",
-                Json::Num(self.queue_rejections.load(Ordering::Relaxed) as f64),
+                Json::Num(self.queue_rejections.get() as f64),
             ),
         ];
         let latency = self.latency.snapshot();
@@ -343,6 +456,12 @@ impl Engine {
             .publish_bytes(&bytes)
             .map_err(|e| ApiError::new("bad_artifact", e.to_string()))?;
         let now = self.slot.load();
+        self.obs.publishes.inc();
+        self.obs.registry.gauge("serve_generation").set(generation);
+        self.obs.events.record(
+            "publish",
+            format!("generation {generation} published over the wire"),
+        );
         Ok(json::obj([
             ("published", Json::Bool(true)),
             ("generation", Json::Num(generation as f64)),
@@ -351,13 +470,94 @@ impl Engine {
         ]))
     }
 
+    /// The `{"op":"metrics"}` admin verb: a structured snapshot of every
+    /// registered metric (`"format":"prometheus"` returns the text
+    /// exposition instead). Gauges derived from other subsystems are
+    /// synced here, at read time.
+    fn metrics(&self, req: &Json) -> Json {
+        let generation = self.slot.load();
+        self.obs
+            .registry
+            .gauge("serve_generation")
+            .set(generation.number);
+        if let Some(cache) = &self.cache {
+            let stats = cache.lock().expect("cache lock").stats();
+            self.obs
+                .registry
+                .gauge("serve_cache_stale")
+                .set(stats.stale);
+        }
+        if req.get("format").and_then(Json::as_str) == Some("prometheus") {
+            return json::obj([("prometheus", Json::Str(self.obs.registry.to_prometheus()))]);
+        }
+        json::obj([
+            ("generation", Json::Num(generation.number as f64)),
+            ("metrics", samples_to_json(&self.obs.registry.samples())),
+            (
+                "traces_recorded",
+                Json::Num(self.obs.traces.recorded_total() as f64),
+            ),
+            ("events_total", Json::Num(self.obs.events.total() as f64)),
+        ])
+    }
+
+    /// The `{"op":"events"}` admin verb: the tail of the event journal
+    /// (optional `"limit"`, default 64).
+    fn events_report(&self, req: &Json) -> Json {
+        let limit = match req.get("limit").and_then(Json::as_num) {
+            Some(n) if n >= 1.0 => n as usize,
+            _ => 64,
+        };
+        let events = self
+            .obs
+            .events
+            .recent(limit)
+            .iter()
+            .map(|e| {
+                json::obj([
+                    ("seq", Json::Num(e.seq as f64)),
+                    ("unix_ms", Json::Num(e.unix_ms as f64)),
+                    ("kind", Json::Str(e.kind.clone())),
+                    ("detail", Json::Str(e.detail.clone())),
+                ])
+            })
+            .collect();
+        json::obj([
+            ("events", Json::Arr(events)),
+            ("events_total", Json::Num(self.obs.events.total() as f64)),
+        ])
+    }
+
     /// Parses and answers one request line.
-    fn answer(&self, line: &str) -> Result<Answer, ApiError> {
+    fn answer(
+        &self,
+        line: &str,
+        started: Instant,
+        trace: &mut Option<TraceWork>,
+    ) -> Result<Answer, ApiError> {
         let req = json::parse(line)
             .map_err(|e| ApiError::new("bad_json", format!("bad request JSON: {e}")))?;
+        // Tracing is decided right after parse: explicitly requested
+        // traces come back in the response; sampled ones only land in
+        // the journal, so untraced responses stay byte-identical.
+        let requested = matches!(req.get("trace"), Some(Json::Bool(true)));
+        if requested || self.obs.sampler.fire() {
+            let mut builder = TraceBuilder::new(started);
+            builder.cover_to_now("parse");
+            *trace = Some(TraceWork {
+                builder,
+                requested,
+                trace_id: req
+                    .get("trace_id")
+                    .and_then(Json::as_str)
+                    .map(str::to_string),
+            });
+        }
         match req.get("op").and_then(Json::as_str) {
             None => {}
             Some("stats") => return Ok(Answer::Stats(self.stats())),
+            Some("metrics") => return Ok(Answer::Stats(self.metrics(&req))),
+            Some("events") => return Ok(Answer::Stats(self.events_report(&req))),
             // Both publish outcomes route through Answer::Publish: a
             // *failed* publish can still pay base64 decode + model
             // deserialize before rejecting, and that wall time must stay
@@ -391,7 +591,28 @@ impl Engine {
         let key = QueryKey::new(&ids, k);
         let want_scores = matches!(req.get("scores"), Some(Json::Bool(true)));
         let score_ids = want_scores.then(|| key.symptoms.clone());
-        let (ranking, generation, cached) = self.rank(&pinned, key)?;
+        if let Some(work) = trace.as_mut() {
+            // Name resolution, validation and canonicalisation since the
+            // parse span closed.
+            work.builder.cover_to_now("resolve");
+        }
+        let (ranking, generation, cached, timing) = self.rank(&pinned, key)?;
+        if let Some(work) = trace.as_mut() {
+            let b = &mut work.builder;
+            // Cache outcome is encoded in the span name; on a miss the
+            // batcher's stage timings follow, chained back-to-back so
+            // the partition stays monotonic.
+            b.push(
+                if cached { "cache_hit" } else { "cache_miss" },
+                timing.cache_us,
+            );
+            if let Some(s) = &timing.score {
+                b.push("queue", s.queue_us);
+                b.push("batch", s.batch_us);
+                b.push("gemm", s.gemm_us);
+                b.push("topk", s.topk_us);
+            }
+        }
         let scores = match score_ids {
             Some(ids) => {
                 // Score path bypasses the cache: it is diagnostic traffic.
@@ -446,6 +667,68 @@ impl Engine {
             "request needs \"symptoms\" (names) or \"symptom_ids\"",
         ))
     }
+}
+
+/// Where one ranking's time went: the cache lookup, plus the batcher
+/// stage breakdown when the query was actually scored.
+struct RankTiming {
+    cache_us: u64,
+    score: Option<ScoreTimings>,
+}
+
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Renders a span list as the wire `trace` object.
+fn trace_json(trace_id: &str, spans: &[SpanRecord]) -> Json {
+    json::obj([
+        ("trace_id", Json::Str(trace_id.to_string())),
+        (
+            "spans",
+            Json::Arr(
+                spans
+                    .iter()
+                    .map(|s| {
+                        json::obj([
+                            ("name", Json::Str(s.name.clone())),
+                            ("start_us", Json::Num(s.start_us as f64)),
+                            ("us", Json::Num(s.dur_us as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Converts registry samples to the wire JSON shape: counters and
+/// gauges become numbers, histograms become stat objects. Public so the
+/// cluster router can render its own registry in the same shape.
+pub fn samples_to_json(samples: &[Sample]) -> Json {
+    Json::Obj(
+        samples
+            .iter()
+            .map(|s| {
+                let value = match &s.value {
+                    SampleValue::Counter(v) | SampleValue::Gauge(v) => Json::Num(*v as f64),
+                    SampleValue::Histogram(h) => json::obj([
+                        ("count", Json::Num(h.count as f64)),
+                        ("p50_us", Json::Num(h.p50_us)),
+                        ("p99_us", Json::Num(h.p99_us)),
+                        ("mean_us", Json::Num(h.mean_us)),
+                        ("total_count", Json::Num(h.total_count as f64)),
+                        ("total_p50_us", Json::Num(h.total_p50_us)),
+                        ("total_p99_us", Json::Num(h.total_p99_us)),
+                    ]),
+                };
+                (s.key.clone(), value)
+            })
+            .collect(),
+    )
 }
 
 /// A successful answer: a ranking, a `/stats` report, or a publish
@@ -519,6 +802,7 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let (obs, requests, sheds, queue_rejections, latency) = ServeObs::new(&config);
         let engine = Arc::new(Engine {
             batcher: Batcher::start_slot(Arc::clone(&slot), config.batcher.clone()),
             cache: (config.cache_capacity > 0)
@@ -526,10 +810,11 @@ impl Server {
             slot,
             config,
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            sheds: AtomicU64::new(0),
-            queue_rejections: AtomicU64::new(0),
-            latency: LatencyHistogram::new(),
+            requests,
+            sheds,
+            queue_rejections,
+            latency,
+            obs,
         });
         Ok(Self {
             listener,
@@ -541,6 +826,19 @@ impl Server {
     /// The model slot serving this server (publish to hot-swap).
     pub fn slot(&self) -> Arc<ModelSlot> {
         Arc::clone(&self.engine.slot)
+    }
+
+    /// The metrics registry behind `{"op":"metrics"}`. Co-located
+    /// subsystems (an online pipeline refreshing this server's slot)
+    /// attach here so one snapshot covers the whole replica.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.engine.obs.registry)
+    }
+
+    /// The event journal behind `{"op":"events"}` (shareable like
+    /// [`Server::registry`]).
+    pub fn events(&self) -> Arc<EventJournal> {
+        Arc::clone(&self.engine.obs.events)
     }
 
     /// The bound address (useful with port 0).
@@ -586,7 +884,11 @@ impl Server {
                 // retryable refusal in one write and the accept loop moves
                 // straight on to the next connection — saturation never
                 // stalls accepts (or the cluster router's health probes).
-                self.engine.sheds.fetch_add(1, Ordering::Relaxed);
+                self.engine.sheds.inc();
+                self.engine
+                    .obs
+                    .events
+                    .record("shed", "connection refused at capacity");
                 let refusal =
                     ApiError::retryable("overloaded", "server at connection capacity").to_json();
                 let _ = writeln!(stream, "{refusal}");
@@ -963,6 +1265,199 @@ mod tests {
         assert!(
             latency.get("p99_us").and_then(Json::as_num).unwrap()
                 >= latency.get("p50_us").and_then(Json::as_num).unwrap()
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn traced_request_returns_partitioned_monotonic_spans() {
+        let (addr, stop, handle) = test_server();
+        let resp = roundtrip(
+            addr,
+            r#"{"symptom_ids": [0, 2], "k": 3, "trace": true, "trace_id": "cafe0123"}"#,
+        );
+        assert!(resp.get("error").is_none(), "{resp}");
+        let trace = resp.get("trace").expect("trace section when requested");
+        assert_eq!(
+            trace.get("trace_id").and_then(Json::as_str),
+            Some("cafe0123"),
+            "client-supplied trace_id must be echoed"
+        );
+        let spans = trace.get("spans").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        for expected in [
+            "parse",
+            "resolve",
+            "cache_miss",
+            "queue",
+            "gemm",
+            "topk",
+            "respond",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        let starts: Vec<f64> = spans
+            .iter()
+            .map(|s| s.get("start_us").and_then(Json::as_num).unwrap())
+            .collect();
+        assert!(
+            starts.windows(2).all(|w| w[1] >= w[0]),
+            "span starts must be monotonic: {starts:?}"
+        );
+        let span_sum: f64 = spans
+            .iter()
+            .map(|s| s.get("us").and_then(Json::as_num).unwrap())
+            .sum();
+        let micros = resp.get("micros").and_then(Json::as_num).unwrap();
+        assert!(
+            (span_sum - micros).abs() <= (micros * 0.10).max(200.0),
+            "span durations ({span_sum}) must sum to ~observed wall latency ({micros})"
+        );
+
+        // A cache hit traces too, with the outcome in the span name.
+        let warm = roundtrip(addr, r#"{"symptom_ids": [0, 2], "k": 3, "trace": true}"#);
+        assert_eq!(warm.get("cached"), Some(&Json::Bool(true)));
+        let warm_names: Vec<String> = warm
+            .get("trace")
+            .and_then(|t| t.get("spans"))
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str).map(String::from))
+            .collect();
+        assert!(
+            warm_names.iter().any(|n| n == "cache_hit"),
+            "{warm_names:?}"
+        );
+        // Minted id when the client didn't supply one.
+        assert!(!warm
+            .get("trace")
+            .and_then(|t| t.get("trace_id"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .is_empty());
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn untraced_responses_carry_no_trace_section() {
+        let (addr, stop, handle) = test_server();
+        let resp = roundtrip(addr, r#"{"symptom_ids": [1, 3], "k": 3}"#);
+        assert!(resp.get("trace").is_none(), "{resp}");
+        // A trace_id alone (no "trace": true) does not opt in.
+        let resp = roundtrip(addr, r#"{"symptom_ids": [1, 3], "k": 3, "trace_id": "x"}"#);
+        assert!(resp.get("trace").is_none(), "{resp}");
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_op_snapshots_registry_in_both_formats() {
+        let (addr, stop, handle) = test_server();
+        let _ = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3}"#);
+        let _ = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3}"#);
+        let _ = roundtrip(addr, r#"{"symptoms": ["nope"]}"#);
+        let snap = roundtrip(addr, r#"{"op": "metrics"}"#);
+        assert_eq!(snap.get("generation").and_then(Json::as_num), Some(0.0));
+        let metrics = snap.get("metrics").expect("metrics object");
+        assert!(
+            metrics
+                .get("serve_requests_total")
+                .and_then(Json::as_num)
+                .unwrap()
+                >= 3.0
+        );
+        assert_eq!(
+            metrics.get("serve_cache_hits_total").and_then(Json::as_num),
+            Some(1.0)
+        );
+        assert_eq!(
+            metrics
+                .get("serve_errors_total{code=\"unknown_symptom\"}")
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
+        let latency = metrics.get("serve_latency_us").expect("latency histogram");
+        assert!(latency.get("count").and_then(Json::as_num).unwrap() >= 2.0);
+        assert!(latency.get("total_p99_us").and_then(Json::as_num).unwrap() > 0.0);
+        let gemm = metrics.get("serve_gemm_us").expect("gemm histogram");
+        assert!(gemm.get("count").and_then(Json::as_num).unwrap() >= 1.0);
+
+        let prom = roundtrip(addr, r#"{"op": "metrics", "format": "prometheus"}"#);
+        let text = prom.get("prometheus").and_then(Json::as_str).unwrap();
+        assert!(
+            text.contains("# TYPE serve_requests_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE serve_latency_us summary"), "{text}");
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn events_op_reports_publishes_and_sheds() {
+        let (addr, stop, handle) = test_server();
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r + 2 * c) % 3) as f32 - 1.0);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+        let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let artifact =
+            crate::artifact::to_base64(&crate::artifact::encode(&model, &ServingVocab::default()));
+        let ack = roundtrip(
+            addr,
+            &format!(r#"{{"op":"publish","artifact":"{artifact}"}}"#),
+        );
+        assert_eq!(ack.get("published"), Some(&Json::Bool(true)), "{ack}");
+        let report = roundtrip(addr, r#"{"op": "events"}"#);
+        let events = report.get("events").and_then(Json::as_arr).unwrap();
+        assert!(
+            events.iter().any(|e| {
+                e.get("kind").and_then(Json::as_str) == Some("publish")
+                    && e.get("unix_ms").and_then(Json::as_num).unwrap_or(0.0) > 0.0
+            }),
+            "publish event missing: {report}"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn background_sampling_fills_journal_without_touching_responses() {
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 2 + c * 5) % 6) as f32 - 2.5);
+        let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            model,
+            ServingVocab::default(),
+            ServerConfig {
+                max_connections: 16,
+                trace_sample_every: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        for i in 0..6 {
+            let resp = roundtrip(addr, &format!(r#"{{"symptom_ids": [{}], "k": 2}}"#, i % 5));
+            assert!(
+                resp.get("trace").is_none(),
+                "sampling must not leak: {resp}"
+            );
+        }
+        let snap = roundtrip(addr, r#"{"op": "metrics"}"#);
+        assert!(
+            snap.get("traces_recorded").and_then(Json::as_num).unwrap() >= 3.0,
+            "1-in-2 sampling over 6 requests: {snap}"
         );
         stop.stop();
         handle.join().unwrap();

@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use smgcn_serve::json::{self, Json};
@@ -157,17 +157,29 @@ fn hammer_recommend_across_two_hot_swaps() {
     let server_handle = std::thread::spawn(move || server.run().unwrap());
 
     let total = Arc::new(AtomicU64::new(0));
+    let gen2_live = Arc::new(AtomicBool::new(false));
     let space = query_space();
     let mut clients = Vec::new();
     for t in 0..6u64 {
         let expected = Arc::clone(&expected);
         let total = Arc::clone(&total);
+        let gen2_live = Arc::clone(&gen2_live);
         let space = space.clone();
         clients.push(std::thread::spawn(move || {
             let mut client = Client::connect(addr);
             let mut seen = [0u64; 3];
             let mut last = 0u64;
             for i in 0..400u64 {
+                // Client 0 holds its last ten requests until generation
+                // 2 is published, so the final generation provably
+                // serves live hammer traffic no matter how the
+                // scheduler staggers the other clients against the
+                // publishing thread. Everyone else races freely.
+                if t == 0 && i == 390 {
+                    while !gen2_live.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
                 let set = &space[((t * 131 + i * 7) % space.len() as u64) as usize];
                 let resp = client.recommend(set);
                 let generation = check_response(&resp, set, &expected);
@@ -183,10 +195,11 @@ fn hammer_recommend_across_two_hot_swaps() {
         }));
     }
 
-    // Publish generation 1 and 2 while the clients hammer away, gated on
-    // observed traffic so every generation provably serves requests: at
-    // least 300 land before the first swap and at least 1200 requests
-    // *start* after the second swap (and therefore pin generation 2).
+    // Publish generation 1 and 2 while the clients hammer away, gated
+    // on observed traffic: at least 300 requests land before the first
+    // swap (pinning generation 0), the second swap happens mid-run, and
+    // client 0's held-back tail starts only after generation 2 is live
+    // (and therefore pins it).
     let wait_for = |n: u64| {
         while total.load(Ordering::Relaxed) < n {
             std::thread::yield_now();
@@ -196,6 +209,7 @@ fn hammer_recommend_across_two_hot_swaps() {
     assert_eq!(slot.publish(model_for(1), vocab_for(1)), 1);
     wait_for(1200);
     assert_eq!(slot.publish(model_for(2), vocab_for(2)), 2);
+    gen2_live.store(true, Ordering::Release);
 
     let mut seen = [0u64; 3];
     for c in clients {

@@ -23,6 +23,7 @@
 //!                 --corpus corpus.tsv
 //! smgcn loadgen   <scenario|all> [--seed N] [--measure-ms N] [--workers N]
 //!                 [--k N] [--out FILE] [--out-dir DIR] [--plan true]
+//! smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]
 //! ```
 //!
 //! `ingest` validates prescriptions against the corpus vocabularies
@@ -59,7 +60,15 @@
 //! request schedule against an in-process topology, with per-scenario
 //! SLO assertions (p99 budget, zero error-budget burn, generation
 //! consistency). Exits nonzero on any SLO violation; `--plan true`
-//! prints the byte-reproducible workload plan without running.
+//! prints the byte-reproducible workload plan without running. Each run
+//! also writes the front-end's final `{"op":"metrics"}` snapshot next
+//! to the report (`METRICS_<scenario>.json`).
+//!
+//! `top` is the ops console: it polls `{"op":"metrics"}` on a server or
+//! router every `--interval-ms` and renders a live fleet table — one
+//! row per replica (generation, qps, p99, cache hit rate, sheds) plus
+//! the merged fleet row. `--iterations N` stops after N frames (0, the
+//! default, runs until interrupted).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -82,7 +91,8 @@ fn usage() -> ! {
          smgcn refresh   --corpus FILE --wal FILE --model-file FILE --out FILE [--frozen-out FILE] [--corpus-out FILE] [--epochs N] [--replicas LIST]\n  \
          smgcn route     --replicas HOST:PORT,... [--addr HOST:PORT] [--connections N] [--replica-conns N] [--probe-ms N] [--slow-p99-ms F]\n  \
          smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n  \
-         smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n\
+         smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n  \
+         smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
          scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill\n\
          --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
@@ -789,6 +799,7 @@ fn cmd_loadgen(rest: &[String]) {
                 verdict: smgcn_repro::loadgen::SloVerdict {
                     violations: Vec::new(),
                 },
+                metrics_json: None,
             };
             print!("{}", report.workload_json());
             continue;
@@ -806,7 +817,16 @@ fn cmd_loadgen(rest: &[String]) {
             eprintln!("error: cannot write {path}: {e}");
             exit(1);
         });
-        println!("  wrote {path}\n");
+        println!("  wrote {path}");
+        if let Some(metrics) = &report.metrics_json {
+            let mpath = format!("{out_dir}/METRICS_{}.json", kind.name().replace('-', "_"));
+            std::fs::write(&mpath, format!("{metrics}\n")).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {mpath}: {e}");
+                exit(1);
+            });
+            println!("  wrote {mpath}");
+        }
+        println!();
         if !report.verdict.passed() {
             failed.push(kind.name());
         }
@@ -814,6 +834,129 @@ fn cmd_loadgen(rest: &[String]) {
     if !failed.is_empty() {
         eprintln!("loadgen: SLO violations in: {}", failed.join(", "));
         exit(1);
+    }
+}
+
+/// One row of the `top` table. `prev` holds each row's last-seen
+/// request counter so qps can be derived from frame-to-frame deltas.
+fn top_row(
+    label: &str,
+    metrics: &smgcn_repro::serve::json::Json,
+    generation: Option<&smgcn_repro::serve::json::Json>,
+    prev: &mut HashMap<String, f64>,
+    elapsed_s: f64,
+) {
+    use smgcn_repro::serve::json::Json;
+    let num = |name: &str| metrics.get(name).and_then(Json::as_num).unwrap_or(0.0);
+    let requests = num("serve_requests_total");
+    let qps = match prev.insert(label.to_string(), requests) {
+        Some(last) if elapsed_s > 0.0 => format!("{:.0}", (requests - last).max(0.0) / elapsed_s),
+        _ => "-".to_string(),
+    };
+    let generation = generation
+        .and_then(Json::as_num)
+        .unwrap_or_else(|| num("serve_generation"));
+    let p99_ms = metrics
+        .get("serve_latency_us")
+        .and_then(|h| h.get("p99_us"))
+        .and_then(Json::as_num)
+        .unwrap_or(0.0)
+        / 1e3;
+    let hits = num("serve_cache_hits_total");
+    let lookups = hits + num("serve_cache_misses_total");
+    let cache = if lookups > 0.0 {
+        format!("{:.0}%", 100.0 * hits / lookups)
+    } else {
+        "-".to_string()
+    };
+    let sheds = num("serve_sheds_total") + num("router_sheds_total");
+    println!("{label:<24} {generation:>4.0} {qps:>9} {p99_ms:>9.2} {cache:>7} {sheds:>7.0}");
+}
+
+fn cmd_top(flags: HashMap<String, String>) {
+    use smgcn_repro::serve::json::{self, Json};
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::TcpStream;
+
+    let Some(addr) = flags.get("addr") else {
+        eprintln!("error: top needs --addr");
+        usage();
+    };
+    let interval_ms: u64 = flags
+        .get("interval-ms")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1000);
+    let iterations: u64 = flags
+        .get("iterations")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+
+    let fetch = || -> Option<Json> {
+        let stream = TcpStream::connect(addr.as_str()).ok()?;
+        stream.set_nodelay(true).ok();
+        let mut writer = BufWriter::new(stream.try_clone().ok()?);
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{{\"op\":\"metrics\"}}").ok()?;
+        writer.flush().ok()?;
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        json::parse(line.trim()).ok()
+    };
+
+    let mut prev: HashMap<String, f64> = HashMap::new();
+    let mut frame: u64 = 0;
+    let mut last = std::time::Instant::now();
+    loop {
+        let snapshot = fetch();
+        let now = std::time::Instant::now();
+        let elapsed_s = if frame == 0 {
+            0.0
+        } else {
+            now.duration_since(last).as_secs_f64()
+        };
+        last = now;
+        print!("\x1b[2J\x1b[H");
+        println!("smgcn top — {addr} — every {interval_ms} ms (ctrl-c quits)");
+        println!(
+            "{:<24} {:>4} {:>9} {:>9} {:>7} {:>7}",
+            "REPLICA", "GEN", "QPS", "P99_MS", "CACHE", "SHEDS"
+        );
+        match snapshot {
+            None => println!("  (no response from {addr})"),
+            Some(snap) => {
+                if let Some(Json::Arr(replicas)) = snap.get("replicas") {
+                    for entry in replicas {
+                        let label = entry
+                            .get("addr")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                            .to_string();
+                        match entry.get("metrics") {
+                            Some(metrics) => top_row(
+                                &label,
+                                metrics,
+                                entry.get("generation"),
+                                &mut prev,
+                                elapsed_s,
+                            ),
+                            None => println!("{label:<24} (unreachable)"),
+                        }
+                    }
+                    if let Some(merged) = snap.get("merged") {
+                        top_row("fleet (merged)", merged, None, &mut prev, elapsed_s);
+                    }
+                } else if let Some(metrics) = snap.get("metrics") {
+                    top_row(addr, metrics, snap.get("generation"), &mut prev, elapsed_s);
+                } else {
+                    println!("  (response has no metrics section)");
+                }
+            }
+        }
+        frame += 1;
+        if iterations != 0 && frame >= iterations {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 
@@ -839,6 +982,7 @@ fn main() {
         "refresh" => cmd_refresh(flags),
         "route" => cmd_route(flags),
         "cluster-refresh" => cmd_cluster_refresh(flags),
+        "top" => cmd_top(flags),
         _ => usage(),
     }
 }

@@ -18,6 +18,9 @@
 //! - [`cluster`] — replicated serving: consistent-hash routing over N
 //!   replicas, health probes with backoff ejection, failover and rolling
 //!   model publishes (`smgcn route` / `smgcn cluster-refresh`);
+//! - [`obs`] — the telemetry plane: lock-free metric registry,
+//!   request-trace spans and structured event journals behind the
+//!   `{"op":"metrics"}` / `{"op":"events"}` verbs and `smgcn top`;
 //! - [`loadgen`] — deterministic multi-scenario load & chaos engine
 //!   with per-scenario SLO assertions (`smgcn loadgen`).
 //!
@@ -29,6 +32,7 @@ pub use smgcn_data as data;
 pub use smgcn_eval as eval;
 pub use smgcn_graph as graph;
 pub use smgcn_loadgen as loadgen;
+pub use smgcn_obs as obs;
 pub use smgcn_online as online;
 pub use smgcn_serve as serve;
 pub use smgcn_tensor as tensor;
