@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use smgcn_faults::{sites, FaultAction};
 use smgcn_obs::{Counter, EventJournal};
 use smgcn_serve::json::{self, Json};
 
@@ -49,8 +50,16 @@ pub struct ClusterObs {
 pub struct PoolConfig {
     /// Maximum concurrently-leased connections per replica.
     pub max_conns_per_replica: usize,
-    /// Read timeout while waiting for a replica's response line.
+    /// Read timeout while waiting for a replica's response line on the
+    /// *data path* (forwarded rankings). Deliberately tight: a stuck
+    /// replica must fail fast so the failover walk can move on.
     pub replica_timeout: Duration,
+    /// Read timeout for *admin* round trips (publish, stats/metrics/
+    /// events fetches, health probes). Publishes carry a whole model
+    /// artifact and land mid-swap, so the admin plane gets a larger
+    /// budget than the data path — a slow publish must not be
+    /// misdiagnosed as a dead replica.
+    pub admin_timeout: Duration,
     /// Connect timeout for new replica connections.
     pub connect_timeout: Duration,
     /// First ejection backoff; doubles per consecutive failure.
@@ -67,6 +76,7 @@ impl Default for PoolConfig {
         Self {
             max_conns_per_replica: 8,
             replica_timeout: Duration::from_secs(5),
+            admin_timeout: Duration::from_secs(15),
             connect_timeout: Duration::from_millis(500),
             eject_base: Duration::from_millis(100),
             eject_max: Duration::from_secs(5),
@@ -79,18 +89,45 @@ impl Default for PoolConfig {
 pub struct ReplicaConn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Which fault-injection site this connection's round trips consume
+    /// (`pool.forward.net` for data-path leases, `pool.admin.net` for
+    /// probes/publishes/fleet fetches). Near-zero cost unless a plan is
+    /// installed.
+    fault_site: &'static str,
 }
 
 impl ReplicaConn {
-    /// Opens a connection with the pool's connect/read timeouts.
+    /// Opens a *data-path* connection with the pool's connect timeout
+    /// and the tight `replica_timeout` read budget.
     pub fn connect(addr: SocketAddr, config: &PoolConfig) -> std::io::Result<Self> {
+        Self::open(
+            addr,
+            config,
+            config.replica_timeout,
+            sites::POOL_FORWARD_NET,
+        )
+    }
+
+    /// Opens an *admin* connection (publish, stats/metrics/events
+    /// fetches, health probes) with the larger `admin_timeout` budget.
+    pub fn connect_admin(addr: SocketAddr, config: &PoolConfig) -> std::io::Result<Self> {
+        Self::open(addr, config, config.admin_timeout, sites::POOL_ADMIN_NET)
+    }
+
+    fn open(
+        addr: SocketAddr,
+        config: &PoolConfig,
+        read_timeout: Duration,
+        fault_site: &'static str,
+    ) -> std::io::Result<Self> {
         let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
-        stream.set_read_timeout(Some(config.replica_timeout))?;
-        stream.set_write_timeout(Some(config.replica_timeout))?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        stream.set_write_timeout(Some(read_timeout))?;
         stream.set_nodelay(true)?;
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            fault_site,
         })
     }
 
@@ -98,6 +135,20 @@ impl ReplicaConn {
     /// NDJSON). Any transport error (including timeout or EOF) poisons
     /// the connection — the caller drops it rather than resynchronise.
     pub fn round_trip(&mut self, line: &str) -> std::io::Result<String> {
+        if smgcn_faults::enabled() {
+            match smgcn_faults::at(self.fault_site) {
+                Some(FaultAction::Delay { ms }) => {
+                    std::thread::sleep(Duration::from_millis(u64::from(ms)));
+                }
+                Some(FaultAction::Drop | FaultAction::IoError) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionReset,
+                        format!("injected network fault at {}", self.fault_site),
+                    ));
+                }
+                Some(FaultAction::ShortWrite { .. } | FaultAction::Corrupt { .. }) | None => {}
+            }
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
@@ -348,7 +399,7 @@ impl Replica {
         if !self.available() {
             return None;
         }
-        let mut conn = match ReplicaConn::connect(self.addr, &self.config) {
+        let mut conn = match ReplicaConn::connect_admin(self.addr, &self.config) {
             Ok(conn) => conn,
             Err(_) => {
                 self.note_failure("probe connect failed");
@@ -479,6 +530,7 @@ mod tests {
             max_conns_per_replica: 2,
             connect_timeout: Duration::from_millis(200),
             replica_timeout: Duration::from_millis(500),
+            admin_timeout: Duration::from_millis(1500),
             eject_base: Duration::from_millis(50),
             eject_max: Duration::from_millis(400),
             slow_p99_us: None,

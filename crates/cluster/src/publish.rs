@@ -62,34 +62,55 @@ impl PublishReport {
         self.outcomes.iter().all(|o| o.ok)
     }
 
+    /// The replica that *rejected* the artifact and aborted the rollout,
+    /// when one did. A `Some` here means the artifact itself is bad (the
+    /// named replica verified and refused the bytes); replicas after it
+    /// in rollout order were never contacted and keep the old generation.
+    pub fn rejected_by(&self) -> Option<SocketAddr> {
+        self.outcomes.iter().find(|o| o.rejected).map(|o| o.addr)
+    }
+
+    /// True when the rollout stopped early on a rejection.
+    pub fn aborted(&self) -> bool {
+        self.rejected_by().is_some()
+    }
+
     /// The wire-level report behind the router's publish verb.
     pub fn to_json(&self) -> Json {
-        json::obj([
+        let mut fields = vec![
             ("published", Json::Num(self.published() as f64)),
             ("replicas", Json::Num(self.outcomes.len() as f64)),
             ("all_ok", Json::Bool(self.all_ok())),
-            (
-                "outcomes",
-                Json::Arr(
-                    self.outcomes
-                        .iter()
-                        .map(|o| {
-                            let mut fields = vec![
-                                ("addr", Json::Str(o.addr.to_string())),
-                                ("ok", Json::Bool(o.ok)),
-                            ];
-                            if let Some(g) = o.generation {
-                                fields.push(("generation", Json::Num(g as f64)));
-                            }
-                            if let Some(e) = &o.error {
-                                fields.push(("error", Json::Str(e.clone())));
-                            }
-                            json::obj(fields)
-                        })
-                        .collect(),
-                ),
+            ("aborted", Json::Bool(self.aborted())),
+        ];
+        if let Some(addr) = self.rejected_by() {
+            fields.push(("rejected_by", Json::Str(addr.to_string())));
+        }
+        fields.push((
+            "outcomes",
+            Json::Arr(
+                self.outcomes
+                    .iter()
+                    .map(|o| {
+                        let mut fields = vec![
+                            ("addr", Json::Str(o.addr.to_string())),
+                            ("ok", Json::Bool(o.ok)),
+                        ];
+                        if o.rejected {
+                            fields.push(("rejected", Json::Bool(true)));
+                        }
+                        if let Some(g) = o.generation {
+                            fields.push(("generation", Json::Num(g as f64)));
+                        }
+                        if let Some(e) = &o.error {
+                            fields.push(("error", Json::Str(e.clone())));
+                        }
+                        json::obj(fields)
+                    })
+                    .collect(),
             ),
-        ])
+        ));
+        json::obj(fields)
     }
 }
 
@@ -104,7 +125,7 @@ fn publish_one(addr: SocketAddr, artifact_b64: &str, config: &PoolConfig) -> Pub
         error: Some(error),
         rejected: false,
     };
-    let mut conn = match ReplicaConn::connect(addr, config) {
+    let mut conn = match ReplicaConn::connect_admin(addr, config) {
         Ok(conn) => conn,
         Err(e) => return fail(format!("connect: {e}")),
     };

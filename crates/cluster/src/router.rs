@@ -34,6 +34,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smgcn_obs::{mint_trace_id, Counter, EventJournal, LatencyHistogram, Registry, TraceBuilder};
+use smgcn_serve::errors::codes;
 use smgcn_serve::json::{self, Json};
 use smgcn_serve::server::samples_to_json;
 
@@ -56,6 +57,12 @@ pub struct RouterConfig {
     /// How long a request may wait for an in-flight slot on some replica
     /// before the router gives up and sheds it.
     pub lease_patience: Duration,
+    /// Deadline minted for requests that arrive *without* their own
+    /// `deadline_ms` (None leaves them unbounded, the default). A
+    /// client-supplied budget always wins; either way the router
+    /// decrements the remaining budget per failover hop and forwards it,
+    /// so replicas shed work the client has already given up on.
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for RouterConfig {
@@ -66,6 +73,7 @@ impl Default for RouterConfig {
             pool: PoolConfig::default(),
             probe_interval: Duration::from_millis(200),
             lease_patience: Duration::from_secs(2),
+            default_deadline: None,
         }
     }
 }
@@ -91,6 +99,9 @@ struct RouterEngine {
     sheds: Counter,
     /// Requests that exhausted every replica.
     exhausted: Counter,
+    /// Requests whose `deadline_ms` budget expired inside the router
+    /// (at arrival or mid-failover) — shed without another hop.
+    deadline_sheds: Counter,
     /// Fleet rolling publishes driven through this router.
     publishes: Counter,
     /// Wall time of the forward path (route + replica + relay), µs.
@@ -120,16 +131,29 @@ enum Attempt {
 }
 
 /// Is this replica response a retryable overload signal (the replica
-/// never scored the request, so replaying it elsewhere is safe)?
+/// never scored the request, so replaying it elsewhere is safe)? The
+/// wire-level `retryable` flag is authoritative when present; a
+/// flagless error falls back to the shared pre-scoring-shed
+/// classification in [`smgcn_serve::is_retryable`], so the router and
+/// replicas can never disagree about which codes are safe to replay.
 fn is_retryable_error(response: &str) -> bool {
-    // Cheap pre-filter before parsing: overload errors are rare.
-    if !response.contains("\"retryable\"") {
+    // Cheap pre-filter before parsing: errors of any kind are rare.
+    if !response.contains("\"error\"") {
         return false;
     }
-    json::parse(response)
+    let Some(err) = json::parse(response)
         .ok()
-        .and_then(|r| r.get("error").and_then(|e| e.get("retryable")).cloned())
-        == Some(Json::Bool(true))
+        .and_then(|r| r.get("error").cloned())
+    else {
+        return false;
+    };
+    match err.get("retryable") {
+        Some(flag) => flag == &Json::Bool(true),
+        None => err
+            .get("code")
+            .and_then(Json::as_str)
+            .is_some_and(smgcn_serve::is_retryable),
+    }
 }
 
 impl RouterEngine {
@@ -201,9 +225,36 @@ impl RouterEngine {
         }
     }
 
+    /// The structured non-retryable shed for a request whose
+    /// `deadline_ms` budget ran out inside the router. Non-retryable on
+    /// purpose: the client has stopped waiting, so another attempt
+    /// anywhere only burns fleet capacity.
+    fn deadline_shed(&self, detail: &str) -> String {
+        self.deadline_sheds.inc();
+        self.events.record("deadline_shed", detail.to_string());
+        json::obj([(
+            "error",
+            json::obj([
+                ("code", Json::Str(codes::DEADLINE_EXCEEDED.into())),
+                (
+                    "message",
+                    Json::Str(format!("deadline_ms budget exhausted: {detail}")),
+                ),
+                ("retryable", Json::Bool(false)),
+            ]),
+        )])
+        .to_string()
+    }
+
     /// Forwards one request line, walking the candidate list with
     /// failover. Returns the replica's raw response line.
-    fn forward(&self, key: u64, line: &str) -> String {
+    ///
+    /// When the request carries a deadline, every hop forwards the
+    /// *remaining* budget (the line is re-serialized with a decremented
+    /// `deadline_ms`), and the walk stops — with a non-retryable
+    /// `deadline_exceeded` — the moment the budget runs out, instead of
+    /// burning more hops on an answer nobody is waiting for.
+    fn forward(&self, key: u64, line: &str, req: &Json, req_deadline: Option<Instant>) -> String {
         let candidates = self.ring.candidates(key);
         let deadline = Instant::now() + self.config.lease_patience;
         let mut hops = 0u64;
@@ -212,7 +263,27 @@ impl RouterEngine {
             let mut sheds_this_pass = 0usize;
             let mut at_capacity_this_pass = 0usize;
             for &id in &candidates {
-                match self.attempt(self.pool.replica(id), line) {
+                // Re-anchor the forwarded budget before every hop so the
+                // replica's batcher sees what is *left*, not what the
+                // client originally granted.
+                let hop_line = match req_deadline {
+                    None => None,
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return self.deadline_shed("expired during the failover walk");
+                        }
+                        let remaining = d.duration_since(now).as_millis().max(1) as f64;
+                        let mut fields = match req {
+                            Json::Obj(map) => map.clone(),
+                            _ => Default::default(),
+                        };
+                        fields.insert("deadline_ms".to_string(), Json::Num(remaining));
+                        Some(Json::Obj(fields).to_string())
+                    }
+                };
+                let hop_line = hop_line.as_deref().unwrap_or(line);
+                match self.attempt(self.pool.replica(id), hop_line) {
                     Attempt::Served(response) => {
                         self.forwarded.inc();
                         if hops > 0 {
@@ -250,7 +321,7 @@ impl RouterEngine {
                 return json::obj([(
                     "error",
                     json::obj([
-                        ("code", Json::Str("overloaded".into())),
+                        ("code", Json::Str(codes::OVERLOADED.into())),
                         (
                             "message",
                             Json::Str("every replica shed the request (fleet saturated)".into()),
@@ -269,7 +340,7 @@ impl RouterEngine {
                 return json::obj([(
                     "error",
                     json::obj([
-                        ("code", Json::Str("no_replicas".into())),
+                        ("code", Json::Str(codes::NO_REPLICAS.into())),
                         (
                             "message",
                             Json::Str("no replica available (all ejected or saturated)".into()),
@@ -278,6 +349,14 @@ impl RouterEngine {
                     ]),
                 )])
                 .to_string();
+            }
+            // A request whose own budget dies before the next pass is
+            // shed now — waiting for a lease slot on its behalf would
+            // just deliver an answer after the client hung up.
+            if let Some(d) = req_deadline {
+                if Instant::now() + pause >= d {
+                    return self.deadline_shed("expired waiting for a replica slot");
+                }
             }
             // Candidates were ejected or at their in-flight caps: wait
             // for a slot or a backoff expiry, backing the poll off
@@ -291,8 +370,8 @@ impl RouterEngine {
     /// Deliberately does *not* touch the replica's health record — an
     /// admin snapshot must observe the fleet, not steer ejection.
     fn fetch_direct(&self, addr: SocketAddr, request: &str) -> Result<Json, String> {
-        let mut conn =
-            ReplicaConn::connect(addr, &self.config.pool).map_err(|e| format!("connect: {e}"))?;
+        let mut conn = ReplicaConn::connect_admin(addr, &self.config.pool)
+            .map_err(|e| format!("connect: {e}"))?;
         let raw = conn
             .round_trip(request)
             .map_err(|e| format!("round trip: {e}"))?;
@@ -304,7 +383,7 @@ impl RouterEngine {
     /// and why, instead of a silently smaller aggregate.
     fn partial_marker(message: String) -> Json {
         json::obj([
-            ("code", Json::Str("partial".into())),
+            ("code", Json::Str(codes::PARTIAL.into())),
             ("message", Json::Str(message)),
         ])
     }
@@ -368,6 +447,10 @@ impl RouterEngine {
             ("failovers", Json::Num(self.failovers.get() as f64)),
             ("sheds", Json::Num(self.sheds.get() as f64)),
             ("exhausted", Json::Num(self.exhausted.get() as f64)),
+            (
+                "deadline_sheds",
+                Json::Num(self.deadline_sheds.get() as f64),
+            ),
             ("partial", Json::Bool(partial)),
             ("replicas", Json::Arr(replicas)),
         ])
@@ -497,13 +580,14 @@ impl RouterEngine {
     /// One client request line in, one response line out.
     fn handle_line(&self, line: &str) -> String {
         self.requests.inc();
+        let arrived = Instant::now();
         let req = match json::parse(line) {
             Ok(req) => req,
             Err(e) => {
                 return json::obj([(
                     "error",
                     json::obj([
-                        ("code", Json::Str("bad_json".into())),
+                        ("code", Json::Str(codes::BAD_JSON.into())),
                         ("message", Json::Str(format!("bad request JSON: {e}"))),
                     ]),
                 )])
@@ -519,7 +603,7 @@ impl RouterEngine {
                     return json::obj([(
                         "error",
                         json::obj([
-                            ("code", Json::Str("bad_request".into())),
+                            ("code", Json::Str(codes::BAD_REQUEST.into())),
                             (
                                 "message",
                                 Json::Str("publish needs \"artifact\" (base64)".into()),
@@ -531,26 +615,65 @@ impl RouterEngine {
                 let _rollout = self.publish_lock.lock().expect("publish lock");
                 let report = rolling_publish(&self.pool, artifact);
                 self.publishes.inc();
-                self.events.record(
-                    "publish",
-                    format!(
-                        "rolling publish: {}/{} replicas ok",
-                        report.published(),
-                        self.pool.len()
-                    ),
-                );
+                if let Some(addr) = report.rejected_by() {
+                    // A rejection is a verdict on the artifact, not the
+                    // replica: journal who refused it so the operator
+                    // knows where the rollout stopped.
+                    self.events.record(
+                        "publish_aborted",
+                        format!(
+                            "replica {addr} rejected the artifact; rollout stopped after {}/{} replicas",
+                            report.published(),
+                            self.pool.len()
+                        ),
+                    );
+                } else {
+                    self.events.record(
+                        "publish",
+                        format!(
+                            "rolling publish: {}/{} replicas ok",
+                            report.published(),
+                            self.pool.len()
+                        ),
+                    );
+                }
                 return report.to_json().to_string();
             }
             _ => {}
         }
         // Everything else — rankings and any future replica-side op —
-        // forwards with affinity + failover.
+        // forwards with affinity + failover, under a deadline when the
+        // client supplied one (or the router mints one).
+        let deadline = match req.get("deadline_ms") {
+            None => self.config.default_deadline.map(|d| arrived + d),
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {
+                if *n == 0.0 {
+                    return self.deadline_shed("deadline_ms arrived already exhausted");
+                }
+                Some(arrived + Duration::from_millis(*n as u64))
+            }
+            Some(other) => {
+                return json::obj([(
+                    "error",
+                    json::obj([
+                        ("code", Json::Str(codes::BAD_REQUEST.into())),
+                        (
+                            "message",
+                            Json::Str(format!(
+                                "bad deadline_ms: {other} (want a non-negative integer)"
+                            )),
+                        ),
+                    ]),
+                )])
+                .to_string();
+            }
+        };
         let key = Self::route_key(&req);
         if req.get("trace") == Some(&Json::Bool(true)) {
-            return self.forward_traced(key, line, &req);
+            return self.forward_traced(key, line, &req, deadline);
         }
         let t0 = Instant::now();
-        let response = self.forward(key, line);
+        let response = self.forward(key, line, &req, deadline);
         self.forward_us.record(t0.elapsed().as_micros() as u64);
         response
     }
@@ -566,14 +689,23 @@ impl RouterEngine {
     /// otherwise and injected into the forwarded request so the replica
     /// journals the same id. Only traced requests are re-serialized —
     /// the untraced path forwards the raw line untouched.
-    fn forward_traced(&self, key: u64, line: &str, req: &Json) -> String {
+    fn forward_traced(
+        &self,
+        key: u64,
+        line: &str,
+        req: &Json,
+        deadline: Option<Instant>,
+    ) -> String {
         let mut builder = TraceBuilder::new(Instant::now());
         let supplied = req
             .get("trace_id")
             .and_then(Json::as_str)
             .map(str::to_string);
-        let (trace_id, forward_line) = match supplied {
-            Some(id) => (id, line.to_string()),
+        // The forwarded *request object* (not just the line) carries the
+        // minted trace id: a deadline hop re-serializes from the object,
+        // and the replica must journal the same id either way.
+        let (trace_id, forward_req, forward_line) = match supplied {
+            Some(id) => (id, req.clone(), line.to_string()),
             None => {
                 let id = mint_trace_id();
                 let mut fields = match req {
@@ -581,12 +713,14 @@ impl RouterEngine {
                     _ => Default::default(),
                 };
                 fields.insert("trace_id".to_string(), Json::Str(id.clone()));
-                (id, Json::Obj(fields).to_string())
+                let forward_req = Json::Obj(fields);
+                let forward_line = forward_req.to_string();
+                (id, forward_req, forward_line)
             }
         };
         builder.cover_to_now("route");
         let t0 = Instant::now();
-        let raw = self.forward(key, &forward_line);
+        let raw = self.forward(key, &forward_line, &forward_req, deadline);
         let wall_us = t0.elapsed().as_micros() as u64;
         self.forward_us.record(wall_us);
         let Ok(Json::Obj(mut response)) = json::parse(&raw) else {
@@ -713,6 +847,7 @@ impl Router {
             retries: registry.counter("router_retries_total"),
             sheds: registry.counter("router_sheds_total"),
             exhausted: registry.counter("router_exhausted_total"),
+            deadline_sheds: registry.counter("router_deadline_sheds_total"),
             publishes: registry.counter("router_publishes_total"),
             forward_us: registry.histogram("router_forward_us"),
             registry,
@@ -796,7 +931,7 @@ impl Router {
                 let refusal = json::obj([(
                     "error",
                     json::obj([
-                        ("code", Json::Str("overloaded".into())),
+                        ("code", Json::Str(codes::OVERLOADED.into())),
                         ("message", Json::Str("router at connection capacity".into())),
                         ("retryable", Json::Bool(true)),
                     ]),
@@ -907,6 +1042,13 @@ mod tests {
         ));
         assert!(!is_retryable_error(
             r#"{"error":{"code":"bad_k","message":"x"}}"#
+        ));
+        // A flagless error falls back to the shared code classification.
+        assert!(is_retryable_error(
+            r#"{"error":{"code":"overloaded","message":"x"}}"#
+        ));
+        assert!(!is_retryable_error(
+            r#"{"error":{"code":"deadline_exceeded","message":"x","retryable":false}}"#
         ));
         assert!(!is_retryable_error(r#"{"herb_ids":[1,2],"generation":0}"#));
         // A ranking mentioning the word in a name must not trip it.

@@ -302,6 +302,54 @@ fn fleet_metrics_events_and_partial_stats() {
 }
 
 #[test]
+fn deadline_budget_is_enforced_at_the_router() {
+    let replicas: Vec<Replica> = (0..2).map(|_| start_replica()).collect();
+    let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
+    let router = Router::bind("127.0.0.1:0", addrs, fast_router()).unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let stop = router.stop_handle();
+    let handle = std::thread::spawn(move || router.run().unwrap());
+
+    let mut client = Client::connect(router_addr);
+    // A generous budget forwards and answers normally.
+    let ok = client.request(r#"{"symptom_ids":[0,1],"k":3,"deadline_ms":5000}"#);
+    assert!(ok.get("error").is_none(), "{ok}");
+    assert!(ok.get("herb_ids").is_some());
+
+    // An exhausted budget is shed at the router — non-retryable, no hop.
+    let shed = client.request(r#"{"symptom_ids":[0,1],"k":3,"deadline_ms":0}"#);
+    let err = shed.get("error").expect("must be shed");
+    assert_eq!(
+        err.get("code"),
+        Some(&Json::Str("deadline_exceeded".into())),
+        "{shed}"
+    );
+    assert_eq!(err.get("retryable"), Some(&Json::Bool(false)));
+
+    // A malformed budget is a client error, not a forward.
+    let bad = client.request(r#"{"symptom_ids":[0,1],"k":3,"deadline_ms":1.5}"#);
+    assert_eq!(
+        bad.get("error").and_then(|e| e.get("code")),
+        Some(&Json::Str("bad_request".into())),
+        "{bad}"
+    );
+
+    let stats = client.request(r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats.get("deadline_sheds").and_then(Json::as_num),
+        Some(1.0),
+        "{stats}"
+    );
+
+    stop.stop();
+    handle.join().unwrap();
+    for r in replicas {
+        r.stop.stop();
+        r.handle.join().unwrap();
+    }
+}
+
+#[test]
 fn rolling_publish_through_the_router_upgrades_the_fleet() {
     let replicas: Vec<Replica> = (0..3).map(|_| start_replica()).collect();
     let addrs: Vec<SocketAddr> = replicas.iter().map(|r| r.addr).collect();
@@ -323,7 +371,7 @@ fn rolling_publish_through_the_router_upgrades_the_fleet() {
     assert_eq!(ack.get("published").and_then(Json::as_num), Some(3.0));
 
     // Every replica now serves generation 1 (check each directly).
-    for addr in addrs {
+    for &addr in &addrs {
         let mut direct = Client::connect(addr);
         let resp = direct.request(r#"{"symptom_ids":[0,1],"k":3}"#);
         assert_eq!(resp.get("generation").and_then(Json::as_num), Some(1.0));
@@ -345,11 +393,39 @@ fn rolling_publish_through_the_router_upgrades_the_fleet() {
         assert!(names.iter().all(|n| n.starts_with("g1-")), "{names:?}");
     }
 
-    // A garbage artifact is rejected and generations are untouched.
+    // A garbage artifact is rejected, the rollout aborts naming the
+    // replica that refused it, and generations are untouched.
     let bad = client.request(r#"{"op":"publish","artifact":"AAAA"}"#);
     assert_eq!(bad.get("all_ok"), Some(&Json::Bool(false)));
+    assert_eq!(bad.get("aborted"), Some(&Json::Bool(true)), "{bad}");
+    assert_eq!(
+        bad.get("rejected_by").and_then(Json::as_str),
+        Some(addrs[0].to_string().as_str()),
+        "the first replica in rollout order rejects and is named: {bad}"
+    );
+    assert_eq!(
+        bad.get("outcomes").and_then(Json::as_arr).unwrap().len(),
+        1,
+        "replicas after the rejection are never contacted: {bad}"
+    );
     let check = client.request(r#"{"symptom_ids":[0,1],"k":3}"#);
     assert_eq!(check.get("generation").and_then(Json::as_num), Some(1.0));
+
+    // A corrupted-but-plausible artifact (one bit flipped mid-payload)
+    // fails the checksum at the first replica and aborts identically.
+    let mut corrupt = smgcn_serve::artifact::encode(&model_for(2), &vocab_for(2));
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    let corrupt_b64 = smgcn_serve::artifact::to_base64(&corrupt);
+    let bad = client.request(&format!(r#"{{"op":"publish","artifact":"{corrupt_b64}"}}"#));
+    assert_eq!(bad.get("aborted"), Some(&Json::Bool(true)), "{bad}");
+    assert_eq!(bad.get("published").and_then(Json::as_num), Some(0.0));
+    let check = client.request(r#"{"symptom_ids":[0,1],"k":3}"#);
+    assert_eq!(
+        check.get("generation").and_then(Json::as_num),
+        Some(1.0),
+        "a corrupt publish must not move any replica's generation"
+    );
 
     stop.stop();
     handle.join().unwrap();

@@ -322,18 +322,23 @@ struct WorkerResult {
     generations: BTreeSet<u64>,
 }
 
-/// Fetches the front-end's `{"op":"metrics"}` snapshot: the raw
-/// response line plus its parse. `None` on any transport hiccup — the
-/// run proceeds without counter deltas rather than failing.
-fn fetch_metrics(front: SocketAddr) -> Option<(String, Json)> {
+/// Fetches one admin verb from the front-end: the raw response line
+/// plus its parse. `None` on any transport hiccup — the run proceeds
+/// without the snapshot rather than failing.
+fn fetch_admin(front: SocketAddr, op: &str) -> Option<(String, Json)> {
     let (mut reader, mut writer) = connect(front).ok()?;
-    writeln!(writer, "{{\"op\":\"metrics\"}}").ok()?;
+    writeln!(writer, "{{\"op\":\"{op}\"}}").ok()?;
     writer.flush().ok()?;
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;
     let raw = line.trim().to_string();
     let parsed = json::parse(&raw).ok()?;
     Some((raw, parsed))
+}
+
+/// The `{"op":"metrics"}` snapshot (see [`fetch_admin`]).
+fn fetch_metrics(front: SocketAddr) -> Option<(String, Json)> {
+    fetch_admin(front, "metrics")
 }
 
 /// The flat name -> value metric map inside a snapshot: single servers
@@ -584,6 +589,34 @@ fn control_lane(
                             .refresh()
                             .expect("refresh succeeds");
                     }
+                    ChaosAction::CorruptPublish { tag } => {
+                        let model = synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, tag);
+                        let vocab = synthetic_vocab(N_SYMPTOMS, N_HERBS, tag);
+                        let mut artifact = smgcn_serve::artifact::encode(&model, &vocab);
+                        // One flipped bit mid-payload: the CRC trailer
+                        // must catch it on every replica.
+                        let mid = artifact.len() / 2;
+                        artifact[mid] ^= 0x40;
+                        let b64 = smgcn_serve::artifact::to_base64(&artifact);
+                        let rejected = (|| {
+                            let (mut reader, mut writer) = connect(stack.front).ok()?;
+                            writeln!(writer, "{{\"op\":\"publish\",\"artifact\":\"{b64}\"}}")
+                                .ok()?;
+                            writer.flush().ok()?;
+                            let mut line = String::new();
+                            reader.read_line(&mut line).ok()?;
+                            let ack = json::parse(line.trim()).ok()?;
+                            Some(
+                                ack.get("aborted") == Some(&Json::Bool(true))
+                                    && ack.get("published").and_then(Json::as_num) == Some(0.0),
+                            )
+                        })();
+                        assert_eq!(
+                            rejected,
+                            Some(true),
+                            "a corrupt publish must abort with zero replicas published"
+                        );
+                    }
                 }
                 timings.push((action.describe(), t0.elapsed().as_secs_f64() * 1e3));
             }
@@ -595,6 +628,12 @@ fn control_lane(
 /// Runs one planned workload end to end and returns the report.
 pub fn run(workload: &Workload) -> ScenarioReport {
     let summary = WorkloadSummary::from_workload(workload);
+    // Installed before the stack comes up so even boot-time traffic sits
+    // under the plan. The plan is process-global: scenario runs with a
+    // fault plan belong in their own test binary.
+    if let Some(plan) = &workload.fault_plan {
+        smgcn_faults::install(plan);
+    }
     let mut stack = Stack::build(workload);
     let metrics_before = fetch_metrics(stack.front);
     let validation = Arc::new(Validation::plan(workload));
@@ -627,6 +666,14 @@ pub fn run(workload: &Workload) -> ScenarioReport {
     }
     let wall_s = run_start.elapsed().as_secs_f64();
     let metrics_after = fetch_metrics(stack.front);
+    let events_after = fetch_admin(stack.front, "events");
+    let faults_injected = if workload.fault_plan.is_some() {
+        let n = smgcn_faults::injected_total();
+        smgcn_faults::clear();
+        n
+    } else {
+        0
+    };
     stack.teardown();
 
     let routed = matches!(workload.topology, Topology::Routed { .. });
@@ -662,6 +709,7 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         workers: workload.config.workers,
         counter_deltas: deltas,
         cache_hit_rate,
+        faults_injected,
     };
     let verdict = evaluate(
         &workload.slo,
@@ -679,6 +727,7 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         measured,
         verdict,
         metrics_json: metrics_after.map(|(raw, _)| raw),
+        events_json: events_after.map(|(raw, _)| raw),
     }
 }
 

@@ -6,9 +6,11 @@
 //! topology, chaos events, SLO contract — executed against the real
 //! stack over real sockets, with every response validated inline:
 //!
-//! - [`scenario`] — the five named scenarios (`steady-zipfian`,
+//! - [`scenario`] — the six named scenarios (`steady-zipfian`,
 //!   `flash-crowd`, `ingest-heavy`, `rolling-publish-under-load`,
-//!   `replica-kill`) and their deterministic construction;
+//!   `replica-kill`, `fault-storm`) and their deterministic
+//!   construction, including each scenario's seeded fault-injection
+//!   plan (the `fault-storm` scenario installs one via `smgcn-faults`);
 //! - [`schedule`] — the request schedule: generated single-threaded
 //!   from the seed, byte-identical across runs and thread counts,
 //!   fingerprinted (FNV-1a) into every report;

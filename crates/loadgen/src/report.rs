@@ -45,6 +45,9 @@ pub struct Measured {
     /// Cache hit rate over the run derived from the counter deltas
     /// (hits / lookups; 0 when the run touched no cache).
     pub cache_hit_rate: f64,
+    /// Faults the installed plan actually injected over the run (0 when
+    /// the scenario carries no plan).
+    pub faults_injected: u64,
 }
 
 /// A complete scenario run: the plan and what happened.
@@ -60,6 +63,10 @@ pub struct ScenarioReport {
     /// end of the run (before teardown), for artifact upload. Not part
     /// of the report JSON — tooling writes it alongside.
     pub metrics_json: Option<String>,
+    /// The front-end's raw `{"op":"events"}` journal captured the same
+    /// way (fault recoveries, publishes, deadline sheds — the forensic
+    /// record of what the run's chaos actually did).
+    pub events_json: Option<String>,
 }
 
 /// The deterministic face of a workload (see module docs).
@@ -83,6 +90,9 @@ pub struct WorkloadSummary {
     pub topology: String,
     /// Chaos plan labels with offsets ("kill-replica-0@800000us").
     pub chaos: Vec<String>,
+    /// FNV-1a fingerprint of the canonical fault plan, hex; `None` when
+    /// the scenario injects no faults.
+    pub fault_plan_digest: Option<String>,
     /// SLO contract rendering.
     pub slo_p99_ms: f64,
     /// Failure budget.
@@ -108,6 +118,10 @@ impl WorkloadSummary {
                 .iter()
                 .map(|c| format!("{}@{}us", c.action.describe(), c.at_us))
                 .collect(),
+            fault_plan_digest: w
+                .fault_plan
+                .as_ref()
+                .map(|p| format!("{:016x}", p.digest())),
             slo_p99_ms: w.slo.max_p99_ms,
             slo_max_failures: w.slo.max_failures,
             slo_generation: w.slo.generation_consistency.name().to_string(),
@@ -116,10 +130,15 @@ impl WorkloadSummary {
 
     fn to_json_lines(&self) -> String {
         let chaos = Json::Arr(self.chaos.iter().map(|c| Json::Str(c.clone())).collect());
+        let fault_plan = self
+            .fault_plan_digest
+            .as_ref()
+            .map_or(Json::Null, |d| Json::Str(d.clone()));
         format!(
             "{{\n    \"scenario\": {},\n    \"seed\": {},\n    \"measure_ms\": {},\n    \
              \"k\": {},\n    \"n_queries\": {},\n    \"n_ingests\": {},\n    \
              \"schedule_digest\": {},\n    \"topology\": {},\n    \"chaos\": {chaos},\n    \
+             \"fault_plan_digest\": {fault_plan},\n    \
              \"slo\": {{\"max_p99_ms\": {}, \"max_failures\": {}, \"generation_consistency\": {}}}\n  }}",
             Json::Str(self.scenario.clone()),
             self.seed,
@@ -186,7 +205,8 @@ impl ScenarioReport {
              \"p50_ms\": {:.3},\n    \"p99_ms\": {:.3},\n    \"max_ms\": {:.3},\n    \
              \"generations_seen\": {generations},\n    \"chaos_timings_ms\": {chaos},\n    \
              \"workers\": {},\n    \"counter_deltas\": {deltas},\n    \
-             \"cache_hit_rate\": {:.4}\n  }},\n  \"slo_passed\": {},\n  \
+             \"cache_hit_rate\": {:.4},\n    \"faults_injected\": {}\n  }},\n  \
+             \"slo_passed\": {},\n  \
              \"violations\": {violations}\n}}\n",
             self.workload.to_json_lines(),
             m.executed,
@@ -198,6 +218,7 @@ impl ScenarioReport {
             m.max_ms,
             m.workers,
             m.cache_hit_rate,
+            m.faults_injected,
             self.verdict.passed(),
         )
     }
@@ -245,6 +266,7 @@ mod tests {
                 violations: Vec::new(),
             },
             metrics_json: None,
+            events_json: None,
         }
     }
 

@@ -10,6 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smgcn_bench::harness::zipf_index;
+use smgcn_faults::{sites, FaultAction, FaultPlan};
 
 use crate::schedule::{Op, Request, Schedule};
 use crate::slo::{GenCheck, Slo};
@@ -21,7 +22,7 @@ pub const N_HERBS: usize = 256;
 /// Embedding width of the synthetic serving topologies.
 pub const DIM: usize = 32;
 
-/// The five scenarios.
+/// The six scenarios.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Steady-state load with Zipf-skewed symptom-set popularity against
@@ -39,17 +40,23 @@ pub enum ScenarioKind {
     /// One of three routed replicas killed mid-load; the router must
     /// hide the failure from clients entirely.
     ReplicaKill,
+    /// A seeded fault storm against three routed replicas: injected
+    /// delays/drops on the replica links, a corrupted publish that the
+    /// fleet must reject wholesale, then a clean publish that must still
+    /// land — all under the exact-rankings generation invariant.
+    FaultStorm,
 }
 
 impl ScenarioKind {
     /// All scenarios, in suite order.
-    pub fn all() -> [Self; 5] {
+    pub fn all() -> [Self; 6] {
         [
             Self::SteadyZipfian,
             Self::FlashCrowd,
             Self::IngestHeavy,
             Self::RollingPublish,
             Self::ReplicaKill,
+            Self::FaultStorm,
         ]
     }
 
@@ -61,6 +68,7 @@ impl ScenarioKind {
             Self::IngestHeavy => "ingest-heavy",
             Self::RollingPublish => "rolling-publish-under-load",
             Self::ReplicaKill => "replica-kill",
+            Self::FaultStorm => "fault-storm",
         }
     }
 
@@ -77,6 +85,9 @@ impl ScenarioKind {
             Self::IngestHeavy => "concurrent WAL ingest + queries, refresh/hot-swap mid-run",
             Self::RollingPublish => "rolling model publish across 3 replicas under load",
             Self::ReplicaKill => "kill 1 of 3 replicas under load (router hides it)",
+            Self::FaultStorm => {
+                "seeded net-fault storm + corrupt publish across 3 replicas under load"
+            }
         }
     }
 }
@@ -147,6 +158,13 @@ pub enum ChaosAction {
     /// Run the online pipeline's refresh (delta → finetune → freeze →
     /// hot swap).
     Refresh,
+    /// Publish a deliberately bit-flipped artifact for this tag through
+    /// the router; the fleet must reject it wholesale (aborted rollout,
+    /// zero replicas published, generation unchanged).
+    CorruptPublish {
+        /// The tag whose valid artifact gets corrupted before publishing.
+        tag: u64,
+    },
 }
 
 impl ChaosAction {
@@ -156,6 +174,7 @@ impl ChaosAction {
             Self::KillReplica(i) => format!("kill-replica-{i}"),
             Self::RollingPublish { tag } => format!("rolling-publish-tag-{tag}"),
             Self::Refresh => "online-refresh".to_string(),
+            Self::CorruptPublish { tag } => format!("corrupt-publish-tag-{tag}"),
         }
     }
 }
@@ -182,6 +201,9 @@ pub struct Workload {
     pub schedule: Schedule,
     /// Planned chaos, sorted by offset.
     pub chaos: Vec<ChaosEvent>,
+    /// Seeded fault plan the engine installs for the run, if the
+    /// scenario injects faults. Derived from the seed; replayable.
+    pub fault_plan: Option<FaultPlan>,
     /// The run's pass/fail contract.
     pub slo: Slo,
 }
@@ -199,6 +221,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
             topology: Topology::SingleServer,
             schedule: steady_from_pool(&mut rng, &pool, horizon_us, 400, config.k),
             chaos: Vec::new(),
+            fault_plan: None,
             slo: Slo {
                 max_p99_ms: 50.0,
                 max_failures: 0,
@@ -229,6 +252,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 topology: Topology::Routed { replicas: 2 },
                 schedule: Schedule::new(requests),
                 chaos: Vec::new(),
+                fault_plan: None,
                 slo: Slo {
                     max_p99_ms: 400.0,
                     max_failures: 0,
@@ -280,6 +304,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     at_us: horizon_us / 2,
                     action: ChaosAction::Refresh,
                 }],
+                fault_plan: None,
                 slo: Slo {
                     max_p99_ms: 400.0,
                     max_failures: 0,
@@ -296,6 +321,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 at_us: horizon_us * 2 / 5,
                 action: ChaosAction::RollingPublish { tag: 1 },
             }],
+            fault_plan: None,
             slo: Slo {
                 max_p99_ms: 400.0,
                 max_failures: 0,
@@ -311,6 +337,29 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 at_us: horizon_us * 2 / 5,
                 action: ChaosAction::KillReplica(0),
             }],
+            fault_plan: None,
+            slo: Slo {
+                max_p99_ms: 600.0,
+                max_failures: 0,
+                generation_consistency: GenCheck::ExactRankings,
+            },
+        },
+        ScenarioKind::FaultStorm => Workload {
+            kind,
+            config: config.clone(),
+            topology: Topology::Routed { replicas: 3 },
+            schedule: steady_from_pool(&mut rng, &pool, horizon_us, 300, config.k),
+            chaos: vec![
+                ChaosEvent {
+                    at_us: horizon_us / 5,
+                    action: ChaosAction::CorruptPublish { tag: 9 },
+                },
+                ChaosEvent {
+                    at_us: horizon_us * 3 / 5,
+                    action: ChaosAction::RollingPublish { tag: 1 },
+                },
+            ],
+            fault_plan: Some(storm_plan(config.seed)),
             slo: Slo {
                 max_p99_ms: 600.0,
                 max_failures: 0,
@@ -318,6 +367,36 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
             },
         },
     }
+}
+
+/// The fault-storm scenario's seeded injection plan.
+///
+/// The data path takes low-rate delays and occasional connection drops
+/// over a wide hit window — enough to exercise the router's failover
+/// walk throughout the run without saturating it. The admin path takes
+/// *delays only*: an injected admin drop would fail the scenario's own
+/// good publish in transit, which is the fault-injection test binaries'
+/// job, not the storm's (the storm pins end-to-end SLOs with zero
+/// accepted-then-lost operations).
+fn storm_plan(seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed ^ 0x5707_2a11);
+    plan.inject(
+        sites::POOL_FORWARD_NET,
+        0..4096,
+        0.02,
+        &[
+            FaultAction::Delay { ms: 1 },
+            FaultAction::Delay { ms: 3 },
+            FaultAction::Drop,
+        ],
+    );
+    plan.inject(
+        sites::POOL_ADMIN_NET,
+        0..64,
+        0.2,
+        &[FaultAction::Delay { ms: 2 }],
+    );
+    plan
 }
 
 /// Per-kind RNG salt so scenarios sharing a seed do not share streams.
@@ -328,6 +407,7 @@ fn kind_salt(kind: ScenarioKind) -> u64 {
         ScenarioKind::IngestHeavy => 0x03,
         ScenarioKind::RollingPublish => 0x04,
         ScenarioKind::ReplicaKill => 0x05,
+        ScenarioKind::FaultStorm => 0x06,
     }
 }
 
@@ -407,7 +487,47 @@ mod tests {
                 kind.name()
             );
             assert_eq!(a.chaos, b.chaos);
+            assert_eq!(
+                a.fault_plan.as_ref().map(FaultPlan::digest),
+                b.fault_plan.as_ref().map(FaultPlan::digest),
+                "{} fault plan not deterministic",
+                kind.name()
+            );
         }
+    }
+
+    #[test]
+    fn fault_storm_plan_is_seeded_and_admin_safe() {
+        let config = ScenarioConfig {
+            measure_ms: 500,
+            ..ScenarioConfig::default()
+        };
+        let w = build(ScenarioKind::FaultStorm, &config);
+        let plan = w.fault_plan.as_ref().expect("fault-storm carries a plan");
+        assert!(!plan.is_empty());
+        // The admin plane takes delays only: a dropped admin round trip
+        // would break the storm's own good publish mid-flight.
+        for fault in plan.faults() {
+            if fault.site == sites::POOL_ADMIN_NET {
+                assert!(
+                    matches!(fault.action, FaultAction::Delay { .. }),
+                    "admin site must be delay-only, got {:?}",
+                    fault.action
+                );
+            }
+        }
+        let other = ScenarioConfig {
+            seed: 7,
+            ..config.clone()
+        };
+        assert_ne!(
+            build(ScenarioKind::FaultStorm, &other)
+                .fault_plan
+                .unwrap()
+                .digest(),
+            plan.digest(),
+            "different seeds draw different storms"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn plan_report(kind: ScenarioKind, config: &ScenarioConfig) -> String {
             violations: Vec::new(),
         },
         metrics_json: None,
+        events_json: None,
     }
     .workload_json()
 }

@@ -1,0 +1,62 @@
+//! End-to-end fault-storm scenario run.
+//!
+//! Lives in its own integration-test binary: the engine installs the
+//! scenario's fault plan process-globally for the duration of the run,
+//! and cargo runs tests within one binary concurrently — any other test
+//! sharing the process would see injected faults.
+//!
+//! This is the issue's headline acceptance run: a seeded storm of link
+//! faults plus a corrupted publish against three routed replicas, under
+//! the exact-rankings generation invariant, a zero failure budget, and
+//! a p99 ceiling — and the deterministic report (schedule + fault-plan
+//! digests) must be byte-identical when the workload is rebuilt.
+
+use smgcn_loadgen::{build, run, ScenarioConfig, ScenarioKind, WorkloadSummary};
+
+#[test]
+fn fault_storm_holds_slos_under_injected_faults() {
+    let config = ScenarioConfig {
+        measure_ms: 1500,
+        workers: 4,
+        ..ScenarioConfig::default()
+    };
+    let workload = build(ScenarioKind::FaultStorm, &config);
+    assert!(workload.fault_plan.is_some());
+    let report = run(&workload);
+
+    assert!(
+        report.verdict.passed(),
+        "fault-storm SLO violations: {:?}",
+        report.verdict.violations
+    );
+    assert!(
+        report.measured.faults_injected > 0,
+        "the storm must actually inject faults, not just plan them"
+    );
+    // Both generations served: the boot model and the post-storm clean
+    // publish (the corrupted publish must NOT have minted a generation).
+    assert_eq!(
+        report.measured.generations_seen,
+        vec![0, 1],
+        "expected exactly the boot generation and the clean publish"
+    );
+
+    // The deterministic face survives a rebuild byte for byte — same
+    // seed, same schedule digest, same fault-plan digest.
+    let rebuilt = WorkloadSummary::from_workload(&build(ScenarioKind::FaultStorm, &config));
+    assert_eq!(report.workload, rebuilt);
+    assert!(report.workload.fault_plan_digest.is_some());
+
+    let json = report.to_json_string();
+    let parsed = smgcn_serve::json::parse(json.trim()).expect("report is valid json");
+    assert!(parsed
+        .get("workload")
+        .and_then(|w| w.get("fault_plan_digest"))
+        .and_then(smgcn_serve::json::Json::as_str)
+        .is_some());
+    assert!(parsed
+        .get("measured")
+        .and_then(|m| m.get("faults_injected"))
+        .and_then(smgcn_serve::json::Json::as_num)
+        .is_some_and(|n| n > 0.0));
+}

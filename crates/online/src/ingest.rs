@@ -6,8 +6,8 @@
 //! or herb) or by raw ids, validates and deduplicates them, and batches
 //! the accepted records for the graph-delta stage.
 //!
-//! Durability uses a WAL in a line format compatible with the corpus
-//! text format plus vocabulary-growth records:
+//! Durability uses a WAL whose *payloads* are lines in the corpus text
+//! format plus vocabulary-growth records:
 //!
 //! ```text
 //! +symptom<TAB>name          # appended before any record that needs it
@@ -15,18 +15,51 @@
 //! 0 4 17<TAB>3 9 12          # a prescription, ids as in corpus files
 //! ```
 //!
+//! Since v2 the file itself is framed (all integers little-endian):
+//!
+//! ```text
+//! "SMGNWAL2"                 8-byte file magic
+//! [u32 len][u32 crc32][payload]     one frame per logged line
+//! ```
+//!
+//! The per-record CRC32 (shared with the publish artifact via
+//! `smgcn_serve::integrity`) makes crash damage *detectable*: a torn
+//! final frame (short write during a crash) or a bit-flipped record
+//! fails its checksum, and replay recovers by truncating the file back
+//! to the last frame that verified — every record before the damage
+//! survives, the tail is dropped with a [`WalRecovery`] report, and
+//! appending continues cleanly after the cut. Pre-v2 text logs are
+//! replayed line-by-line and rewritten in the framed format.
+//!
 //! Every accepted append is written (and flushed) to the WAL *before* it
 //! is acknowledged; reopening an ingestor over the same base corpus and
 //! WAL replays the log, so a crash between refreshes loses nothing. A
-//! successful refresh folds the batch into the model and the caller then
-//! [`Ingestor::truncate_wal`]s it.
+//! failed append (disk error, torn flush) is repaired immediately — the
+//! file is truncated back to its last durable frame so a later accepted
+//! record can never sit *behind* damage and be silently lost by the
+//! next replay. A successful refresh folds the batch into the model and
+//! the caller then [`Ingestor::truncate_wal`]s it.
+//!
+//! The fault-injection sites `wal.append.write` and `wal.replay.read`
+//! (see `smgcn-faults`) let tests and the fault-storm scenario force
+//! disk errors, short writes and corruption through these exact paths.
 
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 use smgcn_data::{Corpus, Prescription};
+use smgcn_faults::{sites, FaultAction};
+use smgcn_serve::integrity::crc32;
+
+/// File magic opening every framed (v2) WAL.
+const WAL_MAGIC: &[u8; 8] = b"SMGNWAL2";
+
+/// Sanity cap on one frame's payload; a length field beyond this is
+/// corruption, not a record (the longest real line is a prescription
+/// with every vocabulary id in it, far under this).
+const MAX_FRAME_LEN: u32 = 1 << 20;
 
 /// Errors from validation, parsing or WAL IO.
 #[derive(Debug)]
@@ -104,13 +137,131 @@ pub struct IngestStats {
     pub new_herbs: usize,
 }
 
+/// How a damaged WAL tail was recovered during replay: everything
+/// before `valid_bytes` verified and was kept; `dropped_bytes` of
+/// unverifiable tail were truncated away.
+#[derive(Clone, Debug)]
+pub struct WalRecovery {
+    /// Frames that replayed cleanly before the damage.
+    pub valid_records: usize,
+    /// File length the WAL was truncated back to.
+    pub valid_bytes: u64,
+    /// Bytes dropped from the damaged tail.
+    pub dropped_bytes: u64,
+    /// What the scanner hit: a torn frame, a checksum mismatch, an
+    /// absurd length field.
+    pub reason: String,
+}
+
+impl std::fmt::Display for WalRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {} records ({} bytes), dropped {} damaged tail bytes: {}",
+            self.valid_records, self.valid_bytes, self.dropped_bytes, self.reason
+        )
+    }
+}
+
+/// The framed WAL writer: tracks the last *durable, verified* file
+/// length so a failed append can truncate the file back to it, keeping
+/// the invariant that every byte before `good_len` replays cleanly.
+struct Wal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    good_len: u64,
+}
+
+impl Wal {
+    fn open_append(path: PathBuf, good_len: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            path,
+            writer: BufWriter::new(file),
+            good_len,
+        })
+    }
+
+    /// Appends one framed payload and flushes it durable. On any error
+    /// the file is repaired — truncated back to the last good frame —
+    /// before the error is returned, so an acknowledged record can
+    /// never land *after* torn bytes and be lost by the next replay.
+    fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        let result = self.append_frame(&frame);
+        if result.is_err() {
+            // Best-effort repair; the append error is what the caller
+            // needs to see either way.
+            let _ = self.repair();
+        } else {
+            self.good_len += frame.len() as u64;
+        }
+        result
+    }
+
+    fn append_frame(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        match smgcn_faults::at(sites::WAL_APPEND_WRITE) {
+            Some(FaultAction::IoError) => {
+                return Err(smgcn_faults::injected_io_error(sites::WAL_APPEND_WRITE));
+            }
+            Some(FaultAction::ShortWrite { keep }) => {
+                // A torn write: part of the frame reaches the disk, then
+                // the "crash". The flush makes the damage durable so
+                // recovery has something real to truncate.
+                let keep = (keep as usize).min(frame.len().saturating_sub(1));
+                self.writer.write_all(&frame[..keep])?;
+                self.writer.flush()?;
+                return Err(std::io::Error::other(format!(
+                    "injected short write: {keep} of {} frame bytes written",
+                    frame.len()
+                )));
+            }
+            Some(FaultAction::Delay { ms }) => {
+                std::thread::sleep(std::time::Duration::from_millis(u64::from(ms)));
+            }
+            _ => {}
+        }
+        self.writer.write_all(frame)?;
+        // Flush before acknowledging: an accepted record must survive a
+        // crash.
+        self.writer.flush()
+    }
+
+    /// Truncates the file back to the last verified length and reopens
+    /// the append writer past any torn bytes.
+    fn repair(&mut self) -> std::io::Result<()> {
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(self.good_len)?;
+        drop(file);
+        self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        Ok(())
+    }
+
+    /// Empties the log down to its magic (post-refresh housekeeping).
+    fn reset(&mut self) -> std::io::Result<()> {
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(0)?;
+        drop(file);
+        let mut file = OpenOptions::new().append(true).open(&self.path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.flush()?;
+        self.writer = BufWriter::new(file);
+        self.good_len = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+}
+
 /// Streaming prescription intake over an evolving corpus.
 pub struct Ingestor {
     corpus: Corpus,
     seen: HashSet<Prescription>,
     pending: Vec<Prescription>,
-    wal: Option<(PathBuf, BufWriter<File>)>,
+    wal: Option<Wal>,
     stats: IngestStats,
+    recovery: Option<WalRecovery>,
 }
 
 impl Ingestor {
@@ -123,61 +274,176 @@ impl Ingestor {
             pending: Vec::new(),
             wal: None,
             stats: IngestStats::default(),
+            recovery: None,
         }
     }
 
     /// An ingestor with a WAL at `path`. An existing log is replayed
     /// first (its records become the pending batch), then the file is
-    /// opened for appending.
+    /// opened for appending. A damaged tail — torn final frame, checksum
+    /// mismatch — is truncated away (see [`Ingestor::wal_recovery`]);
+    /// a pre-v2 text log is replayed and rewritten in the framed format.
     pub fn with_wal(corpus: Corpus, path: impl AsRef<Path>) -> Result<Self, IngestError> {
         let path = path.as_ref().to_path_buf();
         let mut ingestor = Self::new(corpus);
-        if path.exists() {
-            let reader = BufReader::new(File::open(&path)?);
-            ingestor.replay(reader)?;
-        }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        ingestor.wal = Some((path, BufWriter::new(file)));
+        let data = if path.exists() {
+            std::fs::read(&path)?
+        } else {
+            Vec::new()
+        };
+        let good_len = if data.is_empty() {
+            // Fresh (or freshly truncated pre-v2) log: stamp the magic.
+            let mut file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(&path)?;
+            file.write_all(WAL_MAGIC)?;
+            file.flush()?;
+            WAL_MAGIC.len() as u64
+        } else if data.len() < WAL_MAGIC.len() && WAL_MAGIC.starts_with(&data) {
+            // A crash tore the initial magic stamp itself: nothing was
+            // ever logged, so recover to an empty framed log.
+            ingestor.recovery = Some(WalRecovery {
+                valid_records: 0,
+                valid_bytes: 0,
+                dropped_bytes: data.len() as u64,
+                reason: format!("torn file magic ({} of 8 bytes)", data.len()),
+            });
+            let mut file = OpenOptions::new().write(true).truncate(true).open(&path)?;
+            file.write_all(WAL_MAGIC)?;
+            file.flush()?;
+            WAL_MAGIC.len() as u64
+        } else if data.starts_with(WAL_MAGIC) {
+            let valid_len = ingestor.replay_framed(&data)?;
+            if (valid_len as usize) < data.len() {
+                // Truncate the unverifiable tail so appends continue
+                // after the last good frame, not after garbage.
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid_len)?;
+            }
+            valid_len
+        } else {
+            // Legacy text WAL: replay line-by-line, then rewrite the
+            // whole file framed so the next crash is recoverable.
+            let text = String::from_utf8_lossy(&data).into_owned();
+            let lines: Vec<&str> = text
+                .lines()
+                .map(str::trim_end)
+                .filter(|l| !l.is_empty())
+                .collect();
+            for (i, line) in lines.iter().enumerate() {
+                ingestor.apply_wal_line(line, i + 1)?;
+            }
+            let mut framed = Vec::with_capacity(data.len() + 8 + lines.len() * 8);
+            framed.extend_from_slice(WAL_MAGIC);
+            for line in &lines {
+                framed.extend_from_slice(&(line.len() as u32).to_le_bytes());
+                framed.extend_from_slice(&crc32(line.as_bytes()).to_le_bytes());
+                framed.extend_from_slice(line.as_bytes());
+            }
+            let tmp = path.with_extension("v2tmp");
+            std::fs::write(&tmp, &framed)?;
+            std::fs::rename(&tmp, &path)?;
+            framed.len() as u64
+        };
+        ingestor.wal = Some(Wal::open_append(path, good_len)?);
         Ok(ingestor)
     }
 
-    fn replay(&mut self, reader: impl BufRead) -> Result<(), IngestError> {
-        for (i, line) in reader.lines().enumerate() {
-            let line = line?;
-            let line_no = i + 1;
-            let trimmed = line.trim_end();
-            if trimmed.is_empty() {
-                continue;
+    /// Scans framed WAL bytes, applying every frame that verifies.
+    /// Returns the file length up to which everything replayed cleanly;
+    /// on damage, records a [`WalRecovery`] and stops (frames past the
+    /// first bad one cannot be trusted — the length field that would
+    /// locate them is itself unverified).
+    fn replay_framed(&mut self, data: &[u8]) -> Result<u64, IngestError> {
+        let mut off = WAL_MAGIC.len();
+        let mut records = 0usize;
+        let mut damage: Option<String> = None;
+        while off < data.len() {
+            let remaining = data.len() - off;
+            if remaining < 8 {
+                damage = Some(format!("torn frame header ({remaining} bytes) at {off}"));
+                break;
             }
-            let parse_err = |message: String| IngestError::Parse {
-                line: line_no,
-                message,
-            };
-            if let Some(rest) = trimmed.strip_prefix("+symptom\t") {
-                self.corpus.symptom_vocab_mut().get_or_add(rest);
-                continue;
+            let len = u32::from_le_bytes([data[off], data[off + 1], data[off + 2], data[off + 3]]);
+            if len > MAX_FRAME_LEN {
+                damage = Some(format!("absurd frame length {len} at {off}"));
+                break;
             }
-            if let Some(rest) = trimmed.strip_prefix("+herb\t") {
-                self.corpus.herb_vocab_mut().get_or_add(rest);
-                continue;
+            let stored =
+                u32::from_le_bytes([data[off + 4], data[off + 5], data[off + 6], data[off + 7]]);
+            if remaining - 8 < len as usize {
+                damage = Some(format!(
+                    "torn frame payload ({} of {len} bytes) at {off}",
+                    remaining - 8
+                ));
+                break;
             }
-            let (sym_text, herb_text) = trimmed
-                .split_once('\t')
-                .ok_or_else(|| parse_err("missing tab between symptom and herb ids".into()))?;
-            let parse_ids = |text: &str| -> Result<Vec<u32>, IngestError> {
-                text.split_whitespace()
-                    .map(|tok| {
-                        tok.parse::<u32>()
-                            .map_err(|e| parse_err(format!("bad id {tok:?}: {e}")))
-                    })
-                    .collect()
-            };
-            let symptoms = parse_ids(sym_text)?;
-            let herbs = parse_ids(herb_text)?;
-            // Replay bypasses the WAL writer (the records are already
-            // logged) but revalidates and re-deduplicates.
-            self.accept(symptoms, herbs, false)?;
+            let mut payload = &data[off + 8..off + 8 + len as usize];
+            // Fault plane: simulated read-side corruption of this frame
+            // (a private copy; the file is untouched).
+            let corrupted: Vec<u8>;
+            if smgcn_faults::enabled() {
+                let mut copy = payload.to_vec();
+                if smgcn_faults::corrupt_buf(sites::WAL_REPLAY_READ, &mut copy) {
+                    corrupted = copy;
+                    payload = &corrupted;
+                }
+            }
+            if crc32(payload) != stored {
+                damage = Some(format!("frame checksum mismatch at {off}"));
+                break;
+            }
+            let line = std::str::from_utf8(payload).map_err(|e| IngestError::Parse {
+                line: records + 1,
+                message: format!("checksummed frame is not utf-8: {e}"),
+            })?;
+            self.apply_wal_line(line, records + 1)?;
+            records += 1;
+            off += 8 + len as usize;
         }
+        if let Some(reason) = damage {
+            self.recovery = Some(WalRecovery {
+                valid_records: records,
+                valid_bytes: off as u64,
+                dropped_bytes: (data.len() - off) as u64,
+                reason,
+            });
+        }
+        Ok(off as u64)
+    }
+
+    /// Applies one replayed WAL payload line: vocabulary growth or a
+    /// prescription. Replay bypasses the WAL writer (the records are
+    /// already logged) but revalidates and re-deduplicates.
+    fn apply_wal_line(&mut self, trimmed: &str, line_no: usize) -> Result<(), IngestError> {
+        let parse_err = |message: String| IngestError::Parse {
+            line: line_no,
+            message,
+        };
+        if let Some(rest) = trimmed.strip_prefix("+symptom\t") {
+            self.corpus.symptom_vocab_mut().get_or_add(rest);
+            return Ok(());
+        }
+        if let Some(rest) = trimmed.strip_prefix("+herb\t") {
+            self.corpus.herb_vocab_mut().get_or_add(rest);
+            return Ok(());
+        }
+        let (sym_text, herb_text) = trimmed
+            .split_once('\t')
+            .ok_or_else(|| parse_err("missing tab between symptom and herb ids".into()))?;
+        let parse_ids = |text: &str| -> Result<Vec<u32>, IngestError> {
+            text.split_whitespace()
+                .map(|tok| {
+                    tok.parse::<u32>()
+                        .map_err(|e| parse_err(format!("bad id {tok:?}: {e}")))
+                })
+                .collect()
+        };
+        let symptoms = parse_ids(sym_text)?;
+        let herbs = parse_ids(herb_text)?;
+        self.accept(symptoms, herbs, false)?;
         Ok(())
     }
 
@@ -251,12 +517,12 @@ impl Ingestor {
             .collect();
         self.stats.new_symptoms += new_symptoms.len();
         self.stats.new_herbs += new_herbs.len();
-        if let Some((_, w)) = &mut self.wal {
+        if let Some(wal) = &mut self.wal {
             for name in &new_symptoms {
-                writeln!(w, "+symptom\t{name}")?;
+                wal.append(format!("+symptom\t{name}").as_bytes())?;
             }
             for name in &new_herbs {
-                writeln!(w, "+herb\t{name}")?;
+                wal.append(format!("+herb\t{name}").as_bytes())?;
             }
         }
         self.accept(symptom_ids, herb_ids, true)
@@ -297,13 +563,14 @@ impl Ingestor {
             return Ok(IngestOutcome::Duplicate);
         }
         if log {
-            if let Some((_, w)) = &mut self.wal {
+            if let Some(wal) = &mut self.wal {
                 let symptoms: Vec<String> = p.symptoms().iter().map(u32::to_string).collect();
                 let herbs: Vec<String> = p.herbs().iter().map(u32::to_string).collect();
-                writeln!(w, "{}\t{}", symptoms.join(" "), herbs.join(" "))?;
-                // Flush before acknowledging: an accepted record must
-                // survive a crash.
-                w.flush()?;
+                let line = format!("{}\t{}", symptoms.join(" "), herbs.join(" "));
+                // The frame is flushed durable (and any failure repaired
+                // back to the last good frame) before the record is
+                // acknowledged below.
+                wal.append(line.as_bytes())?;
             }
         }
         // The dedup set admits the record only after the WAL write
@@ -348,15 +615,20 @@ impl Ingestor {
     }
 
     /// Truncates the WAL after its contents have been folded into a
-    /// persisted corpus + model (post-refresh housekeeping).
+    /// persisted corpus + model (post-refresh housekeeping). The file
+    /// keeps its magic so the next open replays an empty framed log.
     pub fn truncate_wal(&mut self) -> Result<(), IngestError> {
-        if let Some((path, w)) = &mut self.wal {
-            w.flush()?;
-            let file = OpenOptions::new().write(true).truncate(true).open(&*path)?;
-            *w = BufWriter::new(OpenOptions::new().append(true).open(&*path)?);
-            drop(file);
+        if let Some(wal) = &mut self.wal {
+            wal.reset()?;
         }
         Ok(())
+    }
+
+    /// The recovery report from the last [`Ingestor::with_wal`] replay,
+    /// if the log had a damaged tail that was truncated away. `None`
+    /// means the log replayed byte-for-byte clean.
+    pub fn wal_recovery(&self) -> Option<&WalRecovery> {
+        self.recovery.as_ref()
     }
 }
 
@@ -457,8 +729,109 @@ mod tests {
     #[test]
     fn replay_rejects_corrupt_lines() {
         let mut ing = Ingestor::new(base_corpus());
-        let bad = "0 1 no-tab-here\n";
-        let err = ing.replay(BufReader::new(bad.as_bytes())).unwrap_err();
+        let err = ing.apply_wal_line("0 1 no-tab-here", 1).unwrap_err();
         assert!(matches!(err, IngestError::Parse { line: 1, .. }), "{err}");
+    }
+
+    fn wal_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("smgcn_ingest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("wal_{tag}_{}.log", std::process::id()));
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    #[test]
+    fn wal_v2_is_framed_with_magic_and_crc() {
+        let path = wal_path("framed");
+        let mut ing = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        ing.append_ids(vec![2], vec![1]).unwrap();
+        drop(ing);
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(WAL_MAGIC), "framed WAL starts with magic");
+        let len = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+        let stored = u32::from_le_bytes(data[12..16].try_into().unwrap());
+        let payload = &data[16..16 + len];
+        assert_eq!(payload, b"2\t1");
+        assert_eq!(stored, crc32(payload), "frame checksum matches payload");
+        assert_eq!(data.len(), 16 + len, "exactly one frame");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_continues() {
+        let path = wal_path("torn");
+        let mut ing = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        ing.append_ids(vec![2], vec![1]).unwrap();
+        ing.append_ids(vec![0, 2], vec![1]).unwrap();
+        drop(ing);
+        // Crash mid-append: half a frame header lands after the two
+        // good records.
+        let good = std::fs::read(&path).unwrap();
+        let mut torn = good.clone();
+        torn.extend_from_slice(&[0x07, 0x00, 0x00]);
+        std::fs::write(&path, &torn).unwrap();
+
+        let mut reopened = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert_eq!(reopened.pending().len(), 2, "good prefix fully replayed");
+        let recovery = reopened.wal_recovery().expect("damage must be reported");
+        assert_eq!(recovery.valid_records, 2);
+        assert_eq!(recovery.valid_bytes, good.len() as u64);
+        assert_eq!(recovery.dropped_bytes, 3);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good.len() as u64,
+            "tail truncated on disk"
+        );
+        // Appends continue cleanly after the cut and replay in full.
+        reopened.append_ids(vec![1, 2], vec![0, 1]).unwrap();
+        drop(reopened);
+        let clean = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert_eq!(clean.pending().len(), 3);
+        assert!(clean.wal_recovery().is_none(), "repaired log replays clean");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_truncates_from_damage_onward() {
+        let path = wal_path("corrupt");
+        let mut ing = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        ing.append_ids(vec![2], vec![1]).unwrap();
+        let first_frame_end = std::fs::metadata(&path).unwrap().len();
+        ing.append_ids(vec![0, 2], vec![1]).unwrap();
+        drop(ing);
+        // Flip one payload byte of the second record.
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+
+        let reopened = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert_eq!(reopened.pending().len(), 1, "only the intact record");
+        let recovery = reopened.wal_recovery().expect("corruption reported");
+        assert_eq!(recovery.valid_records, 1);
+        assert_eq!(recovery.valid_bytes, first_frame_end);
+        assert!(recovery.reason.contains("checksum"), "{}", recovery.reason);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_text_wal_migrates_to_framed_format() {
+        let path = wal_path("legacy");
+        std::fs::write(&path, "+herb\th-late\n2\t2\n0 2\t1\n").unwrap();
+        let ing = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert_eq!(ing.pending().len(), 2);
+        assert_eq!(ing.corpus().herb_vocab().id("h-late"), Some(2));
+        drop(ing);
+        let data = std::fs::read(&path).unwrap();
+        assert!(
+            data.starts_with(WAL_MAGIC),
+            "legacy log rewritten with framing"
+        );
+        // And the migrated file replays identically.
+        let again = Ingestor::with_wal(base_corpus(), &path).unwrap();
+        assert_eq!(again.pending().len(), 2);
+        assert!(again.wal_recovery().is_none());
+        std::fs::remove_file(&path).ok();
     }
 }

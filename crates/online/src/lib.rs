@@ -36,6 +36,6 @@ pub mod swap;
 
 pub use delta::IncrementalGraphs;
 pub use finetune::{fine_tune, FineTuneConfig, FineTuneReport};
-pub use ingest::{IngestError, IngestOutcome, IngestStats, Ingestor};
+pub use ingest::{IngestError, IngestOutcome, IngestStats, Ingestor, WalRecovery};
 pub use smgcn_serve::ModelSlot;
 pub use swap::{OnlineConfig, OnlinePipeline, RefreshError, RefreshReport};

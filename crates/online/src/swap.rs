@@ -207,6 +207,13 @@ impl OnlinePipeline {
             events,
         };
         obs.generation.set(self.slot.generation());
+        // Surface a WAL tail recovery that happened at construction:
+        // replay truncated damage away *before* observability attached,
+        // so the journal entry is written here, at the first chance.
+        if let Some(recovery) = self.ingestor.wal_recovery() {
+            registry.counter("online_wal_recoveries_total").inc();
+            obs.events.record("wal_recovered", recovery.to_string());
+        }
         self.obs = Some(obs);
     }
 

@@ -12,26 +12,41 @@
 //!
 //! ```text
 //! "SMGA"                magic
+//! u8  version           format version (currently 2)
 //! u32 n_symptoms        symptom name count
 //! u32 n_herbs           herb name count
 //! n_symptoms x (u32 len, utf-8 bytes)
 //! n_herbs    x (u32 len, utf-8 bytes)
 //! <frozen model>        the SMGT checkpoint, FrozenModel::write_to
+//! u32 crc32             checksum of every preceding byte
 //! ```
+//!
+//! Version 2 added the version byte and the CRC32 trailer: a publish
+//! artifact travels process→socket→process and then *becomes the model*,
+//! so a flipped bit that still parses would silently serve garbage
+//! embeddings fleet-wide. [`decode`] verifies the checksum before
+//! touching the payload and rejects any mismatch as a structured
+//! `bad_artifact`; version-1 blobs (no version byte, no trailer) are
+//! rejected too — every publisher in the workspace re-encodes.
 //!
 //! For transport inside a JSON line the blob is base64-encoded
 //! ([`to_base64`] / [`from_base64`]); the codec lives here because the
 //! workspace is std-only.
 
 use crate::frozen::{FrozenError, FrozenModel};
+use crate::integrity::crc32;
 use crate::server::ServingVocab;
 
 const MAGIC: &[u8; 4] = b"SMGA";
+
+/// The artifact format version written by [`encode`].
+pub const VERSION: u8 = 2;
 
 /// Serialises a model + vocabulary into one publishable blob.
 pub fn encode(model: &FrozenModel, vocab: &ServingVocab) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
+    out.push(VERSION);
     let names = |out: &mut Vec<u8>, list: &[String]| {
         for name in list {
             out.extend_from_slice(&(name.len() as u32).to_le_bytes());
@@ -45,6 +60,8 @@ pub fn encode(model: &FrozenModel, vocab: &ServingVocab) -> Vec<u8> {
     model
         .write_to(&mut out)
         .expect("writing a frozen model to memory cannot fail");
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
@@ -84,18 +101,53 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Parses a blob produced by [`encode`].
+/// Parses a blob produced by [`encode`], verifying the CRC32 trailer
+/// before touching the payload.
 ///
 /// # Errors
-/// [`FrozenError::Format`] on a damaged or truncated artifact, plus any
-/// checkpoint error from the embedded frozen model.
+/// [`FrozenError::Format`] on a damaged, truncated, checksum-mismatched
+/// or wrong-version artifact, plus any checkpoint error from the
+/// embedded frozen model. The `artifact.decode` injection site can
+/// corrupt a byte here to prove the checksum rejection path.
 pub fn decode(bytes: &[u8]) -> Result<(FrozenModel, ServingVocab), FrozenError> {
+    // Fault plane: a planned corruption flips one byte of a private copy
+    // (the caller's buffer is never touched). Zero cost when disabled.
+    let mut corrupted: Vec<u8>;
+    let mut bytes = bytes;
+    if smgcn_faults::enabled() {
+        corrupted = bytes.to_vec();
+        if smgcn_faults::corrupt_buf(smgcn_faults::sites::ARTIFACT_DECODE, &mut corrupted) {
+            bytes = &corrupted;
+        }
+    }
     let mut cur = Cursor { rest: bytes };
     if cur.take(4)? != MAGIC {
         return Err(FrozenError::Format(
             "not a publish artifact (bad magic)".into(),
         ));
     }
+    let version = cur.take(1)?[0];
+    if version != VERSION {
+        return Err(FrozenError::Format(format!(
+            "unsupported publish artifact version {version} (expected {VERSION})"
+        )));
+    }
+    if bytes.len() < MAGIC.len() + 1 + 4 {
+        return Err(FrozenError::Format("truncated publish artifact".into()));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(FrozenError::Format(format!(
+            "publish artifact checksum mismatch (stored {stored:#010x}, computed {computed:#010x}) — corrupt artifact rejected"
+        )));
+    }
+    // Re-anchor the cursor on the checksummed body (magic + version
+    // already consumed above).
+    cur = Cursor {
+        rest: &body[MAGIC.len() + 1..],
+    };
     let n_symptoms = cur.u32()?;
     let n_herbs = cur.u32()?;
     // Name counts that cannot fit in the remaining bytes (each name
@@ -236,8 +288,35 @@ mod tests {
         wrong[0] = b'X';
         assert!(decode(&wrong).is_err(), "bad magic");
         let mut huge = blob;
-        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        huge[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode(&huge).is_err(), "absurd name count");
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let (model, vocab) = sample();
+        let mut blob = encode(&model, &vocab);
+        blob[4] = 1;
+        let err = decode(&blob).unwrap_err();
+        assert!(
+            err.to_string().contains("version"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn checksum_rejects_every_single_byte_flip() {
+        let (model, vocab) = sample();
+        let blob = encode(&model, &vocab);
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                decode(&bad).is_err(),
+                "flip at byte {i}/{} must be rejected",
+                blob.len()
+            );
+        }
     }
 
     #[test]

@@ -88,6 +88,11 @@ struct Job {
     /// publish lands while the job is queued.
     generation: Arc<Generation>,
     submitted: Instant,
+    /// The request's `deadline_ms` budget translated to a wall-clock
+    /// instant at submission. A job whose deadline passes while it waits
+    /// in the queue is shed at drain time, *before* it joins a GEMM —
+    /// scoring a request the client has already abandoned is pure waste.
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<TimedRanking, FrozenError>>,
 }
 
@@ -184,6 +189,20 @@ impl Batcher {
         k: usize,
         generation: Arc<Generation>,
     ) -> Result<TimedRanking, FrozenError> {
+        self.recommend_pinned_deadline(set, k, generation, None)
+    }
+
+    /// Like [`Batcher::recommend_pinned_timed`] with a hard deadline: if
+    /// the job is still queued when `deadline` passes, the drain sheds it
+    /// with [`FrozenError::DeadlineExceeded`] instead of scoring it.
+    /// `None` means no budget (legacy behaviour).
+    pub fn recommend_pinned_deadline(
+        &self,
+        set: &[u32],
+        k: usize,
+        generation: Arc<Generation>,
+        deadline: Option<Instant>,
+    ) -> Result<TimedRanking, FrozenError> {
         let (reply, rx) = mpsc::channel();
         {
             let mut q = self.shared.queue.lock().expect("batcher lock");
@@ -201,6 +220,7 @@ impl Batcher {
                 k,
                 generation,
                 submitted: Instant::now(),
+                deadline,
                 reply,
             });
         }
@@ -277,9 +297,20 @@ fn scoring_loop(shared: Arc<Shared>, config: BatcherConfig) {
 fn score_and_reply(generation: &Arc<Generation>, batch: Vec<Job>, drained_at: Instant) {
     let model = &*generation.model;
     // Invalid sets (empty / out-of-range ids) would poison the whole
-    // GEMM, so answer those individually and batch the rest.
+    // GEMM, so answer those individually and batch the rest. Expired
+    // deadlines are shed here too — the last moment before the job
+    // would cost a GEMM row.
     let mut valid: Vec<&Job> = Vec::with_capacity(batch.len());
     for job in &batch {
+        if let Some(deadline) = job.deadline {
+            if drained_at >= deadline {
+                let waited = drained_at.duration_since(job.submitted).as_millis();
+                let _ = job.reply.send(Err(FrozenError::DeadlineExceeded(format!(
+                    "deadline_ms budget expired after {waited}ms in the scoring queue"
+                ))));
+                continue;
+            }
+        }
         match model.validate_query(&job.set) {
             Ok(()) => valid.push(job),
             Err(e) => {
@@ -442,6 +473,34 @@ mod tests {
         );
         // And once the queue drains, submissions are accepted again.
         assert!(batcher.recommend(&[2, 3], 3).is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_scoring() {
+        let m = model();
+        let slot = Arc::new(ModelSlot::with_arc(Arc::clone(&m), ServingVocab::default()));
+        // A long linger guarantees the already-expired job waits in the
+        // queue past its deadline before the drain examines it.
+        let batcher = Batcher::start_slot(
+            Arc::clone(&slot),
+            BatcherConfig {
+                max_batch: 8,
+                linger: Duration::from_millis(20),
+                ..BatcherConfig::default()
+            },
+        );
+        let expired = Some(Instant::now() - Duration::from_millis(1));
+        let got = batcher.recommend_pinned_deadline(&[0, 1], 3, slot.load(), expired);
+        assert!(
+            matches!(got, Err(FrozenError::DeadlineExceeded(_))),
+            "expired job must be shed at drain: {got:?}"
+        );
+        // A generous deadline scores normally.
+        let live = Some(Instant::now() + Duration::from_secs(5));
+        let got = batcher
+            .recommend_pinned_deadline(&[0, 1], 3, slot.load(), live)
+            .unwrap();
+        assert_eq!(got.0, m.recommend(&[0, 1], 3).unwrap());
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub enum FrozenError {
     /// The serving layer is saturated (scoring queue full); the request
     /// was shed without being scored and is safe to retry elsewhere.
     Overloaded(String),
+    /// The request's `deadline_ms` budget expired before it was scored;
+    /// it was shed at the batcher drain without paying for a GEMM.
+    DeadlineExceeded(String),
 }
 
 impl std::fmt::Display for FrozenError {
@@ -58,6 +61,7 @@ impl std::fmt::Display for FrozenError {
             FrozenError::Format(m) => write!(f, "frozen model format error: {m}"),
             FrozenError::Query(m) => write!(f, "bad query: {m}"),
             FrozenError::Overloaded(m) => write!(f, "overloaded: {m}"),
+            FrozenError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }

@@ -1,0 +1,80 @@
+//! Data-integrity primitives shared across the stack.
+//!
+//! Both durable formats grown in PR 7 — the ingest WAL's per-record
+//! framing (`smgcn-online`) and the publish artifact's trailer
+//! ([`crate::artifact`]) — checksum their payloads with the same CRC32
+//! so a bit flip anywhere between "accepted" and "served" is detected
+//! instead of decoded into garbage embeddings. One implementation lives
+//! here, at the bottom of the dependency graph, so the two formats can
+//! never disagree on the polynomial.
+
+/// CRC-32/ISO-HDLC (the IEEE 802.3 polynomial, reflected form
+/// `0xEDB88320`) — the same parameters as zlib/PNG/Ethernet, checkable
+/// with any external tool.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Streaming form: feed chunks through repeated calls, starting from 0.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_check_value() {
+        // The canonical CRC-32/ISO-HDLC check: crc32("123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = 0;
+        for chunk in data.chunks(7) {
+            c = crc32_update(c, chunk);
+        }
+        assert_eq!(c, crc32(data));
+    }
+
+    #[test]
+    fn detects_every_single_byte_flip() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let good = crc32(&data);
+        for i in 0..data.len() {
+            let mut bad = data.clone();
+            bad[i] ^= 0x01;
+            assert_ne!(crc32(&bad), good, "flip at byte {i} must change the crc");
+        }
+    }
+}

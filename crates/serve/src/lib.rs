@@ -26,6 +26,10 @@
 //!   `{"op":"stats"}` (what lets a router eject *slow* replicas); the
 //!   type itself now lives in `smgcn-obs` and is re-exported here;
 //! - [`json`] — the minimal JSON reader/writer behind the wire protocol;
+//! - [`errors`] — the shared wire error-code constants and the router's
+//!   retryability classification, so serve and cluster can't drift;
+//! - [`integrity`] — the CRC32 used by both the publish-artifact trailer
+//!   and the ingest WAL's record framing;
 //! - [`server`] — a multi-threaded `std::net` TCP loop speaking
 //!   newline-delimited JSON (`smgcn serve`).
 
@@ -34,7 +38,9 @@
 pub mod artifact;
 pub mod batcher;
 pub mod cache;
+pub mod errors;
 pub mod frozen;
+pub mod integrity;
 /// The decaying latency histogram, migrated to [`smgcn_obs`] so every
 /// layer shares one implementation; re-exported under its historical
 /// path for existing callers.
@@ -48,6 +54,7 @@ pub mod topk;
 
 pub use batcher::{Batcher, BatcherConfig, ScoreTimings};
 pub use cache::{GenCacheStats, GenerationalCache, LruCache};
+pub use errors::{codes, is_retryable};
 pub use frozen::{FrozenError, FrozenModel};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{Server, ServerConfig, ServingVocab};

@@ -29,7 +29,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use smgcn_obs::{
     mint_trace_id, Counter, EventJournal, LatencyHistogram, Registry, Sample, SampleValue, Sampler,
@@ -38,6 +38,7 @@ use smgcn_obs::{
 
 use crate::batcher::{Batcher, BatcherConfig, ScoreTimings};
 use crate::cache::{GenerationalCache, QueryKey};
+use crate::errors::codes;
 use crate::frozen::{FrozenError, FrozenModel};
 use crate::json::{self, Json};
 use crate::slot::{Generation, ModelSlot};
@@ -184,6 +185,12 @@ struct ServeObs {
     cache_hits: Counter,
     cache_misses: Counter,
     publishes: Counter,
+    /// Publish artifacts rejected before touching the live generation
+    /// (bad base64, bad magic/version, checksum mismatch, bad payload).
+    publish_rejected: Counter,
+    /// Requests shed because their `deadline_ms` budget expired before
+    /// scoring.
+    deadline_sheds: Counter,
     traced: Counter,
     batch_size: Arc<LatencyHistogram>,
     queue_wait_us: Arc<LatencyHistogram>,
@@ -206,6 +213,8 @@ impl ServeObs {
             cache_hits: registry.counter("serve_cache_hits_total"),
             cache_misses: registry.counter("serve_cache_misses_total"),
             publishes: registry.counter("serve_publishes_total"),
+            publish_rejected: registry.counter("serve_publish_rejected_total"),
+            deadline_sheds: registry.counter("serve_deadline_sheds_total"),
             traced: registry.counter("serve_traced_total"),
             batch_size: registry.histogram("serve_batch_size"),
             queue_wait_us: registry.histogram("serve_batch_queue_wait_us"),
@@ -256,6 +265,7 @@ impl Engine {
         &self,
         pinned: &Arc<Generation>,
         key: QueryKey,
+        deadline: Option<Instant>,
     ) -> Result<(Vec<u32>, Arc<Generation>, bool, RankTiming), ApiError> {
         let k = key.k;
         let cache_start = Instant::now();
@@ -282,14 +292,21 @@ impl Engine {
         // against a different vocabulary published mid-request.
         let (ranking, generation, timings) = self
             .batcher
-            .recommend_pinned_timed(&key.symptoms, k, Arc::clone(pinned))
+            .recommend_pinned_deadline(&key.symptoms, k, Arc::clone(pinned), deadline)
             .map_err(|e| match e {
                 FrozenError::Overloaded(m) => {
                     self.queue_rejections.inc();
                     self.obs.events.record("shed", "scoring queue full");
-                    ApiError::retryable("queue_full", m)
+                    ApiError::retryable(codes::QUEUE_FULL, m)
                 }
-                other => ApiError::new("scoring_failed", other.to_string()),
+                FrozenError::DeadlineExceeded(m) => {
+                    self.obs.deadline_sheds.inc();
+                    self.obs
+                        .events
+                        .record("deadline_shed", "deadline_ms expired before scoring");
+                    ApiError::new(codes::DEADLINE_EXCEEDED, m)
+                }
+                other => ApiError::new(codes::SCORING_FAILED, other.to_string()),
             })?;
         self.obs.queue_wait_us.record(timings.queue_us);
         self.obs.gemm_us.record(timings.gemm_us);
@@ -445,16 +462,30 @@ impl Engine {
     /// touching the live generation; success reports the generation that
     /// is now serving so a rolling coordinator can verify the cutover.
     fn publish(&self, req: &Json) -> Result<Json, ApiError> {
-        let text = req
-            .get("artifact")
-            .and_then(Json::as_str)
-            .ok_or_else(|| ApiError::new("bad_request", "publish needs \"artifact\" (base64)"))?;
-        let bytes = crate::artifact::from_base64(text)
-            .map_err(|e| ApiError::new("bad_artifact", format!("artifact is not base64: {e}")))?;
+        let text = req.get("artifact").and_then(Json::as_str).ok_or_else(|| {
+            ApiError::new(codes::BAD_REQUEST, "publish needs \"artifact\" (base64)")
+        })?;
+        let reject = |e: ApiError| {
+            self.obs.publish_rejected.inc();
+            self.obs.events.record(
+                "publish_rejected",
+                format!(
+                    "artifact rejected, live generation untouched: {}",
+                    e.message
+                ),
+            );
+            e
+        };
+        let bytes = crate::artifact::from_base64(text).map_err(|e| {
+            reject(ApiError::new(
+                codes::BAD_ARTIFACT,
+                format!("artifact is not base64: {e}"),
+            ))
+        })?;
         let generation = self
             .slot
             .publish_bytes(&bytes)
-            .map_err(|e| ApiError::new("bad_artifact", e.to_string()))?;
+            .map_err(|e| reject(ApiError::new(codes::BAD_ARTIFACT, e.to_string())))?;
         let now = self.slot.load();
         self.obs.publishes.inc();
         self.obs.registry.gauge("serve_generation").set(generation);
@@ -536,7 +567,7 @@ impl Engine {
         trace: &mut Option<TraceWork>,
     ) -> Result<Answer, ApiError> {
         let req = json::parse(line)
-            .map_err(|e| ApiError::new("bad_json", format!("bad request JSON: {e}")))?;
+            .map_err(|e| ApiError::new(codes::BAD_JSON, format!("bad request JSON: {e}")))?;
         // Tracing is decided right after parse: explicitly requested
         // traces come back in the response; sampled ones only land in
         // the journal, so untraced responses stay byte-identical.
@@ -569,20 +600,50 @@ impl Engine {
                 }))
             }
             Some(other) => {
-                return Err(ApiError::new("unknown_op", format!("unknown op {other:?}")))
+                return Err(ApiError::new(
+                    codes::UNKNOWN_OP,
+                    format!("unknown op {other:?}"),
+                ))
             }
         }
         let k = match req.get("k") {
             None => self.config.default_k,
             Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => *n as usize,
-            Some(other) => return Err(ApiError::new("bad_k", format!("bad k: {other}"))),
+            Some(other) => return Err(ApiError::new(codes::BAD_K, format!("bad k: {other}"))),
         };
         if k > self.config.max_k {
             return Err(ApiError::new(
-                "bad_k",
+                codes::BAD_K,
                 format!("k {k} exceeds maximum {}", self.config.max_k),
             ));
         }
+        // The end-to-end latency budget, anchored at line arrival: the
+        // remaining milliseconds the client (or the router upstream,
+        // which decrements per hop) is still willing to wait. Zero means
+        // the budget arrived already spent — shed immediately rather
+        // than queueing a request nobody is waiting for.
+        let deadline = match req.get("deadline_ms") {
+            None => None,
+            Some(Json::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => {
+                if *n == 0.0 {
+                    self.obs.deadline_sheds.inc();
+                    self.obs
+                        .events
+                        .record("deadline_shed", "deadline_ms arrived exhausted");
+                    return Err(ApiError::new(
+                        codes::DEADLINE_EXCEEDED,
+                        "deadline_ms budget arrived already exhausted",
+                    ));
+                }
+                Some(started + Duration::from_millis(*n as u64))
+            }
+            Some(other) => {
+                return Err(ApiError::new(
+                    codes::BAD_REQUEST,
+                    format!("bad deadline_ms: {other} (want a non-negative integer)"),
+                ))
+            }
+        };
         // Pin one generation for the whole request: name resolution and
         // validation below, cache lookup and herb naming in the caller.
         let pinned = self.slot.load();
@@ -596,7 +657,7 @@ impl Engine {
             // parse span closed.
             work.builder.cover_to_now("resolve");
         }
-        let (ranking, generation, cached, timing) = self.rank(&pinned, key)?;
+        let (ranking, generation, cached, timing) = self.rank(&pinned, key, deadline)?;
         if let Some(work) = trace.as_mut() {
             let b = &mut work.builder;
             // Cache outcome is encoded in the span name; on a miss the
@@ -620,7 +681,7 @@ impl Engine {
                 let all = generation
                     .model
                     .score_one(&ids)
-                    .map_err(|e| ApiError::new("scoring_failed", e.to_string()))?;
+                    .map_err(|e| ApiError::new(codes::SCORING_FAILED, e.to_string()))?;
                 Some(ranking.iter().map(|&h| all[h as usize]).collect())
             }
             None => None,
@@ -637,33 +698,36 @@ impl Engine {
         if let Some(raw) = req.get("symptom_ids") {
             let arr = raw
                 .as_arr()
-                .ok_or_else(|| ApiError::new("bad_request", "symptom_ids must be an array"))?;
+                .ok_or_else(|| ApiError::new(codes::BAD_REQUEST, "symptom_ids must be an array"))?;
             return arr
                 .iter()
                 .map(|v| match v.as_num() {
                     Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u32),
-                    _ => Err(ApiError::new("bad_request", format!("bad symptom id {v}"))),
+                    _ => Err(ApiError::new(
+                        codes::BAD_REQUEST,
+                        format!("bad symptom id {v}"),
+                    )),
                 })
                 .collect();
         }
         if let Some(raw) = req.get("symptoms") {
             let arr = raw.as_arr().ok_or_else(|| {
-                ApiError::new("bad_request", "symptoms must be an array of names")
+                ApiError::new(codes::BAD_REQUEST, "symptoms must be an array of names")
             })?;
             return arr
                 .iter()
                 .map(|v| {
-                    let name = v
-                        .as_str()
-                        .ok_or_else(|| ApiError::new("bad_request", format!("bad symptom {v}")))?;
+                    let name = v.as_str().ok_or_else(|| {
+                        ApiError::new(codes::BAD_REQUEST, format!("bad symptom {v}"))
+                    })?;
                     generation.vocab.symptom_id(name).ok_or_else(|| {
-                        ApiError::new("unknown_symptom", format!("unknown symptom {name:?}"))
+                        ApiError::new(codes::UNKNOWN_SYMPTOM, format!("unknown symptom {name:?}"))
                     })
                 })
                 .collect();
         }
         Err(ApiError::new(
-            "bad_request",
+            codes::BAD_REQUEST,
             "request needs \"symptoms\" (names) or \"symptom_ids\"",
         ))
     }
@@ -751,12 +815,12 @@ enum Answer {
 /// are client bugs worth a precise signal.
 fn validate_ids(ids: &[u32], n_symptoms: usize) -> Result<(), ApiError> {
     if ids.is_empty() {
-        return Err(ApiError::new("empty_symptoms", "symptom set is empty"));
+        return Err(ApiError::new(codes::EMPTY_SYMPTOMS, "symptom set is empty"));
     }
     for &s in ids {
         if s as usize >= n_symptoms {
             return Err(ApiError::new(
-                "symptom_out_of_range",
+                codes::SYMPTOM_OUT_OF_RANGE,
                 format!("symptom id {s} out of range (vocabulary size {n_symptoms})"),
             ));
         }
@@ -765,7 +829,7 @@ fn validate_ids(ids: &[u32], n_symptoms: usize) -> Result<(), ApiError> {
     sorted.sort_unstable();
     if let Some(w) = sorted.windows(2).find(|w| w[0] == w[1]) {
         return Err(ApiError::new(
-            "duplicate_symptom",
+            codes::DUPLICATE_SYMPTOM,
             format!("symptom id {} appears more than once", w[0]),
         ));
     }
@@ -890,7 +954,8 @@ impl Server {
                     .events
                     .record("shed", "connection refused at capacity");
                 let refusal =
-                    ApiError::retryable("overloaded", "server at connection capacity").to_json();
+                    ApiError::retryable(codes::OVERLOADED, "server at connection capacity")
+                        .to_json();
                 let _ = writeln!(stream, "{refusal}");
                 continue; // stream drops: connection closed
             }
@@ -1205,6 +1270,64 @@ mod tests {
         );
         let stats = roundtrip(addr, r#"{"op": "stats"}"#);
         assert_eq!(stats.get("generation").and_then(Json::as_num), Some(1.0));
+
+        // The rejection is counted and journaled for the fleet to see.
+        let snap = roundtrip(addr, r#"{"op": "metrics"}"#);
+        assert_eq!(
+            snap.get("metrics")
+                .and_then(|m| m.get("serve_publish_rejected_total"))
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
+        let report = roundtrip(addr, r#"{"op": "events"}"#);
+        let events = report.get("events").and_then(Json::as_arr).unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("kind").and_then(Json::as_str) == Some("publish_rejected")),
+            "publish_rejected event missing: {report}"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_budget_is_enforced_end_to_end() {
+        let (addr, stop, handle) = test_server();
+        // A generous budget scores normally.
+        let ok = roundtrip(
+            addr,
+            r#"{"symptom_ids": [0, 1], "k": 3, "deadline_ms": 5000}"#,
+        );
+        assert!(ok.get("error").is_none(), "{ok}");
+        // A pre-spent budget is shed with the structured, terminal code
+        // before it costs a queue slot.
+        let shed = roundtrip(addr, r#"{"symptom_ids": [0, 1], "k": 3, "deadline_ms": 0}"#);
+        let err = shed.get("error").expect("zero budget must be shed");
+        assert_eq!(
+            err.get("code").and_then(Json::as_str),
+            Some(codes::DEADLINE_EXCEEDED)
+        );
+        assert!(
+            err.get("retryable").is_none(),
+            "deadline sheds are terminal"
+        );
+        // Malformed budgets are a client bug, not a shed.
+        let bad = roundtrip(addr, r#"{"symptom_ids": [0], "k": 2, "deadline_ms": 1.5}"#);
+        assert_eq!(
+            bad.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(codes::BAD_REQUEST)
+        );
+        // The shed is visible in the metrics snapshot.
+        let snap = roundtrip(addr, r#"{"op": "metrics"}"#);
+        assert_eq!(
+            snap.get("metrics")
+                .and_then(|m| m.get("serve_deadline_sheds_total"))
+                .and_then(Json::as_num),
+            Some(1.0)
+        );
         stop.stop();
         handle.join().unwrap();
     }

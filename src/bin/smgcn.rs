@@ -61,8 +61,17 @@
 //! SLO assertions (p99 budget, zero error-budget burn, generation
 //! consistency). Exits nonzero on any SLO violation; `--plan true`
 //! prints the byte-reproducible workload plan without running. Each run
-//! also writes the front-end's final `{"op":"metrics"}` snapshot next
-//! to the report (`METRICS_<scenario>.json`).
+//! also writes the front-end's final `{"op":"metrics"}` snapshot and
+//! `{"op":"events"}` journal next to the report
+//! (`METRICS_<scenario>.json`, `EVENTS_<scenario>.json`). The `fault-storm`
+//! scenario additionally installs its seeded fault-injection plan
+//! (link delays/drops, a corrupted publish) for the run.
+//!
+//! Setting `SMGCN_FAULT_SEED` to a nonzero integer arms the canonical
+//! storm plan (`smgcn_faults::FaultPlan::storm`) in the launched
+//! process — a chaos drill for `serve`/`route` that injects WAL write
+//! failures, artifact corruption, and link faults deterministically
+//! from the seed.
 //!
 //! `top` is the ops console: it polls `{"op":"metrics"}` on a server or
 //! router every `--interval-ms` and renders a live fleet table — one
@@ -94,7 +103,8 @@ fn usage() -> ! {
          smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n  \
          smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
-         scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill\n\
+         scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill, fault-storm\n\
+         env: SMGCN_FAULT_SEED=N arms the seeded fault-injection storm plan in this process\n\
          --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
     );
     exit(2)
@@ -800,6 +810,7 @@ fn cmd_loadgen(rest: &[String]) {
                     violations: Vec::new(),
                 },
                 metrics_json: None,
+                events_json: None,
             };
             print!("{}", report.workload_json());
             continue;
@@ -825,6 +836,14 @@ fn cmd_loadgen(rest: &[String]) {
                 exit(1);
             });
             println!("  wrote {mpath}");
+        }
+        if let Some(events) = &report.events_json {
+            let epath = format!("{out_dir}/EVENTS_{}.json", kind.name().replace('-', "_"));
+            std::fs::write(&epath, format!("{events}\n")).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {epath}: {e}");
+                exit(1);
+            });
+            println!("  wrote {epath}");
         }
         println!();
         if !report.verdict.passed() {
@@ -961,6 +980,11 @@ fn cmd_top(flags: HashMap<String, String>) {
 }
 
 fn main() {
+    // Chaos-drill hook: a nonzero SMGCN_FAULT_SEED installs the seeded
+    // storm plan for this process (serve/route under injected faults).
+    if let Some(seed) = smgcn_repro::faults::init_from_env() {
+        eprintln!("fault plane armed: storm plan seed {seed} (SMGCN_FAULT_SEED)");
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         usage()

@@ -21,8 +21,13 @@
 //! - [`obs`] — the telemetry plane: lock-free metric registry,
 //!   request-trace spans and structured event journals behind the
 //!   `{"op":"metrics"}` / `{"op":"events"}` verbs and `smgcn top`;
+//! - [`faults`] — the seeded deterministic fault-injection plane:
+//!   named sites wired through the WAL, artifact decode, and replica
+//!   links, replayable plans (`SMGCN_FAULT_SEED`), near-zero cost when
+//!   disabled;
 //! - [`loadgen`] — deterministic multi-scenario load & chaos engine
-//!   with per-scenario SLO assertions (`smgcn loadgen`).
+//!   with per-scenario SLO assertions (`smgcn loadgen`), including the
+//!   `fault-storm` scenario driven by the fault plane.
 //!
 //! See README.md for a tour and DESIGN.md for the experiment index.
 
@@ -30,6 +35,7 @@ pub use smgcn_cluster as cluster;
 pub use smgcn_core as core;
 pub use smgcn_data as data;
 pub use smgcn_eval as eval;
+pub use smgcn_faults as faults;
 pub use smgcn_graph as graph;
 pub use smgcn_loadgen as loadgen;
 pub use smgcn_obs as obs;
