@@ -1,30 +1,38 @@
-//! Observability-overhead gate: serving qps with request-trace sampling
-//! on vs off.
+//! Observability-overhead gate: serving qps with the full telemetry
+//! stack on vs a bare server.
 //!
 //! The telemetry plane's contract is "free unless asked": counters are
-//! single atomic adds on the hot path, and span timelines are only
-//! assembled for sampled requests. This bench holds the contract to a
-//! number — the same query stream is driven through two in-process
-//! servers, one with `trace_sample_every: 0` (tracing off) and one
-//! sampling 1-in-`--sample-every` requests into the trace journal, and
-//! the sampled configuration must keep at least `1 - --max-regress` of
-//! the untraced throughput.
+//! single atomic adds on the hot path, span timelines are only
+//! assembled for sampled requests, the continuous profiler folds phase
+//! timers the request already measured, and the scraper reads a
+//! lock-free registry off the hot path entirely. This bench holds the
+//! contract to a number — the same query stream is driven through two
+//! in-process servers: one bare (tracing off, profiler off, no
+//! scraper), and one loaded with 1-in-`--sample-every` trace sampling,
+//! the continuous profiler, and (with `--scrape-ms N`) a live tsdb
+//! scraper polling `{"op":"metrics"}` over TCP. The loaded
+//! configuration must keep at least `1 - --max-regress` of the bare
+//! throughput.
 //!
 //! ```text
 //! obs_overhead [--queries N] [--conns N] [--trials N]
-//!              [--sample-every N] [--max-regress F] [--out PATH]
+//!              [--sample-every N] [--scrape-ms N] [--max-regress F]
+//!              [--out PATH]
 //! ```
 //!
-//! Trials interleave the two configurations (off, sampled, off, …) and
+//! Trials interleave the two configurations (bare, loaded, bare, …) and
 //! each side keeps its best run, so a shared runner throttling mid-way
-//! depresses both sides instead of reading as tracing overhead.
+//! depresses both sides instead of reading as telemetry overhead.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use smgcn_bench::harness::{spawn_server, synthetic_frozen, synthetic_vocab};
 use smgcn_bench::report::{BenchReport, GateDirection};
+use smgcn_obs::tsdb::{Scraper, TsdbData};
+use smgcn_serve::json;
+use smgcn_serve::server::flatten_metrics_json;
 use smgcn_serve::ServerConfig;
 
 const N_SYMPTOMS: usize = 64;
@@ -37,6 +45,7 @@ struct Args {
     conns: usize,
     trials: usize,
     sample_every: u64,
+    scrape_ms: u64,
     max_regress: f64,
     out: String,
 }
@@ -47,6 +56,7 @@ fn parse_args() -> Args {
         conns: 4,
         trials: 3,
         sample_every: 100,
+        scrape_ms: 0,
         max_regress: 0.05,
         out: "BENCH_obs.json".to_string(),
     };
@@ -65,6 +75,9 @@ fn parse_args() -> Args {
             "--sample-every" => {
                 args.sample_every = value("--sample-every").parse().expect("numeric rate");
             }
+            "--scrape-ms" => {
+                args.scrape_ms = value("--scrape-ms").parse().expect("numeric interval");
+            }
             "--max-regress" => {
                 args.max_regress = value("--max-regress").parse().expect("numeric fraction");
             }
@@ -73,7 +86,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "error: unknown argument {other:?}\n\
                      usage: obs_overhead [--queries N] [--conns N] [--trials N] \
-                     [--sample-every N] [--max-regress F] [--out PATH]"
+                     [--sample-every N] [--scrape-ms N] [--max-regress F] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -83,16 +96,39 @@ fn parse_args() -> Args {
 }
 
 /// Drives `queries` requests over `conns` serial client connections
-/// against a fresh server at the given sampling rate; returns qps.
-fn measure(args: &Args, sample_every: u64) -> f64 {
+/// against a fresh server; returns qps. `loaded` runs the full
+/// telemetry stack (trace sampling, continuous profiler, and — when
+/// `--scrape-ms` is set — a live tsdb scraper), bare runs none of it.
+fn measure(args: &Args, loaded: bool) -> f64 {
     let server = spawn_server(
         synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
         synthetic_vocab(N_SYMPTOMS, N_HERBS, 0),
         ServerConfig {
-            trace_sample_every: sample_every,
+            trace_sample_every: if loaded { args.sample_every } else { 0 },
+            profile: loaded,
             ..ServerConfig::default()
         },
     );
+    let scraper = (loaded && args.scrape_ms > 0).then(|| {
+        let addr = server.addr;
+        let mut history = TsdbData::default();
+        Scraper::spawn(
+            Duration::from_millis(args.scrape_ms),
+            Box::new(move || {
+                let stream = TcpStream::connect(addr).ok()?;
+                stream.set_nodelay(true).ok();
+                let mut writer = BufWriter::new(stream.try_clone().ok()?);
+                let mut reader = BufReader::new(stream);
+                writeln!(writer, "{{\"op\":\"metrics\"}}").ok()?;
+                writer.flush().ok()?;
+                let mut line = String::new();
+                reader.read_line(&mut line).ok()?;
+                let snap = json::parse(line.trim()).ok()?;
+                Some(flatten_metrics_json(snap.get("metrics")?))
+            }),
+            Box::new(move |at_ms, samples| history.push(at_ms, samples)),
+        )
+    });
     let per_conn = args.queries / args.conns.max(1);
     let t0 = Instant::now();
     let workers: Vec<_> = (0..args.conns.max(1))
@@ -126,44 +162,48 @@ fn measure(args: &Args, sample_every: u64) -> f64 {
         worker.join().expect("client thread");
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    if let Some(scraper) = scraper {
+        scraper.stop();
+    }
     server.shutdown();
     (per_conn * args.conns.max(1)) as f64 / elapsed
 }
 
 fn main() {
     let args = parse_args();
-    println!("=== smgcn-obs tracing overhead ===");
+    println!("=== smgcn-obs telemetry overhead ===");
     println!(
-        "queries: {} | conns: {} | trials: {} | sampling 1-in-{} | budget {:.0}%",
+        "queries: {} | conns: {} | trials: {} | sampling 1-in-{} | scrape {} ms | budget {:.0}%",
         args.queries,
         args.conns,
         args.trials,
         args.sample_every,
+        args.scrape_ms,
         args.max_regress * 100.0
     );
 
     let mut qps_off = 0.0f64;
     let mut qps_sampled = 0.0f64;
     for trial in 0..args.trials.max(1) {
-        let off = measure(&args, 0);
-        let sampled = measure(&args, args.sample_every);
-        println!("trial {trial}: off {off:>8.0} qps | sampled {sampled:>8.0} qps");
+        let off = measure(&args, false);
+        let sampled = measure(&args, true);
+        println!("trial {trial}: bare {off:>8.0} qps | loaded {sampled:>8.0} qps");
         qps_off = qps_off.max(off);
         qps_sampled = qps_sampled.max(sampled);
     }
 
     let ratio = qps_sampled / qps_off;
-    println!("\nbest: off {qps_off:.0} qps | sampled {qps_sampled:.0} qps | ratio {ratio:.3}");
+    println!("\nbest: bare {qps_off:.0} qps | loaded {qps_sampled:.0} qps | ratio {ratio:.3}");
     assert!(
         ratio >= 1.0 - args.max_regress,
-        "1-in-{} trace sampling costs {:.1}% qps (budget {:.0}%)",
+        "the telemetry stack (1-in-{} tracing, profiler, scrape {} ms) costs {:.1}% qps (budget {:.0}%)",
         args.sample_every,
+        args.scrape_ms,
         (1.0 - ratio) * 100.0,
         args.max_regress * 100.0
     );
     println!(
-        "OK: 1-in-{} trace sampling keeps {:.1}% of untraced throughput",
-        args.sample_every,
+        "OK: the full telemetry stack keeps {:.1}% of bare throughput",
         ratio * 100.0
     );
 
@@ -171,6 +211,7 @@ fn main() {
     let conns_arg = args.conns.to_string();
     let trials_arg = args.trials.to_string();
     let sample_arg = args.sample_every.to_string();
+    let scrape_arg = args.scrape_ms.to_string();
     let mut out = BenchReport::new(
         "obs_overhead",
         "synthetic",
@@ -185,6 +226,8 @@ fn main() {
             &trials_arg,
             "--sample-every",
             &sample_arg,
+            "--scrape-ms",
+            &scrape_arg,
         ],
     );
     out.gated("sampled_qps_ratio", ratio, GateDirection::Higher)
@@ -192,7 +235,8 @@ fn main() {
         .metric("qps_sampled", qps_sampled)
         .metric("queries", args.queries as f64)
         .metric("conns", args.conns as f64)
-        .metric("sample_every", args.sample_every as f64);
+        .metric("sample_every", args.sample_every as f64)
+        .metric("scrape_ms", args.scrape_ms as f64);
     out.write(&args.out).expect("write BENCH_obs.json");
     println!("wrote {}", args.out);
 }

@@ -40,4 +40,4 @@ pub mod router;
 pub use pool::{ClusterObs, Health, Lease, PoolConfig, Replica, ReplicaConn, ReplicaPool};
 pub use publish::{rolling_publish, rolling_publish_addrs, PublishOutcome, PublishReport};
 pub use ring::{key_of_ids, key_of_names, HashRing};
-pub use router::{Router, RouterConfig, RouterStopHandle};
+pub use router::{merge_metric_value, merge_metrics, Router, RouterConfig, RouterStopHandle};

@@ -33,7 +33,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use smgcn_obs::{mint_trace_id, Counter, EventJournal, LatencyHistogram, Registry, TraceBuilder};
+use smgcn_obs::profile::{merge_folded, render_folded};
+use smgcn_obs::{
+    mint_trace_id, Counter, EventJournal, LatencyHistogram, ProfileHandle, Profiler, Registry,
+    TraceBuilder,
+};
 use smgcn_serve::errors::codes;
 use smgcn_serve::json::{self, Json};
 use smgcn_serve::server::samples_to_json;
@@ -106,6 +110,11 @@ struct RouterEngine {
     publishes: Counter,
     /// Wall time of the forward path (route + replica + relay), µs.
     forward_us: Arc<LatencyHistogram>,
+    /// The router's continuous profiler: forward wall time folds under
+    /// `router;forward`, fleet-merged with the replicas' stacks by
+    /// `{"op":"profile"}`.
+    profiler: Arc<Profiler>,
+    prof_forward: ProfileHandle,
     /// Serializes fleet-level rolling publishes: two interleaved
     /// rollouts could leave replicas serving *different* models under
     /// the same generation number (each replica numbers generations
@@ -511,6 +520,75 @@ impl RouterEngine {
         ])
     }
 
+    /// The `{"op":"profile"}` admin verb, fleet-wide: the router's own
+    /// folded stacks merged with every replica's, so one
+    /// flamegraph-collapsed report covers routing, serving and (when the
+    /// replica co-hosts an online pipeline) training. Stacks merge by
+    /// summing microseconds per identical frame path; the totals sum
+    /// too, so the coverage ratio (`profile_total_us` vs
+    /// `latency_total_us`) stays meaningful fleet-wide. Unreachable
+    /// replicas are marked `{"code":"partial"}`.
+    fn profile(&self) -> Json {
+        let mut partial = false;
+        let mut merged = std::collections::BTreeMap::new();
+        merge_folded(&mut merged, &self.profiler.fold());
+        let mut latency_total = 0.0;
+        let replicas: Vec<Json> = self
+            .pool
+            .replicas()
+            .iter()
+            .map(|r| {
+                let addr = ("addr", Json::Str(r.addr.to_string()));
+                match self.fetch_direct(r.addr, r#"{"op":"profile"}"#) {
+                    Ok(snap) if snap.get("error").is_none() => {
+                        if let Some(folded) = snap.get("folded").and_then(Json::as_str) {
+                            merge_folded(&mut merged, folded);
+                        }
+                        latency_total += snap
+                            .get("latency_total_us")
+                            .and_then(Json::as_num)
+                            .unwrap_or(0.0);
+                        json::obj([
+                            addr,
+                            ("folded", snap.get("folded").cloned().unwrap_or(Json::Null)),
+                            (
+                                "profile_total_us",
+                                snap.get("profile_total_us").cloned().unwrap_or(Json::Null),
+                            ),
+                            (
+                                "latency_total_us",
+                                snap.get("latency_total_us").cloned().unwrap_or(Json::Null),
+                            ),
+                        ])
+                    }
+                    Ok(refusal) => {
+                        partial = true;
+                        json::obj([
+                            addr,
+                            (
+                                "error",
+                                Self::partial_marker(format!("replica refused profile: {refusal}")),
+                            ),
+                        ])
+                    }
+                    Err(e) => {
+                        partial = true;
+                        json::obj([addr, ("error", Self::partial_marker(e))])
+                    }
+                }
+            })
+            .collect();
+        let profile_total: u64 = merged.values().sum();
+        json::obj([
+            ("router", Json::Str(self.profiler.fold())),
+            ("replicas", Json::Arr(replicas)),
+            ("folded", Json::Str(render_folded(&merged))),
+            ("profile_total_us", Json::Num(profile_total as f64)),
+            ("latency_total_us", Json::Num(latency_total)),
+            ("partial", Json::Bool(partial)),
+        ])
+    }
+
     /// The `{"op":"events"}` admin verb, fleet-wide: the router's own
     /// journal tail plus each replica's (optional `"limit"`, default 64).
     fn events_report(&self, req: &Json) -> Json {
@@ -598,6 +676,7 @@ impl RouterEngine {
             Some("stats") => return self.stats().to_string(),
             Some("metrics") => return self.metrics().to_string(),
             Some("events") => return self.events_report(&req).to_string(),
+            Some("profile") => return self.profile().to_string(),
             Some("publish") => {
                 let Some(artifact) = req.get("artifact").and_then(Json::as_str) else {
                     return json::obj([(
@@ -674,7 +753,9 @@ impl RouterEngine {
         }
         let t0 = Instant::now();
         let response = self.forward(key, line, &req, deadline);
-        self.forward_us.record(t0.elapsed().as_micros() as u64);
+        let wall_us = t0.elapsed().as_micros() as u64;
+        self.forward_us.record(wall_us);
+        self.prof_forward.add(wall_us);
         response
     }
 
@@ -723,6 +804,7 @@ impl RouterEngine {
         let raw = self.forward(key, &forward_line, &forward_req, deadline);
         let wall_us = t0.elapsed().as_micros() as u64;
         self.forward_us.record(wall_us);
+        self.prof_forward.add(wall_us);
         let Ok(Json::Obj(mut response)) = json::parse(&raw) else {
             return raw;
         };
@@ -764,9 +846,12 @@ impl RouterEngine {
 /// Folds one metrics object into the fleet-wide merge. Counters (keys
 /// ending `_total`) sum across replicas; other scalars (gauges like
 /// `serve_generation`) take the max. Histogram stat objects sum their
-/// `count`/`total_count` fields and take the max elsewhere (quantiles
-/// and means — a fleet p99 is bounded below by its worst replica).
-fn merge_metrics(merged: &mut std::collections::BTreeMap<String, Json>, metrics: &Json) {
+/// extensive fields (`count`/`total_count` and the `sum_us` sums) and
+/// take the max elsewhere (quantiles and means — a fleet p99 is bounded
+/// below by its worst replica). Public so merge laws (associativity,
+/// commutativity, percentile bounds) can be property-tested from
+/// outside the crate.
+pub fn merge_metrics(merged: &mut std::collections::BTreeMap<String, Json>, metrics: &Json) {
     let Json::Obj(map) = metrics else {
         return;
     };
@@ -780,7 +865,9 @@ fn merge_metrics(merged: &mut std::collections::BTreeMap<String, Json>, metrics:
     }
 }
 
-fn merge_metric_value(acc: &mut Json, add: &Json, key: &str) {
+/// Merges one sample value into an accumulator under [`merge_metrics`]'
+/// rules; `key` decides counter-vs-gauge semantics for scalars.
+pub fn merge_metric_value(acc: &mut Json, add: &Json, key: &str) {
     match (acc, add) {
         (Json::Num(a), Json::Num(b)) => {
             if key.ends_with("_total") {
@@ -797,7 +884,11 @@ fn merge_metric_value(acc: &mut Json, add: &Json, key: &str) {
                     }
                     Some(Json::Num(cur)) => {
                         if let Json::Num(v) = value {
-                            if field == "count" || field == "total_count" {
+                            let extensive = field == "count"
+                                || field == "total_count"
+                                || field == "sum_us"
+                                || field == "total_sum_us";
+                            if extensive {
                                 *cur += *v;
                             } else {
                                 *cur = cur.max(*v);
@@ -830,6 +921,7 @@ impl Router {
         assert!(!replicas.is_empty(), "Router: need at least one replica");
         let listener = TcpListener::bind(addr)?;
         let registry = Arc::new(Registry::new());
+        let profiler = Arc::new(Profiler::new());
         let events = Arc::new(EventJournal::new(256));
         let pool_obs = Arc::new(ClusterObs {
             events: Arc::clone(&events),
@@ -850,6 +942,8 @@ impl Router {
             deadline_sheds: registry.counter("router_deadline_sheds_total"),
             publishes: registry.counter("router_publishes_total"),
             forward_us: registry.histogram("router_forward_us"),
+            prof_forward: profiler.node(&["router", "forward"]),
+            profiler,
             registry,
             events,
             publish_lock: std::sync::Mutex::new(()),
@@ -875,6 +969,12 @@ impl Router {
     /// The fleet event journal behind `{"op":"events"}`.
     pub fn events(&self) -> Arc<EventJournal> {
         Arc::clone(&self.engine.events)
+    }
+
+    /// The router's own continuous profiler (the `router` section of the
+    /// fleet `{"op":"profile"}` report).
+    pub fn profiler(&self) -> Arc<Profiler> {
+        Arc::clone(&self.engine.profiler)
     }
 
     /// A handle that makes [`Router::run`] return.

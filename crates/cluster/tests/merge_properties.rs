@@ -1,0 +1,246 @@
+//! Property tests for the fleet metrics merge, plus the
+//! `{"code":"partial"}` degraded-aggregate path against live sockets.
+//!
+//! The router's `{"op":"metrics"}` merge is a fold over per-replica
+//! snapshots, and its laws are what make the merged view trustworthy:
+//!
+//! - **commutativity / associativity** — the merged snapshot must not
+//!   depend on the order replicas answered in (scrape order is racy by
+//!   nature). Counters and histogram `count`/`sum` fields are summed as
+//!   integer-valued floats (exact below 2^53), everything else is a max
+//!   — both operations are order-free, and the tests pin that the
+//!   *composition* stays order-free too;
+//! - **percentile bounds** — a merged quantile is the fleet max, so it
+//!   is bounded below by every replica's own quantile (a fleet p99 can
+//!   never look better than its worst replica).
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use smgcn_cluster::{merge_metrics, PoolConfig, Router, RouterConfig};
+use smgcn_serve::json::{self, Json};
+use smgcn_serve::{FrozenModel, Server, ServerConfig, ServingVocab};
+use smgcn_tensor::Matrix;
+
+/// One synthetic per-replica metrics snapshot: a few counters, a gauge,
+/// and a histogram stats object, all integer-valued so float summation
+/// is exact and associativity holds bit-for-bit.
+fn snapshot_strategy() -> impl Strategy<Value = Json> {
+    let counter = 0u32..10_000;
+    let hist = (
+        0u32..1000,   // count
+        0u32..50_000, // sum_us
+        0u32..2_000,  // p50_us
+        0u32..8_000,  // p99_us
+    );
+    // The vendored proptest has no `option::of`; a 1-in-4 selector
+    // stands in for "this replica reports no latency histogram yet".
+    (counter.clone(), counter, 0u32..16, 0u32..4, hist).prop_map(
+        |(requests, errors, generation, has_hist, hist)| {
+            let mut fields = vec![
+                ("serve_requests_total", Json::Num(f64::from(requests))),
+                ("serve_errors_total", Json::Num(f64::from(errors))),
+                ("serve_generation", Json::Num(f64::from(generation))),
+            ];
+            if has_hist > 0 {
+                let (count, sum_us, p50, p99) = hist;
+                fields.push((
+                    "serve_latency_us",
+                    json::obj([
+                        ("count", Json::Num(f64::from(count))),
+                        ("sum_us", Json::Num(f64::from(sum_us))),
+                        ("p50_us", Json::Num(f64::from(p50))),
+                        ("p99_us", Json::Num(f64::from(p99.max(p50)))),
+                        ("total_count", Json::Num(f64::from(count))),
+                        ("total_sum_us", Json::Num(f64::from(sum_us))),
+                        ("total_p99_us", Json::Num(f64::from(p99.max(p50)))),
+                    ]),
+                ));
+            }
+            json::obj(fields)
+        },
+    )
+}
+
+fn merge_all(snapshots: &[Json]) -> BTreeMap<String, Json> {
+    let mut merged = BTreeMap::new();
+    for snap in snapshots {
+        merge_metrics(&mut merged, snap);
+    }
+    merged
+}
+
+fn get_num(merged: &BTreeMap<String, Json>, key: &str) -> f64 {
+    merged.get(key).and_then(Json::as_num).unwrap_or(0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative_and_associative(
+        snaps in proptest::collection::vec(snapshot_strategy(), 2..6),
+    ) {
+        let forward = merge_all(&snaps);
+        let mut reversed_order = snaps.clone();
+        reversed_order.reverse();
+        prop_assert_eq!(
+            &forward,
+            &merge_all(&reversed_order),
+            "merge must not depend on replica answer order"
+        );
+        // Associativity: fold the tail first, then merge the head's
+        // snapshot into it — same result as the left fold.
+        let mut tail_first = BTreeMap::new();
+        merge_metrics(&mut tail_first, &snaps[0]);
+        let tail = merge_all(&snaps[1..]);
+        merge_metrics(&mut tail_first, &Json::Obj(tail.into_iter().collect()));
+        prop_assert_eq!(&forward, &tail_first);
+    }
+
+    #[test]
+    fn counters_sum_gauges_and_quantiles_max_sums_stay_extensive(
+        snaps in proptest::collection::vec(snapshot_strategy(), 1..6),
+    ) {
+        let merged = merge_all(&snaps);
+        let total: f64 = snaps
+            .iter()
+            .map(|s| s.get("serve_requests_total").and_then(Json::as_num).unwrap())
+            .sum();
+        prop_assert_eq!(get_num(&merged, "serve_requests_total"), total);
+        let max_gen = snaps
+            .iter()
+            .map(|s| s.get("serve_generation").and_then(Json::as_num).unwrap())
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(get_num(&merged, "serve_generation"), max_gen);
+        if let Some(hist) = merged.get("serve_latency_us") {
+            let replica_hists: Vec<&Json> =
+                snaps.iter().filter_map(|s| s.get("serve_latency_us")).collect();
+            let count_sum: f64 = replica_hists
+                .iter()
+                .map(|h| h.get("count").and_then(Json::as_num).unwrap())
+                .sum();
+            let sum_us_sum: f64 = replica_hists
+                .iter()
+                .map(|h| h.get("sum_us").and_then(Json::as_num).unwrap())
+                .sum();
+            prop_assert_eq!(hist.get("count").and_then(Json::as_num), Some(count_sum));
+            prop_assert_eq!(hist.get("sum_us").and_then(Json::as_num), Some(sum_us_sum));
+            // The merged quantile is bounded below by every replica's:
+            // the fleet view can never flatter the worst replica.
+            let merged_p99 = hist.get("p99_us").and_then(Json::as_num).unwrap();
+            for h in &replica_hists {
+                let p99 = h.get("p99_us").and_then(Json::as_num).unwrap();
+                prop_assert!(
+                    merged_p99 >= p99,
+                    "merged p99 {merged_p99} below a replica's {p99}"
+                );
+            }
+        }
+    }
+}
+
+/// An address that accepts nothing: bind, note the port, drop the
+/// listener. Connections to it are refused immediately.
+fn dead_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    drop(listener);
+    addr
+}
+
+/// Fleet aggregation with an unreachable replica: the live replica's
+/// numbers still merge, and the dead one carries a structured
+/// `{"code":"partial"}` marker instead of silently shrinking the
+/// aggregate — on `{"op":"metrics"}` and `{"op":"profile"}` alike.
+#[test]
+fn unreachable_replica_marks_aggregates_partial() {
+    let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+    let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 2 + c * 5) % 6) as f32 - 2.5);
+    let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        model,
+        ServingVocab::default(),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let live = server.local_addr().unwrap();
+    let server_stop = server.stop_handle();
+    let server_handle = std::thread::spawn(move || server.run().unwrap());
+
+    let router = Router::bind(
+        "127.0.0.1:0",
+        vec![live, dead_addr()],
+        RouterConfig {
+            pool: PoolConfig {
+                replica_timeout: Duration::from_secs(2),
+                ..PoolConfig::default()
+            },
+            probe_interval: Duration::ZERO,
+            ..RouterConfig::default()
+        },
+    )
+    .unwrap();
+    let router_addr = router.local_addr().unwrap();
+    let router_stop = router.stop_handle();
+    let router_handle = std::thread::spawn(move || router.run().unwrap());
+
+    let stream = TcpStream::connect(router_addr).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut request = |line: &str| -> Json {
+        use std::io::{BufRead, Write};
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        json::parse(response.trim()).unwrap()
+    };
+
+    // A ranking first, so the live replica has non-zero counters.
+    let resp = request(r#"{"symptom_ids":[0,1],"k":3}"#);
+    assert!(resp.get("error").is_none(), "{resp}");
+
+    for op in ["metrics", "profile"] {
+        let snap = request(&format!(r#"{{"op":"{op}"}}"#));
+        assert_eq!(
+            snap.get("partial"),
+            Some(&Json::Bool(true)),
+            "{op} must flag the dead replica: {snap}"
+        );
+        let replicas = snap.get("replicas").and_then(Json::as_arr).unwrap();
+        assert_eq!(replicas.len(), 2);
+        let markers: Vec<&Json> = replicas.iter().filter_map(|r| r.get("error")).collect();
+        assert_eq!(markers.len(), 1, "exactly one unreachable replica: {snap}");
+        assert_eq!(
+            markers[0].get("code").and_then(Json::as_str),
+            Some("partial"),
+            "{snap}"
+        );
+    }
+
+    // The merged metrics still carry the live replica's contribution.
+    let snap = request(r#"{"op":"metrics"}"#);
+    let merged = snap.get("merged").expect("merged object");
+    assert!(
+        merged
+            .get("serve_requests_total")
+            .and_then(Json::as_num)
+            .unwrap()
+            >= 1.0,
+        "{snap}"
+    );
+    // And the merged profile still folds the live replica's stacks.
+    let prof = request(r#"{"op":"profile"}"#);
+    let folded = prof.get("folded").and_then(Json::as_str).unwrap();
+    assert!(folded.contains("router;forward "), "{folded}");
+    assert!(folded.contains("serve;request;"), "{folded}");
+
+    router_stop.stop();
+    router_handle.join().unwrap();
+    server_stop.stop();
+    server_handle.join().unwrap();
+}

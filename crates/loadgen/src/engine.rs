@@ -20,12 +20,17 @@ use smgcn_bench::harness::{
     SpawnedServer,
 };
 use smgcn_cluster::{PoolConfig, Router, RouterConfig, RouterStopHandle};
+use smgcn_obs::alert::evaluate_series;
+use smgcn_obs::tsdb::{unix_ms_now, Scraper, SeriesEncoder, TsdbData};
 use smgcn_online::{FineTuneConfig, OnlineConfig, OnlinePipeline};
 use smgcn_serve::json::{self, Json};
+use smgcn_serve::server::flatten_metrics_json;
 use smgcn_serve::{BatcherConfig, FrozenModel, ServerConfig, ServingVocab};
 
 use crate::report::{Measured, ScenarioReport, WorkloadSummary};
-use crate::scenario::{ChaosAction, ScenarioKind, Topology, Workload, DIM, N_HERBS, N_SYMPTOMS};
+use crate::scenario::{
+    scrape_interval_ms, ChaosAction, ScenarioKind, Topology, Workload, DIM, N_HERBS, N_SYMPTOMS,
+};
 use crate::slo::{evaluate, GenCheck, SloInputs};
 
 /// Cap on collected violation samples (the verdict only needs a few).
@@ -320,6 +325,35 @@ struct WorkerResult {
     executed: usize,
     failures: usize,
     generations: BTreeSet<u64>,
+}
+
+/// The run's scraped metrics history: the queryable in-memory index and
+/// the on-disk byte encoding, appended in lockstep so the report can
+/// ship exactly what a file-backed tsdb would have persisted.
+struct TsdbHistory {
+    data: TsdbData,
+    encoder: SeriesEncoder,
+    bytes: Vec<u8>,
+    records: usize,
+}
+
+impl TsdbHistory {
+    fn new() -> Self {
+        let mut bytes = Vec::new();
+        SeriesEncoder::header(&mut bytes);
+        Self {
+            data: TsdbData::default(),
+            encoder: SeriesEncoder::new(),
+            bytes,
+            records: 0,
+        }
+    }
+
+    fn append(&mut self, at_ms: u64, samples: &[(String, f64)]) {
+        self.data.push(at_ms, samples);
+        self.encoder.append(at_ms, samples, &mut self.bytes);
+        self.records += 1;
+    }
 }
 
 /// Fetches one admin verb from the front-end: the raw response line
@@ -636,6 +670,30 @@ pub fn run(workload: &Workload) -> ScenarioReport {
     }
     let mut stack = Stack::build(workload);
     let metrics_before = fetch_metrics(stack.front);
+    // The retention layer: a scraper polls the front-end's metrics on
+    // the scenario's cadence, appending each snapshot to an in-memory
+    // tsdb — both the queryable index (for post-hoc burn-rate alert
+    // evaluation) and the exact byte encoding a file-backed tsdb would
+    // have persisted (shipped in the report for `smgcn query`).
+    let history = Arc::new(Mutex::new(TsdbHistory::new()));
+    let scraper = {
+        let history = Arc::clone(&history);
+        let front = stack.front;
+        Scraper::spawn(
+            Duration::from_millis(scrape_interval_ms(workload.config.measure_ms)),
+            Box::new(move || {
+                let (_, snap) = fetch_metrics(front)?;
+                let inner = snap.get("merged").or_else(|| snap.get("metrics"))?;
+                Some(flatten_metrics_json(inner))
+            }),
+            Box::new(move |at_ms, samples| {
+                history
+                    .lock()
+                    .expect("tsdb history lock")
+                    .append(at_ms, samples);
+            }),
+        )
+    };
     let validation = Arc::new(Validation::plan(workload));
     let workload = Arc::new(workload.clone());
     let lanes = workload.schedule.query_lanes(workload.config.workers);
@@ -665,8 +723,23 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         generations.extend(result.generations);
     }
     let wall_s = run_start.elapsed().as_secs_f64();
+    let (p50_us, p99_us) = percentiles_us(&mut latencies);
+    // Stop lands one final scrape (terminal counter state), then the
+    // client-observed summary goes in as its own series: the history
+    // alone can reproduce the report's headline latency numbers.
+    scraper.stop();
+    history.lock().expect("tsdb history lock").append(
+        unix_ms_now(),
+        &[
+            ("client_latency_ms.p50".to_string(), p50_us / 1e3),
+            ("client_latency_ms.p99".to_string(), p99_us / 1e3),
+            ("client_requests_total".to_string(), executed as f64),
+            ("client_failures_total".to_string(), failures as f64),
+        ],
+    );
     let metrics_after = fetch_metrics(stack.front);
     let events_after = fetch_admin(stack.front, "events");
+    let profile_after = fetch_admin(stack.front, "profile");
     let faults_injected = if workload.fault_plan.is_some() {
         let n = smgcn_faults::injected_total();
         smgcn_faults::clear();
@@ -689,7 +762,36 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         _ => (Vec::new(), 0.0, None),
     };
 
-    let (p50_us, p99_us) = percentiles_us(&mut latencies);
+    // The alert contract: replay the scenario's burn-rate rules over
+    // the scraped history, then diff what fired against expectations.
+    let history = Arc::try_unwrap(history)
+        .unwrap_or_else(|_| panic!("scraper stopped: history has one owner"))
+        .into_inner()
+        .expect("tsdb history lock");
+    let alerts = evaluate_series(&workload.alerts.rules, &history.data);
+    let mut alerts_fired: Vec<String> = alerts.iter().map(|a| a.rule.clone()).collect();
+    alerts_fired.sort();
+    alerts_fired.dedup();
+    let mut alert_failures = Vec::new();
+    for name in &workload.alerts.expect_fired {
+        if !alerts_fired.iter().any(|f| f == name) {
+            alert_failures.push(format!(
+                "rule {name:?} was expected to fire and stayed silent over \
+                 {} scraped record(s)",
+                history.records
+            ));
+        }
+    }
+    for name in &workload.alerts.expect_silent {
+        if alerts_fired.iter().any(|f| f == name) {
+            let firings = alerts.iter().filter(|a| &a.rule == name).count();
+            alert_failures.push(format!(
+                "rule {name:?} was expected to stay silent and fired {firings} time(s)"
+            ));
+        }
+    }
+    let tsdb = (history.records > 0).then_some(history.bytes);
+
     let max_ms = latencies.iter().copied().fold(0.0f64, f64::max) * 1e3;
     let violations = validation
         .violations
@@ -710,6 +812,8 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         counter_deltas: deltas,
         cache_hit_rate,
         faults_injected,
+        alerts_fired,
+        alert_firings: alerts.len(),
     };
     let verdict = evaluate(
         &workload.slo,
@@ -720,6 +824,7 @@ pub fn run(workload: &Workload) -> ScenarioReport {
             p99_ms: measured.p99_ms,
             counter_errors: counter_errs,
             violations,
+            alert_failures,
         },
     );
     ScenarioReport {
@@ -728,6 +833,8 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         verdict,
         metrics_json: metrics_after.map(|(raw, _)| raw),
         events_json: events_after.map(|(raw, _)| raw),
+        tsdb,
+        profile_json: profile_after.map(|(raw, _)| raw),
     }
 }
 

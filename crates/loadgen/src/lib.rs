@@ -39,6 +39,8 @@ pub mod slo;
 
 pub use engine::{run, run_scenario};
 pub use report::{Measured, ScenarioReport, WorkloadSummary};
-pub use scenario::{build, ScenarioConfig, ScenarioKind, Topology, Workload};
+pub use scenario::{
+    build, scrape_interval_ms, AlertPlan, ScenarioConfig, ScenarioKind, Topology, Workload,
+};
 pub use schedule::{Op, Request, Schedule};
 pub use slo::{GenCheck, Slo, SloVerdict};

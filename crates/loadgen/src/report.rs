@@ -48,6 +48,12 @@ pub struct Measured {
     /// Faults the installed plan actually injected over the run (0 when
     /// the scenario carries no plan).
     pub faults_injected: u64,
+    /// Names of burn-rate alert rules that fired at least once over the
+    /// run's scraped history, sorted and deduplicated.
+    pub alerts_fired: Vec<String>,
+    /// Total rule firings across all evaluation instants (one rule
+    /// firing at many scrape timestamps counts each).
+    pub alert_firings: usize,
 }
 
 /// A complete scenario run: the plan and what happened.
@@ -67,6 +73,15 @@ pub struct ScenarioReport {
     /// way (fault recoveries, publishes, deadline sheds — the forensic
     /// record of what the run's chaos actually did).
     pub events_json: Option<String>,
+    /// The scraped metrics history in the on-disk tsdb format
+    /// (`smgcn_obs::tsdb`), one record per scrape plus the client-side
+    /// summary record. Tooling writes it as `TSDB_<scenario>.bin`;
+    /// `smgcn query` reads it back. `None` when no scrape succeeded.
+    pub tsdb: Option<Vec<u8>>,
+    /// The front-end's raw `{"op":"profile"}` response captured at the
+    /// end of the run: cumulative folded stacks plus the wall-time
+    /// coverage accounting.
+    pub profile_json: Option<String>,
 }
 
 /// The deterministic face of a workload (see module docs).
@@ -93,6 +108,10 @@ pub struct WorkloadSummary {
     /// FNV-1a fingerprint of the canonical fault plan, hex; `None` when
     /// the scenario injects no faults.
     pub fault_plan_digest: Option<String>,
+    /// Burn-rate alert rules with their expectations
+    /// (`name(expect-fired|expect-silent|observe)`), deterministic per
+    /// workload.
+    pub alert_rules: Vec<String>,
     /// SLO contract rendering.
     pub slo_p99_ms: f64,
     /// Failure budget.
@@ -122,6 +141,7 @@ impl WorkloadSummary {
                 .fault_plan
                 .as_ref()
                 .map(|p| format!("{:016x}", p.digest())),
+            alert_rules: w.alerts.describe(),
             slo_p99_ms: w.slo.max_p99_ms,
             slo_max_failures: w.slo.max_failures,
             slo_generation: w.slo.generation_consistency.name().to_string(),
@@ -134,11 +154,17 @@ impl WorkloadSummary {
             .fault_plan_digest
             .as_ref()
             .map_or(Json::Null, |d| Json::Str(d.clone()));
+        let alert_rules = Json::Arr(
+            self.alert_rules
+                .iter()
+                .map(|r| Json::Str(r.clone()))
+                .collect(),
+        );
         format!(
             "{{\n    \"scenario\": {},\n    \"seed\": {},\n    \"measure_ms\": {},\n    \
              \"k\": {},\n    \"n_queries\": {},\n    \"n_ingests\": {},\n    \
              \"schedule_digest\": {},\n    \"topology\": {},\n    \"chaos\": {chaos},\n    \
-             \"fault_plan_digest\": {fault_plan},\n    \
+             \"fault_plan_digest\": {fault_plan},\n    \"alert_rules\": {alert_rules},\n    \
              \"slo\": {{\"max_p99_ms\": {}, \"max_failures\": {}, \"generation_consistency\": {}}}\n  }}",
             Json::Str(self.scenario.clone()),
             self.seed,
@@ -199,13 +225,20 @@ impl ScenarioReport {
                 .map(|(name, delta)| (name.clone(), Json::Num(*delta)))
                 .collect(),
         );
+        let alerts = Json::Arr(
+            m.alerts_fired
+                .iter()
+                .map(|name| Json::Str(name.clone()))
+                .collect(),
+        );
         format!(
             "{{\n  \"workload\": {},\n  \"measured\": {{\n    \"executed\": {},\n    \
              \"failures\": {},\n    \"wall_ms\": {:.3},\n    \"qps\": {:.1},\n    \
              \"p50_ms\": {:.3},\n    \"p99_ms\": {:.3},\n    \"max_ms\": {:.3},\n    \
              \"generations_seen\": {generations},\n    \"chaos_timings_ms\": {chaos},\n    \
              \"workers\": {},\n    \"counter_deltas\": {deltas},\n    \
-             \"cache_hit_rate\": {:.4},\n    \"faults_injected\": {}\n  }},\n  \
+             \"cache_hit_rate\": {:.4},\n    \"faults_injected\": {},\n    \
+             \"alerts_fired\": {alerts},\n    \"alert_firings\": {}\n  }},\n  \
              \"slo_passed\": {},\n  \
              \"violations\": {violations}\n}}\n",
             self.workload.to_json_lines(),
@@ -219,6 +252,7 @@ impl ScenarioReport {
             m.workers,
             m.cache_hit_rate,
             m.faults_injected,
+            m.alert_firings,
             self.verdict.passed(),
         )
     }
@@ -267,6 +301,8 @@ mod tests {
             },
             metrics_json: None,
             events_json: None,
+            tsdb: None,
+            profile_json: None,
         }
     }
 

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smgcn_bench::harness::zipf_index;
 use smgcn_faults::{sites, FaultAction, FaultPlan};
+use smgcn_obs::alert::{SloRule, SLOW_PAIR};
 
 use crate::schedule::{Op, Request, Schedule};
 use crate::slo::{GenCheck, Slo};
@@ -188,6 +189,64 @@ pub struct ChaosEvent {
     pub action: ChaosAction,
 }
 
+/// The burn-rate alerting contract of one scenario: the SLO rules the
+/// engine evaluates over the run's scraped metrics history, plus which
+/// rules the scenario *expects* to fire. A storm that pages nobody is
+/// as much a regression as a clean run that pages — both directions are
+/// asserted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AlertPlan {
+    /// Rules evaluated over the run's tsdb history (post-hoc, at every
+    /// scrape timestamp).
+    pub rules: Vec<SloRule>,
+    /// Rule names that must fire at least once during the run.
+    pub expect_fired: Vec<String>,
+    /// Rule names that must stay silent for the whole run.
+    pub expect_silent: Vec<String>,
+}
+
+impl AlertPlan {
+    /// Report labels: one `name(expect-fired|expect-silent|observe)`
+    /// entry per rule, deterministic per workload.
+    pub fn describe(&self) -> Vec<String> {
+        self.rules
+            .iter()
+            .map(|r| {
+                let expectation = if self.expect_fired.contains(&r.name) {
+                    "expect-fired"
+                } else if self.expect_silent.contains(&r.name) {
+                    "expect-silent"
+                } else {
+                    "observe"
+                };
+                format!("{}({expectation})", r.name)
+            })
+            .collect()
+    }
+}
+
+/// The scrape cadence the engine uses for a `measure_ms` horizon — also
+/// the resolution floor the scenario alert rules are clamped to.
+pub fn scrape_interval_ms(measure_ms: u64) -> u64 {
+    (measure_ms / 50).clamp(10, 200)
+}
+
+/// An availability burn-rate rule (99.99% objective, canonical SRE
+/// window pairs) with its wall-clock windows scaled onto the scenario
+/// horizon: the run's full window stands in for the 6-hour slow
+/// lookback, and every window is clamped to at least four scrape ticks
+/// so it can always see an increment.
+fn availability_rule(measure_ms: u64, bad: &[&str], total: &[&str]) -> SloRule {
+    SloRule::availability(
+        "availability-burn",
+        bad.iter().map(ToString::to_string).collect(),
+        total.iter().map(ToString::to_string).collect(),
+        1e-4,
+    )
+    .scaled(measure_ms as f64 / SLOW_PAIR.long_ms as f64)
+    .with_min_window(scrape_interval_ms(measure_ms) * 4)
+}
+
 /// A fully-planned scenario run: everything but the measurements.
 #[derive(Clone, Debug)]
 pub struct Workload {
@@ -206,6 +265,9 @@ pub struct Workload {
     pub fault_plan: Option<FaultPlan>,
     /// The run's pass/fail contract.
     pub slo: Slo,
+    /// The burn-rate alerting contract evaluated over the run's scraped
+    /// metrics history.
+    pub alerts: AlertPlan,
 }
 
 /// Builds the deterministic workload for `kind`. Same `config` in, same
@@ -226,6 +288,22 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 max_p99_ms: 50.0,
                 max_failures: 0,
                 generation_consistency: GenCheck::ExactRankings,
+            },
+            // The clean baseline: the availability rule watches the
+            // single server's shed/reject/error counters and must stay
+            // silent for the whole run.
+            alerts: AlertPlan {
+                rules: vec![availability_rule(
+                    config.measure_ms,
+                    &[
+                        "serve_sheds_total",
+                        "serve_queue_rejections_total",
+                        "serve_errors_total",
+                    ],
+                    &["serve_requests_total"],
+                )],
+                expect_fired: Vec::new(),
+                expect_silent: vec!["availability-burn".to_string()],
             },
         },
         ScenarioKind::FlashCrowd => {
@@ -258,6 +336,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     max_failures: 0,
                     generation_consistency: GenCheck::ExactRankings,
                 },
+                alerts: AlertPlan::default(),
             }
         }
         ScenarioKind::IngestHeavy => {
@@ -310,6 +389,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     max_failures: 0,
                     generation_consistency: GenCheck::Monotone,
                 },
+                alerts: AlertPlan::default(),
             }
         }
         ScenarioKind::RollingPublish => Workload {
@@ -327,6 +407,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 max_failures: 0,
                 generation_consistency: GenCheck::ExactRankings,
             },
+            alerts: AlertPlan::default(),
         },
         ScenarioKind::ReplicaKill => Workload {
             kind,
@@ -343,6 +424,9 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 max_failures: 0,
                 generation_consistency: GenCheck::ExactRankings,
             },
+            // A killed replica legitimately drives failover retries; no
+            // silence contract here (that would assert the chaos away).
+            alerts: AlertPlan::default(),
         },
         ScenarioKind::FaultStorm => Workload {
             kind,
@@ -365,6 +449,19 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 max_failures: 0,
                 generation_consistency: GenCheck::ExactRankings,
             },
+            // The storm's dropped forwards surface as router retries;
+            // the availability rule must burn hot enough to page. The
+            // retry ratio (~5% in the front-loaded band) is orders of
+            // magnitude over a 99.99% objective's burn threshold.
+            alerts: AlertPlan {
+                rules: vec![availability_rule(
+                    config.measure_ms,
+                    &["router_retries_total", "router_exhausted_total"],
+                    &["router_forwarded_total"],
+                )],
+                expect_fired: vec!["availability-burn".to_string()],
+                expect_silent: Vec::new(),
+            },
         },
     }
 }
@@ -380,6 +477,13 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
 /// accepted-then-lost operations).
 fn storm_plan(seed: u64) -> FaultPlan {
     let mut plan = FaultPlan::new(seed ^ 0x5707_2a11);
+    // A denser front-loaded drop band: the first ~128 forwards take
+    // drops at 8%, so even the shortest smoke horizon accumulates
+    // enough retries for the availability burn-rate rule to page
+    // (expected ~10 drops; the chance a seed draws zero is ~e^-10).
+    // The router retries every drop on the next replica, so the client
+    // failure budget still burns nothing.
+    plan.inject(sites::POOL_FORWARD_NET, 0..128, 0.08, &[FaultAction::Drop]);
     plan.inject(
         sites::POOL_FORWARD_NET,
         0..4096,

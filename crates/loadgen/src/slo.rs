@@ -68,6 +68,10 @@ pub struct SloInputs {
     pub counter_errors: Option<u64>,
     /// Invariant violations collected by workers (bounded sample).
     pub violations: Vec<String>,
+    /// Burn-rate alerting contract failures: a rule the scenario
+    /// expected to fire that stayed silent, or one it expected silent
+    /// that paged. Empty when the alert plan held (or had no rules).
+    pub alert_failures: Vec<String>,
 }
 
 /// The verdict: empty `violations` means the SLO held.
@@ -120,6 +124,9 @@ pub fn evaluate(slo: &Slo, inputs: &SloInputs) -> SloVerdict {
             slo.generation_consistency.name()
         ));
     }
+    for f in &inputs.alert_failures {
+        violations.push(format!("alert contract violated: {f}"));
+    }
     SloVerdict { violations }
 }
 
@@ -143,6 +150,7 @@ mod tests {
             p99_ms: 10.0,
             counter_errors: Some(0),
             violations: Vec::new(),
+            alert_failures: Vec::new(),
         }
     }
 
@@ -190,5 +198,14 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("exact-rankings violated")));
+
+        let mut paged = clean(100);
+        paged
+            .alert_failures
+            .push("rule \"availability-burn\" fired on a clean run".into());
+        assert!(evaluate(&slo(), &paged)
+            .violations
+            .iter()
+            .any(|v| v.contains("alert contract violated")));
     }
 }

@@ -22,6 +22,8 @@ fn plan_report(kind: ScenarioKind, config: &ScenarioConfig) -> String {
         },
         metrics_json: None,
         events_json: None,
+        tsdb: None,
+        profile_json: None,
     }
     .workload_json()
 }
@@ -127,5 +129,25 @@ fn executed_runs_reproduce_the_deterministic_report() {
     assert!(
         first.metrics_json.is_some(),
         "run should capture the final metrics snapshot"
+    );
+    // The silence half of the alert contract, and proof it is not
+    // vacuous: the scenario carries a real burn-rate rule, the scraped
+    // history saw real traffic on the rule's total counter, and the
+    // rule still never fired on a clean run. (The verdict above would
+    // already have failed on a firing — expect_silent is in the SLO.)
+    assert!(
+        first.measured.alerts_fired.is_empty(),
+        "steady-zipfian paged on a clean run: {:?}",
+        first.measured.alerts_fired
+    );
+    let workload = build(ScenarioKind::SteadyZipfian, &config);
+    assert!(!workload.alerts.rules.is_empty());
+    assert_eq!(workload.alerts.expect_silent, vec!["availability-burn"]);
+    let tsdb = first.tsdb.as_ref().expect("scraped history present");
+    let history = smgcn_obs::tsdb::TsdbData::parse(tsdb).data;
+    assert!(
+        history.last("serve_requests_total").unwrap_or(0.0) > 0.0,
+        "silence is only meaningful over real traffic: {:?}",
+        history.series_names()
     );
 }

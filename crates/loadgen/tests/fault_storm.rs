@@ -12,6 +12,7 @@
 //! digests) must be byte-identical when the workload is rebuilt.
 
 use smgcn_loadgen::{build, run, ScenarioConfig, ScenarioKind, WorkloadSummary};
+use smgcn_obs::tsdb::TsdbData;
 
 #[test]
 fn fault_storm_holds_slos_under_injected_faults() {
@@ -46,6 +47,44 @@ fn fault_storm_holds_slos_under_injected_faults() {
     let rebuilt = WorkloadSummary::from_workload(&build(ScenarioKind::FaultStorm, &config));
     assert_eq!(report.workload, rebuilt);
     assert!(report.workload.fault_plan_digest.is_some());
+
+    // The alert contract: the storm burns the availability budget, so
+    // the scenario's burn-rate rule must have paged (the verdict above
+    // already failed if it hadn't — this pins the report surface too).
+    assert_eq!(
+        report.measured.alerts_fired,
+        vec!["availability-burn".to_string()],
+        "the storm must trip exactly the availability burn-rate rule"
+    );
+    assert!(report.measured.alert_firings > 0);
+
+    // The scraped history ships in the report, parses cleanly, and can
+    // reproduce the headline client p99 from the tsdb alone.
+    let tsdb = report.tsdb.as_ref().expect("scraped history present");
+    let recovered = TsdbData::parse(tsdb);
+    assert_eq!(
+        recovered.valid_len,
+        tsdb.len(),
+        "history must round-trip without a corrupt tail"
+    );
+    let history = recovered.data;
+    assert!(
+        history
+            .series_names()
+            .iter()
+            .any(|n| n.starts_with("router_forwarded_total")),
+        "router counters must be in the scraped history: {:?}",
+        history.series_names()
+    );
+    let p99_from_history = history
+        .last("client_latency_ms.p99")
+        .expect("client summary series present");
+    let diff = (p99_from_history - report.measured.p99_ms).abs();
+    assert!(
+        diff <= 0.1 * report.measured.p99_ms.max(1e-9),
+        "tsdb-reproduced p99 {p99_from_history} vs report {}",
+        report.measured.p99_ms
+    );
 
     let json = report.to_json_string();
     let parsed = smgcn_serve::json::parse(json.trim()).expect("report is valid json");

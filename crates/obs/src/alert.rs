@@ -1,0 +1,478 @@
+//! Declarative SLO rules with multi-window burn-rate alerting.
+//!
+//! A service-level objective spends an *error budget*: an availability
+//! target of 99.99% tolerates 1 bad request in 10,000. The *burn rate*
+//! is how fast a window of history is spending that budget — burn 1
+//! exhausts it exactly at the SLO horizon, burn 14.4 in 6 minutes of a
+//! 30-day budget. Following the Google SRE workbook, a rule fires only
+//! when **both** windows of a pair burn hot: the long window proves the
+//! problem is sustained, the short window proves it is still happening
+//! (so recovered incidents stop paging). Two pairs are evaluated — a
+//! fast pair (5m/1h at burn 14.4) to catch cliffs and a slow pair
+//! (30m/6h at burn 6) to catch smolder — and either pair firing fires
+//! the rule. [`SloRule::scaled`] shrinks the canonical wall-clock
+//! windows onto scenario time, so a two-second loadgen run exercises
+//! the same judgment as a month of production.
+//!
+//! Rules are evaluated over a [`TsdbData`] history; firing alerts are
+//! structured [`Alert`]s, and [`AlertEngine`] edge-triggers them into
+//! the existing event journal (`kind: "alert"` / `"alert_resolved"`),
+//! which is how they surface in `{"op":"events"}` and `smgcn top`.
+
+use crate::events::EventJournal;
+use crate::tsdb::TsdbData;
+
+/// One window pair of a burn-rate rule: fires when both the short and
+/// long lookback burn faster than `factor` times the budget rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurnWindow {
+    /// Short lookback (ms) — proves the burn is still happening.
+    pub short_ms: u64,
+    /// Long lookback (ms) — proves the burn is sustained.
+    pub long_ms: u64,
+    /// Burn-rate threshold both windows must exceed.
+    pub factor: f64,
+}
+
+/// What a rule measures against its objective.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloKind {
+    /// Bad-over-total ratio of counter increases in the window. Each
+    /// side is a list of tsdb selectors (summed; a bare metric name
+    /// matches its labeled variants).
+    Availability {
+        /// Selectors counting bad events.
+        bad: Vec<String>,
+        /// Selectors counting all events.
+        total: Vec<String>,
+    },
+    /// Fraction of scraped points in the window where `series` exceeds
+    /// the latency budget.
+    Latency {
+        /// The gauge-like series to judge (e.g. a `.p99_us` field).
+        series: String,
+        /// The budget in the series' own units.
+        budget: f64,
+    },
+}
+
+/// A declarative SLO rule: a measurement, an error-budget objective,
+/// and the two burn-rate window pairs that judge it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloRule {
+    /// Rule name (lands in alert events).
+    pub name: String,
+    /// What is measured.
+    pub kind: SloKind,
+    /// Error-budget fraction (e.g. `1e-4` for a 99.99% objective).
+    pub objective: f64,
+    /// Fast pair — canonical 5m/1h at burn 14.4.
+    pub fast: BurnWindow,
+    /// Slow pair — canonical 30m/6h at burn 6.
+    pub slow: BurnWindow,
+}
+
+/// Canonical fast pair: 5 minutes / 1 hour at burn 14.4.
+pub const FAST_PAIR: BurnWindow = BurnWindow {
+    short_ms: 5 * 60 * 1000,
+    long_ms: 60 * 60 * 1000,
+    factor: 14.4,
+};
+/// Canonical slow pair: 30 minutes / 6 hours at burn 6.
+pub const SLOW_PAIR: BurnWindow = BurnWindow {
+    short_ms: 30 * 60 * 1000,
+    long_ms: 6 * 60 * 60 * 1000,
+    factor: 6.0,
+};
+
+impl SloRule {
+    /// An availability rule with the canonical SRE window pairs.
+    pub fn availability(
+        name: impl Into<String>,
+        bad: Vec<String>,
+        total: Vec<String>,
+        objective: f64,
+    ) -> Self {
+        SloRule {
+            name: name.into(),
+            kind: SloKind::Availability { bad, total },
+            objective,
+            fast: FAST_PAIR,
+            slow: SLOW_PAIR,
+        }
+    }
+
+    /// A latency-budget rule with the canonical SRE window pairs:
+    /// `objective` is the tolerated fraction of scrapes over budget.
+    pub fn latency(
+        name: impl Into<String>,
+        series: impl Into<String>,
+        budget: f64,
+        objective: f64,
+    ) -> Self {
+        SloRule {
+            name: name.into(),
+            kind: SloKind::Latency {
+                series: series.into(),
+                budget,
+            },
+            objective,
+            fast: FAST_PAIR,
+            slow: SLOW_PAIR,
+        }
+    }
+
+    /// Scales every window by `factor` (e.g. `scenario_ms / 6h` maps
+    /// the canonical wall-clock pairs onto a loadgen horizon).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let scale = |ms: u64| ((ms as f64 * factor).round() as u64).max(1);
+        self.fast.short_ms = scale(self.fast.short_ms);
+        self.fast.long_ms = scale(self.fast.long_ms);
+        self.slow.short_ms = scale(self.slow.short_ms);
+        self.slow.long_ms = scale(self.slow.long_ms);
+        self
+    }
+
+    /// Clamps every window to at least `floor_ms` — scaled windows must
+    /// stay wider than the scrape interval or they can never see an
+    /// increment.
+    pub fn with_min_window(mut self, floor_ms: u64) -> Self {
+        self.fast.short_ms = self.fast.short_ms.max(floor_ms);
+        self.fast.long_ms = self.fast.long_ms.max(self.fast.short_ms);
+        self.slow.short_ms = self.slow.short_ms.max(floor_ms);
+        self.slow.long_ms = self.slow.long_ms.max(self.slow.short_ms);
+        self
+    }
+
+    /// The bad-event ratio over `(t0, t1]`, by rule kind.
+    fn ratio(&self, data: &TsdbData, t0: u64, t1: u64) -> f64 {
+        match &self.kind {
+            SloKind::Availability { bad, total } => {
+                let sum = |selectors: &[String]| -> f64 {
+                    selectors.iter().map(|s| data.delta(s, t0, t1)).sum()
+                };
+                let all = sum(total);
+                if all <= 0.0 {
+                    0.0
+                } else {
+                    (sum(bad) / all).clamp(0.0, 1.0)
+                }
+            }
+            SloKind::Latency { series, budget } => {
+                let mut over = 0usize;
+                let mut n = 0usize;
+                if let Some(points) = data.points(series) {
+                    for &(_, v) in points.iter().filter(|&&(t, _)| t > t0 && t <= t1) {
+                        n += 1;
+                        if v > *budget {
+                            over += 1;
+                        }
+                    }
+                }
+                // Fall back to selector matching for labeled variants.
+                if n == 0 {
+                    let q = data.quantile_over_time(series, t0.saturating_add(1), t1, 1.0);
+                    return match q {
+                        Some(v) if v > *budget => 1.0,
+                        _ => 0.0,
+                    };
+                }
+                over as f64 / n as f64
+            }
+        }
+    }
+
+    /// Burn rate over the trailing `window_ms` ending at `at_ms`.
+    pub fn burn(&self, data: &TsdbData, at_ms: u64, window_ms: u64) -> f64 {
+        if self.objective <= 0.0 {
+            return 0.0;
+        }
+        self.ratio(data, at_ms.saturating_sub(window_ms), at_ms) / self.objective
+    }
+
+    /// Evaluates the rule at one instant; `Some` when firing.
+    pub fn evaluate_at(&self, data: &TsdbData, at_ms: u64) -> Option<Alert> {
+        let fast_short = self.burn(data, at_ms, self.fast.short_ms);
+        let fast_long = self.burn(data, at_ms, self.fast.long_ms);
+        let slow_short = self.burn(data, at_ms, self.slow.short_ms);
+        let slow_long = self.burn(data, at_ms, self.slow.long_ms);
+        let fast_fires = fast_short > self.fast.factor && fast_long > self.fast.factor;
+        let slow_fires = slow_short > self.slow.factor && slow_long > self.slow.factor;
+        (fast_fires || slow_fires).then(|| Alert {
+            rule: self.name.clone(),
+            at_ms,
+            fast_short,
+            fast_long,
+            slow_short,
+            slow_long,
+            pair: if fast_fires { "fast" } else { "slow" },
+        })
+    }
+}
+
+/// One firing of one rule at one evaluation instant.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// The rule that fired.
+    pub rule: String,
+    /// Evaluation timestamp (unix ms).
+    pub at_ms: u64,
+    /// Burn rate over the fast pair's short window.
+    pub fast_short: f64,
+    /// Burn rate over the fast pair's long window.
+    pub fast_long: f64,
+    /// Burn rate over the slow pair's short window.
+    pub slow_short: f64,
+    /// Burn rate over the slow pair's long window.
+    pub slow_long: f64,
+    /// Which pair tripped first ("fast" or "slow").
+    pub pair: &'static str,
+}
+
+impl Alert {
+    /// A one-line human/journal rendering of the firing.
+    pub fn detail(&self) -> String {
+        format!(
+            "{} pair={} burn fast={:.1}/{:.1} slow={:.1}/{:.1}",
+            self.rule, self.pair, self.fast_short, self.fast_long, self.slow_short, self.slow_long
+        )
+    }
+}
+
+/// Evaluates every rule at every scrape timestamp in the history —
+/// the post-hoc form loadgen uses to assert "fired during the storm,
+/// silent elsewhere". Alerts come back in (timestamp, rule) order.
+pub fn evaluate_series(rules: &[SloRule], data: &TsdbData) -> Vec<Alert> {
+    let mut stamps: Vec<u64> = Vec::new();
+    for name in data.series_names() {
+        if let Some(points) = data.points(name) {
+            stamps.extend(points.iter().map(|&(t, _)| t));
+        }
+    }
+    stamps.sort_unstable();
+    stamps.dedup();
+    let mut alerts = Vec::new();
+    for at in stamps {
+        for rule in rules {
+            if let Some(alert) = rule.evaluate_at(data, at) {
+                alerts.push(alert);
+            }
+        }
+    }
+    alerts
+}
+
+/// Live, edge-triggered evaluation: call [`AlertEngine::tick`] after
+/// each scrape and rising edges land in the event journal as `alert`
+/// events (falling edges as `alert_resolved`), exactly where every
+/// other operational event already lives.
+#[derive(Debug)]
+pub struct AlertEngine {
+    rules: Vec<SloRule>,
+    active: Vec<String>,
+    fired_total: u64,
+}
+
+impl AlertEngine {
+    /// An engine over a fixed rule set.
+    pub fn new(rules: Vec<SloRule>) -> Self {
+        AlertEngine {
+            rules,
+            active: Vec::new(),
+            fired_total: 0,
+        }
+    }
+
+    /// The rules under evaluation.
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Rising-edge firings so far.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Evaluates every rule at `now_ms`, journals edges, and returns
+    /// the currently-firing alerts.
+    pub fn tick(&mut self, data: &TsdbData, now_ms: u64, events: &EventJournal) -> Vec<Alert> {
+        let mut firing = Vec::new();
+        for rule in &self.rules {
+            let was_active = self.active.iter().any(|n| n == &rule.name);
+            match rule.evaluate_at(data, now_ms) {
+                Some(alert) => {
+                    if !was_active {
+                        events.record("alert", alert.detail());
+                        self.active.push(rule.name.clone());
+                        self.fired_total += 1;
+                    }
+                    firing.push(alert);
+                }
+                None => {
+                    if was_active {
+                        events.record("alert_resolved", rule.name.clone());
+                        self.active.retain(|n| n != &rule.name);
+                    }
+                }
+            }
+        }
+        firing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A history with a clean storm in the middle: errors only between
+    /// 4s and 6s, steady traffic throughout.
+    fn storm_history() -> TsdbData {
+        let mut data = TsdbData::default();
+        for tick in 0..100u64 {
+            let at = 1000 + tick * 100; // 10 Hz scrapes
+            let total = (tick + 1) * 50;
+            let errors: u64 = (0..=tick).filter(|t| (40..60).contains(t)).count() as u64 * 5;
+            data.push(
+                at,
+                &[
+                    ("req_total".to_string(), total as f64),
+                    ("err_total".to_string(), errors as f64),
+                ],
+            );
+        }
+        data
+    }
+
+    fn rule() -> SloRule {
+        // 10s of history standing in for the 6h slow horizon.
+        SloRule::availability(
+            "availability",
+            vec!["err_total".to_string()],
+            vec!["req_total".to_string()],
+            1e-3,
+        )
+        .scaled(10_000.0 / (6.0 * 3600.0 * 1000.0))
+        .with_min_window(300)
+    }
+
+    #[test]
+    fn fires_inside_the_storm_and_nowhere_else() {
+        let data = storm_history();
+        let alerts = evaluate_series(&[rule()], &data);
+        assert!(!alerts.is_empty(), "storm must fire the availability rule");
+        // The slow pair's short window keeps the page up for a little
+        // after the last bad increment (by design: "still happening"
+        // is judged at window granularity), so the allowed band is the
+        // storm plus one slow-short window.
+        for alert in &alerts {
+            assert!(
+                (4900..=7800).contains(&alert.at_ms),
+                "firing at {} ms is outside the storm window",
+                alert.at_ms
+            );
+        }
+        // And specifically: quiet before the storm starts.
+        assert!(rule().evaluate_at(&data, 4500).is_none());
+    }
+
+    #[test]
+    fn silent_on_a_clean_history() {
+        let mut data = TsdbData::default();
+        for tick in 0..50u64 {
+            data.push(
+                1000 + tick * 100,
+                &[
+                    ("req_total".to_string(), (tick * 40) as f64),
+                    ("err_total".to_string(), 0.0),
+                ],
+            );
+        }
+        assert!(evaluate_series(&[rule()], &data).is_empty());
+    }
+
+    #[test]
+    fn both_windows_of_a_pair_must_burn() {
+        // A single ancient error: the long window still remembers it,
+        // the short window has recovered — no page.
+        let mut data = TsdbData::default();
+        data.push(1000, &[("e".to_string(), 0.0), ("t".to_string(), 0.0)]);
+        data.push(1100, &[("e".to_string(), 50.0), ("t".to_string(), 100.0)]);
+        for tick in 2..40u64 {
+            data.push(
+                1000 + tick * 100,
+                &[
+                    ("e".to_string(), 50.0),
+                    ("t".to_string(), (100 * tick) as f64),
+                ],
+            );
+        }
+        let rule = SloRule {
+            name: "avail".into(),
+            kind: SloKind::Availability {
+                bad: vec!["e".to_string()],
+                total: vec!["t".to_string()],
+            },
+            objective: 1e-2,
+            fast: BurnWindow {
+                short_ms: 500,
+                long_ms: 4000,
+                factor: 2.0,
+            },
+            slow: BurnWindow {
+                short_ms: 1000,
+                long_ms: 4000,
+                factor: 1.5,
+            },
+        };
+        // Right after the burst both windows burn.
+        assert!(rule.evaluate_at(&data, 1200).is_some());
+        // Long after, only the long window remembers: recovered.
+        assert!(rule.evaluate_at(&data, 4800).is_none());
+    }
+
+    #[test]
+    fn latency_rule_judges_budget_violations() {
+        let mut data = TsdbData::default();
+        for tick in 0..40u64 {
+            let p99 = if (20..30).contains(&tick) {
+                900.0
+            } else {
+                200.0
+            };
+            data.push(1000 + tick * 100, &[("lat.p99_us".to_string(), p99)]);
+        }
+        let rule = SloRule::latency("latency", "lat.p99_us", 500.0, 0.05)
+            .scaled(4000.0 / (6.0 * 3600.0 * 1000.0))
+            .with_min_window(300);
+        let alerts = evaluate_series(&[rule], &data);
+        assert!(!alerts.is_empty(), "sustained p99 over budget must fire");
+        for alert in &alerts {
+            assert!(
+                alert.at_ms >= 3000 && alert.at_ms <= 4200,
+                "{}",
+                alert.at_ms
+            );
+        }
+    }
+
+    #[test]
+    fn engine_edge_triggers_into_the_journal() {
+        let data = storm_history();
+        let events = EventJournal::new(64);
+        let mut engine = AlertEngine::new(vec![rule()]);
+        let mut fired_at = Vec::new();
+        for tick in 0..100u64 {
+            let at = 1000 + tick * 100;
+            if !engine.tick(&data, at, &events).is_empty() {
+                fired_at.push(at);
+            }
+        }
+        assert!(engine.fired_total() >= 1);
+        let kinds: Vec<String> = events.recent(64).into_iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"alert".to_string()));
+        assert!(kinds.contains(&"alert_resolved".to_string()));
+        // Edges, not repeats: strictly fewer journal entries than
+        // firing ticks (the storm fires for ~2 s of 10 Hz ticks).
+        assert!(events.recent(64).len() < fired_at.len());
+    }
+}

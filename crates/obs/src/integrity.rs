@@ -1,0 +1,72 @@
+//! Data-integrity primitives shared across the stack.
+//!
+//! Every durable format in the repo — the ingest WAL's per-record
+//! framing (`smgcn-online`), the publish artifact's trailer
+//! (`smgcn-serve`) and the metrics history store ([`crate::tsdb`]) —
+//! checksums its payloads with the same CRC32 so a bit flip anywhere
+//! between "accepted" and "served" is detected instead of decoded into
+//! garbage. One implementation lives here, at the bottom of the
+//! dependency graph, so the formats can never disagree on the
+//! polynomial (`smgcn_serve::integrity` re-exports these functions for
+//! the crates that grew up against that path).
+
+/// CRC-32/ISO-HDLC (the IEEE 802.3 polynomial, reflected form
+/// `0xEDB88320`) — the same parameters as zlib/PNG/Ethernet, checkable
+/// with any external tool.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Streaming form: feed chunks through repeated calls, starting from 0.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut c = 0;
+        for chunk in data.chunks(7) {
+            c = crc32_update(c, chunk);
+        }
+        assert_eq!(c, oneshot);
+    }
+}

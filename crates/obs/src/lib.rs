@@ -18,7 +18,18 @@
 //!   [`TraceJournal`] ring;
 //! - [`events`] — a bounded [`EventJournal`] of structured timestamped
 //!   operational events (ejections, recoveries, publishes, hot swaps,
-//!   WAL flushes, shed decisions).
+//!   WAL flushes, shed decisions, SLO alerts);
+//! - [`tsdb`] — the retention layer: an append-only, delta-encoded
+//!   on-disk time-series store ([`Tsdb`]), a [`Scraper`] that polls a
+//!   metrics source on an interval, and a windowed query API
+//!   ([`TsdbData`]: rate, delta, percentile-over-time);
+//! - [`profile`] — an always-on continuous [`Profiler`] folding the
+//!   phase timers into cumulative flamegraph-collapsible stacks;
+//! - [`alert`] — declarative [`SloRule`]s judged over the tsdb with
+//!   Google-SRE multi-window burn-rate pairs, edge-triggered into the
+//!   event journal by an [`AlertEngine`];
+//! - [`integrity`] — the shared CRC32 every durable format frames its
+//!   payloads with.
 //!
 //! Everything here is deliberately dependency-free and sits at the
 //! bottom of the workspace graph: `serve`, `cluster`, `online` and the
@@ -29,12 +40,19 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod events;
 pub mod histogram;
+pub mod integrity;
+pub mod profile;
 pub mod registry;
 pub mod trace;
+pub mod tsdb;
 
+pub use alert::{Alert, AlertEngine, BurnWindow, SloKind, SloRule};
 pub use events::{Event, EventJournal};
 pub use histogram::{LatencyHistogram, LatencySnapshot, DECAY_INTERVAL};
+pub use profile::{ProfileHandle, Profiler};
 pub use registry::{Counter, Gauge, HistogramStats, Registry, Sample, SampleValue};
 pub use trace::{mint_trace_id, Sampler, SpanRecord, TraceBuilder, TraceJournal, TraceRecord};
+pub use tsdb::{Scraper, SeriesEncoder, Tsdb, TsdbData};

@@ -117,6 +117,23 @@ pub struct Registry {
     metrics: Mutex<BTreeMap<String, Slot>>,
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double quote and line feed become `\\`, `\"` and `\n`.
+/// Applied when keys are rendered, so the registry key itself is the
+/// canonical exposition spelling (benign values are unchanged).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
         return name.to_string();
@@ -130,7 +147,7 @@ fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
         if i > 0 {
             key.push(',');
         }
-        let _ = write!(key, "{k}=\"{v}\"");
+        let _ = write!(key, "{k}=\"{}\"", escape_label_value(v));
     }
     key.push('}');
     key
@@ -318,7 +335,7 @@ fn label_block(labels: &[(String, String)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{v}\"");
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     out.push('}');
     out
@@ -330,19 +347,47 @@ fn with_label(name: &str, labels: &[(String, String)], key: &str, value: &str) -
     format!("{name}{}", label_block(&all))
 }
 
+/// Inverse of [`render_key`]: recovers the raw (unescaped) label
+/// pairs. A real parser rather than a split on `,` — label values may
+/// legally contain commas, quotes, backslashes and newlines once
+/// escaping is in play.
 fn split_key(key: &str) -> (String, Vec<(String, String)>) {
     let Some(brace) = key.find('{') else {
         return (key.to_string(), Vec::new());
     };
     let name = key[..brace].to_string();
-    let body = key[brace + 1..].trim_end_matches('}');
-    let labels = body
-        .split(',')
-        .filter_map(|pair| {
-            let (k, v) = pair.split_once('=')?;
-            Some((k.to_string(), v.trim_matches('"').to_string()))
-        })
-        .collect();
+    let mut labels = Vec::new();
+    let mut chars = key[brace + 1..].chars().peekable();
+    'pairs: loop {
+        let mut label = String::new();
+        loop {
+            match chars.next() {
+                Some('=') => break,
+                Some('}') | None => break 'pairs,
+                Some(c) => label.push(c),
+            }
+        }
+        if chars.next() != Some('"') {
+            break;
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('n') => value.push('\n'),
+                    Some(c) => value.push(c),
+                    None => break 'pairs,
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => break 'pairs,
+            }
+        }
+        labels.push((label, value));
+        if chars.peek() == Some(&',') {
+            chars.next();
+        }
+    }
     (name, labels)
 }
 
@@ -414,6 +459,28 @@ mod tests {
         assert!(json.contains("\"g\":3"), "{json}");
         assert!(json.contains("\"h_us\":{\"count\":1"), "{json}");
         assert!(json.contains("\"total_p99_us\":128"), "{json}");
+    }
+
+    #[test]
+    fn hostile_label_values_escape_and_round_trip() {
+        let r = Registry::new();
+        let hostile = "a\\b\"c\nd,e=f";
+        r.counter_labeled("errors_total", &[("detail", hostile)])
+            .inc();
+        let sample = &r.samples()[0];
+        // The key carries the exposition-format escaped spelling...
+        assert_eq!(sample.key, "errors_total{detail=\"a\\\\b\\\"c\\nd,e=f\"}");
+        assert!(!sample.key.contains('\n'), "keys must stay single-line");
+        // ...and parsing the key recovers the raw value exactly.
+        assert_eq!(sample.labels, vec![("detail".into(), hostile.into())]);
+        // Re-registering through the same labels finds the same slot.
+        r.counter_labeled("errors_total", &[("detail", hostile)])
+            .add(2);
+        assert_eq!(
+            r.counter_labeled("errors_total", &[("detail", hostile)])
+                .get(),
+            3
+        );
     }
 
     #[test]

@@ -165,6 +165,7 @@ pub struct TraceRecord {
 pub struct TraceJournal {
     cap: usize,
     recorded: AtomicU64,
+    dropped: AtomicU64,
     ring: Mutex<VecDeque<TraceRecord>>,
 }
 
@@ -174,18 +175,25 @@ impl TraceJournal {
         Self {
             cap: cap.max(1),
             recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(cap.max(1))),
         }
     }
 
-    /// Appends a trace, evicting the oldest at capacity.
-    pub fn record(&self, trace: TraceRecord) {
+    /// Appends a trace, evicting the oldest at capacity. Returns true
+    /// when an older trace was dropped to make room — callers surface
+    /// that as a `traces_dropped_total` counter so overflow is visible
+    /// instead of silent.
+    pub fn record(&self, trace: TraceRecord) -> bool {
         self.recorded.fetch_add(1, Ordering::Relaxed);
         let mut ring = self.ring.lock().unwrap();
-        if ring.len() == self.cap {
+        let evicted = ring.len() == self.cap;
+        if evicted {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(trace);
+        evicted
     }
 
     /// The most recent `limit` traces, oldest first.
@@ -200,6 +208,11 @@ impl TraceJournal {
     /// Total traces ever recorded (including evicted ones).
     pub fn recorded_total(&self) -> u64 {
         self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Traces evicted from the ring to make room for newer ones.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -260,18 +273,23 @@ mod tests {
     #[test]
     fn journal_is_bounded_and_counts_evictions() {
         let j = TraceJournal::new(2);
+        let mut evictions = 0u64;
         for i in 0..5u64 {
-            j.record(TraceRecord {
+            if j.record(TraceRecord {
                 trace_id: format!("t{i}"),
                 unix_ms: i,
                 wall_us: i,
                 spans: vec![],
-            });
+            }) {
+                evictions += 1;
+            }
         }
         let recent = j.recent(10);
         assert_eq!(recent.len(), 2);
         assert_eq!(recent[0].trace_id, "t3");
         assert_eq!(recent[1].trace_id, "t4");
         assert_eq!(j.recorded_total(), 5);
+        assert_eq!(j.dropped_total(), 3);
+        assert_eq!(evictions, 3);
     }
 }

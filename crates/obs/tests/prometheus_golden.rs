@@ -33,6 +33,57 @@ fn prometheus_text_matches_golden_file() {
     );
 }
 
+/// Hostile label values: backslashes, quotes, newlines, commas and
+/// equals signs inside values must escape per the exposition format
+/// (`\\`, `\"`, `\n`) so the output stays one well-formed sample per
+/// line. Golden-pinned like the benign case.
+fn hostile_registry() -> Registry {
+    let r = Registry::new();
+    r.counter_labeled("ingest_rejects_total", &[("reason", "bad \"quote\"")])
+        .add(3);
+    r.counter_labeled(
+        "ingest_rejects_total",
+        &[("reason", "path\\with\\backslashes")],
+    )
+    .inc();
+    r.counter_labeled(
+        "ingest_rejects_total",
+        &[("reason", "line\nbreak,comma=eq")],
+    )
+    .add(7);
+    r.histogram_labeled("parse_us", &[("source", "c:\\wal \"v2\"\n")])
+        .record(50);
+    r
+}
+
+#[test]
+fn hostile_label_values_match_golden_file() {
+    let rendered = hostile_registry().to_prometheus();
+    let golden = include_str!("golden/hostile_labels.prom");
+    assert_eq!(
+        rendered, golden,
+        "hostile-label exposition drifted from golden file"
+    );
+    // No raw newline may survive inside a sample line: every line must
+    // end at a value, and the line count is exactly the golden's.
+    for line in rendered.lines() {
+        assert!(
+            line.starts_with('#') || line.rsplit_once(' ').is_some(),
+            "unterminated sample line: {line:?}"
+        );
+    }
+    // The raw (unescaped) values round-trip through the sample labels.
+    let samples = hostile_registry().samples();
+    let reasons: Vec<&str> = samples
+        .iter()
+        .filter(|s| s.name == "ingest_rejects_total")
+        .map(|s| s.labels[0].1.as_str())
+        .collect();
+    assert!(reasons.contains(&"bad \"quote\""));
+    assert!(reasons.contains(&"path\\with\\backslashes"));
+    assert!(reasons.contains(&"line\nbreak,comma=eq"));
+}
+
 /// Minimal exposition-format check: every non-comment line is
 /// `<name>[{k="v",...}] <float>` with a bare-identifier metric name.
 #[test]

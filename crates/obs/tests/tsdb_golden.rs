@@ -1,0 +1,106 @@
+//! Golden-file test for the tsdb binary format.
+//!
+//! The on-disk encoding is a contract: history written by one build
+//! must decode under every later build, so the exact bytes produced
+//! for a fixed scrape history are pinned to
+//! `tests/golden/history.tsdb`. Any intentional format change must
+//! bump `TSDB_VERSION` and regenerate the golden
+//! (`SMGCN_REGEN_GOLDEN=1 cargo test -p smgcn-obs`).
+
+use smgcn_obs::tsdb::{SeriesEncoder, TsdbData, TSDB_MAGIC, TSDB_VERSION};
+
+/// A fixed history exercising every encoder feature: series appearing
+/// late (dictionary growth mid-stream), unchanged values (zero XOR),
+/// counter resets, fractional gauges, labeled keys and histogram
+/// fields.
+fn golden_history() -> Vec<(u64, Vec<(String, f64)>)> {
+    let s = |n: &str, v: f64| (n.to_string(), v);
+    vec![
+        (
+            1_700_000_000_000,
+            vec![
+                s("serve_requests_total", 0.0),
+                s("serve_latency_us.p99_us", 512.0),
+                s("serve_cache_hit_rate", 0.0),
+            ],
+        ),
+        (
+            1_700_000_000_250,
+            vec![
+                s("serve_requests_total", 40.0),
+                s("serve_latency_us.p99_us", 512.0),
+                s("serve_cache_hit_rate", 0.125),
+            ],
+        ),
+        (
+            1_700_000_000_500,
+            vec![
+                s("serve_requests_total", 95.0),
+                s("serve_latency_us.p99_us", 1024.0),
+                s("serve_cache_hit_rate", 0.5),
+                s("serve_errors_total{code=\"deadline_exceeded\"}", 2.0),
+            ],
+        ),
+        (
+            1_700_000_000_750,
+            vec![
+                s("serve_requests_total", 7.0), // restart: counter reset
+                s("serve_latency_us.p99_us", 1024.0),
+                s("serve_cache_hit_rate", 0.5),
+                s("serve_errors_total{code=\"deadline_exceeded\"}", 2.0),
+            ],
+        ),
+    ]
+}
+
+fn encode(history: &[(u64, Vec<(String, f64)>)]) -> Vec<u8> {
+    let mut enc = SeriesEncoder::new();
+    let mut out = Vec::new();
+    SeriesEncoder::header(&mut out);
+    for (at, samples) in history {
+        enc.append(*at, samples, &mut out);
+    }
+    out
+}
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/history.tsdb");
+
+#[test]
+fn binary_format_matches_golden_file() {
+    let bytes = encode(&golden_history());
+    if std::env::var_os("SMGCN_REGEN_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &bytes).unwrap();
+    }
+    let golden = std::fs::read(GOLDEN_PATH)
+        .expect("golden file missing — run with SMGCN_REGEN_GOLDEN=1 to create");
+    assert_eq!(
+        bytes, golden,
+        "tsdb binary format drifted from the golden file; if intentional, \
+         bump TSDB_VERSION and regenerate with SMGCN_REGEN_GOLDEN=1"
+    );
+    assert_eq!(&bytes[..4], &TSDB_MAGIC);
+    assert_eq!(bytes[4], TSDB_VERSION);
+}
+
+#[test]
+fn golden_file_decodes_to_the_exact_history() {
+    let golden = std::fs::read(GOLDEN_PATH)
+        .expect("golden file missing — run with SMGCN_REGEN_GOLDEN=1 to create");
+    let recovered = TsdbData::parse(&golden);
+    assert_eq!(recovered.valid_len, golden.len(), "golden has a torn tail?");
+    let data = recovered.data;
+    for (at, samples) in golden_history() {
+        for (name, value) in samples {
+            let points = data
+                .points(&name)
+                .unwrap_or_else(|| panic!("series {name} missing"));
+            assert!(
+                points.contains(&(at, value)),
+                "expected ({at}, {value}) in {name}: {points:?}"
+            );
+        }
+    }
+    // The reset still queries correctly: increase over the whole run
+    // is 95 (pre-reset) + 7 (post-reset), never negative.
+    assert_eq!(data.delta("serve_requests_total", 0, u64::MAX), 102.0);
+}

@@ -4,47 +4,12 @@
 //! framing (`smgcn-online`) and the publish artifact's trailer
 //! ([`crate::artifact`]) — checksum their payloads with the same CRC32
 //! so a bit flip anywhere between "accepted" and "served" is detected
-//! instead of decoded into garbage embeddings. One implementation lives
-//! here, at the bottom of the dependency graph, so the two formats can
-//! never disagree on the polynomial.
+//! instead of decoded into garbage embeddings. The implementation now
+//! lives in `smgcn-obs` (one level lower in the dependency graph, so
+//! the metrics history store can share it); this module re-exports it
+//! under the path the WAL and artifact formats grew up against.
 
-/// CRC-32/ISO-HDLC (the IEEE 802.3 polynomial, reflected form
-/// `0xEDB88320`) — the same parameters as zlib/PNG/Ethernet, checkable
-/// with any external tool.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    crc32_update(0, bytes)
-}
-
-/// Streaming form: feed chunks through repeated calls, starting from 0.
-pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
-    let mut c = !crc;
-    for &b in bytes {
-        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
-    }
-    !c
-}
-
-static TABLE: [u32; 256] = build_table();
-
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
+pub use smgcn_obs::integrity::{crc32, crc32_update};
 
 #[cfg(test)]
 mod tests {

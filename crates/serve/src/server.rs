@@ -27,13 +27,13 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use smgcn_obs::{
-    mint_trace_id, Counter, EventJournal, LatencyHistogram, Registry, Sample, SampleValue, Sampler,
-    SpanRecord, TraceBuilder, TraceJournal, TraceRecord,
+    mint_trace_id, Counter, EventJournal, LatencyHistogram, ProfileHandle, Profiler, Registry,
+    Sample, SampleValue, Sampler, SpanRecord, TraceBuilder, TraceJournal, TraceRecord,
 };
 
 use crate::batcher::{Batcher, BatcherConfig, ScoreTimings};
@@ -118,6 +118,11 @@ pub struct ServerConfig {
     /// journal even when the client did not send `"trace": true`
     /// (0 disables sampling; responses are never affected).
     pub trace_sample_every: u64,
+    /// Continuous profiling: fold per-request phase timings into the
+    /// always-on [`Profiler`] behind `{"op":"profile"}`. The record path
+    /// is one relaxed atomic add per phase, cheap enough to default on;
+    /// turn off only to measure its own overhead.
+    pub profile: bool,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +134,7 @@ impl Default for ServerConfig {
             cache_capacity: 4096,
             batcher: BatcherConfig::default(),
             trace_sample_every: 0,
+            profile: true,
         }
     }
 }
@@ -192,11 +198,43 @@ struct ServeObs {
     /// scoring.
     deadline_sheds: Counter,
     traced: Counter,
+    /// Trace records evicted from the bounded journal ring to admit a
+    /// newer one (tail-sampling visibility: a non-zero rate here means
+    /// the journal is cycling and old traces are gone).
+    traces_dropped: Counter,
     batch_size: Arc<LatencyHistogram>,
     queue_wait_us: Arc<LatencyHistogram>,
     gemm_us: Arc<LatencyHistogram>,
     topk_us: Arc<LatencyHistogram>,
+    /// The continuous profiler behind `{"op":"profile"}`; pre-resolved
+    /// handles below keep the hot path at one relaxed add per phase.
+    profiler: Arc<Profiler>,
+    profile_enabled: bool,
+    prof_parse: ProfileHandle,
+    prof_resolve: ProfileHandle,
+    prof_cache_hit: ProfileHandle,
+    prof_cache_miss: ProfileHandle,
+    prof_queue: ProfileHandle,
+    prof_batch: ProfileHandle,
+    prof_gemm: ProfileHandle,
+    prof_topk: ProfileHandle,
+    prof_respond: ProfileHandle,
+    /// Admin verbs and error paths: wall time that is measured by the
+    /// latency histogram but has no ranking-phase breakdown.
+    prof_other: ProfileHandle,
+    /// Cached p90 of the since-start latency distribution, refreshed
+    /// every [`SLOW_REFRESH_EVERY`] requests; requests slower than this
+    /// are force-retained in the trace journal (tail-based sampling).
+    slow_threshold_us: AtomicU64,
 }
+
+/// How often (in requests) the slow-trace retention threshold is
+/// recomputed from the latency histogram.
+const SLOW_REFRESH_EVERY: u64 = 256;
+
+/// Minimum since-start observations before slow-trace retention kicks
+/// in — a p90 computed over a handful of warmup requests is noise.
+const SLOW_MIN_SAMPLES: u64 = 64;
 
 impl ServeObs {
     fn new(config: &ServerConfig) -> (Self, Counter, Counter, Counter, Arc<LatencyHistogram>) {
@@ -209,6 +247,7 @@ impl ServeObs {
         // the full name set, even before the first request.
         registry.gauge("serve_generation");
         registry.gauge("serve_cache_stale");
+        let profiler = Arc::new(Profiler::new());
         let obs = Self {
             cache_hits: registry.counter("serve_cache_hits_total"),
             cache_misses: registry.counter("serve_cache_misses_total"),
@@ -216,10 +255,24 @@ impl ServeObs {
             publish_rejected: registry.counter("serve_publish_rejected_total"),
             deadline_sheds: registry.counter("serve_deadline_sheds_total"),
             traced: registry.counter("serve_traced_total"),
+            traces_dropped: registry.counter("serve_traces_dropped_total"),
             batch_size: registry.histogram("serve_batch_size"),
             queue_wait_us: registry.histogram("serve_batch_queue_wait_us"),
             gemm_us: registry.histogram("serve_gemm_us"),
             topk_us: registry.histogram("serve_topk_us"),
+            prof_parse: profiler.node(&["serve", "request", "parse"]),
+            prof_resolve: profiler.node(&["serve", "request", "resolve"]),
+            prof_cache_hit: profiler.node(&["serve", "request", "cache_hit"]),
+            prof_cache_miss: profiler.node(&["serve", "request", "cache_miss"]),
+            prof_queue: profiler.node(&["serve", "request", "score", "queue"]),
+            prof_batch: profiler.node(&["serve", "request", "score", "batch"]),
+            prof_gemm: profiler.node(&["serve", "request", "score", "gemm"]),
+            prof_topk: profiler.node(&["serve", "request", "score", "topk"]),
+            prof_respond: profiler.node(&["serve", "request", "respond"]),
+            prof_other: profiler.node(&["serve", "request", "other"]),
+            profiler,
+            profile_enabled: config.profile,
+            slow_threshold_us: AtomicU64::new(0),
             events: Arc::new(EventJournal::new(256)),
             traces: Arc::new(TraceJournal::new(256)),
             sampler: Sampler::new(config.trace_sample_every),
@@ -329,14 +382,27 @@ impl Engine {
         let started = Instant::now();
         self.requests.inc();
         let mut trace: Option<TraceWork> = None;
-        let (mut response, record) = self.answer_timed(line, started, &mut trace);
+        let mut prof_acc: u64 = 0;
+        let (mut response, record) = self.answer_timed(line, started, &mut trace, &mut prof_acc);
+        let wall_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         // Admin publishes (base64 decode + full model deserialize) are
         // orders of magnitude above any serving op; recording them would
         // spike the p99 the router's slow-replica ejection reads,
         // getting a replica ejected for the crime of taking a rollout.
         if record {
-            self.latency
-                .record(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            self.latency.record(wall_us);
+            if self.obs.profile_enabled {
+                // The remainder past the attributed ranking phases is
+                // response assembly; requests with no phase breakdown
+                // (admin verbs, error paths) fold wholesale into `other`,
+                // so the folded stacks always partition the measured wall
+                // time instead of silently under-counting it.
+                if prof_acc > 0 {
+                    self.obs.prof_respond.add(wall_us.saturating_sub(prof_acc));
+                } else {
+                    self.obs.prof_other.add(wall_us);
+                }
+            }
         }
         if let Some(work) = trace {
             let mut builder = work.builder;
@@ -347,19 +413,56 @@ impl Engine {
             let spans = builder.into_spans();
             let wall_us: u64 = spans.iter().map(|s| s.dur_us).sum();
             self.obs.traced.inc();
-            self.obs.traces.record(TraceRecord {
+            if self.obs.traces.record(TraceRecord {
                 trace_id: trace_id.clone(),
                 unix_ms: unix_ms_now(),
                 wall_us,
                 spans: spans.clone(),
-            });
+            }) {
+                self.obs.traces_dropped.inc();
+            }
             if work.requested {
                 if let Json::Obj(map) = &mut response {
                     map.insert("trace".to_string(), trace_json(&trace_id, &spans));
                 }
             }
+        } else if record && self.slow_tail(wall_us) {
+            // Tail-based retention: no trace was armed for this request
+            // but it landed in the slowest decile, so keep a single-span
+            // record anyway — the journal always holds the outliers worth
+            // debugging, not just the sampling lottery's winners.
+            self.obs.traced.inc();
+            if self.obs.traces.record(TraceRecord {
+                trace_id: mint_trace_id(),
+                unix_ms: unix_ms_now(),
+                wall_us,
+                spans: vec![SpanRecord {
+                    name: "slow".to_string(),
+                    start_us: 0,
+                    dur_us: wall_us,
+                }],
+            }) {
+                self.obs.traces_dropped.inc();
+            }
         }
         response
+    }
+
+    /// True when this wall time lands in the slowest decile. The p90
+    /// threshold is cached and refreshed every [`SLOW_REFRESH_EVERY`]
+    /// requests from the undecayed since-start distribution, so the
+    /// per-request cost is one relaxed load.
+    fn slow_tail(&self, wall_us: u64) -> bool {
+        if self.requests.get().is_multiple_of(SLOW_REFRESH_EVERY) {
+            let snap = self.latency.snapshot();
+            if snap.total_count >= SLOW_MIN_SAMPLES {
+                self.obs
+                    .slow_threshold_us
+                    .store(snap.total_quantile_us(0.90) as u64, Ordering::Relaxed);
+            }
+        }
+        let threshold = self.obs.slow_threshold_us.load(Ordering::Relaxed);
+        threshold > 0 && wall_us > threshold
     }
 
     /// Answers one line; the flag is false for operations whose wall
@@ -369,8 +472,9 @@ impl Engine {
         line: &str,
         started: Instant,
         trace: &mut Option<TraceWork>,
+        prof_acc: &mut u64,
     ) -> (Json, bool) {
-        match self.answer(line, started, trace) {
+        match self.answer(line, started, trace, prof_acc) {
             Ok(Answer::Ranking {
                 ids,
                 scores,
@@ -405,6 +509,21 @@ impl Engine {
                     .registry
                     .counter_labeled("serve_errors_total", &[("code", e.code)])
                     .inc();
+                // Tail-based retention: failed requests always reach the
+                // trace journal, even when neither the client nor the
+                // sampler asked for a trace — errors are precisely the
+                // requests worth replaying later. The closing span names
+                // the error code so the journal reads as a story.
+                if trace.is_none() {
+                    *trace = Some(TraceWork {
+                        builder: TraceBuilder::new(started),
+                        requested: false,
+                        trace_id: None,
+                    });
+                }
+                if let Some(work) = trace.as_mut() {
+                    work.builder.cover_to_now(&format!("error:{}", e.code));
+                }
                 (e.to_json(), true)
             }
         }
@@ -532,6 +651,25 @@ impl Engine {
         ])
     }
 
+    /// The `{"op":"profile"}` admin verb: the continuous profiler's
+    /// cumulative folded stacks (`stack;frames <µs>` lines, the
+    /// flamegraph-collapsed format) plus the latency histogram's
+    /// since-start wall-time sum, so a caller can check what fraction of
+    /// the measured request time the stacks account for.
+    fn profile_report(&self) -> Json {
+        let latency = self.latency.snapshot();
+        json::obj([
+            ("generation", Json::Num(self.slot.load().number as f64)),
+            ("folded", Json::Str(self.obs.profiler.fold())),
+            (
+                "profile_total_us",
+                Json::Num(self.obs.profiler.total_us() as f64),
+            ),
+            ("latency_total_us", Json::Num(latency.total_sum_us as f64)),
+            ("enabled", Json::Bool(self.obs.profile_enabled)),
+        ])
+    }
+
     /// The `{"op":"events"}` admin verb: the tail of the event journal
     /// (optional `"limit"`, default 64).
     fn events_report(&self, req: &Json) -> Json {
@@ -565,9 +703,11 @@ impl Engine {
         line: &str,
         started: Instant,
         trace: &mut Option<TraceWork>,
+        prof_acc: &mut u64,
     ) -> Result<Answer, ApiError> {
         let req = json::parse(line)
             .map_err(|e| ApiError::new(codes::BAD_JSON, format!("bad request JSON: {e}")))?;
+        let parse_us = started.elapsed().as_micros() as u64;
         // Tracing is decided right after parse: explicitly requested
         // traces come back in the response; sampled ones only land in
         // the journal, so untraced responses stay byte-identical.
@@ -589,6 +729,7 @@ impl Engine {
             Some("stats") => return Ok(Answer::Stats(self.stats())),
             Some("metrics") => return Ok(Answer::Stats(self.metrics(&req))),
             Some("events") => return Ok(Answer::Stats(self.events_report(&req))),
+            Some("profile") => return Ok(Answer::Stats(self.profile_report())),
             // Both publish outcomes route through Answer::Publish: a
             // *failed* publish can still pay base64 decode + model
             // deserialize before rejecting, and that wall time must stay
@@ -657,7 +798,31 @@ impl Engine {
             // parse span closed.
             work.builder.cover_to_now("resolve");
         }
+        let pre_rank_us = started.elapsed().as_micros() as u64;
         let (ranking, generation, cached, timing) = self.rank(&pinned, key, deadline)?;
+        if self.obs.profile_enabled {
+            // Fold this request's phases into the continuous profiler.
+            // `prof_acc` totals the attributed microseconds so the caller
+            // can book the un-attributed remainder as `respond`.
+            self.obs.prof_parse.add(parse_us);
+            self.obs
+                .prof_resolve
+                .add(pre_rank_us.saturating_sub(parse_us));
+            let cache_node = if cached {
+                &self.obs.prof_cache_hit
+            } else {
+                &self.obs.prof_cache_miss
+            };
+            cache_node.add(timing.cache_us);
+            *prof_acc = pre_rank_us + timing.cache_us;
+            if let Some(s) = &timing.score {
+                self.obs.prof_queue.add(s.queue_us);
+                self.obs.prof_batch.add(s.batch_us);
+                self.obs.prof_gemm.add(s.gemm_us);
+                self.obs.prof_topk.add(s.topk_us);
+                *prof_acc += s.queue_us + s.batch_us + s.gemm_us + s.topk_us;
+            }
+        }
         if let Some(work) = trace.as_mut() {
             let b = &mut work.builder;
             // Cache outcome is encoded in the span name; on a miss the
@@ -785,6 +950,7 @@ pub fn samples_to_json(samples: &[Sample]) -> Json {
                         ("p99_us", Json::Num(h.p99_us)),
                         ("mean_us", Json::Num(h.mean_us)),
                         ("total_count", Json::Num(h.total_count as f64)),
+                        ("total_sum_us", Json::Num(h.total_sum_us as f64)),
                         ("total_p50_us", Json::Num(h.total_p50_us)),
                         ("total_p99_us", Json::Num(h.total_p99_us)),
                     ]),
@@ -793,6 +959,33 @@ pub fn samples_to_json(samples: &[Sample]) -> Json {
             })
             .collect(),
     )
+}
+
+/// Flattens the `"metrics"` object of an `{"op":"metrics"}` response
+/// into scalar time-series samples: counters and gauges keep their key,
+/// histogram stat objects become one `key.field` series per numeric
+/// field. This is the wire-side inverse the tsdb [`Scraper`] feeds on —
+/// the flattened names match what `smgcn_obs::tsdb` queries expect.
+///
+/// [`Scraper`]: smgcn_obs::Scraper
+pub fn flatten_metrics_json(metrics: &Json) -> Vec<(String, f64)> {
+    let mut flat = Vec::new();
+    if let Json::Obj(map) = metrics {
+        for (key, value) in map {
+            match value {
+                Json::Num(n) => flat.push((key.clone(), *n)),
+                Json::Obj(fields) => {
+                    for (field, fv) in fields {
+                        if let Json::Num(n) = fv {
+                            flat.push((format!("{key}.{field}"), *n));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flat
 }
 
 /// A successful answer: a ranking, a `/stats` report, or a publish
@@ -903,6 +1096,14 @@ impl Server {
     /// [`Server::registry`]).
     pub fn events(&self) -> Arc<EventJournal> {
         Arc::clone(&self.engine.obs.events)
+    }
+
+    /// The continuous profiler behind `{"op":"profile"}`. Co-located
+    /// subsystems (the online pipeline fine-tuning this server's slot)
+    /// attach their own stacks here so one folded report covers both
+    /// the serving and the training side of the replica.
+    pub fn profiler(&self) -> Arc<Profiler> {
+        Arc::clone(&self.engine.obs.profiler)
     }
 
     /// The bound address (useful with port 0).
@@ -1582,6 +1783,129 @@ mod tests {
             snap.get("traces_recorded").and_then(Json::as_num).unwrap() >= 3.0,
             "1-in-2 sampling over 6 requests: {snap}"
         );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn profile_op_folds_phase_stacks_covering_wall_time() {
+        let (addr, stop, handle) = test_server();
+        for i in 0..12 {
+            let resp = roundtrip(addr, &format!(r#"{{"symptom_ids": [{}], "k": 3}}"#, i % 5));
+            assert!(resp.get("error").is_none(), "{resp}");
+        }
+        let report = roundtrip(addr, r#"{"op": "profile"}"#);
+        assert_eq!(report.get("enabled"), Some(&Json::Bool(true)));
+        let folded = report.get("folded").and_then(Json::as_str).unwrap();
+        // Sub-microsecond phases (cache lookups, sometimes parse) are
+        // zero-suppressed from the fold, so only assert the stacks that
+        // always accumulate real time: the respond remainder and the
+        // scoring GEMM.
+        assert!(
+            folded.contains("serve;request;respond "),
+            "missing respond stack in:\n{folded}"
+        );
+        assert!(
+            folded.contains("serve;request;score;"),
+            "missing scoring stacks in:\n{folded}"
+        );
+        // The folded stacks must account for (nearly) all the wall time
+        // the latency histogram measured: phases + respond remainder
+        // partition each recorded request by construction.
+        let profiled = report
+            .get("profile_total_us")
+            .and_then(Json::as_num)
+            .unwrap();
+        let measured = report
+            .get("latency_total_us")
+            .and_then(Json::as_num)
+            .unwrap();
+        assert!(measured > 0.0, "{report}");
+        assert!(
+            profiled >= 0.9 * measured,
+            "folded stacks cover {profiled}µs of {measured}µs measured"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn profiling_disabled_leaves_stacks_empty() {
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 2 + c * 5) % 6) as f32 - 2.5);
+        let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            model,
+            ServingVocab::default(),
+            ServerConfig {
+                profile: false,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let stop = server.stop_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        let _ = roundtrip(addr, r#"{"symptom_ids": [0], "k": 2}"#);
+        let report = roundtrip(addr, r#"{"op": "profile"}"#);
+        assert_eq!(report.get("enabled"), Some(&Json::Bool(false)));
+        assert_eq!(
+            report.get("profile_total_us").and_then(Json::as_num),
+            Some(0.0),
+            "{report}"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn error_requests_are_always_trace_retained() {
+        // No client-requested traces and no background sampling: only
+        // the tail-retention path can put records in the journal.
+        let (addr, stop, handle) = test_server();
+        let _ = roundtrip(addr, r#"{"symptom_ids": [0, 0], "k": 2}"#); // duplicate_symptom
+        let _ = roundtrip(addr, r#"{"symptom_ids": [99], "k": 2}"#); // symptom_out_of_range
+        let snap = roundtrip(addr, r#"{"op": "metrics"}"#);
+        assert!(
+            snap.get("traces_recorded").and_then(Json::as_num).unwrap() >= 2.0,
+            "errors must be force-retained in the trace journal: {snap}"
+        );
+        let metrics = snap.get("metrics").expect("metrics object");
+        assert_eq!(
+            metrics
+                .get("serve_traces_dropped_total")
+                .and_then(Json::as_num),
+            Some(0.0),
+            "journal far from capacity, nothing may drop: {snap}"
+        );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn flatten_metrics_json_splits_histograms_into_series() {
+        let (addr, stop, handle) = test_server();
+        let _ = roundtrip(addr, r#"{"symptom_ids": [1], "k": 2}"#);
+        let snap = roundtrip(addr, r#"{"op": "metrics"}"#);
+        let flat = flatten_metrics_json(snap.get("metrics").unwrap());
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"serve_requests_total"), "{names:?}");
+        assert!(names.contains(&"serve_latency_us.total_count"), "{names:?}");
+        assert!(
+            names.contains(&"serve_latency_us.total_p99_us"),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"serve_latency_us.total_sum_us"),
+            "{names:?}"
+        );
+        let requests = flat
+            .iter()
+            .find(|(n, _)| n == "serve_requests_total")
+            .unwrap()
+            .1;
+        assert!(requests >= 1.0);
         stop.stop();
         handle.join().unwrap();
     }

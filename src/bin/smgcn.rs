@@ -10,6 +10,7 @@
 //!                 --symptoms "name1,name2,..." [--k N]
 //! smgcn serve     --corpus corpus.tsv --model-file FILE [--addr HOST:PORT]
 //!                 [--connections N] [--cache N] [--batch-max N]
+//!                 [--tsdb FILE] [--scrape-ms N]
 //! smgcn ingest    --corpus corpus.tsv --wal wal.log
 //!                 --add "s1,s2 => h1,h2 ; s3 => h4" [--allow-new true|false]
 //! smgcn refresh   --corpus corpus.tsv --wal wal.log --model-file model.smgt
@@ -18,12 +19,15 @@
 //!                 [--replicas HOST:PORT,...]
 //! smgcn route     --replicas HOST:PORT,HOST:PORT[,...] [--addr HOST:PORT]
 //!                 [--connections N] [--replica-conns N] [--probe-ms N]
-//!                 [--slow-p99-ms F]
+//!                 [--slow-p99-ms F] [--tsdb FILE] [--scrape-ms N]
 //! smgcn cluster-refresh --replicas HOST:PORT,... --model-file frozen.smgt
 //!                 --corpus corpus.tsv
 //! smgcn loadgen   <scenario|all> [--seed N] [--measure-ms N] [--workers N]
 //!                 [--k N] [--out FILE] [--out-dir DIR] [--plan true]
 //! smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]
+//! smgcn profile   --addr HOST:PORT
+//! smgcn query     --tsdb FILE [--series SELECTOR] [--op last|delta|rate|avg|max|quantile]
+//!                 [--from MS] [--to MS] [--q F]
 //! ```
 //!
 //! `ingest` validates prescriptions against the corpus vocabularies
@@ -76,8 +80,19 @@
 //! `top` is the ops console: it polls `{"op":"metrics"}` on a server or
 //! router every `--interval-ms` and renders a live fleet table — one
 //! row per replica (generation, qps, p99, cache hit rate, sheds) plus
-//! the merged fleet row. `--iterations N` stops after N frames (0, the
-//! default, runs until interrupted).
+//! the merged fleet row and the tail of burn-rate alert events from the
+//! journal. `--iterations N` stops after N frames (0, the default, runs
+//! until interrupted).
+//!
+//! `--tsdb FILE` on `serve`/`route` starts a self-scrape sidecar: the
+//! process polls its own `{"op":"metrics"}` every `--scrape-ms`
+//! (default 1000), appends each snapshot to an append-only,
+//! crash-tolerant on-disk history, and evaluates Google-SRE multi-window
+//! burn-rate alert rules live, journaling `alert`/`alert_resolved`
+//! events. `smgcn query` reads such a file back (`--series` selectors
+//! match labeled variants; `--op` picks the window aggregation), and
+//! `smgcn profile` fetches the continuous profiler's folded stacks via
+//! `{"op":"profile"}` — routers return the fleet-merged view.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -101,7 +116,10 @@ fn usage() -> ! {
          smgcn route     --replicas HOST:PORT,... [--addr HOST:PORT] [--connections N] [--replica-conns N] [--probe-ms N] [--slow-p99-ms F]\n  \
          smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n  \
          smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n  \
-         smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]\n\
+         smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]\n  \
+         smgcn profile   --addr HOST:PORT\n  \
+         smgcn query     --tsdb FILE [--series SELECTOR] [--op last|delta|rate|avg|max|quantile] [--from MS] [--to MS] [--q F]\n\
+         serve/route also take --tsdb FILE [--scrape-ms N]: self-scrape metrics history + live burn-rate alerts\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
          scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill, fault-storm\n\
          env: SMGCN_FAULT_SEED=N arms the seeded fault-injection storm plan in this process\n\
@@ -422,6 +440,27 @@ fn cmd_serve(flags: HashMap<String, String>) {
         config.batcher.max_batch
     );
     println!(r#"protocol: one JSON object per line, e.g. {{"symptoms": ["s1", "s2"], "k": 10}}"#);
+    let _scraper = flags.get("tsdb").map(|path| {
+        let scrape_ms: u64 = flags
+            .get("scrape-ms")
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(1000);
+        let front = server.local_addr().unwrap_or_else(|e| {
+            eprintln!("error: cannot resolve own address for self-scrape: {e}");
+            exit(1);
+        });
+        println!(
+            "self-scraping metrics to {path} every {scrape_ms} ms \
+             (burn-rate alerts land in the event journal)"
+        );
+        spawn_self_scrape(
+            front,
+            path,
+            scrape_ms,
+            vec![default_availability_rule(false, scrape_ms)],
+            server.events(),
+        )
+    });
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
         exit(1);
@@ -670,9 +709,232 @@ fn cmd_route(flags: HashMap<String, String>) {
         config.probe_interval
     );
     println!("protocol: identical to smgcn serve; admin: {{\"op\":\"stats\"}}, {{\"op\":\"publish\",...}}");
+    let _scraper = flags.get("tsdb").map(|path| {
+        let scrape_ms: u64 = flags
+            .get("scrape-ms")
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(1000);
+        let front = router.local_addr().unwrap_or_else(|e| {
+            eprintln!("error: cannot resolve own address for self-scrape: {e}");
+            exit(1);
+        });
+        println!(
+            "self-scraping merged fleet metrics to {path} every {scrape_ms} ms \
+             (burn-rate alerts land in the event journal)"
+        );
+        spawn_self_scrape(
+            front,
+            path,
+            scrape_ms,
+            vec![default_availability_rule(true, scrape_ms)],
+            router.events(),
+        )
+    });
     if let Err(e) = router.run() {
         eprintln!("router error: {e}");
         exit(1);
+    }
+}
+
+/// One-shot admin fetch: connects to `addr`, sends `{"op":"<op>"}`,
+/// parses the one-line reply. `None` on any transport or parse failure.
+fn fetch_admin_op(addr: &str, op: &str) -> Option<smgcn_repro::serve::json::Json> {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    let stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok()?;
+    let mut writer = BufWriter::new(stream.try_clone().ok()?);
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{{\"op\":\"{op}\"}}").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    smgcn_repro::serve::json::parse(line.trim()).ok()
+}
+
+/// The default availability burn-rate rule a self-scraping `serve` or
+/// `route` process evaluates live: canonical SRE window pairs (5m/1h at
+/// 14.4, 30m/6h at 6) against a 99.99% objective, clamped so the
+/// windows never dip under four scrape intervals.
+fn default_availability_rule(routed: bool, scrape_ms: u64) -> smgcn_repro::obs::alert::SloRule {
+    use smgcn_repro::obs::alert::SloRule;
+    let s = |n: &str| n.to_string();
+    let (bad, total) = if routed {
+        (
+            vec![s("router_exhausted_total")],
+            vec![s("router_requests_total")],
+        )
+    } else {
+        (
+            vec![
+                s("serve_errors_total"),
+                s("serve_sheds_total"),
+                s("serve_queue_rejections_total"),
+            ],
+            vec![s("serve_requests_total")],
+        )
+    };
+    SloRule::availability("availability-burn", bad, total, 1e-4)
+        .with_min_window(scrape_ms.saturating_mul(4))
+}
+
+/// Starts the self-scrape sidecar behind `--tsdb`: polls this process's
+/// own front-end every `scrape_ms`, appends each flattened snapshot to
+/// the on-disk tsdb at `path` (resuming a previous history if the file
+/// already has one), and ticks the burn-rate alert engine so firings
+/// land in the process's own event journal (`{"op":"events"}`, `smgcn
+/// top`). The returned scraper runs until the process exits.
+fn spawn_self_scrape(
+    front: std::net::SocketAddr,
+    path: &str,
+    scrape_ms: u64,
+    rules: Vec<smgcn_repro::obs::alert::SloRule>,
+    events: std::sync::Arc<smgcn_repro::obs::EventJournal>,
+) -> smgcn_repro::obs::tsdb::Scraper {
+    use smgcn_repro::obs::alert::AlertEngine;
+    use smgcn_repro::obs::tsdb::{Scraper, Tsdb, TsdbData};
+    let (mut tsdb, mut data) = if std::path::Path::new(path).exists() {
+        Tsdb::open(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot open tsdb {path:?}: {e}");
+            exit(1);
+        })
+    } else {
+        let tsdb = Tsdb::create(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot create tsdb {path:?}: {e}");
+            exit(1);
+        });
+        (tsdb, TsdbData::default())
+    };
+    let mut engine = AlertEngine::new(rules);
+    Scraper::spawn(
+        std::time::Duration::from_millis(scrape_ms),
+        Box::new(move || {
+            let snap = fetch_admin_op(&front.to_string(), "metrics")?;
+            let inner = snap.get("merged").or_else(|| snap.get("metrics"))?;
+            Some(smgcn_repro::serve::server::flatten_metrics_json(inner))
+        }),
+        Box::new(move |at_ms, samples| {
+            if let Err(e) = tsdb.append(at_ms, samples) {
+                eprintln!("tsdb append failed: {e}");
+            }
+            data.push(at_ms, samples);
+            engine.tick(&data, at_ms, &events);
+        }),
+    )
+}
+
+fn cmd_profile(flags: HashMap<String, String>) {
+    use smgcn_repro::serve::json::Json;
+    let Some(addr) = flags.get("addr") else {
+        eprintln!("error: profile needs --addr");
+        usage();
+    };
+    let Some(report) = fetch_admin_op(addr, "profile") else {
+        eprintln!("error: no profile response from {addr}");
+        exit(1);
+    };
+    let folded = report.get("folded").and_then(Json::as_str).unwrap_or("");
+    let profiled = report
+        .get("profile_total_us")
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    let measured = report
+        .get("latency_total_us")
+        .and_then(Json::as_num)
+        .unwrap_or(0.0);
+    if report.get("replicas").is_some() {
+        println!("# fleet-merged folded stacks via {addr}");
+    }
+    if folded.is_empty() {
+        println!("(no samples yet — profile after traffic has flowed)");
+    } else {
+        println!("{folded}");
+    }
+    let coverage = if measured > 0.0 {
+        100.0 * profiled / measured
+    } else {
+        0.0
+    };
+    println!(
+        "# profiled {profiled:.0} µs of {measured:.0} µs request wall time ({coverage:.1}% coverage)"
+    );
+    if report.get("partial") == Some(&Json::Bool(true)) {
+        println!("# partial: at least one replica was unreachable");
+    }
+}
+
+fn cmd_query(flags: HashMap<String, String>) {
+    use smgcn_repro::obs::tsdb::TsdbData;
+    let Some(path) = flags.get("tsdb") else {
+        eprintln!("error: query needs --tsdb FILE");
+        usage();
+    };
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path:?}: {e}");
+        exit(1);
+    });
+    let recovered = TsdbData::parse(&bytes);
+    if recovered.valid_len < bytes.len() {
+        eprintln!(
+            "warning: {} byte(s) of torn/corrupt tail ignored (valid prefix {} bytes)",
+            bytes.len() - recovered.valid_len,
+            recovered.valid_len
+        );
+    }
+    let data = recovered.data;
+    let (Some(start), Some(end)) = (data.start_ms(), data.end_ms()) else {
+        println!("{path}: empty history");
+        return;
+    };
+    let Some(selector) = flags.get("series") else {
+        // No selector: the catalogue. Name + point count + last value.
+        println!(
+            "{path}: {} series over {:.1} s ({start} .. {end} unix ms)",
+            data.series_names().len(),
+            (end - start) as f64 / 1e3
+        );
+        for name in data.series_names() {
+            let points = data.points(name).map_or(0, <[_]>::len);
+            let last = data.last(name).unwrap_or(0.0);
+            println!("  {name}  ({points} points, last {last})");
+        }
+        return;
+    };
+    let t0: u64 = flags
+        .get("from")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(start);
+    let t1: u64 = flags
+        .get("to")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(end);
+    let op = flags.get("op").map_or("last", String::as_str);
+    let value = match op {
+        "last" => data.last(selector),
+        "delta" => Some(data.delta(selector, t0, t1)),
+        "rate" => Some(data.rate(selector, t0, t1)),
+        "avg" => data.avg_over_time(selector, t0, t1),
+        "max" => data.max_over_time(selector, t0, t1),
+        "quantile" => {
+            let q: f64 = flags
+                .get("q")
+                .map(|v| v.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(0.99);
+            data.quantile_over_time(selector, t0, t1, q)
+        }
+        _ => {
+            eprintln!("error: --op must be last|delta|rate|avg|max|quantile");
+            usage();
+        }
+    };
+    match value {
+        Some(v) => println!("{op}({selector}) [{t0} .. {t1}] = {v}"),
+        None => {
+            eprintln!("error: no series matches {selector:?} in the window");
+            exit(1);
+        }
     }
 }
 
@@ -777,6 +1039,10 @@ fn cmd_loadgen(rest: &[String]) {
         Some(_) => usage(),
     };
     let out_dir = flags.get("out-dir").cloned().unwrap_or_else(|| ".".into());
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create --out-dir {out_dir}: {e}");
+        exit(2);
+    }
     let n_kinds = kinds.len();
     if n_kinds > 1 && flags.contains_key("out") {
         eprintln!("error: --out names one file; use --out-dir with multiple scenarios");
@@ -811,6 +1077,8 @@ fn cmd_loadgen(rest: &[String]) {
                 },
                 metrics_json: None,
                 events_json: None,
+                tsdb: None,
+                profile_json: None,
             };
             print!("{}", report.workload_json());
             continue;
@@ -844,6 +1112,29 @@ fn cmd_loadgen(rest: &[String]) {
                 exit(1);
             });
             println!("  wrote {epath}");
+        }
+        if let Some(tsdb) = &report.tsdb {
+            let tpath = format!("{out_dir}/TSDB_{}.bin", kind.name().replace('-', "_"));
+            std::fs::write(&tpath, tsdb).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {tpath}: {e}");
+                exit(1);
+            });
+            println!("  wrote {tpath} (inspect with `smgcn query --tsdb {tpath}`)");
+        }
+        if let Some(profile) = &report.profile_json {
+            let ppath = format!("{out_dir}/PROFILE_{}.json", kind.name().replace('-', "_"));
+            std::fs::write(&ppath, format!("{profile}\n")).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {ppath}: {e}");
+                exit(1);
+            });
+            println!("  wrote {ppath}");
+        }
+        if !report.measured.alerts_fired.is_empty() {
+            println!(
+                "  alerts fired: {} ({} firing(s))",
+                report.measured.alerts_fired.join(", "),
+                report.measured.alert_firings
+            );
         }
         println!();
         if !report.verdict.passed() {
@@ -971,6 +1262,42 @@ fn cmd_top(flags: HashMap<String, String>) {
                 }
             }
         }
+        // The alerting tail: recent burn-rate pages (and resolutions)
+        // from the fleet's event journal, newest last.
+        let alert_events: Vec<(f64, String, String)> = fetch_admin_op(addr, "events")
+            .map(|r| {
+                r.get("events")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|e| {
+                        let kind = e.get("kind").and_then(Json::as_str)?;
+                        if kind != "alert" && kind != "alert_resolved" {
+                            return None;
+                        }
+                        Some((
+                            e.get("unix_ms").and_then(Json::as_num).unwrap_or(0.0),
+                            kind.to_string(),
+                            e.get("detail")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !alert_events.is_empty() {
+            println!("\nALERTS (journal tail):");
+            for (unix_ms, kind, detail) in alert_events.iter().rev().take(5).rev() {
+                let mark = if kind == "alert" {
+                    "FIRING "
+                } else {
+                    "resolved"
+                };
+                println!("  [{unix_ms:.0}] {mark} {detail}");
+            }
+        }
         frame += 1;
         if iterations != 0 && frame >= iterations {
             break;
@@ -1007,6 +1334,8 @@ fn main() {
         "route" => cmd_route(flags),
         "cluster-refresh" => cmd_cluster_refresh(flags),
         "top" => cmd_top(flags),
+        "profile" => cmd_profile(flags),
+        "query" => cmd_query(flags),
         _ => usage(),
     }
 }

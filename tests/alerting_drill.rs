@@ -1,0 +1,129 @@
+//! The retention-and-judgment acceptance drill (metrics history,
+//! continuous profiling, burn-rate alerting) — the headline run of the
+//! observability level-2 issue:
+//!
+//! 1. a 3-replica routed fleet runs the seeded `fault-storm` scenario
+//!    with loadgen's scraper attached; the scraped history must decode
+//!    from the on-disk tsdb encoding alone, byte-complete;
+//! 2. the history alone reproduces the run's client p99 (the engine
+//!    writes the client-side summary as its own series) within 10%;
+//! 3. the availability burn-rate rule fires during the storm — and its
+//!    firings land inside the scraped history's time range;
+//! 4. replaying the same history through the live [`AlertEngine`] path
+//!    journals structured `alert` events (the surface `smgcn top`
+//!    renders);
+//! 5. the continuous profiler's folded stacks account for ≥ 90% of the
+//!    measured request wall time, fleet-wide through the router;
+//! 6. a clean steady-zipfian run through the same machinery stays
+//!    silent (the contract is judged, not vacuous).
+//!
+//! Lives in its own integration-test binary: the fault-storm scenario
+//! installs a process-global fault plan for its run.
+
+use smgcn_repro::loadgen::{build, run, ScenarioConfig, ScenarioKind};
+use smgcn_repro::obs::alert::{evaluate_series, AlertEngine};
+use smgcn_repro::obs::tsdb::TsdbData;
+use smgcn_repro::obs::EventJournal;
+use smgcn_repro::serve::json::{self, Json};
+
+#[test]
+fn storm_history_reproduces_p99_fires_alerts_and_profiles_the_fleet() {
+    let config = ScenarioConfig {
+        measure_ms: 1500,
+        workers: 4,
+        ..ScenarioConfig::default()
+    };
+    let workload = build(ScenarioKind::FaultStorm, &config);
+    let report = run(&workload);
+    assert!(
+        report.verdict.passed(),
+        "fault-storm SLO violations: {:?}",
+        report.verdict.violations
+    );
+
+    // 1. The persisted history decodes completely — no torn tail, and
+    // it spans the run (several scrapes, not just the final snapshot).
+    let bytes = report.tsdb.as_ref().expect("scraped history present");
+    let recovered = TsdbData::parse(bytes);
+    assert_eq!(recovered.valid_len, bytes.len(), "corrupt tail in history");
+    let history = recovered.data;
+    let (start, end) = (
+        history.start_ms().expect("history start"),
+        history.end_ms().expect("history end"),
+    );
+    assert!(end > start, "history must span the run");
+    assert!(
+        history
+            .points("serve_latency_us.p99_us")
+            .is_some_and(|p| p.len() >= 4),
+        "expected a multi-scrape serve latency series"
+    );
+
+    // 2. The report's headline p99, from the tsdb alone.
+    let p99 = history
+        .last("client_latency_ms.p99")
+        .expect("client summary series");
+    assert!(
+        (p99 - report.measured.p99_ms).abs() <= 0.1 * report.measured.p99_ms.max(1e-9),
+        "tsdb p99 {p99} vs report {}",
+        report.measured.p99_ms
+    );
+
+    // 3. The storm pages, and every firing sits inside scraped time.
+    let alerts = evaluate_series(&workload.alerts.rules, &history);
+    assert!(!alerts.is_empty(), "the storm must fire availability-burn");
+    for alert in &alerts {
+        assert_eq!(alert.rule, "availability-burn");
+        assert!(
+            (start..=end).contains(&alert.at_ms),
+            "firing at {} outside history [{start}, {end}]",
+            alert.at_ms
+        );
+    }
+
+    // 4. The same judgment through the live engine journals structured
+    // alert events — the exact surface `{"op":"events"}`/`smgcn top`
+    // exposes on a self-scraping server.
+    let journal = EventJournal::new(64);
+    let mut engine = AlertEngine::new(workload.alerts.rules.clone());
+    let mut stamps: Vec<u64> = history
+        .series_names()
+        .iter()
+        .filter_map(|n| history.points(n))
+        .flat_map(|p| p.iter().map(|&(t, _)| t))
+        .collect();
+    stamps.sort_unstable();
+    stamps.dedup();
+    for at in stamps {
+        engine.tick(&history, at, &journal);
+    }
+    assert!(engine.fired_total() >= 1, "live engine must page too");
+    assert!(
+        journal
+            .recent(64)
+            .iter()
+            .any(|e| e.kind == "alert" && e.detail.contains("availability-burn")),
+        "journal must carry the structured alert event"
+    );
+
+    // 5. Continuous profiling covers the request wall time fleet-wide.
+    let profile = report.profile_json.as_ref().expect("profile captured");
+    let profile = json::parse(profile.trim()).expect("profile parses");
+    let profiled = profile
+        .get("profile_total_us")
+        .and_then(Json::as_num)
+        .expect("profile_total_us");
+    let measured = profile
+        .get("latency_total_us")
+        .and_then(Json::as_num)
+        .expect("latency_total_us");
+    assert!(
+        measured > 0.0 && profiled >= 0.9 * measured,
+        "folded stacks cover {profiled} µs of {measured} µs"
+    );
+    let folded = profile.get("folded").and_then(Json::as_str).unwrap_or("");
+    assert!(
+        folded.contains("router;forward ") && folded.contains("serve;request;"),
+        "fleet-merged stacks must span router and replicas:\n{folded}"
+    );
+}
