@@ -9,10 +9,18 @@
 //! contract to a number — the same query stream is driven through two
 //! in-process servers: one bare (tracing off, profiler off, no
 //! scraper), and one loaded with 1-in-`--sample-every` trace sampling,
-//! the continuous profiler, and (with `--scrape-ms N`) a live tsdb
-//! scraper polling `{"op":"metrics"}` over TCP. The loaded
-//! configuration must keep at least `1 - --max-regress` of the bare
-//! throughput.
+//! the continuous profiler, a live 90/10 A/B split (so every request
+//! pays plan assignment and ticks per-variant labeled counters), and
+//! (with `--scrape-ms N`) a live tsdb scraper polling
+//! `{"op":"metrics"}` over TCP. The loaded configuration must keep at
+//! least `1 - --max-regress` of the bare throughput.
+//!
+//! Both sides send sticky `"client"` ids, so the payloads are
+//! byte-comparable; the candidate serves the same artifact as control,
+//! so the split adds only assignment + bookkeeping, never different
+//! compute. Duel sampling is disabled here on both sides — a duel
+//! deliberately scores the query twice, which is experiment *compute*,
+//! not telemetry overhead.
 //!
 //! ```text
 //! obs_overhead [--queries N] [--conns N] [--trials N]
@@ -30,10 +38,10 @@ use std::time::{Duration, Instant};
 
 use smgcn_bench::harness::{spawn_server, synthetic_frozen, synthetic_vocab};
 use smgcn_bench::report::{BenchReport, GateDirection};
+use smgcn_experiment::{SplitPlan, DEFAULT_SPLIT_SEED};
 use smgcn_obs::tsdb::{Scraper, TsdbData};
-use smgcn_serve::json;
 use smgcn_serve::server::flatten_metrics_json;
-use smgcn_serve::ServerConfig;
+use smgcn_serve::{artifact, json, ServerConfig};
 
 const N_SYMPTOMS: usize = 64;
 const N_HERBS: usize = 256;
@@ -95,10 +103,49 @@ fn parse_args() -> Args {
     args
 }
 
+/// Publishes a candidate serving the same artifact as control and
+/// installs a 90/10 split, so the measured hot path pays variant
+/// assignment and per-variant labeled counters on every request.
+fn install_split(server: &smgcn_bench::harness::SpawnedServer) {
+    let stream = TcpStream::connect(server.addr).expect("connect admin");
+    stream.set_nodelay(true).ok();
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone admin"));
+    let mut reader = BufReader::new(stream);
+    let mut rpc = |request: String| -> String {
+        writeln!(writer, "{request}").expect("write admin");
+        writer.flush().expect("flush admin");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read admin ack");
+        assert!(
+            !line.contains("\"error\""),
+            "experiment setup failed: {line}"
+        );
+        line
+    };
+    let b64 = artifact::to_base64(&artifact::encode(
+        &synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
+        &synthetic_vocab(N_SYMPTOMS, N_HERBS, 0),
+    ));
+    rpc(format!(
+        "{{\"op\":\"experiment\",\"action\":\"publish\",\"variant\":\"canary\",\"artifact\":\"{b64}\"}}"
+    ));
+    let plan = SplitPlan::new(
+        DEFAULT_SPLIT_SEED,
+        1,
+        &[("control".to_string(), 90), ("canary".to_string(), 10)],
+    )
+    .expect("bench split plan");
+    rpc(format!(
+        "{{\"op\":\"experiment\",\"action\":\"install\",\"plan\":{}}}",
+        json::Json::Str(plan.to_canonical())
+    ));
+}
+
 /// Drives `queries` requests over `conns` serial client connections
 /// against a fresh server; returns qps. `loaded` runs the full
-/// telemetry stack (trace sampling, continuous profiler, and — when
-/// `--scrape-ms` is set — a live tsdb scraper), bare runs none of it.
+/// telemetry stack (trace sampling, continuous profiler, a live 90/10
+/// split with per-variant labeled counters, and — when `--scrape-ms`
+/// is set — a live tsdb scraper), bare runs none of it.
 fn measure(args: &Args, loaded: bool) -> f64 {
     let server = spawn_server(
         synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
@@ -106,9 +153,13 @@ fn measure(args: &Args, loaded: bool) -> f64 {
         ServerConfig {
             trace_sample_every: if loaded { args.sample_every } else { 0 },
             profile: loaded,
+            duel_sample_every: 0,
             ..ServerConfig::default()
         },
     );
+    if loaded {
+        install_split(&server);
+    }
     let scraper = (loaded && args.scrape_ms > 0).then(|| {
         let addr = server.addr;
         let mut history = TsdbData::default();
@@ -142,10 +193,18 @@ fn measure(args: &Args, loaded: bool) -> f64 {
                 let mut line = String::new();
                 for i in 0..per_conn {
                     // A spread of repeating keys: cache hits and misses
-                    // both on the measured path, like real traffic.
+                    // both on the measured path, like real traffic. The
+                    // sticky client id is sent on both sides so the
+                    // payloads match; only the loaded side has a split
+                    // to assign it against.
                     let a = (w * 17 + i * 7) % N_SYMPTOMS;
                     let b = (w * 5 + i * 13 + 1) % N_SYMPTOMS;
-                    writeln!(writer, "{{\"symptom_ids\":[{a},{b}],\"k\":{K}}}").expect("write");
+                    let c = (w * 31 + i) % 64;
+                    writeln!(
+                        writer,
+                        "{{\"symptom_ids\":[{a},{b}],\"k\":{K},\"client\":\"c{c}\"}}"
+                    )
+                    .expect("write");
                     writer.flush().expect("flush");
                     line.clear();
                     let n = reader.read_line(&mut line).expect("read");
@@ -164,6 +223,21 @@ fn measure(args: &Args, loaded: bool) -> f64 {
     let elapsed = t0.elapsed().as_secs_f64();
     if let Some(scraper) = scraper {
         scraper.stop();
+    }
+    if loaded {
+        // The gate is only meaningful if the split actually ran: the
+        // per-variant labeled counters must have seen the traffic.
+        let stream = TcpStream::connect(server.addr).expect("connect metrics");
+        let mut writer = BufWriter::new(stream.try_clone().expect("clone metrics"));
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{{\"op\":\"metrics\"}}").expect("write metrics");
+        writer.flush().expect("flush metrics");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read metrics");
+        assert!(
+            line.contains("serve_variant_requests_total") && line.contains("canary"),
+            "loaded run never ticked variant-labeled counters"
+        );
     }
     server.shutdown();
     (per_conn * args.conns.max(1)) as f64 / elapsed
@@ -196,7 +270,7 @@ fn main() {
     println!("\nbest: bare {qps_off:.0} qps | loaded {qps_sampled:.0} qps | ratio {ratio:.3}");
     assert!(
         ratio >= 1.0 - args.max_regress,
-        "the telemetry stack (1-in-{} tracing, profiler, scrape {} ms) costs {:.1}% qps (budget {:.0}%)",
+        "the telemetry stack (1-in-{} tracing, profiler, 90/10 split labels, scrape {} ms) costs {:.1}% qps (budget {:.0}%)",
         args.sample_every,
         args.scrape_ms,
         (1.0 - ratio) * 100.0,

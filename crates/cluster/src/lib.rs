@@ -32,11 +32,13 @@
 
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod pool;
 pub mod publish;
 pub mod ring;
 pub mod router;
 
+pub use experiment::{rolling_candidate_publish, FleetOutcome};
 pub use pool::{ClusterObs, Health, Lease, PoolConfig, Replica, ReplicaConn, ReplicaPool};
 pub use publish::{rolling_publish, rolling_publish_addrs, PublishOutcome, PublishReport};
 pub use ring::{key_of_ids, key_of_names, HashRing};

@@ -33,6 +33,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use smgcn_experiment::guardrail::{self, Guardrails, VariantStats};
+use smgcn_experiment::{parse_weight_spec, SplitPlan, CONTROL};
 use smgcn_obs::profile::{merge_folded, render_folded};
 use smgcn_obs::{
     mint_trace_id, Counter, EventJournal, LatencyHistogram, ProfileHandle, Profiler, Registry,
@@ -41,7 +43,10 @@ use smgcn_obs::{
 use smgcn_serve::errors::codes;
 use smgcn_serve::json::{self, Json};
 use smgcn_serve::server::samples_to_json;
+use smgcn_serve::DuelSample;
 
+use crate::experiment as fleet;
+use crate::experiment::FleetOutcome;
 use crate::pool::{ClusterObs, PoolConfig, ReplicaConn, ReplicaPool};
 use crate::publish::rolling_publish;
 use crate::ring::{key_of_ids, key_of_names, HashRing};
@@ -122,6 +127,29 @@ struct RouterEngine {
     /// across failover. One rollout at a time makes the last publish win
     /// everywhere.
     publish_lock: std::sync::Mutex<()>,
+    /// The active split plan, mirrored from the last fleet install. The
+    /// router injects an explicit `"variant"` assignment into every
+    /// forwarded query while a split is live: replicas multiplex many
+    /// clients over pooled connections, so replica-side assignment
+    /// would key on the wrong identity and break stickiness.
+    split: std::sync::RwLock<Option<Arc<SplitPlan>>>,
+    /// Fleet split installs/updates driven through this router.
+    split_installs: Counter,
+    /// Guardrail-cleared candidate promotions.
+    promotes: Counter,
+    /// Fleet experiment halts (operator-requested or install rollback).
+    experiment_halts: Counter,
+}
+
+/// The raw inputs of an A/B comparison report, gathered fleet-wide.
+struct CompareData {
+    /// Per-variant serving stats (control first), from the merged
+    /// variant-labeled metrics.
+    stats: Vec<VariantStats>,
+    /// Journaled duel samples from every reachable replica.
+    samples: Vec<DuelSample>,
+    /// True when some replica could not contribute.
+    partial: bool,
 }
 
 /// Outcome of one replica attempt in the failover walk.
@@ -655,8 +683,482 @@ impl RouterEngine {
         ])
     }
 
-    /// One client request line in, one response line out.
-    fn handle_line(&self, line: &str) -> String {
+    /// A structured non-retryable error response.
+    fn error_json(code: &str, message: String) -> Json {
+        json::obj([(
+            "error",
+            json::obj([
+                ("code", Json::Str(code.into())),
+                ("message", Json::Str(message)),
+            ]),
+        )])
+    }
+
+    /// The split plan currently mirrored on this router, if any.
+    fn active_split(&self) -> Option<Arc<SplitPlan>> {
+        self.split.read().expect("split lock").clone()
+    }
+
+    /// The `{"op":"experiment"}` admin verb, fleet-wide. Actions:
+    ///
+    /// - `"publish"` — roll a candidate artifact across the fleet (one
+    ///   replica at a time, stop on first rejection);
+    /// - `"install"` — install or update a traffic split atomically: a
+    ///   preflight confirms every replica serves every weighted variant
+    ///   before any replica is touched, and a mid-roll failure halts
+    ///   the fleet back to control;
+    /// - `"halt"` / `"abort"` — collapse all split traffic back to
+    ///   control, fleet-wide, in one command;
+    /// - `"status"` — the router's plan plus each replica's view;
+    /// - `"compare"` — the A/B comparison report: per-variant
+    ///   qps / p99 / error-rate from the fleet-merged labeled metrics,
+    ///   plus team-draft interleaving over the journaled duel samples;
+    /// - `"promote"` — verify the comparison against the guardrails,
+    ///   then roll the candidate into every control slot and halt.
+    fn experiment(&self, req: &Json) -> Json {
+        match req.get("action").and_then(Json::as_str) {
+            Some("publish") => self.experiment_publish(req),
+            Some("install") => self.experiment_install(req),
+            Some("halt") | Some("abort") => self.experiment_halt(),
+            Some("status") => self.experiment_status(),
+            Some("compare") => self.compare_json(&self.collect_compare()),
+            Some("promote") => self.experiment_promote(req),
+            other => Self::error_json(
+                codes::BAD_REQUEST,
+                format!("unknown experiment action {other:?}"),
+            ),
+        }
+    }
+
+    /// The candidate name of an experiment request (`"control"` is
+    /// managed by the plain publish verb and never a valid target).
+    fn candidate_of(req: &Json) -> Result<String, Json> {
+        match req.get("variant").and_then(Json::as_str) {
+            Some(name) if name != CONTROL => Ok(name.to_string()),
+            Some(_) => Err(Self::error_json(
+                codes::BAD_REQUEST,
+                "the control slot is managed by {\"op\":\"publish\"}".into(),
+            )),
+            None => Err(Self::error_json(
+                codes::BAD_REQUEST,
+                "experiment action needs \"variant\"".into(),
+            )),
+        }
+    }
+
+    fn experiment_publish(&self, req: &Json) -> Json {
+        let name = match Self::candidate_of(req) {
+            Ok(name) => name,
+            Err(e) => return e,
+        };
+        let Some(artifact) = req.get("artifact").and_then(Json::as_str) else {
+            return Self::error_json(
+                codes::BAD_REQUEST,
+                "candidate publish needs \"artifact\" (base64)".into(),
+            );
+        };
+        let _rollout = self.publish_lock.lock().expect("publish lock");
+        let report = fleet::rolling_candidate_publish(&self.pool, &name, artifact);
+        self.publishes.inc();
+        if let Some(addr) = report.rejected_by() {
+            self.events.record(
+                "experiment_publish_aborted",
+                format!(
+                    "replica {addr} rejected candidate {name:?}; rollout stopped after {}/{} replicas",
+                    report.published(),
+                    self.pool.len()
+                ),
+            );
+        } else {
+            self.events.record(
+                "experiment_publish",
+                format!(
+                    "candidate {name:?} rolled to {}/{} replicas",
+                    report.published(),
+                    self.pool.len()
+                ),
+            );
+        }
+        let Json::Obj(mut fields) = report.to_json() else {
+            unreachable!("publish report is an object");
+        };
+        fields.insert("variant".to_string(), Json::Str(name));
+        Json::Obj(fields)
+    }
+
+    fn experiment_install(&self, req: &Json) -> Json {
+        // Resolve the target plan: a raw canonical plan wins; otherwise
+        // a weight spec ("control:90,cand:10") either *updates* the
+        // active plan (bucket-preserving — unchanged variants keep
+        // every sticky key they had) or mints a fresh one.
+        let plan = if let Some(text) = req.get("plan").and_then(Json::as_str) {
+            match SplitPlan::from_canonical(text) {
+                Ok(plan) => plan,
+                Err(e) => return Self::error_json(codes::BAD_PLAN, e.to_string()),
+            }
+        } else if let Some(spec) = req.get("weights").and_then(Json::as_str) {
+            let weights = match parse_weight_spec(spec) {
+                Ok(w) => w,
+                Err(e) => return Self::error_json(codes::BAD_PLAN, e.to_string()),
+            };
+            let built = match self.active_split() {
+                Some(current) => current.update(&weights),
+                None => {
+                    let seed = req
+                        .get("seed")
+                        .and_then(Json::as_num)
+                        .map(|n| n as u64)
+                        .unwrap_or(fleet::DEFAULT_SPLIT_SEED);
+                    SplitPlan::new(seed, 1, &weights)
+                }
+            };
+            match built {
+                Ok(plan) => plan,
+                Err(e) => return Self::error_json(codes::BAD_PLAN, e.to_string()),
+            }
+        } else {
+            return Self::error_json(
+                codes::BAD_REQUEST,
+                "install needs \"plan\" (canonical) or \"weights\" (name:weight,...)".into(),
+            );
+        };
+        // Serialized with publishes: an install racing a rollout could
+        // pin a variant to a generation the rollout is replacing.
+        let _rollout = self.publish_lock.lock().expect("publish lock");
+        if let Err((code, message)) = fleet::preflight_install(&self.pool, &plan) {
+            self.events.record(
+                "experiment_install_rejected",
+                format!("split v{} refused: {message}", plan.version()),
+            );
+            return Self::error_json(code, message);
+        }
+        let outcomes = fleet::install_everywhere(&self.pool, &plan);
+        let ok = outcomes.iter().filter(|o| o.ok).count();
+        if ok < outcomes.len() {
+            // Atomicity: a partial split is worse than no split (the
+            // same client would flip variants across replicas), so any
+            // mid-roll failure collapses the whole fleet to control.
+            let _ = fleet::halt_everywhere(&self.pool);
+            *self.split.write().expect("split lock") = None;
+            self.registry.gauge("router_split_version").set(0);
+            self.experiment_halts.inc();
+            self.events.record(
+                "experiment_install_aborted",
+                format!(
+                    "split v{} failed on {}/{} replicas; fleet halted back to control",
+                    plan.version(),
+                    outcomes.len() - ok,
+                    outcomes.len()
+                ),
+            );
+            let Json::Obj(mut fields) = Self::error_json(
+                codes::PARTIAL,
+                "split install failed mid-roll; fleet halted back to control".into(),
+            ) else {
+                unreachable!("error response is an object");
+            };
+            fields.insert(
+                "outcomes".to_string(),
+                Json::Arr(outcomes.iter().map(FleetOutcome::to_json).collect()),
+            );
+            return Json::Obj(fields);
+        }
+        let version = plan.version();
+        let digest = format!("{:016x}", plan.digest());
+        let weights = plan
+            .weights()
+            .iter()
+            .map(|(n, w)| format!("{n}:{w}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.registry.gauge("router_split_version").set(version);
+        *self.split.write().expect("split lock") = Some(Arc::new(plan));
+        self.split_installs.inc();
+        self.events.record(
+            "experiment_install",
+            format!("split v{version} ({weights}) installed on {ok} replicas"),
+        );
+        json::obj([
+            ("installed", Json::Bool(true)),
+            ("version", Json::Num(version as f64)),
+            ("digest", Json::Str(digest)),
+            ("weights", Json::Str(weights)),
+            ("replicas", Json::Num(ok as f64)),
+        ])
+    }
+
+    fn experiment_halt(&self) -> Json {
+        let _rollout = self.publish_lock.lock().expect("publish lock");
+        let outcomes = fleet::halt_everywhere(&self.pool);
+        let had_plan = self.split.write().expect("split lock").take().is_some();
+        self.registry.gauge("router_split_version").set(0);
+        self.experiment_halts.inc();
+        let ok = outcomes.iter().filter(|o| o.ok).count();
+        self.events.record(
+            "experiment_halt",
+            format!("split halted on {ok}/{} replicas", outcomes.len()),
+        );
+        json::obj([
+            ("halted", Json::Bool(true)),
+            ("had_plan", Json::Bool(had_plan)),
+            ("replicas", Json::Num(ok as f64)),
+            ("partial", Json::Bool(ok < outcomes.len())),
+            (
+                "outcomes",
+                Json::Arr(outcomes.iter().map(FleetOutcome::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn experiment_status(&self) -> Json {
+        let request = json::obj([
+            ("op", Json::Str("experiment".into())),
+            ("action", Json::Str("status".into())),
+        ])
+        .to_string();
+        let mut partial = false;
+        let replicas: Vec<Json> = self
+            .pool
+            .replicas()
+            .iter()
+            .map(|r| {
+                let addr = ("addr", Json::Str(r.addr.to_string()));
+                match self.fetch_direct(r.addr, &request) {
+                    Ok(status) if status.get("error").is_none() => {
+                        json::obj([addr, ("status", status)])
+                    }
+                    Ok(refusal) => {
+                        partial = true;
+                        json::obj([
+                            addr,
+                            (
+                                "error",
+                                Self::partial_marker(format!("replica refused status: {refusal}")),
+                            ),
+                        ])
+                    }
+                    Err(e) => {
+                        partial = true;
+                        json::obj([addr, ("error", Self::partial_marker(e))])
+                    }
+                }
+            })
+            .collect();
+        let mut fields = Vec::new();
+        match self.active_split() {
+            Some(plan) => {
+                fields.push(("plan", Json::Str(plan.to_canonical())));
+                fields.push(("plan_version", Json::Num(plan.version() as f64)));
+                fields.push(("plan_digest", Json::Str(format!("{:016x}", plan.digest()))));
+            }
+            None => fields.push(("plan", Json::Null)),
+        }
+        fields.push(("replicas", Json::Arr(replicas)));
+        fields.push(("partial", Json::Bool(partial)));
+        json::obj(fields)
+    }
+
+    /// Gathers the comparison inputs from the fleet: every variant name
+    /// any replica serves, the merged variant-labeled metrics, and the
+    /// journaled duel samples.
+    fn collect_compare(&self) -> CompareData {
+        let status_req = json::obj([
+            ("op", Json::Str("experiment".into())),
+            ("action", Json::Str("status".into())),
+        ])
+        .to_string();
+        let samples_req = json::obj([
+            ("op", Json::Str("experiment".into())),
+            ("action", Json::Str("samples".into())),
+        ])
+        .to_string();
+        let mut partial = false;
+        let mut names: Vec<String> = vec![CONTROL.to_string()];
+        let mut merged = std::collections::BTreeMap::new();
+        let mut samples: Vec<DuelSample> = Vec::new();
+        for r in self.pool.replicas() {
+            match self.fetch_direct(r.addr, &status_req) {
+                Ok(status) if status.get("error").is_none() => {
+                    if let Some(variants) = status.get("variants").and_then(Json::as_arr) {
+                        for v in variants {
+                            if let Some(name) = v.get("name").and_then(Json::as_str) {
+                                if !names.iter().any(|n| n == name) {
+                                    names.push(name.to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => partial = true,
+            }
+            match self.fetch_direct(r.addr, r#"{"op":"metrics"}"#) {
+                Ok(snap) if snap.get("error").is_none() => {
+                    if let Some(metrics) = snap.get("metrics") {
+                        merge_metrics(&mut merged, metrics);
+                    }
+                }
+                _ => partial = true,
+            }
+            match self.fetch_direct(r.addr, &samples_req) {
+                Ok(snap) if snap.get("error").is_none() => {
+                    if let Some(list) = snap.get("samples").and_then(Json::as_arr) {
+                        samples.extend(list.iter().filter_map(DuelSample::from_json));
+                    }
+                }
+                _ => partial = true,
+            }
+        }
+        names.sort();
+        // Control leads the report whatever the sort said.
+        if let Some(pos) = names.iter().position(|n| n == CONTROL) {
+            let control = names.remove(pos);
+            names.insert(0, control);
+        }
+        let stats = fleet::variant_stats_from_merged(&merged, &names);
+        CompareData {
+            stats,
+            samples,
+            partial,
+        }
+    }
+
+    /// Renders the `{"action":"compare"}` report.
+    fn compare_json(&self, data: &CompareData) -> Json {
+        let plan = self.active_split();
+        let uptime_s = self.started.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+        let variants: Vec<Json> = data
+            .stats
+            .iter()
+            .map(|s| {
+                let weight = match plan.as_ref() {
+                    Some(p) => p.weight_of(&s.name).unwrap_or(0),
+                    None if s.name == CONTROL => 100,
+                    None => 0,
+                };
+                json::obj([
+                    ("name", Json::Str(s.name.clone())),
+                    ("weight", Json::Num(weight as f64)),
+                    ("requests", Json::Num(s.requests as f64)),
+                    ("errors", Json::Num(s.errors as f64)),
+                    ("error_rate", Json::Num(s.error_rate())),
+                    ("qps", Json::Num(s.requests as f64 / uptime_s)),
+                    ("p99_us", Json::Num(s.p99_us as f64)),
+                ])
+            })
+            .collect();
+        let seed = plan.as_ref().map(|p| p.seed()).unwrap_or(0);
+        let interleaving: Vec<Json> = fleet::interleave_by_variant(&data.samples, seed)
+            .iter()
+            .map(|(variant, summary)| fleet::interleave_summary_json(variant, summary))
+            .collect();
+        let mut fields = vec![
+            ("variants", Json::Arr(variants)),
+            ("interleaving", Json::Arr(interleaving)),
+            ("duels", Json::Num(data.samples.len() as f64)),
+        ];
+        match &plan {
+            Some(p) => fields.push(("plan", Json::Str(p.to_canonical()))),
+            None => fields.push(("plan", Json::Null)),
+        }
+        fields.push(("partial", Json::Bool(data.partial)));
+        json::obj(fields)
+    }
+
+    fn experiment_promote(&self, req: &Json) -> Json {
+        let name = match Self::candidate_of(req) {
+            Ok(name) => name,
+            Err(e) => return e,
+        };
+        let defaults = Guardrails::default();
+        let rails = Guardrails {
+            max_error_rate: req
+                .get("max_error_rate")
+                .and_then(Json::as_num)
+                .unwrap_or(defaults.max_error_rate),
+            max_p99_delta: req
+                .get("max_p99_delta")
+                .and_then(Json::as_num)
+                .unwrap_or(defaults.max_p99_delta),
+            min_samples: req
+                .get("min_samples")
+                .and_then(Json::as_num)
+                .map(|n| n as u64)
+                .unwrap_or(defaults.min_samples),
+        };
+        let data = self.collect_compare();
+        let find = |needle: &str| data.stats.iter().find(|s| s.name == needle);
+        let (Some(control), Some(candidate)) = (find(CONTROL), find(&name)) else {
+            return Self::error_json(
+                codes::UNKNOWN_VARIANT,
+                format!("no serving stats for variant {name:?} — is it published and split?"),
+            );
+        };
+        let violations = guardrail::check(control, candidate, &rails);
+        if !violations.is_empty() {
+            self.events.record(
+                "promote_refused",
+                format!("candidate {name:?}: {}", violations.join("; ")),
+            );
+            let Json::Obj(mut fields) = Self::error_json(
+                codes::GUARDRAIL,
+                format!("candidate {name:?} does not clear the guardrails"),
+            ) else {
+                unreachable!("error response is an object");
+            };
+            fields.insert(
+                "violations".to_string(),
+                Json::Arr(violations.into_iter().map(Json::Str).collect()),
+            );
+            return Json::Obj(fields);
+        }
+        let _rollout = self.publish_lock.lock().expect("publish lock");
+        let outcomes = fleet::promote_everywhere(&self.pool, &name);
+        let ok = outcomes.iter().filter(|o| o.ok).count();
+        let outcomes_json = Json::Arr(outcomes.iter().map(FleetOutcome::to_json).collect());
+        if ok < self.pool.len() {
+            // Stop where the roll stopped, exactly like a publish: the
+            // promoted replicas keep the new control (it cleared the
+            // guardrails), the split stays active, and the journal says
+            // how far the roll got so the operator can retry.
+            self.events.record(
+                "promote_aborted",
+                format!(
+                    "candidate {name:?}: promoted {ok}/{} replicas before a failure; split left active",
+                    self.pool.len()
+                ),
+            );
+            let Json::Obj(mut fields) = Self::error_json(
+                codes::PARTIAL,
+                format!("promotion stopped after {ok}/{} replicas", self.pool.len()),
+            ) else {
+                unreachable!("error response is an object");
+            };
+            fields.insert("outcomes".to_string(), outcomes_json);
+            return Json::Obj(fields);
+        }
+        // Candidate and control are now the same model everywhere;
+        // keeping the split running would only skew future metrics.
+        let halted = fleet::halt_everywhere(&self.pool);
+        *self.split.write().expect("split lock") = None;
+        self.registry.gauge("router_split_version").set(0);
+        self.promotes.inc();
+        self.events.record(
+            "promote",
+            format!("candidate {name:?} promoted to control on {ok}/{ok} replicas; split halted"),
+        );
+        json::obj([
+            ("promoted", Json::Bool(true)),
+            ("variant", Json::Str(name)),
+            ("replicas", Json::Num(ok as f64)),
+            ("halted", Json::Bool(halted.iter().all(|o| o.ok))),
+            ("outcomes", outcomes_json),
+        ])
+    }
+
+    /// One client request line in, one response line out. `conn_key`
+    /// identifies the client connection — the sticky-assignment
+    /// fallback for queries that do not declare a `"client"` id.
+    fn handle_line(&self, line: &str, conn_key: &str) -> String {
         self.requests.inc();
         let arrived = Instant::now();
         let req = match json::parse(line) {
@@ -718,8 +1220,33 @@ impl RouterEngine {
                 }
                 return report.to_json().to_string();
             }
+            Some("experiment") => return self.experiment(&req).to_string(),
             _ => {}
         }
+        // While a split is live, every forwarded query carries an
+        // explicit variant assignment: replicas multiplex many clients
+        // over the router's pooled connections, so replica-side
+        // assignment would key on the wrong identity. The sticky key is
+        // the client-declared id when present (stable across
+        // reconnects), this connection otherwise. An explicit
+        // `"variant"` override passes through untouched.
+        let mut req = req;
+        let mut line = std::borrow::Cow::Borrowed(line);
+        if req.get("op").is_none() && req.get("variant").is_none() {
+            if let Some(plan) = self.active_split() {
+                if let Json::Obj(fields) = &mut req {
+                    let sticky = fields
+                        .get("client")
+                        .and_then(Json::as_str)
+                        .unwrap_or(conn_key)
+                        .to_string();
+                    let assigned = plan.assign(&sticky).to_string();
+                    fields.insert("variant".to_string(), Json::Str(assigned));
+                }
+                line = std::borrow::Cow::Owned(req.to_string());
+            }
+        }
+        let line = line.as_ref();
         // Everything else — rankings and any future replica-side op —
         // forwards with affinity + failover, under a deadline when the
         // client supplied one (or the router mints one).
@@ -870,7 +1397,12 @@ pub fn merge_metrics(merged: &mut std::collections::BTreeMap<String, Json>, metr
 pub fn merge_metric_value(acc: &mut Json, add: &Json, key: &str) {
     match (acc, add) {
         (Json::Num(a), Json::Num(b)) => {
-            if key.ends_with("_total") {
+            // Labeled keys carry a `{k="v"}` suffix; the counter-vs-
+            // gauge decision is on the base metric name (a labeled
+            // counter like `serve_variant_requests_total{variant="x"}`
+            // must still sum).
+            let base = key.split('{').next().unwrap_or(key);
+            if base.ends_with("_total") {
                 *a += *b;
             } else {
                 *a = a.max(*b);
@@ -944,9 +1476,13 @@ impl Router {
             forward_us: registry.histogram("router_forward_us"),
             prof_forward: profiler.node(&["router", "forward"]),
             profiler,
+            split_installs: registry.counter("router_split_installs_total"),
+            promotes: registry.counter("router_promotes_total"),
+            experiment_halts: registry.counter("router_experiment_halts_total"),
             registry,
             events,
             publish_lock: std::sync::Mutex::new(()),
+            split: std::sync::RwLock::new(None),
         });
         Ok(Self {
             listener,
@@ -1046,7 +1582,7 @@ impl Router {
             let handle = std::thread::Builder::new()
                 .name(format!("smgcn-router-conn-{conn_id}"))
                 .spawn(move || {
-                    handle_client(&engine, stream, &stop);
+                    handle_client(&engine, stream, &stop, conn_id);
                     active.fetch_sub(1, Ordering::SeqCst);
                 })
                 .expect("spawn router connection handler");
@@ -1078,7 +1614,8 @@ impl RouterStopHandle {
     }
 }
 
-fn handle_client(engine: &RouterEngine, stream: TcpStream, stop: &AtomicBool) {
+fn handle_client(engine: &RouterEngine, stream: TcpStream, stop: &AtomicBool, conn_id: usize) {
+    let conn_key = format!("conn-{conn_id}");
     let peer = stream.peer_addr().ok();
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
@@ -1113,7 +1650,7 @@ fn handle_client(engine: &RouterEngine, stream: TcpStream, stop: &AtomicBool) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = engine.handle_line(line.trim_end());
+        let response = engine.handle_line(line.trim_end(), &conn_key);
         if writeln!(writer, "{response}")
             .and_then(|_| writer.flush())
             .is_err()
@@ -1153,6 +1690,35 @@ mod tests {
         assert!(!is_retryable_error(r#"{"herb_ids":[1,2],"generation":0}"#));
         // A ranking mentioning the word in a name must not trip it.
         assert!(!is_retryable_error(r#"{"herbs":["\"retryable\""]}"#));
+    }
+
+    #[test]
+    fn merged_labeled_counters_sum_and_labeled_gauges_max() {
+        let mut merged = std::collections::BTreeMap::new();
+        let snap = |requests: f64, generation: f64| {
+            json::obj([
+                (
+                    "serve_variant_requests_total{variant=\"cand\"}",
+                    Json::Num(requests),
+                ),
+                (
+                    "serve_variant_generation{variant=\"cand\"}",
+                    Json::Num(generation),
+                ),
+            ])
+        };
+        merge_metrics(&mut merged, &snap(10.0, 3.0));
+        merge_metrics(&mut merged, &snap(32.0, 2.0));
+        assert_eq!(
+            merged.get("serve_variant_requests_total{variant=\"cand\"}"),
+            Some(&Json::Num(42.0)),
+            "a labeled counter must sum across replicas like an unlabeled one"
+        );
+        assert_eq!(
+            merged.get("serve_variant_generation{variant=\"cand\"}"),
+            Some(&Json::Num(3.0)),
+            "a labeled gauge takes the fleet max"
+        );
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Property tests for the sticky traffic splitter.
+//!
+//! Three promises the experiment plane hangs off:
+//!
+//! - **proportionality** — over a large synthetic key population, each
+//!   variant's assigned share lands within ±2% of its plan weight;
+//! - **replica agreement** — a plan re-encoded through its canonical
+//!   string (what replicas actually install) assigns every key exactly
+//!   as the original, so a client sees one variant fleet-wide and
+//!   across re-installs;
+//! - **sticky updates** — updating the plan never reassigns a key
+//!   whose variant's weight did not change; only shrink → grow moves
+//!   happen.
+
+use proptest::prelude::*;
+use smgcn_experiment::{parse_weight_spec, SplitPlan, CONTROL};
+
+/// Turn drawn candidate weights into a full plan spec (control absorbs
+/// the remainder so the sum is always exactly 100).
+fn weights_of(cands: &[u32]) -> Vec<(String, u32)> {
+    let used: u32 = cands.iter().sum();
+    let mut weights = vec![(CONTROL.to_string(), 100 - used)];
+    for (i, w) in cands.iter().enumerate() {
+        weights.push((format!("cand{i}"), *w));
+    }
+    weights
+}
+
+fn keys(n: usize, salt: u64) -> Vec<String> {
+    (0..n).map(|i| format!("client-{salt}-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn proportions_within_two_percent_of_weights(
+        seed in 0u64..1_000_000,
+        cands in proptest::collection::vec(0u32..25, 1..5),
+    ) {
+        let plan = SplitPlan::new(seed, 1, &weights_of(&cands)).unwrap();
+        let ks = keys(100_000, seed);
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for k in &ks {
+            *counts.entry(plan.assign(k).to_string()).or_default() += 1;
+        }
+        for (name, w) in plan.weights() {
+            let got = *counts.get(name).unwrap_or(&0) as f64 / ks.len() as f64;
+            let want = *w as f64 / 100.0;
+            prop_assert!(
+                (got - want).abs() <= 0.02,
+                "variant {name}: share {got:.4} vs weight {want:.4}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn canonical_reinstall_assigns_identically(
+        seed in 0u64..1_000_000,
+        version in 1u64..1000,
+        cands in proptest::collection::vec(0u32..25, 1..5),
+    ) {
+        let plan = SplitPlan::new(seed, version, &weights_of(&cands)).unwrap();
+        let reinstalled = SplitPlan::from_canonical(&plan.to_canonical()).unwrap();
+        prop_assert_eq!(&plan, &reinstalled);
+        for k in keys(2_000, seed) {
+            prop_assert_eq!(plan.assign(&k), reinstalled.assign(&k));
+        }
+        // A second replica building the plan from the same inputs (not
+        // the canonical string) agrees too.
+        let rebuilt = SplitPlan::new(seed, version, &weights_of(&cands)).unwrap();
+        prop_assert_eq!(plan.to_canonical(), rebuilt.to_canonical());
+    }
+
+    #[test]
+    fn update_moves_only_shrink_to_grow(
+        seed in 0u64..1_000_000,
+        before in proptest::collection::vec(0u32..25, 2..5),
+        after_raw in proptest::collection::vec(0u32..25, 2..5),
+    ) {
+        // Same variant names before/after; weights redrawn.
+        let n = before.len().min(after_raw.len());
+        let before = &before[..n];
+        let after = &after_raw[..n];
+        let p1 = SplitPlan::new(seed, 1, &weights_of(before)).unwrap();
+        let p2 = p1.update(&weights_of(after)).unwrap();
+        prop_assert_eq!(p2.version(), 2);
+        for k in keys(5_000, seed) {
+            let from = p1.assign(&k);
+            let to = p2.assign(&k);
+            if p1.weight_of(from) == p2.weight_of(from) {
+                prop_assert_eq!(
+                    from, to,
+                    "key {} reassigned although {}'s weight is unchanged", k, from
+                );
+            }
+            if from != to {
+                prop_assert!(
+                    p2.weight_of(from).unwrap_or(0) < p1.weight_of(from).unwrap_or(0),
+                    "key {} left {} which did not shrink", k, from
+                );
+                prop_assert!(
+                    p2.weight_of(to).unwrap_or(0) > p1.weight_of(to).unwrap_or(0),
+                    "key {} joined {} which did not grow", k, to
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spec_parsing_matches_manual_weights() {
+    let parsed = parse_weight_spec("control:90, cand:10").unwrap();
+    assert_eq!(
+        parsed,
+        vec![("control".to_string(), 90), ("cand".to_string(), 10)]
+    );
+    assert!(parse_weight_spec("control=90").is_err());
+}

@@ -29,7 +29,8 @@ use smgcn_serve::{BatcherConfig, FrozenModel, ServerConfig, ServingVocab};
 
 use crate::report::{Measured, ScenarioReport, WorkloadSummary};
 use crate::scenario::{
-    scrape_interval_ms, ChaosAction, ScenarioKind, Topology, Workload, DIM, N_HERBS, N_SYMPTOMS,
+    scrape_interval_ms, ChaosAction, ScenarioKind, Topology, Workload, CANDIDATE, DIM, N_HERBS,
+    N_SYMPTOMS,
 };
 use crate::slo::{evaluate, GenCheck, SloInputs};
 
@@ -210,6 +211,17 @@ struct Validation {
     /// Generation number -> the artifact tag whose model and vocab it
     /// serves (herb names embed the tag, not the generation number).
     tags: HashMap<u64, u64>,
+    /// `variant -> (artifact tag, expected generation)` for
+    /// [`GenCheck::VariantRankings`]: control serves the boot artifact
+    /// at generation 0, and each candidate slot's first publish also
+    /// lands as that slot's own generation 0.
+    variant_tags: HashMap<String, (u64, u64)>,
+    /// `(variant, symptom set) -> expected ranking` for
+    /// [`GenCheck::VariantRankings`].
+    variant_expected: HashMap<(String, Vec<u32>), Vec<u32>>,
+    /// First variant observed per sticky client: once a split assigns a
+    /// client, every later labeled response must agree (stickiness).
+    sticky: Mutex<HashMap<String, String>>,
     violations: Mutex<Vec<String>>,
 }
 
@@ -220,6 +232,8 @@ impl Validation {
     fn plan(workload: &Workload) -> Self {
         let mut expected = HashMap::new();
         let mut tags = HashMap::new();
+        let mut variant_tags = HashMap::new();
+        let mut variant_expected = HashMap::new();
         if workload.slo.generation_consistency == GenCheck::ExactRankings {
             tags.insert(0u64, 0u64);
             let mut next_gen = 1;
@@ -240,10 +254,33 @@ impl Validation {
                 }
             }
         }
+        if workload.slo.generation_consistency == GenCheck::VariantRankings {
+            variant_tags.insert("control".to_string(), (0u64, 0u64));
+            for event in &workload.chaos {
+                if let ChaosAction::CandidatePublish { tag } = event.action {
+                    // A fresh candidate slot numbers its first publish
+                    // as generation 0, independent of control's line.
+                    variant_tags.insert(CANDIDATE.to_string(), (tag, 0u64));
+                }
+            }
+            let sets = workload.schedule.distinct_query_sets();
+            for (variant, &(tag, _)) in &variant_tags {
+                let model = synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, tag);
+                for set in &sets {
+                    let ranking = model
+                        .recommend(set, workload.config.k)
+                        .expect("planned sets are valid");
+                    variant_expected.insert((variant.clone(), set.clone()), ranking);
+                }
+            }
+        }
         Self {
             check: workload.slo.generation_consistency,
             expected,
             tags,
+            variant_tags,
+            variant_expected,
+            sticky: Mutex::new(HashMap::new()),
             violations: Mutex::new(Vec::new()),
         }
     }
@@ -256,8 +293,9 @@ impl Validation {
     }
 
     /// Validates one successful response; `last_gen` carries the
-    /// connection's monotonicity state.
-    fn validate(&self, symptoms: &[u32], resp: &Json, last_gen: &mut u64) {
+    /// connection's monotonicity state, `client` the request's sticky
+    /// identity (experiment scenarios only).
+    fn validate(&self, symptoms: &[u32], resp: &Json, last_gen: &mut u64, client: Option<&str>) {
         let Some(generation) = resp
             .get("generation")
             .and_then(Json::as_num)
@@ -315,6 +353,64 @@ impl Validation {
                     }
                 }
             }
+            GenCheck::VariantRankings => {
+                // Unlabeled responses (before the install, after the
+                // halt) are control serving: they must match control's
+                // artifact exactly — a candidate still holding traffic
+                // after the halt shows up right here.
+                let labeled = resp.get("variant").and_then(Json::as_str);
+                let variant = labeled.unwrap_or("control");
+                if let (Some(variant), Some(client)) = (labeled, client) {
+                    let mut sticky = self.sticky.lock().expect("sticky lock");
+                    match sticky.get(client) {
+                        Some(prev) if prev != variant => self.violation(format!(
+                            "client {client:?} flapped variants: {prev} -> {variant}"
+                        )),
+                        Some(_) => {}
+                        None => {
+                            sticky.insert(client.to_string(), variant.to_string());
+                        }
+                    }
+                }
+                let Some(&(tag, want_gen)) = self.variant_tags.get(variant) else {
+                    self.violation(format!("response claims unknown variant {variant:?}"));
+                    return;
+                };
+                if generation != want_gen {
+                    self.violation(format!(
+                        "variant {variant:?} claims generation {generation}, expected {want_gen}"
+                    ));
+                }
+                let Some(ids) = resp.get("herb_ids").and_then(Json::as_arr).map(|arr| {
+                    arr.iter()
+                        .filter_map(|v| v.as_num().map(|n| n as u32))
+                        .collect::<Vec<u32>>()
+                }) else {
+                    self.violation("response missing herb_ids".to_string());
+                    return;
+                };
+                match self
+                    .variant_expected
+                    .get(&(variant.to_string(), symptoms.to_vec()))
+                {
+                    Some(want) if *want != ids => self.violation(format!(
+                        "ranking does not match variant {variant:?} for {symptoms:?}: \
+                         got {ids:?}, expected {want:?}"
+                    )),
+                    _ => {}
+                }
+                if let Some(names) = resp.get("herbs").and_then(Json::as_arr) {
+                    let prefix = format!("g{tag}-");
+                    if names
+                        .iter()
+                        .any(|n| n.as_str().is_some_and(|s| !s.starts_with(&prefix)))
+                    {
+                        self.violation(format!(
+                            "herb names do not all carry variant {variant:?}'s tag g{tag}"
+                        ));
+                    }
+                }
+            }
         }
     }
 }
@@ -356,18 +452,30 @@ impl TsdbHistory {
     }
 }
 
-/// Fetches one admin verb from the front-end: the raw response line
-/// plus its parse. `None` on any transport hiccup — the run proceeds
-/// without the snapshot rather than failing.
-fn fetch_admin(front: SocketAddr, op: &str) -> Option<(String, Json)> {
+/// One admin round trip against the front-end with an arbitrary request
+/// line: the raw response plus its parse. `None` on any transport
+/// hiccup — the run proceeds without the snapshot rather than failing.
+fn fetch_admin_line(front: SocketAddr, request: &str) -> Option<(String, Json)> {
     let (mut reader, mut writer) = connect(front).ok()?;
-    writeln!(writer, "{{\"op\":\"{op}\"}}").ok()?;
+    writeln!(writer, "{request}").ok()?;
     writer.flush().ok()?;
     let mut line = String::new();
     reader.read_line(&mut line).ok()?;
     let raw = line.trim().to_string();
     let parsed = json::parse(&raw).ok()?;
     Some((raw, parsed))
+}
+
+/// Fetches one bare admin verb (see [`fetch_admin_line`]).
+fn fetch_admin(front: SocketAddr, op: &str) -> Option<(String, Json)> {
+    fetch_admin_line(front, &format!("{{\"op\":\"{op}\"}}"))
+}
+
+/// Sends one `{"op":"experiment"}` verb through the router and returns
+/// the parsed ack; experiment chaos actions assert on the result (a
+/// failed install or halt is a scenario failure, not a shrug).
+fn experiment_rpc(front: SocketAddr, request: &str) -> Option<Json> {
+    fetch_admin_line(front, request).map(|(_, parsed)| parsed)
 }
 
 /// The `{"op":"metrics"}` snapshot (see [`fetch_admin`]).
@@ -464,7 +572,12 @@ fn query_worker(
     let mut last_gen = 0u64;
     for idx in lane {
         let request = &workload.schedule.requests[idx];
-        let crate::schedule::Op::Query { symptoms, k } = &request.op else {
+        let crate::schedule::Op::Query {
+            symptoms,
+            k,
+            client,
+        } = &request.op
+        else {
             continue;
         };
         let target = start + Duration::from_micros(request.at_us);
@@ -478,7 +591,14 @@ fn query_worker(
             conn = connect(front).ok();
         }
         let ids: Vec<String> = symptoms.iter().map(ToString::to_string).collect();
-        let payload = format!("{{\"symptom_ids\":[{}],\"k\":{k}}}", ids.join(","));
+        let client_name = client.map(|c| format!("c{c}"));
+        let payload = match &client_name {
+            Some(name) => format!(
+                "{{\"symptom_ids\":[{}],\"k\":{k},\"client\":\"{name}\"}}",
+                ids.join(",")
+            ),
+            None => format!("{{\"symptom_ids\":[{}],\"k\":{k}}}", ids.join(",")),
+        };
         let t0 = Instant::now();
         let attempted = conn.is_some();
         let response = match &mut conn {
@@ -509,7 +629,7 @@ fn query_worker(
                     if let Some(g) = resp.get("generation").and_then(Json::as_num) {
                         result.generations.insert(g as u64);
                     }
-                    validation.validate(symptoms, &resp, &mut last_gen);
+                    validation.validate(symptoms, &resp, &mut last_gen, client_name.as_deref());
                 }
                 _ => result.failures += 1,
             },
@@ -651,6 +771,50 @@ fn control_lane(
                             "a corrupt publish must abort with zero replicas published"
                         );
                     }
+                    ChaosAction::CandidatePublish { tag } => {
+                        let model = synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, tag);
+                        let vocab = synthetic_vocab(N_SYMPTOMS, N_HERBS, tag);
+                        let artifact = smgcn_serve::artifact::encode(&model, &vocab);
+                        let b64 = smgcn_serve::artifact::to_base64(&artifact);
+                        let ack = experiment_rpc(
+                            stack.front,
+                            &format!(
+                                "{{\"op\":\"experiment\",\"action\":\"publish\",\
+                                 \"variant\":\"{CANDIDATE}\",\"artifact\":\"{b64}\"}}"
+                            ),
+                        );
+                        assert!(
+                            ack.as_ref().is_some_and(|a| a.get("error").is_none()
+                                && a.get("aborted") != Some(&Json::Bool(true))),
+                            "candidate publish through the router failed: {ack:?}"
+                        );
+                    }
+                    ChaosAction::InstallSplit { candidate_percent } => {
+                        let ack = experiment_rpc(
+                            stack.front,
+                            &format!(
+                                "{{\"op\":\"experiment\",\"action\":\"install\",\
+                                 \"weights\":\"control:{},{CANDIDATE}:{candidate_percent}\"}}",
+                                100 - candidate_percent
+                            ),
+                        );
+                        assert!(
+                            ack.as_ref()
+                                .is_some_and(|a| a.get("installed") == Some(&Json::Bool(true))),
+                            "split install through the router failed: {ack:?}"
+                        );
+                    }
+                    ChaosAction::HaltSplit => {
+                        let ack = experiment_rpc(
+                            stack.front,
+                            "{\"op\":\"experiment\",\"action\":\"halt\"}",
+                        );
+                        assert!(
+                            ack.as_ref()
+                                .is_some_and(|a| a.get("halted") == Some(&Json::Bool(true))),
+                            "split halt through the router failed: {ack:?}"
+                        );
+                    }
                 }
                 timings.push((action.describe(), t0.elapsed().as_secs_f64() * 1e3));
             }
@@ -740,6 +904,21 @@ pub fn run(workload: &Workload) -> ScenarioReport {
     let metrics_after = fetch_metrics(stack.front);
     let events_after = fetch_admin(stack.front, "events");
     let profile_after = fetch_admin(stack.front, "profile");
+    // Experiment scenarios also capture the fleet's A/B comparison
+    // report (per-variant rates + interleaving verdict) before teardown
+    // — duel samples and variant counters survive the halt, so the
+    // report covers the whole split window.
+    let experiment_after = workload
+        .chaos
+        .iter()
+        .any(|e| matches!(e.action, ChaosAction::InstallSplit { .. }))
+        .then(|| {
+            fetch_admin_line(
+                stack.front,
+                "{\"op\":\"experiment\",\"action\":\"compare\"}",
+            )
+        })
+        .flatten();
     let faults_injected = if workload.fault_plan.is_some() {
         let n = smgcn_faults::injected_total();
         smgcn_faults::clear();
@@ -835,6 +1014,7 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         events_json: events_after.map(|(raw, _)| raw),
         tsdb,
         profile_json: profile_after.map(|(raw, _)| raw),
+        experiment_json: experiment_after.map(|(raw, _)| raw),
     }
 }
 

@@ -82,6 +82,12 @@ pub struct ScenarioReport {
     /// end of the run: cumulative folded stacks plus the wall-time
     /// coverage accounting.
     pub profile_json: Option<String>,
+    /// The fleet's raw A/B comparison report (`{"op":"experiment",
+    /// "action":"compare"}`) for experiment scenarios: per-variant
+    /// request/error/latency rates plus the team-draft interleaving
+    /// verdict. Tooling writes it as `EXPERIMENT_<scenario>.json`;
+    /// `None` for scenarios without a split.
+    pub experiment_json: Option<String>,
 }
 
 /// The deterministic face of a workload (see module docs).
@@ -303,6 +309,7 @@ mod tests {
             events_json: None,
             tsdb: None,
             profile_json: None,
+            experiment_json: None,
         }
     }
 

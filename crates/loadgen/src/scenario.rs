@@ -23,7 +23,16 @@ pub const N_HERBS: usize = 256;
 /// Embedding width of the synthetic serving topologies.
 pub const DIM: usize = 32;
 
-/// The six scenarios.
+/// The candidate variant name experiment scenarios publish and split
+/// traffic toward.
+pub const CANDIDATE: &str = "canary";
+
+/// Distinct sticky client identities the `ab-canary` schedule stamps on
+/// its queries (`c0`..`c{N-1}`): enough that a 10% split deterministic
+/// in the client name assigns several of them to the candidate.
+pub const N_CLIENTS: u32 = 24;
+
+/// The seven scenarios.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Steady-state load with Zipf-skewed symptom-set popularity against
@@ -46,11 +55,17 @@ pub enum ScenarioKind {
     /// fleet must reject wholesale, then a clean publish that must still
     /// land — all under the exact-rankings generation invariant.
     FaultStorm,
+    /// An online A/B canary against three routed replicas: a candidate
+    /// variant published mid-run, a 90/10 split installed under load,
+    /// then halted before the end. Sticky per-client assignment, exact
+    /// per-variant rankings/generations and a zero error budget are all
+    /// asserted.
+    AbCanary,
 }
 
 impl ScenarioKind {
     /// All scenarios, in suite order.
-    pub fn all() -> [Self; 6] {
+    pub fn all() -> [Self; 7] {
         [
             Self::SteadyZipfian,
             Self::FlashCrowd,
@@ -58,6 +73,7 @@ impl ScenarioKind {
             Self::RollingPublish,
             Self::ReplicaKill,
             Self::FaultStorm,
+            Self::AbCanary,
         ]
     }
 
@@ -70,6 +86,7 @@ impl ScenarioKind {
             Self::RollingPublish => "rolling-publish-under-load",
             Self::ReplicaKill => "replica-kill",
             Self::FaultStorm => "fault-storm",
+            Self::AbCanary => "ab-canary",
         }
     }
 
@@ -89,6 +106,7 @@ impl ScenarioKind {
             Self::FaultStorm => {
                 "seeded net-fault storm + corrupt publish across 3 replicas under load"
             }
+            Self::AbCanary => "90/10 A/B canary split installed and halted across 3 replicas",
         }
     }
 }
@@ -166,6 +184,23 @@ pub enum ChaosAction {
         /// The tag whose valid artifact gets corrupted before publishing.
         tag: u64,
     },
+    /// Roll this tag's artifact into every replica's [`CANDIDATE`]
+    /// variant slot via the router's `{"op":"experiment"}` publish verb.
+    /// Control keeps serving its own generation untouched.
+    CandidatePublish {
+        /// Model tag the candidate slot will serve.
+        tag: u64,
+    },
+    /// Install a `control:(100-w),canary:w` split plan fleet-wide via
+    /// the router. Sticky client routing starts the moment the install
+    /// acks.
+    InstallSplit {
+        /// The candidate's traffic share, percent (1..=99).
+        candidate_percent: u32,
+    },
+    /// Halt the active split fleet-wide: all traffic collapses to
+    /// control; the candidate slot stays resident but drains instantly.
+    HaltSplit,
 }
 
 impl ChaosAction {
@@ -176,6 +211,11 @@ impl ChaosAction {
             Self::RollingPublish { tag } => format!("rolling-publish-tag-{tag}"),
             Self::Refresh => "online-refresh".to_string(),
             Self::CorruptPublish { tag } => format!("corrupt-publish-tag-{tag}"),
+            Self::CandidatePublish { tag } => format!("candidate-publish-tag-{tag}"),
+            Self::InstallSplit { candidate_percent } => {
+                format!("install-split-{CANDIDATE}-{candidate_percent}")
+            }
+            Self::HaltSplit => "halt-split".to_string(),
         }
     }
 }
@@ -321,6 +361,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     op: Op::Query {
                         symptoms: pool[zipf_index(&mut rng, pool.len(), 8, 0.95)].clone(),
                         k: config.k,
+                        client: None,
                     },
                 });
             }
@@ -463,6 +504,51 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 expect_silent: Vec::new(),
             },
         },
+        ScenarioKind::AbCanary => {
+            // Same steady shape as the publish drills, but every query
+            // carries a sticky client identity: the split plan keys on
+            // the client name, so assignment must hold across
+            // connections and workers, not just per socket.
+            let mut requests =
+                steady_from_pool(&mut rng, &pool, horizon_us, 300, config.k).requests;
+            for r in &mut requests {
+                if let Op::Query { client, .. } = &mut r.op {
+                    *client = Some(rng.gen_range(0..N_CLIENTS));
+                }
+            }
+            Workload {
+                kind,
+                config: config.clone(),
+                topology: Topology::Routed { replicas: 3 },
+                schedule: Schedule::new(requests),
+                chaos: vec![
+                    ChaosEvent {
+                        at_us: horizon_us / 5,
+                        action: ChaosAction::CandidatePublish { tag: 1 },
+                    },
+                    ChaosEvent {
+                        at_us: horizon_us * 3 / 10,
+                        action: ChaosAction::InstallSplit {
+                            candidate_percent: 10,
+                        },
+                    },
+                    // Halted with a fifth of the horizon left: the tail
+                    // of the run asserts the candidate drains cleanly
+                    // (all traffic back on control, zero failures).
+                    ChaosEvent {
+                        at_us: horizon_us * 4 / 5,
+                        action: ChaosAction::HaltSplit,
+                    },
+                ],
+                fault_plan: None,
+                slo: Slo {
+                    max_p99_ms: 400.0,
+                    max_failures: 0,
+                    generation_consistency: GenCheck::VariantRankings,
+                },
+                alerts: AlertPlan::default(),
+            }
+        }
     }
 }
 
@@ -512,6 +598,7 @@ fn kind_salt(kind: ScenarioKind) -> u64 {
         ScenarioKind::RollingPublish => 0x04,
         ScenarioKind::ReplicaKill => 0x05,
         ScenarioKind::FaultStorm => 0x06,
+        ScenarioKind::AbCanary => 0x07,
     }
 }
 
@@ -550,6 +637,7 @@ fn steady_from_pool(
             op: Op::Query {
                 symptoms: pool[zipf_index(rng, pool.len(), 20, 0.8)].clone(),
                 k,
+                client: None,
             },
         })
         .collect();
@@ -691,6 +779,47 @@ mod tests {
             "burst window holds {in_burst} of {}",
             w.schedule.requests.len()
         );
+    }
+
+    #[test]
+    fn ab_canary_clients_actually_split() {
+        let config = ScenarioConfig {
+            measure_ms: 500,
+            ..ScenarioConfig::default()
+        };
+        let w = build(ScenarioKind::AbCanary, &config);
+        // Every query carries a sticky client, and all client ids appear
+        // (the plan's assignment is per-name, so coverage is what makes
+        // the stickiness assertion meaningful).
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &w.schedule.requests {
+            match &r.op {
+                Op::Query { client, .. } => {
+                    seen.insert(client.expect("ab-canary queries carry clients"));
+                }
+                Op::Ingest { .. } => panic!("ab-canary has no ingest lane"),
+            }
+        }
+        assert_eq!(seen.len() as u32, N_CLIENTS, "all clients drawn");
+        // The canonical default-seed 90/10 plan (what the engine's
+        // install verb produces) must map at least one of the scenario's
+        // clients to the candidate and keep control in the majority —
+        // otherwise the scenario never exercises candidate serving.
+        let plan = smgcn_experiment::SplitPlan::new(
+            smgcn_experiment::DEFAULT_SPLIT_SEED,
+            1,
+            &[("control".to_string(), 90), (CANDIDATE.to_string(), 10)],
+        )
+        .expect("canonical plan");
+        let canary = (0..N_CLIENTS)
+            .filter(|c| plan.assign(&format!("c{c}")) == CANDIDATE)
+            .count();
+        assert!(
+            canary >= 1 && canary < N_CLIENTS as usize / 2,
+            "default split maps {canary} of {N_CLIENTS} clients to {CANDIDATE:?}"
+        );
+        assert_eq!(w.chaos.len(), 3);
+        assert_eq!(w.slo.generation_consistency, GenCheck::VariantRankings);
     }
 
     #[test]

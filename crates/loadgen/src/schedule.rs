@@ -21,6 +21,11 @@ pub enum Op {
         symptoms: Vec<u32>,
         /// Ranking depth.
         k: usize,
+        /// Sticky client identity, sent as the request's `"client"`
+        /// field. Experiment scenarios assign these so the split
+        /// plan's sticky-key routing is observable across connections;
+        /// `None` leaves the field (and the canonical form) untouched.
+        client: Option<u32>,
     },
     /// A prescription ingested into the online pipeline.
     Ingest {
@@ -125,9 +130,16 @@ impl Schedule {
         let mut out = String::with_capacity(self.requests.len() * 32);
         for r in &self.requests {
             match &r.op {
-                Op::Query { symptoms, k } => {
-                    out.push_str(&format!("{} q {:?} k={}\n", r.at_us, symptoms, k));
-                }
+                Op::Query {
+                    symptoms,
+                    k,
+                    client,
+                } => match client {
+                    None => out.push_str(&format!("{} q {:?} k={}\n", r.at_us, symptoms, k)),
+                    Some(c) => {
+                        out.push_str(&format!("{} q {:?} k={} c={}\n", r.at_us, symptoms, k, c));
+                    }
+                },
                 Op::Ingest { symptoms, herbs } => {
                     out.push_str(&format!("{} i {:?} => {:?}\n", r.at_us, symptoms, herbs));
                 }
@@ -167,6 +179,7 @@ mod tests {
                 op: Op::Query {
                     symptoms: vec![0, 1],
                     k: 10,
+                    client: None,
                 },
             },
             Request {
@@ -174,6 +187,7 @@ mod tests {
                 op: Op::Query {
                     symptoms: vec![2],
                     k: 10,
+                    client: Some(3),
                 },
             },
             Request {
@@ -181,6 +195,7 @@ mod tests {
                 op: Op::Query {
                     symptoms: vec![0, 1],
                     k: 10,
+                    client: None,
                 },
             },
         ])

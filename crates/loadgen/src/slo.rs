@@ -24,6 +24,12 @@ pub enum GenCheck {
     /// the generation it claims, and its herb names must carry that
     /// generation's tag.
     ExactRankings,
+    /// Experiment mode: every response is validated against the
+    /// *variant* it claims (control when unlabeled) — exact rankings,
+    /// herb names carrying the variant's artifact tag, the variant's
+    /// expected generation — and a client's assigned variant must never
+    /// flap for the lifetime of the split.
+    VariantRankings,
 }
 
 impl GenCheck {
@@ -33,6 +39,7 @@ impl GenCheck {
             Self::None => "none",
             Self::Monotone => "monotone",
             Self::ExactRankings => "exact-rankings",
+            Self::VariantRankings => "variant-rankings",
         }
     }
 }

@@ -24,6 +24,7 @@ fn plan_report(kind: ScenarioKind, config: &ScenarioConfig) -> String {
         events_json: None,
         tsdb: None,
         profile_json: None,
+        experiment_json: None,
     }
     .workload_json()
 }

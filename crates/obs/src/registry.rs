@@ -179,7 +179,12 @@ impl Registry {
 
     /// Registers (or re-fetches) a gauge.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let key = render_key(name, &[]);
+        self.gauge_labeled(name, &[])
+    }
+
+    /// Registers (or re-fetches) a labeled gauge.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = render_key(name, labels);
         let mut map = self.metrics.lock().unwrap();
         let slot = map
             .entry(key.clone())

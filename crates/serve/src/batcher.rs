@@ -280,9 +280,13 @@ fn scoring_loop(shared: Arc<Shared>, config: BatcherConfig) {
         // mixes weights and no job is scored by weights it didn't pin.
         let mut groups: Vec<(Arc<Generation>, Vec<Job>)> = Vec::new();
         for job in batch {
+            // Group by generation *identity*, not number: with the
+            // experiment plane one batcher scores jobs pinned to several
+            // variant slots, and two slots can be at the same generation
+            // number with different weights. Pointer equality is exact.
             match groups
                 .iter_mut()
-                .find(|(g, _)| g.number == job.generation.number)
+                .find(|(g, _)| Arc::ptr_eq(g, &job.generation))
             {
                 Some((_, jobs)) => jobs.push(job),
                 None => groups.push((Arc::clone(&job.generation), vec![job])),

@@ -44,6 +44,15 @@ pub mod codes {
     /// deliberately **not** retryable — replaying a dead request burns
     /// capacity with no reader.
     pub const DEADLINE_EXCEEDED: &str = "deadline_exceeded";
+    /// A request (or a split-plan install) named a variant this
+    /// replica does not serve.
+    pub const UNKNOWN_VARIANT: &str = "unknown_variant";
+    /// A split plan failed validation (bad weights, bad canonical
+    /// encoding, missing control entry).
+    pub const BAD_PLAN: &str = "bad_plan";
+    /// Router: a promotion was refused because the comparison report
+    /// does not clear the configured guardrails.
+    pub const GUARDRAIL: &str = "guardrail";
     /// Router: every candidate replica is ejected or unreachable.
     pub const NO_REPLICAS: &str = "no_replicas";
     /// Router: a fleet-wide admin op succeeded on some replicas only.
@@ -79,6 +88,9 @@ mod tests {
             codes::SCORING_FAILED,
             codes::BAD_ARTIFACT,
             codes::DEADLINE_EXCEEDED,
+            codes::UNKNOWN_VARIANT,
+            codes::BAD_PLAN,
+            codes::GUARDRAIL,
             codes::NO_REPLICAS,
             codes::PARTIAL,
             codes::EXHAUSTED,

@@ -51,6 +51,7 @@ pub mod json;
 pub mod server;
 pub mod slot;
 pub mod topk;
+pub mod variants;
 
 pub use batcher::{Batcher, BatcherConfig, ScoreTimings};
 pub use cache::{GenCacheStats, GenerationalCache, LruCache};
@@ -60,3 +61,4 @@ pub use histogram::{LatencyHistogram, LatencySnapshot};
 pub use server::{Server, ServerConfig, ServingVocab};
 pub use slot::{Generation, ModelSlot};
 pub use topk::partial_top_k;
+pub use variants::{DuelSample, VariantTable};

@@ -36,12 +36,16 @@ use smgcn_obs::{
     Sample, SampleValue, Sampler, SpanRecord, TraceBuilder, TraceJournal, TraceRecord,
 };
 
+use smgcn_experiment::{SplitPlan, CONTROL};
+
 use crate::batcher::{Batcher, BatcherConfig, ScoreTimings};
 use crate::cache::{GenerationalCache, QueryKey};
 use crate::errors::codes;
 use crate::frozen::{FrozenError, FrozenModel};
 use crate::json::{self, Json};
 use crate::slot::{Generation, ModelSlot};
+use crate::topk::partial_top_k;
+use crate::variants::{DuelSample, VariantEntry, VariantObs, VariantTable};
 
 /// Name/id mappings for the serving protocol. Decoupled from
 /// `smgcn-data`'s corpus vocabulary so the serve crate stays free of
@@ -123,6 +127,11 @@ pub struct ServerConfig {
     /// is one relaxed atomic add per phase, cheap enough to default on;
     /// turn off only to measure its own overhead.
     pub profile: bool,
+    /// Experiment duel sampling: for one in every `duel_sample_every`
+    /// requests served by a *candidate* variant, score the same query
+    /// under control too and journal both top-k lists (with scores) for
+    /// the router's interleaving comparison. 0 disables duels.
+    pub duel_sample_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -135,6 +144,7 @@ impl Default for ServerConfig {
             batcher: BatcherConfig::default(),
             trace_sample_every: 0,
             profile: true,
+            duel_sample_every: 8,
         }
     }
 }
@@ -295,6 +305,9 @@ struct Engine {
     slot: Arc<ModelSlot>,
     batcher: Batcher,
     cache: Option<Mutex<GenerationalCache<QueryKey, Vec<u32>>>>,
+    /// The experiment plane: named candidate slots next to the control
+    /// slot above, the active split plan, and the duel-sample journal.
+    variants: VariantTable,
     config: ServerConfig,
     started: Instant,
     requests: Counter,
@@ -319,10 +332,12 @@ impl Engine {
         pinned: &Arc<Generation>,
         key: QueryKey,
         deadline: Option<Instant>,
+        cache: Option<&Mutex<GenerationalCache<QueryKey, Vec<u32>>>>,
+        vobs: Option<&VariantObs>,
     ) -> Result<(Vec<u32>, Arc<Generation>, bool, RankTiming), ApiError> {
         let k = key.k;
         let cache_start = Instant::now();
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = cache {
             let hit = cache
                 .lock()
                 .expect("cache lock")
@@ -330,6 +345,9 @@ impl Engine {
                 .cloned();
             if let Some(hit) = hit {
                 self.obs.cache_hits.inc();
+                if let Some(v) = vobs {
+                    v.cache_hits.inc();
+                }
                 let timing = RankTiming {
                     cache_us: cache_start.elapsed().as_micros() as u64,
                     score: None,
@@ -338,6 +356,9 @@ impl Engine {
             }
         }
         self.obs.cache_misses.inc();
+        if let Some(v) = vobs {
+            v.cache_misses.inc();
+        }
         let cache_us = cache_start.elapsed().as_micros() as u64;
         // Scoring keeps the request's pin: the batcher scores with
         // exactly this generation's weights (grouping per generation at
@@ -365,7 +386,7 @@ impl Engine {
         self.obs.gemm_us.record(timings.gemm_us);
         self.obs.topk_us.record(timings.topk_us);
         self.obs.batch_size.record(timings.batch_size as u64);
-        if let Some(cache) = &self.cache {
+        if let Some(cache) = cache {
             cache
                 .lock()
                 .expect("cache lock")
@@ -378,12 +399,13 @@ impl Engine {
         Ok((ranking, generation, false, timing))
     }
 
-    fn handle_line(&self, line: &str) -> Json {
+    fn handle_line(&self, line: &str, conn_key: &str) -> Json {
         let started = Instant::now();
         self.requests.inc();
         let mut trace: Option<TraceWork> = None;
         let mut prof_acc: u64 = 0;
-        let (mut response, record) = self.answer_timed(line, started, &mut trace, &mut prof_acc);
+        let (mut response, record) =
+            self.answer_timed(line, conn_key, started, &mut trace, &mut prof_acc);
         let wall_us = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         // Admin publishes (base64 decode + full model deserialize) are
         // orders of magnitude above any serving op; recording them would
@@ -470,16 +492,18 @@ impl Engine {
     fn answer_timed(
         &self,
         line: &str,
+        conn_key: &str,
         started: Instant,
         trace: &mut Option<TraceWork>,
         prof_acc: &mut u64,
     ) -> (Json, bool) {
-        match self.answer(line, started, trace, prof_acc) {
+        match self.answer(line, conn_key, started, trace, prof_acc) {
             Ok(Answer::Ranking {
                 ids,
                 scores,
                 cached,
                 generation,
+                variant,
             }) => {
                 let mut fields = vec![
                     ("herb_ids", json::id_array(&ids)),
@@ -487,6 +511,9 @@ impl Engine {
                     ("generation", Json::Num(generation.number as f64)),
                     ("micros", Json::Num(started.elapsed().as_micros() as f64)),
                 ];
+                if let Some(variant) = variant {
+                    fields.push(("variant", Json::Str(variant)));
+                }
                 if !generation.vocab.is_empty() {
                     fields.push((
                         "herbs",
@@ -620,12 +647,165 @@ impl Engine {
         ]))
     }
 
+    /// The `{"op":"experiment"}` admin verb — the replica half of the
+    /// experiment plane. Actions:
+    ///
+    /// - `"publish"` — decode an artifact into the named candidate slot
+    ///   (created on first publish); rejection semantics match the
+    ///   control publish verb, the candidate's live generation is never
+    ///   touched by a damaged artifact;
+    /// - `"install"` — install/update a split plan from its canonical
+    ///   string; rejected atomically if any weighted variant has no
+    ///   published slot here;
+    /// - `"halt"` — drop the plan, collapsing all split traffic to
+    ///   control instantly (candidates stay resident);
+    /// - `"promote-local"` — re-point the candidate's current
+    ///   model+vocab into the control slot as a new generation;
+    /// - `"status"` — plan, per-variant generation/weight, duel count;
+    /// - `"samples"` — the journaled duel samples (optional `"limit"`).
+    fn experiment(&self, req: &Json) -> Result<Json, ApiError> {
+        let variant_of = |req: &Json| -> Result<String, ApiError> {
+            match req.get("variant").and_then(Json::as_str) {
+                Some(name) if name != CONTROL => Ok(name.to_string()),
+                Some(_) => Err(ApiError::new(
+                    codes::BAD_REQUEST,
+                    "the control slot is managed by {\"op\":\"publish\"}",
+                )),
+                None => Err(ApiError::new(
+                    codes::BAD_REQUEST,
+                    "experiment action needs \"variant\"",
+                )),
+            }
+        };
+        match req.get("action").and_then(Json::as_str) {
+            Some("publish") => {
+                let name = variant_of(req)?;
+                let text = req.get("artifact").and_then(Json::as_str).ok_or_else(|| {
+                    ApiError::new(codes::BAD_REQUEST, "publish needs \"artifact\" (base64)")
+                })?;
+                let reject = |e: ApiError| {
+                    self.obs.publish_rejected.inc();
+                    self.obs.events.record(
+                        "experiment_publish_rejected",
+                        format!("candidate {name:?} artifact rejected: {}", e.message),
+                    );
+                    e
+                };
+                let bytes = crate::artifact::from_base64(text).map_err(|e| {
+                    reject(ApiError::new(
+                        codes::BAD_ARTIFACT,
+                        format!("artifact is not base64: {e}"),
+                    ))
+                })?;
+                let (model, vocab) = crate::artifact::decode(&bytes)
+                    .map_err(|e| reject(ApiError::new(codes::BAD_ARTIFACT, e.to_string())))?;
+                let generation = self.variants.publish(&name, model, vocab);
+                self.obs.publishes.inc();
+                self.obs.events.record(
+                    "experiment_publish",
+                    format!("candidate {name:?} at generation {generation}"),
+                );
+                Ok(json::obj([
+                    ("published", Json::Bool(true)),
+                    ("variant", Json::Str(name)),
+                    ("generation", Json::Num(generation as f64)),
+                ]))
+            }
+            Some("install") => {
+                let text = req.get("plan").and_then(Json::as_str).ok_or_else(|| {
+                    ApiError::new(
+                        codes::BAD_REQUEST,
+                        "install needs \"plan\" (canonical string)",
+                    )
+                })?;
+                let plan = SplitPlan::from_canonical(text)
+                    .map_err(|e| ApiError::new(codes::BAD_PLAN, e.to_string()))?;
+                let plan = self
+                    .variants
+                    .install(plan)
+                    .map_err(|e| ApiError::new(codes::UNKNOWN_VARIANT, e))?;
+                self.obs.events.record(
+                    "experiment_install",
+                    format!(
+                        "split plan v{} installed ({})",
+                        plan.version(),
+                        plan.weights()
+                            .iter()
+                            .map(|(n, w)| format!("{n}:{w}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    ),
+                );
+                Ok(json::obj([
+                    ("installed", Json::Bool(true)),
+                    ("version", Json::Num(plan.version() as f64)),
+                    ("digest", Json::Str(format!("{:016x}", plan.digest()))),
+                ]))
+            }
+            Some("halt") => {
+                let had_plan = self.variants.halt();
+                if had_plan {
+                    self.obs
+                        .events
+                        .record("experiment_halt", "split plan dropped, traffic on control");
+                }
+                Ok(json::obj([("halted", Json::Bool(had_plan))]))
+            }
+            Some("promote-local") => {
+                let name = variant_of(req)?;
+                let entry = self.variants.get(&name).ok_or_else(|| {
+                    ApiError::new(
+                        codes::UNKNOWN_VARIANT,
+                        format!("variant {name:?} is not served by this replica"),
+                    )
+                })?;
+                let candidate = entry.slot.load();
+                let generation = self
+                    .slot
+                    .publish_shared(Arc::clone(&candidate.model), Arc::clone(&candidate.vocab));
+                self.obs.publishes.inc();
+                self.obs.registry.gauge("serve_generation").set(generation);
+                self.obs.events.record(
+                    "experiment_promote",
+                    format!("candidate {name:?} promoted to control generation {generation}"),
+                );
+                Ok(json::obj([
+                    ("promoted", Json::Bool(true)),
+                    ("variant", Json::Str(name)),
+                    ("generation", Json::Num(generation as f64)),
+                ]))
+            }
+            Some("status") => Ok(self.variants.status_json(self.slot.generation())),
+            Some("samples") => {
+                let limit = match req.get("limit").and_then(Json::as_num) {
+                    Some(n) if n >= 1.0 => n as usize,
+                    _ => usize::MAX,
+                };
+                let samples = self
+                    .variants
+                    .recent_duels(limit)
+                    .iter()
+                    .map(DuelSample::to_json)
+                    .collect();
+                Ok(json::obj([
+                    ("samples", Json::Arr(samples)),
+                    ("duels_total", Json::Num(self.variants.duels_total() as f64)),
+                ]))
+            }
+            other => Err(ApiError::new(
+                codes::BAD_REQUEST,
+                format!("unknown experiment action {other:?}"),
+            )),
+        }
+    }
+
     /// The `{"op":"metrics"}` admin verb: a structured snapshot of every
     /// registered metric (`"format":"prometheus"` returns the text
     /// exposition instead). Gauges derived from other subsystems are
     /// synced here, at read time.
     fn metrics(&self, req: &Json) -> Json {
         let generation = self.slot.load();
+        self.variants.sync_gauges(generation.number);
         self.obs
             .registry
             .gauge("serve_generation")
@@ -701,6 +881,7 @@ impl Engine {
     fn answer(
         &self,
         line: &str,
+        conn_key: &str,
         started: Instant,
         trace: &mut Option<TraceWork>,
         prof_acc: &mut u64,
@@ -736,6 +917,15 @@ impl Engine {
             // out of the serving-latency histogram just like a success.
             Some("publish") => {
                 return Ok(Answer::Publish(match self.publish(&req) {
+                    Ok(ack) => ack,
+                    Err(e) => e.to_json(),
+                }))
+            }
+            // Experiment admin shares publish's latency exemption: a
+            // candidate publish deserializes a whole model, and even
+            // install/halt are control-plane, not serving, time.
+            Some("experiment") => {
+                return Ok(Answer::Publish(match self.experiment(&req) {
                     Ok(ack) => ack,
                     Err(e) => e.to_json(),
                 }))
@@ -785,21 +975,78 @@ impl Engine {
                 ))
             }
         };
+        // Variant resolution: an explicit `"variant"` override wins;
+        // otherwise the active split plan assigns deterministically by
+        // sticky key — the client id when supplied, else the connection
+        // id — so one client sees one variant for a plan's lifetime.
+        let explicit = match req.get("variant") {
+            None => None,
+            Some(Json::Str(name)) => Some(name.clone()),
+            Some(other) => {
+                return Err(ApiError::new(
+                    codes::BAD_REQUEST,
+                    format!("bad variant: {other} (want a string)"),
+                ))
+            }
+        };
+        let plan = self.variants.plan();
+        let assigned = match &explicit {
+            Some(name) => Some(name.clone()),
+            None => plan.as_ref().map(|p| {
+                let sticky = req.get("client").and_then(Json::as_str).unwrap_or(conn_key);
+                p.assign(sticky).to_string()
+            }),
+        };
+        let entry: Option<Arc<VariantEntry>> = match assigned.as_deref() {
+            None | Some(CONTROL) => None,
+            Some(name) => Some(self.variants.get(name).ok_or_else(|| {
+                ApiError::new(
+                    codes::UNKNOWN_VARIANT,
+                    format!("variant {name:?} is not served by this replica"),
+                )
+            })?),
+        };
+        // Per-variant labeled metrics only tick when an experiment is
+        // in play (explicit override or installed plan); a plain
+        // single-model deployment pays nothing.
+        let vobs = assigned.as_ref().map(|_| match &entry {
+            Some(e) => &e.obs,
+            None => self.variants.control_obs(),
+        });
+        if let Some(v) = vobs {
+            v.requests.inc();
+        }
         // Pin one generation for the whole request: name resolution and
         // validation below, cache lookup and herb naming in the caller.
-        let pinned = self.slot.load();
+        let pinned = match &entry {
+            Some(e) => e.slot.load(),
+            None => self.slot.load(),
+        };
         let ids = self.request_ids(&req, &pinned)?;
         validate_ids(&ids, pinned.model.n_symptoms())?;
         let key = QueryKey::new(&ids, k);
         let want_scores = matches!(req.get("scores"), Some(Json::Bool(true)));
         let score_ids = want_scores.then(|| key.symptoms.clone());
+        // Candidate-served requests sampled for a duel keep their
+        // canonical symptom set so both models can re-score it below.
+        let duel_ids = (entry.is_some() && self.variants.duel_fire()).then(|| key.symptoms.clone());
         if let Some(work) = trace.as_mut() {
             // Name resolution, validation and canonicalisation since the
             // parse span closed.
             work.builder.cover_to_now("resolve");
         }
         let pre_rank_us = started.elapsed().as_micros() as u64;
-        let (ranking, generation, cached, timing) = self.rank(&pinned, key, deadline)?;
+        let cache_ref = match &entry {
+            Some(e) => e.cache.as_ref(),
+            None => self.cache.as_ref(),
+        };
+        let ranked = self.rank(&pinned, key, deadline, cache_ref, vobs);
+        if ranked.is_err() {
+            if let Some(v) = vobs {
+                v.errors.inc();
+            }
+        }
+        let (ranking, generation, cached, timing) = ranked?;
         if self.obs.profile_enabled {
             // Fold this request's phases into the continuous profiler.
             // `prof_acc` totals the attributed microseconds so the caller
@@ -851,12 +1098,56 @@ impl Engine {
             }
             None => None,
         };
+        if let (Some(duel_ids), Some(entry)) = (duel_ids, &entry) {
+            self.record_duel(&entry.name, &duel_ids, k, &ranking, &generation);
+        }
+        if let Some(v) = vobs {
+            v.latency.record(started.elapsed().as_micros() as u64);
+        }
         Ok(Answer::Ranking {
             ids: ranking,
             scores,
             cached,
             generation,
+            variant: assigned,
         })
+    }
+
+    /// Journal one control-vs-candidate duel: re-score the sampled
+    /// query under both models and keep the two `(id, score)` top-k
+    /// lists for the router's interleaving comparison. Best-effort — a
+    /// query outside the control model's vocabulary simply cannot duel.
+    fn record_duel(
+        &self,
+        variant: &str,
+        ids: &[u32],
+        k: usize,
+        candidate_ranking: &[u32],
+        candidate_generation: &Generation,
+    ) {
+        let control = self.slot.load();
+        let (Ok(cand_scores), Ok(ctrl_scores)) = (
+            candidate_generation.model.score_one(ids),
+            control.model.score_one(ids),
+        ) else {
+            return;
+        };
+        let candidate_top: Vec<(u32, f32)> = candidate_ranking
+            .iter()
+            .filter(|&&h| (h as usize) < cand_scores.len())
+            .map(|&h| (h, cand_scores[h as usize]))
+            .collect();
+        let control_top: Vec<(u32, f32)> = partial_top_k(&ctrl_scores, k)
+            .into_iter()
+            .map(|h| (h, ctrl_scores[h as usize]))
+            .collect();
+        self.variants.record_duel(DuelSample {
+            variant: variant.to_string(),
+            symptom_ids: ids.to_vec(),
+            k,
+            candidate_top,
+            control_top,
+        });
     }
 
     fn request_ids(&self, req: &Json, generation: &Generation) -> Result<Vec<u32>, ApiError> {
@@ -997,6 +1288,9 @@ enum Answer {
         scores: Option<Vec<f32>>,
         cached: bool,
         generation: Arc<Generation>,
+        /// The variant that served the request, when an experiment was
+        /// in play (explicit override or installed split plan).
+        variant: Option<String>,
     },
     Stats(Json),
     Publish(Json),
@@ -1060,10 +1354,16 @@ impl Server {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let (obs, requests, sheds, queue_rejections, latency) = ServeObs::new(&config);
+        let variants = VariantTable::new(
+            Arc::clone(&obs.registry),
+            config.cache_capacity,
+            config.duel_sample_every,
+        );
         let engine = Arc::new(Engine {
             batcher: Batcher::start_slot(Arc::clone(&slot), config.batcher.clone()),
             cache: (config.cache_capacity > 0)
                 .then(|| Mutex::new(GenerationalCache::new(config.cache_capacity))),
+            variants,
             slot,
             config,
             started: Instant::now(),
@@ -1167,7 +1467,7 @@ impl Server {
             let handle = std::thread::Builder::new()
                 .name(format!("smgcn-conn-{conn_id}"))
                 .spawn(move || {
-                    handle_connection(&engine, stream, &stop);
+                    handle_connection(&engine, stream, &stop, conn_id);
                     active.fetch_sub(1, Ordering::SeqCst);
                 })
                 .expect("spawn connection handler");
@@ -1198,8 +1498,12 @@ impl StopHandle {
     }
 }
 
-fn handle_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
+fn handle_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool, conn_id: usize) {
     let peer = stream.peer_addr().ok();
+    // The split plan's sticky-key fallback for requests without a
+    // `"client"` id: stable for the connection's lifetime, so even an
+    // anonymous client never flip-flops variants mid-connection.
+    let conn_key = format!("conn-{conn_id}");
     // A finite read timeout lets the worker notice shutdown even while a
     // client keeps an idle connection open — otherwise a graceful stop
     // would block on the last chatty client forever. The write timeout
@@ -1241,7 +1545,7 @@ fn handle_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = engine.handle_line(line.trim_end());
+        let response = engine.handle_line(line.trim_end(), &conn_key);
         if writeln!(writer, "{response}")
             .and_then(|_| writer.flush())
             .is_err()
@@ -1927,6 +2231,160 @@ mod tests {
             scores.windows(2).all(|w| w[0] >= w[1]),
             "scores must be descending: {scores:?}"
         );
+        stop.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn experiment_verbs_split_and_promote_over_the_wire() {
+        let (addr, stop, handle) = test_server();
+        // A distinguishable candidate model with the same shape.
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r + c * 4) % 5) as f32 - 1.0);
+        let cand = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let vocab = ServingVocab::new(
+            (0..5).map(|i| format!("s{i}")).collect(),
+            (0..7).map(|i| format!("cand-h{i}")).collect(),
+        );
+        let artifact = crate::artifact::to_base64(&crate::artifact::encode(&cand, &vocab));
+
+        // Install before publish must fail atomically.
+        let premature = roundtrip(
+            addr,
+            r#"{"op":"experiment","action":"install","plan":"not-a-plan"}"#,
+        );
+        assert_eq!(
+            premature
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(codes::BAD_PLAN)
+        );
+        let plan = smgcn_experiment::SplitPlan::new(
+            7,
+            1,
+            &[("control".to_string(), 0), ("cand".to_string(), 100)],
+        )
+        .unwrap();
+        let missing = roundtrip(
+            addr,
+            &format!(
+                r#"{{"op":"experiment","action":"install","plan":"{}"}}"#,
+                plan.to_canonical()
+            ),
+        );
+        assert_eq!(
+            missing
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some(codes::UNKNOWN_VARIANT),
+            "{missing}"
+        );
+
+        // Publish the candidate, then install a 0/100 split: every
+        // request (sticky key or not) must land on the candidate.
+        let published = roundtrip(
+            addr,
+            &format!(
+                r#"{{"op":"experiment","action":"publish","variant":"cand","artifact":"{artifact}"}}"#
+            ),
+        );
+        assert_eq!(
+            published.get("published"),
+            Some(&Json::Bool(true)),
+            "{published}"
+        );
+        let installed = roundtrip(
+            addr,
+            &format!(
+                r#"{{"op":"experiment","action":"install","plan":"{}"}}"#,
+                plan.to_canonical()
+            ),
+        );
+        assert_eq!(
+            installed.get("installed"),
+            Some(&Json::Bool(true)),
+            "{installed}"
+        );
+
+        let resp = roundtrip(addr, r#"{"symptom_ids":[0,1],"k":3,"client":"alice"}"#);
+        assert_eq!(
+            resp.get("variant").and_then(Json::as_str),
+            Some("cand"),
+            "{resp}"
+        );
+        let herbs = resp.get("herbs").unwrap().as_arr().unwrap();
+        assert!(
+            herbs
+                .iter()
+                .all(|h| h.as_str().unwrap().starts_with("cand-")),
+            "candidate vocabulary must label the response: {resp}"
+        );
+        // Explicit override pins control regardless of the plan.
+        let ctrl = roundtrip(
+            addr,
+            r#"{"symptom_ids":[0,1],"k":3,"variant":"control","client":"alice"}"#,
+        );
+        assert_eq!(ctrl.get("variant").and_then(Json::as_str), Some("control"));
+        assert!(ctrl
+            .get("herbs")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .all(|h| h.as_str().unwrap().starts_with('h')));
+
+        // Duel samples journaled for candidate traffic (sample-every
+        // defaults to 8; drive enough requests with distinct keys).
+        for i in 0..32 {
+            let _ = roundtrip(
+                addr,
+                &format!(
+                    r#"{{"symptom_ids":[{},{}],"k":3,"client":"c{i}"}}"#,
+                    i % 4,
+                    4
+                ),
+            );
+        }
+        let samples = roundtrip(addr, r#"{"op":"experiment","action":"samples"}"#);
+        assert!(
+            samples.get("duels_total").and_then(Json::as_num).unwrap() >= 1.0,
+            "{samples}"
+        );
+
+        // Promote: control slot now serves the candidate's model+vocab
+        // as a new generation; halt drops the plan.
+        let promoted = roundtrip(
+            addr,
+            r#"{"op":"experiment","action":"promote-local","variant":"cand"}"#,
+        );
+        assert_eq!(
+            promoted.get("promoted"),
+            Some(&Json::Bool(true)),
+            "{promoted}"
+        );
+        assert_eq!(promoted.get("generation").and_then(Json::as_num), Some(1.0));
+        let halted = roundtrip(addr, r#"{"op":"experiment","action":"halt"}"#);
+        assert_eq!(halted.get("halted"), Some(&Json::Bool(true)));
+        let after = roundtrip(addr, r#"{"symptom_ids":[0,1],"k":3,"client":"alice"}"#);
+        assert!(
+            after.get("variant").is_none(),
+            "no experiment context: {after}"
+        );
+        assert_eq!(after.get("generation").and_then(Json::as_num), Some(1.0));
+        assert!(after
+            .get("herbs")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .all(|h| h.as_str().unwrap().starts_with("cand-")));
+
+        let status = roundtrip(addr, r#"{"op":"experiment","action":"status"}"#);
+        assert_eq!(status.get("plan"), Some(&Json::Null));
+        let variants = status.get("variants").unwrap().as_arr().unwrap();
+        assert_eq!(variants.len(), 2, "{status}");
         stop.stop();
         handle.join().unwrap();
     }

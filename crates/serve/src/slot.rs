@@ -99,6 +99,22 @@ impl ModelSlot {
         number
     }
 
+    /// Publishes an already-shared model + vocabulary pair as the next
+    /// generation. This is the in-process promotion path: an experiment
+    /// candidate's current generation is re-pointed into the control
+    /// slot without a serialize/deserialize round-trip, so promotion is
+    /// as cheap as a publish of an already-resident model.
+    pub fn publish_shared(&self, model: Arc<FrozenModel>, vocab: Arc<ServingVocab>) -> u64 {
+        let mut current = self.current.write().expect("model slot lock");
+        let number = self.next_number.fetch_add(1, Ordering::SeqCst);
+        *current = Arc::new(Generation {
+            number,
+            model,
+            vocab,
+        });
+        number
+    }
+
     /// Publishes a serialized [`crate::artifact`] blob (model + vocab) as
     /// the next generation — the wire-level entry point behind the
     /// `{"op":"publish"}` admin verb, so a cluster coordinator can push a

@@ -24,6 +24,13 @@
 //!                 --corpus corpus.tsv
 //! smgcn loadgen   <scenario|all> [--seed N] [--measure-ms N] [--workers N]
 //!                 [--k N] [--out FILE] [--out-dir DIR] [--plan true]
+//! smgcn experiment publish --addr HOST:PORT --variant NAME
+//!                 --corpus corpus.tsv --model-file FILE
+//! smgcn experiment install --addr HOST:PORT --split "control:90,cand:10" [--seed N]
+//! smgcn experiment halt|status --addr HOST:PORT
+//! smgcn experiment compare --addr HOST:PORT [--out FILE]
+//! smgcn promote   --addr HOST:PORT --variant NAME
+//!                 [--max-error-rate F] [--max-p99-delta F] [--min-samples N]
 //! smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]
 //! smgcn profile   --addr HOST:PORT
 //! smgcn query     --tsdb FILE [--series SELECTOR] [--op last|delta|rate|avg|max|quantile]
@@ -71,6 +78,16 @@
 //! scenario additionally installs its seeded fault-injection plan
 //! (link delays/drops, a corrupted publish) for the run.
 //!
+//! `experiment` drives online A/B through a router: `publish` rolls a
+//! candidate model into a named variant slot fleet-wide, `install`
+//! starts (or sticky-preservingly updates) a weighted traffic split,
+//! `compare` prints the per-variant qps/p99/error-rate table plus
+//! team-draft interleaving over the journaled duel samples, and `halt`
+//! collapses all traffic back to control in one command. `promote`
+//! checks the comparison report against error-rate / p99-delta /
+//! sample-count guardrails, rolls the candidate into every replica's
+//! control slot, and halts the split.
+//!
 //! Setting `SMGCN_FAULT_SEED` to a nonzero integer arms the canonical
 //! storm plan (`smgcn_faults::FaultPlan::storm`) in the launched
 //! process — a chaos drill for `serve`/`route` that injects WAL write
@@ -116,12 +133,16 @@ fn usage() -> ! {
          smgcn route     --replicas HOST:PORT,... [--addr HOST:PORT] [--connections N] [--replica-conns N] [--probe-ms N] [--slow-p99-ms F]\n  \
          smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n  \
          smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n  \
+         smgcn experiment publish --addr HOST:PORT --variant NAME --corpus FILE --model-file FILE\n  \
+         smgcn experiment install --addr HOST:PORT --split \"control:90,cand:10\" [--seed N]\n  \
+         smgcn experiment halt|status|compare --addr HOST:PORT [--out FILE]\n  \
+         smgcn promote   --addr HOST:PORT --variant NAME [--max-error-rate F] [--max-p99-delta F] [--min-samples N]\n  \
          smgcn top       --addr HOST:PORT [--interval-ms N] [--iterations N]\n  \
          smgcn profile   --addr HOST:PORT\n  \
          smgcn query     --tsdb FILE [--series SELECTOR] [--op last|delta|rate|avg|max|quantile] [--from MS] [--to MS] [--q F]\n\
          serve/route also take --tsdb FILE [--scrape-ms N]: self-scrape metrics history + live burn-rate alerts\n\
          models: smgcn (default), bipar-gcn, gcmc, pinsage, ngcf, hetegcn\n\
-         scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill, fault-storm\n\
+         scenarios: steady-zipfian, flash-crowd, ingest-heavy, rolling-publish-under-load, replica-kill, fault-storm, ab-canary\n\
          env: SMGCN_FAULT_SEED=N arms the seeded fault-injection storm plan in this process\n\
          --model-file for recommend/serve: a frozen model (smgcn freeze) or a training checkpoint"
     );
@@ -754,6 +775,25 @@ fn fetch_admin_op(addr: &str, op: &str) -> Option<smgcn_repro::serve::json::Json
     smgcn_repro::serve::json::parse(line.trim()).ok()
 }
 
+/// Sends one prebuilt admin request line and parses the reply. Unlike
+/// [`fetch_admin_op`] the caller controls every field — the experiment
+/// verbs carry actions, weight specs and artifacts.
+fn fetch_admin_line(addr: &str, request: &str) -> Option<smgcn_repro::serve::json::Json> {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    let stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .ok()?;
+    let mut writer = BufWriter::new(stream.try_clone().ok()?);
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "{request}").ok()?;
+    writer.flush().ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    smgcn_repro::serve::json::parse(line.trim()).ok()
+}
+
 /// The default availability burn-rate rule a self-scraping `serve` or
 /// `route` process evaluates live: canonical SRE window pairs (5m/1h at
 /// 14.4, 30m/6h at 6) against a 99.99% objective, clamped so the
@@ -938,6 +978,221 @@ fn cmd_query(flags: HashMap<String, String>) {
     }
 }
 
+/// Exits with the structured error of an experiment-verb reply, if any.
+fn check_admin_error(reply: &smgcn_repro::serve::json::Json) {
+    use smgcn_repro::serve::json::Json;
+    if let Some(err) = reply.get("error") {
+        let code = err.get("code").and_then(Json::as_str).unwrap_or("?");
+        let message = err.get("message").and_then(Json::as_str).unwrap_or("?");
+        eprintln!("error [{code}]: {message}");
+        if let Some(violations) = reply.get("violations").and_then(Json::as_arr) {
+            for v in violations {
+                if let Some(v) = v.as_str() {
+                    eprintln!("  guardrail: {v}");
+                }
+            }
+        }
+        exit(1);
+    }
+}
+
+/// Pretty-prints the `{"action":"compare"}` report.
+fn print_compare_report(report: &smgcn_repro::serve::json::Json) {
+    use smgcn_repro::serve::json::Json;
+    println!(
+        "{:<12} {:>6} {:>10} {:>9} {:>9} {:>9}",
+        "VARIANT", "WEIGHT", "REQUESTS", "ERR_RATE", "QPS", "P99_MS"
+    );
+    for v in report.get("variants").and_then(Json::as_arr).unwrap_or(&[]) {
+        let s = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let n = |k: &str| v.get(k).and_then(Json::as_num).unwrap_or(0.0);
+        println!(
+            "{:<12} {:>5.0}% {:>10.0} {:>9.4} {:>9.1} {:>9.2}",
+            s("name"),
+            n("weight"),
+            n("requests"),
+            n("error_rate"),
+            n("qps"),
+            n("p99_us") / 1e3
+        );
+    }
+    for duel in report
+        .get("interleaving")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+    {
+        let n = |k: &str| duel.get(k).and_then(Json::as_num).unwrap_or(0.0);
+        println!(
+            "interleaving {}: {} duels, candidate {} / control {} / ties {}, mean delta {:+.4}, p = {:.3}",
+            duel.get("variant").and_then(Json::as_str).unwrap_or("?"),
+            n("duels"),
+            n("candidate_wins"),
+            n("control_wins"),
+            n("ties"),
+            n("mean_delta"),
+            n("p_value")
+        );
+    }
+}
+
+/// `smgcn experiment <publish|install|halt|status|compare>` — the
+/// operator half of the A/B experiment plane, driven through a router
+/// (or a single replica for publish/status).
+fn cmd_experiment(rest: &[String]) {
+    use smgcn_repro::serve::json::{self, Json};
+    let Some((action, rest)) = rest.split_first() else {
+        eprintln!("error: experiment needs an action (publish|install|halt|status|compare)");
+        usage();
+    };
+    let flags = parse_flags(rest);
+    let Some(addr) = flags.get("addr") else {
+        eprintln!("error: experiment needs --addr");
+        usage();
+    };
+    let reply = match action.as_str() {
+        "publish" => {
+            let Some(variant) = flags.get("variant") else {
+                eprintln!("error: experiment publish needs --variant");
+                usage();
+            };
+            let corpus = load_corpus_only(&flags);
+            let frozen = load_frozen(&flags, &corpus);
+            let vocab = ServingVocab::new(
+                corpus
+                    .symptom_vocab()
+                    .iter()
+                    .map(|(_, n)| n.to_string())
+                    .collect(),
+                corpus
+                    .herb_vocab()
+                    .iter()
+                    .map(|(_, n)| n.to_string())
+                    .collect(),
+            );
+            let artifact = smgcn_repro::serve::artifact::encode(&frozen, &vocab);
+            println!(
+                "publishing candidate {variant:?} ({} symptoms x {} herbs, artifact {} KiB) via {addr}",
+                frozen.n_symptoms(),
+                frozen.n_herbs(),
+                artifact.len() / 1024
+            );
+            let request = json::obj([
+                ("op", Json::Str("experiment".into())),
+                ("action", Json::Str("publish".into())),
+                ("variant", Json::Str(variant.clone())),
+                (
+                    "artifact",
+                    Json::Str(smgcn_repro::serve::artifact::to_base64(&artifact)),
+                ),
+            ]);
+            fetch_admin_line(addr, &request.to_string())
+        }
+        "install" => {
+            let Some(split) = flags.get("split") else {
+                eprintln!("error: experiment install needs --split \"control:90,cand:10\"");
+                usage();
+            };
+            let mut fields = vec![
+                ("op", Json::Str("experiment".into())),
+                ("action", Json::Str("install".into())),
+                ("weights", Json::Str(split.clone())),
+            ];
+            if let Some(seed) = flags.get("seed") {
+                let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+                fields.push(("seed", Json::Num(seed as f64)));
+            }
+            fetch_admin_line(addr, &json::obj(fields).to_string())
+        }
+        "halt" | "abort" => {
+            let request = json::obj([
+                ("op", Json::Str("experiment".into())),
+                ("action", Json::Str("halt".into())),
+            ]);
+            fetch_admin_line(addr, &request.to_string())
+        }
+        "status" => {
+            let request = json::obj([
+                ("op", Json::Str("experiment".into())),
+                ("action", Json::Str("status".into())),
+            ]);
+            fetch_admin_line(addr, &request.to_string())
+        }
+        "compare" => {
+            let request = json::obj([
+                ("op", Json::Str("experiment".into())),
+                ("action", Json::Str("compare".into())),
+            ]);
+            fetch_admin_line(addr, &request.to_string())
+        }
+        other => {
+            eprintln!("error: unknown experiment action {other:?}");
+            usage();
+        }
+    };
+    let Some(reply) = reply else {
+        eprintln!("error: no response from {addr}");
+        exit(1);
+    };
+    check_admin_error(&reply);
+    match action.as_str() {
+        "compare" => {
+            print_compare_report(&reply);
+            if let Some(path) = flags.get("out") {
+                std::fs::write(path, format!("{reply}\n")).unwrap_or_else(|e| {
+                    eprintln!("error: cannot write {path}: {e}");
+                    exit(1);
+                });
+                println!("wrote {path}");
+            }
+        }
+        _ => println!("{reply}"),
+    }
+}
+
+/// `smgcn promote --addr ... --variant NAME` — guardrail-checked
+/// candidate promotion: the router verifies the comparison report
+/// clears the error-rate / p99 / sample-count bars, rolls the candidate
+/// into every control slot, and halts the split.
+fn cmd_promote(flags: HashMap<String, String>) {
+    use smgcn_repro::serve::json::{self, Json};
+    let Some(addr) = flags.get("addr") else {
+        eprintln!("error: promote needs --addr");
+        usage();
+    };
+    let Some(variant) = flags.get("variant") else {
+        eprintln!("error: promote needs --variant");
+        usage();
+    };
+    let mut fields = vec![
+        ("op", Json::Str("experiment".into())),
+        ("action", Json::Str("promote".into())),
+        ("variant", Json::Str(variant.clone())),
+    ];
+    let numeric = |key: &str| -> Option<f64> {
+        flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    if let Some(v) = numeric("max-error-rate") {
+        fields.push(("max_error_rate", Json::Num(v)));
+    }
+    if let Some(v) = numeric("max-p99-delta") {
+        fields.push(("max_p99_delta", Json::Num(v)));
+    }
+    if let Some(v) = numeric("min-samples") {
+        fields.push(("min_samples", Json::Num(v)));
+    }
+    let Some(reply) = fetch_admin_line(addr, &json::obj(fields).to_string()) else {
+        eprintln!("error: no response from {addr}");
+        exit(1);
+    };
+    check_admin_error(&reply);
+    let replicas = reply.get("replicas").and_then(Json::as_num).unwrap_or(0.0);
+    println!(
+        "promoted {variant:?} to control on {replicas:.0} replica(s); split halted, traffic on the new control"
+    );
+}
+
 /// Reports a rolling-publish outcome list, exiting nonzero unless every
 /// replica acknowledged.
 fn report_publish(report: &smgcn_repro::cluster::PublishReport) {
@@ -1079,6 +1334,7 @@ fn cmd_loadgen(rest: &[String]) {
                 events_json: None,
                 tsdb: None,
                 profile_json: None,
+                experiment_json: None,
             };
             print!("{}", report.workload_json());
             continue;
@@ -1128,6 +1384,17 @@ fn cmd_loadgen(rest: &[String]) {
                 exit(1);
             });
             println!("  wrote {ppath}");
+        }
+        if let Some(experiment) = &report.experiment_json {
+            let xpath = format!(
+                "{out_dir}/EXPERIMENT_{}.json",
+                kind.name().replace('-', "_")
+            );
+            std::fs::write(&xpath, format!("{experiment}\n")).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {xpath}: {e}");
+                exit(1);
+            });
+            println!("  wrote {xpath}");
         }
         if !report.measured.alerts_fired.is_empty() {
             println!(
@@ -1181,6 +1448,65 @@ fn top_row(
     };
     let sheds = num("serve_sheds_total") + num("router_sheds_total");
     println!("{label:<24} {generation:>4.0} {qps:>9} {p99_ms:>9.2} {cache:>7} {sheds:>7.0}");
+    variant_rows(label, metrics, prev, elapsed_s);
+}
+
+/// Per-variant breakdown rows under a replica (or merged) row, one per
+/// `variant` label found in the metrics: weight, generation, qps, p99
+/// and cumulative error rate of each arm of a live traffic split.
+/// Silent when the replica has no variant-labeled metrics (no
+/// experiment running), so plain deployments see the classic table.
+fn variant_rows(
+    label: &str,
+    metrics: &smgcn_repro::serve::json::Json,
+    prev: &mut HashMap<String, f64>,
+    elapsed_s: f64,
+) {
+    use smgcn_repro::serve::json::Json;
+    let Json::Obj(map) = metrics else {
+        return;
+    };
+    const PREFIX: &str = "serve_variant_requests_total{variant=\"";
+    let variants: Vec<&str> = map
+        .keys()
+        .filter_map(|k| k.strip_prefix(PREFIX)?.strip_suffix("\"}"))
+        .collect();
+    for variant in variants {
+        let num = |name: &str| {
+            map.get(&format!("{name}{{variant=\"{variant}\"}}"))
+                .and_then(Json::as_num)
+                .unwrap_or(0.0)
+        };
+        let requests = num("serve_variant_requests_total");
+        let row_key = format!("{label}//{variant}");
+        let qps = match prev.insert(row_key, requests) {
+            Some(last) if elapsed_s > 0.0 => {
+                format!("{:.0}", (requests - last).max(0.0) / elapsed_s)
+            }
+            _ => "-".to_string(),
+        };
+        let p99_ms = map
+            .get(&format!(
+                "serve_variant_latency_us{{variant=\"{variant}\"}}"
+            ))
+            .and_then(|h| h.get("p99_us"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0)
+            / 1e3;
+        let err_rate = if requests > 0.0 {
+            num("serve_variant_errors_total") / requests
+        } else {
+            0.0
+        };
+        let weight = num("serve_variant_weight");
+        let generation = num("serve_variant_generation");
+        let tag = format!("  \u{2514} {variant} ({weight:.0}%)");
+        println!(
+            "{tag:<24} {generation:>4.0} {qps:>9} {p99_ms:>9.2} {:>6.2}% {:>7}",
+            100.0 * err_rate,
+            ""
+        );
+    }
 }
 
 fn cmd_top(flags: HashMap<String, String>) {
@@ -1316,9 +1642,13 @@ fn main() {
     let Some((command, rest)) = args.split_first() else {
         usage()
     };
-    // `loadgen` takes a positional scenario before its flags.
+    // `loadgen` and `experiment` take a positional word before flags.
     if command == "loadgen" {
         cmd_loadgen(rest);
+        return;
+    }
+    if command == "experiment" {
+        cmd_experiment(rest);
         return;
     }
     let flags = parse_flags(rest);
@@ -1333,6 +1663,7 @@ fn main() {
         "refresh" => cmd_refresh(flags),
         "route" => cmd_route(flags),
         "cluster-refresh" => cmd_cluster_refresh(flags),
+        "promote" => cmd_promote(flags),
         "top" => cmd_top(flags),
         "profile" => cmd_profile(flags),
         "query" => cmd_query(flags),

@@ -25,6 +25,11 @@
 //!   named sites wired through the WAL, artifact decode, and replica
 //!   links, replayable plans (`SMGCN_FAULT_SEED`), near-zero cost when
 //!   disabled;
+//! - [`experiment`] — the A/B experiment plane: seeded sticky traffic
+//!   splits ([`experiment::SplitPlan`]), promotion guardrails and
+//!   team-draft interleaving with permutation significance, behind the
+//!   `{"op":"experiment"}` verbs and `smgcn experiment` / `smgcn
+//!   promote`;
 //! - [`loadgen`] — deterministic multi-scenario load & chaos engine
 //!   with per-scenario SLO assertions (`smgcn loadgen`), including the
 //!   `fault-storm` scenario driven by the fault plane.
@@ -35,6 +40,7 @@ pub use smgcn_cluster as cluster;
 pub use smgcn_core as core;
 pub use smgcn_data as data;
 pub use smgcn_eval as eval;
+pub use smgcn_experiment as experiment;
 pub use smgcn_faults as faults;
 pub use smgcn_graph as graph;
 pub use smgcn_loadgen as loadgen;

@@ -177,12 +177,79 @@ fn routing_invariants_hold() {
         }
     }
 
+    experiment_atomicity_holds(&mut reader, &mut writer);
+
     stop.stop();
     handle.join().unwrap();
     for (_, stop, handle) in replicas {
         stop.stop();
         handle.join().unwrap();
     }
+}
+
+/// Experiment-plane atomicity under the storm: a corrupted candidate
+/// artifact must never become resident on any replica, and an install
+/// naming a never-published variant must leave the whole fleet
+/// planless — partial states are the one unacceptable outcome.
+fn experiment_atomicity_holds(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) {
+    let mut rpc = |request: String| -> Json {
+        writeln!(writer, "{request}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        json::parse(line.trim()).expect("experiment responses are valid json")
+    };
+
+    // A candidate artifact with a flipped byte: the CRC trailer means
+    // every replica must reject it, and injected faults can only make
+    // the rollout fail *earlier* — never let garbage through.
+    let mut bytes = artifact::encode(&smoke_model(), &smoke_vocab());
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    let corrupt = artifact::to_base64(&bytes);
+    let resp = rpc(format!(
+        "{{\"op\":\"experiment\",\"action\":\"publish\",\"variant\":\"bad\",\"artifact\":\"{corrupt}\"}}"
+    ));
+    if resp.get("error").is_none() {
+        assert_eq!(
+            resp.get("published").and_then(Json::as_num),
+            Some(0.0),
+            "a corrupt candidate became resident somewhere: {resp}"
+        );
+        assert_eq!(
+            resp.get("aborted"),
+            Some(&Json::Bool(true)),
+            "corrupt rollout not reported as aborted: {resp}"
+        );
+    }
+
+    // Installing a split that names the never-resident variant must be
+    // refused wholesale (unknown variant in the clean path, any
+    // structured error under injected faults) with zero partial state.
+    let resp = rpc(
+        "{\"op\":\"experiment\",\"action\":\"install\",\"weights\":\"control:90,bad:10\"}"
+            .to_string(),
+    );
+    assert!(
+        resp.get("installed").is_none(),
+        "a split naming an unresident variant installed: {resp}"
+    );
+    assert!(
+        resp.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .is_some(),
+        "install refusal must be a structured error: {resp}"
+    );
+    let status = rpc("{\"op\":\"experiment\",\"action\":\"status\"}".to_string());
+    assert_eq!(
+        status.get("plan"),
+        Some(&Json::Null),
+        "an aborted install left a live plan behind: {status}"
+    );
 }
 
 #[test]
