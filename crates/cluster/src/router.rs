@@ -27,7 +27,6 @@
 //! what keep one hot key from queueing the world behind a single
 //! backend.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -42,6 +41,8 @@ use smgcn_obs::{
 };
 use smgcn_serve::errors::codes;
 use smgcn_serve::json::{self, Json};
+use smgcn_serve::ops::{AdminOp, OpHandler};
+use smgcn_serve::reactor::{Reactor, ReactorConfig, Service};
 use smgcn_serve::server::samples_to_json;
 use smgcn_serve::DuelSample;
 
@@ -1174,54 +1175,13 @@ impl RouterEngine {
                 .to_string()
             }
         };
-        match req.get("op").and_then(Json::as_str) {
-            Some("stats") => return self.stats().to_string(),
-            Some("metrics") => return self.metrics().to_string(),
-            Some("events") => return self.events_report(&req).to_string(),
-            Some("profile") => return self.profile().to_string(),
-            Some("publish") => {
-                let Some(artifact) = req.get("artifact").and_then(Json::as_str) else {
-                    return json::obj([(
-                        "error",
-                        json::obj([
-                            ("code", Json::Str(codes::BAD_REQUEST.into())),
-                            (
-                                "message",
-                                Json::Str("publish needs \"artifact\" (base64)".into()),
-                            ),
-                        ]),
-                    )])
-                    .to_string();
-                };
-                let _rollout = self.publish_lock.lock().expect("publish lock");
-                let report = rolling_publish(&self.pool, artifact);
-                self.publishes.inc();
-                if let Some(addr) = report.rejected_by() {
-                    // A rejection is a verdict on the artifact, not the
-                    // replica: journal who refused it so the operator
-                    // knows where the rollout stopped.
-                    self.events.record(
-                        "publish_aborted",
-                        format!(
-                            "replica {addr} rejected the artifact; rollout stopped after {}/{} replicas",
-                            report.published(),
-                            self.pool.len()
-                        ),
-                    );
-                } else {
-                    self.events.record(
-                        "publish",
-                        format!(
-                            "rolling publish: {}/{} replicas ok",
-                            report.published(),
-                            self.pool.len()
-                        ),
-                    );
-                }
-                return report.to_json().to_string();
-            }
-            Some("experiment") => return self.experiment(&req).to_string(),
-            _ => {}
+        // A known admin verb is answered here, fleet-aggregated.
+        // `Ok(None)` is a ranking — forwarded below. `Err(unknown)`
+        // also falls through to the forward path on purpose: the
+        // replica answers unknown ops (with `unknown_op`), so a
+        // replica-side verb this router predates still works.
+        if let Ok(Some(op)) = AdminOp::parse(&req) {
+            return self.dispatch(op, &req).to_string();
         }
         // While a split is live, every forwarded query carries an
         // explicit variant assignment: replicas multiplex many clients
@@ -1367,6 +1327,79 @@ impl RouterEngine {
             ]),
         );
         Json::Obj(response).to_string()
+    }
+
+    /// The `{"op":"publish"}` admin verb: a rolling publish across the
+    /// fleet (one replica at a time, stop on first rejection — see
+    /// [`crate::publish`]).
+    fn rolling_publish_report(&self, req: &Json) -> Json {
+        let Some(artifact) = req.get("artifact").and_then(Json::as_str) else {
+            return json::obj([(
+                "error",
+                json::obj([
+                    ("code", Json::Str(codes::BAD_REQUEST.into())),
+                    (
+                        "message",
+                        Json::Str("publish needs \"artifact\" (base64)".into()),
+                    ),
+                ]),
+            )]);
+        };
+        let _rollout = self.publish_lock.lock().expect("publish lock");
+        let report = rolling_publish(&self.pool, artifact);
+        self.publishes.inc();
+        if let Some(addr) = report.rejected_by() {
+            // A rejection is a verdict on the artifact, not the replica:
+            // journal who refused it so the operator knows where the
+            // rollout stopped.
+            self.events.record(
+                "publish_aborted",
+                format!(
+                    "replica {addr} rejected the artifact; rollout stopped after {}/{} replicas",
+                    report.published(),
+                    self.pool.len()
+                ),
+            );
+        } else {
+            self.events.record(
+                "publish",
+                format!(
+                    "rolling publish: {}/{} replicas ok",
+                    report.published(),
+                    self.pool.len()
+                ),
+            );
+        }
+        report.to_json()
+    }
+}
+
+/// The router's admin verbs: the same wire surface as a replica, but
+/// answered fleet-wide (aggregated stats/metrics/events/profile, rolling
+/// publishes, fleet experiment control) instead of locally.
+impl OpHandler for RouterEngine {
+    fn op_stats(&self, _req: &Json) -> Json {
+        self.stats()
+    }
+
+    fn op_metrics(&self, _req: &Json) -> Json {
+        self.metrics()
+    }
+
+    fn op_events(&self, req: &Json) -> Json {
+        self.events_report(req)
+    }
+
+    fn op_profile(&self, _req: &Json) -> Json {
+        self.profile()
+    }
+
+    fn op_publish(&self, req: &Json) -> Json {
+        self.rolling_publish_report(req)
+    }
+
+    fn op_experiment(&self, req: &Json) -> Json {
+        self.experiment(req)
     }
 }
 
@@ -1521,9 +1554,12 @@ impl Router {
         }
     }
 
-    /// Serves until the stop handle fires: a health-probe thread plus one
-    /// handler thread per client connection (shedding over the cap, like
-    /// the replica server).
+    /// Serves until the stop handle fires: a health-probe thread plus
+    /// the shared readiness [`Reactor`] driving every client
+    /// connection off one event-loop thread (shedding over the cap,
+    /// like the replica server). Client concurrency is bounded by file
+    /// descriptors; the reactor's worker pool bounds concurrent
+    /// forwards.
     pub fn run(self) -> std::io::Result<()> {
         let prober = {
             let engine = Arc::clone(&self.engine);
@@ -1541,60 +1577,46 @@ impl Router {
                     .expect("spawn probe thread")
             })
         };
-        let max_connections = self.engine.config.max_connections.max(1);
-        let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for (conn_id, stream) in self.listener.incoming().enumerate() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let mut stream = match stream {
-                Ok(s) => s,
-                Err(e) => {
-                    if self.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    eprintln!("router accept error: {e}");
-                    continue;
-                }
-            };
-            handles.retain(|h| !h.is_finished());
-            if active.load(Ordering::SeqCst) >= max_connections {
-                self.engine.sheds.inc();
-                self.engine
-                    .events
-                    .record("shed", "client connection refused at capacity");
-                let refusal = json::obj([(
-                    "error",
-                    json::obj([
-                        ("code", Json::Str(codes::OVERLOADED.into())),
-                        ("message", Json::Str("router at connection capacity".into())),
-                        ("retryable", Json::Bool(true)),
-                    ]),
-                )]);
-                let _ = writeln!(stream, "{refusal}");
-                continue;
-            }
-            active.fetch_add(1, Ordering::SeqCst);
-            let engine = Arc::clone(&self.engine);
-            let stop = Arc::clone(&self.stop);
-            let active = Arc::clone(&active);
-            let handle = std::thread::Builder::new()
-                .name(format!("smgcn-router-conn-{conn_id}"))
-                .spawn(move || {
-                    handle_client(&engine, stream, &stop, conn_id);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                })
-                .expect("spawn router connection handler");
-            handles.push(handle);
-        }
-        for h in handles {
-            let _ = h.join();
-        }
+        let config = ReactorConfig {
+            max_connections: self.engine.config.max_connections.max(1),
+            ..ReactorConfig::default()
+        };
+        let registry = Arc::clone(&self.engine.registry);
+        let result = Reactor::new(self.listener, self.engine, self.stop, config, &registry).run();
         if let Some(p) = prober {
             let _ = p.join();
         }
-        Ok(())
+        result
+    }
+}
+
+/// The reactor serves the router engine directly, mirroring the
+/// replica side: forwards run on worker threads (blocking on replica
+/// leases is fine there), refusals and drains keep their historical
+/// counters, events, and wire bytes.
+impl Service for RouterEngine {
+    fn handle(&self, line: &str, conn_key: &str) -> String {
+        self.handle_line(line, conn_key)
+    }
+
+    fn shed(&self) -> String {
+        self.sheds.inc();
+        self.events
+            .record("shed", "client connection refused at capacity");
+        json::obj([(
+            "error",
+            json::obj([
+                ("code", Json::Str(codes::OVERLOADED.into())),
+                ("message", Json::Str("router at connection capacity".into())),
+                ("retryable", Json::Bool(true)),
+            ]),
+        )])
+        .to_string()
+    }
+
+    fn on_drain(&self) {
+        self.events
+            .record("drain", "graceful drain: idle client connections closed");
     }
 }
 
@@ -1610,57 +1632,6 @@ impl RouterStopHandle {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(addr) = self.addr {
             let _ = TcpStream::connect(addr);
-        }
-    }
-}
-
-fn handle_client(engine: &RouterEngine, stream: TcpStream, stop: &AtomicBool, conn_id: usize) {
-    let conn_key = format!("conn-{conn_id}");
-    let peer = stream.peer_addr().ok();
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("router connection clone failed for {peer:?}: {e}");
-            return;
-        }
-    });
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => return,
-                Ok(_) => break,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if stop.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-                Err(_) => return,
-            }
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = engine.handle_line(line.trim_end(), &conn_key);
-        if writeln!(writer, "{response}")
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        // Graceful drain, mirroring the replica server: a busy pipelined
-        // client never hits the read timeout, so check after each answer.
-        if stop.load(Ordering::SeqCst) {
-            return;
         }
     }
 }

@@ -73,10 +73,23 @@ impl Stack {
     fn build(workload: &Workload) -> Self {
         match workload.topology {
             Topology::SingleServer => {
+                // A storm scenario holds its whole cohort open at once:
+                // the connection cap needs headroom above the held
+                // fleet plus the steady lane, because a shed during the
+                // storm is itself an SLO violation. The reactor keeps
+                // the cap fd-bounded — its worker pool does not grow
+                // with the cap.
+                let config = match &workload.storm {
+                    Some(spec) => ServerConfig {
+                        max_connections: spec.connections + 256,
+                        ..ServerConfig::default()
+                    },
+                    None => ServerConfig::default(),
+                };
                 let server = spawn_server(
                     synthetic_frozen(N_SYMPTOMS, N_HERBS, DIM, 0),
                     synthetic_vocab(N_SYMPTOMS, N_HERBS, 0),
-                    ServerConfig::default(),
+                    config,
                 );
                 Self {
                     front: server.addr,
@@ -873,6 +886,17 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         }));
     }
 
+    // The storm cohort rides beside the query lanes on its own thread:
+    // it dials the full fleet, holds every connection open until the
+    // horizon, and returns its own executed/failure ledger. Its
+    // latencies never enter the percentile lane — the steady schedule
+    // above is what the p99 budget judges.
+    let storm_handle = workload.storm.map(|spec| {
+        let front = stack.front;
+        let hold_until = run_start + Duration::from_millis(workload.config.measure_ms);
+        std::thread::spawn(move || crate::storm::run(front, &spec, hold_until))
+    });
+
     let (control_result, chaos_timings) = control_lane(&workload, &mut stack, run_start);
 
     let mut latencies = Vec::new();
@@ -885,6 +909,28 @@ pub fn run(workload: &Workload) -> ScenarioReport {
         executed += result.executed;
         failures += result.failures;
         generations.extend(result.generations);
+    }
+    if let Some(handle) = storm_handle {
+        let storm = handle.join().expect("storm thread");
+        let spec = workload.storm.expect("storm handle implies a spec");
+        executed += storm.executed;
+        failures += storm.failures;
+        if storm.opened < spec.connections {
+            validation.violation(format!(
+                "connection storm opened {} of {} planned connections",
+                storm.opened, spec.connections
+            ));
+        }
+        match storm.rss_growth_mb {
+            Some(growth) if growth > spec.max_rss_mb as f64 => {
+                validation.violation(format!(
+                    "connection storm grew resident memory by {growth:.0} MiB, \
+                     budget {} MiB",
+                    spec.max_rss_mb
+                ));
+            }
+            _ => {}
+        }
     }
     let wall_s = run_start.elapsed().as_secs_f64();
     let (p50_us, p99_us) = percentiles_us(&mut latencies);

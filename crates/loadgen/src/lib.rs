@@ -6,11 +6,12 @@
 //! topology, chaos events, SLO contract — executed against the real
 //! stack over real sockets, with every response validated inline:
 //!
-//! - [`scenario`] — the six named scenarios (`steady-zipfian`,
+//! - [`scenario`] — the named scenarios (`steady-zipfian`,
 //!   `flash-crowd`, `ingest-heavy`, `rolling-publish-under-load`,
-//!   `replica-kill`, `fault-storm`) and their deterministic
-//!   construction, including each scenario's seeded fault-injection
-//!   plan (the `fault-storm` scenario installs one via `smgcn-faults`);
+//!   `replica-kill`, `fault-storm`, `ab-canary`, `connection-storm`)
+//!   and their deterministic construction, including each scenario's
+//!   seeded fault-injection plan (the `fault-storm` scenario installs
+//!   one via `smgcn-faults`);
 //! - [`schedule`] — the request schedule: generated single-threaded
 //!   from the seed, byte-identical across runs and thread counts,
 //!   fingerprinted (FNV-1a) into every report;
@@ -21,6 +22,9 @@
 //! - [`engine`] — stands the topology up in-process (servers, router,
 //!   online pipeline), drives the schedule from paced worker threads,
 //!   fires the chaos plan, measures;
+//! - [`storm`] — the connection-storm cohort: 10k+ persistent
+//!   keep-alive connections plus a slow-writer sub-cohort, held open
+//!   against the reactor server for the whole window;
 //! - [`report`] — the machine-readable scenario report, split into a
 //!   deterministic `workload` section (byte-identical per seed) and a
 //!   `measured` section (wall-clock truth, varies run to run).
@@ -36,11 +40,13 @@ pub mod report;
 pub mod scenario;
 pub mod schedule;
 pub mod slo;
+pub mod storm;
 
 pub use engine::{run, run_scenario};
 pub use report::{Measured, ScenarioReport, WorkloadSummary};
 pub use scenario::{
-    build, scrape_interval_ms, AlertPlan, ScenarioConfig, ScenarioKind, Topology, Workload,
+    build, scrape_interval_ms, AlertPlan, ScenarioConfig, ScenarioKind, StormSpec, Topology,
+    Workload,
 };
 pub use schedule::{Op, Request, Schedule};
 pub use slo::{GenCheck, Slo, SloVerdict};

@@ -12,7 +12,7 @@
 
 use smgcn_serve::json::Json;
 
-use crate::scenario::Workload;
+use crate::scenario::{StormSpec, Workload};
 use crate::slo::SloVerdict;
 
 /// Execution measurements for one scenario run.
@@ -118,6 +118,10 @@ pub struct WorkloadSummary {
     /// (`name(expect-fired|expect-silent|observe)`), deterministic per
     /// workload.
     pub alert_rules: Vec<String>,
+    /// Connection-storm cohort label
+    /// (`storm-<conns>-conns-<slow>-slow-writers`); `None` when the
+    /// scenario holds no cohort open.
+    pub storm: Option<String>,
     /// SLO contract rendering.
     pub slo_p99_ms: f64,
     /// Failure budget.
@@ -148,6 +152,7 @@ impl WorkloadSummary {
                 .as_ref()
                 .map(|p| format!("{:016x}", p.digest())),
             alert_rules: w.alerts.describe(),
+            storm: w.storm.as_ref().map(StormSpec::describe),
             slo_p99_ms: w.slo.max_p99_ms,
             slo_max_failures: w.slo.max_failures,
             slo_generation: w.slo.generation_consistency.name().to_string(),
@@ -166,11 +171,16 @@ impl WorkloadSummary {
                 .map(|r| Json::Str(r.clone()))
                 .collect(),
         );
+        let storm = self
+            .storm
+            .as_ref()
+            .map_or(Json::Null, |s| Json::Str(s.clone()));
         format!(
             "{{\n    \"scenario\": {},\n    \"seed\": {},\n    \"measure_ms\": {},\n    \
              \"k\": {},\n    \"n_queries\": {},\n    \"n_ingests\": {},\n    \
              \"schedule_digest\": {},\n    \"topology\": {},\n    \"chaos\": {chaos},\n    \
              \"fault_plan_digest\": {fault_plan},\n    \"alert_rules\": {alert_rules},\n    \
+             \"storm\": {storm},\n    \
              \"slo\": {{\"max_p99_ms\": {}, \"max_failures\": {}, \"generation_consistency\": {}}}\n  }}",
             Json::Str(self.scenario.clone()),
             self.seed,

@@ -32,7 +32,7 @@ pub const CANDIDATE: &str = "canary";
 /// in the client name assigns several of them to the candidate.
 pub const N_CLIENTS: u32 = 24;
 
-/// The seven scenarios.
+/// The eight scenarios.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScenarioKind {
     /// Steady-state load with Zipf-skewed symptom-set popularity against
@@ -61,11 +61,19 @@ pub enum ScenarioKind {
     /// per-variant rankings/generations and a zero error budget are all
     /// asserted.
     AbCanary,
+    /// A connection storm against one reactor server: 10k+ persistent
+    /// keep-alive connections held open for the whole run, a slow-writer
+    /// cohort dribbling request bytes, and a steady query lane whose p99
+    /// must stay within budget. Connections are bounded by file
+    /// descriptors (the readiness reactor), not threads — the scenario
+    /// asserts every connection opens, zero requests fail, the server
+    /// never sheds, and resident memory stays bounded.
+    ConnectionStorm,
 }
 
 impl ScenarioKind {
     /// All scenarios, in suite order.
-    pub fn all() -> [Self; 7] {
+    pub fn all() -> [Self; 8] {
         [
             Self::SteadyZipfian,
             Self::FlashCrowd,
@@ -74,6 +82,7 @@ impl ScenarioKind {
             Self::ReplicaKill,
             Self::FaultStorm,
             Self::AbCanary,
+            Self::ConnectionStorm,
         ]
     }
 
@@ -87,6 +96,7 @@ impl ScenarioKind {
             Self::ReplicaKill => "replica-kill",
             Self::FaultStorm => "fault-storm",
             Self::AbCanary => "ab-canary",
+            Self::ConnectionStorm => "connection-storm",
         }
     }
 
@@ -107,6 +117,9 @@ impl ScenarioKind {
                 "seeded net-fault storm + corrupt publish across 3 replicas under load"
             }
             Self::AbCanary => "90/10 A/B canary split installed and halted across 3 replicas",
+            Self::ConnectionStorm => {
+                "10k+ persistent connections + slow writers against 1 reactor server"
+            }
         }
     }
 }
@@ -124,6 +137,13 @@ pub struct ScenarioConfig {
     pub workers: usize,
     /// Ranking depth per query.
     pub k: usize,
+    /// Override for the connection-storm cohort size. `None` keeps the
+    /// [`StormSpec`] default (10k+). The knob exists for
+    /// fd-constrained hosts: one loadgen process holds **both** ends of
+    /// every storm socket, so the default cohort needs
+    /// `RLIMIT_NOFILE` hard-capped no lower than ~2x the cohort (the
+    /// engine raises the soft limit itself).
+    pub storm_connections: Option<usize>,
 }
 
 impl Default for ScenarioConfig {
@@ -133,6 +153,7 @@ impl Default for ScenarioConfig {
             measure_ms: 2000,
             workers: 8,
             k: 10,
+            storm_connections: None,
         }
     }
 }
@@ -287,6 +308,48 @@ fn availability_rule(measure_ms: u64, bad: &[&str], total: &[&str]) -> SloRule {
     .with_min_window(scrape_interval_ms(measure_ms) * 4)
 }
 
+/// The connection-storm cohort plan: how many persistent keep-alive
+/// connections the engine holds open alongside the scheduled query
+/// lane, how many opener threads share the dialing, how many of the
+/// held connections write their requests one dribbled chunk at a time,
+/// and the resident-memory growth budget the run must stay inside.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Persistent connections held open for the whole measure window.
+    pub connections: usize,
+    /// Opener threads that share dialing + sweeping the cohort.
+    pub openers: usize,
+    /// Of `connections`, how many write requests in dribbled chunks
+    /// (slowloris-shaped writers; the reactor must not let them pin
+    /// buffers or threads). Their latencies are excluded from the
+    /// percentile lane but their failures still count.
+    pub slow_writers: usize,
+    /// Resident-set growth budget (MiB) across the storm, measured
+    /// best-effort from `/proc/self/statm`; exceeded → SLO violation.
+    pub max_rss_mb: usize,
+}
+
+impl Default for StormSpec {
+    fn default() -> Self {
+        Self {
+            connections: 10_240,
+            openers: 16,
+            slow_writers: 512,
+            max_rss_mb: 512,
+        }
+    }
+}
+
+impl StormSpec {
+    /// The report label.
+    pub fn describe(&self) -> String {
+        format!(
+            "storm-{}-conns-{}-slow-writers",
+            self.connections, self.slow_writers
+        )
+    }
+}
+
 /// A fully-planned scenario run: everything but the measurements.
 #[derive(Clone, Debug)]
 pub struct Workload {
@@ -308,6 +371,9 @@ pub struct Workload {
     /// The burn-rate alerting contract evaluated over the run's scraped
     /// metrics history.
     pub alerts: AlertPlan,
+    /// The persistent-connection storm cohort, if the scenario holds
+    /// one open alongside the scheduled lane.
+    pub storm: Option<StormSpec>,
 }
 
 /// Builds the deterministic workload for `kind`. Same `config` in, same
@@ -345,6 +411,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 expect_fired: Vec::new(),
                 expect_silent: vec!["availability-burn".to_string()],
             },
+            storm: None,
         },
         ScenarioKind::FlashCrowd => {
             let mut requests =
@@ -378,6 +445,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     generation_consistency: GenCheck::ExactRankings,
                 },
                 alerts: AlertPlan::default(),
+                storm: None,
             }
         }
         ScenarioKind::IngestHeavy => {
@@ -431,6 +499,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     generation_consistency: GenCheck::Monotone,
                 },
                 alerts: AlertPlan::default(),
+                storm: None,
             }
         }
         ScenarioKind::RollingPublish => Workload {
@@ -449,6 +518,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 generation_consistency: GenCheck::ExactRankings,
             },
             alerts: AlertPlan::default(),
+            storm: None,
         },
         ScenarioKind::ReplicaKill => Workload {
             kind,
@@ -468,6 +538,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
             // A killed replica legitimately drives failover retries; no
             // silence contract here (that would assert the chaos away).
             alerts: AlertPlan::default(),
+            storm: None,
         },
         ScenarioKind::FaultStorm => Workload {
             kind,
@@ -503,6 +574,7 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                 expect_fired: vec!["availability-burn".to_string()],
                 expect_silent: Vec::new(),
             },
+            storm: None,
         },
         ScenarioKind::AbCanary => {
             // Same steady shape as the publish drills, but every query
@@ -547,8 +619,51 @@ pub fn build(kind: ScenarioKind, config: &ScenarioConfig) -> Workload {
                     generation_consistency: GenCheck::VariantRankings,
                 },
                 alerts: AlertPlan::default(),
+                storm: None,
             }
         }
+        ScenarioKind::ConnectionStorm => Workload {
+            kind,
+            config: config.clone(),
+            topology: Topology::SingleServer,
+            // A modest steady lane rides alongside the held-open fleet:
+            // its p99 is what proves the reactor keeps serving promptly
+            // while 10k sockets sit registered and slow writers dribble.
+            schedule: steady_from_pool(&mut rng, &pool, horizon_us, 200, config.k),
+            chaos: Vec::new(),
+            fault_plan: None,
+            slo: Slo {
+                max_p99_ms: 500.0,
+                max_failures: 0,
+                generation_consistency: GenCheck::ExactRankings,
+            },
+            // At 10k held connections against an fd-bounded server with
+            // cap headroom, nothing may shed, reject, or error: the
+            // availability rule must stay silent for the whole run.
+            alerts: AlertPlan {
+                rules: vec![availability_rule(
+                    config.measure_ms,
+                    &[
+                        "serve_sheds_total",
+                        "serve_queue_rejections_total",
+                        "serve_errors_total",
+                    ],
+                    &["serve_requests_total"],
+                )],
+                expect_fired: Vec::new(),
+                expect_silent: vec!["availability-burn".to_string()],
+            },
+            storm: Some(match config.storm_connections {
+                Some(connections) => StormSpec {
+                    connections,
+                    // Keep the slow cohort a fixed fraction when the
+                    // fleet shrinks below the stock shape.
+                    slow_writers: StormSpec::default().slow_writers.min(connections / 20),
+                    ..StormSpec::default()
+                },
+                None => StormSpec::default(),
+            }),
+        },
     }
 }
 
@@ -599,6 +714,7 @@ fn kind_salt(kind: ScenarioKind) -> u64 {
         ScenarioKind::ReplicaKill => 0x05,
         ScenarioKind::FaultStorm => 0x06,
         ScenarioKind::AbCanary => 0x07,
+        ScenarioKind::ConnectionStorm => 0x08,
     }
 }
 

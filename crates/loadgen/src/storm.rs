@@ -1,0 +1,300 @@
+//! The connection-storm cohort: a fleet of persistent keep-alive
+//! connections held open against one reactor server for the whole
+//! measure window.
+//!
+//! The cohort exists to prove the fd-bounded claim of the readiness
+//! reactor: ten thousand registered sockets must cost the server file
+//! descriptors and per-connection buffers, not threads — while a
+//! steady query lane (driven separately by the engine) keeps its p99
+//! inside budget. Three sub-cohorts:
+//!
+//! - **openers** — threads that share the dialing, then sweep their
+//!   connections round-robin with one request in flight each, so every
+//!   held socket stays genuinely active;
+//! - **slow writers** — connections whose requests arrive a few bytes
+//!   at a time with sleeps in between (slowloris-shaped). The reactor
+//!   must buffer the partial lines without dedicating a thread or
+//!   starving the fast lanes; their latencies are never mixed into the
+//!   percentile lane but their failures still count;
+//! - the **resident-memory probe** — `/proc/self/statm` sampled before
+//!   dialing and at peak hold, bounding the whole storm's RSS growth
+//!   (client and server share this process, so the bound covers both
+//!   sides of every socket).
+//!
+//! Everything here measures; the [`crate::scenario::StormSpec`] decides.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smgcn_serve::json;
+
+use crate::scenario::StormSpec;
+
+/// Per-connection read timeout: generous, so a wedged server surfaces
+/// as failed requests rather than a hung cohort.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Bytes per dribbled slow-writer write.
+const SLOW_CHUNK: usize = 3;
+
+/// Sleep between slow-writer chunk rounds.
+const SLOW_PAUSE: Duration = Duration::from_millis(5);
+
+/// What the cohort measured.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StormResult {
+    /// Connections that actually dialed and stayed up.
+    pub opened: usize,
+    /// Requests completed across the cohort (success or failure).
+    pub executed: usize,
+    /// Failed requests (transport errors or error responses).
+    pub failures: usize,
+    /// Resident-set growth across the held window, MiB. `None` when
+    /// `/proc/self/statm` is unavailable (non-Linux).
+    pub rss_growth_mb: Option<f64>,
+}
+
+/// Best-effort `RLIMIT_NOFILE` raise to the hard limit: one process
+/// holds both ends of every storm socket, so the default soft limit
+/// (often 1024) is far below the ~2x`connections` descriptors needed.
+#[cfg(target_os = "linux")]
+fn raise_nofile_limit() {
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: plain-old-data out-param matching the kernel ABI struct.
+    unsafe {
+        if getrlimit(RLIMIT_NOFILE, &mut lim) == 0 && lim.cur < lim.max {
+            lim.cur = lim.max;
+            let _ = setrlimit(RLIMIT_NOFILE, &lim);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn raise_nofile_limit() {}
+
+/// Resident set size in MiB from `/proc/self/statm` (best effort; the
+/// conventional 4 KiB page size is assumed — a bound this coarse does
+/// not need `sysconf`).
+#[cfg(target_os = "linux")]
+fn rss_mb() -> Option<f64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: f64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096.0 / (1024.0 * 1024.0))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn rss_mb() -> Option<f64> {
+    None
+}
+
+/// A deterministic two-symptom query for cohort connection `i`, sweep
+/// round `round` — distinct enough to exercise the scoring path, no RNG
+/// needed.
+fn query_line(i: usize, round: usize) -> String {
+    let a = (i * 7 + round) % crate::scenario::N_SYMPTOMS;
+    let b = (a + 1 + (round % 3)) % crate::scenario::N_SYMPTOMS;
+    if a == b {
+        format!("{{\"symptom_ids\":[{a}],\"k\":10}}")
+    } else {
+        format!("{{\"symptom_ids\":[{a},{b}],\"k\":10}}")
+    }
+}
+
+/// True when `line` is a well-formed non-error response.
+fn response_ok(line: &str) -> bool {
+    json::parse(line.trim()).is_ok_and(|resp| resp.get("error").is_none())
+}
+
+/// One fd per held connection: reads go through the `BufReader`, writes
+/// through its `get_mut()` — cloning the stream for a second handle
+/// would double the cohort's descriptor bill.
+fn dial(front: SocketAddr) -> std::io::Result<BufReader<TcpStream>> {
+    let stream = TcpStream::connect(front)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    Ok(BufReader::new(stream))
+}
+
+/// Opener-thread body: dial `share` connections, bump `opened` for each
+/// that lands, then sweep them round-robin (send, read, next) until
+/// `hold_until`, keeping every socket open the whole time.
+fn opener_loop(
+    front: SocketAddr,
+    share: usize,
+    base_index: usize,
+    opened: Arc<AtomicUsize>,
+    hold_until: Instant,
+) -> (usize, usize) {
+    let mut conns = Vec::with_capacity(share);
+    for i in 0..share {
+        if let Ok(reader) = dial(front) {
+            opened.fetch_add(1, Ordering::Relaxed);
+            conns.push((base_index + i, reader));
+        }
+    }
+    let (mut executed, mut failures) = (0usize, 0usize);
+    let mut line = String::new();
+    let mut round = 0usize;
+    'sweep: loop {
+        for (index, reader) in &mut conns {
+            if Instant::now() >= hold_until {
+                break 'sweep;
+            }
+            executed += 1;
+            let ok = (|| {
+                writeln!(reader.get_mut(), "{}", query_line(*index, round)).ok()?;
+                line.clear();
+                reader.read_line(&mut line).ok()?;
+                response_ok(&line).then_some(())
+            })()
+            .is_some();
+            if !ok {
+                failures += 1;
+            }
+        }
+        if conns.is_empty() {
+            break;
+        }
+        round += 1;
+        // Held-open is the point, not throughput: pause between sweeps
+        // so the cohort idles registered rather than hammering.
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // Conns drop (close) here — after the hold window, by construction.
+    (executed, failures)
+}
+
+/// Slow-writer-thread body: dial `share` connections, then run waves
+/// until `hold_until`. Each wave writes every connection's request a
+/// few bytes at a time with sleeps between chunk rounds — the server
+/// sits on partial lines across the whole wave — then collects the
+/// responses.
+fn slow_writer_loop(
+    front: SocketAddr,
+    share: usize,
+    base_index: usize,
+    opened: Arc<AtomicUsize>,
+    hold_until: Instant,
+) -> (usize, usize) {
+    let mut conns = Vec::with_capacity(share);
+    for i in 0..share {
+        if let Ok(reader) = dial(front) {
+            opened.fetch_add(1, Ordering::Relaxed);
+            conns.push((base_index + i, reader));
+        }
+    }
+    let (mut executed, mut failures) = (0usize, 0usize);
+    let mut line = String::new();
+    let mut round = 0usize;
+    while Instant::now() < hold_until && !conns.is_empty() {
+        let payloads: Vec<Vec<u8>> = conns
+            .iter()
+            .map(|(index, _)| {
+                let mut bytes = query_line(*index, round).into_bytes();
+                bytes.push(b'\n');
+                bytes
+            })
+            .collect();
+        let longest = payloads.iter().map(Vec::len).max().unwrap_or(0);
+        // Dribble: one chunk per connection per round, a sleep between
+        // rounds, so every partial line sits buffered server-side for
+        // tens of milliseconds.
+        let mut offset = 0;
+        while offset < longest {
+            for ((_, reader), payload) in conns.iter_mut().zip(&payloads) {
+                let end = (offset + SLOW_CHUNK).min(payload.len());
+                if offset < end {
+                    let _ = reader.get_mut().write_all(&payload[offset..end]);
+                }
+            }
+            offset += SLOW_CHUNK;
+            std::thread::sleep(SLOW_PAUSE);
+        }
+        for (_, reader) in &mut conns {
+            executed += 1;
+            line.clear();
+            let ok = reader.read_line(&mut line).is_ok() && response_ok(&line);
+            if !ok {
+                failures += 1;
+            }
+        }
+        round += 1;
+    }
+    (executed, failures)
+}
+
+/// Runs the whole cohort against `front`, holding every connection
+/// open until `hold_until`. Blocks for the full window; the engine
+/// runs it on its own thread beside the query lanes.
+pub fn run(front: SocketAddr, spec: &StormSpec, hold_until: Instant) -> StormResult {
+    raise_nofile_limit();
+    let rss_before = rss_mb();
+    let opened = Arc::new(AtomicUsize::new(0));
+    let openers = spec.openers.max(1);
+    let slow_threads = if spec.slow_writers > 0 {
+        (openers / 4).max(1)
+    } else {
+        0
+    };
+    let fast_total = spec.connections.saturating_sub(spec.slow_writers);
+
+    let mut handles = Vec::new();
+    for t in 0..openers {
+        // Spread the remainder across the first few openers.
+        let share = fast_total / openers + usize::from(t < fast_total % openers);
+        let base_index = t * (fast_total / openers + 1);
+        let opened = Arc::clone(&opened);
+        handles.push(std::thread::spawn(move || {
+            opener_loop(front, share, base_index, opened, hold_until)
+        }));
+    }
+    for t in 0..slow_threads {
+        let share =
+            spec.slow_writers / slow_threads + usize::from(t < spec.slow_writers % slow_threads);
+        let base_index = fast_total + t * (spec.slow_writers / slow_threads + 1);
+        let opened = Arc::clone(&opened);
+        handles.push(std::thread::spawn(move || {
+            slow_writer_loop(front, share, base_index, opened, hold_until)
+        }));
+    }
+
+    // Sample peak RSS while the fleet is fully dialed and still held:
+    // wait for every connection to land (or the window to near its
+    // end), then read the probe with the sockets all open.
+    let sample_by = hold_until
+        .checked_sub(Duration::from_millis(100))
+        .unwrap_or(hold_until);
+    while Instant::now() < sample_by && opened.load(Ordering::Relaxed) < spec.connections {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let rss_peak = rss_mb();
+
+    let (mut executed, mut failures) = (0usize, 0usize);
+    for handle in handles {
+        let (e, f) = handle.join().expect("storm thread");
+        executed += e;
+        failures += f;
+    }
+    StormResult {
+        opened: opened.load(Ordering::Relaxed),
+        executed,
+        failures,
+        rss_growth_mb: match (rss_before, rss_peak) {
+            (Some(before), Some(peak)) => Some((peak - before).max(0.0)),
+            _ => None,
+        },
+    }
+}

@@ -40,7 +40,9 @@ proptest! {
         workers_b in 6usize..40,
     ) {
         for kind in ScenarioKind::all() {
-            let config_a = ScenarioConfig { seed, measure_ms, workers: workers_a, k: 10 };
+            let config_a = ScenarioConfig {
+                seed, measure_ms, workers: workers_a, k: 10, storm_connections: None,
+            };
             let config_b = ScenarioConfig { workers: workers_b, ..config_a.clone() };
 
             // Same run config twice: byte-identical canonical schedule.
@@ -93,6 +95,7 @@ fn executed_runs_reproduce_the_deterministic_report() {
         measure_ms: 300,
         workers: 4,
         k: 10,
+        storm_connections: None,
     };
     let first = smgcn_loadgen::run_scenario(ScenarioKind::SteadyZipfian, &config);
     let wide = smgcn_loadgen::run_scenario(

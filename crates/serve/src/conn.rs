@@ -1,0 +1,333 @@
+//! Per-connection state machine for the readiness reactor.
+//!
+//! A [`Connection`] owns one nonblocking client socket plus the two
+//! buffers the reactor drives it through: a read buffer that NDJSON
+//! request lines are sliced out of without re-copying the tail more
+//! than once, and a write buffer holding at most **one** pending
+//! response. That one-response bound is the write-backpressure rule
+//! that makes slow readers harmless: a client that pipelines requests
+//! but never drains responses can pin at most one response worth of
+//! memory, and the reactor's write deadline closes it if the buffered
+//! response does not drain in time.
+//!
+//! Wire parity notes (the reactor must be byte-identical to the old
+//! thread-per-connection loop):
+//! - blank lines are skipped, not answered;
+//! - request lines are handed to the engine with trailing whitespace
+//!   (including `\r`) trimmed, exactly as `trim_end` did before;
+//! - a final unterminated line at EOF is still served (the old
+//!   `read_line` returned the partial line before reporting EOF);
+//! - invalid UTF-8 closes the connection (the old `BufRead::read_line`
+//!   errored the stream).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Hard cap on buffered, not-yet-answered request bytes for one
+/// connection. Publish artifacts arrive as a single base64 line, so
+/// the cap is deliberately generous; a connection that manages to
+/// exceed it without ever completing a line is not speaking the
+/// protocol and is closed.
+pub const MAX_READ_BUF: usize = 64 * 1024 * 1024;
+
+/// One client connection owned by the reactor: socket, buffers, and
+/// the in-flight flag that serializes request dispatch.
+pub struct Connection {
+    stream: TcpStream,
+    /// The variant split plan's sticky-key fallback for requests
+    /// without a `"client"` id: stable for the connection's lifetime.
+    conn_key: String,
+    /// Guards stale worker completions after this slab slot is reused.
+    epoch: u64,
+    read_buf: Vec<u8>,
+    /// Prefix of `read_buf` already scanned for a newline.
+    scanned: usize,
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written to the socket.
+    written: usize,
+    /// True between dispatching a request to a worker and queueing its
+    /// response; at most one request per connection is in flight.
+    in_flight: bool,
+    eof: bool,
+    /// When the current response first failed to flush completely; the
+    /// reactor closes the connection once this exceeds its write
+    /// deadline.
+    stalled_since: Option<Instant>,
+    /// The readiness interest currently registered with the poller
+    /// (bitmask of the reactor's `EVENT_READ` / `EVENT_WRITE`).
+    interest: u32,
+}
+
+impl Connection {
+    /// Wraps an accepted (already nonblocking) stream.
+    pub fn new(stream: TcpStream, conn_key: String, epoch: u64) -> Self {
+        Self {
+            stream,
+            conn_key,
+            epoch,
+            read_buf: Vec::new(),
+            scanned: 0,
+            write_buf: Vec::new(),
+            written: 0,
+            in_flight: false,
+            eof: false,
+            stalled_since: None,
+            interest: 0,
+        }
+    }
+
+    /// The sticky per-connection key (`conn-{id}`).
+    pub fn conn_key(&self) -> &str {
+        &self.conn_key
+    }
+
+    /// The slab-reuse guard attached to this connection's jobs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The raw fd for poller registration.
+    #[cfg(unix)]
+    pub fn raw_fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    /// The currently registered poller interest bitmask.
+    pub fn interest(&self) -> u32 {
+        self.interest
+    }
+
+    /// Records the poller interest bitmask after a successful modify.
+    pub fn set_interest(&mut self, interest: u32) {
+        self.interest = interest;
+    }
+
+    /// Drains the socket into the read buffer until it would block,
+    /// hits EOF, or the buffer reaches [`MAX_READ_BUF`]. Errors mean
+    /// the peer is gone and the connection should be closed.
+    pub fn on_readable(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if self.read_buf.len() >= MAX_READ_BUF {
+                return Ok(()); // paused; `next_line` decides if this is fatal
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(());
+                }
+                Ok(n) => self.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Extracts the next non-blank complete request line, trimmed of
+    /// trailing whitespace. Returns `Ok(None)` when no complete line
+    /// is buffered yet, and an error when the connection is no longer
+    /// speaking the protocol (invalid UTF-8, or a single line that
+    /// exceeded [`MAX_READ_BUF`]).
+    pub fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            match self.read_buf[self.scanned..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                Some(off) => {
+                    let end = self.scanned + off;
+                    let line = match std::str::from_utf8(&self.read_buf[..end]) {
+                        Ok(s) => s.trim_end().to_string(),
+                        Err(_) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "request line is not valid UTF-8",
+                            ))
+                        }
+                    };
+                    self.read_buf.drain(..=end);
+                    self.scanned = 0;
+                    if line.trim().is_empty() {
+                        continue; // blank lines are skipped, same as before
+                    }
+                    return Ok(Some(line));
+                }
+                None => {
+                    self.scanned = self.read_buf.len();
+                    if self.read_buf.len() >= MAX_READ_BUF {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "request line exceeds the per-connection buffer cap",
+                        ));
+                    }
+                    // Old-loop parity: `read_line` returned a final
+                    // unterminated line before reporting EOF.
+                    if self.eof && !self.read_buf.is_empty() {
+                        let line = match std::str::from_utf8(&self.read_buf) {
+                            Ok(s) => s.trim_end().to_string(),
+                            Err(_) => {
+                                return Err(io::Error::new(
+                                    io::ErrorKind::InvalidData,
+                                    "request line is not valid UTF-8",
+                                ))
+                            }
+                        };
+                        self.read_buf.clear();
+                        self.scanned = 0;
+                        if !line.trim().is_empty() {
+                            return Ok(Some(line));
+                        }
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Marks a request as dispatched to a worker; no further lines are
+    /// handed out until [`Connection::queue_response`] clears it.
+    pub fn begin_request(&mut self) {
+        self.in_flight = true;
+    }
+
+    /// Whether a request is currently out with a worker.
+    pub fn in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Buffers a response line (newline appended) and clears the
+    /// in-flight flag. The reactor's dispatch gating guarantees the
+    /// write buffer is empty when this is called.
+    pub fn queue_response(&mut self, response: &str) {
+        debug_assert!(self.write_buf.is_empty());
+        self.write_buf.extend_from_slice(response.as_bytes());
+        self.write_buf.push(b'\n');
+        self.written = 0;
+        self.in_flight = false;
+    }
+
+    /// Writes buffered response bytes until done or the socket would
+    /// block. Returns `Ok(true)` when the buffer fully drained. A
+    /// partial flush starts (or keeps) the stall clock that backs the
+    /// reactor's write deadline.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket closed mid-response",
+                    ))
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+            self.stalled_since = None;
+            Ok(true)
+        } else {
+            if self.stalled_since.is_none() {
+                self.stalled_since = Some(Instant::now());
+            }
+            Ok(false)
+        }
+    }
+
+    /// Whether response bytes are waiting on the socket to accept them.
+    pub fn wants_write(&self) -> bool {
+        self.written < self.write_buf.len()
+    }
+
+    /// Whether the read side is paused at the buffer cap.
+    pub fn read_saturated(&self) -> bool {
+        self.read_buf.len() >= MAX_READ_BUF
+    }
+
+    /// Whether the peer half-closed (no more request bytes coming).
+    pub fn is_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Idle means safe to close immediately during a drain: no request
+    /// out with a worker and no response bytes left to deliver.
+    pub fn is_idle(&self) -> bool {
+        !self.in_flight && self.write_buf.is_empty()
+    }
+
+    /// How long the current response has been stuck behind a
+    /// non-reading peer (zero when writes are flowing).
+    pub fn stalled_for(&self, now: Instant) -> Duration {
+        self.stalled_since
+            .map(|t| now.saturating_duration_since(t))
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(l.local_addr().unwrap()).unwrap();
+        let (b, _) = l.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn slices_lines_and_skips_blanks() {
+        let (mut client, server) = pair();
+        let mut conn = Connection::new(server, "conn-0".into(), 1);
+        client
+            .write_all(b"{\"a\":1}\r\n\n  \n{\"b\":2}\n{\"part")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.on_readable().unwrap();
+        assert_eq!(conn.next_line().unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(conn.next_line().unwrap().as_deref(), Some("{\"b\":2}"));
+        assert_eq!(conn.next_line().unwrap(), None, "partial line held back");
+        // EOF flushes the unterminated tail, like read_line did.
+        client.write_all(b"ial\"}").unwrap();
+        drop(client);
+        std::thread::sleep(Duration::from_millis(50));
+        conn.on_readable().unwrap();
+        assert!(conn.is_eof());
+        assert_eq!(conn.next_line().unwrap().as_deref(), Some("{\"partial\"}"));
+        assert_eq!(conn.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn invalid_utf8_is_fatal() {
+        let (mut client, server) = pair();
+        let mut conn = Connection::new(server, "conn-0".into(), 1);
+        client.write_all(&[0xFF, 0xFE, b'\n']).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        conn.on_readable().unwrap();
+        assert!(conn.next_line().is_err());
+    }
+
+    #[test]
+    fn one_response_backpressure_and_stall_clock() {
+        let (_client, server) = pair();
+        let mut conn = Connection::new(server, "conn-0".into(), 1);
+        conn.begin_request();
+        assert!(conn.in_flight());
+        conn.queue_response("{\"ok\":true}");
+        assert!(!conn.in_flight());
+        assert!(conn.wants_write());
+        // A tiny response flushes straight into the socket buffer.
+        assert!(conn.flush().unwrap());
+        assert!(conn.is_idle());
+        assert_eq!(conn.stalled_for(Instant::now()), Duration::ZERO);
+    }
+}

@@ -30,14 +30,22 @@
 //!   retryability classification, so serve and cluster can't drift;
 //! - [`integrity`] — the CRC32 used by both the publish-artifact trailer
 //!   and the ingest WAL's record framing;
-//! - [`server`] — a multi-threaded `std::net` TCP loop speaking
-//!   newline-delimited JSON (`smgcn serve`).
+//! - [`reactor`] — a dependency-free epoll/poll readiness reactor:
+//!   one event-loop thread owns all socket I/O, a fixed worker pool
+//!   runs handlers, so concurrent connections are bounded by file
+//!   descriptors rather than threads;
+//! - [`conn`] — the per-connection NDJSON framing state machine with
+//!   one-response write-backpressure, shared by the replica server
+//!   and the cluster router;
+//! - [`server`] — the `std::net` TCP server speaking newline-delimited
+//!   JSON over the reactor (`smgcn serve`).
 
 #![warn(missing_docs)]
 
 pub mod artifact;
 pub mod batcher;
 pub mod cache;
+pub mod conn;
 pub mod errors;
 pub mod frozen;
 pub mod integrity;
@@ -48,6 +56,8 @@ pub mod histogram {
     pub use smgcn_obs::histogram::*;
 }
 pub mod json;
+pub mod ops;
+pub mod reactor;
 pub mod server;
 pub mod slot;
 pub mod topk;
@@ -55,9 +65,12 @@ pub mod variants;
 
 pub use batcher::{Batcher, BatcherConfig, ScoreTimings};
 pub use cache::{GenCacheStats, GenerationalCache, LruCache};
+pub use conn::Connection;
 pub use errors::{codes, is_retryable};
 pub use frozen::{FrozenError, FrozenModel};
 pub use histogram::{LatencyHistogram, LatencySnapshot};
+pub use ops::{AdminOp, ApiError, OpHandler};
+pub use reactor::{Reactor, ReactorConfig, Service};
 pub use server::{Server, ServerConfig, ServingVocab};
 pub use slot::{Generation, ModelSlot};
 pub use topk::partial_top_k;

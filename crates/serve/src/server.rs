@@ -1,8 +1,10 @@
-//! Multi-threaded TCP serving loop (`smgcn serve`).
+//! The replica TCP server (`smgcn serve`).
 //!
-//! Std-only: a `TcpListener` accept loop hands connections to a
-//! fixed-size thread pool. The wire protocol is newline-delimited JSON —
-//! one request object per line, one response object per line:
+//! Std-only: a nonblocking `TcpListener` driven by the readiness
+//! [`Reactor`](crate::reactor) — one event-loop thread owns every
+//! socket, a fixed worker pool runs the handlers. The wire protocol is
+//! newline-delimited JSON — one request object per line, one response
+//! object per line:
 //!
 //! ```text
 //! -> {"symptoms": ["s12", "s3"], "k": 10}
@@ -25,7 +27,6 @@
 //! entries lazily through the tag rather than flushing under the lock.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -36,13 +37,15 @@ use smgcn_obs::{
     Sample, SampleValue, Sampler, SpanRecord, TraceBuilder, TraceJournal, TraceRecord,
 };
 
-use smgcn_experiment::{SplitPlan, CONTROL};
+use smgcn_experiment::CONTROL;
 
 use crate::batcher::{Batcher, BatcherConfig, ScoreTimings};
 use crate::cache::{GenerationalCache, QueryKey};
 use crate::errors::codes;
 use crate::frozen::{FrozenError, FrozenModel};
 use crate::json::{self, Json};
+use crate::ops::{AdminOp, ApiError, OpHandler};
+use crate::reactor::{Reactor, ReactorConfig, Service};
 use crate::slot::{Generation, ModelSlot};
 use crate::topk::partial_top_k;
 use crate::variants::{DuelSample, VariantEntry, VariantObs, VariantTable};
@@ -104,10 +107,11 @@ impl ServingVocab {
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Maximum concurrent connections, each served by its own handler
-    /// thread (connections beyond the cap get a one-line JSON error and
-    /// are closed). Micro-batching packs the in-flight requests of all
-    /// open connections, so this also bounds the largest possible batch.
+    /// Maximum concurrent connections (connections beyond the cap get
+    /// a one-line JSON error and are closed). The reactor bounds this
+    /// by file descriptors, not threads, so tens of thousands of
+    /// persistent connections are fine; the worker pool — not this
+    /// cap — bounds the largest possible micro-batch.
     pub max_connections: usize,
     /// Default ranking depth when a request omits `k`.
     pub default_k: usize,
@@ -149,93 +153,52 @@ impl Default for ServerConfig {
     }
 }
 
-/// A structured protocol error: a machine-readable code plus a message.
-/// Serialised as `{"error": {"code": …, "message": …}}` so clients can
-/// branch on the code without parsing prose.
-struct ApiError {
-    code: &'static str,
-    message: String,
-    /// Overload sheds (`overloaded`, `queue_full`) are transient and the
-    /// request was never scored — a router may safely replay it on
-    /// another replica. Client bugs (bad ids, bad JSON) are not.
-    retryable: bool,
-}
-
-impl ApiError {
-    fn new(code: &'static str, message: impl Into<String>) -> Self {
-        Self {
-            code,
-            message: message.into(),
-            retryable: false,
-        }
-    }
-
-    fn retryable(code: &'static str, message: impl Into<String>) -> Self {
-        Self {
-            code,
-            message: message.into(),
-            retryable: true,
-        }
-    }
-
-    fn to_json(&self) -> Json {
-        let mut fields = vec![
-            ("code", Json::Str(self.code.to_string())),
-            ("message", Json::Str(self.message.clone())),
-        ];
-        if self.retryable {
-            fields.push(("retryable", Json::Bool(true)));
-        }
-        json::obj([("error", json::obj(fields))])
-    }
-}
-
 /// The serving side of the telemetry plane: the registry plus
 /// pre-registered hot-path handles, the event journal, and the trace
 /// journal with its background sampler.
-struct ServeObs {
-    registry: Arc<Registry>,
-    events: Arc<EventJournal>,
-    traces: Arc<TraceJournal>,
-    sampler: Sampler,
-    cache_hits: Counter,
-    cache_misses: Counter,
-    publishes: Counter,
+pub(crate) struct ServeObs {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) events: Arc<EventJournal>,
+    pub(crate) traces: Arc<TraceJournal>,
+    pub(crate) sampler: Sampler,
+    pub(crate) cache_hits: Counter,
+    pub(crate) cache_misses: Counter,
+    pub(crate) publishes: Counter,
     /// Publish artifacts rejected before touching the live generation
     /// (bad base64, bad magic/version, checksum mismatch, bad payload).
-    publish_rejected: Counter,
+    pub(crate) publish_rejected: Counter,
     /// Requests shed because their `deadline_ms` budget expired before
     /// scoring.
-    deadline_sheds: Counter,
-    traced: Counter,
+    pub(crate) deadline_sheds: Counter,
+    pub(crate) traced: Counter,
     /// Trace records evicted from the bounded journal ring to admit a
     /// newer one (tail-sampling visibility: a non-zero rate here means
     /// the journal is cycling and old traces are gone).
-    traces_dropped: Counter,
-    batch_size: Arc<LatencyHistogram>,
-    queue_wait_us: Arc<LatencyHistogram>,
-    gemm_us: Arc<LatencyHistogram>,
-    topk_us: Arc<LatencyHistogram>,
+    pub(crate) traces_dropped: Counter,
+    pub(crate) batch_size: Arc<LatencyHistogram>,
+    pub(crate) queue_wait_us: Arc<LatencyHistogram>,
+    pub(crate) gemm_us: Arc<LatencyHistogram>,
+    pub(crate) topk_us: Arc<LatencyHistogram>,
     /// The continuous profiler behind `{"op":"profile"}`; pre-resolved
     /// handles below keep the hot path at one relaxed add per phase.
-    profiler: Arc<Profiler>,
-    profile_enabled: bool,
-    prof_parse: ProfileHandle,
-    prof_resolve: ProfileHandle,
-    prof_cache_hit: ProfileHandle,
-    prof_cache_miss: ProfileHandle,
-    prof_queue: ProfileHandle,
-    prof_batch: ProfileHandle,
-    prof_gemm: ProfileHandle,
-    prof_topk: ProfileHandle,
-    prof_respond: ProfileHandle,
+    pub(crate) profiler: Arc<Profiler>,
+    pub(crate) profile_enabled: bool,
+    pub(crate) prof_parse: ProfileHandle,
+    pub(crate) prof_resolve: ProfileHandle,
+    pub(crate) prof_cache_hit: ProfileHandle,
+    pub(crate) prof_cache_miss: ProfileHandle,
+    pub(crate) prof_queue: ProfileHandle,
+    pub(crate) prof_batch: ProfileHandle,
+    pub(crate) prof_gemm: ProfileHandle,
+    pub(crate) prof_topk: ProfileHandle,
+    pub(crate) prof_respond: ProfileHandle,
     /// Admin verbs and error paths: wall time that is measured by the
     /// latency histogram but has no ranking-phase breakdown.
-    prof_other: ProfileHandle,
+    pub(crate) prof_other: ProfileHandle,
     /// Cached p90 of the since-start latency distribution, refreshed
     /// every [`SLOW_REFRESH_EVERY`] requests; requests slower than this
     /// are force-retained in the trace journal (tail-based sampling).
-    slow_threshold_us: AtomicU64,
+    pub(crate) slow_threshold_us: AtomicU64,
 }
 
 /// How often (in requests) the slow-trace retention threshold is
@@ -301,23 +264,26 @@ struct TraceWork {
     trace_id: Option<String>,
 }
 
-struct Engine {
-    slot: Arc<ModelSlot>,
-    batcher: Batcher,
-    cache: Option<Mutex<GenerationalCache<QueryKey, Vec<u32>>>>,
+/// The replica's request-handling core: model slot, batcher, cache,
+/// experiment plane and telemetry. Shared across the reactor's worker
+/// threads; the admin-verb bodies live in [`crate::ops`].
+pub(crate) struct Engine {
+    pub(crate) slot: Arc<ModelSlot>,
+    pub(crate) batcher: Batcher,
+    pub(crate) cache: Option<Mutex<GenerationalCache<QueryKey, Vec<u32>>>>,
     /// The experiment plane: named candidate slots next to the control
     /// slot above, the active split plan, and the duel-sample journal.
-    variants: VariantTable,
-    config: ServerConfig,
-    started: Instant,
-    requests: Counter,
+    pub(crate) variants: VariantTable,
+    pub(crate) config: ServerConfig,
+    pub(crate) started: Instant,
+    pub(crate) requests: Counter,
     /// Connections refused at the accept loop (`overloaded`).
-    sheds: Counter,
+    pub(crate) sheds: Counter,
     /// Requests shed by the bounded scoring queue (`queue_full`).
-    queue_rejections: Counter,
+    pub(crate) queue_rejections: Counter,
     /// Per-request wall time, request line in to response object out.
-    latency: Arc<LatencyHistogram>,
-    obs: ServeObs,
+    pub(crate) latency: Arc<LatencyHistogram>,
+    pub(crate) obs: ServeObs,
 }
 
 impl Engine {
@@ -556,327 +522,6 @@ impl Engine {
         }
     }
 
-    /// The `/stats` operation: model generation, cache counters, uptime.
-    fn stats(&self) -> Json {
-        let generation = self.slot.load();
-        let mut fields = vec![
-            ("generation", Json::Num(generation.number as f64)),
-            (
-                "model",
-                json::obj([
-                    ("symptoms", Json::Num(generation.model.n_symptoms() as f64)),
-                    ("herbs", Json::Num(generation.model.n_herbs() as f64)),
-                    ("dim", Json::Num(generation.model.dim() as f64)),
-                ]),
-            ),
-            ("uptime_s", Json::Num(self.started.elapsed().as_secs_f64())),
-            ("requests", Json::Num(self.requests.get() as f64)),
-            ("sheds", Json::Num(self.sheds.get() as f64)),
-            (
-                "queue_rejections",
-                Json::Num(self.queue_rejections.get() as f64),
-            ),
-        ];
-        let latency = self.latency.snapshot();
-        fields.push((
-            "latency",
-            json::obj([
-                ("count", Json::Num(latency.count as f64)),
-                ("p50_us", Json::Num(latency.quantile_us(0.50))),
-                ("p99_us", Json::Num(latency.quantile_us(0.99))),
-                ("mean_us", Json::Num(latency.mean_us())),
-            ]),
-        ));
-        if let Some(cache) = &self.cache {
-            let stats = cache.lock().expect("cache lock").stats();
-            fields.push((
-                "cache",
-                json::obj([
-                    ("hits", Json::Num(stats.hits as f64)),
-                    ("misses", Json::Num(stats.misses as f64)),
-                    ("stale", Json::Num(stats.stale as f64)),
-                    ("hit_rate", Json::Num(stats.hit_rate())),
-                ]),
-            ));
-        }
-        json::obj(fields)
-    }
-
-    /// The `{"op":"publish","artifact":"<base64>"}` admin verb: swaps in
-    /// a new model generation shipped over the wire as a
-    /// [`crate::artifact`] blob. A malformed artifact is rejected without
-    /// touching the live generation; success reports the generation that
-    /// is now serving so a rolling coordinator can verify the cutover.
-    fn publish(&self, req: &Json) -> Result<Json, ApiError> {
-        let text = req.get("artifact").and_then(Json::as_str).ok_or_else(|| {
-            ApiError::new(codes::BAD_REQUEST, "publish needs \"artifact\" (base64)")
-        })?;
-        let reject = |e: ApiError| {
-            self.obs.publish_rejected.inc();
-            self.obs.events.record(
-                "publish_rejected",
-                format!(
-                    "artifact rejected, live generation untouched: {}",
-                    e.message
-                ),
-            );
-            e
-        };
-        let bytes = crate::artifact::from_base64(text).map_err(|e| {
-            reject(ApiError::new(
-                codes::BAD_ARTIFACT,
-                format!("artifact is not base64: {e}"),
-            ))
-        })?;
-        let generation = self
-            .slot
-            .publish_bytes(&bytes)
-            .map_err(|e| reject(ApiError::new(codes::BAD_ARTIFACT, e.to_string())))?;
-        let now = self.slot.load();
-        self.obs.publishes.inc();
-        self.obs.registry.gauge("serve_generation").set(generation);
-        self.obs.events.record(
-            "publish",
-            format!("generation {generation} published over the wire"),
-        );
-        Ok(json::obj([
-            ("published", Json::Bool(true)),
-            ("generation", Json::Num(generation as f64)),
-            ("symptoms", Json::Num(now.model.n_symptoms() as f64)),
-            ("herbs", Json::Num(now.model.n_herbs() as f64)),
-        ]))
-    }
-
-    /// The `{"op":"experiment"}` admin verb — the replica half of the
-    /// experiment plane. Actions:
-    ///
-    /// - `"publish"` — decode an artifact into the named candidate slot
-    ///   (created on first publish); rejection semantics match the
-    ///   control publish verb, the candidate's live generation is never
-    ///   touched by a damaged artifact;
-    /// - `"install"` — install/update a split plan from its canonical
-    ///   string; rejected atomically if any weighted variant has no
-    ///   published slot here;
-    /// - `"halt"` — drop the plan, collapsing all split traffic to
-    ///   control instantly (candidates stay resident);
-    /// - `"promote-local"` — re-point the candidate's current
-    ///   model+vocab into the control slot as a new generation;
-    /// - `"status"` — plan, per-variant generation/weight, duel count;
-    /// - `"samples"` — the journaled duel samples (optional `"limit"`).
-    fn experiment(&self, req: &Json) -> Result<Json, ApiError> {
-        let variant_of = |req: &Json| -> Result<String, ApiError> {
-            match req.get("variant").and_then(Json::as_str) {
-                Some(name) if name != CONTROL => Ok(name.to_string()),
-                Some(_) => Err(ApiError::new(
-                    codes::BAD_REQUEST,
-                    "the control slot is managed by {\"op\":\"publish\"}",
-                )),
-                None => Err(ApiError::new(
-                    codes::BAD_REQUEST,
-                    "experiment action needs \"variant\"",
-                )),
-            }
-        };
-        match req.get("action").and_then(Json::as_str) {
-            Some("publish") => {
-                let name = variant_of(req)?;
-                let text = req.get("artifact").and_then(Json::as_str).ok_or_else(|| {
-                    ApiError::new(codes::BAD_REQUEST, "publish needs \"artifact\" (base64)")
-                })?;
-                let reject = |e: ApiError| {
-                    self.obs.publish_rejected.inc();
-                    self.obs.events.record(
-                        "experiment_publish_rejected",
-                        format!("candidate {name:?} artifact rejected: {}", e.message),
-                    );
-                    e
-                };
-                let bytes = crate::artifact::from_base64(text).map_err(|e| {
-                    reject(ApiError::new(
-                        codes::BAD_ARTIFACT,
-                        format!("artifact is not base64: {e}"),
-                    ))
-                })?;
-                let (model, vocab) = crate::artifact::decode(&bytes)
-                    .map_err(|e| reject(ApiError::new(codes::BAD_ARTIFACT, e.to_string())))?;
-                let generation = self.variants.publish(&name, model, vocab);
-                self.obs.publishes.inc();
-                self.obs.events.record(
-                    "experiment_publish",
-                    format!("candidate {name:?} at generation {generation}"),
-                );
-                Ok(json::obj([
-                    ("published", Json::Bool(true)),
-                    ("variant", Json::Str(name)),
-                    ("generation", Json::Num(generation as f64)),
-                ]))
-            }
-            Some("install") => {
-                let text = req.get("plan").and_then(Json::as_str).ok_or_else(|| {
-                    ApiError::new(
-                        codes::BAD_REQUEST,
-                        "install needs \"plan\" (canonical string)",
-                    )
-                })?;
-                let plan = SplitPlan::from_canonical(text)
-                    .map_err(|e| ApiError::new(codes::BAD_PLAN, e.to_string()))?;
-                let plan = self
-                    .variants
-                    .install(plan)
-                    .map_err(|e| ApiError::new(codes::UNKNOWN_VARIANT, e))?;
-                self.obs.events.record(
-                    "experiment_install",
-                    format!(
-                        "split plan v{} installed ({})",
-                        plan.version(),
-                        plan.weights()
-                            .iter()
-                            .map(|(n, w)| format!("{n}:{w}"))
-                            .collect::<Vec<_>>()
-                            .join(",")
-                    ),
-                );
-                Ok(json::obj([
-                    ("installed", Json::Bool(true)),
-                    ("version", Json::Num(plan.version() as f64)),
-                    ("digest", Json::Str(format!("{:016x}", plan.digest()))),
-                ]))
-            }
-            Some("halt") => {
-                let had_plan = self.variants.halt();
-                if had_plan {
-                    self.obs
-                        .events
-                        .record("experiment_halt", "split plan dropped, traffic on control");
-                }
-                Ok(json::obj([("halted", Json::Bool(had_plan))]))
-            }
-            Some("promote-local") => {
-                let name = variant_of(req)?;
-                let entry = self.variants.get(&name).ok_or_else(|| {
-                    ApiError::new(
-                        codes::UNKNOWN_VARIANT,
-                        format!("variant {name:?} is not served by this replica"),
-                    )
-                })?;
-                let candidate = entry.slot.load();
-                let generation = self
-                    .slot
-                    .publish_shared(Arc::clone(&candidate.model), Arc::clone(&candidate.vocab));
-                self.obs.publishes.inc();
-                self.obs.registry.gauge("serve_generation").set(generation);
-                self.obs.events.record(
-                    "experiment_promote",
-                    format!("candidate {name:?} promoted to control generation {generation}"),
-                );
-                Ok(json::obj([
-                    ("promoted", Json::Bool(true)),
-                    ("variant", Json::Str(name)),
-                    ("generation", Json::Num(generation as f64)),
-                ]))
-            }
-            Some("status") => Ok(self.variants.status_json(self.slot.generation())),
-            Some("samples") => {
-                let limit = match req.get("limit").and_then(Json::as_num) {
-                    Some(n) if n >= 1.0 => n as usize,
-                    _ => usize::MAX,
-                };
-                let samples = self
-                    .variants
-                    .recent_duels(limit)
-                    .iter()
-                    .map(DuelSample::to_json)
-                    .collect();
-                Ok(json::obj([
-                    ("samples", Json::Arr(samples)),
-                    ("duels_total", Json::Num(self.variants.duels_total() as f64)),
-                ]))
-            }
-            other => Err(ApiError::new(
-                codes::BAD_REQUEST,
-                format!("unknown experiment action {other:?}"),
-            )),
-        }
-    }
-
-    /// The `{"op":"metrics"}` admin verb: a structured snapshot of every
-    /// registered metric (`"format":"prometheus"` returns the text
-    /// exposition instead). Gauges derived from other subsystems are
-    /// synced here, at read time.
-    fn metrics(&self, req: &Json) -> Json {
-        let generation = self.slot.load();
-        self.variants.sync_gauges(generation.number);
-        self.obs
-            .registry
-            .gauge("serve_generation")
-            .set(generation.number);
-        if let Some(cache) = &self.cache {
-            let stats = cache.lock().expect("cache lock").stats();
-            self.obs
-                .registry
-                .gauge("serve_cache_stale")
-                .set(stats.stale);
-        }
-        if req.get("format").and_then(Json::as_str) == Some("prometheus") {
-            return json::obj([("prometheus", Json::Str(self.obs.registry.to_prometheus()))]);
-        }
-        json::obj([
-            ("generation", Json::Num(generation.number as f64)),
-            ("metrics", samples_to_json(&self.obs.registry.samples())),
-            (
-                "traces_recorded",
-                Json::Num(self.obs.traces.recorded_total() as f64),
-            ),
-            ("events_total", Json::Num(self.obs.events.total() as f64)),
-        ])
-    }
-
-    /// The `{"op":"profile"}` admin verb: the continuous profiler's
-    /// cumulative folded stacks (`stack;frames <µs>` lines, the
-    /// flamegraph-collapsed format) plus the latency histogram's
-    /// since-start wall-time sum, so a caller can check what fraction of
-    /// the measured request time the stacks account for.
-    fn profile_report(&self) -> Json {
-        let latency = self.latency.snapshot();
-        json::obj([
-            ("generation", Json::Num(self.slot.load().number as f64)),
-            ("folded", Json::Str(self.obs.profiler.fold())),
-            (
-                "profile_total_us",
-                Json::Num(self.obs.profiler.total_us() as f64),
-            ),
-            ("latency_total_us", Json::Num(latency.total_sum_us as f64)),
-            ("enabled", Json::Bool(self.obs.profile_enabled)),
-        ])
-    }
-
-    /// The `{"op":"events"}` admin verb: the tail of the event journal
-    /// (optional `"limit"`, default 64).
-    fn events_report(&self, req: &Json) -> Json {
-        let limit = match req.get("limit").and_then(Json::as_num) {
-            Some(n) if n >= 1.0 => n as usize,
-            _ => 64,
-        };
-        let events = self
-            .obs
-            .events
-            .recent(limit)
-            .iter()
-            .map(|e| {
-                json::obj([
-                    ("seq", Json::Num(e.seq as f64)),
-                    ("unix_ms", Json::Num(e.unix_ms as f64)),
-                    ("kind", Json::Str(e.kind.clone())),
-                    ("detail", Json::Str(e.detail.clone())),
-                ])
-            })
-            .collect();
-        json::obj([
-            ("events", Json::Arr(events)),
-            ("events_total", Json::Num(self.obs.events.total() as f64)),
-        ])
-    }
-
     /// Parses and answers one request line.
     fn answer(
         &self,
@@ -905,32 +550,24 @@ impl Engine {
                     .map(str::to_string),
             });
         }
-        match req.get("op").and_then(Json::as_str) {
-            None => {}
-            Some("stats") => return Ok(Answer::Stats(self.stats())),
-            Some("metrics") => return Ok(Answer::Stats(self.metrics(&req))),
-            Some("events") => return Ok(Answer::Stats(self.events_report(&req))),
-            Some("profile") => return Ok(Answer::Stats(self.profile_report())),
-            // Both publish outcomes route through Answer::Publish: a
-            // *failed* publish can still pay base64 decode + model
-            // deserialize before rejecting, and that wall time must stay
-            // out of the serving-latency histogram just like a success.
-            Some("publish") => {
-                return Ok(Answer::Publish(match self.publish(&req) {
-                    Ok(ack) => ack,
-                    Err(e) => e.to_json(),
-                }))
+        match AdminOp::parse(&req) {
+            Ok(None) => {} // a ranking request — the path below
+            Ok(Some(op)) => {
+                let body = self.dispatch(op, &req);
+                // Both publish outcomes route through Answer::Publish: a
+                // *failed* publish can still pay base64 decode + model
+                // deserialize before rejecting, and that wall time must
+                // stay out of the serving-latency histogram just like a
+                // success. Experiment admin shares the exemption: a
+                // candidate publish deserializes a whole model, and even
+                // install/halt are control-plane, not serving, time.
+                return Ok(if op.latency_exempt() {
+                    Answer::Publish(body)
+                } else {
+                    Answer::Stats(body)
+                });
             }
-            // Experiment admin shares publish's latency exemption: a
-            // candidate publish deserializes a whole model, and even
-            // install/halt are control-plane, not serving, time.
-            Some("experiment") => {
-                return Ok(Answer::Publish(match self.experiment(&req) {
-                    Ok(ack) => ack,
-                    Err(e) => e.to_json(),
-                }))
-            }
-            Some(other) => {
+            Err(other) => {
                 return Err(ApiError::new(
                     codes::UNKNOWN_OP,
                     format!("unknown op {other:?}"),
@@ -1419,65 +1056,51 @@ impl Server {
         }
     }
 
-    /// Serves until the stop handle fires. Each connection gets its own
-    /// handler thread, up to `config.max_connections` concurrently; a
-    /// connection over the cap receives a one-line JSON error and is
-    /// closed rather than silently queued (a fixed worker pool would
-    /// starve extra persistent connections and cap micro-batch size at
-    /// the pool width).
+    /// Serves until the stop handle fires, on the readiness
+    /// [`Reactor`](crate::reactor::Reactor): one event-loop thread
+    /// owns all sockets, a fixed worker pool runs the handlers, and
+    /// concurrent connections are bounded by `config.max_connections`
+    /// file descriptors rather than threads. A connection over the cap
+    /// still receives the same one-line retryable refusal at accept
+    /// time, and a graceful stop still answers in-flight requests
+    /// before closing — idle keep-alives now close promptly and the
+    /// drain is journaled as a `drain` event.
     pub fn run(self) -> std::io::Result<()> {
-        let max_connections = self.engine.config.max_connections.max(1);
-        let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        for (conn_id, stream) in self.listener.incoming().enumerate() {
-            if self.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let mut stream = match stream {
-                Ok(s) => s,
-                Err(e) => {
-                    if self.stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    eprintln!("accept error: {e}");
-                    continue;
-                }
-            };
-            handles.retain(|h| !h.is_finished());
-            if active.load(Ordering::SeqCst) >= max_connections {
-                // Shed instead of queueing: the client gets a structured,
-                // retryable refusal in one write and the accept loop moves
-                // straight on to the next connection — saturation never
-                // stalls accepts (or the cluster router's health probes).
-                self.engine.sheds.inc();
-                self.engine
-                    .obs
-                    .events
-                    .record("shed", "connection refused at capacity");
-                let refusal =
-                    ApiError::retryable(codes::OVERLOADED, "server at connection capacity")
-                        .to_json();
-                let _ = writeln!(stream, "{refusal}");
-                continue; // stream drops: connection closed
-            }
-            active.fetch_add(1, Ordering::SeqCst);
-            let engine = Arc::clone(&self.engine);
-            let stop = Arc::clone(&self.stop);
-            let active = Arc::clone(&active);
-            let handle = std::thread::Builder::new()
-                .name(format!("smgcn-conn-{conn_id}"))
-                .spawn(move || {
-                    handle_connection(&engine, stream, &stop, conn_id);
-                    active.fetch_sub(1, Ordering::SeqCst);
-                })
-                .expect("spawn connection handler");
-            handles.push(handle);
-        }
-        // Handlers notice the stop flag within their read timeout.
-        for h in handles {
-            let _ = h.join();
-        }
-        Ok(())
+        let config = ReactorConfig {
+            max_connections: self.engine.config.max_connections.max(1),
+            ..ReactorConfig::default()
+        };
+        let registry = Arc::clone(&self.engine.obs.registry);
+        Reactor::new(self.listener, self.engine, self.stop, config, &registry).run()
+    }
+}
+
+/// The reactor serves the replica engine directly: request lines go
+/// through [`Engine::handle_line`] on worker threads, refusals and
+/// drains keep their historical counters, events, and wire bytes.
+impl Service for Engine {
+    fn handle(&self, line: &str, conn_key: &str) -> String {
+        self.handle_line(line, conn_key).to_string()
+    }
+
+    fn shed(&self) -> String {
+        // Shed instead of queueing: the client gets a structured,
+        // retryable refusal in one write and the reactor moves
+        // straight on to the next connection — saturation never
+        // stalls accepts (or the cluster router's health probes).
+        self.sheds.inc();
+        self.obs
+            .events
+            .record("shed", "connection refused at capacity");
+        ApiError::retryable(codes::OVERLOADED, "server at connection capacity")
+            .to_json()
+            .to_string()
+    }
+
+    fn on_drain(&self) {
+        self.obs
+            .events
+            .record("drain", "graceful drain: idle connections closed");
     }
 }
 
@@ -1498,74 +1121,11 @@ impl StopHandle {
     }
 }
 
-fn handle_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool, conn_id: usize) {
-    let peer = stream.peer_addr().ok();
-    // The split plan's sticky-key fallback for requests without a
-    // `"client"` id: stable for the connection's lifetime, so even an
-    // anonymous client never flip-flops variants mid-connection.
-    let conn_key = format!("conn-{conn_id}");
-    // A finite read timeout lets the worker notice shutdown even while a
-    // client keeps an idle connection open — otherwise a graceful stop
-    // would block on the last chatty client forever. The write timeout
-    // bounds the symmetric hazard: a client that pipelines requests but
-    // never drains responses would otherwise park the handler in flush()
-    // once the send buffer fills, and the shutdown join would hang.
-    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(2)));
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("connection clone failed for {peer:?}: {e}");
-            return;
-        }
-    });
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // `read_line` appends, so a timeout mid-line resumes where the
-        // partial read stopped on the next iteration.
-        loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => return, // peer closed
-                Ok(_) => break,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if stop.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-                Err(_) => return, // peer went away
-            }
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = engine.handle_line(line.trim_end(), &conn_key);
-        if writeln!(writer, "{response}")
-            .and_then(|_| writer.flush())
-            .is_err()
-        {
-            return;
-        }
-        // Graceful drain: answer the in-flight request, then close. A
-        // busy persistent connection never hits the read timeout, so
-        // without this check a stopping server would keep serving
-        // pipelined clients indefinitely.
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use smgcn_tensor::Matrix;
+    use std::io::{BufRead, BufReader, BufWriter, Write};
 
     fn test_server() -> (
         std::net::SocketAddr,
@@ -1604,6 +1164,85 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         json::parse(line.trim()).unwrap()
+    }
+
+    #[test]
+    fn shutdown_under_load_drains_and_journals() {
+        let symptoms = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 4) as f32 - 1.5);
+        let herbs = Matrix::from_fn(7, 3, |r, c| ((r * 2 + c * 5) % 6) as f32 - 2.5);
+        let model = FrozenModel::from_parts(symptoms, herbs, None).unwrap();
+        let vocab = ServingVocab::new(
+            (0..5).map(|i| format!("s{i}")).collect(),
+            (0..7).map(|i| format!("h{i}")).collect(),
+        );
+        let server = Server::bind(
+            "127.0.0.1:0",
+            model,
+            vocab,
+            ServerConfig {
+                max_connections: 16,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let events = server.events();
+        let stop = server.stop_handle();
+        let handle = std::thread::spawn(move || server.run().unwrap());
+        // An idle keep-alive opened before the stop: the drain must
+        // close it promptly instead of waiting it out.
+        let idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Pipelining clients that stay busy across the stop. Every
+        // response the server delivers must be a complete line, and
+        // the connection must end in a clean EOF, never a torn write.
+        let mut clients = Vec::new();
+        for t in 0..4usize {
+            clients.push(std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                let mut served = 0u32;
+                loop {
+                    let req = format!(r#"{{"symptom_ids": [{}, {}], "k": 3}}"#, t % 5, (t + 1) % 5);
+                    if writeln!(writer, "{req}")
+                        .and_then(|_| writer.flush())
+                        .is_err()
+                    {
+                        break; // server closed after draining: fine
+                    }
+                    let mut line = String::new();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => break, // clean EOF, never mid-line
+                        Ok(_) => {
+                            json::parse(line.trim()).expect("complete, well-formed response");
+                            served += 1;
+                        }
+                    }
+                }
+                served
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(100)); // load in flight
+        stop.stop();
+        handle.join().unwrap(); // run() returns once the drain completes
+        let total: u32 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert!(total > 0, "clients should have been served across the stop");
+        let mut idle_reader = BufReader::new(idle);
+        let mut line = String::new();
+        assert_eq!(
+            idle_reader.read_line(&mut line).unwrap(),
+            0,
+            "idle keep-alive must see EOF promptly, not a request timeout"
+        );
+        assert!(
+            events.recent(64).iter().any(|e| e.kind == "drain"),
+            "graceful drain must be journaled"
+        );
     }
 
     #[test]

@@ -23,7 +23,8 @@
 //! smgcn cluster-refresh --replicas HOST:PORT,... --model-file frozen.smgt
 //!                 --corpus corpus.tsv
 //! smgcn loadgen   <scenario|all> [--seed N] [--measure-ms N] [--workers N]
-//!                 [--k N] [--out FILE] [--out-dir DIR] [--plan true]
+//!                 [--k N] [--storm-conns N] [--out FILE] [--out-dir DIR]
+//!                 [--plan true]
 //! smgcn experiment publish --addr HOST:PORT --variant NAME
 //!                 --corpus corpus.tsv --model-file FILE
 //! smgcn experiment install --addr HOST:PORT --split "control:90,cand:10" [--seed N]
@@ -132,7 +133,7 @@ fn usage() -> ! {
          smgcn refresh   --corpus FILE --wal FILE --model-file FILE --out FILE [--frozen-out FILE] [--corpus-out FILE] [--epochs N] [--replicas LIST]\n  \
          smgcn route     --replicas HOST:PORT,... [--addr HOST:PORT] [--connections N] [--replica-conns N] [--probe-ms N] [--slow-p99-ms F]\n  \
          smgcn cluster-refresh --replicas HOST:PORT,... --model-file FILE --corpus FILE\n  \
-         smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--out FILE] [--out-dir DIR] [--plan true]\n  \
+         smgcn loadgen   SCENARIO|all [--seed N] [--measure-ms N] [--workers N] [--k N] [--storm-conns N] [--out FILE] [--out-dir DIR] [--plan true]\n  \
          smgcn experiment publish --addr HOST:PORT --variant NAME --corpus FILE --model-file FILE\n  \
          smgcn experiment install --addr HOST:PORT --split \"control:90,cand:10\" [--seed N]\n  \
          smgcn experiment halt|status|compare --addr HOST:PORT [--out FILE]\n  \
@@ -1287,6 +1288,11 @@ fn cmd_loadgen(rest: &[String]) {
     }
     if let Some(k) = flags.get("k") {
         config.k = k.parse().unwrap_or_else(|_| usage());
+    }
+    // connection-storm cohort override for fd-constrained hosts (the
+    // single loadgen process holds both ends of every storm socket).
+    if let Some(conns) = flags.get("storm-conns") {
+        config.storm_connections = Some(conns.parse().unwrap_or_else(|_| usage()));
     }
     let plan_only = match flags.get("plan").map(String::as_str) {
         None | Some("false") => false,
